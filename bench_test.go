@@ -1,0 +1,208 @@
+package lantern
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// micro-benchmarks of the load-bearing components. The experiment
+// benchmarks share one quick-mode Lab, so trained model variants are reused
+// across benchmarks within a run:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkTable5 -benchtime=1x
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/experiments"
+	"lantern/internal/metrics"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/sqlparser"
+)
+
+var (
+	labOnce   sync.Once
+	sharedLab *experiments.Lab
+)
+
+// lab returns the shared quick-mode experiment lab.
+func lab() *experiments.Lab {
+	labOnce.Do(func() {
+		opt := experiments.DefaultOptions(io.Discard)
+		opt.Scale = 0.5
+		sharedLab = experiments.NewLab(opt)
+	})
+	return sharedLab
+}
+
+// benchExperiment runs one named experiment per iteration.
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	l := lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(l, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per table / figure -----------------------------------------
+
+func BenchmarkFig3FormatSurvey(b *testing.B)        { benchExperiment(b, "fig3") }
+func BenchmarkTable3ParameterCount(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4SelfBLEU(b *testing.B)          { benchExperiment(b, "table4") }
+func BenchmarkFig6aDiversification(b *testing.B)    { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bPretrainedLoss(b *testing.B)     { benchExperiment(b, "fig6b") }
+func BenchmarkFig7aPretrainedAccuracy(b *testing.B) { benchExperiment(b, "fig7a") }
+func BenchmarkFig7bWeightSharing(b *testing.B)      { benchExperiment(b, "fig7b") }
+func BenchmarkFig8aOutputLength(b *testing.B)       { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bEase(b *testing.B)               { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cQuality(b *testing.B)            { benchExperiment(b, "fig8c") }
+func BenchmarkFig8dPreference(b *testing.B)         { benchExperiment(b, "fig8d") }
+func BenchmarkTable5BLEU(b *testing.B)              { benchExperiment(b, "table5") }
+func BenchmarkExp5ErrorAudit(b *testing.B)          { benchExperiment(b, "exp5") }
+func BenchmarkTable6Efficiency(b *testing.B)        { benchExperiment(b, "table6") }
+func BenchmarkFig9aPretrainSurvey(b *testing.B)     { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bParaphraseSurvey(b *testing.B)   { benchExperiment(b, "fig9b") }
+func BenchmarkFig9cVsNeuron(b *testing.B)           { benchExperiment(b, "fig9c") }
+func BenchmarkTable7Boredom(b *testing.B)           { benchExperiment(b, "table7") }
+func BenchmarkUS3MixedStream(b *testing.B)          { benchExperiment(b, "us3") }
+func BenchmarkUS4WrongTokens(b *testing.B)          { benchExperiment(b, "us4") }
+func BenchmarkUS6Presentation(b *testing.B)         { benchExperiment(b, "us6") }
+
+// --- Component micro-benchmarks --------------------------------------------------
+
+func tpchEngine(b *testing.B) *engine.Engine {
+	b.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.05, 1); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const benchJoinQuery = `SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o
+	WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'BUILDING'
+	GROUP BY c.c_name ORDER BY c.c_name LIMIT 10`
+
+// BenchmarkParserTPCH measures SQL parsing over the 22-query workload.
+func BenchmarkParserTPCH(b *testing.B) {
+	workload := datasets.TPCHWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range workload {
+			if _, err := sqlparser.ParseSelect(w.SQL); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPlannerJoin measures cost-based planning of a join query.
+func BenchmarkPlannerJoin(b *testing.B) {
+	e := tpchEngine(b)
+	sel, err := sqlparser.ParseSelect(benchJoinQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Plan(sel); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExecutorJoin measures full execution of the same query.
+func BenchmarkExecutorJoin(b *testing.B) {
+	e := tpchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(benchJoinQuery); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuleNarration measures RULE-LANTERN end to end (the paper's
+// 0.015 s average response, Table 6).
+func BenchmarkRuleNarration(b *testing.B) {
+	e := tpchEngine(b)
+	store := pool.NewSeededStore()
+	rl := core.NewRuleLantern(store)
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + benchJoinQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rl.Narrate(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNeuralNarration measures NEURAL-LANTERN inference (beam 4) on a
+// trained quick-mode model (the paper's 0.216 s average response).
+func BenchmarkNeuralNarration(b *testing.B) {
+	l := lab()
+	nl := l.Model("base")
+	e := tpchEngine(b)
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + benchJoinQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nl.Narrate(tree); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExplainJSON measures plan serialization.
+func BenchmarkExplainJSON(b *testing.B) {
+	e := tpchEngine(b)
+	pl, err := e.PlanSQL(benchJoinQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.ExplainJSON(pl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPoolCompose measures the COMPOSE statement (template assembly).
+func BenchmarkPoolCompose(b *testing.B) {
+	store := pool.NewSeededStore()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := store.Exec("COMPOSE hash, hashjoin FROM pg"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBLEU measures the metric used throughout the evaluation.
+func BenchmarkBLEU(b *testing.B) {
+	hyp := "perform hash join on orders and customer on condition a = b to get the intermediate relation T2"
+	ref := "perform hash join on customer and orders on condition a = b to get the intermediate relation T2"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.BLEU(hyp, ref)
+	}
+}

@@ -1,0 +1,52 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (§7). By default it runs in quick mode (reduced model
+// dimensions and epochs, minutes on a laptop); -full uses the paper's
+// dimensions.
+//
+//	experiments -list
+//	experiments -exp table4
+//	experiments -exp all
+//	experiments -exp table5 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lantern/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list), or 'all'")
+	list := flag.Bool("list", false, "list the available experiments")
+	full := flag.Bool("full", false, "use the paper's full model dimensions (slow)")
+	seed := flag.Int64("seed", 1, "random seed")
+	scale := flag.Float64("scale", 1.0, "dataset scale multiplier")
+	flag.Parse()
+
+	if *list {
+		sums := experiments.Summaries()
+		for _, n := range experiments.Names() {
+			fmt.Printf("%-8s %s\n", n, sums[n])
+		}
+		return
+	}
+
+	opt := experiments.DefaultOptions(os.Stdout)
+	opt.Quick = !*full
+	opt.Seed = *seed
+	opt.Scale = *scale
+	lab := experiments.NewLab(opt)
+
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(lab)
+	} else {
+		err = experiments.Run(lab, *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,177 @@
+// Command lantern narrates SQL query execution plans in natural language.
+//
+// It loads one of the bundled datasets into the substrate engine, plans the
+// given query, serializes the plan in the chosen vendor format
+// (PostgreSQL-style JSON or SQL-Server-style XML), parses it back, and runs
+// RULE-LANTERN (and optionally NEURAL-LANTERN) over it:
+//
+//	lantern -db tpch "SELECT c_name FROM customer WHERE c_custkey = 7"
+//	lantern -db tpch -source sqlserver -show-plan "SELECT ..."
+//	lantern -db imdb -mode neural "SELECT ..."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/lot"
+	"lantern/internal/neural"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/qa"
+)
+
+func main() {
+	db := flag.String("db", "tpch", "dataset to load: tpch, sdss, imdb")
+	scale := flag.Float64("scale", 0.05, "dataset scale factor")
+	source := flag.String("source", "pg", "plan dialect: pg (JSON) or sqlserver (XML)")
+	mode := flag.String("mode", "rule", "narration mode: rule, neural, auto (frequency switching)")
+	showPlan := flag.Bool("show-plan", false, "also print the raw serialized plan")
+	treeView := flag.Bool("tree", false, "present as NL-annotated visual tree instead of document text")
+	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	flag.Parse()
+
+	eng := engine.NewDefault()
+	var err error
+	switch *db {
+	case "tpch":
+		err = datasets.LoadTPCH(eng, *scale, *seed)
+	case "sdss":
+		err = datasets.LoadSDSS(eng, *scale, *seed)
+	case "imdb":
+		err = datasets.LoadIMDB(eng, *scale, *seed)
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *db))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		// Read from stdin.
+		data, err := bufio.NewReader(os.Stdin).ReadString(0)
+		if err != nil && len(data) == 0 {
+			fatal(fmt.Errorf("no query given (pass as argument or on stdin)"))
+		}
+		query = data
+	}
+
+	store := pool.NewSeededStore()
+	tree, raw, err := explainTree(eng, *source, query)
+	if err != nil {
+		fatal(err)
+	}
+	if *showPlan {
+		fmt.Println(raw)
+	}
+
+	if *ask != "" {
+		answerer, err := qa.New(store, tree)
+		if err != nil {
+			fatal(err)
+		}
+		answer, err := answerer.Answer(*ask)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(answer)
+		return
+	}
+
+	rule := core.NewRuleLantern(store)
+	var nar *core.Narration
+	switch *mode {
+	case "rule":
+		nar, err = rule.Narrate(tree)
+	case "neural", "auto":
+		nl, terr := trainQuick(eng, store, *db, *seed)
+		if terr != nil {
+			fatal(terr)
+		}
+		if *mode == "neural" {
+			nar, err = nl.Narrate(tree)
+		} else {
+			l := core.NewLantern(rule, nl)
+			nar, err = l.Narrate(tree)
+		}
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	if *treeView {
+		lt, err := lot.Build(tree, store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(core.PresentTree(lt, nar))
+		return
+	}
+	fmt.Print(nar.Text())
+}
+
+// explainTree plans the query and round-trips it through the chosen
+// serialization, exactly as LANTERN consumes plans from a real RDBMS.
+func explainTree(eng *engine.Engine, source, query string) (*plan.Node, string, error) {
+	format := "JSON"
+	if source == "sqlserver" {
+		format = "XML"
+	}
+	r, err := eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, query))
+	if err != nil {
+		return nil, "", err
+	}
+	var tree *plan.Node
+	if source == "sqlserver" {
+		tree, err = plan.ParseSQLServerXML(r.Plan)
+	} else {
+		tree, err = plan.ParsePostgresJSON(r.Plan)
+	}
+	return tree, r.Plan, err
+}
+
+// trainQuick trains a small NEURAL-LANTERN on workload queries of the
+// loaded dataset (a CLI convenience; cmd/experiments does the full runs).
+func trainQuick(eng *engine.Engine, store *pool.Store, db string, seed int64) (*neural.NeuralLantern, error) {
+	var workload []datasets.Workload
+	switch db {
+	case "tpch":
+		workload = datasets.TPCHWorkload()
+	case "sdss":
+		workload = datasets.SDSSWorkload()
+	default:
+		workload = datasets.TPCHWorkload() // imdb trains on tpch shapes
+	}
+	var trees []*plan.Node
+	for _, w := range workload {
+		t, _, err := explainTree(eng, "pg", w.SQL)
+		if err != nil {
+			continue // workload queries of another dataset may not apply
+		}
+		trees = append(trees, t)
+	}
+	ds, err := neural.NewBuilder(store).Build(trees)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(os.Stderr, "training NEURAL-LANTERN (quick mode)...")
+	return neural.Train(store, ds, neural.TrainConfig{
+		Hidden: 32, EncEmbDim: 8, DecEmbDim: 12,
+		Epochs: 25, BatchSize: 4, LR: 0.3, Seed: seed,
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lantern:", err)
+	os.Exit(1)
+}

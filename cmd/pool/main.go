@@ -1,0 +1,112 @@
+// Command pool is a REPL and batch evaluator for the POOL declarative
+// language (paper §4): subject-matter experts use it to create, inspect,
+// compose and transfer the natural-language descriptions of physical
+// operators in the POEM store.
+//
+//	pool -c "COMPOSE hash, hashjoin FROM pg"
+//	echo "SELECT defn FROM db2 WHERE name = 'zzjoin'" | pool
+//	pool            # interactive
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lantern/internal/pool"
+)
+
+func main() {
+	command := flag.String("c", "", "execute one POOL statement and exit")
+	empty := flag.Bool("empty", false, "start with an empty store instead of the standard seed")
+	flag.Parse()
+
+	var store *pool.Store
+	if *empty {
+		store = pool.NewStore()
+	} else {
+		store = pool.NewSeededStore()
+	}
+
+	if *command != "" {
+		if err := execute(store, *command); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("POOL (Physical Operator Object Language). Statements end with ';'.")
+		fmt.Println("Sources:", strings.Join(store.Sources(), ", "))
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	if interactive {
+		fmt.Print("pool> ")
+	}
+	for scanner.Scan() {
+		line := scanner.Text()
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			stmt := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if stmt != "" {
+				if err := execute(store, stmt); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+				}
+			}
+		}
+		if interactive {
+			fmt.Print("pool> ")
+		}
+	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		if err := execute(store, rest); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+}
+
+func execute(store *pool.Store, stmt string) error {
+	res, err := store.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	switch {
+	case res.Template != "":
+		fmt.Println(res.Template)
+	case len(res.Objects) > 0:
+		for _, o := range res.Objects {
+			fmt.Printf("%-4d %-10s %-18s alias=%q type=%s cond=%v target=%q\n",
+				o.OID, o.Source, o.Name, o.Alias, o.Type, o.Cond, o.Target)
+			for _, d := range o.Descs {
+				fmt.Printf("     desc: %s\n", d)
+			}
+			if o.Defn != "" {
+				fmt.Printf("     defn: %s\n", o.Defn)
+			}
+		}
+	case len(res.Rows) > 0:
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, r := range res.Rows {
+			fmt.Println(strings.Join(r, " | "))
+		}
+	default:
+		fmt.Printf("OK (%d affected)\n", res.Affected)
+	}
+	return nil
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

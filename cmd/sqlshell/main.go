@@ -1,0 +1,110 @@
+// Command sqlshell is an interactive SQL shell over the substrate engine,
+// with the bundled datasets preloadable — useful for exploring what plans
+// the optimizer produces before narrating them:
+//
+//	sqlshell -db tpch
+//	echo "EXPLAIN SELECT * FROM customer WHERE c_custkey = 1;" | sqlshell -db tpch
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+)
+
+func main() {
+	db := flag.String("db", "", "preload dataset: tpch, sdss, imdb (empty = blank database)")
+	scale := flag.Float64("scale", 0.05, "dataset scale factor")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	flag.Parse()
+
+	eng := engine.NewDefault()
+	var err error
+	switch *db {
+	case "tpch":
+		err = datasets.LoadTPCH(eng, *scale, *seed)
+	case "sdss":
+		err = datasets.LoadSDSS(eng, *scale, *seed)
+	case "imdb":
+		err = datasets.LoadIMDB(eng, *scale, *seed)
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *db)
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	interactive := isTerminal()
+	if interactive {
+		fmt.Println("substrate engine SQL shell; statements end with ';'")
+		if *db != "" {
+			fmt.Printf("loaded %s: tables %s\n", *db, strings.Join(eng.Cat.TableNames(), ", "))
+		}
+		fmt.Print("sql> ")
+	}
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	for scanner.Scan() {
+		buf.WriteString(scanner.Text())
+		buf.WriteString("\n")
+		if strings.Contains(scanner.Text(), ";") {
+			run(eng, buf.String())
+			buf.Reset()
+			if interactive {
+				fmt.Print("sql> ")
+			}
+		}
+	}
+	if rest := strings.TrimSpace(buf.String()); rest != "" {
+		run(eng, rest)
+	}
+}
+
+func run(eng *engine.Engine, sql string) {
+	sql = strings.TrimSpace(sql)
+	if sql == "" {
+		return
+	}
+	res, err := eng.ExecScript(sql)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if res == nil {
+		return
+	}
+	if res.Plan != "" {
+		fmt.Println(res.Plan)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, r := range res.Rows {
+			parts := make([]string, len(r))
+			for i, v := range r {
+				parts[i] = v.Raw()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	fmt.Printf("OK (%d affected)\n", res.Affected)
+}
+
+func isTerminal() bool {
+	info, err := os.Stdin.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}

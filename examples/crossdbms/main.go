@@ -1,0 +1,91 @@
+// crossdbms demonstrates LANTERN's vendor portability (the property NEURON
+// lacks, paper US 5): the same SDSS query is narrated from a
+// PostgreSQL-style JSON plan and from a SQL-Server-style XML showplan —
+// different operator vocabularies, one declarative POEM store. It then uses
+// POOL's UPDATE/REPLACE statements to transfer descriptions to DB2's
+// operators, exactly as §4.2's examples do.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/neuron"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+func main() {
+	eng := engine.NewDefault()
+	if err := datasets.LoadSDSS(eng, 0.05, 1); err != nil {
+		log.Fatal(err)
+	}
+	store := pool.NewSeededStore()
+	rl := core.NewRuleLantern(store)
+
+	query := `SELECT p.objid, s.class, s.z FROM photoobj p, specobj s
+		WHERE p.objid = s.bestobjid AND s.class = 'QSO' AND s.z > 2`
+
+	// --- PostgreSQL dialect -------------------------------------------------
+	r, err := eng.Exec("EXPLAIN (FORMAT JSON) " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pgTree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("PostgreSQL operators:", pgTree.OperatorNames())
+	nar, err := rl.Narrate(pgTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(nar.Text())
+
+	// --- SQL Server dialect ---------------------------------------------------
+	r, err = eng.Exec("EXPLAIN (FORMAT XML) " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msTree, err := plan.ParseSQLServerXML(r.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSQL Server operators:", msTree.OperatorNames())
+	nar, err = rl.Narrate(msTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(nar.Text())
+
+	// --- NEURON cannot follow -------------------------------------------------
+	n := neuron.New()
+	if _, err := n.Narrate(msTree); err != nil {
+		fmt.Println("\nNEURON on the same SQL Server plan:", err)
+	}
+
+	// --- POOL keeps SMEs productive across vendors -----------------------------
+	fmt.Println("\nPOOL transfer examples (paper §4.2):")
+	for _, stmt := range []string{
+		`SELECT defn FROM db2 WHERE name = 'zzjoin'`,
+		`UPDATE db2 SET desc = (SELECT desc FROM pg WHERE pg.name = 'hashjoin') WHERE db2.name = 'hsjoin'`,
+		`UPDATE pg SET desc = REPLACE((SELECT desc FROM pg AS pg2 WHERE pg2.name = 'hashjoin'), 'hash', 'nested loop ') WHERE pg.name = 'nestedloop'`,
+		`COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join'`,
+	} {
+		res, err := store.Exec(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case res.Template != "":
+			fmt.Printf("  %s\n    -> %s\n", stmt, res.Template)
+		case len(res.Rows) > 0:
+			fmt.Printf("  %s\n    -> %v\n", stmt, res.Rows[0])
+		default:
+			fmt.Printf("  %s\n    -> OK (%d affected)\n", stmt, res.Affected)
+		}
+	}
+}

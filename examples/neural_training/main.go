@@ -1,0 +1,120 @@
+// neural_training walks through NEURAL-LANTERN's full §6 pipeline on a
+// small scale: generate random queries over a schema and instance (the
+// Kipf-style generator), decompose their plans into acts, diversify the
+// RULE-LANTERN ground truth with the three paraphrasing tools, train the
+// QEP2Seq model with pre-trained Word2Vec vectors, and compare the neural
+// narration against the rule-based one with BLEU.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/embed"
+	"lantern/internal/engine"
+	"lantern/internal/metrics"
+	"lantern/internal/neural"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/textgen"
+)
+
+func main() {
+	// Training domain: TPC-H. Test domain: IMDB (cross-domain, as in the
+	// paper's portability evaluation).
+	tpch := engine.NewDefault()
+	if err := datasets.LoadTPCH(tpch, 0.05, 1); err != nil {
+		log.Fatal(err)
+	}
+	imdb := engine.NewDefault()
+	if err := datasets.LoadIMDB(imdb, 0.05, 1); err != nil {
+		log.Fatal(err)
+	}
+	store := pool.NewSeededStore()
+
+	// 1. Random queries (paper §6.2 / [31]).
+	gen := textgen.New(tpch, datasets.TPCHForeignKeys(), textgen.DefaultConfig(), 42)
+	queries := gen.Queries(40)
+	fmt.Printf("generated %d training queries; first three:\n", len(queries))
+	for _, q := range queries[:3] {
+		fmt.Println("  ", q)
+	}
+	trees := explainAll(tpch, queries)
+
+	// 2. Acts + paraphrase diversification.
+	ds, err := neural.NewBuilder(store).Build(trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d acts -> %d training samples after paraphrasing (%.1fx)\n",
+		ds.BaseActs, len(ds.Samples), float64(len(ds.Samples))/float64(ds.BaseActs))
+	sum := 0.0
+	for _, g := range ds.Groups {
+		sum += metrics.SelfBLEU(g)
+	}
+	fmt.Printf("mean group Self-BLEU: %.3f (1.0 would mean no diversity added)\n",
+		sum/float64(len(ds.Groups)))
+
+	// 3. Pre-trained Word2Vec vectors on the bundled generic corpus.
+	corpus := embed.GenericCorpus(1500, 1)
+	w2v := embed.TrainWord2Vec(corpus, embed.DefaultWord2Vec(16))
+
+	// 4. Train QEP2Seq.
+	fmt.Println("\ntraining QEP2Seq+Word2Vec ...")
+	nl, err := neural.Train(store, ds, neural.TrainConfig{
+		Hidden: 32, EncEmbDim: 8, DecEmbDim: 16,
+		Epochs: 25, BatchSize: 4, LR: 0.3, Seed: 1,
+		Embedding: w2v,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := nl.History[len(nl.History)-1]
+	fmt.Printf("final validation loss %.3f, token accuracy %.3f\n", last.ValLoss, last.ValAcc)
+
+	// 5. Cross-domain test on IMDB.
+	testGen := textgen.New(imdb, datasets.IMDBForeignKeys(), textgen.DefaultConfig(), 7)
+	testTrees := explainAll(imdb, testGen.Queries(10))
+	rl := core.NewRuleLantern(store)
+	var hyps, refs []string
+	for _, t := range testTrees {
+		neuralNar, err := nl.Narrate(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ruleNar, err := rl.Narrate(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hyps = append(hyps, neuralNar.Sentences()...)
+		refs = append(refs, ruleNar.Sentences()...)
+	}
+	fmt.Printf("\ncross-domain (IMDB) BLEU vs rule ground truth: %.2f\n",
+		metrics.CorpusBLEU(hyps, refs)*100)
+
+	fmt.Println("\nside by side on one IMDB plan:")
+	neuralNar, _ := nl.Narrate(testTrees[0])
+	ruleNar, _ := rl.Narrate(testTrees[0])
+	fmt.Println("RULE-LANTERN:")
+	fmt.Print(ruleNar.Text())
+	fmt.Println("NEURAL-LANTERN:")
+	fmt.Print(neuralNar.Text())
+}
+
+func explainAll(e *engine.Engine, queries []string) []*plan.Node {
+	var out []*plan.Node
+	for _, q := range queries {
+		r, err := e.Exec("EXPLAIN (FORMAT JSON) " + q)
+		if err != nil {
+			log.Fatalf("%s: %v", q, err)
+		}
+		t, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,72 @@
+// Quickstart: the complete LANTERN loop in one page — create a database,
+// pose the paper's Example 3.1 query, obtain the PostgreSQL-style JSON
+// plan, and narrate it with RULE-LANTERN. The output reproduces the
+// paper's Example 5.1 step by step.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lantern/internal/core"
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+func main() {
+	// 1. A database: the paper's dblp-style schema with enough rows that
+	//    the optimizer picks the Figure 4 plan (hash join + sorted
+	//    aggregate + unique).
+	cfg := engine.DefaultConfig()
+	cfg.EnableHashAgg = false // show the paper's GroupAggregate variant
+	cfg.EnableMergeJoin = false
+	cfg.EnableNestLoop = false
+	eng := engine.New(cfg)
+	mustExec(eng, `CREATE TABLE inproceedings (proceeding_key INTEGER, author VARCHAR(30))`)
+	mustExec(eng, `CREATE TABLE publication (pub_key INTEGER, title VARCHAR(60))`)
+	for i := 1; i <= 50; i++ {
+		title := "Symposium Proceedings"
+		if i%5 == 0 {
+			title = "Proceedings of July"
+		}
+		mustExec(eng, fmt.Sprintf("INSERT INTO inproceedings VALUES (%d, 'author%d')", i%10, i))
+		mustExec(eng, fmt.Sprintf("INSERT INTO publication VALUES (%d, '%s %d')", i%10, title, i))
+	}
+
+	// 2. The paper's Example 3.1 query.
+	query := `SELECT DISTINCT(I.proceeding_key)
+		FROM inproceedings I, publication P
+		WHERE I.proceeding_key = P.pub_key AND P.title LIKE '%July%'
+		GROUP BY I.proceeding_key
+		HAVING COUNT(*) > 2`
+
+	// 3. The QEP, exactly as a learner would obtain it from PostgreSQL.
+	res, err := eng.Exec("EXPLAIN (FORMAT JSON) " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(res.Plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The query execution plan (operator tree):")
+	fmt.Println(tree)
+
+	// 4. RULE-LANTERN over the standard POEM store (two SMEs' worth of
+	//    POOL-authored operator descriptions).
+	store := pool.NewSeededStore()
+	rl := core.NewRuleLantern(store)
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The natural-language narration (paper Example 5.1):")
+	fmt.Print(nar.Text())
+}
+
+func mustExec(e *engine.Engine, sql string) {
+	if _, err := e.Exec(sql); err != nil {
+		log.Fatalf("%s: %v", sql, err)
+	}
+}

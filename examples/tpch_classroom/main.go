@@ -1,0 +1,93 @@
+// tpch_classroom simulates the paper's core classroom scenario: a learner
+// (Alice, §1) works through TPC-H benchmark queries. The integrated LANTERN
+// system narrates each plan; once an operator has been seen more than the
+// frequency threshold, its narration switches from RULE-LANTERN to
+// NEURAL-LANTERN (the US 5 policy), so repeated operators stop sounding
+// identical. A simulated learner cohort reports the boredom index with and
+// without the switching.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/neural"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/study"
+)
+
+func main() {
+	eng := engine.NewDefault()
+	if err := datasets.LoadTPCH(eng, 0.05, 1); err != nil {
+		log.Fatal(err)
+	}
+	store := pool.NewSeededStore()
+
+	// The lesson: the first eight TPC-H workloads.
+	workload := datasets.TPCHWorkload()[:8]
+	var trees []*plan.Node
+	for _, w := range workload {
+		r, err := eng.Exec("EXPLAIN (FORMAT JSON) " + w.SQL)
+		if err != nil {
+			log.Fatalf("%s: %v", w.Name, err)
+		}
+		t, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		trees = append(trees, t)
+	}
+
+	// Train NEURAL-LANTERN on the lesson's own acts (quick settings).
+	ds, err := neural.NewBuilder(store).Build(trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training NEURAL-LANTERN on %d acts (%d samples after paraphrasing)...\n",
+		ds.BaseActs, len(ds.Samples))
+	nl, err := neural.Train(store, ds, neural.TrainConfig{
+		Hidden: 32, EncEmbDim: 8, DecEmbDim: 12,
+		Epochs: 25, BatchSize: 4, LR: 0.3, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rule := core.NewRuleLantern(store)
+	integrated := core.NewLantern(rule, nl)
+	integrated.FreqThreshold = 3
+
+	var ruleTexts, lanternTexts []string
+	for i, t := range trees {
+		fmt.Printf("\n=== %s ===\n", workload[i].Name)
+		nar, err := integrated.Narrate(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(nar.Text())
+		lanternTexts = append(lanternTexts, nar.Text())
+		rn, err := rule.Narrate(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ruleTexts = append(ruleTexts, rn.Text())
+	}
+	fmt.Printf("\nseq scan narrations seen so far: %d\n", integrated.Exposure("Seq Scan"))
+
+	// How bored is the class? (Table 7's comparison, on this lesson.)
+	cohort := study.NewCohort(43, 7)
+	var ruleBoredom, lanternBoredom []int
+	for _, learner := range cohort.Learners {
+		ruleBoredom = append(ruleBoredom, learner.BoredomIndex(ruleTexts))
+	}
+	for _, learner := range cohort.Learners {
+		lanternBoredom = append(lanternBoredom, learner.BoredomIndex(lanternTexts))
+	}
+	fmt.Printf("\nboredom index (1=not boring .. 5=extremely boring), 43 learners:\n")
+	fmt.Printf("  pure RULE-LANTERN lesson: mean %.2f\n", study.Mean(ruleBoredom))
+	fmt.Printf("  integrated LANTERN lesson: mean %.2f\n", study.Mean(lanternBoredom))
+}

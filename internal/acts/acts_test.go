@@ -1,0 +1,227 @@
+package acts
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+func tpchTree(t *testing.T, sql string) *plan.Node {
+	t.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+const q3ish = `SELECT c.c_name, SUM(o.o_totalprice) AS revenue
+	FROM customer c, orders o
+	WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'BUILDING'
+	GROUP BY c.c_name ORDER BY revenue DESC LIMIT 10`
+
+func TestDecompose(t *testing.T) {
+	store := pool.NewSeededStore()
+	tree := tpchTree(t, q3ish)
+	as, err := Decompose(tree, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) < 4 {
+		t.Fatalf("acts = %d, want >= 4 (scans, join, agg, sort/limit)", len(as))
+	}
+	for i, a := range as {
+		if len(a.Input) == 0 {
+			t.Errorf("act %d has empty input", i)
+		}
+		if a.Target == "" || a.Sentence == "" {
+			t.Errorf("act %d has empty output", i)
+		}
+	}
+}
+
+// The central property: detagging the tagged target reproduces the
+// untagged RULE-LANTERN sentence exactly (Detag ∘ Tag = identity).
+func TestDetagRoundTrip(t *testing.T) {
+	store := pool.NewSeededStore()
+	queries := []string{
+		q3ish,
+		"SELECT c_name FROM customer WHERE c_custkey = 5",
+		"SELECT o_orderkey FROM orders WHERE o_totalprice > 1000 ORDER BY o_orderkey LIMIT 3",
+		"SELECT DISTINCT c_mktsegment FROM customer",
+		"SELECT n.n_name, COUNT(*) FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey GROUP BY n.n_name",
+	}
+	for _, q := range queries {
+		tree := tpchTree(t, q)
+		as, err := Decompose(tree, store)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		for i, a := range as {
+			got := core.Detag(a.Target, a.Tags)
+			if got != a.Sentence {
+				t.Errorf("%s act %d:\n  tagged:  %s\n  detag:   %s\n  want:    %s",
+					q, i, a.Target, got, a.Sentence)
+			}
+		}
+	}
+}
+
+func TestTargetsContainTagsNotValues(t *testing.T) {
+	store := pool.NewSeededStore()
+	tree := tpchTree(t, q3ish)
+	as, err := Decompose(tree, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, a := range as {
+		joined += a.Target + "\n"
+	}
+	// Schema-dependent strings must not leak into the tagged outputs.
+	for _, leak := range []string{"customer", "orders", "c_custkey", "BUILDING"} {
+		if strings.Contains(joined, leak) {
+			t.Errorf("tagged outputs leak %q:\n%s", leak, joined)
+		}
+	}
+	if !strings.Contains(joined, core.TagTable) {
+		t.Errorf("no %s tag:\n%s", core.TagTable, joined)
+	}
+}
+
+func TestInputSchemaIndependence(t *testing.T) {
+	// The same logical act over two different databases must serialize to
+	// the same input token sequence — the property that makes the model
+	// transfer across application domains (the paper trains on TPC-H/SDSS
+	// and tests on IMDB).
+	store := pool.NewSeededStore()
+	treeA := tpchTree(t, "SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'")
+	e := engine.NewDefault()
+	if err := datasets.LoadIMDB(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) SELECT id FROM title WHERE production_year = 1990")
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actsA, err := Decompose(treeA, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	actsB, err := Decompose(treeB, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Join(actsA[0].Input, " ")
+	b := strings.Join(actsB[0].Input, " ")
+	if a != b {
+		t.Errorf("inputs differ across schemas: %q vs %q", a, b)
+	}
+}
+
+func TestInputVocabulary(t *testing.T) {
+	store := pool.NewSeededStore()
+	vocab := InputVocabulary(store)
+	if len(vocab) < 25 || len(vocab) > 50 {
+		t.Errorf("input vocabulary size = %d, want ~36 (paper)", len(vocab))
+	}
+	seen := map[string]bool{}
+	for _, w := range vocab {
+		if seen[w] {
+			t.Errorf("duplicate vocab entry %q", w)
+		}
+		seen[w] = true
+	}
+	for _, must := range []string{"hashjoin", "seqscan", core.TagTable, core.TagJoinCond} {
+		if !seen[must] {
+			t.Errorf("vocabulary lacks %q", must)
+		}
+	}
+}
+
+func TestOutputVocabulary(t *testing.T) {
+	targets := []string{
+		"perform sequential scan on <T> and filtering on <F> to get the intermediate relation <TN>.",
+		"hash <T> and perform hash join on <T> and <T> on condition <C> to get the final results.",
+	}
+	vocab := OutputVocabulary(targets)
+	if vocab[0] != "<BOS>" || vocab[1] != "<EOS>" {
+		t.Fatalf("reserved slots wrong: %v", vocab[:2])
+	}
+	seen := map[string]bool{}
+	for _, w := range vocab {
+		if seen[w] {
+			t.Errorf("duplicate %q", w)
+		}
+		seen[w] = true
+	}
+	if !seen["perform"] || !seen["<T>"] {
+		t.Errorf("vocab = %v", vocab)
+	}
+}
+
+func TestActCountMatchesNarration(t *testing.T) {
+	// Acts correspond 1:1 to narration steps (the paper decomposes the 22
+	// TPC-H plans into 544 acts: every plan yields #steps acts).
+	store := pool.NewSeededStore()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	rl := core.NewRuleLantern(store)
+	total := 0
+	for _, w := range datasets.TPCHWorkload()[:8] {
+		r, err := e.Exec("EXPLAIN (FORMAT JSON) " + w.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nar, err := rl.Narrate(tree)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		as, err := Decompose(tree, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(as) != len(nar.Steps) {
+			t.Errorf("%s: acts = %d, steps = %d", w.Name, len(as), len(nar.Steps))
+		}
+		total += len(as)
+	}
+	if total < 20 {
+		t.Errorf("total acts over 8 TPC-H queries = %d, implausibly few", total)
+	}
+}
+
+func ExampleInputTokens() {
+	store := pool.NewSeededStore()
+	e := engine.NewDefault()
+	_, _ = e.ExecScript(`CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);`)
+	r, _ := e.Exec("EXPLAIN (FORMAT JSON) SELECT a FROM t WHERE a = 1")
+	tree, _ := plan.ParsePostgresJSON(r.Plan)
+	as, _ := Decompose(tree, store)
+	fmt.Println(strings.Join(as[0].Input, " "))
+	// Output: seqscan <T> <F>
+}

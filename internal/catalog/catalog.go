@@ -1,0 +1,156 @@
+// Package catalog maintains the schema registry and the optimizer
+// statistics of the substrate engine: which tables and indexes exist, how
+// many rows each table has, and per-column distinct counts, min/max bounds
+// and null fractions — the inputs to the cost model in internal/engine.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"lantern/internal/datum"
+	"lantern/internal/storage"
+)
+
+// ColumnStats summarizes one column for the cost model.
+type ColumnStats struct {
+	Distinct     int     // number of distinct non-NULL values
+	NullFraction float64 // fraction of rows that are NULL
+	Min, Max     datum.D // bounds over non-NULL values (Null when table empty)
+}
+
+// TableStats summarizes one table.
+type TableStats struct {
+	RowCount int
+	Columns  map[string]ColumnStats
+}
+
+// Catalog is the schema registry: tables plus their statistics.
+type Catalog struct {
+	tables map[string]*storage.Table
+	stats  map[string]*TableStats
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables: make(map[string]*storage.Table),
+		stats:  make(map[string]*TableStats),
+	}
+}
+
+// CreateTable registers a new table. It fails if the name is taken.
+func (c *Catalog) CreateTable(name string, cols []storage.Column) (*storage.Table, error) {
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := storage.NewTable(name, cols)
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table; unknown names are a no-op.
+func (c *Catalog) DropTable(name string) {
+	delete(c.tables, name)
+	delete(c.stats, name)
+}
+
+// Table returns the named table, or an error naming the table.
+func (c *Catalog) Table(name string) (*storage.Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (c *Catalog) HasTable(name string) bool {
+	_, ok := c.tables[name]
+	return ok
+}
+
+// TableNames lists all table names, sorted.
+func (c *Catalog) TableNames() []string {
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze recomputes statistics for the named table (all tables when name
+// is empty), mirroring PostgreSQL's ANALYZE.
+func (c *Catalog) Analyze(name string) error {
+	if name == "" {
+		for n := range c.tables {
+			if err := c.Analyze(n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t, err := c.Table(name)
+	if err != nil {
+		return err
+	}
+	ts := &TableStats{RowCount: len(t.Rows), Columns: make(map[string]ColumnStats, len(t.Columns))}
+	for i, col := range t.Columns {
+		seen := make(map[string]struct{})
+		nulls := 0
+		min, max := datum.Null, datum.Null
+		for _, r := range t.Rows {
+			v := r[i]
+			if v.IsNull() {
+				nulls++
+				continue
+			}
+			seen[v.String()] = struct{}{}
+			if min.IsNull() || datum.Compare(v, min) < 0 {
+				min = v
+			}
+			if max.IsNull() || datum.Compare(v, max) > 0 {
+				max = v
+			}
+		}
+		cs := ColumnStats{Distinct: len(seen), Min: min, Max: max}
+		if len(t.Rows) > 0 {
+			cs.NullFraction = float64(nulls) / float64(len(t.Rows))
+		}
+		ts.Columns[col.Name] = cs
+	}
+	c.stats[name] = ts
+	return nil
+}
+
+// Stats returns the statistics for a table. When the table has never been
+// analyzed (or rows were added since), it analyzes on demand so the
+// optimizer always sees fresh numbers — acceptable for an in-memory
+// teaching engine.
+func (c *Catalog) Stats(name string) (*TableStats, error) {
+	t, err := c.Table(name)
+	if err != nil {
+		return nil, err
+	}
+	if s, ok := c.stats[name]; ok && s.RowCount == len(t.Rows) {
+		return s, nil
+	}
+	if err := c.Analyze(name); err != nil {
+		return nil, err
+	}
+	return c.stats[name], nil
+}
+
+// ColumnStats returns statistics for table.column, analyzing on demand.
+func (c *Catalog) ColumnStats(table, column string) (ColumnStats, error) {
+	ts, err := c.Stats(table)
+	if err != nil {
+		return ColumnStats{}, err
+	}
+	cs, ok := ts.Columns[column]
+	if !ok {
+		return ColumnStats{}, fmt.Errorf("catalog: column %q of relation %q does not exist", column, table)
+	}
+	return cs, nil
+}

@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"testing"
+
+	"lantern/internal/datum"
+	"lantern/internal/storage"
+)
+
+func newCat(t *testing.T) (*Catalog, *storage.Table) {
+	t.Helper()
+	c := New()
+	tbl, err := c.CreateTable("users", []storage.Column{
+		{Name: "id", Type: datum.KInt},
+		{Name: "age", Type: datum.KInt},
+		{Name: "city", Type: datum.KString},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestCreateAndLookup(t *testing.T) {
+	c, _ := newCat(t)
+	if !c.HasTable("users") {
+		t.Error("HasTable(users) = false")
+	}
+	if _, err := c.Table("users"); err != nil {
+		t.Error(err)
+	}
+	if _, err := c.Table("ghost"); err == nil {
+		t.Error("expected error for missing table")
+	}
+	if _, err := c.CreateTable("users", nil); err == nil {
+		t.Error("expected duplicate-table error")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	c, _ := newCat(t)
+	_, _ = c.CreateTable("aaa", nil)
+	got := c.TableNames()
+	if len(got) != 2 || got[0] != "aaa" || got[1] != "users" {
+		t.Errorf("TableNames = %v", got)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	c, _ := newCat(t)
+	c.DropTable("users")
+	if c.HasTable("users") {
+		t.Error("table still present after drop")
+	}
+	c.DropTable("missing") // no-op
+}
+
+func TestAnalyzeStats(t *testing.T) {
+	c, tbl := newCat(t)
+	rows := []struct {
+		id, age int64
+		city    string
+	}{
+		{1, 20, "oslo"}, {2, 30, "oslo"}, {3, 30, "rome"}, {4, 40, "rome"},
+	}
+	for _, r := range rows {
+		_ = tbl.Insert(storage.Row{datum.NewInt(r.id), datum.NewInt(r.age), datum.NewString(r.city)})
+	}
+	_ = tbl.Insert(storage.Row{datum.NewInt(5), datum.Null, datum.NewString("bern")})
+
+	ts, err := c.Stats("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.RowCount != 5 {
+		t.Errorf("rowcount = %d, want 5", ts.RowCount)
+	}
+	age := ts.Columns["age"]
+	if age.Distinct != 3 {
+		t.Errorf("age distinct = %d, want 3", age.Distinct)
+	}
+	if age.NullFraction != 0.2 {
+		t.Errorf("age null fraction = %v, want 0.2", age.NullFraction)
+	}
+	if age.Min.Int() != 20 || age.Max.Int() != 40 {
+		t.Errorf("age bounds = %v..%v", age.Min, age.Max)
+	}
+	city := ts.Columns["city"]
+	if city.Distinct != 3 {
+		t.Errorf("city distinct = %d, want 3", city.Distinct)
+	}
+}
+
+func TestStatsRefreshOnGrowth(t *testing.T) {
+	c, tbl := newCat(t)
+	_ = tbl.Insert(storage.Row{datum.NewInt(1), datum.NewInt(10), datum.NewString("a")})
+	ts, _ := c.Stats("users")
+	if ts.RowCount != 1 {
+		t.Fatalf("rowcount = %d", ts.RowCount)
+	}
+	_ = tbl.Insert(storage.Row{datum.NewInt(2), datum.NewInt(20), datum.NewString("b")})
+	ts, _ = c.Stats("users")
+	if ts.RowCount != 2 {
+		t.Errorf("stats stale: rowcount = %d, want 2", ts.RowCount)
+	}
+}
+
+func TestColumnStats(t *testing.T) {
+	c, tbl := newCat(t)
+	_ = tbl.Insert(storage.Row{datum.NewInt(1), datum.NewInt(10), datum.NewString("a")})
+	cs, err := c.ColumnStats("users", "age")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Distinct != 1 {
+		t.Errorf("distinct = %d", cs.Distinct)
+	}
+	if _, err := c.ColumnStats("users", "zzz"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+	if _, err := c.ColumnStats("zzz", "age"); err == nil {
+		t.Error("expected error for unknown table")
+	}
+}
+
+func TestAnalyzeAll(t *testing.T) {
+	c, _ := newCat(t)
+	_, _ = c.CreateTable("extra", []storage.Column{{Name: "x", Type: datum.KInt}})
+	if err := c.Analyze(""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Analyze("missing"); err == nil {
+		t.Error("expected error analyzing missing table")
+	}
+}
+
+func TestEmptyTableStats(t *testing.T) {
+	c, _ := newCat(t)
+	ts, err := c.Stats("users")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := ts.Columns["id"]
+	if !cs.Min.IsNull() || !cs.Max.IsNull() || cs.Distinct != 0 {
+		t.Errorf("empty stats = %+v", cs)
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"lantern/internal/lot"
+	"lantern/internal/plan"
+)
+
+// StepGenerator produces the sentence for one act (LOT node cluster).
+// NEURAL-LANTERN implements it; the orchestrator mixes it with
+// RULE-LANTERN per the frequency-threshold policy of US 5.
+type StepGenerator interface {
+	ActSentence(node *lot.Node) (string, error)
+}
+
+// Lantern is the full system: RULE-LANTERN by default, switching an
+// operator's narration to NEURAL-LANTERN once the learner has seen that
+// operator more than FreqThreshold times across QEPs (the paper's US 5
+// integration, threshold 5) — countering habituation exactly where
+// repeated exposure happens.
+type Lantern struct {
+	Rule          *RuleLantern
+	Neural        StepGenerator // nil disables switching
+	FreqThreshold int
+	exposures     map[string]int
+}
+
+// NewLantern builds the integrated system over a POEM store-backed
+// RULE-LANTERN and an optional neural step generator.
+func NewLantern(rule *RuleLantern, neural StepGenerator) *Lantern {
+	return &Lantern{
+		Rule:          rule,
+		Neural:        neural,
+		FreqThreshold: 5,
+		exposures:     make(map[string]int),
+	}
+}
+
+// ResetExposure clears the per-operator exposure counters (a new learner
+// session).
+func (l *Lantern) ResetExposure() { l.exposures = make(map[string]int) }
+
+// Exposure reports how many times an operator has been narrated so far.
+func (l *Lantern) Exposure(opName string) int { return l.exposures[plan.Canon(opName)] }
+
+// Narrate generates the narration for a QEP, tracking per-operator
+// exposure across calls. Steps whose operator exceeded the threshold are
+// generated neurally (when a neural generator is installed); the rest come
+// from RULE-LANTERN.
+func (l *Lantern) Narrate(tree *plan.Node) (*Narration, error) {
+	lt, err := lot.Build(tree, l.Rule.Store)
+	if err != nil {
+		return nil, err
+	}
+	ruleNar, err := l.Rule.NarrateLOT(lt)
+	if err != nil {
+		return nil, err
+	}
+	nar := &Narration{Source: lt.Source}
+	for i, node := range lt.Steps {
+		op := plan.Canon(node.Plan.Name)
+		l.exposures[op]++
+		step := ruleNar.Steps[i]
+		if l.Neural != nil && l.exposures[op] > l.FreqThreshold {
+			if text, err := l.Neural.ActSentence(node); err == nil && text != "" {
+				step.Text = text
+			}
+		}
+		nar.Steps = append(nar.Steps, step)
+	}
+	return nar, nil
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"lantern/internal/engine"
+	"lantern/internal/lot"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+// dblpEngine reproduces the paper's Example 3.1 environment: the dblp
+// tables with enough rows that the optimizer chooses the Figure 4 plan
+// (hash join + sorted aggregate + unique).
+func dblpEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.EnableHashAgg = false   // paper plan uses GroupAggregate
+	cfg.EnableMergeJoin = false // force the hash join of Figure 4
+	cfg.EnableNestLoop = false
+	e := engine.New(cfg)
+	script := `
+CREATE TABLE inproceedings (proceeding_key INTEGER, author VARCHAR(30));
+CREATE TABLE publication (pub_key INTEGER, title VARCHAR(60));
+`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		title := "Symposium Proceedings"
+		if i%5 == 0 {
+			title = "Proceedings of July"
+		}
+		if _, err := e.Exec(sqlf("INSERT INTO inproceedings VALUES (%d, 'a%d')", i%10, i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Exec(sqlf("INSERT INTO publication VALUES (%d, '%s %d')", i%10, title, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+func sqlf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}
+
+const paperQuery = `SELECT DISTINCT(I.proceeding_key)
+	FROM inproceedings I, publication P
+	WHERE I.proceeding_key = P.pub_key AND P.title LIKE '%July%'
+	GROUP BY I.proceeding_key
+	HAVING COUNT(*) > 2`
+
+func paperTree(t *testing.T, e *engine.Engine) *plan.Node {
+	t.Helper()
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestNarratePaperExample(t *testing.T) {
+	e := dblpEngine(t)
+	tree := paperTree(t, e)
+	rl := NewRuleLantern(pool.NewSeededStore())
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatalf("Narrate: %v\nplan:\n%s", err, tree.String())
+	}
+	if len(nar.Steps) != 5 {
+		t.Fatalf("steps = %d, want 5 (Example 5.1):\n%s", len(nar.Steps), nar.Text())
+	}
+	checks := []struct {
+		step     int
+		contains []string
+	}{
+		{0, []string{"perform sequential scan on inproceedings"}},
+		{1, []string{"perform sequential scan on publication", "filtering on", "July", "intermediate relation T1"}},
+		{2, []string{"hash T1", "perform hash join on inproceedings (i) and T1", "on condition", "intermediate relation T2"}},
+		{3, []string{"sort T2", "perform aggregate on T2", "grouping on attribute i.proceeding_key", "filtering on", "intermediate relation T3"}},
+		{4, []string{"perform duplicate removal on T3", "final results"}},
+	}
+	for _, c := range checks {
+		for _, want := range c.contains {
+			if !strings.Contains(nar.Steps[c.step].Text, want) {
+				t.Errorf("step %d missing %q:\n  %s", c.step+1, want, nar.Steps[c.step].Text)
+			}
+		}
+	}
+	// Step 1's scan is a pass-through: no identifier.
+	if nar.Steps[0].Identifier != "" {
+		t.Errorf("step 1 identifier = %q, want none", nar.Steps[0].Identifier)
+	}
+}
+
+func TestNarrationTextPresentation(t *testing.T) {
+	e := dblpEngine(t)
+	tree := paperTree(t, e)
+	rl := NewRuleLantern(pool.NewSeededStore())
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := nar.Text()
+	if !strings.Contains(text, "Step 1:") || !strings.Contains(text, "Step 5:") {
+		t.Errorf("presentation:\n%s", text)
+	}
+	if nar.TokenCount() < 20 {
+		t.Errorf("token count = %d, implausibly short", nar.TokenCount())
+	}
+	if len(nar.Sentences()) != len(nar.Steps) {
+		t.Error("Sentences()/Steps mismatch")
+	}
+}
+
+// Invariant from DESIGN.md: step count = #nodes − #auxiliary nodes, and
+// every identifier introduced is referenced exactly once by a later step.
+func TestNarrationStructuralInvariants(t *testing.T) {
+	e := dblpEngine(t)
+	tree := paperTree(t, e)
+	store := pool.NewSeededStore()
+	rl := NewRuleLantern(store)
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := tree.CountNodes()
+	aux := 0
+	tree.Walk(func(n *plan.Node) {
+		c := plan.Canon(n.Name)
+		if c == "hash" || c == "sort" {
+			aux++
+		}
+	})
+	if len(nar.Steps) != total-aux {
+		t.Errorf("steps = %d, nodes = %d, auxiliary = %d", len(nar.Steps), total, aux)
+	}
+	for i, s := range nar.Steps {
+		if s.Identifier == "" {
+			continue
+		}
+		refs := 0
+		for j := i + 1; j < len(nar.Steps); j++ {
+			refs += strings.Count(nar.Steps[j].Text, s.Identifier)
+		}
+		if refs == 0 {
+			t.Errorf("identifier %s introduced at step %d never referenced", s.Identifier, i+1)
+		}
+	}
+}
+
+func TestNarrateSQLServerPlan(t *testing.T) {
+	e := dblpEngine(t)
+	r, err := e.Exec("EXPLAIN (FORMAT XML) " + paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParseSQLServerXML(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := NewRuleLantern(pool.NewSeededStore())
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatalf("Narrate(sqlserver): %v\nplan:\n%s", err, tree.String())
+	}
+	text := nar.Text()
+	if !strings.Contains(text, "perform hash join") {
+		t.Errorf("SQL Server narration lacks hash join:\n%s", text)
+	}
+	// SQL Server plans have no separate Hash build node, so no "hash T1"
+	// auxiliary segment.
+	if strings.Contains(text, "hash T1 and") {
+		t.Errorf("unexpected auxiliary hash segment in SQL Server narration:\n%s", text)
+	}
+	if !strings.Contains(text, "final results") {
+		t.Errorf("missing final step:\n%s", text)
+	}
+}
+
+func TestNarrateIndexScanPlan(t *testing.T) {
+	e := engine.NewDefault()
+	if _, err := e.ExecScript(`
+CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25));
+CREATE INDEX customer_pk ON customer (c_custkey);`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		if _, err := e.Exec(sqlf("INSERT INTO customer VALUES (%d, 'c%d')", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) SELECT c_name FROM customer WHERE c_custkey = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := NewRuleLantern(pool.NewSeededStore())
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nar.Text(), "perform index scan on customer") {
+		t.Errorf("narration:\n%s", nar.Text())
+	}
+	if !strings.Contains(nar.Text(), "using index") {
+		t.Errorf("no index mention:\n%s", nar.Text())
+	}
+}
+
+func TestNarrateUnknownOperatorFails(t *testing.T) {
+	rl := NewRuleLantern(pool.NewSeededStore())
+	tree := &plan.Node{Name: "Quantum Scan", Source: "pg"}
+	if _, err := rl.Narrate(tree); err == nil {
+		t.Error("expected error for unknown operator")
+	}
+}
+
+func TestPresentTree(t *testing.T) {
+	e := dblpEngine(t)
+	tree := paperTree(t, e)
+	store := pool.NewSeededStore()
+	rl := NewRuleLantern(store)
+	lt, err := lot.Build(tree, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nar, err := rl.NarrateLOT(lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := PresentTree(lt, nar)
+	if !strings.Contains(out, "[auxiliary]") {
+		t.Errorf("no auxiliary annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "—") {
+		t.Errorf("no sentence annotations:\n%s", out)
+	}
+}
+
+func TestMergeJoinNarrationSortsBothInputs(t *testing.T) {
+	cfg := engine.DefaultConfig()
+	cfg.EnableHashJoin = false
+	cfg.EnableNestLoop = false
+	e := engine.New(cfg)
+	if _, err := e.ExecScript(`
+CREATE TABLE a (x INTEGER, p VARCHAR(5));
+CREATE TABLE b (y INTEGER, q VARCHAR(5));`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		_, _ = e.Exec(sqlf("INSERT INTO a VALUES (%d, 'p%d')", i, i))
+		_, _ = e.Exec(sqlf("INSERT INTO b VALUES (%d, 'q%d')", i%7, i))
+	}
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) SELECT a.p FROM a, b WHERE a.x = b.y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl := NewRuleLantern(pool.NewSeededStore())
+	nar, err := rl.Narrate(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := nar.Text()
+	if !strings.Contains(text, "perform merge join") {
+		t.Fatalf("no merge join in:\n%s", text)
+	}
+	if strings.Count(text, "sort ") < 2 {
+		t.Errorf("merge join narration should sort both inputs:\n%s", text)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"regexp"
+	"strings"
+
+	"lantern/internal/lot"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+// The special tags of the paper's Table 1. Schema-dependent variables
+// (relation names, conditions, attributes) "do not contribute to the
+// training of a translation model", so they are replaced by these tags in
+// the training outputs and substituted back after inference.
+const (
+	TagTable     = "<T>"  // an existing (base or temporary) table name
+	TagNewTable  = "<TN>" // new temporary table name
+	TagFilter    = "<F>"  // filtering condition
+	TagJoinCond  = "<C>"  // join condition
+	TagSortKey   = "<A>"  // column name for sort
+	TagGroupKey  = "<G>"  // column name for group by
+	TagIndexName = "<I>"  // indexed column name
+)
+
+// TagMap records, per tag, the concrete values it replaced — in the order
+// they appear in the tagged sentence — so Detag can restore them.
+type TagMap map[string][]string
+
+// add records a replacement.
+func (tm TagMap) add(tag, value string) {
+	tm[tag] = append(tm[tag], value)
+}
+
+// placeholderTag maps a template placeholder name to its Table 1 tag given
+// the node's attributes.
+func placeholderTag(name string, p *plan.Node) string {
+	switch name {
+	case "R1", "R2":
+		return TagTable
+	case "group":
+		return TagGroupKey
+	case "sort":
+		return TagSortKey
+	case "index":
+		return TagIndexName
+	case "cond":
+		if p.Attr(plan.AttrJoinCond) != "" {
+			return TagJoinCond
+		}
+		return TagFilter
+	}
+	return "<" + name + ">"
+}
+
+// TaggedNodeSentence renders the same sentence as NodeSentence but with
+// every schema-dependent value replaced by its special tag, returning the
+// tag-to-value map needed to detag the model's output later. The trailing
+// intermediate/final clause is included, with <TN> for the new identifier.
+func TaggedNodeSentence(node *lot.Node) (string, TagMap) {
+	tags := TagMap{}
+	var parts []string
+	for _, aux := range node.AuxChildren {
+		parts = append(parts, fillTagged(aux.Label, auxValues(aux), aux.Plan, tags))
+	}
+	parts = append(parts, fillTagged(node.Label, nodeValues(node), node.Plan, tags))
+	text := strings.Join(parts, " and ")
+	switch {
+	case node.Parent == nil:
+		text += " to get the final results."
+	case node.Identifier != "":
+		text += " to get the intermediate relation " + TagNewTable + "."
+		tags.add(TagNewTable, node.Identifier)
+	default:
+		text += "."
+	}
+	return text, tags
+}
+
+// fillTagged fills a template with tags instead of values, recording the
+// real values in tag order. Placeholders whose real value is empty are
+// dropped exactly as in the untagged rendering, keeping the tagged and
+// untagged sentences structurally aligned.
+func fillTagged(tpl string, vals map[string]string, p *plan.Node, tags TagMap) string {
+	tagVals := make(map[string]string, len(vals))
+	order := placeholderOrder(tpl)
+	for _, name := range order {
+		v, ok := vals[name]
+		if !ok || v == "" {
+			continue
+		}
+		tag := placeholderTag(name, p)
+		tagVals[name] = tag
+		tags.add(tag, v)
+	}
+	return pool.FillTemplate(tpl, tagVals)
+}
+
+var placeholderRe = regexp.MustCompile(`\$([A-Za-z0-9]+)\$`)
+
+// placeholderOrder lists the placeholder names of a template in textual
+// order (duplicates included once each occurrence).
+func placeholderOrder(tpl string) []string {
+	ms := placeholderRe.FindAllStringSubmatch(tpl, -1)
+	out := make([]string, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m[1])
+	}
+	return out
+}
+
+// Detag restores the concrete values into a tagged sentence (the final
+// step of NEURAL-LANTERN's §6.4.3: "we replace the special tags ... using
+// the corresponding identifiers"). Tags are consumed left to right in the
+// order the TagMap recorded them; surplus tags without a recorded value
+// are left in place (they surface in the Exp 5 error audit).
+func Detag(tagged string, tags TagMap) string {
+	remaining := make(map[string][]string, len(tags))
+	for k, v := range tags {
+		remaining[k] = append([]string{}, v...)
+	}
+	tokens := strings.Fields(tagged)
+	for i, tok := range tokens {
+		trail := ""
+		word := tok
+		for len(word) > 0 && (word[len(word)-1] == '.' || word[len(word)-1] == ',') {
+			trail = string(word[len(word)-1]) + trail
+			word = word[:len(word)-1]
+		}
+		vals, ok := remaining[word]
+		if !ok || len(vals) == 0 {
+			continue
+		}
+		tokens[i] = vals[0] + trail
+		remaining[word] = vals[1:]
+	}
+	return strings.Join(tokens, " ")
+}

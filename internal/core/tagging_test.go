@@ -1,0 +1,130 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/lot"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+// figure4LOT builds the paper's Figure 4 tree and annotates it.
+func figure4LOT(t *testing.T) *lot.Tree {
+	t.Helper()
+	scanIn := &plan.Node{Name: "Seq Scan", Source: "pg",
+		Attrs: map[string]string{plan.AttrRelation: "inproceedings", plan.AttrAlias: "inproceedings"}}
+	scanPub := &plan.Node{Name: "Seq Scan", Source: "pg",
+		Attrs: map[string]string{plan.AttrRelation: "publication", plan.AttrAlias: "publication",
+			plan.AttrFilter: "(title LIKE '%July%')"}}
+	hash := &plan.Node{Name: "Hash", Source: "pg", Children: []*plan.Node{scanPub}}
+	join := &plan.Node{Name: "Hash Join", Source: "pg",
+		Attrs:    map[string]string{plan.AttrJoinCond: "((i.proceeding_key) = (p.pub_key))"},
+		Children: []*plan.Node{scanIn, hash}}
+	root := &plan.Node{Name: "Unique", Source: "pg", Children: []*plan.Node{join}}
+	lt, err := lot.Build(root, pool.NewSeededStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lt
+}
+
+func TestTaggedSentenceMatchesTable1Tags(t *testing.T) {
+	lt := figure4LOT(t)
+	// The filtered scan step: relation -> <T>, filter -> <F>, new id -> <TN>.
+	var scanStep *lot.Node
+	for _, n := range lt.Steps {
+		if n.Plan.Attr(plan.AttrRelation) == "publication" {
+			scanStep = n
+		}
+	}
+	if scanStep == nil {
+		t.Fatal("no publication step")
+	}
+	tagged, tags := TaggedNodeSentence(scanStep)
+	for _, want := range []string{TagTable, TagFilter, TagNewTable} {
+		if !strings.Contains(tagged, want) {
+			t.Errorf("tagged sentence lacks %s: %s", want, tagged)
+		}
+	}
+	if strings.Contains(tagged, "publication") || strings.Contains(tagged, "July") {
+		t.Errorf("schema content leaked: %s", tagged)
+	}
+	if got := tags[TagTable]; len(got) != 1 || got[0] != "publication" {
+		t.Errorf("<T> values = %v", got)
+	}
+	if got := tags[TagFilter]; len(got) != 1 || !strings.Contains(got[0], "July") {
+		t.Errorf("<F> values = %v", got)
+	}
+}
+
+func TestTaggedJoinUsesJoinCondTag(t *testing.T) {
+	lt := figure4LOT(t)
+	var joinStep *lot.Node
+	for _, n := range lt.Steps {
+		if plan.Canon(n.Plan.Name) == "hashjoin" {
+			joinStep = n
+		}
+	}
+	if joinStep == nil {
+		t.Fatal("no join step")
+	}
+	tagged, tags := TaggedNodeSentence(joinStep)
+	if !strings.Contains(tagged, TagJoinCond) {
+		t.Errorf("no <C> tag: %s", tagged)
+	}
+	if strings.Contains(tagged, TagFilter) {
+		t.Errorf("join condition mis-tagged as <F>: %s", tagged)
+	}
+	// Two <T> occurrences: the probe relation and the hashed input; plus
+	// the aux segment's <T>.
+	if n := strings.Count(tagged, TagTable); n < 2 {
+		t.Errorf("expected >= 2 <T> tags, got %d: %s", n, tagged)
+	}
+	if len(tags[TagJoinCond]) != 1 {
+		t.Errorf("<C> values = %v", tags[TagJoinCond])
+	}
+}
+
+func TestDetagLeavesUnmatchedTags(t *testing.T) {
+	// A model may emit more tags than the act provides values for; Detag
+	// must leave the surplus visible (the Exp 5 failure mode) and never
+	// panic.
+	tags := TagMap{TagTable: {"customer"}}
+	out := Detag("perform hash join on <T> and <T> on condition <C>.", tags)
+	if !strings.Contains(out, "customer") {
+		t.Errorf("first tag not substituted: %s", out)
+	}
+	if !strings.Contains(out, TagTable) || !strings.Contains(out, TagJoinCond) {
+		t.Errorf("surplus tags should remain: %s", out)
+	}
+}
+
+func TestDetagConsumesInOrder(t *testing.T) {
+	tags := TagMap{TagTable: {"orders", "T1"}}
+	out := Detag("join <T> with <T>.", tags)
+	if out != "join orders with T1." {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestDetagHandlesPunctuation(t *testing.T) {
+	tags := TagMap{TagNewTable: {"T3"}}
+	out := Detag("to get the intermediate relation <TN>.", tags)
+	if out != "to get the intermediate relation T3." {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestPlaceholderOrder(t *testing.T) {
+	got := placeholderOrder("a $R2$ b $R1$ c $cond$ d $R1$")
+	want := []string{"R2", "R1", "cond", "R1"}
+	if len(got) != len(want) {
+		t.Fatalf("order = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package datasets provides deterministic synthetic generators for the
+// three datasets of the paper's evaluation — the TPC-H benchmark [12], the
+// SDSS SkyServer tables [11], and the IMDB relational dataset [5] — plus
+// their query workloads, written in the SQL subset the substrate engine
+// executes.
+//
+// Substitution note (see DESIGN.md): the real datasets are downloads; these
+// generators preserve what the experiments need — the schemas, the
+// foreign-key graph (which drives the Kipf-style random query generator),
+// and enough value skew that the optimizer produces diverse plans (hash vs
+// merge vs nested-loop joins, index vs sequential scans).
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"lantern/internal/engine"
+)
+
+// Workload is one named benchmark query.
+type Workload struct {
+	Name string
+	SQL  string
+}
+
+// FK is one foreign-key edge of a dataset's join graph.
+type FK struct {
+	ChildTable, ChildColumn   string
+	ParentTable, ParentColumn string
+}
+
+// exec runs a statement and panics on failure (generators are internal and
+// their SQL is constant).
+func exec(e *engine.Engine, sql string) error {
+	if _, err := e.Exec(sql); err != nil {
+		return fmt.Errorf("datasets: %s: %w", firstLine(sql), err)
+	}
+	return nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	if len(s) > 60 {
+		return s[:60]
+	}
+	return s
+}
+
+// insertBatch inserts rows in batches to keep statement parsing cheap.
+func insertBatch(e *engine.Engine, table string, rows []string) error {
+	const batch = 200
+	for i := 0; i < len(rows); i += batch {
+		j := i + batch
+		if j > len(rows) {
+			j = len(rows)
+		}
+		stmt := fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(rows[i:j], ", "))
+		if err := exec(e, stmt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scaled returns max(1, base·scale).
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func date(rng *rand.Rand, fromYear, toYear int) string {
+	y := fromYear + rng.Intn(toYear-fromYear+1)
+	m := 1 + rng.Intn(12)
+	d := 1 + rng.Intn(28)
+	return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+}

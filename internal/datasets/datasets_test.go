@@ -1,0 +1,214 @@
+package datasets
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+	"lantern/internal/sqlparser"
+)
+
+func TestLoadTPCH(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadTPCH(e, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, tbl := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		r, err := e.Exec("SELECT COUNT(*) FROM " + tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", tbl, err)
+		}
+		counts[tbl] = r.Rows[0][0].Int()
+		if counts[tbl] == 0 {
+			t.Errorf("%s is empty", tbl)
+		}
+	}
+	if counts["region"] != 5 || counts["nation"] != 25 {
+		t.Errorf("region/nation = %d/%d", counts["region"], counts["nation"])
+	}
+	if counts["lineitem"] <= counts["orders"] {
+		t.Errorf("lineitem (%d) should outnumber orders (%d)", counts["lineitem"], counts["orders"])
+	}
+}
+
+func TestTPCHWorkloadAllParseAndPlan(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadTPCH(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	qs := TPCHWorkload()
+	if len(qs) != 22 {
+		t.Fatalf("workload has %d queries, want 22", len(qs))
+	}
+	for _, w := range qs {
+		sel, err := sqlparser.ParseSelect(w.SQL)
+		if err != nil {
+			t.Errorf("%s: parse: %v", w.Name, err)
+			continue
+		}
+		if _, err := e.Plan(sel); err != nil {
+			t.Errorf("%s: plan: %v", w.Name, err)
+		}
+	}
+}
+
+func TestTPCHWorkloadAllExecute(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadTPCH(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range TPCHWorkload() {
+		if _, err := e.Exec(w.SQL); err != nil {
+			t.Errorf("%s: exec: %v", w.Name, err)
+		}
+	}
+}
+
+func TestTPCHQ1Shape(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadTPCH(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec(TPCHWorkload()[0].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns) != 9 {
+		t.Errorf("Q1 columns = %d, want 9", len(r.Columns))
+	}
+	if len(r.Rows) == 0 || len(r.Rows) > 6 {
+		t.Errorf("Q1 groups = %d, want 1..6 (returnflag × linestatus)", len(r.Rows))
+	}
+}
+
+func TestTPCHPlansAreDiverse(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadTPCH(e, 0.1, 1); err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]bool{}
+	for _, w := range TPCHWorkload() {
+		r, err := e.Exec("EXPLAIN (FORMAT JSON) " + w.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		tree, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		for _, n := range tree.OperatorNames() {
+			ops[n] = true
+		}
+	}
+	for _, want := range []string{"Seq Scan", "Hash Join", "Sort", "Limit"} {
+		if !ops[want] {
+			names := make([]string, 0, len(ops))
+			for o := range ops {
+				names = append(names, o)
+			}
+			t.Errorf("TPC-H plans never use %s (got %s)", want, strings.Join(names, ", "))
+		}
+	}
+	agg := ops["HashAggregate"] || ops["GroupAggregate"] || ops["Aggregate"]
+	if !agg {
+		t.Error("TPC-H plans never aggregate")
+	}
+}
+
+func TestLoadSDSSAndWorkload(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadSDSS(e, 0.1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range SDSSWorkload() {
+		if _, err := e.Exec(w.SQL); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+	if len(SDSSWorkload()) < 10 {
+		t.Errorf("SDSS workload too small: %d", len(SDSSWorkload()))
+	}
+	// S9 is a DISTINCT query: its plan must deduplicate via Unique.
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + SDSSWorkload()[8].SQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasUnique := false
+	tree.Walk(func(n *plan.Node) {
+		if n.Name == "Unique" {
+			hasUnique = true
+		}
+	})
+	if !hasUnique {
+		t.Errorf("S9 plan lacks Unique:\n%s", tree.String())
+	}
+}
+
+func TestLoadIMDB(t *testing.T) {
+	e := engine.NewDefault()
+	if err := LoadIMDB(e, 0.1, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec(`SELECT COUNT(*) FROM title t, cast_info ci WHERE t.id = ci.movie_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].Int() == 0 {
+		t.Error("IMDB join is empty")
+	}
+}
+
+func TestForeignKeysResolve(t *testing.T) {
+	cases := []struct {
+		load func(*engine.Engine) error
+		fks  []FK
+	}{
+		{func(e *engine.Engine) error { return LoadTPCH(e, 0.02, 1) }, TPCHForeignKeys()},
+		{func(e *engine.Engine) error { return LoadSDSS(e, 0.02, 1) }, SDSSForeignKeys()},
+		{func(e *engine.Engine) error { return LoadIMDB(e, 0.02, 1) }, IMDBForeignKeys()},
+	}
+	for _, c := range cases {
+		e := engine.NewDefault()
+		if err := c.load(e); err != nil {
+			t.Fatal(err)
+		}
+		for _, fk := range c.fks {
+			child, err := e.Cat.Table(fk.ChildTable)
+			if err != nil {
+				t.Errorf("FK child table %s missing", fk.ChildTable)
+				continue
+			}
+			if child.ColumnIndex(fk.ChildColumn) < 0 {
+				t.Errorf("FK child column %s.%s missing", fk.ChildTable, fk.ChildColumn)
+			}
+			parent, err := e.Cat.Table(fk.ParentTable)
+			if err != nil {
+				t.Errorf("FK parent table %s missing", fk.ParentTable)
+				continue
+			}
+			if parent.ColumnIndex(fk.ParentColumn) < 0 {
+				t.Errorf("FK parent column %s.%s missing", fk.ParentTable, fk.ParentColumn)
+			}
+		}
+	}
+}
+
+func TestDeterministicLoads(t *testing.T) {
+	count := func() int64 {
+		e := engine.NewDefault()
+		if err := LoadTPCH(e, 0.02, 9); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := e.Exec("SELECT SUM(o_orderkey), COUNT(*) FROM orders")
+		return r.Rows[0][0].Int()
+	}
+	if count() != count() {
+		t.Error("TPC-H load is not deterministic")
+	}
+}

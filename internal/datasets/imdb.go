@@ -1,0 +1,87 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lantern/internal/engine"
+)
+
+// LoadIMDB creates a scaled-down IMDB schema following the JOB-light
+// layout of Kipf et al. [31] (the paper generates its 1000 test queries on
+// IMDB with that work's generator): six tables joined through title.id.
+func LoadIMDB(e *engine.Engine, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ddl := `
+CREATE TABLE title (id INTEGER, kind_id INTEGER, production_year INTEGER, episode_nr INTEGER);
+CREATE TABLE cast_info (id INTEGER, movie_id INTEGER, person_id INTEGER, role_id INTEGER);
+CREATE TABLE movie_companies (id INTEGER, movie_id INTEGER, company_id INTEGER, company_type_id INTEGER);
+CREATE TABLE movie_info (id INTEGER, movie_id INTEGER, info_type_id INTEGER, info_len INTEGER);
+CREATE TABLE movie_keyword (id INTEGER, movie_id INTEGER, keyword_id INTEGER);
+CREATE TABLE movie_info_idx (id INTEGER, movie_id INTEGER, info_type_id INTEGER);
+CREATE INDEX title_pk ON title (id);
+CREATE INDEX cast_info_movie ON cast_info (movie_id);
+CREATE INDEX movie_companies_movie ON movie_companies (movie_id);
+`
+	if _, err := e.ExecScript(ddl); err != nil {
+		return err
+	}
+	nTitle := scaled(2500, scale)
+
+	var rows []string
+	for i := 1; i <= nTitle; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %d, %d)",
+			i, 1+rng.Intn(7), 1930+rng.Intn(90), rng.Intn(30)))
+	}
+	if err := insertBatch(e, "title", rows); err != nil {
+		return err
+	}
+
+	fill := func(table string, perTitle int, gen func(id, movie int) string) error {
+		rows = rows[:0]
+		id := 1
+		for m := 1; m <= nTitle; m++ {
+			n := rng.Intn(perTitle + 1)
+			for k := 0; k < n; k++ {
+				rows = append(rows, gen(id, m))
+				id++
+			}
+		}
+		return insertBatch(e, table, rows)
+	}
+	if err := fill("cast_info", 6, func(id, m int) string {
+		return fmt.Sprintf("(%d, %d, %d, %d)", id, m, 1+rng.Intn(nTitle*3), 1+rng.Intn(11))
+	}); err != nil {
+		return err
+	}
+	if err := fill("movie_companies", 3, func(id, m int) string {
+		return fmt.Sprintf("(%d, %d, %d, %d)", id, m, 1+rng.Intn(500), 1+rng.Intn(4))
+	}); err != nil {
+		return err
+	}
+	if err := fill("movie_info", 4, func(id, m int) string {
+		return fmt.Sprintf("(%d, %d, %d, %d)", id, m, 1+rng.Intn(110), rng.Intn(500))
+	}); err != nil {
+		return err
+	}
+	if err := fill("movie_keyword", 4, func(id, m int) string {
+		return fmt.Sprintf("(%d, %d, %d)", id, m, 1+rng.Intn(3000))
+	}); err != nil {
+		return err
+	}
+	return fill("movie_info_idx", 2, func(id, m int) string {
+		return fmt.Sprintf("(%d, %d, %d)", id, m, 99+rng.Intn(15))
+	})
+}
+
+// IMDBForeignKeys returns the JOB-light join graph (everything joins to
+// title.id).
+func IMDBForeignKeys() []FK {
+	return []FK{
+		{"cast_info", "movie_id", "title", "id"},
+		{"movie_companies", "movie_id", "title", "id"},
+		{"movie_info", "movie_id", "title", "id"},
+		{"movie_keyword", "movie_id", "title", "id"},
+		{"movie_info_idx", "movie_id", "title", "id"},
+	}
+}

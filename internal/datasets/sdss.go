@@ -1,0 +1,108 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lantern/internal/engine"
+)
+
+// LoadSDSS creates a scaled-down SkyServer schema: photometric objects,
+// spectra, photometric redshifts, and the neighbors relation. The column
+// and value domains follow the SDSS DR16 tables the paper's 71-query
+// workload touches.
+func LoadSDSS(e *engine.Engine, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ddl := `
+CREATE TABLE photoobj (objid INTEGER, ra FLOAT, dec FLOAT, type INTEGER, u FLOAT, g FLOAT, r FLOAT, i FLOAT, z FLOAT, clean INTEGER);
+CREATE TABLE specobj (specobjid INTEGER, bestobjid INTEGER, class VARCHAR(10), z FLOAT, zwarning INTEGER, plate INTEGER);
+CREATE TABLE photoz (objid INTEGER, photozid INTEGER, zphot FLOAT, zerr FLOAT);
+CREATE TABLE neighbors (objid INTEGER, neighborobjid INTEGER, distance FLOAT);
+CREATE INDEX photoobj_pk ON photoobj (objid);
+CREATE INDEX specobj_best ON specobj (bestobjid);
+`
+	if _, err := e.ExecScript(ddl); err != nil {
+		return err
+	}
+	nObj := scaled(5000, scale)
+	classes := []string{"GALAXY", "STAR", "QSO"}
+
+	var rows []string
+	for i := 1; i <= nObj; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %.4f, %.4f, %d, %.2f, %.2f, %.2f, %.2f, %.2f, %d)",
+			i, rng.Float64()*360, rng.Float64()*180-90, 3+rng.Intn(4),
+			14+rng.Float64()*10, 14+rng.Float64()*10, 14+rng.Float64()*10,
+			14+rng.Float64()*10, 14+rng.Float64()*10, rng.Intn(2)))
+	}
+	if err := insertBatch(e, "photoobj", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	nSpec := nObj / 3
+	for i := 1; i <= nSpec; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, '%s', %.4f, %d, %d)",
+			i, 1+rng.Intn(nObj), classes[rng.Intn(3)], rng.Float64()*3,
+			rng.Intn(2), 266+rng.Intn(3000)))
+	}
+	if err := insertBatch(e, "specobj", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nObj/2; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %.4f, %.4f)",
+			1+rng.Intn(nObj), i, rng.Float64()*2, rng.Float64()*0.1))
+	}
+	if err := insertBatch(e, "photoz", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 0; i < nObj/2; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d, %.5f)",
+			1+rng.Intn(nObj), 1+rng.Intn(nObj), rng.Float64()*0.5))
+	}
+	return insertBatch(e, "neighbors", rows)
+}
+
+// SDSSForeignKeys returns the SkyServer join graph.
+func SDSSForeignKeys() []FK {
+	return []FK{
+		{"specobj", "bestobjid", "photoobj", "objid"},
+		{"photoz", "objid", "photoobj", "objid"},
+		{"neighbors", "objid", "photoobj", "objid"},
+		{"neighbors", "neighborobjid", "photoobj", "objid"},
+	}
+}
+
+// SDSSWorkload returns representative SkyServer sample queries (the paper
+// uses the 71 predefined DR16 "realquery" examples; these cover the same
+// query shapes — cone-ish range selections, photo/spec joins, class
+// aggregations — in the engine's SQL subset).
+func SDSSWorkload() []Workload {
+	return []Workload{
+		{"S1", `SELECT objid, ra, dec FROM photoobj WHERE ra BETWEEN 140 AND 141 AND dec BETWEEN 20 AND 21`},
+		{"S2", `SELECT p.objid, s.class, s.z FROM photoobj p, specobj s
+			WHERE p.objid = s.bestobjid AND s.class = 'QSO' AND s.z > 2`},
+		{"S3", `SELECT s.class, COUNT(*) AS n FROM specobj s GROUP BY s.class ORDER BY n DESC`},
+		{"S4", `SELECT p.objid, p.r FROM photoobj p WHERE p.r < 17 AND p.clean = 1 ORDER BY p.r LIMIT 100`},
+		{"S5", `SELECT p.objid, p.g - p.r AS color FROM photoobj p, specobj s
+			WHERE p.objid = s.bestobjid AND s.class = 'GALAXY' AND s.zwarning = 0
+			ORDER BY color DESC LIMIT 50`},
+		{"S6", `SELECT pz.zphot, s.z FROM photoz pz, specobj s, photoobj p
+			WHERE pz.objid = p.objid AND s.bestobjid = p.objid AND s.class = 'GALAXY'`},
+		{"S7", `SELECT s.plate, COUNT(*) AS objects, AVG(s.z) AS mean_z
+			FROM specobj s GROUP BY s.plate HAVING COUNT(*) > 2 ORDER BY objects DESC LIMIT 20`},
+		{"S8", `SELECT n.objid, COUNT(*) AS neighbor_count FROM neighbors n
+			WHERE n.distance < 0.1 GROUP BY n.objid ORDER BY neighbor_count DESC LIMIT 10`},
+		{"S9", `SELECT DISTINCT p.type FROM photoobj p, specobj s
+			WHERE p.objid = s.bestobjid AND s.z BETWEEN 0.1 AND 0.2`},
+		{"S10", `SELECT p.objid, p.u, p.g, p.r FROM photoobj p
+			WHERE p.u - p.g > 2 AND p.type = 3 LIMIT 100`},
+		{"S11", `SELECT s.class, AVG(p.r) AS mean_r, MIN(p.r) AS min_r, MAX(p.r) AS max_r
+			FROM photoobj p, specobj s WHERE p.objid = s.bestobjid GROUP BY s.class`},
+		{"S12", `SELECT p.objid FROM photoobj p, photoz pz
+			WHERE p.objid = pz.objid AND pz.zerr < 0.02 AND pz.zphot > 0.5 ORDER BY pz.zphot DESC LIMIT 25`},
+	}
+}

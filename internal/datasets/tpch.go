@@ -1,0 +1,281 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lantern/internal/engine"
+)
+
+// tpchSegments, priorities and ship modes follow the TPC-H value domains.
+var (
+	tpchSegments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	tpchPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	tpchModes      = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	tpchStatus     = []string{"O", "F", "P"}
+	tpchRegions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	tpchTypes      = []string{"ECONOMY BRASS", "STANDARD BRASS", "ECONOMY COPPER", "PROMO STEEL", "SMALL STEEL", "MEDIUM TIN", "LARGE NICKEL", "PROMO COPPER"}
+	tpchContainers = []string{"SM CASE", "SM BOX", "MED BOX", "LG BOX", "JUMBO PACK", "WRAP CASE"}
+)
+
+// LoadTPCH creates and populates the eight TPC-H tables at the given scale
+// (scale 1.0 ≈ 1/100 of the official SF1 row counts, keeping the official
+// table-size ratios) with deterministic data under the seed.
+func LoadTPCH(e *engine.Engine, scale float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	ddl := `
+CREATE TABLE region (r_regionkey INTEGER, r_name VARCHAR(25), r_comment VARCHAR(120));
+CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR(25), n_regionkey INTEGER, n_comment VARCHAR(120));
+CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR(25), s_nationkey INTEGER, s_acctbal FLOAT, s_comment VARCHAR(100));
+CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25), c_nationkey INTEGER, c_mktsegment VARCHAR(10), c_acctbal FLOAT, c_phone VARCHAR(15));
+CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR(55), p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), p_retailprice FLOAT, p_brand VARCHAR(10));
+CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, ps_availqty INTEGER, ps_supplycost FLOAT);
+CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_orderstatus VARCHAR(1), o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR(15), o_shippriority INTEGER);
+CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipmode VARCHAR(10));
+CREATE INDEX customer_pk ON customer (c_custkey);
+CREATE INDEX orders_pk ON orders (o_orderkey);
+CREATE INDEX orders_custkey ON orders (o_custkey);
+CREATE INDEX lineitem_orderkey ON lineitem (l_orderkey);
+CREATE INDEX part_pk ON part (p_partkey);
+CREATE INDEX supplier_pk ON supplier (s_suppkey);
+`
+	if _, err := e.ExecScript(ddl); err != nil {
+		return err
+	}
+
+	nSupp := scaled(100, scale)
+	nCust := scaled(1500, scale)
+	nPart := scaled(2000, scale)
+	nOrders := scaled(15000, scale)
+	nLinePerOrder := 4
+
+	var rows []string
+	for i, r := range tpchRegions {
+		rows = append(rows, fmt.Sprintf("(%d, '%s', 'region comment %d')", i, r, i))
+	}
+	if err := insertBatch(e, "region", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 0; i < 25; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'NATION%02d', %d, 'nation comment %d')", i, i, i%5, i))
+	}
+	if err := insertBatch(e, "nation", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nSupp; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Supplier%05d', %d, %.2f, 'supplier comment %d')",
+			i, i, rng.Intn(25), rng.Float64()*11000-1000, i))
+	}
+	if err := insertBatch(e, "supplier", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nCust; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'Customer%06d', %d, '%s', %.2f, '%02d-%03d-%04d')",
+			i, i, rng.Intn(25), tpchSegments[rng.Intn(len(tpchSegments))],
+			rng.Float64()*11000-1000, 10+rng.Intn(25), rng.Intn(1000), rng.Intn(10000)))
+	}
+	if err := insertBatch(e, "customer", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nPart; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, 'part name %d', '%s', %d, '%s', %.2f, 'Brand#%d%d')",
+			i, i, tpchTypes[rng.Intn(len(tpchTypes))], 1+rng.Intn(50),
+			tpchContainers[rng.Intn(len(tpchContainers))], 900+rng.Float64()*1100,
+			1+rng.Intn(5), 1+rng.Intn(5)))
+	}
+	if err := insertBatch(e, "part", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	for i := 1; i <= nPart; i++ {
+		for s := 0; s < 2; s++ {
+			rows = append(rows, fmt.Sprintf("(%d, %d, %d, %.2f)",
+				i, 1+rng.Intn(nSupp), rng.Intn(10000), rng.Float64()*1000))
+		}
+	}
+	if err := insertBatch(e, "partsupp", rows); err != nil {
+		return err
+	}
+
+	rows = rows[:0]
+	lineRows := make([]string, 0, nOrders*nLinePerOrder)
+	for i := 1; i <= nOrders; i++ {
+		odate := date(rng, 1992, 1998)
+		rows = append(rows, fmt.Sprintf("(%d, %d, '%s', %.2f, '%s', '%s', %d)",
+			i, 1+rng.Intn(nCust), tpchStatus[rng.Intn(3)], 1000+rng.Float64()*450000,
+			odate, tpchPriorities[rng.Intn(5)], rng.Intn(2)))
+		nl := 1 + rng.Intn(nLinePerOrder)
+		for ln := 1; ln <= nl; ln++ {
+			lineRows = append(lineRows, fmt.Sprintf("(%d, %d, %d, %d, %.1f, %.2f, %.2f, %.2f, '%s', '%s', '%s', '%s', '%s', '%s')",
+				i, 1+rng.Intn(nPart), 1+rng.Intn(nSupp), ln, 1+rng.Float64()*49,
+				900+rng.Float64()*100000, rng.Float64()*0.1, rng.Float64()*0.08,
+				[]string{"R", "A", "N"}[rng.Intn(3)], []string{"O", "F"}[rng.Intn(2)],
+				date(rng, 1992, 1998), date(rng, 1992, 1998), date(rng, 1992, 1998),
+				tpchModes[rng.Intn(len(tpchModes))]))
+		}
+	}
+	if err := insertBatch(e, "orders", rows); err != nil {
+		return err
+	}
+	return insertBatch(e, "lineitem", lineRows)
+}
+
+// TPCHForeignKeys returns the join graph of the TPC-H schema, used by the
+// random query generator.
+func TPCHForeignKeys() []FK {
+	return []FK{
+		{"nation", "n_regionkey", "region", "r_regionkey"},
+		{"supplier", "s_nationkey", "nation", "n_nationkey"},
+		{"customer", "c_nationkey", "nation", "n_nationkey"},
+		{"partsupp", "ps_partkey", "part", "p_partkey"},
+		{"partsupp", "ps_suppkey", "supplier", "s_suppkey"},
+		{"orders", "o_custkey", "customer", "c_custkey"},
+		{"lineitem", "l_orderkey", "orders", "o_orderkey"},
+		{"lineitem", "l_partkey", "part", "p_partkey"},
+		{"lineitem", "l_suppkey", "supplier", "s_suppkey"},
+	}
+}
+
+// TPCHWorkload returns the 22 TPC-H benchmark queries, adapted to the SQL
+// subset of the substrate engine (correlated subqueries and views are
+// rewritten into joins or pre-aggregations; the analytical intent — the
+// tables touched, the join shape, the aggregation — is preserved).
+// DESIGN.md documents the adaptation.
+func TPCHWorkload() []Workload {
+	return []Workload{
+		{"Q1", `SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+			SUM(l_extendedprice) AS sum_base_price,
+			SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+			AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price,
+			AVG(l_discount) AS avg_disc, COUNT(*) AS count_order
+			FROM lineitem WHERE l_shipdate <= '1998-09-02'
+			GROUP BY l_returnflag, l_linestatus
+			ORDER BY l_returnflag, l_linestatus`},
+		{"Q2", `SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, ps.ps_supplycost
+			FROM part p, supplier s, partsupp ps, nation n, region r
+			WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+			AND p.p_size = 15 AND s.s_nationkey = n.n_nationkey
+			AND n.n_regionkey = r.r_regionkey AND r.r_name = 'EUROPE'
+			ORDER BY s.s_acctbal DESC, n.n_name, s.s_name LIMIT 100`},
+		{"Q3", `SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+			o.o_orderdate, o.o_shippriority
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey
+			AND l.l_orderkey = o.o_orderkey AND o.o_orderdate < '1995-03-15'
+			AND l.l_shipdate > '1995-03-15'
+			GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+			ORDER BY revenue DESC, o.o_orderdate LIMIT 10`},
+		{"Q4", `SELECT o.o_orderpriority, COUNT(*) AS order_count
+			FROM orders o, lineitem l
+			WHERE o.o_orderdate >= '1993-07-01' AND o.o_orderdate < '1993-10-01'
+			AND l.l_orderkey = o.o_orderkey AND l.l_commitdate < l.l_receiptdate
+			GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`},
+		{"Q5", `SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+			AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			AND r.r_name = 'ASIA' AND o.o_orderdate >= '1994-01-01'
+			AND o.o_orderdate < '1995-01-01'
+			GROUP BY n.n_name ORDER BY revenue DESC`},
+		{"Q6", `SELECT SUM(l_extendedprice * l_discount) AS revenue
+			FROM lineitem WHERE l_shipdate >= '1994-01-01' AND l_shipdate < '1995-01-01'
+			AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`},
+		{"Q7", `SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM supplier s, lineitem l, orders o, customer c, nation n
+			WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			AND c.c_custkey = o.o_custkey AND s.s_nationkey = n.n_nationkey
+			AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+			GROUP BY n.n_name ORDER BY n.n_name`},
+		{"Q8", `SELECT o.o_orderdate, SUM(l.l_extendedprice * (1 - l.l_discount)) AS volume
+			FROM part p, supplier s, lineitem l, orders o, customer c, nation n, region r
+			WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+			AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+			AND c.c_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			AND r.r_name = 'AMERICA' AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+			AND p.p_type = 'ECONOMY BRASS'
+			GROUP BY o.o_orderdate ORDER BY o.o_orderdate`},
+		{"Q9", `SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS profit
+			FROM part p, supplier s, lineitem l, partsupp ps, nation n
+			WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+			AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+			AND s.s_nationkey = n.n_nationkey AND p.p_name LIKE '%5%'
+			GROUP BY n.n_name ORDER BY n.n_name`},
+		{"Q10", `SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+			c.c_acctbal, n.n_name
+			FROM customer c, orders o, lineitem l, nation n
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			AND o.o_orderdate >= '1993-10-01' AND o.o_orderdate < '1994-01-01'
+			AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+			GROUP BY c.c_custkey, c.c_name, c.c_acctbal, n.n_name
+			ORDER BY revenue DESC LIMIT 20`},
+		{"Q11", `SELECT ps.ps_partkey, SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+			FROM partsupp ps, supplier s, nation n
+			WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+			AND n.n_name = 'NATION07'
+			GROUP BY ps.ps_partkey HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > 100
+			ORDER BY value DESC`},
+		{"Q12", `SELECT l.l_shipmode, COUNT(*) AS mode_count
+			FROM orders o, lineitem l
+			WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP')
+			AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+			AND l.l_receiptdate >= '1994-01-01' AND l.l_receiptdate < '1995-01-01'
+			GROUP BY l.l_shipmode ORDER BY l.l_shipmode`},
+		{"Q13", `SELECT c.c_custkey, COUNT(*) AS c_count
+			FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey
+			GROUP BY c.c_custkey ORDER BY c_count DESC LIMIT 50`},
+		{"Q14", `SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+			FROM lineitem l, part p
+			WHERE l.l_partkey = p.p_partkey AND l.l_shipdate >= '1995-09-01'
+			AND l.l_shipdate < '1995-10-01' AND p.p_type LIKE 'PROMO%'`},
+		{"Q15", `SELECT l_suppkey, SUM(l_extendedprice * (1 - l_discount)) AS total_revenue
+			FROM lineitem WHERE l_shipdate >= '1996-01-01' AND l_shipdate < '1996-04-01'
+			GROUP BY l_suppkey ORDER BY total_revenue DESC LIMIT 1`},
+		{"Q16", `SELECT p.p_brand, p.p_type, p.p_size, COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+			FROM partsupp ps, part p
+			WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45'
+			AND p.p_size IN (1, 9, 14, 19, 23, 36, 45, 49)
+			GROUP BY p.p_brand, p.p_type, p.p_size
+			ORDER BY supplier_cnt DESC, p.p_brand LIMIT 50`},
+		{"Q17", `SELECT AVG(l.l_extendedprice) AS avg_yearly
+			FROM lineitem l, part p
+			WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23'
+			AND p.p_container = 'MED BOX' AND l.l_quantity < 10`},
+		{"Q18", `SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice, SUM(l.l_quantity) AS total_qty
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+			AND o.o_totalprice > 300000
+			GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+			HAVING SUM(l.l_quantity) > 100
+			ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 100`},
+		{"Q19", `SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l, part p
+			WHERE p.p_partkey = l.l_partkey AND p.p_container IN ('SM CASE', 'SM BOX')
+			AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5
+			AND l.l_shipmode IN ('AIR', 'REG AIR')`},
+		{"Q20", `SELECT s.s_name, s.s_acctbal
+			FROM supplier s, nation n
+			WHERE s.s_nationkey = n.n_nationkey AND n.n_name = 'NATION03'
+			AND s.s_suppkey IN (SELECT ps_suppkey FROM partsupp WHERE ps_availqty > 5000)
+			ORDER BY s.s_name`},
+		{"Q21", `SELECT s.s_name, COUNT(*) AS numwait
+			FROM supplier s, lineitem l, orders o, nation n
+			WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			AND o.o_orderstatus = 'F' AND l.l_receiptdate > l.l_commitdate
+			AND s.s_nationkey = n.n_nationkey
+			GROUP BY s.s_name ORDER BY numwait DESC, s.s_name LIMIT 100`},
+		{"Q22", `SELECT c.c_nationkey, COUNT(*) AS numcust, SUM(c.c_acctbal) AS totacctbal
+			FROM customer c
+			WHERE c.c_acctbal > 0 AND c.c_custkey NOT IN (SELECT o_custkey FROM orders)
+			GROUP BY c.c_nationkey ORDER BY c.c_nationkey`},
+	}
+}

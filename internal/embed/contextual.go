@@ -1,0 +1,233 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+
+	"lantern/internal/nn"
+)
+
+// ContextualMode selects which pre-trained contextual family is simulated.
+type ContextualMode int
+
+// The two contextual extraction modes. Both read a bidirectional LSTM
+// language model; they differ in how a word's representation is extracted,
+// mirroring the paper's usage: BERT takes "the representation from its last
+// layer", ELMo takes "a linear combination of the vectors" of its layers
+// (here: the hidden layer mixed with the tiled input embedding).
+const (
+	ModeBERT ContextualMode = iota
+	ModeELMo
+)
+
+// ContextualConfig controls biLM training.
+type ContextualConfig struct {
+	Dim    int // output vector dimension (hidden is Dim/2 per direction)
+	EmbDim int // internal input embedding size
+	Epochs int
+	LR     float64
+	Seed   int64
+	Mode   ContextualMode
+}
+
+// DefaultContextual returns a configuration for the given output dimension
+// (the paper's are 768 for BERT and 1024 for ELMo).
+func DefaultContextual(dim int, mode ContextualMode) ContextualConfig {
+	return ContextualConfig{Dim: dim, EmbDim: 16, Epochs: 3, LR: 0.05, Seed: 1, Mode: mode}
+}
+
+// BiLM is a trained bidirectional LSTM language model from which
+// contextual word vectors are extracted.
+type BiLM struct {
+	cfg   ContextualConfig
+	vocab []string
+	idx   map[string]int
+	emb   *nn.Mat
+	fwd   *nn.LSTMCell
+	bwd   *nn.LSTMCell
+	wOutF *nn.Mat
+	wOutB *nn.Mat
+}
+
+// TrainBiLM trains the forward and backward language models on the corpus
+// with plain SGD and cross-entropy (next-token / previous-token targets).
+func TrainBiLM(corpus [][]string, cfg ContextualConfig) *BiLM {
+	vocab, _ := buildVocab(corpus, 1)
+	idx := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		idx[w] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hidden := cfg.Dim / 2
+	if hidden < 1 {
+		hidden = 1
+	}
+	m := &BiLM{
+		cfg: cfg, vocab: vocab, idx: idx,
+		emb:   nn.NewMatUniform(len(vocab), cfg.EmbDim, 0.1, rng),
+		fwd:   nn.NewLSTMCell(cfg.EmbDim, hidden, 0.1, rng),
+		bwd:   nn.NewLSTMCell(cfg.EmbDim, hidden, 0.1, rng),
+		wOutF: nn.NewMatUniform(len(vocab), hidden, 0.1, rng),
+		wOutB: nn.NewMatUniform(len(vocab), hidden, 0.1, rng),
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range corpus {
+			if len(sent) < 2 {
+				continue
+			}
+			m.trainDirection(sent, false)
+			m.trainDirection(sent, true)
+		}
+	}
+	return m
+}
+
+// trainDirection runs one truncated-BPTT pass over a sentence in the given
+// direction (reverse = backward LM). Gradients are applied per sentence.
+func (m *BiLM) trainDirection(sent []string, reverse bool) {
+	hidden := len(m.wOutF.Row(0))
+	cell, wOut := m.fwd, m.wOutF
+	if reverse {
+		cell, wOut = m.bwd, m.wOutB
+	}
+	seq := make([]int, len(sent))
+	for i, w := range sent {
+		seq[i] = m.idx[w]
+	}
+	if reverse {
+		for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+			seq[i], seq[j] = seq[j], seq[i]
+		}
+	}
+	h := make([]float64, hidden)
+	c := make([]float64, hidden)
+	type step struct {
+		state *nn.LSTMState
+		probs []float64
+		tok   int
+		tgt   int
+	}
+	var steps []step
+	for t := 0; t+1 < len(seq); t++ {
+		st := cell.Forward(m.emb.Row(seq[t]), h, c)
+		probs := softmaxSlice(wOut.MulVec(st.H()))
+		steps = append(steps, step{state: st, probs: probs, tok: seq[t], tgt: seq[t+1]})
+		h, c = st.H(), st.C()
+	}
+	dhNext := make([]float64, hidden)
+	dcNext := make([]float64, hidden)
+	for t := len(steps) - 1; t >= 0; t-- {
+		s := steps[t]
+		dLogits := make([]float64, len(s.probs))
+		copy(dLogits, s.probs)
+		dLogits[s.tgt] -= 1
+		wOut.AddOuterGrad(dLogits, s.state.H())
+		dH := wOut.MulVecT(dLogits)
+		for k := range dhNext {
+			dH[k] += dhNext[k]
+		}
+		dhPrev, dcPrev, dX := cell.Backward(s.state, dH, dcNext)
+		for k, v := range dX {
+			m.emb.GradRow(s.tok)[k] += v
+		}
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+	lr := m.cfg.LR
+	m.emb.Step(lr)
+	wOut.Step(lr)
+	for _, p := range cell.Params() {
+		p.Step(lr)
+	}
+}
+
+func softmaxSlice(xs []float64) []float64 {
+	max := xs[0]
+	for _, v := range xs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// ExtractStatic averages each word's contextual representation over its
+// occurrences in the corpus, producing the fixed decoder-embedding table
+// the QEP2Seq model consumes.
+func (m *BiLM) ExtractStatic(corpus [][]string) *Embedding {
+	name := "bert"
+	if m.cfg.Mode == ModeELMo {
+		name = "elmo"
+	}
+	e := NewEmbedding(name, m.cfg.Dim)
+	sums := make(map[string][]float64)
+	counts := make(map[string]int)
+	hidden := m.cfg.Dim / 2
+	for _, sent := range corpus {
+		fwdH := m.runDirection(sent, false)
+		bwdH := m.runDirection(sent, true)
+		for i, w := range sent {
+			vec := make([]float64, m.cfg.Dim)
+			copy(vec[:hidden], fwdH[i])
+			copy(vec[hidden:], bwdH[len(sent)-1-i])
+			if m.cfg.Mode == ModeELMo {
+				// Linear combination with the (tiled) input embedding layer.
+				embRow := m.emb.Row(m.idx[w])
+				for k := range vec {
+					vec[k] = 0.5*vec[k] + 0.5*embRow[k%len(embRow)]
+				}
+			}
+			if sums[w] == nil {
+				sums[w] = make([]float64, m.cfg.Dim)
+			}
+			for k, v := range vec {
+				sums[w][k] += v
+			}
+			counts[w]++
+		}
+	}
+	for w, sum := range sums {
+		for k := range sum {
+			sum[k] /= float64(counts[w])
+		}
+		e.Set(w, sum)
+	}
+	return e
+}
+
+// runDirection returns per-position hidden states in the given direction.
+func (m *BiLM) runDirection(sent []string, reverse bool) [][]float64 {
+	hidden := m.cfg.Dim / 2
+	cell := m.fwd
+	if reverse {
+		cell = m.bwd
+	}
+	seq := make([]int, len(sent))
+	for i, w := range sent {
+		if id, ok := m.idx[w]; ok {
+			seq[i] = id
+		}
+	}
+	if reverse {
+		for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+			seq[i], seq[j] = seq[j], seq[i]
+		}
+	}
+	h := make([]float64, hidden)
+	c := make([]float64, hidden)
+	out := make([][]float64, len(seq))
+	for t, tok := range seq {
+		st := cell.Forward(m.emb.Row(tok), h, c)
+		h, c = st.H(), st.C()
+		out[t] = h
+	}
+	return out
+}

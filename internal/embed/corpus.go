@@ -1,0 +1,75 @@
+package embed
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// GenericCorpus generates the bundled "pre-training" corpus: a deterministic
+// synthetic stand-in for the web-scale corpora (Wikipedia, Google News) the
+// paper's downloaded vectors were trained on. It interleaves general-English
+// template sentences with database-flavoured ones so that every word
+// RULE-LANTERN can emit appears in many varied contexts — the property that
+// makes pre-trained vectors beat self-trained ones in Figure 7(a).
+func GenericCorpus(nSentences int, seed int64) [][]string {
+	rng := rand.New(rand.NewSource(seed))
+	subjects := []string{
+		"the system", "a database", "the engine", "every student", "the teacher",
+		"a learner", "the optimizer", "the server", "an application", "the library",
+		"a scientist", "the planner", "our team", "the museum", "a visitor",
+	}
+	verbs := []string{
+		"will perform", "can execute", "should run", "must process", "might compute",
+		"will sort", "can filter", "should join", "must scan", "will aggregate",
+		"can materialize", "should keep", "will produce", "can acquire", "must obtain",
+	}
+	objects := []string{
+		"the sequential scan", "an index scan", "the hash join", "a merge join",
+		"the nested loop join", "every relation", "the intermediate relation",
+		"a temporary table", "the final results", "the requested rows",
+		"a grouping attribute", "the sort order", "the filtering condition",
+		"a join condition", "the duplicate removal", "the first rows",
+		"an aggregate", "the hash table", "an index structure", "the output",
+	}
+	tails := []string{
+		"quickly and carefully", "to get the final results", "on the condition given",
+		"with grouping on attribute values", "and filtering on a predicate",
+		"using an index on the key", "before sorting the output",
+		"to obtain the outcome", "while separating the rows", "after hashing the input",
+		"during the evaluation", "in a single pass", "and keep only matching tuples",
+		"by merging sorted inputs", "through repeated probing",
+	}
+	connectors := []string{
+		"meanwhile", "therefore", "however", "in practice", "for example",
+		"as a result", "in the classroom", "during the lecture", "at scale",
+	}
+	out := make([][]string, 0, nSentences)
+	for i := 0; i < nSentences; i++ {
+		var parts []string
+		if rng.Float64() < 0.3 {
+			parts = append(parts, connectors[rng.Intn(len(connectors))])
+		}
+		parts = append(parts,
+			subjects[rng.Intn(len(subjects))],
+			verbs[rng.Intn(len(verbs))],
+			objects[rng.Intn(len(objects))],
+			tails[rng.Intn(len(tails))],
+		)
+		sentence := strings.Fields(strings.ToLower(strings.Join(parts, " ")))
+		out = append(out, sentence)
+	}
+	return out
+}
+
+// TokenizeCorpus splits raw sentences into the token format the trainers
+// consume (lower-cased whitespace tokens).
+func TokenizeCorpus(sentences []string) [][]string {
+	out := make([][]string, 0, len(sentences))
+	for _, s := range sentences {
+		toks := strings.Fields(strings.ToLower(s))
+		if len(toks) > 0 {
+			out = append(out, toks)
+		}
+	}
+	return out
+}

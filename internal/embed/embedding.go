@@ -1,0 +1,106 @@
+// Package embed trains the word vectors NEURAL-LANTERN's decoder consumes
+// (paper §6.4.1): Word2Vec (skip-gram with negative sampling, [38]), GloVe
+// (weighted least squares over co-occurrence counts, [44]), and contextual
+// vectors from a bidirectional LSTM language model standing in for ELMo [45]
+// and BERT [23].
+//
+// Substitution note (see DESIGN.md): the paper downloads checkpoints
+// pre-trained on web-scale corpora. Offline, we train the same model
+// families at the paper's dimensions on a bundled synthetic generic corpus
+// (corpus.go) that is much larger and more varied than the task corpus.
+// The paper's comparisons are relative — pre-trained beats random
+// initialization and beats self-training on RULE-LANTERN output — and those
+// relatives are preserved.
+package embed
+
+import (
+	"math"
+	"sort"
+)
+
+// Embedding is a static word-vector table.
+type Embedding struct {
+	Name string
+	Dim  int
+	vecs map[string][]float64
+}
+
+// NewEmbedding creates an empty table.
+func NewEmbedding(name string, dim int) *Embedding {
+	return &Embedding{Name: name, Dim: dim, vecs: make(map[string][]float64)}
+}
+
+// Set stores a word vector.
+func (e *Embedding) Set(word string, vec []float64) { e.vecs[word] = vec }
+
+// Vector returns the vector for a word; unknown words get the zero vector.
+func (e *Embedding) Vector(word string) []float64 {
+	if v, ok := e.vecs[word]; ok {
+		return v
+	}
+	return make([]float64, e.Dim)
+}
+
+// Has reports whether the word is in the table.
+func (e *Embedding) Has(word string) bool {
+	_, ok := e.vecs[word]
+	return ok
+}
+
+// Words lists the vocabulary, sorted.
+func (e *Embedding) Words() []string {
+	out := make([]string, 0, len(e.vecs))
+	for w := range e.vecs {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Matrix materializes rows for the given vocabulary, in order — the shape
+// nn.Model.SetDecoderEmbedding expects.
+func (e *Embedding) Matrix(vocab []string) [][]float64 {
+	out := make([][]float64, len(vocab))
+	for i, w := range vocab {
+		v := e.Vector(w)
+		row := make([]float64, e.Dim)
+		copy(row, v)
+		out[i] = row
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two words (0 when either vector
+// is zero).
+func (e *Embedding) Cosine(a, b string) float64 {
+	va, vb := e.Vector(a), e.Vector(b)
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := range va {
+		dot += va[i] * vb[i]
+		na += va[i] * va[i]
+		nb += vb[i] * vb[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// buildVocab returns words with at least minCount occurrences, plus the
+// total token count and per-word counts.
+func buildVocab(corpus [][]string, minCount int) ([]string, map[string]int) {
+	counts := make(map[string]int)
+	for _, sent := range corpus {
+		for _, w := range sent {
+			counts[w]++
+		}
+	}
+	var vocab []string
+	for w, c := range counts {
+		if c >= minCount {
+			vocab = append(vocab, w)
+		}
+	}
+	sort.Strings(vocab)
+	return vocab, counts
+}

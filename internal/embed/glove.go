@@ -1,0 +1,109 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GloVeConfig controls GloVe training.
+type GloVeConfig struct {
+	Dim    int
+	Window int
+	Epochs int
+	LR     float64
+	XMax   float64 // weighting cutoff, paper value 100 (scaled corpora use less)
+	Seed   int64
+}
+
+// DefaultGloVe returns a configuration suited to the bundled corpus.
+func DefaultGloVe(dim int) GloVeConfig {
+	return GloVeConfig{Dim: dim, Window: 4, Epochs: 25, LR: 0.05, XMax: 20, Seed: 1}
+}
+
+// TrainGloVe trains GloVe vectors [44]: stochastic gradient descent on the
+// weighted least-squares objective
+//
+//	Σ_{ij} f(X_ij) (w_iᵀ w̃_j + b_i + b̃_j − log X_ij)²
+//
+// over the corpus co-occurrence matrix X with f(x) = min(1, (x/xmax)^α).
+func TrainGloVe(corpus [][]string, cfg GloVeConfig) *Embedding {
+	vocab, _ := buildVocab(corpus, 1)
+	idx := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		idx[w] = i
+	}
+	// Co-occurrence counts with distance weighting 1/d.
+	type pair struct{ i, j int }
+	cooc := make(map[pair]float64)
+	for _, sent := range corpus {
+		for pos, word := range sent {
+			wi := idx[word]
+			for d := 1; d <= cfg.Window && pos+d < len(sent); d++ {
+				wj := idx[sent[pos+d]]
+				cooc[pair{wi, wj}] += 1 / float64(d)
+				cooc[pair{wj, wi}] += 1 / float64(d)
+			}
+		}
+	}
+	type entry struct {
+		i, j int
+		x    float64
+	}
+	entries := make([]entry, 0, len(cooc))
+	for p, x := range cooc {
+		entries = append(entries, entry{p.i, p.j, x})
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := len(vocab)
+	w := randMat(v, cfg.Dim, rng)
+	wt := randMat(v, cfg.Dim, rng)
+	b := make([]float64, v)
+	bt := make([]float64, v)
+
+	const alpha = 0.75
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(entries), func(a, c int) { entries[a], entries[c] = entries[c], entries[a] })
+		for _, e := range entries {
+			weight := 1.0
+			if e.x < cfg.XMax {
+				weight = math.Pow(e.x/cfg.XMax, alpha)
+			}
+			dot := b[e.i] + bt[e.j]
+			for k := 0; k < cfg.Dim; k++ {
+				dot += w[e.i][k] * wt[e.j][k]
+			}
+			diff := dot - math.Log(e.x)
+			g := cfg.LR * weight * diff
+			for k := 0; k < cfg.Dim; k++ {
+				wi, wj := w[e.i][k], wt[e.j][k]
+				w[e.i][k] -= g * wj
+				wt[e.j][k] -= g * wi
+			}
+			b[e.i] -= g
+			bt[e.j] -= g
+		}
+	}
+
+	// Final vectors are the sum of the two roles, as in the GloVe paper.
+	e := NewEmbedding("glove", cfg.Dim)
+	for i, word := range vocab {
+		vec := make([]float64, cfg.Dim)
+		for k := 0; k < cfg.Dim; k++ {
+			vec[k] = w[i][k] + wt[i][k]
+		}
+		e.Set(word, vec)
+	}
+	return e
+}
+
+func randMat(r, c int, rng *rand.Rand) [][]float64 {
+	out := make([][]float64, r)
+	for i := range out {
+		out[i] = make([]float64, c)
+		for j := range out[i] {
+			out[i][j] = (rng.Float64() - 0.5) / float64(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Word2VecConfig controls skip-gram training.
+type Word2VecConfig struct {
+	Dim       int
+	Window    int // context window radius
+	Negatives int // negative samples per positive pair
+	Epochs    int
+	LR        float64
+	MinCount  int
+	Seed      int64
+}
+
+// DefaultWord2Vec matches a scaled-down word2vec run (the paper uses the
+// 128-dimensional Google News vectors; dimension is caller-chosen).
+func DefaultWord2Vec(dim int) Word2VecConfig {
+	return Word2VecConfig{Dim: dim, Window: 3, Negatives: 5, Epochs: 8, LR: 0.05, MinCount: 1, Seed: 1}
+}
+
+// TrainWord2Vec trains skip-gram-with-negative-sampling vectors [38] on a
+// tokenized corpus.
+func TrainWord2Vec(corpus [][]string, cfg Word2VecConfig) *Embedding {
+	vocab, counts := buildVocab(corpus, cfg.MinCount)
+	idx := make(map[string]int, len(vocab))
+	for i, w := range vocab {
+		idx[w] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	v := len(vocab)
+	in := make([][]float64, v)  // input (center) vectors
+	out := make([][]float64, v) // output (context) vectors
+	for i := 0; i < v; i++ {
+		in[i] = make([]float64, cfg.Dim)
+		out[i] = make([]float64, cfg.Dim)
+		for j := range in[i] {
+			in[i][j] = (rng.Float64() - 0.5) / float64(cfg.Dim)
+		}
+	}
+
+	// Unigram^0.75 negative-sampling table.
+	table := buildUnigramTable(vocab, counts)
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, sent := range corpus {
+			for pos, word := range sent {
+				ci, ok := idx[word]
+				if !ok {
+					continue
+				}
+				lo := pos - cfg.Window
+				if lo < 0 {
+					lo = 0
+				}
+				hi := pos + cfg.Window
+				if hi >= len(sent) {
+					hi = len(sent) - 1
+				}
+				for cpos := lo; cpos <= hi; cpos++ {
+					if cpos == pos {
+						continue
+					}
+					ti, ok := idx[sent[cpos]]
+					if !ok {
+						continue
+					}
+					trainPair(in[ci], out, ti, table, cfg, rng)
+				}
+			}
+		}
+	}
+
+	e := NewEmbedding("word2vec", cfg.Dim)
+	for i, w := range vocab {
+		e.Set(w, in[i])
+	}
+	return e
+}
+
+// trainPair applies one positive update and cfg.Negatives negative ones.
+func trainPair(center []float64, out [][]float64, target int, table []int, cfg Word2VecConfig, rng *rand.Rand) {
+	grad := make([]float64, cfg.Dim)
+	update := func(ti int, label float64) {
+		o := out[ti]
+		dot := 0.0
+		for j := range center {
+			dot += center[j] * o[j]
+		}
+		g := (sigmoidf(dot) - label) * cfg.LR
+		for j := range center {
+			grad[j] += g * o[j]
+			o[j] -= g * center[j]
+		}
+	}
+	update(target, 1)
+	for n := 0; n < cfg.Negatives; n++ {
+		ni := table[rng.Intn(len(table))]
+		if ni == target {
+			continue
+		}
+		update(ni, 0)
+	}
+	for j := range center {
+		center[j] -= grad[j]
+	}
+}
+
+func sigmoidf(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// buildUnigramTable returns a sampling table where word i appears
+// proportionally to count^0.75 (word2vec's negative-sampling distribution).
+func buildUnigramTable(vocab []string, counts map[string]int) []int {
+	const tableSize = 10000
+	total := 0.0
+	pows := make([]float64, len(vocab))
+	for i, w := range vocab {
+		pows[i] = math.Pow(float64(counts[w]), 0.75)
+		total += pows[i]
+	}
+	table := make([]int, 0, tableSize)
+	for i := range vocab {
+		n := int(pows[i] / total * tableSize)
+		if n < 1 {
+			n = 1
+		}
+		for k := 0; k < n; k++ {
+			table = append(table, i)
+		}
+	}
+	return table
+}

@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"math"
+
+	"lantern/internal/catalog"
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+)
+
+// Cost model constants, in abstract cost units loosely patterned after
+// PostgreSQL's (sequential page fetch = 1.0 baseline).
+const (
+	cpuTupleCost   = 0.01 // per tuple processed
+	cpuOperCost    = 0.0025
+	seqTupleCost   = 0.05 // per tuple of sequential scan (page amortized)
+	randTupleCost  = 0.2  // per tuple fetched through an index
+	hashBuildCost  = 0.02 // per tuple inserted into a hash table
+	sortCostFactor = 0.02 // multiplied by N log2 N
+	defaultSel     = 1.0 / 3.0
+	eqDefaultSel   = 0.005
+	likeSel        = 0.05
+)
+
+// selectivityEstimator estimates predicate selectivities from catalog
+// statistics. tableOf maps an alias to its base table name.
+type selectivityEstimator struct {
+	cat     *catalog.Catalog
+	tableOf map[string]string
+}
+
+// selectivity returns the estimated fraction of rows satisfying e.
+func (s *selectivityEstimator) selectivity(e sqlparser.Expr) float64 {
+	switch ex := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch ex.Op {
+		case sqlparser.OpAnd:
+			return s.selectivity(ex.Left) * s.selectivity(ex.Right)
+		case sqlparser.OpOr:
+			l, r := s.selectivity(ex.Left), s.selectivity(ex.Right)
+			return l + r - l*r
+		case sqlparser.OpEq:
+			return s.eqSelectivity(ex)
+		case sqlparser.OpNe:
+			return 1 - s.eqSelectivity(ex)
+		case sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+			return s.rangeSelectivity(ex)
+		}
+		return defaultSel
+	case *sqlparser.UnaryExpr:
+		if ex.Op == '!' {
+			return clampSel(1 - s.selectivity(ex.X))
+		}
+		return defaultSel
+	case *sqlparser.LikeExpr:
+		if ex.Not {
+			return clampSel(1 - likeSel)
+		}
+		return likeSel
+	case *sqlparser.BetweenExpr:
+		// Treated as two range predicates.
+		return clampSel(defaultSel * defaultSel * 4)
+	case *sqlparser.InExpr:
+		if col, ok := ex.X.(*sqlparser.ColumnRef); ok && len(ex.List) > 0 {
+			ndv := s.ndv(col)
+			if ndv > 0 {
+				sel := float64(len(ex.List)) / float64(ndv)
+				if ex.Not {
+					sel = 1 - sel
+				}
+				return clampSel(sel)
+			}
+		}
+		return defaultSel
+	case *sqlparser.IsNullExpr:
+		if col, ok := ex.X.(*sqlparser.ColumnRef); ok {
+			if cs, ok := s.colStats(col); ok {
+				if ex.Not {
+					return clampSel(1 - cs.NullFraction)
+				}
+				return clampSel(cs.NullFraction)
+			}
+		}
+		return 0.01
+	}
+	return defaultSel
+}
+
+func (s *selectivityEstimator) colStats(c *sqlparser.ColumnRef) (catalog.ColumnStats, bool) {
+	tbl := c.Table
+	if mapped, ok := s.tableOf[tbl]; ok {
+		tbl = mapped
+	}
+	if tbl == "" {
+		// Unqualified: try every table for a unique owner.
+		for _, base := range s.tableOf {
+			if cs, err := s.cat.ColumnStats(base, c.Name); err == nil {
+				return cs, true
+			}
+		}
+		return catalog.ColumnStats{}, false
+	}
+	cs, err := s.cat.ColumnStats(tbl, c.Name)
+	if err != nil {
+		return catalog.ColumnStats{}, false
+	}
+	return cs, true
+}
+
+// ndv returns the distinct count for a column, or 0 when unknown.
+func (s *selectivityEstimator) ndv(c *sqlparser.ColumnRef) int {
+	if cs, ok := s.colStats(c); ok {
+		return cs.Distinct
+	}
+	return 0
+}
+
+func (s *selectivityEstimator) eqSelectivity(ex *sqlparser.BinaryExpr) float64 {
+	if col, ok := ex.Left.(*sqlparser.ColumnRef); ok {
+		if _, isLit := ex.Right.(*sqlparser.Literal); isLit {
+			if ndv := s.ndv(col); ndv > 0 {
+				return clampSel(1 / float64(ndv))
+			}
+		}
+	}
+	if col, ok := ex.Right.(*sqlparser.ColumnRef); ok {
+		if _, isLit := ex.Left.(*sqlparser.Literal); isLit {
+			if ndv := s.ndv(col); ndv > 0 {
+				return clampSel(1 / float64(ndv))
+			}
+		}
+	}
+	return eqDefaultSel
+}
+
+// rangeSelectivity interpolates a comparison against a literal within the
+// column's [min, max] interval when statistics allow it.
+func (s *selectivityEstimator) rangeSelectivity(ex *sqlparser.BinaryExpr) float64 {
+	col, okc := ex.Left.(*sqlparser.ColumnRef)
+	lit, okl := ex.Right.(*sqlparser.Literal)
+	op := ex.Op
+	if !okc || !okl {
+		// literal <op> column: flip.
+		col, okc = ex.Right.(*sqlparser.ColumnRef)
+		lit, okl = ex.Left.(*sqlparser.Literal)
+		if !okc || !okl {
+			return defaultSel
+		}
+		switch op {
+		case sqlparser.OpLt:
+			op = sqlparser.OpGt
+		case sqlparser.OpLe:
+			op = sqlparser.OpGe
+		case sqlparser.OpGt:
+			op = sqlparser.OpLt
+		case sqlparser.OpGe:
+			op = sqlparser.OpLe
+		}
+	}
+	cs, ok := s.colStats(col)
+	if !ok || cs.Min.IsNull() || cs.Max.IsNull() || !cs.Min.IsNumeric() || !lit.Value.IsNumeric() {
+		return defaultSel
+	}
+	lo, hi, v := cs.Min.Float(), cs.Max.Float(), lit.Value.Float()
+	if hi <= lo {
+		return defaultSel
+	}
+	frac := (v - lo) / (hi - lo)
+	frac = math.Max(0, math.Min(1, frac))
+	switch op {
+	case sqlparser.OpLt, sqlparser.OpLe:
+		return clampSel(frac)
+	case sqlparser.OpGt, sqlparser.OpGe:
+		return clampSel(1 - frac)
+	}
+	return defaultSel
+}
+
+func clampSel(s float64) float64 {
+	if s < 0.0001 {
+		return 0.0001
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+// --- Operator cost formulas ----------------------------------------------
+
+func seqScanCost(rows float64) float64 {
+	return rows * (seqTupleCost + cpuTupleCost)
+}
+
+func indexScanCost(tableRows, matchRows float64) float64 {
+	if tableRows < 1 {
+		tableRows = 1
+	}
+	return math.Log2(tableRows+1)*cpuOperCost*10 + matchRows*randTupleCost
+}
+
+func sortCost(rows float64) float64 {
+	if rows < 2 {
+		return cpuOperCost
+	}
+	return sortCostFactor * rows * math.Log2(rows)
+}
+
+func hashJoinCost(build, probe, out float64) float64 {
+	return build*hashBuildCost + probe*cpuTupleCost + out*cpuTupleCost
+}
+
+func mergeJoinCost(left, right, out float64) float64 {
+	return (left+right)*cpuTupleCost + out*cpuTupleCost
+}
+
+func nestedLoopCost(outer, inner, out float64) float64 {
+	return outer*inner*cpuOperCost + out*cpuTupleCost
+}
+
+func hashAggCost(rows, groups float64) float64 {
+	return rows*(hashBuildCost+cpuTupleCost) + groups*cpuTupleCost
+}
+
+func groupAggCost(rows float64) float64 {
+	return rows * cpuTupleCost * 2
+}
+
+// joinCardinality estimates |L ⋈ R| for an equality join using the classic
+// containment assumption card(L)*card(R)/max(ndv_l, ndv_r).
+func joinCardinality(lRows, rRows float64, lNDV, rNDV int) float64 {
+	maxNDV := lNDV
+	if rNDV > maxNDV {
+		maxNDV = rNDV
+	}
+	if maxNDV <= 0 {
+		maxNDV = 10
+	}
+	card := lRows * rRows / float64(maxNDV)
+	if card < 1 {
+		card = 1
+	}
+	return card
+}
+
+// estimateGroups bounds the number of groups by the product of per-key
+// distinct counts, capped at the input cardinality.
+func estimateGroups(s *selectivityEstimator, keys []sqlparser.Expr, inputRows float64) float64 {
+	if len(keys) == 0 {
+		return 1
+	}
+	groups := 1.0
+	for _, k := range keys {
+		if col, ok := k.(*sqlparser.ColumnRef); ok {
+			if ndv := s.ndv(col); ndv > 0 {
+				groups *= float64(ndv)
+				continue
+			}
+		}
+		groups *= 10
+	}
+	if groups > inputRows {
+		groups = inputRows
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	return groups
+}
+
+// literalDatum extracts the literal value from an expression, if it is one.
+func literalDatum(e sqlparser.Expr) (datum.D, bool) {
+	if l, ok := e.(*sqlparser.Literal); ok {
+		return l.Value, true
+	}
+	return datum.Null, false
+}

@@ -1,0 +1,337 @@
+package engine
+
+import (
+	"fmt"
+
+	"lantern/internal/catalog"
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// Config holds the planner switches, patterned after PostgreSQL's
+// enable_* settings. They exist both for tests and for the ablation
+// benchmarks (different plan shapes produce different narrations).
+type Config struct {
+	EnableHashJoin  bool
+	EnableMergeJoin bool
+	EnableNestLoop  bool
+	EnableIndexScan bool
+	EnableHashAgg   bool
+	// DPThreshold is the largest relation count planned with exhaustive
+	// dynamic programming; larger joins fall back to greedy ordering.
+	DPThreshold int
+}
+
+// DefaultConfig enables every plan type.
+func DefaultConfig() Config {
+	return Config{
+		EnableHashJoin:  true,
+		EnableMergeJoin: true,
+		EnableNestLoop:  true,
+		EnableIndexScan: true,
+		EnableHashAgg:   true,
+		DPThreshold:     8,
+	}
+}
+
+// Engine is one database instance: a catalog plus planner configuration.
+type Engine struct {
+	Cat *catalog.Catalog
+	Cfg Config
+}
+
+// New creates an engine with an empty catalog.
+func New(cfg Config) *Engine {
+	return &Engine{Cat: catalog.New(), Cfg: cfg}
+}
+
+// NewDefault creates an engine with the default configuration.
+func NewDefault() *Engine { return New(DefaultConfig()) }
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns []string
+	Rows    []storage.Row
+	// Affected counts modified rows for DML; Plan carries EXPLAIN output.
+	Affected int
+	Plan     string
+}
+
+// Exec parses and executes a single SQL statement.
+func (e *Engine) Exec(sql string) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.ExecStmt(stmt)
+}
+
+// ExecScript executes a semicolon-separated sequence of statements,
+// returning the result of the last one.
+func (e *Engine) ExecScript(sql string) (*Result, error) {
+	stmts, err := sqlparser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, s := range stmts {
+		last, err = e.ExecStmt(s)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement.
+func (e *Engine) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return e.runSelect(s)
+	case *sqlparser.CreateTableStmt:
+		cols := make([]storage.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = storage.Column{Name: c.Name, Type: c.Type}
+		}
+		if _, err := e.Cat.CreateTable(s.Name, cols); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.CreateIndexStmt:
+		t, err := e.Cat.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex(s.Column); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.InsertStmt:
+		return e.runInsert(s)
+	case *sqlparser.UpdateStmt:
+		return e.runUpdate(s)
+	case *sqlparser.DeleteStmt:
+		return e.runDelete(s)
+	case *sqlparser.ExplainStmt:
+		return e.runExplain(s)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+}
+
+// Plan builds (but does not run) the physical plan for a SELECT.
+func (e *Engine) Plan(sel *sqlparser.SelectStmt) (*Node, error) {
+	return e.planSelect(sel)
+}
+
+// PlanSQL parses and plans a SELECT given as text.
+func (e *Engine) PlanSQL(sql string) (*Node, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.planSelect(sel)
+}
+
+// runSelect plans, executes, and projects a SELECT.
+func (e *Engine) runSelect(sel *sqlparser.SelectStmt) (*Result, error) {
+	plan, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := e.execNode(plan)
+	if err != nil {
+		return nil, err
+	}
+	return e.project(sel, plan, rows)
+}
+
+// project computes the final select items over the plan's output rows.
+func (e *Engine) project(sel *sqlparser.SelectStmt, plan *Node, rows []storage.Row) (*Result, error) {
+	res := &Result{}
+	// Expand stars into concrete schema columns.
+	type outCol struct {
+		name string
+		expr sqlparser.Expr
+		pos  int // >= 0: direct copy of plan column
+	}
+	var cols []outCol
+	for _, it := range sel.Items {
+		switch {
+		case it.Star:
+			for i, c := range plan.Schema {
+				cols = append(cols, outCol{name: c.Name, pos: i})
+			}
+		case it.TableStar != "":
+			found := false
+			for i, c := range plan.Schema {
+				if c.Qual == it.TableStar {
+					cols = append(cols, outCol{name: c.Name, pos: i})
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("engine: relation %q not found for %s.*", it.TableStar, it.TableStar)
+			}
+		default:
+			cols = append(cols, outCol{name: itemName(it), expr: it.Expr, pos: -1})
+		}
+	}
+	for _, c := range cols {
+		res.Columns = append(res.Columns, c.name)
+	}
+	ctx := &evalCtx{schema: plan.Schema, sub: e.subquery}
+	for _, r := range rows {
+		ctx.row = r
+		out := make(storage.Row, len(cols))
+		for i, c := range cols {
+			if c.pos >= 0 {
+				out[i] = r[c.pos]
+				continue
+			}
+			v, err := eval(ctx, c.expr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (e *Engine) runInsert(s *sqlparser.InsertStmt) (*Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	colPos := make([]int, 0, len(s.Columns))
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			p := t.ColumnIndex(c)
+			if p < 0 {
+				return nil, fmt.Errorf("engine: column %q of relation %q does not exist", c, s.Table)
+			}
+			colPos = append(colPos, p)
+		}
+	}
+	ctx := &evalCtx{sub: e.subquery}
+	n := 0
+	for _, exprRow := range s.Rows {
+		row := make(storage.Row, len(t.Columns))
+		for i := range row {
+			row[i] = datum.Null
+		}
+		if len(s.Columns) > 0 {
+			if len(exprRow) != len(s.Columns) {
+				return nil, fmt.Errorf("engine: INSERT has %d values but %d columns", len(exprRow), len(s.Columns))
+			}
+			for i, ex := range exprRow {
+				v, err := eval(ctx, ex)
+				if err != nil {
+					return nil, err
+				}
+				row[colPos[i]] = v
+			}
+		} else {
+			if len(exprRow) != len(t.Columns) {
+				return nil, fmt.Errorf("engine: INSERT has %d values but table has %d columns", len(exprRow), len(t.Columns))
+			}
+			for i, ex := range exprRow {
+				v, err := eval(ctx, ex)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = v
+			}
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	alias := s.Alias
+	if alias == "" {
+		alias = s.Table
+	}
+	schema := scanSchema(t, alias)
+	setPos := make([]int, len(s.Sets))
+	for i, a := range s.Sets {
+		p := t.ColumnIndex(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("engine: column %q of relation %q does not exist", a.Column, s.Table)
+		}
+		setPos[i] = p
+	}
+	ctx := &evalCtx{schema: schema, sub: e.subquery}
+	n := t.Update(func(r storage.Row) bool {
+		ctx.row = r
+		if s.Where != nil {
+			v, err := eval(ctx, s.Where)
+			if err != nil || !truthy(v) {
+				return false
+			}
+		}
+		// Evaluate all assignments against the pre-update row.
+		vals := make([]datum.D, len(s.Sets))
+		for i, a := range s.Sets {
+			v, err := eval(ctx, a.Value)
+			if err != nil {
+				return false
+			}
+			vals[i] = v
+		}
+		for i, p := range setPos {
+			r[p] = vals[i]
+		}
+		return true
+	})
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) runDelete(s *sqlparser.DeleteStmt) (*Result, error) {
+	t, err := e.Cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := scanSchema(t, s.Table)
+	ctx := &evalCtx{schema: schema, sub: e.subquery}
+	n := t.Delete(func(r storage.Row) bool {
+		if s.Where == nil {
+			return true
+		}
+		ctx.row = r
+		v, err := eval(ctx, s.Where)
+		return err == nil && truthy(v)
+	})
+	return &Result{Affected: n}, nil
+}
+
+func (e *Engine) runExplain(s *sqlparser.ExplainStmt) (*Result, error) {
+	plan, err := e.planSelect(s.Query)
+	if err != nil {
+		return nil, err
+	}
+	var text string
+	switch s.Format {
+	case sqlparser.ExplainJSON:
+		text, err = ExplainJSON(plan)
+	case sqlparser.ExplainXML:
+		text, err = ExplainXML(plan)
+	default:
+		text = ExplainText(plan)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Plan: text, Columns: []string{"QUERY PLAN"},
+		Rows: []storage.Row{{datum.NewString(text)}}}, nil
+}

@@ -1,0 +1,178 @@
+// Package engine implements the substrate RDBMS that stands in for
+// PostgreSQL / SQL Server in this reproduction: a cost-based planner over
+// the catalog's statistics, a full in-memory executor, and EXPLAIN emitters
+// in three formats (PostgreSQL-style text and JSON, SQL-Server-style XML
+// showplan). LANTERN consumes the JSON/XML forms through internal/plan,
+// exactly as the paper's system consumes the output of the commercial
+// engines.
+package engine
+
+import (
+	"lantern/internal/sqlparser"
+)
+
+// Op enumerates the physical operators the engine can plan and execute.
+// The vocabulary matches the PostgreSQL operators the paper's examples use.
+type Op int
+
+// Physical operators.
+const (
+	OpSeqScan Op = iota
+	OpIndexScan
+	OpHash // build side of a hash join (auxiliary, as in the paper)
+	OpHashJoin
+	OpMergeJoin
+	OpNestedLoop
+	OpSort // explicit sort (auxiliary to merge join / group aggregate)
+	OpMaterialize
+	OpAggregate      // plain aggregate, no grouping
+	OpHashAggregate  // grouped aggregate via hash table
+	OpGroupAggregate // grouped aggregate over sorted input
+	OpUnique
+	OpLimit
+	OpResult // constant result (SELECT without FROM)
+)
+
+// Name returns the PostgreSQL-style node name used in EXPLAIN output.
+func (o Op) Name() string {
+	switch o {
+	case OpSeqScan:
+		return "Seq Scan"
+	case OpIndexScan:
+		return "Index Scan"
+	case OpHash:
+		return "Hash"
+	case OpHashJoin:
+		return "Hash Join"
+	case OpMergeJoin:
+		return "Merge Join"
+	case OpNestedLoop:
+		return "Nested Loop"
+	case OpSort:
+		return "Sort"
+	case OpMaterialize:
+		return "Materialize"
+	case OpAggregate:
+		return "Aggregate"
+	case OpHashAggregate:
+		return "HashAggregate"
+	case OpGroupAggregate:
+		return "GroupAggregate"
+	case OpUnique:
+		return "Unique"
+	case OpLimit:
+		return "Limit"
+	case OpResult:
+		return "Result"
+	}
+	return "Unknown"
+}
+
+// SQLServerName returns the SQL-Server-style physical operator name used by
+// the XML showplan emitter (e.g. Hash Join -> "Hash Match").
+func (o Op) SQLServerName() string {
+	switch o {
+	case OpSeqScan:
+		return "Table Scan"
+	case OpIndexScan:
+		return "Index Seek"
+	case OpHash:
+		return "Hash"
+	case OpHashJoin:
+		return "Hash Match"
+	case OpMergeJoin:
+		return "Merge Join"
+	case OpNestedLoop:
+		return "Nested Loops"
+	case OpSort:
+		return "Sort"
+	case OpMaterialize:
+		return "Table Spool"
+	case OpAggregate, OpGroupAggregate:
+		return "Stream Aggregate"
+	case OpHashAggregate:
+		return "Hash Match Aggregate"
+	case OpUnique:
+		return "Distinct Sort"
+	case OpLimit:
+		return "Top"
+	case OpResult:
+		return "Constant Scan"
+	}
+	return "Unknown"
+}
+
+// colRef identifies one column of a node's output. Base-table columns carry
+// the table alias as qualifier; computed columns (aggregates) have an empty
+// qualifier and the formatted expression text as name.
+type colRef struct {
+	Qual string
+	Name string
+}
+
+// sortKey is one physical ordering key.
+type sortKey struct {
+	Expr sqlparser.Expr
+	Desc bool
+}
+
+// aggSpec is one aggregate computed by an aggregate node.
+type aggSpec struct {
+	Call *sqlparser.FuncCall
+	Name string // formatted text used as output column name
+}
+
+// Node is a node of the physical execution plan.
+type Node struct {
+	Op       Op
+	Children []*Node
+
+	// Scans.
+	Relation  string // base table name
+	Alias     string // alias used in the query ("" when same as Relation)
+	IndexName string
+	IndexCond sqlparser.Expr // condition satisfied via the index
+	Filter    sqlparser.Expr // residual filter evaluated on each row
+
+	// Joins.
+	JoinType sqlparser.JoinType
+	JoinCond sqlparser.Expr // equality condition (Hash Cond / Merge Cond)
+
+	// Sort / Unique.
+	SortKeys []sortKey
+
+	// Aggregation.
+	GroupKeys    []sqlparser.Expr
+	Aggs         []aggSpec
+	HavingFilter sqlparser.Expr
+
+	// Limit.
+	Limit int64
+
+	// Result (constant) items.
+	ResultItems []sqlparser.SelectItem
+
+	// Planner annotations.
+	Schema  []colRef // output columns
+	EstRows float64
+	EstCost float64   // total cost of this node including children
+	sorted  []sortKey // physical ordering of the output, if any
+}
+
+// Walk visits n and all descendants pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// CountNodes returns the number of nodes in the plan tree.
+func (n *Node) CountNodes() int {
+	count := 0
+	n.Walk(func(*Node) { count++ })
+	return count
+}

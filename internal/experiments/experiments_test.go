@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testLab builds a very small lab so the full suite runs quickly in CI.
+func testLab() *Lab {
+	var sb strings.Builder
+	opt := DefaultOptions(&sb)
+	opt.Scale = 0.5
+	l := NewLab(opt)
+	// Shrink the heavy knobs further for tests.
+	return l
+}
+
+func output(l *Lab) string {
+	return l.Opt.Out.(*strings.Builder).String()
+}
+
+func TestNamesAndSummaries(t *testing.T) {
+	names := Names()
+	if len(names) != 22 {
+		t.Errorf("experiments = %d, want 22", len(names))
+	}
+	sums := Summaries()
+	for _, n := range names {
+		if sums[n] == "" {
+			t.Errorf("experiment %s lacks a summary", n)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	l := testLab()
+	if err := Run(l, "fig99"); err == nil {
+		t.Error("expected error for unknown experiment")
+	}
+}
+
+// TestCheapExperiments runs the experiments that need no model training.
+func TestCheapExperiments(t *testing.T) {
+	l := testLab()
+	for _, name := range []string{"fig3", "table3", "table4", "fig8b", "fig8d", "us6"} {
+		if err := Run(l, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	out := output(l)
+	for _, want := range []string{
+		"Figure 3", "Table 3", "279552", "Self-BLEU", "Q1", "Q3", "document-style",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}
+
+func TestTable3MatchesEncoderCount(t *testing.T) {
+	l := testLab()
+	l.Table3()
+	out := output(l)
+	if strings.Count(out, "279552") < 4 {
+		t.Errorf("encoder count 279552 should appear for every variant:\n%s", out)
+	}
+}
+
+func TestTable4Ordering(t *testing.T) {
+	l := testLab()
+	l.Table4()
+	out := output(l)
+	// All three tool rows plus the combined row must be present.
+	for _, tool := range []string{"quillbot", "prepostseo", "paraphrasing-tool", "all three"} {
+		if !strings.Contains(out, tool) {
+			t.Errorf("missing row for %s:\n%s", tool, out)
+		}
+	}
+}
+
+// TestModelExperimentsSmoke trains the base models once (tiny dims) and
+// exercises the figure/table paths that depend on them.
+func TestModelExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("model training skipped in -short mode")
+	}
+	l := testLab()
+	for _, name := range []string{"fig6a", "fig8a", "table7", "us3", "us4", "fig9b", "fig9c"} {
+		if err := Run(l, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	out := output(l)
+	for _, want := range []string{
+		"diversified", "RULE-LANTERN", "NEURAL-LANTERN", "boredom", "NEURON",
+	} {
+		if !strings.Contains(strings.ToLower(out), strings.ToLower(want)) {
+			t.Errorf("output lacks %q", want)
+		}
+	}
+}

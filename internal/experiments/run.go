@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// registry maps experiment names to their runners and one-line summaries.
+var registry = []struct {
+	Name    string
+	Summary string
+	Run     func(*Lab)
+}{
+	{"fig3", "Motivating survey: preferred QEP format (62 learners)", (*Lab).Fig3},
+	{"table3", "QEP2Seq parameter statistics at paper dimensions", (*Lab).Table3},
+	{"table4", "Self-BLEU diversity of paraphrased training samples", (*Lab).Table4},
+	{"fig6a", "Validation loss: diversified vs plain training text", (*Lab).Fig6a},
+	{"fig6b", "Loss with vs without pre-trained Word2Vec", (*Lab).Fig6b},
+	{"fig7a", "Validation accuracy: pre-trained vs self-trained vectors", (*Lab).Fig7a},
+	{"fig7b", "Weight sharing between encoder and decoder", (*Lab).Fig7b},
+	{"fig8a", "Length of input SQL vs narration output (22 TPC-H)", (*Lab).Fig8a},
+	{"fig8b", "Q1: ease of understanding per format", (*Lab).Fig8b},
+	{"fig8c", "Q2: description quality", (*Lab).Fig8c},
+	{"fig8d", "Q3: most preferred format", (*Lab).Fig8d},
+	{"us1", "Q2 pair identification (same-query pairs)", (*Lab).US1Pairs},
+	{"table5", "BLEU on the IMDB test set (beam 4)", (*Lab).Table5},
+	{"exp5", "Token-level error audit of 100 test samples", (*Lab).Exp5},
+	{"table6", "Efficiency: training, generation, response times", (*Lab).Table6},
+	{"fig9a", "Q2 by pre-training model", (*Lab).Fig9a},
+	{"fig9b", "US 2: Q2 with vs without paraphrasing", (*Lab).Fig9b},
+	{"fig9c", "US 5: LANTERN vs NEURON on TPC-H + SDSS", (*Lab).Fig9c},
+	{"table7", "Boredom index across the four systems", (*Lab).Table7},
+	{"us3", "Mixed-stream boredom/interest marking", (*Lab).US3},
+	{"us4", "Impact of incorrect tokens on comprehension", (*Lab).US4},
+	{"us6", "Presentation models: document text vs annotated tree", (*Lab).US6},
+}
+
+// Names lists the registered experiment names, in paper order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Summaries maps experiment names to their one-line descriptions.
+func Summaries() map[string]string {
+	out := make(map[string]string, len(registry))
+	for _, r := range registry {
+		out[r.Name] = r.Summary
+	}
+	return out
+}
+
+// Run executes one experiment by name on a fresh or shared Lab.
+func Run(l *Lab, name string) error {
+	for _, r := range registry {
+		if r.Name == name {
+			l.printf("=== %s — %s ===\n", r.Name, r.Summary)
+			r.Run(l)
+			l.printf("\n")
+			return nil
+		}
+	}
+	names := Names()
+	sort.Strings(names)
+	return fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, names)
+}
+
+// RunAll executes every experiment in paper order on a shared lab (model
+// variants are trained once and reused).
+func RunAll(l *Lab) error {
+	for _, r := range registry {
+		if err := Run(l, r.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

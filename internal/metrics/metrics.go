@@ -1,0 +1,212 @@
+// Package metrics implements the evaluation measures the paper reports:
+// BLEU [43] for translation quality (Table 5), Self-BLEU [49] for the
+// diversity of paraphrased training samples (Table 4), and the
+// sparse-categorical token accuracy used for the validation curves of
+// Figure 7.
+package metrics
+
+import (
+	"math"
+	"strings"
+)
+
+// Tokenize splits a sentence into lower-cased whitespace tokens.
+func Tokenize(s string) []string {
+	return strings.Fields(strings.ToLower(s))
+}
+
+// ngramCounts returns the count of each n-gram in toks.
+func ngramCounts(toks []string, n int) map[string]int {
+	out := make(map[string]int)
+	for i := 0; i+n <= len(toks); i++ {
+		out[strings.Join(toks[i:i+n], " ")]++
+	}
+	return out
+}
+
+// BLEU computes the BLEU score (0..1) of a hypothesis against one or more
+// references, with uniform weights over 1..4-grams and the standard brevity
+// penalty. Add-epsilon smoothing keeps short sentences comparable (method
+// akin to Lin & Och smoothing): zero n-gram matches contribute a small
+// positive count instead of collapsing the geometric mean to zero.
+func BLEU(hypothesis string, references ...string) float64 {
+	hyp := Tokenize(hypothesis)
+	if len(hyp) == 0 || len(references) == 0 {
+		return 0
+	}
+	refToks := make([][]string, len(references))
+	for i, r := range references {
+		refToks[i] = Tokenize(r)
+	}
+	const maxN = 4
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		hypCounts := ngramCounts(hyp, n)
+		total := 0
+		for _, c := range hypCounts {
+			total += c
+		}
+		if total == 0 {
+			// Hypothesis shorter than n: treat as a single smoothed miss.
+			logSum += math.Log(1e-7)
+			continue
+		}
+		// Clipped matches against the per-reference maximum.
+		maxRef := make(map[string]int)
+		for _, rt := range refToks {
+			for g, c := range ngramCounts(rt, n) {
+				if c > maxRef[g] {
+					maxRef[g] = c
+				}
+			}
+		}
+		match := 0
+		for g, c := range hypCounts {
+			m := maxRef[g]
+			if c < m {
+				m = c
+			}
+			match += m
+		}
+		p := float64(match) / float64(total)
+		if match == 0 {
+			if n == 1 {
+				// No unigram overlap at all: the sentences share nothing;
+				// do not let smoothing prop the score up.
+				p = 1e-9
+			} else {
+				p = 1.0 / (2.0 * float64(total)) // smoothing
+			}
+		}
+		logSum += math.Log(p)
+	}
+	precision := math.Exp(logSum / maxN)
+
+	// Brevity penalty against the closest reference length.
+	closest := len(refToks[0])
+	for _, rt := range refToks[1:] {
+		if abs(len(rt)-len(hyp)) < abs(closest-len(hyp)) {
+			closest = len(rt)
+		}
+	}
+	bp := 1.0
+	if len(hyp) < closest {
+		bp = math.Exp(1 - float64(closest)/float64(len(hyp)))
+	}
+	return bp * precision
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SelfBLEU measures how similar a set of sentences is to itself: the
+// average BLEU of each sentence against all the others as references.
+// 1.0 means the sentences are (n-gram-wise) identical; lower values mean
+// higher diversity — the orientation used by the paper's Table 4.
+func SelfBLEU(sentences []string) float64 {
+	if len(sentences) <= 1 {
+		return 1.0
+	}
+	sum := 0.0
+	for i, s := range sentences {
+		refs := make([]string, 0, len(sentences)-1)
+		for j, r := range sentences {
+			if i != j {
+				refs = append(refs, r)
+			}
+		}
+		sum += BLEU(s, refs...)
+	}
+	return sum / float64(len(sentences))
+}
+
+// CorpusBLEU averages sentence-level BLEU over (hypothesis, reference)
+// pairs, as the paper does for Table 5 ("we compute the BLEU score of its
+// output with respect to the ground-truth and report the average").
+func CorpusBLEU(hypotheses, references []string) float64 {
+	if len(hypotheses) == 0 || len(hypotheses) != len(references) {
+		return 0
+	}
+	sum := 0.0
+	for i := range hypotheses {
+		sum += BLEU(hypotheses[i], references[i])
+	}
+	return sum / float64(len(hypotheses))
+}
+
+// TokenAccuracy is sparse-categorical accuracy over one output sequence:
+// the fraction of positions where the predicted token equals the target.
+// Sequences of different lengths are compared over the longer length.
+func TokenAccuracy(predicted, target []string) float64 {
+	n := len(predicted)
+	if len(target) > n {
+		n = len(target)
+	}
+	if n == 0 {
+		return 1.0
+	}
+	match := 0
+	for i := 0; i < n && i < len(predicted) && i < len(target); i++ {
+		if predicted[i] == target[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(n)
+}
+
+// MeanTokenAccuracy averages TokenAccuracy over a batch of sequences.
+func MeanTokenAccuracy(predicted, target [][]string) float64 {
+	if len(predicted) == 0 || len(predicted) != len(target) {
+		return 0
+	}
+	sum := 0.0
+	for i := range predicted {
+		sum += TokenAccuracy(predicted[i], target[i])
+	}
+	return sum / float64(len(predicted))
+}
+
+// WrongTokens counts the wrong tokens in a predicted sequence relative to
+// the target, as a human auditor would (the paper's Exp 5): the token-level
+// edit distance (substitutions, insertions, deletions), so one inserted
+// word counts as one error rather than shifting every later position.
+func WrongTokens(predicted, target []string) int {
+	n, m := len(predicted), len(target)
+	if n == 0 {
+		return m
+	}
+	if m == 0 {
+		return n
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = i
+		for j := 1; j <= m; j++ {
+			cost := 1
+			if predicted[i-1] == target[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
+func minInt(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBLEUIdentity(t *testing.T) {
+	s := "perform sequential scan on customer and filtering on segment"
+	if got := BLEU(s, s); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("BLEU(identity) = %v, want 1", got)
+	}
+}
+
+func TestBLEUDisjoint(t *testing.T) {
+	got := BLEU("alpha beta gamma delta epsilon", "one two three four five")
+	if got > 0.05 {
+		t.Errorf("BLEU(disjoint) = %v, want near 0", got)
+	}
+}
+
+func TestBLEUOrderingSensitivity(t *testing.T) {
+	ref := "perform hash join on orders and customer"
+	near := "perform hash join on customer and orders"
+	far := "customer orders join hash on and perform"
+	if BLEU(near, ref) <= BLEU(far, ref) {
+		t.Errorf("near = %v should beat far = %v", BLEU(near, ref), BLEU(far, ref))
+	}
+}
+
+func TestBLEUBrevityPenalty(t *testing.T) {
+	ref := "perform sequential scan on the customer relation to get results"
+	short := "perform sequential scan"
+	full := "perform sequential scan on the customer relation to get results"
+	if BLEU(short, ref) >= BLEU(full, ref) {
+		t.Error("brevity penalty not applied")
+	}
+}
+
+func TestBLEUMultipleReferences(t *testing.T) {
+	hyp := "execute sequential scan on users"
+	r1 := "perform sequential scan on users"
+	r2 := "execute sequential scan on users"
+	if BLEU(hyp, r1, r2) < BLEU(hyp, r1) {
+		t.Error("extra matching reference must not lower the score")
+	}
+}
+
+func TestBLEUEdgeCases(t *testing.T) {
+	if BLEU("", "ref tokens here") != 0 {
+		t.Error("empty hypothesis should score 0")
+	}
+	if BLEU("hyp") != 0 {
+		t.Error("no references should score 0")
+	}
+	// Shorter than 4 tokens still scores > 0 thanks to smoothing.
+	if BLEU("hash tables", "hash tables") <= 0 {
+		t.Error("short identical sentences should score > 0")
+	}
+}
+
+func TestSelfBLEUIdenticalSet(t *testing.T) {
+	set := []string{
+		"perform hash join on a and b",
+		"perform hash join on a and b",
+		"perform hash join on a and b",
+	}
+	if got := SelfBLEU(set); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("SelfBLEU(identical) = %v, want 1", got)
+	}
+}
+
+func TestSelfBLEUDiversityOrdering(t *testing.T) {
+	same := []string{
+		"perform sequential scan on user and filtering on age",
+		"perform sequential scan on user and filtering on age",
+	}
+	similar := []string{
+		"perform sequential scan on user and filtering on age",
+		"execute sequential scan on user and selecting on age",
+	}
+	diverse := []string{
+		"perform sequential scan on user and filtering on age",
+		"read every row of user keeping those where age matches",
+	}
+	sSame, sSim, sDiv := SelfBLEU(same), SelfBLEU(similar), SelfBLEU(diverse)
+	if !(sSame > sSim && sSim > sDiv) {
+		t.Errorf("ordering violated: same=%v similar=%v diverse=%v", sSame, sSim, sDiv)
+	}
+}
+
+func TestSelfBLEUSingleton(t *testing.T) {
+	if SelfBLEU([]string{"only one"}) != 1.0 {
+		t.Error("singleton set should report 1.0 (paper Table 4 row 1)")
+	}
+}
+
+func TestCorpusBLEU(t *testing.T) {
+	hyps := []string{"a b c d", "x y z w"}
+	refs := []string{"a b c d", "x y z w"}
+	if got := CorpusBLEU(hyps, refs); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("CorpusBLEU = %v", got)
+	}
+	if CorpusBLEU(hyps, refs[:1]) != 0 {
+		t.Error("mismatched lengths should score 0")
+	}
+	if CorpusBLEU(nil, nil) != 0 {
+		t.Error("empty corpus should score 0")
+	}
+}
+
+func TestTokenAccuracy(t *testing.T) {
+	if got := TokenAccuracy([]string{"a", "b", "c"}, []string{"a", "x", "c"}); math.Abs(got-2.0/3.0) > 1e-9 {
+		t.Errorf("accuracy = %v", got)
+	}
+	if got := TokenAccuracy([]string{"a"}, []string{"a", "b"}); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("length mismatch accuracy = %v", got)
+	}
+	if TokenAccuracy(nil, nil) != 1.0 {
+		t.Error("empty vs empty should be 1.0")
+	}
+}
+
+func TestMeanTokenAccuracy(t *testing.T) {
+	p := [][]string{{"a", "b"}, {"c"}}
+	r := [][]string{{"a", "b"}, {"d"}}
+	if got := MeanTokenAccuracy(p, r); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("mean accuracy = %v", got)
+	}
+	if MeanTokenAccuracy(nil, nil) != 0 {
+		t.Error("empty batch should be 0")
+	}
+}
+
+func TestWrongTokens(t *testing.T) {
+	if got := WrongTokens([]string{"a", "b", "c"}, []string{"a", "x", "c"}); got != 1 {
+		t.Errorf("wrong = %d", got)
+	}
+	if got := WrongTokens([]string{"a"}, []string{"a", "b", "c"}); got != 2 {
+		t.Errorf("wrong with missing tail = %d", got)
+	}
+	if got := WrongTokens(nil, nil); got != 0 {
+		t.Errorf("wrong on empty = %d", got)
+	}
+}
+
+func TestTokenizeLowercases(t *testing.T) {
+	toks := Tokenize("Perform Hash JOIN")
+	if toks[0] != "perform" || toks[2] != "join" {
+		t.Errorf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,256 @@
+package neural
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/metrics"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+// trainTrees builds plan trees from a small TPC-H instance.
+func trainTrees(t *testing.T, queries []string) []*plan.Node {
+	t.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	var trees []*plan.Node
+	for _, q := range queries {
+		r, err := e.Exec("EXPLAIN (FORMAT JSON) " + q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		tree, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trees = append(trees, tree)
+	}
+	return trees
+}
+
+var smallQueries = []string{
+	"SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'",
+	"SELECT o_orderkey FROM orders WHERE o_totalprice > 1000",
+	"SELECT c.c_name, o.o_orderkey FROM customer c, orders o WHERE c.c_custkey = o.o_custkey",
+	"SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+	"SELECT n.n_name, COUNT(*) FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey GROUP BY n.n_name",
+	"SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment LIMIT 2",
+	"SELECT s_name FROM supplier WHERE s_acctbal > 0 ORDER BY s_name LIMIT 5",
+}
+
+func smallTrainConfig() TrainConfig {
+	return TrainConfig{
+		Hidden: 32, EncEmbDim: 8, DecEmbDim: 12,
+		Epochs: 30, BatchSize: 4, LR: 0.3, Seed: 1,
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	store := pool.NewSeededStore()
+	ds, err := NewBuilder(store).Build(trainTrees(t, smallQueries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.BaseActs < 10 {
+		t.Fatalf("base acts = %d, want >= 10", ds.BaseActs)
+	}
+	// Paraphrasing expands the corpus roughly 3x (paper §6.3).
+	ratio := float64(len(ds.Samples)) / float64(ds.BaseActs)
+	if ratio < 2 {
+		t.Errorf("expansion ratio = %.2f, want >= 2", ratio)
+	}
+	if len(ds.OutVocab) < 20 {
+		t.Errorf("output vocab = %d, implausibly small", len(ds.OutVocab))
+	}
+	if ds.OutVocab[0] != "<BOS>" || ds.OutVocab[1] != "<EOS>" {
+		t.Error("reserved output tokens missing")
+	}
+}
+
+func TestDatasetWithoutParaphrasing(t *testing.T) {
+	store := pool.NewSeededStore()
+	b := NewBuilder(store)
+	b.Tools = nil
+	ds, err := b.Build(trainTrees(t, smallQueries[:3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != ds.BaseActs {
+		t.Errorf("without tools: samples = %d, acts = %d", len(ds.Samples), ds.BaseActs)
+	}
+	for _, g := range ds.Groups {
+		if len(g) != 1 {
+			t.Errorf("group size = %d, want 1", len(g))
+		}
+	}
+}
+
+func TestDiversityOfExpandedGroups(t *testing.T) {
+	store := pool.NewSeededStore()
+	ds, err := NewBuilder(store).Build(trainTrees(t, smallQueries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4: expanded groups must have Self-BLEU < 1 (diversity added).
+	sum, n := 0.0, 0
+	for _, g := range ds.Groups {
+		if len(g) > 1 {
+			sum += metrics.SelfBLEU(g)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("no expanded groups")
+	}
+	avg := sum / float64(n)
+	if avg >= 0.95 {
+		t.Errorf("mean group Self-BLEU = %.3f, expected < 0.95", avg)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	store := pool.NewSeededStore()
+	ds, err := NewBuilder(store).Build(trainTrees(t, smallQueries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, val := ds.Split(0.2)
+	if len(train)+len(val) != len(ds.Samples) {
+		t.Error("split loses samples")
+	}
+	frac := float64(len(val)) / float64(len(ds.Samples))
+	if frac < 0.1 || frac > 0.3 {
+		t.Errorf("validation fraction = %.2f, want ~0.2", frac)
+	}
+	all, none := ds.Split(0)
+	if len(all) != len(ds.Samples) || none != nil {
+		t.Error("Split(0) should keep everything in train")
+	}
+}
+
+func TestTrainAndNarrate(t *testing.T) {
+	store := pool.NewSeededStore()
+	trees := trainTrees(t, smallQueries)
+	ds, err := NewBuilder(store).Build(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Train(store, ds, smallTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.History) == 0 {
+		t.Fatal("no training history")
+	}
+	first, last := nl.History[0], nl.History[len(nl.History)-1]
+	if last.TrainLoss >= first.TrainLoss {
+		t.Errorf("training loss did not decrease: %.3f -> %.3f", first.TrainLoss, last.TrainLoss)
+	}
+
+	// Narrating a training-domain plan must produce plausible sentences.
+	nar, err := nl.Narrate(trees[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nar.Steps) == 0 {
+		t.Fatal("empty narration")
+	}
+	text := nar.Text()
+	// Detagging restored concrete names (tags must not survive).
+	if strings.Contains(text, "<T>") || strings.Contains(text, "<TN>") {
+		// Some tags may survive when the model emits extra tags; they must
+		// at least be rare. Count them.
+		if strings.Count(text, "<") > 2 {
+			t.Errorf("too many unresolved tags:\n%s", text)
+		}
+	}
+	rl := core.NewRuleLantern(store)
+	ref, err := rl.Narrate(trees[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := metrics.CorpusBLEU(nar.Sentences(), ref.Sentences())
+	if score < 0.2 {
+		t.Errorf("neural narration BLEU vs rule ground truth = %.3f, want >= 0.2\nneural:\n%s\nrule:\n%s",
+			score, text, ref.Text())
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	store := pool.NewSeededStore()
+	ds, err := NewBuilder(store).Build(trainTrees(t, smallQueries[:3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallTrainConfig()
+	cfg.Epochs = 100
+	cfg.EarlyStopDelta = 0.05
+	nl, err := Train(store, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nl.History) >= 100 {
+		t.Errorf("early stopping never triggered: %d epochs", len(nl.History))
+	}
+}
+
+func TestLanternOrchestratorSwitching(t *testing.T) {
+	store := pool.NewSeededStore()
+	trees := trainTrees(t, smallQueries)
+	ds, err := NewBuilder(store).Build(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nlGen, err := Train(store, ds, smallTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := core.NewLantern(core.NewRuleLantern(store), nlGen)
+	l.FreqThreshold = 2
+	// Narrate the same plan repeatedly; after the threshold, seqscan steps
+	// switch to the neural generator.
+	tree := trees[0]
+	var texts []string
+	for i := 0; i < 5; i++ {
+		nar, err := l.Narrate(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts = append(texts, nar.Text())
+	}
+	if l.Exposure("Seq Scan") != 5 {
+		t.Errorf("exposure = %d, want 5", l.Exposure("Seq Scan"))
+	}
+	l.ResetExposure()
+	if l.Exposure("Seq Scan") != 0 {
+		t.Error("ResetExposure failed")
+	}
+	// Without a neural generator everything stays rule-based.
+	lr := core.NewLantern(core.NewRuleLantern(store), nil)
+	for i := 0; i < 5; i++ {
+		if _, err := lr.Narrate(tree); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEncodeInputUnknownToken(t *testing.T) {
+	store := pool.NewSeededStore()
+	ds, err := NewBuilder(store).Build(trainTrees(t, smallQueries[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ds.EncodeInput([]string{"totally_unknown_operator"})
+	if len(ids) != 1 {
+		t.Fatal("bad encoding")
+	}
+	if ds.InVocab[ids[0]] != "<unk>" {
+		t.Errorf("unknown token mapped to %q", ds.InVocab[ids[0]])
+	}
+}

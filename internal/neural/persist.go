@@ -1,0 +1,97 @@
+package neural
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"lantern/internal/nn"
+	"lantern/internal/pool"
+)
+
+// savedModel is the on-disk form of a trained NEURAL-LANTERN: the model
+// configuration, every weight matrix in Params() order, the vocabularies,
+// and the decoding beam width. Training history is preserved so learning
+// curves can be re-plotted from a checkpoint.
+type savedModel struct {
+	Cfg      nn.Config
+	Weights  [][]float64
+	InVocab  []string
+	OutVocab []string
+	BeamK    int
+	History  []EpochStats
+}
+
+// Save serializes the trained generator. Only inference state is written;
+// gradient accumulators are not persisted.
+func (nl *NeuralLantern) Save(w io.Writer) error {
+	sm := savedModel{
+		Cfg:      nl.Model.Cfg,
+		InVocab:  nl.Data.InVocab,
+		OutVocab: nl.Data.OutVocab,
+		BeamK:    nl.BeamK,
+		History:  nl.History,
+	}
+	for _, p := range nl.Model.Params() {
+		sm.Weights = append(sm.Weights, append([]float64{}, p.W...))
+	}
+	return gob.NewEncoder(w).Encode(&sm)
+}
+
+// SaveFile writes the generator to a file.
+func (nl *NeuralLantern) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return nl.Save(f)
+}
+
+// Load restores a generator saved with Save. The POEM store must describe
+// the same operator vocabulary the model was trained against (the store is
+// needed at inference time to build LOTs and tag maps).
+func Load(r io.Reader, store *pool.Store) (*NeuralLantern, error) {
+	var sm savedModel
+	if err := gob.NewDecoder(r).Decode(&sm); err != nil {
+		return nil, fmt.Errorf("neural: corrupt saved model: %w", err)
+	}
+	model, err := nn.NewModel(sm.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	params := model.Params()
+	if len(params) != len(sm.Weights) {
+		return nil, fmt.Errorf("neural: saved model has %d weight matrices, architecture needs %d",
+			len(sm.Weights), len(params))
+	}
+	for i, p := range params {
+		if len(p.W) != len(sm.Weights[i]) {
+			return nil, fmt.Errorf("neural: weight matrix %d has %d values, want %d",
+				i, len(sm.Weights[i]), len(p.W))
+		}
+		copy(p.W, sm.Weights[i])
+	}
+	ds := &Dataset{
+		InVocab: sm.InVocab, OutVocab: sm.OutVocab,
+		inIdx: index(sm.InVocab), outIdx: index(sm.OutVocab),
+	}
+	beam := sm.BeamK
+	if beam < 1 {
+		beam = 4
+	}
+	return &NeuralLantern{
+		Store: store, Model: model, Data: ds, BeamK: beam, History: sm.History,
+	}, nil
+}
+
+// LoadFile restores a generator from a file.
+func LoadFile(path string, store *pool.Store) (*NeuralLantern, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f, store)
+}

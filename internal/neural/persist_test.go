@@ -1,0 +1,88 @@
+package neural
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"lantern/internal/pool"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	store := pool.NewSeededStore()
+	trees := trainTrees(t, smallQueries)
+	ds, err := NewBuilder(store).Build(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Train(store, ds, smallTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := nl.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The restored model must produce byte-identical narrations.
+	for _, tree := range trees[:3] {
+		a, err := nl.Narrate(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.Narrate(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Text() != b.Text() {
+			t.Errorf("narration changed after save/load:\n%s\nvs\n%s", a.Text(), b.Text())
+		}
+	}
+	if len(restored.History) != len(nl.History) {
+		t.Errorf("history lost: %d vs %d epochs", len(restored.History), len(nl.History))
+	}
+	if restored.BeamK != nl.BeamK {
+		t.Errorf("beam width lost: %d vs %d", restored.BeamK, nl.BeamK)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	store := pool.NewSeededStore()
+	trees := trainTrees(t, smallQueries[:3])
+	ds, err := NewBuilder(store).Build(trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallTrainConfig()
+	cfg.Epochs = 5
+	nl, err := Train(store, ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := nl.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Model.NumParams() != nl.Model.NumParams() {
+		t.Error("parameter count changed")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing.gob"), store); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	store := pool.NewSeededStore()
+	if _, err := Load(bytes.NewBufferString("not a gob"), store); err == nil {
+		t.Error("expected error for corrupt data")
+	}
+}

@@ -1,0 +1,101 @@
+// Package neuron reimplements the NEURON baseline [36] the paper compares
+// against (US 5): a rule-based QEP narrator whose translation rules for
+// PostgreSQL's operators are hardcoded — it has no declarative POOL layer,
+// no POEM store, and therefore no way to handle SQL Server's differently
+// named operators ("none of the workloads of sdss is successfully
+// translated as majority of operators of SQL Server have different names
+// from those in PostgreSQL").
+package neuron
+
+import (
+	"fmt"
+	"strings"
+
+	"lantern/internal/plan"
+)
+
+// Neuron is the baseline narrator.
+type Neuron struct{}
+
+// New creates the baseline.
+func New() *Neuron { return &Neuron{} }
+
+// hardcoded maps PostgreSQL operator names (and only those) to their fixed
+// sentence templates. This is deliberately a closed, code-level table —
+// the architectural limitation the paper attributes to NEURON.
+// The sentence lengths match LANTERN's (the paper measures 188.136 vs
+// 188.318 average tokens), but there is exactly one fixed phrasing per
+// operator and the intermediate results are all called "the intermediate
+// result" — the repetitiveness that earns NEURON the worst boredom index.
+var hardcoded = map[string]string{
+	"Seq Scan":       "perform sequential scan on %REL%%FILTER% to get the intermediate result",
+	"Index Scan":     "perform index scan on %REL%%FILTER% to get the intermediate result",
+	"Hash":           "hash %CHILD%",
+	"Hash Join":      "perform hash join on %CHILD% and the other input on condition %COND% to get the intermediate result",
+	"Merge Join":     "perform merge join on %CHILD% and the other input on condition %COND% to get the intermediate result",
+	"Nested Loop":    "perform nested loop join on %CHILD% and the other input on condition %COND% to get the intermediate result",
+	"Sort":           "sort %CHILD% to get the intermediate result",
+	"Materialize":    "materialize %CHILD% to get the intermediate result",
+	"Aggregate":      "perform aggregate on the intermediate result",
+	"HashAggregate":  "perform hash aggregate with grouping on %GROUP% to get the intermediate result",
+	"GroupAggregate": "perform aggregate with grouping on %GROUP% to get the intermediate result",
+	"Unique":         "perform duplicate removal on the intermediate result",
+	"Limit":          "keep only the first requested rows of the intermediate result",
+	"Result":         "produce a constant result",
+}
+
+// Narrate produces NEURON's fixed narration for a PostgreSQL plan. It
+// fails on any operator outside its hardcoded PostgreSQL vocabulary —
+// in particular on every SQL Server plan.
+func (n *Neuron) Narrate(tree *plan.Node) (string, error) {
+	var steps []string
+	var failed error
+	tree.WalkPostOrder(func(node *plan.Node) {
+		if failed != nil {
+			return
+		}
+		tpl, ok := hardcoded[node.Name]
+		if !ok {
+			failed = fmt.Errorf("neuron: unsupported operator %q (only PostgreSQL operators are hardcoded)", node.Name)
+			return
+		}
+		text := tpl
+		text = strings.ReplaceAll(text, "%REL%", node.Attr(plan.AttrRelation))
+		filter := ""
+		if f := node.Attr(plan.AttrFilter); f != "" {
+			filter = " and filtering on " + f
+		}
+		text = strings.ReplaceAll(text, "%FILTER%", filter)
+		text = strings.ReplaceAll(text, "%COND%", node.Attr(plan.AttrJoinCond))
+		text = strings.ReplaceAll(text, "%GROUP%", node.Attr(plan.AttrGroupKey))
+		child := "the input"
+		if len(node.Children) > 0 {
+			if rel := node.Children[0].Attr(plan.AttrRelation); rel != "" {
+				child = rel
+			} else {
+				child = "the intermediate result"
+			}
+		}
+		text = strings.ReplaceAll(text, "%CHILD%", child)
+		steps = append(steps, strings.TrimSpace(text)+".")
+	})
+	if failed != nil {
+		return "", failed
+	}
+	var sb strings.Builder
+	for i, s := range steps {
+		fmt.Fprintf(&sb, "Step %d: %s\n", i+1, s)
+	}
+	return sb.String(), nil
+}
+
+// Supports reports whether NEURON can narrate the plan at all.
+func (n *Neuron) Supports(tree *plan.Node) bool {
+	ok := true
+	tree.Walk(func(node *plan.Node) {
+		if _, found := hardcoded[node.Name]; !found {
+			ok = false
+		}
+	})
+	return ok
+}

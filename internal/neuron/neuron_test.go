@@ -1,0 +1,85 @@
+package neuron
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+)
+
+func plans(t *testing.T, format string) []*plan.Node {
+	t.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'",
+		"SELECT c.c_name, o.o_orderkey FROM customer c, orders o WHERE c.c_custkey = o.o_custkey",
+		"SELECT c_mktsegment, COUNT(*) FROM customer GROUP BY c_mktsegment",
+	}
+	var out []*plan.Node
+	for _, q := range queries {
+		r, err := e.Exec("EXPLAIN (FORMAT " + format + ") " + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var tree *plan.Node
+		if format == "JSON" {
+			tree, err = plan.ParsePostgresJSON(r.Plan)
+		} else {
+			tree, err = plan.ParseSQLServerXML(r.Plan)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, tree)
+	}
+	return out
+}
+
+func TestNarratesPostgresPlans(t *testing.T) {
+	n := New()
+	for _, tree := range plans(t, "JSON") {
+		if !n.Supports(tree) {
+			t.Fatalf("NEURON should support PostgreSQL plan:\n%s", tree.String())
+		}
+		text, err := n.Narrate(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(text, "Step 1:") {
+			t.Errorf("narration:\n%s", text)
+		}
+	}
+}
+
+func TestFailsOnSQLServerPlans(t *testing.T) {
+	// The paper's US 5: NEURON's hardcoded PostgreSQL rules cannot handle
+	// SQL Server operator names, so every SDSS/SQL Server plan fails.
+	n := New()
+	for _, tree := range plans(t, "XML") {
+		if n.Supports(tree) {
+			t.Fatalf("NEURON should not support SQL Server plan:\n%s", tree.String())
+		}
+		if _, err := n.Narrate(tree); err == nil {
+			t.Error("expected narration failure on SQL Server plan")
+		}
+	}
+}
+
+func TestRepetitiveOutput(t *testing.T) {
+	// NEURON has exactly one template per operator, so two different scans
+	// produce near-identical sentences — the boredom driver of Table 7.
+	n := New()
+	trees := plans(t, "JSON")
+	a, err := n.Narrate(trees[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(a, "perform sequential scan") {
+		t.Errorf("unexpected narration:\n%s", a)
+	}
+}

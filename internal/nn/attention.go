@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Attention is the additive (Bahdanau) attention of equations (8)–(10):
+//
+//	g(s_t, h_i) = Vaᵀ tanh(Ws·s_t + Wh·h_i)
+//	α_i = softmax over i of g(s_t, h_i)
+//	a_t = Σ_i α_i h_i
+type Attention struct {
+	Hidden     int
+	Ws, Wh, Va *Mat // Va is hidden×1
+}
+
+// NewAttention creates an attention module with uniform initialization.
+func NewAttention(hidden int, scale float64, rng *rand.Rand) *Attention {
+	return &Attention{
+		Hidden: hidden,
+		Ws:     NewMatUniform(hidden, hidden, scale, rng),
+		Wh:     NewMatUniform(hidden, hidden, scale, rng),
+		Va:     NewMatUniform(hidden, 1, scale, rng),
+	}
+}
+
+// Params lists the attention parameters.
+func (a *Attention) Params() []*Mat { return []*Mat{a.Ws, a.Wh, a.Va} }
+
+// NumParams counts the attention weights.
+func (a *Attention) NumParams() int {
+	return a.Ws.NumParams() + a.Wh.NumParams() + a.Va.NumParams()
+}
+
+// attnState caches one attention application for backpropagation.
+type attnState struct {
+	s       []float64   // decoder state the attention was computed for
+	hs      [][]float64 // encoder states
+	u       [][]float64 // tanh(Ws s + Wh h_i) per i
+	alpha   []float64
+	context []float64
+}
+
+// Forward computes the context vector for decoder state s over encoder
+// states hs.
+func (a *Attention) Forward(s []float64, hs [][]float64) *attnState {
+	st := &attnState{s: s, hs: hs}
+	wss := a.Ws.MulVec(s)
+	scores := make([]float64, len(hs))
+	st.u = make([][]float64, len(hs))
+	for i, h := range hs {
+		z := a.Wh.MulVec(h)
+		addInto(z, wss)
+		u := make([]float64, len(z))
+		score := 0.0
+		for k, v := range z {
+			u[k] = math.Tanh(v)
+			score += a.Va.W[k] * u[k]
+		}
+		st.u[i] = u
+		scores[i] = score
+	}
+	st.alpha = softmax(scores)
+	st.context = make([]float64, a.Hidden)
+	for i, h := range hs {
+		w := st.alpha[i]
+		for k, v := range h {
+			st.context[k] += w * v
+		}
+	}
+	return st
+}
+
+// Backward accumulates gradients given dContext (gradient w.r.t. a_t).
+// It returns the gradient w.r.t. the decoder state s and adds per-encoder-
+// state gradients into dHs (which must have one slot per encoder state).
+func (a *Attention) Backward(st *attnState, dContext []float64, dHs [][]float64) []float64 {
+	n := len(st.hs)
+	// Through the weighted sum: dα_i = h_i · da ; dh_i += α_i · da.
+	dAlpha := make([]float64, n)
+	for i, h := range st.hs {
+		s := 0.0
+		for k, v := range h {
+			s += v * dContext[k]
+			dHs[i][k] += st.alpha[i] * dContext[k]
+		}
+		dAlpha[i] = s
+	}
+	// Softmax backward: dscore_i = α_i (dα_i − Σ_j α_j dα_j).
+	dot := 0.0
+	for i := range dAlpha {
+		dot += st.alpha[i] * dAlpha[i]
+	}
+	dS := make([]float64, len(st.s))
+	for i := 0; i < n; i++ {
+		dScore := st.alpha[i] * (dAlpha[i] - dot)
+		if dScore == 0 {
+			continue
+		}
+		// score = Va · u_i with u_i = tanh(z_i).
+		dz := make([]float64, a.Hidden)
+		for k := 0; k < a.Hidden; k++ {
+			a.Va.G[k] += dScore * st.u[i][k]
+			dz[k] = dScore * a.Va.W[k] * (1 - st.u[i][k]*st.u[i][k])
+		}
+		a.Ws.AddOuterGrad(dz, st.s)
+		a.Wh.AddOuterGrad(dz, st.hs[i])
+		addInto(dS, a.Ws.MulVecT(dz))
+		addInto(dHs[i], a.Wh.MulVecT(dz))
+	}
+	return dS
+}
+
+// softmax returns the normalized exponentials of xs (max-shifted).
+func softmax(xs []float64) []float64 {
+	max := xs[0]
+	for _, v := range xs[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]float64, len(xs))
+	sum := 0.0
+	for i, v := range xs {
+		out[i] = math.Exp(v - max)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// LSTMCell implements exactly the cell of the paper's equations (2)–(6)
+// (with bias terms):
+//
+//	i_t = sigmoid(U_i h_{t-1} + V_i x_t + b_i)      [input gate]
+//	f_t = sigmoid(U_f h_{t-1} + V_f x_t + b_f)      [forget gate]
+//	o_t = sigmoid(U_o h_{t-1} + V_o x_t + b_o)      [output gate]
+//	c_t = i_t ⊙ tanh(U_c h_{t-1} + V_c x_t + b_c) + f_t ⊙ c_{t-1}
+//	h_t = o_t ⊙ tanh(c_t)
+type LSTMCell struct {
+	InDim, Hidden int
+	// Recurrent (U·) and input (V·) weights plus biases per gate.
+	Ui, Vi, Uf, Vf, Uo, Vo, Uc, Vc *Mat
+	Bi, Bf, Bo, Bc                 *Mat // hidden×1 bias vectors
+}
+
+// NewLSTMCell creates a cell with uniform [-scale, scale] initialization.
+func NewLSTMCell(inDim, hidden int, scale float64, rng *rand.Rand) *LSTMCell {
+	u := func() *Mat { return NewMatUniform(hidden, hidden, scale, rng) }
+	v := func() *Mat { return NewMatUniform(hidden, inDim, scale, rng) }
+	b := func() *Mat { return NewMatUniform(hidden, 1, scale, rng) }
+	return &LSTMCell{
+		InDim: inDim, Hidden: hidden,
+		Ui: u(), Vi: v(), Uf: u(), Vf: v(),
+		Uo: u(), Vo: v(), Uc: u(), Vc: v(),
+		Bi: b(), Bf: b(), Bo: b(), Bc: b(),
+	}
+}
+
+// Params lists every parameter matrix of the cell.
+func (l *LSTMCell) Params() []*Mat {
+	return []*Mat{l.Ui, l.Vi, l.Uf, l.Vf, l.Uo, l.Vo, l.Uc, l.Vc, l.Bi, l.Bf, l.Bo, l.Bc}
+}
+
+// NumParams counts the cell's weights.
+func (l *LSTMCell) NumParams() int {
+	n := 0
+	for _, p := range l.Params() {
+		n += p.NumParams()
+	}
+	return n
+}
+
+// LSTMState caches one forward step for backpropagation.
+type LSTMState struct {
+	x, hPrev, cPrev []float64
+	i, f, o, g      []float64 // gate activations; g = tanh(candidate)
+	c, h            []float64
+	tanhC           []float64
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// Forward computes one time step, returning the cached state.
+func (l *LSTMCell) Forward(x, hPrev, cPrev []float64) *LSTMState {
+	st := &LSTMState{x: x, hPrev: hPrev, cPrev: cPrev}
+	zi := l.Ui.MulVec(hPrev)
+	addInto(zi, l.Vi.MulVec(x))
+	addInto(zi, l.Bi.W)
+	zf := l.Uf.MulVec(hPrev)
+	addInto(zf, l.Vf.MulVec(x))
+	addInto(zf, l.Bf.W)
+	zo := l.Uo.MulVec(hPrev)
+	addInto(zo, l.Vo.MulVec(x))
+	addInto(zo, l.Bo.W)
+	zg := l.Uc.MulVec(hPrev)
+	addInto(zg, l.Vc.MulVec(x))
+	addInto(zg, l.Bc.W)
+
+	h := l.Hidden
+	st.i = make([]float64, h)
+	st.f = make([]float64, h)
+	st.o = make([]float64, h)
+	st.g = make([]float64, h)
+	st.c = make([]float64, h)
+	st.h = make([]float64, h)
+	st.tanhC = make([]float64, h)
+	for k := 0; k < h; k++ {
+		st.i[k] = sigmoid(zi[k])
+		st.f[k] = sigmoid(zf[k])
+		st.o[k] = sigmoid(zo[k])
+		st.g[k] = math.Tanh(zg[k])
+		st.c[k] = st.i[k]*st.g[k] + st.f[k]*cPrev[k]
+		st.tanhC[k] = math.Tanh(st.c[k])
+		st.h[k] = st.o[k] * st.tanhC[k]
+	}
+	return st
+}
+
+// Backward accumulates gradients for one step given dH (gradient w.r.t.
+// h_t) and dC (gradient w.r.t. c_t from the future). It returns the
+// gradients w.r.t. h_{t-1}, c_{t-1} and x_t.
+func (l *LSTMCell) Backward(st *LSTMState, dH, dC []float64) (dHPrev, dCPrev, dX []float64) {
+	h := l.Hidden
+	dc := make([]float64, h)
+	dzi := make([]float64, h)
+	dzf := make([]float64, h)
+	dzo := make([]float64, h)
+	dzg := make([]float64, h)
+	for k := 0; k < h; k++ {
+		do := dH[k] * st.tanhC[k]
+		dck := dC[k] + dH[k]*st.o[k]*(1-st.tanhC[k]*st.tanhC[k])
+		dc[k] = dck
+		di := dck * st.g[k]
+		dg := dck * st.i[k]
+		df := dck * st.cPrev[k]
+		dzi[k] = di * st.i[k] * (1 - st.i[k])
+		dzf[k] = df * st.f[k] * (1 - st.f[k])
+		dzo[k] = do * st.o[k] * (1 - st.o[k])
+		dzg[k] = dg * (1 - st.g[k]*st.g[k])
+	}
+	l.Ui.AddOuterGrad(dzi, st.hPrev)
+	l.Vi.AddOuterGrad(dzi, st.x)
+	l.Uf.AddOuterGrad(dzf, st.hPrev)
+	l.Vf.AddOuterGrad(dzf, st.x)
+	l.Uo.AddOuterGrad(dzo, st.hPrev)
+	l.Vo.AddOuterGrad(dzo, st.x)
+	l.Uc.AddOuterGrad(dzg, st.hPrev)
+	l.Vc.AddOuterGrad(dzg, st.x)
+	addInto(l.Bi.G, dzi)
+	addInto(l.Bf.G, dzf)
+	addInto(l.Bo.G, dzo)
+	addInto(l.Bc.G, dzg)
+
+	dHPrev = l.Ui.MulVecT(dzi)
+	addInto(dHPrev, l.Uf.MulVecT(dzf))
+	addInto(dHPrev, l.Uo.MulVecT(dzo))
+	addInto(dHPrev, l.Uc.MulVecT(dzg))
+
+	dX = l.Vi.MulVecT(dzi)
+	addInto(dX, l.Vf.MulVecT(dzf))
+	addInto(dX, l.Vo.MulVecT(dzo))
+	addInto(dX, l.Vc.MulVecT(dzg))
+
+	dCPrev = make([]float64, h)
+	for k := 0; k < h; k++ {
+		dCPrev[k] = dc[k] * st.f[k]
+	}
+	return dHPrev, dCPrev, dX
+}
+
+// H returns the hidden state produced by this step.
+func (s *LSTMState) H() []float64 { return s.h }
+
+// C returns the cell state produced by this step.
+func (s *LSTMState) C() []float64 { return s.c }

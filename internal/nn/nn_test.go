@@ -1,0 +1,316 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func tinyModel(t *testing.T, share bool) *Model {
+	t.Helper()
+	cfg := Config{
+		InVocab: 7, OutVocab: 9, Hidden: 6,
+		EncEmbDim: 5, DecEmbDim: 5, Share: share, Seed: 42,
+	}
+	m, err := NewModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tinySamples() []Sample {
+	return []Sample{
+		{In: []int{1, 2, 3}, Out: []int{2, 3, 4}},
+		{In: []int{4, 5}, Out: []int{5, 6}},
+		{In: []int{6, 1, 2, 3}, Out: []int{7, 8, 2}},
+		{In: []int{3, 3}, Out: []int{4}},
+	}
+}
+
+func TestModelConstruction(t *testing.T) {
+	m := tinyModel(t, false)
+	if m.NumParams() <= 0 {
+		t.Fatal("no parameters")
+	}
+	shared := tinyModel(t, true)
+	if shared.NumParams() >= m.NumParams() {
+		t.Error("shared model should have fewer parameters")
+	}
+	enc, dec := m.RecurrentParams()
+	// 4 gates × (H×H + H×E + H) each.
+	want := 4 * (6*6 + 6*5 + 6)
+	if enc != want || dec != want {
+		t.Errorf("recurrent params = %d/%d, want %d", enc, dec, want)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	if _, err := NewModel(Config{InVocab: 5, OutVocab: 9, Hidden: 4, EncEmbDim: 3, DecEmbDim: 4, Share: true}); err == nil {
+		t.Error("share with unequal dims should fail")
+	}
+	if _, err := NewModel(Config{InVocab: 0, OutVocab: 9, Hidden: 4, EncEmbDim: 3, DecEmbDim: 4}); err == nil {
+		t.Error("empty input vocab should fail")
+	}
+}
+
+// TestGradientCheck verifies analytic gradients against central finite
+// differences on a tiny model — the core invariant from DESIGN.md.
+func TestGradientCheck(t *testing.T) {
+	m := tinyModel(t, false)
+	sample := Sample{In: []int{1, 2, 3}, Out: []int{2, 3}}
+
+	lossOf := func() float64 {
+		_, _, loss, _, err := m.forwardSample(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return loss
+	}
+
+	// Accumulate analytic gradients once.
+	enc, steps, _, _, err := m.forwardSample(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.backward(enc, steps)
+
+	const eps = 1e-5
+	const tol = 1e-4
+	rng := rand.New(rand.NewSource(7))
+	for _, p := range m.Params() {
+		// Spot-check a few weights per matrix.
+		for probe := 0; probe < 4; probe++ {
+			idx := rng.Intn(len(p.W))
+			analytic := p.G[idx]
+			orig := p.W[idx]
+			p.W[idx] = orig + eps
+			plus := lossOf()
+			p.W[idx] = orig - eps
+			minus := lossOf()
+			p.W[idx] = orig
+			numeric := (plus - minus) / (2 * eps)
+			if math.Abs(analytic-numeric) > tol*(1+math.Abs(numeric)) {
+				t.Errorf("gradient mismatch (mat %dx%d idx %d): analytic %g, numeric %g",
+					p.R, p.C, idx, analytic, numeric)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	m := tinyModel(t, false)
+	samples := tinySamples()
+	before, _, err := m.Evaluate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 150; epoch++ {
+		if _, err := m.TrainBatch(samples, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, acc, err := m.Evaluate(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("loss did not decrease: %v -> %v", before, after)
+	}
+	if acc < 0.9 {
+		t.Errorf("memorization accuracy = %v, want >= 0.9", acc)
+	}
+}
+
+func TestGreedyDecodesTrainedSamples(t *testing.T) {
+	m := tinyModel(t, false)
+	samples := tinySamples()
+	for epoch := 0; epoch < 200; epoch++ {
+		_, _ = m.TrainBatch(samples, 0.5)
+	}
+	for _, s := range samples {
+		got, err := m.Greedy(s.In, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !intsEqual(got, s.Out) {
+			t.Errorf("Greedy(%v) = %v, want %v", s.In, got, s.Out)
+		}
+	}
+}
+
+// Property from DESIGN.md: beam search with K = 1 equals greedy decoding.
+func TestBeamWidth1EqualsGreedy(t *testing.T) {
+	m := tinyModel(t, false)
+	for epoch := 0; epoch < 30; epoch++ {
+		_, _ = m.TrainBatch(tinySamples(), 0.3)
+	}
+	for _, s := range tinySamples() {
+		g, _ := m.Greedy(s.In, 8)
+		b, _ := m.Beam(s.In, 1, 8)
+		if !intsEqual(g, b) {
+			t.Errorf("beam(1) = %v, greedy = %v", b, g)
+		}
+	}
+}
+
+func TestBeamWiderNeverWorse(t *testing.T) {
+	m := tinyModel(t, false)
+	for epoch := 0; epoch < 50; epoch++ {
+		_, _ = m.TrainBatch(tinySamples(), 0.3)
+	}
+	// Sequence log-probability of the beam-4 result must be >= beam-1's.
+	logProb := func(in, out []int) float64 {
+		_, steps, loss, _, err := m.forwardSample(Sample{In: in, Out: out})
+		if err != nil || len(steps) == 0 {
+			return math.Inf(-1)
+		}
+		return -loss
+	}
+	for _, s := range tinySamples() {
+		b1, _ := m.Beam(s.In, 1, 8)
+		b4, _ := m.Beam(s.In, 4, 8)
+		if len(b1) == 0 || len(b4) == 0 {
+			continue
+		}
+		p1 := logProb(s.In, b1) / float64(len(b1)+1)
+		p4 := logProb(s.In, b4) / float64(len(b4)+1)
+		if p4 < p1-1e-9 {
+			t.Errorf("beam 4 found worse hypothesis: %v (%v) vs %v (%v)", b4, p4, b1, p1)
+		}
+	}
+}
+
+func TestSharedWeightsTraining(t *testing.T) {
+	m := tinyModel(t, true)
+	before, _, _ := m.Evaluate(tinySamples())
+	for epoch := 0; epoch < 100; epoch++ {
+		_, _ = m.TrainBatch(tinySamples(), 0.3)
+	}
+	after, _, _ := m.Evaluate(tinySamples())
+	if after >= before {
+		t.Errorf("shared model loss did not decrease: %v -> %v", before, after)
+	}
+}
+
+func TestFrozenEmbeddingStaysFixed(t *testing.T) {
+	m := tinyModel(t, false)
+	vecs := make([][]float64, m.Cfg.OutVocab)
+	for i := range vecs {
+		vecs[i] = make([]float64, m.Cfg.DecEmbDim)
+		for j := range vecs[i] {
+			vecs[i][j] = float64(i*10+j) / 100
+		}
+	}
+	if err := m.SetDecoderEmbedding(vecs, true); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64{}, m.DecEmb.W...)
+	for epoch := 0; epoch < 20; epoch++ {
+		_, _ = m.TrainBatch(tinySamples(), 0.5)
+	}
+	for i, v := range m.DecEmb.W {
+		if v != snapshot[i] {
+			t.Fatal("frozen decoder embedding was modified")
+		}
+	}
+}
+
+func TestSetDecoderEmbeddingValidation(t *testing.T) {
+	m := tinyModel(t, false)
+	if err := m.SetDecoderEmbedding(make([][]float64, 3), false); err == nil {
+		t.Error("wrong row count accepted")
+	}
+	bad := make([][]float64, m.Cfg.OutVocab)
+	for i := range bad {
+		bad[i] = make([]float64, 2)
+	}
+	if err := m.SetDecoderEmbedding(bad, false); err == nil {
+		t.Error("wrong dim accepted")
+	}
+}
+
+func TestErrorsOnBadTokens(t *testing.T) {
+	m := tinyModel(t, false)
+	if _, _, err := m.Evaluate([]Sample{{In: []int{99}, Out: []int{2}}}); err == nil {
+		t.Error("out-of-range input token accepted")
+	}
+	if _, _, err := m.Evaluate([]Sample{{In: []int{1}, Out: []int{99}}}); err == nil {
+		t.Error("out-of-range output token accepted")
+	}
+	if _, err := m.Greedy(nil, 5); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := m.TrainBatch(nil, 0.1); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := m.Beam([]int{1}, 0, 5); err == nil {
+		t.Error("beam width 0 accepted")
+	}
+}
+
+func TestPaperDimensionParameterCounts(t *testing.T) {
+	// Table 3 reproduction: at the paper's dimensions the encoder LSTM has
+	// 279,552 weights — the one value in the table consistent with the
+	// stated architecture (hidden 256, encoder embedding 16, biases).
+	m, err := NewModel(Config{
+		InVocab: 36, OutVocab: 62, Hidden: 256, EncEmbDim: 16, DecEmbDim: 128, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, _ := m.RecurrentParams()
+	if enc != 279552 {
+		t.Errorf("encoder recurrent params = %d, want 279552 (Table 3)", enc)
+	}
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSoftmaxNormalization(t *testing.T) {
+	p := softmax([]float64{1, 2, 3, 1000})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("softmax out of range: %v", p)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("softmax sum = %v", sum)
+	}
+}
+
+func TestMatOps(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.W, []float64{1, 2, 3, 4, 5, 6})
+	got := m.MulVec([]float64{1, 0, -1})
+	if got[0] != -2 || got[1] != -2 {
+		t.Errorf("MulVec = %v", got)
+	}
+	gt := m.MulVecT([]float64{1, 1})
+	if gt[0] != 5 || gt[1] != 7 || gt[2] != 9 {
+		t.Errorf("MulVecT = %v", gt)
+	}
+	m.AddOuterGrad([]float64{1, 2}, []float64{3, 0, 1})
+	if m.G[0] != 3 || m.G[3] != 6 || m.G[5] != 2 {
+		t.Errorf("AddOuterGrad = %v", m.G)
+	}
+	m.Step(0.1)
+	if m.W[0] != 1-0.3 {
+		t.Errorf("Step: W[0] = %v", m.W[0])
+	}
+	if m.G[0] != 0 {
+		t.Error("Step did not clear gradients")
+	}
+}

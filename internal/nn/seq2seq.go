@@ -1,0 +1,384 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Reserved output-vocabulary token IDs.
+const (
+	BOS = 0 // beginning-of-sequence (decoder start symbol, Fig 5)
+	EOS = 1 // end-of-sequence (decoding stop symbol)
+)
+
+// Config describes a QEP2Seq model instance. The paper's settings are
+// Hidden = 256, EncEmbDim = 16, DecEmbDim = 32 (random initialization) or
+// the pre-trained vector dimension (Table 3).
+type Config struct {
+	InVocab   int
+	OutVocab  int
+	Hidden    int
+	EncEmbDim int
+	DecEmbDim int
+	// Share reuses the encoder LSTM as the decoder LSTM (the weight-sharing
+	// ablation of Figure 7(b)); it requires EncEmbDim == DecEmbDim.
+	Share bool
+	Seed  int64
+	// InitScale is the uniform initialization range (paper: 0.1).
+	InitScale float64
+}
+
+// Sample is one training pair: an act's token sequence and its description.
+type Sample struct {
+	In  []int // input tokens (act serialization)
+	Out []int // target tokens, without BOS/EOS
+}
+
+// Model is the QEP2Seq encoder-decoder with attention.
+type Model struct {
+	Cfg          Config
+	EncEmb       *Mat // InVocab × EncEmbDim
+	DecEmb       *Mat // OutVocab × DecEmbDim
+	Enc          *LSTMCell
+	Dec          *LSTMCell
+	Att          *Attention
+	WOut         *Mat // OutVocab × 2·Hidden
+	decEmbFrozen bool
+}
+
+// NewModel builds a model with the paper's uniform initialization.
+func NewModel(cfg Config) (*Model, error) {
+	if cfg.InitScale == 0 {
+		cfg.InitScale = 0.1
+	}
+	if cfg.Share && cfg.EncEmbDim != cfg.DecEmbDim {
+		return nil, fmt.Errorf("nn: weight sharing requires equal embedding dims (enc %d, dec %d)",
+			cfg.EncEmbDim, cfg.DecEmbDim)
+	}
+	if cfg.InVocab < 1 || cfg.OutVocab < 3 {
+		return nil, fmt.Errorf("nn: vocabulary too small (in %d, out %d)", cfg.InVocab, cfg.OutVocab)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{
+		Cfg:    cfg,
+		EncEmb: NewMatUniform(cfg.InVocab, cfg.EncEmbDim, cfg.InitScale, rng),
+		DecEmb: NewMatUniform(cfg.OutVocab, cfg.DecEmbDim, cfg.InitScale, rng),
+		Enc:    NewLSTMCell(cfg.EncEmbDim, cfg.Hidden, cfg.InitScale, rng),
+		Att:    NewAttention(cfg.Hidden, cfg.InitScale, rng),
+		WOut:   NewMatUniform(cfg.OutVocab, 2*cfg.Hidden, cfg.InitScale, rng),
+	}
+	if cfg.Share {
+		m.Dec = m.Enc
+	} else {
+		m.Dec = NewLSTMCell(cfg.DecEmbDim, cfg.Hidden, cfg.InitScale, rng)
+	}
+	return m, nil
+}
+
+// SetDecoderEmbedding installs pre-trained word vectors for the decoder
+// (the paper pre-trains only the decoder side — §6.4.1). When frozen is
+// true, the vectors are not updated during training.
+func (m *Model) SetDecoderEmbedding(vecs [][]float64, frozen bool) error {
+	if len(vecs) != m.Cfg.OutVocab {
+		return fmt.Errorf("nn: embedding has %d rows, want %d", len(vecs), m.Cfg.OutVocab)
+	}
+	for i, v := range vecs {
+		if len(v) != m.Cfg.DecEmbDim {
+			return fmt.Errorf("nn: embedding row %d has dim %d, want %d", i, len(v), m.Cfg.DecEmbDim)
+		}
+		copy(m.DecEmb.Row(i), v)
+	}
+	m.decEmbFrozen = frozen
+	return nil
+}
+
+// Params lists every trainable matrix exactly once.
+func (m *Model) Params() []*Mat {
+	ps := []*Mat{m.EncEmb, m.DecEmb, m.WOut}
+	ps = append(ps, m.Enc.Params()...)
+	if m.Dec != m.Enc {
+		ps = append(ps, m.Dec.Params()...)
+	}
+	ps = append(ps, m.Att.Params()...)
+	return ps
+}
+
+// NumParams counts the total trainable weights.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.NumParams()
+	}
+	return n
+}
+
+// RecurrentParams counts the "pure recurrent connections" of the paper's
+// Table 3: the encoder and decoder LSTM weights.
+func (m *Model) RecurrentParams() (enc, dec int) {
+	enc = m.Enc.NumParams()
+	dec = m.Dec.NumParams()
+	return enc, dec
+}
+
+// --- Forward / training -------------------------------------------------------
+
+type encCache struct {
+	tokens []int
+	states []*LSTMState
+	hs     [][]float64
+	finalH []float64
+	finalC []float64
+}
+
+func (m *Model) encode(in []int) (*encCache, error) {
+	if len(in) == 0 {
+		return nil, fmt.Errorf("nn: empty input sequence")
+	}
+	h := make([]float64, m.Cfg.Hidden)
+	c := make([]float64, m.Cfg.Hidden)
+	cache := &encCache{tokens: in}
+	for _, tok := range in {
+		if tok < 0 || tok >= m.Cfg.InVocab {
+			return nil, fmt.Errorf("nn: input token %d out of range", tok)
+		}
+		st := m.Enc.Forward(m.EncEmb.Row(tok), h, c)
+		cache.states = append(cache.states, st)
+		cache.hs = append(cache.hs, st.h)
+		h, c = st.h, st.c
+	}
+	cache.finalH, cache.finalC = h, c
+	return cache, nil
+}
+
+// forwardSample runs teacher-forced decoding, returning the summed
+// cross-entropy loss, the number of correctly argmax-predicted tokens, and
+// the caches needed for backprop (nil when train is false).
+type decStep struct {
+	lstm   *LSTMState
+	att    *attnState
+	concat []float64
+	probs  []float64
+	target int
+	inTok  int
+}
+
+func (m *Model) forwardSample(s Sample) (*encCache, []*decStep, float64, int, error) {
+	enc, err := m.encode(s.In)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	targets := append(append([]int{}, s.Out...), EOS)
+	inputs := append([]int{BOS}, s.Out...)
+	hPrev, cPrev := enc.finalH, enc.finalC
+	var steps []*decStep
+	loss := 0.0
+	correct := 0
+	for t, target := range targets {
+		if target < 0 || target >= m.Cfg.OutVocab {
+			return nil, nil, 0, 0, fmt.Errorf("nn: output token %d out of range", target)
+		}
+		st := m.Dec.Forward(m.DecEmb.Row(inputs[t]), hPrev, cPrev)
+		att := m.Att.Forward(st.h, enc.hs)
+		concat := make([]float64, 0, 2*m.Cfg.Hidden)
+		concat = append(concat, st.h...)
+		concat = append(concat, att.context...)
+		probs := softmax(m.WOut.MulVec(concat))
+		loss += -math.Log(math.Max(probs[target], 1e-12))
+		if argmax(probs) == target {
+			correct++
+		}
+		steps = append(steps, &decStep{lstm: st, att: att, concat: concat, probs: probs, target: target, inTok: inputs[t]})
+		hPrev, cPrev = st.h, st.c
+	}
+	return enc, steps, loss, correct, nil
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Evaluate returns the mean per-token cross-entropy loss and the
+// sparse-categorical accuracy over a sample set (no gradient updates).
+func (m *Model) Evaluate(samples []Sample) (loss, accuracy float64, err error) {
+	totalLoss, totalTokens, totalCorrect := 0.0, 0, 0
+	for _, s := range samples {
+		_, _, l, correct, e := m.forwardSample(s)
+		if e != nil {
+			return 0, 0, e
+		}
+		totalLoss += l
+		totalTokens += len(s.Out) + 1
+		totalCorrect += correct
+	}
+	if totalTokens == 0 {
+		return 0, 0, fmt.Errorf("nn: no tokens to evaluate")
+	}
+	return totalLoss / float64(totalTokens), float64(totalCorrect) / float64(totalTokens), nil
+}
+
+// TrainBatch accumulates gradients over a minibatch (paper: 4 sequences)
+// and applies one SGD step with the given learning rate (paper: 0.001,
+// no momentum). It returns the mean per-token loss of the batch.
+func (m *Model) TrainBatch(batch []Sample, lr float64) (float64, error) {
+	if len(batch) == 0 {
+		return 0, fmt.Errorf("nn: empty batch")
+	}
+	totalLoss := 0.0
+	totalTokens := 0
+	for _, s := range batch {
+		enc, steps, loss, _, err := m.forwardSample(s)
+		if err != nil {
+			return 0, err
+		}
+		totalLoss += loss
+		totalTokens += len(s.Out) + 1
+		m.backward(enc, steps)
+	}
+	scale := lr / float64(len(batch))
+	for _, p := range m.Params() {
+		p.Step(scale)
+	}
+	return totalLoss / float64(totalTokens), nil
+}
+
+func (m *Model) backward(enc *encCache, steps []*decStep) {
+	h := m.Cfg.Hidden
+	dHs := make([][]float64, len(enc.hs))
+	for i := range dHs {
+		dHs[i] = make([]float64, h)
+	}
+	dhNext := make([]float64, h)
+	dcNext := make([]float64, h)
+	for t := len(steps) - 1; t >= 0; t-- {
+		st := steps[t]
+		// Output layer: dlogits = p − onehot(target).
+		dLogits := make([]float64, len(st.probs))
+		copy(dLogits, st.probs)
+		dLogits[st.target] -= 1
+		m.WOut.AddOuterGrad(dLogits, st.concat)
+		dConcat := m.WOut.MulVecT(dLogits)
+		dS := make([]float64, h)
+		copy(dS, dConcat[:h])
+		dContext := dConcat[h:]
+		// Attention backward adds into dS and dHs.
+		addInto(dS, m.Att.Backward(st.att, dContext, dHs))
+		// Plus the gradient flowing from the next decoder step.
+		addInto(dS, dhNext)
+		dhPrev, dcPrev, dX := m.Dec.Backward(st.lstm, dS, dcNext)
+		if !m.decEmbFrozen {
+			addInto(m.DecEmb.GradRow(st.inTok), dX)
+		}
+		dhNext, dcNext = dhPrev, dcPrev
+	}
+	// The decoder's initial state was the encoder's final state.
+	addInto(dHs[len(dHs)-1], dhNext)
+	dcEnc := dcNext
+	dhEnc := make([]float64, h)
+	for i := len(enc.states) - 1; i >= 0; i-- {
+		dH := make([]float64, h)
+		copy(dH, dHs[i])
+		addInto(dH, dhEnc)
+		dhPrev, dcPrev, dX := m.Enc.Backward(enc.states[i], dH, dcEnc)
+		addInto(m.EncEmb.GradRow(enc.tokens[i]), dX)
+		dhEnc, dcEnc = dhPrev, dcPrev
+	}
+}
+
+// --- Decoding -------------------------------------------------------------------
+
+// Greedy decodes the most likely token at each step until EOS or maxLen.
+func (m *Model) Greedy(in []int, maxLen int) ([]int, error) {
+	return m.Beam(in, 1, maxLen)
+}
+
+// beamHyp is one partial hypothesis during beam search.
+type beamHyp struct {
+	tokens  []int
+	logProb float64
+	h, c    []float64
+	done    bool
+}
+
+// Beam decodes with beam search of width k (paper: 4), equation (13).
+func (m *Model) Beam(in []int, k, maxLen int) ([]int, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("nn: beam width must be >= 1")
+	}
+	enc, err := m.encode(in)
+	if err != nil {
+		return nil, err
+	}
+	beams := []*beamHyp{{h: enc.finalH, c: enc.finalC}}
+	var completed []*beamHyp
+	for step := 0; step < maxLen; step++ {
+		var next []*beamHyp
+		for _, b := range beams {
+			if b.done {
+				continue
+			}
+			prev := BOS
+			if len(b.tokens) > 0 {
+				prev = b.tokens[len(b.tokens)-1]
+			}
+			st := m.Dec.Forward(m.DecEmb.Row(prev), b.h, b.c)
+			att := m.Att.Forward(st.h, enc.hs)
+			concat := make([]float64, 0, 2*m.Cfg.Hidden)
+			concat = append(concat, st.h...)
+			concat = append(concat, att.context...)
+			probs := softmax(m.WOut.MulVec(concat))
+			for tok, p := range probs {
+				hyp := &beamHyp{
+					tokens:  append(append([]int{}, b.tokens...), tok),
+					logProb: b.logProb + math.Log(math.Max(p, 1e-12)),
+					h:       st.h, c: st.c,
+				}
+				if tok == EOS {
+					hyp.done = true
+				}
+				next = append(next, hyp)
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		sort.Slice(next, func(a, b int) bool { return next[a].logProb > next[b].logProb })
+		if len(next) > k {
+			next = next[:k]
+		}
+		beams = beams[:0]
+		for _, b := range next {
+			if b.done {
+				completed = append(completed, b)
+			} else {
+				beams = append(beams, b)
+			}
+		}
+		if len(beams) == 0 {
+			break
+		}
+	}
+	completed = append(completed, beams...)
+	if len(completed) == 0 {
+		return nil, nil
+	}
+	best := completed[0]
+	for _, c := range completed[1:] {
+		// Length-normalized comparison keeps short hypotheses honest.
+		if c.logProb/float64(len(c.tokens)) > best.logProb/float64(len(best.tokens)) {
+			best = c
+		}
+	}
+	out := best.tokens
+	if len(out) > 0 && out[len(out)-1] == EOS {
+		out = out[:len(out)-1]
+	}
+	return out, nil
+}

@@ -1,0 +1,221 @@
+// Package paraphrase provides three offline synonymous-sentence generators
+// standing in for the three commercial web paraphrasing tools the paper
+// uses ([8] paraphrasing-tool.com, [9] prepostseo, [10] quillbot) to
+// diversify NEURAL-LANTERN's training data (§6.3).
+//
+// The substitution preserves what the pipeline needs from the originals:
+//
+//   - each tool produces a deterministic (per input) but distinct surface
+//     form, so the expanded training set is ~3-4x the original (Table 4's
+//     "#Samples per group");
+//   - the tools differ in aggressiveness, so their Self-BLEU scores order
+//     the same way as the paper's Table 4 (quillbot most diverse);
+//   - the most aggressive tool occasionally picks a near-miss word
+//     ("separating" for "filtering"), reproducing the Table 2 phenomenon
+//     the paper observed — and later found harmless, even stimulating, in
+//     US 4.
+//
+// Special tags (<T>, <F>, ...), intermediate identifiers (T1, T2, ...),
+// placeholders ($R1$), and condition text in parentheses are never altered.
+package paraphrase
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Tool is one paraphrasing engine.
+type Tool interface {
+	// Name identifies the tool in reports (Table 4 rows).
+	Name() string
+	// Paraphrase rewrites a sentence. The output is deterministic for a
+	// given (tool, input) pair.
+	Paraphrase(s string) string
+}
+
+// Tools returns the three standard tools in the paper's citation order:
+// [8] moderate restructurer, [9] conservative substituter, [10] aggressive
+// rewriter.
+func Tools() []Tool {
+	return []Tool{NewRestructurer(), NewConservative(), NewAggressive()}
+}
+
+// protected reports whether a token must never be rewritten: special tags,
+// placeholders, identifiers (T1...), numbers, quoted or parenthesized text,
+// and SQL-ish fragments.
+func protected(tok string) bool {
+	if tok == "" {
+		return true
+	}
+	if strings.ContainsAny(tok, "<>$()'\"=0123456789.") {
+		return true
+	}
+	// Intermediate identifiers T1, T2, ... and ALL-CAPS keywords.
+	if tok[0] == 'T' && len(tok) <= 3 {
+		return true
+	}
+	if tok == strings.ToUpper(tok) && len(tok) > 1 {
+		return true
+	}
+	return false
+}
+
+// seededRNG derives a deterministic RNG from the tool name and input.
+func seededRNG(name, input string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte(input))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// substitute rewrites tokens through a synonym lexicon with probability p.
+func substitute(s string, lex map[string][]string, p float64, rng *rand.Rand) string {
+	toks := strings.Fields(s)
+	for i, tok := range toks {
+		if protected(tok) {
+			continue
+		}
+		trail := ""
+		word := tok
+		for len(word) > 0 && (word[len(word)-1] == ',' || word[len(word)-1] == ';') {
+			trail = string(word[len(word)-1]) + trail
+			word = word[:len(word)-1]
+		}
+		alts, ok := lex[strings.ToLower(word)]
+		if !ok || len(alts) == 0 {
+			continue
+		}
+		if rng.Float64() >= p {
+			continue
+		}
+		toks[i] = alts[rng.Intn(len(alts))] + trail
+	}
+	return strings.Join(toks, " ")
+}
+
+// --- Tool [9]: conservative substituter -------------------------------------
+
+type conservative struct{ lex map[string][]string }
+
+// NewConservative builds the conservative tool ([9] in the paper): few,
+// safe, single-word substitutions, hence the highest Self-BLEU.
+func NewConservative() Tool {
+	return &conservative{lex: map[string][]string{
+		"perform": {"execute"},
+		"get":     {"obtain"},
+		"final":   {"ultimate"},
+		"results": {"result set"},
+		"keep":    {"retain"},
+		"rows":    {"tuples"},
+	}}
+}
+
+func (t *conservative) Name() string { return "prepostseo" }
+
+func (t *conservative) Paraphrase(s string) string {
+	rng := seededRNG(t.Name(), s)
+	return substitute(s, t.lex, 0.7, rng)
+}
+
+// --- Tool [10]: aggressive rewriter ------------------------------------------
+
+type aggressive struct{ lex map[string][]string }
+
+// NewAggressive builds the aggressive tool ([10], quillbot-like): wide
+// lexicon, high substitution rate, and deliberate near-miss entries
+// (Table 2's "separating" for "filtering"), hence the lowest Self-BLEU.
+func NewAggressive() Tool {
+	return &aggressive{lex: map[string][]string{
+		"perform":      {"execute", "carry out", "run"},
+		"sequential":   {"serial", "sequenced"},
+		"scan":         {"sweep", "pass"},
+		"filtering":    {"separating", "selecting", "screening"},
+		"join":         {"merge operation", "join operation"},
+		"hash":         {"hashing of", "hash-based processing of"},
+		"sort":         {"order", "arrange"},
+		"grouping":     {"clustering", "bucketing"},
+		"attribute":    {"column", "field"},
+		"condition":    {"criteria", "predicate"},
+		"get":          {"acquire", "derive", "produce"},
+		"intermediate": {"temporary", "interim"},
+		"relation":     {"table", "dataset"},
+		"final":        {"conclusive", "definitive"},
+		"results":      {"outcome", "output"},
+		"duplicate":    {"repeated", "redundant"},
+		"removal":      {"elimination", "deletion"},
+		"index":        {"index structure"},
+		"keep":         {"preserve", "hold"},
+		"first":        {"initial", "leading"},
+		"requested":    {"specified", "desired"},
+		"using":        {"via", "through"},
+		"aggregate":    {"aggregation", "summarization"},
+	}}
+}
+
+func (t *aggressive) Name() string { return "quillbot" }
+
+func (t *aggressive) Paraphrase(s string) string {
+	rng := seededRNG(t.Name(), s)
+	return substitute(s, t.lex, 0.85, rng)
+}
+
+// --- Tool [8]: moderate restructurer -----------------------------------------
+
+type restructurer struct{ lex map[string][]string }
+
+// NewRestructurer builds the moderate tool ([8]): light substitution plus
+// clause restructuring, as in Table 2's third synonymous sentence
+// ("execute sequential scan output on user and get user which age > 10").
+func NewRestructurer() Tool {
+	return &restructurer{lex: map[string][]string{
+		"perform":      {"execute"},
+		"get":          {"acquire"},
+		"final":        {"conclusive"},
+		"results":      {"outcome"},
+		"intermediate": {"temporary"},
+		"filtering":    {"selecting"},
+	}}
+}
+
+func (t *restructurer) Name() string { return "paraphrasing-tool" }
+
+func (t *restructurer) Paraphrase(s string) string {
+	rng := seededRNG(t.Name(), s)
+	out := substitute(s, t.lex, 0.6, rng)
+	// Clause restructuring: rewrite the filtering clause into a relative
+	// construction about half the time.
+	if rng.Float64() < 0.5 {
+		out = strings.Replace(out, " and filtering on ", " output and keep rows which satisfy ", 1)
+		out = strings.Replace(out, " and selecting on ", " output and keep rows which satisfy ", 1)
+	}
+	if rng.Float64() < 0.5 {
+		out = strings.Replace(out, "to get the", "and to get the", 1)
+	}
+	return out
+}
+
+// Expand applies every tool to a sentence and returns the deduplicated
+// group of variants (the original first) — one Table 4 "group".
+func Expand(s string, tools []Tool) []string {
+	seen := map[string]bool{s: true}
+	out := []string{s}
+	for _, t := range tools {
+		v := strings.TrimSpace(t.Paraphrase(s))
+		if v == "" || seen[v] {
+			continue
+		}
+		// Invalid-sentence elimination (the paper removes tool failures
+		// manually): reject variants that lost or gained special tags.
+		if tagCount(v) != tagCount(s) {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+func tagCount(s string) int {
+	return strings.Count(s, "<") + strings.Count(s, "$")
+}

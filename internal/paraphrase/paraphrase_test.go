@@ -1,0 +1,145 @@
+package paraphrase
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/metrics"
+)
+
+const sample = "perform sequential scan on user and filtering on (age > 10) to get the final results."
+
+func TestDeterminism(t *testing.T) {
+	for _, tool := range Tools() {
+		a := tool.Paraphrase(sample)
+		b := tool.Paraphrase(sample)
+		if a != b {
+			t.Errorf("%s is nondeterministic:\n  %s\n  %s", tool.Name(), a, b)
+		}
+	}
+}
+
+func TestToolsProduceDistinctOutputs(t *testing.T) {
+	outputs := map[string]string{}
+	for _, tool := range Tools() {
+		outputs[tool.Name()] = tool.Paraphrase(sample)
+	}
+	if len(outputs) != 3 {
+		t.Fatalf("tools = %d", len(outputs))
+	}
+	distinct := map[string]bool{}
+	for _, o := range outputs {
+		distinct[o] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("tools collapse to the same output: %v", outputs)
+	}
+}
+
+func TestProtectedTokensPreserved(t *testing.T) {
+	in := "perform index scan on <T> and filtering on <F> to get the intermediate relation T1 with $R1$ and (c_acctbal > 100)"
+	for _, tool := range Tools() {
+		out := tool.Paraphrase(in)
+		for _, must := range []string{"<T>", "<F>", "T1", "$R1$", "(c_acctbal > 100)"} {
+			if !strings.Contains(out, must) {
+				t.Errorf("%s lost %q:\n  %s", tool.Name(), must, out)
+			}
+		}
+	}
+}
+
+func TestAggressiveNearMiss(t *testing.T) {
+	// The Table 2 phenomenon: across many sentences the aggressive tool
+	// sometimes writes "separating" where "filtering" stood.
+	tool := NewAggressive()
+	found := false
+	for i := 0; i < 40 && !found; i++ {
+		s := strings.Replace(sample, "user", strings.Repeat("u", i+1), 1)
+		if strings.Contains(tool.Paraphrase(s), "separating") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("aggressive tool never produced the near-miss 'separating'")
+	}
+}
+
+func TestDiversityOrderingMatchesTable4(t *testing.T) {
+	// Table 4 orders the tools by diversity: quillbot (0.309) most diverse,
+	// paraphrasing-tool (0.502) next, prepostseo (0.603) least.
+	sentences := []string{
+		"perform sequential scan on user and filtering on (age > 10) to get the final results.",
+		"perform hash join on orders and customer on condition (a = b) to get the intermediate relation T2.",
+		"sort T2 and perform aggregate on T2 with grouping on attribute name to get the final results.",
+		"perform index scan on customer using index on custkey and filtering on (k = 7).",
+		"perform duplicate removal on T3 to get the final results.",
+		"keep only the first requested rows of T1 to get the final results.",
+	}
+	score := func(tool Tool) float64 {
+		sum := 0.0
+		for _, s := range sentences {
+			sum += metrics.SelfBLEU([]string{s, tool.Paraphrase(s)})
+		}
+		return sum / float64(len(sentences))
+	}
+	agg := score(NewAggressive())
+	mid := score(NewRestructurer())
+	con := score(NewConservative())
+	if !(agg < mid && mid < con) {
+		t.Errorf("diversity ordering violated: quillbot=%.3f paraphrasing-tool=%.3f prepostseo=%.3f",
+			agg, mid, con)
+	}
+	if con >= 1.0 {
+		t.Errorf("conservative tool produced no variation at all: %.3f", con)
+	}
+}
+
+func TestExpandGroup(t *testing.T) {
+	group := Expand(sample, Tools())
+	if group[0] != sample {
+		t.Error("original must come first")
+	}
+	if len(group) < 3 {
+		t.Errorf("group size = %d, want >= 3 (paper expands ~3x)", len(group))
+	}
+	seen := map[string]bool{}
+	for _, g := range group {
+		if seen[g] {
+			t.Errorf("duplicate in group: %s", g)
+		}
+		seen[g] = true
+	}
+}
+
+func TestExpandRejectsTagLoss(t *testing.T) {
+	// A variant that drops a special tag must be eliminated, mirroring the
+	// paper's manual removal of invalid tool outputs.
+	in := "perform index scan on <T> and filtering on <F>"
+	group := Expand(in, Tools())
+	for _, g := range group {
+		if strings.Count(g, "<") != 2 {
+			t.Errorf("variant lost tags: %s", g)
+		}
+	}
+}
+
+func TestExpandEmptyToolList(t *testing.T) {
+	group := Expand(sample, nil)
+	if len(group) != 1 || group[0] != sample {
+		t.Errorf("group = %v", group)
+	}
+}
+
+func TestRestructurerRewritesClause(t *testing.T) {
+	tool := NewRestructurer()
+	found := false
+	for i := 0; i < 30 && !found; i++ {
+		s := strings.Replace(sample, "user", strings.Repeat("x", i+1), 1)
+		if strings.Contains(tool.Paraphrase(s), "keep rows which satisfy") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("restructurer never rewrote the filtering clause")
+	}
+}

@@ -1,0 +1,66 @@
+package plan
+
+import (
+	"encoding/xml"
+	"fmt"
+)
+
+// msRelOp mirrors the RelOp element of the SQL-Server-style XML showplan
+// the substrate engine emits.
+type msRelOp struct {
+	PhysicalOp    string     `xml:"PhysicalOp,attr"`
+	LogicalOp     string     `xml:"LogicalOp,attr"`
+	EstimateRows  float64    `xml:"EstimateRows,attr"`
+	EstimatedCost float64    `xml:"EstimatedTotalSubtreeCost,attr"`
+	Table         string     `xml:"Table,attr"`
+	Alias         string     `xml:"Alias,attr"`
+	Index         string     `xml:"Index,attr"`
+	SeekPredicate string     `xml:"SeekPredicate"`
+	Predicate     string     `xml:"Predicate"`
+	JoinPredicate string     `xml:"JoinPredicate"`
+	OrderBy       string     `xml:"OrderBy"`
+	GroupBy       string     `xml:"GroupBy"`
+	Children      []*msRelOp `xml:"RelOp"`
+}
+
+type msShowPlan struct {
+	XMLName xml.Name `xml:"ShowPlanXML"`
+	Root    *msRelOp `xml:"BatchSequence>Batch>Statements>StmtSimple>QueryPlan>RelOp"`
+}
+
+// ParseSQLServerXML parses a SQL-Server-style XML showplan into a
+// vendor-neutral operator tree with Source = "sqlserver".
+func ParseSQLServerXML(doc string) (*Node, error) {
+	var sp msShowPlan
+	if err := xml.Unmarshal([]byte(doc), &sp); err != nil {
+		return nil, fmt.Errorf("plan: malformed XML showplan: %w", err)
+	}
+	if sp.Root == nil {
+		return nil, fmt.Errorf("plan: XML showplan lacks a root RelOp")
+	}
+	return fromMSRelOp(sp.Root), nil
+}
+
+func fromMSRelOp(r *msRelOp) *Node {
+	n := &Node{
+		Name:   r.PhysicalOp,
+		Source: "sqlserver",
+		Rows:   r.EstimateRows,
+		Cost:   r.EstimatedCost,
+	}
+	n.SetAttr(AttrRelation, r.Table)
+	n.SetAttr(AttrAlias, r.Alias)
+	n.SetAttr(AttrIndexName, r.Index)
+	n.SetAttr(AttrIndexCond, r.SeekPredicate)
+	n.SetAttr(AttrFilter, r.Predicate)
+	n.SetAttr(AttrJoinCond, r.JoinPredicate)
+	n.SetAttr(AttrSortKey, r.OrderBy)
+	n.SetAttr(AttrGroupKey, r.GroupBy)
+	if r.LogicalOp == "Left Outer Join" {
+		n.SetAttr("jointype", "Left")
+	}
+	for _, c := range r.Children {
+		n.Children = append(n.Children, fromMSRelOp(c))
+	}
+	return n
+}

@@ -1,0 +1,89 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// pgNode mirrors the node shape of PostgreSQL's EXPLAIN (FORMAT JSON).
+type pgNode struct {
+	NodeType     string    `json:"Node Type"`
+	JoinType     string    `json:"Join Type"`
+	Strategy     string    `json:"Strategy"`
+	RelationName string    `json:"Relation Name"`
+	Alias        string    `json:"Alias"`
+	IndexName    string    `json:"Index Name"`
+	IndexCond    string    `json:"Index Cond"`
+	HashCond     string    `json:"Hash Cond"`
+	MergeCond    string    `json:"Merge Cond"`
+	JoinFilter   string    `json:"Join Filter"`
+	Filter       string    `json:"Filter"`
+	SortKey      []string  `json:"Sort Key"`
+	GroupKey     []string  `json:"Group Key"`
+	TotalCost    float64   `json:"Total Cost"`
+	PlanRows     float64   `json:"Plan Rows"`
+	Plans        []*pgNode `json:"Plans"`
+}
+
+// ParsePostgresJSON parses a PostgreSQL-style EXPLAIN (FORMAT JSON)
+// document (a one-element array of {"Plan": ...}) into a vendor-neutral
+// operator tree with Source = "pg".
+func ParsePostgresJSON(doc string) (*Node, error) {
+	var outer []map[string]*pgNode
+	if err := json.Unmarshal([]byte(doc), &outer); err != nil {
+		return nil, fmt.Errorf("plan: malformed PostgreSQL JSON plan: %w", err)
+	}
+	if len(outer) == 0 {
+		return nil, fmt.Errorf("plan: empty PostgreSQL JSON plan")
+	}
+	root, ok := outer[0]["Plan"]
+	if !ok || root == nil {
+		return nil, fmt.Errorf(`plan: PostgreSQL JSON plan lacks a "Plan" object`)
+	}
+	return fromPGNode(root), nil
+}
+
+func fromPGNode(p *pgNode) *Node {
+	name := p.NodeType
+	// PostgreSQL reports one "Aggregate" node type with a Strategy field;
+	// the text format (and the POEM store) distinguish the physical
+	// operators, so resolve the strategy here.
+	if name == "Aggregate" {
+		switch p.Strategy {
+		case "Hashed":
+			name = "HashAggregate"
+		case "Sorted":
+			name = "GroupAggregate"
+		}
+	}
+	n := &Node{
+		Name:   name,
+		Source: "pg",
+		Rows:   p.PlanRows,
+		Cost:   p.TotalCost,
+	}
+	n.SetAttr(AttrRelation, p.RelationName)
+	n.SetAttr(AttrAlias, p.Alias)
+	n.SetAttr(AttrIndexName, p.IndexName)
+	n.SetAttr(AttrIndexCond, p.IndexCond)
+	n.SetAttr(AttrFilter, p.Filter)
+	n.SetAttr(AttrStrategy, p.Strategy)
+	switch {
+	case p.HashCond != "":
+		n.SetAttr(AttrJoinCond, p.HashCond)
+	case p.MergeCond != "":
+		n.SetAttr(AttrJoinCond, p.MergeCond)
+	case p.JoinFilter != "":
+		n.SetAttr(AttrJoinCond, p.JoinFilter)
+	}
+	if p.JoinType == "Left" {
+		n.SetAttr("jointype", "Left")
+	}
+	n.SetAttr(AttrSortKey, strings.Join(p.SortKey, ", "))
+	n.SetAttr(AttrGroupKey, strings.Join(p.GroupKey, ", "))
+	for _, c := range p.Plans {
+		n.Children = append(n.Children, fromPGNode(c))
+	}
+	return n
+}

@@ -1,0 +1,129 @@
+// Package plan defines the vendor-neutral query-execution-plan tree that
+// LANTERN operates on, together with parsers for the two serializations the
+// substrate engine (standing in for PostgreSQL and SQL Server) produces:
+// PostgreSQL-style EXPLAIN (FORMAT JSON) documents and SQL-Server-style XML
+// showplans. This mirrors the paper's architecture: "we can extend lantern
+// to any rdbms easily by writing a parser to create operator trees".
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Canonical attribute keys shared by both parsers. RULE-LANTERN fills its
+// templates from these.
+const (
+	AttrRelation  = "relation"  // base table name
+	AttrAlias     = "alias"     // binding alias
+	AttrFilter    = "filter"    // residual / HAVING filter text
+	AttrJoinCond  = "joincond"  // hash/merge/nested-loop join condition text
+	AttrIndexCond = "indexcond" // index scan condition text
+	AttrIndexName = "indexname"
+	AttrSortKey   = "sortkey"
+	AttrGroupKey  = "groupkey"
+	AttrStrategy  = "strategy" // aggregate strategy (Plain/Sorted/Hashed)
+)
+
+// Node is one operator of a vendor-neutral QEP tree.
+type Node struct {
+	// Name is the physical operator name exactly as the source engine
+	// reports it ("Hash Join" for PostgreSQL, "Hash Match" for SQL Server).
+	Name string
+	// Source identifies the dialect the node was parsed from ("pg",
+	// "sqlserver").
+	Source   string
+	Attrs    map[string]string
+	Rows     float64
+	Cost     float64
+	Children []*Node
+}
+
+// Attr returns the attribute value, or "".
+func (n *Node) Attr(key string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[key]
+}
+
+// SetAttr stores a non-empty attribute value.
+func (n *Node) SetAttr(key, val string) {
+	if val == "" {
+		return
+	}
+	if n.Attrs == nil {
+		n.Attrs = make(map[string]string)
+	}
+	n.Attrs[key] = val
+}
+
+// Walk visits n and all descendants pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// WalkPostOrder visits children before parents — the traversal order
+// RULE-LANTERN narrates in (Algorithm 1 of the paper).
+func (n *Node) WalkPostOrder(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	for _, c := range n.Children {
+		c.WalkPostOrder(fn)
+	}
+	fn(n)
+}
+
+// CountNodes returns the number of operators in the tree.
+func (n *Node) CountNodes() int {
+	c := 0
+	n.Walk(func(*Node) { c++ })
+	return c
+}
+
+// OperatorNames returns the distinct operator names in the tree, in
+// pre-order first-appearance order.
+func (n *Node) OperatorNames() []string {
+	seen := make(map[string]bool)
+	var out []string
+	n.Walk(func(x *Node) {
+		if !seen[x.Name] {
+			seen[x.Name] = true
+			out = append(out, x.Name)
+		}
+	})
+	return out
+}
+
+// Canon returns a canonical key for an operator name: lower-cased with
+// spaces removed ("Hash Join" -> "hashjoin"), matching POEM object names.
+func Canon(name string) string {
+	return strings.ToLower(strings.ReplaceAll(name, " ", ""))
+}
+
+// String renders a compact indented view of the tree for debugging and for
+// the visual-tree presentation mode.
+func (n *Node) String() string {
+	var sb strings.Builder
+	var rec func(*Node, int)
+	rec = func(x *Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(x.Name)
+		if rel := x.Attr(AttrRelation); rel != "" {
+			fmt.Fprintf(&sb, " (%s)", rel)
+		}
+		sb.WriteString("\n")
+		for _, c := range x.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}

@@ -1,0 +1,263 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/engine"
+)
+
+// planEngine builds a small database whose plans exercise every node type.
+func planEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.NewDefault()
+	script := `
+CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25), c_mktsegment VARCHAR(10));
+CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_totalprice FLOAT);
+CREATE INDEX customer_pk ON customer (c_custkey);
+INSERT INTO customer VALUES (1, 'a', 'AUTO'), (2, 'b', 'BUILDING'), (3, 'c', 'AUTO');
+INSERT INTO orders VALUES (10, 1, 100.0), (11, 2, 50.0), (12, 1, 75.0), (13, 3, 20.0);
+`
+	if _, err := e.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const joinQuery = `SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o
+	WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 30
+	GROUP BY c.c_name ORDER BY c.c_name`
+
+func explainJSON(t *testing.T, e *engine.Engine, q string) string {
+	t.Helper()
+	r, err := e.Exec("EXPLAIN (FORMAT JSON) " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Plan
+}
+
+func explainXML(t *testing.T, e *engine.Engine, q string) string {
+	t.Helper()
+	r, err := e.Exec("EXPLAIN (FORMAT XML) " + q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Plan
+}
+
+func TestParsePostgresJSON(t *testing.T) {
+	e := planEngine(t)
+	tree, err := ParsePostgresJSON(explainJSON(t, e, joinQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Source != "pg" {
+		t.Errorf("source = %q", tree.Source)
+	}
+	names := strings.Join(tree.OperatorNames(), ",")
+	if !strings.Contains(names, "Scan") {
+		t.Errorf("no scan in %s", names)
+	}
+	// Aggregate strategies are resolved to physical names.
+	hasAgg := false
+	tree.Walk(func(n *Node) {
+		if strings.Contains(n.Name, "Aggregate") {
+			hasAgg = true
+			if n.Name == "Aggregate" && n.Attr(AttrStrategy) != "Plain" {
+				t.Errorf("unresolved aggregate strategy: %+v", n.Attrs)
+			}
+		}
+	})
+	if !hasAgg {
+		t.Errorf("no aggregate in %s", names)
+	}
+}
+
+func TestParsePostgresJSONJoinCond(t *testing.T) {
+	e := planEngine(t)
+	tree, err := ParsePostgresJSON(explainJSON(t, e, joinQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	tree.Walk(func(n *Node) {
+		if n.Attr(AttrJoinCond) != "" {
+			found = true
+			if !strings.Contains(n.Attr(AttrJoinCond), "custkey") {
+				t.Errorf("join cond = %q", n.Attr(AttrJoinCond))
+			}
+		}
+	})
+	if !found {
+		t.Error("no node carries a join condition")
+	}
+}
+
+func TestParseSQLServerXML(t *testing.T) {
+	e := planEngine(t)
+	tree, err := ParseSQLServerXML(explainXML(t, e, joinQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Source != "sqlserver" {
+		t.Errorf("source = %q", tree.Source)
+	}
+	names := tree.OperatorNames()
+	joined := strings.Join(names, ",")
+	// SQL Server vocabulary, not PostgreSQL's.
+	if strings.Contains(joined, "Seq Scan") {
+		t.Errorf("PostgreSQL name leaked into XML plan: %s", joined)
+	}
+	if !strings.Contains(joined, "Table Scan") && !strings.Contains(joined, "Index Seek") {
+		t.Errorf("no SQL Server scan operator: %s", joined)
+	}
+}
+
+func TestXMLHasNoHashBuildNode(t *testing.T) {
+	e := planEngine(t)
+	// Force a hash join so the PG plan would contain a Hash node.
+	cfgQuery := "SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
+	pgTree, err := ParsePostgresJSON(explainJSON(t, e, cfgQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msTree, err := ParseSQLServerXML(explainXML(t, e, cfgQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgHash, msHash := false, false
+	pgTree.Walk(func(n *Node) {
+		if n.Name == "Hash" {
+			pgHash = true
+		}
+	})
+	msTree.Walk(func(n *Node) {
+		if n.Name == "Hash" {
+			msHash = true
+		}
+	})
+	if msHash {
+		t.Error("SQL Server plan should not contain a standalone Hash build operator")
+	}
+	_ = pgHash // presence depends on cost decisions; asserted elsewhere
+}
+
+// Round-trip property from DESIGN.md: parsing the emitted JSON and XML
+// yields trees with the same structure (same child counts at every
+// position) and consistent relation attributes at the leaves.
+func TestJSONXMLStructuralAgreement(t *testing.T) {
+	e := planEngine(t)
+	queries := []string{
+		"SELECT c_name FROM customer WHERE c_custkey = 2",
+		joinQuery,
+		"SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment LIMIT 1",
+	}
+	for _, q := range queries {
+		pgTree, err := ParsePostgresJSON(explainJSON(t, e, q))
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		msTree, err := ParseSQLServerXML(explainXML(t, e, q))
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		// XML inlines Hash build nodes, so node counts differ by the number
+		// of Hash nodes in the PG tree.
+		hashCount := 0
+		pgTree.Walk(func(n *Node) {
+			if n.Name == "Hash" {
+				hashCount++
+			}
+		})
+		if pgTree.CountNodes()-hashCount != msTree.CountNodes() {
+			t.Errorf("%q: pg nodes (minus Hash) = %d, mssql nodes = %d",
+				q, pgTree.CountNodes()-hashCount, msTree.CountNodes())
+		}
+		// Leaf relations agree.
+		var pgRels, msRels []string
+		pgTree.Walk(func(n *Node) {
+			if r := n.Attr(AttrRelation); r != "" {
+				pgRels = append(pgRels, r)
+			}
+		})
+		msTree.Walk(func(n *Node) {
+			if r := n.Attr(AttrRelation); r != "" {
+				msRels = append(msRels, r)
+			}
+		})
+		if strings.Join(pgRels, ",") != strings.Join(msRels, ",") {
+			t.Errorf("%q: relations disagree: %v vs %v", q, pgRels, msRels)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := ParsePostgresJSON("not json"); err == nil {
+		t.Error("expected JSON error")
+	}
+	if _, err := ParsePostgresJSON("[]"); err == nil {
+		t.Error("expected empty-plan error")
+	}
+	if _, err := ParsePostgresJSON(`[{"NotPlan": {}}]`); err == nil {
+		t.Error("expected missing-Plan error")
+	}
+	if _, err := ParseSQLServerXML("<broken"); err == nil {
+		t.Error("expected XML error")
+	}
+	if _, err := ParseSQLServerXML("<ShowPlanXML></ShowPlanXML>"); err == nil {
+		t.Error("expected missing-RelOp error")
+	}
+}
+
+func TestCanon(t *testing.T) {
+	cases := map[string]string{
+		"Hash Join":   "hashjoin",
+		"Seq Scan":    "seqscan",
+		"Hash Match":  "hashmatch",
+		"Nested Loop": "nestedloop",
+		"Sort":        "sort",
+	}
+	for in, want := range cases {
+		if got := Canon(in); got != want {
+			t.Errorf("Canon(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWalkPostOrder(t *testing.T) {
+	root := &Node{Name: "A", Children: []*Node{
+		{Name: "B", Children: []*Node{{Name: "C"}}},
+		{Name: "D"},
+	}}
+	var order []string
+	root.WalkPostOrder(func(n *Node) { order = append(order, n.Name) })
+	if strings.Join(order, "") != "CBDA" {
+		t.Errorf("post order = %v", order)
+	}
+}
+
+func TestNodeStringRendering(t *testing.T) {
+	n := &Node{Name: "Hash Join", Children: []*Node{
+		{Name: "Seq Scan", Attrs: map[string]string{AttrRelation: "orders"}},
+	}}
+	s := n.String()
+	if !strings.Contains(s, "Hash Join") || !strings.Contains(s, "(orders)") {
+		t.Errorf("render = %q", s)
+	}
+}
+
+func TestAttrHelpers(t *testing.T) {
+	n := &Node{}
+	if n.Attr("x") != "" {
+		t.Error("empty node should return empty attr")
+	}
+	n.SetAttr("x", "")
+	if n.Attrs != nil {
+		t.Error("empty value should not allocate")
+	}
+	n.SetAttr("x", "1")
+	if n.Attr("x") != "1" {
+		t.Error("SetAttr/Attr mismatch")
+	}
+}

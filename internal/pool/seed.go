@@ -1,0 +1,232 @@
+package pool
+
+// SeedStandard populates a store with the descriptions two SMEs would
+// author for the three supported engines, issued as POOL statements — the
+// exact workflow the paper's §4 prescribes. The pg templates are chosen so
+// RULE-LANTERN reproduces the paper's Example 5.1 narration verbatim
+// ("hash T1 and perform hash join on inproceedings and T1 on condition ...").
+func SeedStandard(s *Store) {
+	stmts := []string{
+		// --- PostgreSQL -------------------------------------------------
+		`CREATE POPERATOR seqscan FOR pg (
+			ALIAS = 'sequential scan',
+			TYPE = 'unary',
+			DEFN = 'scans the entire relation sequentially, evaluating the filter condition on every tuple',
+			DESC = 'perform sequential scan on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexscan FOR pg (
+			ALIAS = 'index scan',
+			TYPE = 'unary',
+			DEFN = 'uses an index to fetch only the tuples matching the condition',
+			DESC = 'perform index scan on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashjoin FOR pg (
+			TYPE = 'binary',
+			DEFN = 'a type of join algorithm that uses hashing to create subsets of tuples',
+			DESC = 'perform hash join',
+			COND = 'true')`,
+		`CREATE POPERATOR hash FOR pg (
+			TYPE = 'unary',
+			DEFN = 'builds an in-memory hash table over its input for the enclosing hash join',
+			DESC = 'hash $R1$',
+			COND = 'false',
+			TARGET = 'hashjoin')`,
+		`CREATE POPERATOR mergejoin FOR pg (
+			TYPE = 'binary',
+			DEFN = 'joins two inputs sorted on the join keys by merging them',
+			DESC = 'perform merge join',
+			COND = 'true')`,
+		`CREATE POPERATOR nestedloop FOR pg (
+			ALIAS = 'nested loop join',
+			TYPE = 'binary',
+			DEFN = 'joins by scanning the inner relation once per outer tuple',
+			DESC = 'perform nested loop join',
+			COND = 'true')`,
+		`CREATE POPERATOR aggregate FOR pg (
+			TYPE = 'unary',
+			DEFN = 'computes aggregate functions over the whole input',
+			DESC = 'perform aggregate on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR groupaggregate FOR pg (
+			ALIAS = 'aggregate',
+			TYPE = 'unary',
+			DEFN = 'computes aggregates over groups of sorted input tuples',
+			DESC = 'perform aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashaggregate FOR pg (
+			ALIAS = 'hash aggregate',
+			TYPE = 'unary',
+			DEFN = 'computes aggregates over groups found via a hash table',
+			DESC = 'perform hash aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR sort FOR pg (
+			TYPE = 'unary',
+			DEFN = 'sorts the input on the given keys',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'mergejoin')`,
+		`CREATE POPERATOR sort FOR pg (
+			TYPE = 'unary',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'groupaggregate')`,
+		`CREATE POPERATOR materialize FOR pg (
+			TYPE = 'unary',
+			DEFN = 'materializes its input so it can be rescanned cheaply',
+			DESC = 'materialize $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR unique FOR pg (
+			ALIAS = 'duplicate removal',
+			TYPE = 'unary',
+			DEFN = 'removes duplicate rows from sorted input',
+			DESC = 'perform duplicate removal on $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR limit FOR pg (
+			TYPE = 'unary',
+			DEFN = 'returns only the first requested rows of its input',
+			DESC = 'keep only the first requested rows of $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR result FOR pg (
+			TYPE = 'unary',
+			DEFN = 'computes a constant result without reading any relation',
+			DESC = 'produce a constant result',
+			COND = 'false')`,
+
+		// --- SQL Server ---------------------------------------------------
+		`CREATE POPERATOR tablescan FOR sqlserver (
+			ALIAS = 'table scan',
+			TYPE = 'unary',
+			DEFN = 'scans every row of the table',
+			DESC = 'perform table scan on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexseek FOR sqlserver (
+			ALIAS = 'index seek',
+			TYPE = 'unary',
+			DEFN = 'seeks directly to matching rows through an index',
+			DESC = 'perform index seek on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashmatch FOR sqlserver (
+			ALIAS = 'hash join',
+			TYPE = 'binary',
+			DEFN = 'a join algorithm that builds a hash table on one input and probes it with the other',
+			DESC = 'perform hash join',
+			COND = 'true')`,
+		`CREATE POPERATOR mergejoin FOR sqlserver (
+			ALIAS = 'merge join',
+			TYPE = 'binary',
+			DEFN = 'merges two sorted inputs on their join keys',
+			DESC = 'perform merge join',
+			COND = 'true')`,
+		`CREATE POPERATOR nestedloops FOR sqlserver (
+			ALIAS = 'nested loop join',
+			TYPE = 'binary',
+			DEFN = 'scans the inner input once per outer row',
+			DESC = 'perform nested loop join',
+			COND = 'true')`,
+		`CREATE POPERATOR streamaggregate FOR sqlserver (
+			ALIAS = 'stream aggregate',
+			TYPE = 'unary',
+			DEFN = 'aggregates sorted input groups in a streaming pass',
+			DESC = 'perform aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashmatchaggregate FOR sqlserver (
+			ALIAS = 'hash aggregate',
+			TYPE = 'unary',
+			DEFN = 'aggregates groups discovered via hashing',
+			DESC = 'perform hash aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR sort FOR sqlserver (
+			TYPE = 'unary',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'mergejoin')`,
+		`CREATE POPERATOR sort FOR sqlserver (
+			TYPE = 'unary',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'streamaggregate')`,
+		`CREATE POPERATOR distinctsort FOR sqlserver (
+			ALIAS = 'duplicate removal',
+			TYPE = 'unary',
+			DEFN = 'sorts and removes duplicate rows',
+			DESC = 'perform duplicate removal on $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR top FOR sqlserver (
+			TYPE = 'unary',
+			DEFN = 'returns only the first requested rows',
+			DESC = 'keep only the first requested rows of $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR tablespool FOR sqlserver (
+			ALIAS = 'spool',
+			TYPE = 'unary',
+			DESC = 'materialize $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR constantscan FOR sqlserver (
+			TYPE = 'unary',
+			DESC = 'produce a constant result',
+			COND = 'false')`,
+
+		// --- DB2 (paper's running cross-engine example) --------------------
+		`CREATE POPERATOR tbscan FOR db2 (
+			ALIAS = 'table scan',
+			TYPE = 'unary',
+			DESC = 'perform table scan on $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR filter FOR db2 (
+			TYPE = 'unary',
+			DESC = 'filtering on $cond$',
+			COND = 'true',
+			TARGET = 'tbscan')`,
+		`CREATE POPERATOR ixscan FOR db2 (
+			ALIAS = 'index scan',
+			TYPE = 'unary',
+			DESC = 'perform index scan on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hsjoin FOR db2 (
+			ALIAS = 'hash join',
+			TYPE = 'binary',
+			DESC = 'perform hash join',
+			COND = 'true')`,
+		`CREATE POPERATOR msjoin FOR db2 (
+			ALIAS = 'merge join',
+			TYPE = 'binary',
+			DESC = 'perform merge join',
+			COND = 'true')`,
+		`CREATE POPERATOR nljoin FOR db2 (
+			ALIAS = 'nested loop join',
+			TYPE = 'binary',
+			DESC = 'perform nested loop join',
+			COND = 'true')`,
+		`CREATE POPERATOR zzjoin FOR db2 (
+			ALIAS = 'zigzag join',
+			TYPE = 'binary',
+			DEFN = 'a multi-way star join that zigzags between dimension-table indexes to skip non-matching fact rows',
+			DESC = 'perform zigzag join',
+			COND = 'true')`,
+		`CREATE POPERATOR grpby FOR db2 (
+			ALIAS = 'group by',
+			TYPE = 'unary',
+			DESC = 'perform aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR sort FOR db2 (
+			TYPE = 'unary',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'msjoin')`,
+		`CREATE POPERATOR unique FOR db2 (
+			ALIAS = 'duplicate removal',
+			TYPE = 'unary',
+			DESC = 'perform duplicate removal on $R1$',
+			COND = 'false')`,
+	}
+	for _, stmt := range stmts {
+		s.MustExec(stmt)
+	}
+}
+
+// NewSeededStore creates a store pre-populated with SeedStandard.
+func NewSeededStore() *Store {
+	s := NewStore()
+	SeedStandard(s)
+	return s
+}

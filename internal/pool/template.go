@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Placeholder names used in natural-language templates. RULE-LANTERN
+// substitutes these from the attributes of plan nodes.
+const (
+	PhR1    = "$R1$"    // input relation (the hashed/right one for binary ops)
+	PhR2    = "$R2$"    // second input relation for binary ops
+	PhCond  = "$cond$"  // join condition or filter condition
+	PhGroup = "$group$" // grouping attributes
+	PhSort  = "$sort$"  // sort keys
+	PhIndex = "$index$" // index column / name
+)
+
+// execCompose realizes the COMPOSE statement: it builds the natural
+// language description template for an operator or an (auxiliary, critical)
+// operator pair, via the composition operator ∘ of paper §5.4
+// (aux ∘ critical = aux.label ∧ critical.label, rendered as "... and ...").
+func (s *Store) execCompose(st *composeStmt) (*Result, error) {
+	objs := make([]*Object, len(st.names))
+	for i, name := range st.names {
+		o, err := s.Lookup(st.source, name)
+		if err != nil {
+			return nil, err
+		}
+		objs[i] = o
+	}
+	if len(objs) == 2 {
+		// The left operand must be the auxiliary node (the composition
+		// operator is neither associative nor commutative — §5.4).
+		aux, crit := objs[0], objs[1]
+		targets, err := s.AuxiliaryTargets(st.source)
+		if err != nil {
+			return nil, err
+		}
+		if !targets[aux.Name][crit.Name] {
+			return nil, fmt.Errorf("pool: %q is not an auxiliary operator of %q", aux.Name, crit.Name)
+		}
+		auxT, err := s.template(aux, st.using[aux.Name])
+		if err != nil {
+			return nil, err
+		}
+		critT, err := s.template(crit, st.using[crit.Name])
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Template: auxT + " and " + critT}, nil
+	}
+	t, err := s.template(objs[0], st.using[objs[0].Name])
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Template: t}, nil
+}
+
+// ComposeTemplate is the programmatic form of the COMPOSE statement used by
+// RULE-LANTERN: names is either {operator} or {auxiliary, critical}.
+func (s *Store) ComposeTemplate(source string, names []string, using map[string]string) (string, error) {
+	if using == nil {
+		using = map[string]string{}
+	}
+	res, err := s.execCompose(&composeStmt{names: names, source: source, using: using})
+	if err != nil {
+		return "", err
+	}
+	return res.Template, nil
+}
+
+// template renders one operator's description template. When the chosen
+// desc embeds placeholders it is used verbatim; otherwise the TYPE and COND
+// attributes complete it (see the package comment for the conventions).
+func (s *Store) template(o *Object, want string) (string, error) {
+	if len(o.Descs) == 0 {
+		return "", fmt.Errorf("pool: operator %s.%s has no description", o.Source, o.Name)
+	}
+	desc := ""
+	if want != "" {
+		for _, d := range o.Descs {
+			if strings.TrimSpace(d) == want {
+				desc = d
+				break
+			}
+		}
+		if desc == "" {
+			return "", fmt.Errorf("pool: operator %s.%s has no description %q", o.Source, o.Name, want)
+		}
+	} else if len(o.Descs) == 1 {
+		desc = o.Descs[0]
+	} else {
+		desc = o.Descs[s.rng.Intn(len(o.Descs))]
+	}
+	desc = strings.TrimSpace(desc)
+	if strings.Contains(desc, "$") {
+		return desc, nil
+	}
+	switch o.Type {
+	case "binary":
+		desc += " on " + PhR2 + " and " + PhR1
+		if o.Cond {
+			desc += " on condition " + PhCond
+		}
+	default: // unary
+		desc += " on " + PhR1
+		if o.Cond {
+			desc += " and filtering on " + PhCond
+		}
+	}
+	return desc, nil
+}
+
+// FillTemplate substitutes placeholder values into a template. Placeholders
+// with no value cause their clause to be dropped: the clause is the span
+// from the nearest preceding clause delimiter (" and ", " with ", " using ",
+// " on condition ") through the end of the placeholder's phrase (the next
+// delimiter or end of string). This is how "perform sequential scan on
+// $R1$ and filtering on $cond$" degrades gracefully to "perform sequential
+// scan on publication" when a scan has no filter.
+func FillTemplate(tpl string, vals map[string]string) string {
+	delims := []string{" and ", " with ", " using ", " on condition "}
+	out := tpl
+	cursor := 0 // never rescan substituted values (they may contain '$')
+	for {
+		rel := strings.Index(out[cursor:], "$")
+		if rel < 0 {
+			break
+		}
+		start := cursor + rel
+		end := strings.Index(out[start+1:], "$")
+		if end < 0 {
+			break
+		}
+		end = start + 1 + end
+		name := out[start+1 : end]
+		if v, ok := vals[name]; ok && v != "" {
+			out = out[:start] + v + out[end+1:]
+			cursor = start + len(v)
+			continue
+		}
+		// Drop the clause containing the unfilled placeholder.
+		clauseStart := 0
+		for _, d := range delims {
+			if i := strings.LastIndex(out[:start], d); i > clauseStart {
+				clauseStart = i
+			}
+		}
+		clauseEnd := len(out)
+		for _, d := range delims {
+			if i := strings.Index(out[end+1:], d); i >= 0 && end+1+i < clauseEnd {
+				clauseEnd = end + 1 + i
+			}
+		}
+		if clauseStart == 0 {
+			// The placeholder sits in the head clause: just excise the
+			// placeholder and any dangling preposition before it.
+			head := strings.TrimRight(out[:start], " ")
+			for _, prep := range []string{" on", " by"} {
+				head = strings.TrimSuffix(head, prep)
+			}
+			out = head + out[end+1:]
+			cursor = len(head)
+			continue
+		}
+		out = out[:clauseStart] + out[clauseEnd:]
+		cursor = clauseStart
+	}
+	return strings.Join(strings.Fields(out), " ")
+}

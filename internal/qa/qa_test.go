@@ -1,0 +1,163 @@
+package qa
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+func answerer(t *testing.T) *Answerer {
+	t.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Exec(`EXPLAIN (FORMAT JSON) SELECT c.c_name, SUM(o.o_totalprice)
+		FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND c.c_mktsegment = 'BUILDING'
+		GROUP BY c.c_name ORDER BY c.c_name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := plan.ParsePostgresJSON(r.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(pool.NewSeededStore(), tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func ask(t *testing.T, a *Answerer, q string) string {
+	t.Helper()
+	ans, err := a.Answer(q)
+	if err != nil {
+		t.Fatalf("Answer(%q): %v", q, err)
+	}
+	return ans
+}
+
+func TestDefineOperator(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "What is a hash join?")
+	if !strings.Contains(ans, "hashing") {
+		t.Errorf("definition = %q", ans)
+	}
+	// Longest-match: "hash join" must not answer with the Hash build op.
+	if strings.Contains(ans, "in-memory hash table over its input") {
+		t.Errorf("matched the wrong operator: %q", ans)
+	}
+	ans = ask(t, a, "define sequential scan")
+	if !strings.Contains(ans, "scans the entire relation") {
+		t.Errorf("definition = %q", ans)
+	}
+}
+
+func TestStepLookup(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "What does step 1 do?")
+	if !strings.Contains(ans, "perform") {
+		t.Errorf("step 1 = %q", ans)
+	}
+	if _, err := a.Answer("what does step 99 do"); err == nil {
+		t.Error("out-of-range step accepted")
+	}
+}
+
+func TestHowManySteps(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "How many steps are there?")
+	if !strings.Contains(ans, "steps") {
+		t.Errorf("answer = %q", ans)
+	}
+}
+
+func TestIdentifierProvenance(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "Which operator produces T1?")
+	if !strings.Contains(ans, "T1") || !strings.Contains(ans, "step") {
+		t.Errorf("provenance = %q", ans)
+	}
+	if _, err := a.Answer("which operator produces T99"); err == nil {
+		t.Error("unknown identifier accepted")
+	}
+}
+
+func TestScannedRelations(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "Which tables are scanned?")
+	if !strings.Contains(ans, "customer") || !strings.Contains(ans, "orders") {
+		t.Errorf("scanned = %q", ans)
+	}
+}
+
+func TestRowEstimates(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "How many rows does the result have?")
+	if !strings.Contains(ans, "rows") {
+		t.Errorf("rows = %q", ans)
+	}
+	ans = ask(t, a, "How many rows in T1?")
+	if !strings.Contains(ans, "T1") {
+		t.Errorf("rows T1 = %q", ans)
+	}
+}
+
+func TestWhyAuxiliary(t *testing.T) {
+	a := answerer(t)
+	ans, err := a.Answer("Why is there a hash?")
+	if err != nil {
+		t.Skip("plan has no hash auxiliary under this cost model")
+	}
+	if !strings.Contains(ans, "auxiliary") {
+		t.Errorf("why = %q", ans)
+	}
+}
+
+func TestMostExpensive(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "What is the most expensive step?")
+	if !strings.Contains(ans, "cost") {
+		t.Errorf("expensive = %q", ans)
+	}
+}
+
+func TestOperatorCount(t *testing.T) {
+	a := answerer(t)
+	ans := ask(t, a, "How many operators does the plan have?")
+	if !strings.Contains(ans, "nodes") {
+		t.Errorf("count = %q", ans)
+	}
+}
+
+func TestUnknownQuestion(t *testing.T) {
+	a := answerer(t)
+	if _, err := a.Answer("will it rain tomorrow"); err == nil {
+		t.Error("nonsense question accepted")
+	}
+}
+
+func TestZigzagDefinitionOnDB2Source(t *testing.T) {
+	// The paper's motivating example: a learner meets ZZJOIN in DB2 and
+	// asks what it is.
+	store := pool.NewSeededStore()
+	tree := &plan.Node{Name: "zzjoin", Source: "db2", Children: []*plan.Node{
+		{Name: "tbscan", Source: "db2", Attrs: map[string]string{plan.AttrRelation: "fact"}},
+		{Name: "tbscan", Source: "db2", Attrs: map[string]string{plan.AttrRelation: "dim"}},
+	}}
+	tree.SetAttr(plan.AttrJoinCond, "((fact.k) = (dim.k))")
+	a, err := New(store, tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := ask(t, a, "What is a zigzag join?")
+	if !strings.Contains(ans, "star join") {
+		t.Errorf("zzjoin definition = %q", ans)
+	}
+}

@@ -1,0 +1,362 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FormatStatement renders a statement back to SQL text. The output is
+// canonical (single spaces, upper-case keywords) and re-parses to an
+// equivalent AST, a property the test suite checks.
+func FormatStatement(s Statement) string {
+	var sb strings.Builder
+	formatStatement(&sb, s)
+	return sb.String()
+}
+
+// FormatExpr renders an expression to SQL text.
+func FormatExpr(e Expr) string {
+	var sb strings.Builder
+	formatExpr(&sb, e, 0)
+	return sb.String()
+}
+
+func formatStatement(sb *strings.Builder, s Statement) {
+	switch st := s.(type) {
+	case *SelectStmt:
+		formatSelect(sb, st)
+	case *CreateTableStmt:
+		sb.WriteString("CREATE TABLE ")
+		sb.WriteString(st.Name)
+		sb.WriteString(" (")
+		for i, c := range st.Columns {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(sb, "%s %s", c.Name, c.Type)
+		}
+		sb.WriteString(")")
+	case *CreateIndexStmt:
+		fmt.Fprintf(sb, "CREATE INDEX %s ON %s (%s)", st.Name, st.Table, st.Column)
+	case *InsertStmt:
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(st.Table)
+		if len(st.Columns) > 0 {
+			sb.WriteString(" (")
+			sb.WriteString(strings.Join(st.Columns, ", "))
+			sb.WriteString(")")
+		}
+		sb.WriteString(" VALUES ")
+		for i, row := range st.Rows {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString("(")
+			for j, e := range row {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, e, 0)
+			}
+			sb.WriteString(")")
+		}
+	case *UpdateStmt:
+		sb.WriteString("UPDATE ")
+		sb.WriteString(st.Table)
+		if st.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(st.Alias)
+		}
+		sb.WriteString(" SET ")
+		for i, a := range st.Sets {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.Column)
+			sb.WriteString(" = ")
+			formatExpr(sb, a.Value, 0)
+		}
+		if st.Where != nil {
+			sb.WriteString(" WHERE ")
+			formatExpr(sb, st.Where, 0)
+		}
+	case *DeleteStmt:
+		sb.WriteString("DELETE FROM ")
+		sb.WriteString(st.Table)
+		if st.Where != nil {
+			sb.WriteString(" WHERE ")
+			formatExpr(sb, st.Where, 0)
+		}
+	case *ExplainStmt:
+		sb.WriteString("EXPLAIN ")
+		switch st.Format {
+		case ExplainJSON:
+			sb.WriteString("(FORMAT JSON) ")
+		case ExplainXML:
+			sb.WriteString("(FORMAT XML) ")
+		}
+		formatSelect(sb, st.Query)
+	default:
+		fmt.Fprintf(sb, "/* unknown statement %T */", s)
+	}
+}
+
+func formatSelect(sb *strings.Builder, s *SelectStmt) {
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		switch {
+		case it.Star:
+			sb.WriteString("*")
+		case it.TableStar != "":
+			sb.WriteString(it.TableStar)
+			sb.WriteString(".*")
+		default:
+			formatExpr(sb, it.Expr, 0)
+			if it.Alias != "" {
+				sb.WriteString(" AS ")
+				sb.WriteString(it.Alias)
+			}
+		}
+	}
+	if len(s.From) > 0 {
+		sb.WriteString(" FROM ")
+		for i, ref := range s.From {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatTableRef(sb, ref)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE ")
+		formatExpr(sb, s.Where, 0)
+	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, e, 0)
+		}
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING ")
+		formatExpr(sb, s.Having, 0)
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, o.Expr, 0)
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}
+
+func formatTableRef(sb *strings.Builder, ref TableRef) {
+	switch r := ref.(type) {
+	case *BaseTable:
+		sb.WriteString(r.Name)
+		if r.Alias != "" {
+			sb.WriteString(" AS ")
+			sb.WriteString(r.Alias)
+		}
+	case *JoinRef:
+		formatTableRef(sb, r.Left)
+		if r.Type == LeftJoin {
+			sb.WriteString(" LEFT JOIN ")
+		} else {
+			sb.WriteString(" JOIN ")
+		}
+		formatTableRef(sb, r.Right)
+		sb.WriteString(" ON ")
+		formatExpr(sb, r.On, 0)
+	}
+}
+
+// binOpText maps operators to their SQL spelling.
+var binOpText = map[BinOp]string{
+	OpOr: "OR", OpAnd: "AND", OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=",
+	OpGt: ">", OpGe: ">=", OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/",
+	OpMod: "%", OpConcat: "||",
+}
+
+// binOpPrec gives each operator family a precedence level used to decide
+// where parentheses are required when rendering.
+func binOpPrec(op BinOp) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 4
+	case OpAdd, OpSub, OpConcat:
+		return 5
+	case OpMul, OpDiv, OpMod:
+		return 6
+	}
+	return 0
+}
+
+func formatExpr(sb *strings.Builder, e Expr, parentPrec int) {
+	switch ex := e.(type) {
+	case *ColumnRef:
+		if ex.Table != "" {
+			sb.WriteString(ex.Table)
+			sb.WriteString(".")
+		}
+		sb.WriteString(ex.Name)
+	case *Literal:
+		sb.WriteString(ex.Value.String())
+	case *BinaryExpr:
+		prec := binOpPrec(ex.Op)
+		if prec < parentPrec {
+			sb.WriteString("(")
+		}
+		leftPrec := prec
+		if prec == 4 {
+			// Comparisons are non-associative in the grammar: a comparison
+			// operand on either side must be parenthesized.
+			leftPrec = prec + 1
+		}
+		formatExpr(sb, ex.Left, leftPrec)
+		sb.WriteString(" ")
+		sb.WriteString(binOpText[ex.Op])
+		sb.WriteString(" ")
+		formatExpr(sb, ex.Right, prec+1)
+		if prec < parentPrec {
+			sb.WriteString(")")
+		}
+	case *UnaryExpr:
+		if ex.Op == '!' {
+			sb.WriteString("NOT ")
+			formatExpr(sb, ex.X, 3)
+		} else {
+			sb.WriteString("-")
+			formatExpr(sb, ex.X, 7)
+		}
+	case *FuncCall:
+		sb.WriteString(ex.Name)
+		sb.WriteString("(")
+		if ex.Distinct {
+			sb.WriteString("DISTINCT ")
+		}
+		if ex.Star {
+			sb.WriteString("*")
+		}
+		for i, a := range ex.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			formatExpr(sb, a, 0)
+		}
+		sb.WriteString(")")
+	case *LikeExpr:
+		if parentPrec > 3 {
+			sb.WriteString("(")
+		}
+		formatExpr(sb, ex.X, 5)
+		if ex.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" LIKE ")
+		formatExpr(sb, ex.Pattern, 5)
+		if parentPrec > 3 {
+			sb.WriteString(")")
+		}
+	case *BetweenExpr:
+		if parentPrec > 3 {
+			sb.WriteString("(")
+		}
+		formatExpr(sb, ex.X, 5)
+		if ex.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" BETWEEN ")
+		formatExpr(sb, ex.Lo, 5)
+		sb.WriteString(" AND ")
+		formatExpr(sb, ex.Hi, 5)
+		if parentPrec > 3 {
+			sb.WriteString(")")
+		}
+	case *InExpr:
+		if parentPrec > 3 {
+			sb.WriteString("(")
+		}
+		formatExpr(sb, ex.X, 5)
+		if ex.Not {
+			sb.WriteString(" NOT")
+		}
+		sb.WriteString(" IN (")
+		if ex.Subquery != nil {
+			formatSelect(sb, ex.Subquery)
+		} else {
+			for i, v := range ex.List {
+				if i > 0 {
+					sb.WriteString(", ")
+				}
+				formatExpr(sb, v, 0)
+			}
+		}
+		sb.WriteString(")")
+		if parentPrec > 3 {
+			sb.WriteString(")")
+		}
+	case *IsNullExpr:
+		if parentPrec > 3 {
+			sb.WriteString("(")
+		}
+		formatExpr(sb, ex.X, 5)
+		if ex.Not {
+			sb.WriteString(" IS NOT NULL")
+		} else {
+			sb.WriteString(" IS NULL")
+		}
+		if parentPrec > 3 {
+			sb.WriteString(")")
+		}
+	case *SubqueryExpr:
+		sb.WriteString("(")
+		formatSelect(sb, ex.Query)
+		sb.WriteString(")")
+	case *ExistsExpr:
+		if ex.Not {
+			sb.WriteString("NOT ")
+		}
+		sb.WriteString("EXISTS (")
+		formatSelect(sb, ex.Query)
+		sb.WriteString(")")
+	case *CaseExpr:
+		sb.WriteString("CASE")
+		for _, w := range ex.Whens {
+			sb.WriteString(" WHEN ")
+			formatExpr(sb, w.Cond, 0)
+			sb.WriteString(" THEN ")
+			formatExpr(sb, w.Result, 0)
+		}
+		if ex.Else != nil {
+			sb.WriteString(" ELSE ")
+			formatExpr(sb, ex.Else, 0)
+		}
+		sb.WriteString(" END")
+	default:
+		fmt.Fprintf(sb, "/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,182 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkInt
+	tkFloat
+	tkString
+	tkSymbol // punctuation and operators
+)
+
+// token is one lexical token with its source position (for error messages).
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers lower-cased; strings unquoted
+	pos  int
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) are classified as tkKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "BETWEEN": true, "IN": true, "IS": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "ON": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "EXPLAIN": true,
+	"FORMAT": true, "JSON": true, "XML": true, "TEXT": true, "EXISTS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"INTEGER": true, "INT": true, "FLOAT": true, "BOOLEAN": true,
+	"VARCHAR": true, "CHAR": true, "DECIMAL": true, "DATE": true,
+}
+
+// lexer splits an input SQL string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src fully, returning an error for malformed input
+// (unterminated strings, stray characters).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tkEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tkEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		return l.lexWord(start), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(start)
+	case c == '\'':
+		return l.lexString(start)
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_' || r == '$'
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexWord(start int) token {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		return token{kind: tkKeyword, text: upper, pos: start}
+	}
+	return token{kind: tkIdent, text: strings.ToLower(word), pos: start}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	kind := tkInt
+	if isFloat {
+		kind = tkFloat
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tkString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlparser: unterminated string literal at offset %d", start)
+}
+
+// twoCharSymbols are the multi-character operators.
+var twoCharSymbols = map[string]bool{
+	"<=": true, ">=": true, "<>": true, "!=": true, "||": true,
+}
+
+func (l *lexer) lexSymbol(start int) (token, error) {
+	if l.pos+1 < len(l.src) && twoCharSymbols[l.src[l.pos:l.pos+2]] {
+		l.pos += 2
+		return token{kind: tkSymbol, text: l.src[start : start+2], pos: start}, nil
+	}
+	switch l.src[l.pos] {
+	case '(', ')', ',', ';', '=', '<', '>', '+', '-', '*', '/', '%', '.':
+		l.pos++
+		return token{kind: tkSymbol, text: l.src[start : start+1], pos: start}, nil
+	}
+	return token{}, fmt.Errorf("sqlparser: unexpected character %q at offset %d", l.src[l.pos], start)
+}

@@ -1,0 +1,409 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/datum"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	sel, err := ParseSelect(src)
+	if err != nil {
+		t.Fatalf("ParseSelect(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestSimpleSelect(t *testing.T) {
+	sel := mustSelect(t, "SELECT a, b FROM t WHERE a = 1")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d, want 2", len(sel.Items))
+	}
+	if sel.Where == nil {
+		t.Fatal("missing WHERE")
+	}
+	be, ok := sel.Where.(*BinaryExpr)
+	if !ok || be.Op != OpEq {
+		t.Fatalf("WHERE = %T, want BinaryExpr(OpEq)", sel.Where)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM t")
+	if !sel.Items[0].Star {
+		t.Error("expected star item")
+	}
+	sel = mustSelect(t, "SELECT t.* FROM t")
+	if sel.Items[0].TableStar != "t" {
+		t.Errorf("TableStar = %q, want t", sel.Items[0].TableStar)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	sel := mustSelect(t, "SELECT DISTINCT(i.proceeding_key) FROM inproceedings i")
+	if !sel.Distinct {
+		t.Error("expected DISTINCT")
+	}
+	bt := sel.From[0].(*BaseTable)
+	if bt.Name != "inproceedings" || bt.Alias != "i" {
+		t.Errorf("from = %+v", bt)
+	}
+}
+
+func TestPaperExampleQuery(t *testing.T) {
+	// Example 3.1 from the paper (dblp dataset).
+	src := `SELECT DISTINCT(I.proceeding_key)
+		FROM inproceedings I, publication P
+		WHERE (I.proceeding_key = P.pub_key AND
+		P.title like '%July%')
+		GROUP BY I.proceeding_key
+		HAVING COUNT (*) > 200;`
+	sel := mustSelect(t, src)
+	if len(sel.From) != 2 {
+		t.Fatalf("from = %d tables, want 2", len(sel.From))
+	}
+	if len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Fatal("missing GROUP BY / HAVING")
+	}
+	conj := SplitConjuncts(sel.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %d, want 2", len(conj))
+	}
+	if _, ok := conj[1].(*LikeExpr); !ok {
+		t.Errorf("second conjunct = %T, want LikeExpr", conj[1])
+	}
+}
+
+func TestExplicitJoin(t *testing.T) {
+	sel := mustSelect(t, "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w")
+	jr, ok := sel.From[0].(*JoinRef)
+	if !ok || jr.Type != LeftJoin {
+		t.Fatalf("outer from = %T, want LEFT JoinRef", sel.From[0])
+	}
+	inner, ok := jr.Left.(*JoinRef)
+	if !ok || inner.Type != InnerJoin {
+		t.Fatalf("inner from = %T, want INNER JoinRef", jr.Left)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit != 10 {
+		t.Errorf("limit = %d, want 10", sel.Limit)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	sel := mustSelect(t, "SELECT COUNT(*), SUM(x), AVG(y), COUNT(DISTINCT z) FROM t")
+	f0 := sel.Items[0].Expr.(*FuncCall)
+	if !f0.Star || f0.Name != "COUNT" {
+		t.Errorf("item0 = %+v", f0)
+	}
+	f3 := sel.Items[3].Expr.(*FuncCall)
+	if !f3.Distinct {
+		t.Errorf("item3 = %+v, want DISTINCT", f3)
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	or, ok := sel.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("root = %v, want OR", sel.Where)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right = %v, want AND", or.Right)
+	}
+}
+
+func TestArithmeticPrecedence(t *testing.T) {
+	sel := mustSelect(t, "SELECT 1 + 2 * 3")
+	add := sel.Items[0].Expr.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("root op = %v, want +", add.Op)
+	}
+	mul := add.Right.(*BinaryExpr)
+	if mul.Op != OpMul {
+		t.Fatalf("right op = %v, want *", mul.Op)
+	}
+}
+
+func TestBetweenInLike(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a BETWEEN 1 AND 10 AND b IN (1, 2, 3) AND c NOT LIKE 'x%'")
+	conj := SplitConjuncts(sel.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(conj))
+	}
+	if _, ok := conj[0].(*BetweenExpr); !ok {
+		t.Errorf("conj0 = %T", conj[0])
+	}
+	in, ok := conj[1].(*InExpr)
+	if !ok || len(in.List) != 3 {
+		t.Errorf("conj1 = %T %v", conj[1], conj[1])
+	}
+	like, ok := conj[2].(*LikeExpr)
+	if !ok || !like.Not {
+		t.Errorf("conj2 = %T, want NOT LIKE", conj[2])
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+	in := sel.Where.(*InExpr)
+	if in.Subquery == nil {
+		t.Fatal("expected subquery")
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	stmt := mustParse(t, "UPDATE db2 SET desc_ = (SELECT desc_ FROM pg WHERE name = 'hashjoin') WHERE name = 'hsjoin'")
+	up := stmt.(*UpdateStmt)
+	if _, ok := up.Sets[0].Value.(*SubqueryExpr); !ok {
+		t.Fatalf("SET value = %T, want SubqueryExpr", up.Sets[0].Value)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+	conj := SplitConjuncts(sel.Where)
+	n0 := conj[0].(*IsNullExpr)
+	n1 := conj[1].(*IsNullExpr)
+	if n0.Not || !n1.Not {
+		t.Errorf("IS NULL flags wrong: %v %v", n0, n1)
+	}
+}
+
+func TestCase(t *testing.T) {
+	sel := mustSelect(t, "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t")
+	ce := sel.Items[0].Expr.(*CaseExpr)
+	if len(ce.Whens) != 1 || ce.Else == nil {
+		t.Fatalf("case = %+v", ce)
+	}
+}
+
+func TestExists(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.x = t.a)")
+	if _, ok := sel.Where.(*ExistsExpr); !ok {
+		t.Fatalf("where = %T, want ExistsExpr", sel.Where)
+	}
+	sel = mustSelect(t, "SELECT a FROM t WHERE NOT EXISTS (SELECT 1 FROM u)")
+	ex := sel.Where.(*ExistsExpr)
+	if !ex.Not {
+		t.Error("expected NOT EXISTS")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	stmt := mustParse(t, "CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25), c_acctbal DECIMAL(15,2))")
+	ct := stmt.(*CreateTableStmt)
+	if len(ct.Columns) != 3 {
+		t.Fatalf("columns = %d, want 3", len(ct.Columns))
+	}
+	if ct.Columns[0].Type != datum.KInt || ct.Columns[1].Type != datum.KString || ct.Columns[2].Type != datum.KFloat {
+		t.Errorf("types = %v %v %v", ct.Columns[0].Type, ct.Columns[1].Type, ct.Columns[2].Type)
+	}
+}
+
+func TestCreateIndex(t *testing.T) {
+	stmt := mustParse(t, "CREATE INDEX idx_ck ON customer (c_custkey)")
+	ci := stmt.(*CreateIndexStmt)
+	if ci.Table != "customer" || ci.Column != "c_custkey" {
+		t.Errorf("index = %+v", ci)
+	}
+}
+
+func TestInsert(t *testing.T) {
+	stmt := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+	ins := stmt.(*InsertStmt)
+	if len(ins.Rows) != 2 || len(ins.Columns) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	stmt := mustParse(t, "DELETE FROM t WHERE a = 1")
+	del := stmt.(*DeleteStmt)
+	if del.Table != "t" || del.Where == nil {
+		t.Errorf("delete = %+v", del)
+	}
+}
+
+func TestExplainFormats(t *testing.T) {
+	for src, want := range map[string]ExplainFormat{
+		"EXPLAIN SELECT a FROM t":               ExplainText,
+		"EXPLAIN (FORMAT JSON) SELECT a FROM t": ExplainJSON,
+		"EXPLAIN (FORMAT XML) SELECT a FROM t":  ExplainXML,
+		"EXPLAIN (FORMAT TEXT) SELECT a FROM t": ExplainText,
+	} {
+		stmt := mustParse(t, src)
+		ex := stmt.(*ExplainStmt)
+		if ex.Format != want {
+			t.Errorf("%q: format = %v, want %v", src, ex.Format, want)
+		}
+	}
+}
+
+func TestStringLiteralEscape(t *testing.T) {
+	sel := mustSelect(t, "SELECT 'it''s'")
+	lit := sel.Items[0].Expr.(*Literal)
+	if lit.Value.Str() != "it's" {
+		t.Errorf("literal = %q, want it's", lit.Value.Str())
+	}
+}
+
+func TestComments(t *testing.T) {
+	sel := mustSelect(t, "SELECT a -- the column\nFROM t")
+	if len(sel.Items) != 1 {
+		t.Errorf("items = %d", len(sel.Items))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC a FROM t",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT 'unterminated",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t GROUP a",
+		"INSERT INTO t VALUES",
+		"CREATE VIEW v",
+		"SELECT a FROM t; extra",
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT CASE END",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("statements = %d, want 3", len(stmts))
+	}
+}
+
+func TestParseSelectRejectsNonSelect(t *testing.T) {
+	if _, err := ParseSelect("DELETE FROM t"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNegativeNumberFolding(t *testing.T) {
+	sel := mustSelect(t, "SELECT -5, -2.5")
+	if v := sel.Items[0].Expr.(*Literal).Value; v.Int() != -5 {
+		t.Errorf("item0 = %v", v)
+	}
+	if v := sel.Items[1].Expr.(*Literal).Value; v.Float() != -2.5 {
+		t.Errorf("item1 = %v", v)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT a, b AS total FROM t WHERE a = 1 AND b > 2.5",
+		"SELECT DISTINCT a FROM t AS x ORDER BY a DESC LIMIT 5",
+		"SELECT COUNT(*) FROM a JOIN b ON a.x = b.y WHERE a.z LIKE '%q%'",
+		"SELECT a FROM t WHERE a BETWEEN 1 AND 2 OR b IN (1, 2)",
+		"SELECT SUM(x * y) FROM t GROUP BY z HAVING COUNT(*) > 200",
+		"SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t",
+		"SELECT a FROM t WHERE NOT a = 1",
+		"SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)",
+		"SELECT a FROM t WHERE x IS NOT NULL",
+		"UPDATE pg SET defn = 'abc' WHERE name = 'hashjoin'",
+		"DELETE FROM t WHERE a = 1",
+		"INSERT INTO t (a) VALUES (1), (2)",
+		"CREATE INDEX i ON t (c)",
+		"EXPLAIN (FORMAT JSON) SELECT a FROM t",
+	}
+	for _, q := range queries {
+		stmt1 := mustParse(t, q)
+		text1 := FormatStatement(stmt1)
+		stmt2, err := Parse(text1)
+		if err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", q, text1, err)
+			continue
+		}
+		text2 := FormatStatement(stmt2)
+		if text1 != text2 {
+			t.Errorf("format not stable:\n  first:  %s\n  second: %s", text1, text2)
+		}
+	}
+}
+
+func TestFormatParenthesization(t *testing.T) {
+	// (a OR b) AND c must keep its parentheses.
+	sel := mustSelect(t, "SELECT x FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+	text := FormatExpr(sel.Where)
+	if !strings.Contains(text, "(") {
+		t.Errorf("lost parens: %s", text)
+	}
+	re, err := ParseSelect("SELECT x FROM t WHERE " + text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	and, ok := re.Where.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("root = %v, want AND", re.Where)
+	}
+}
+
+func TestWalkAndColumnRefs(t *testing.T) {
+	sel := mustSelect(t, "SELECT a + b FROM t WHERE c = 1 AND d LIKE 'x'")
+	refs := ColumnRefs(sel.Items[0].Expr)
+	if len(refs) != 2 {
+		t.Errorf("refs = %d, want 2", len(refs))
+	}
+	refs = ColumnRefs(sel.Where)
+	if len(refs) != 2 {
+		t.Errorf("where refs = %d, want 2", len(refs))
+	}
+}
+
+func TestHasAggregate(t *testing.T) {
+	sel := mustSelect(t, "SELECT SUM(a) + 1, b FROM t")
+	if !HasAggregate(sel.Items[0].Expr) {
+		t.Error("SUM(a)+1 should contain aggregate")
+	}
+	if HasAggregate(sel.Items[1].Expr) {
+		t.Error("b should not contain aggregate")
+	}
+}
+
+func TestJoinConjuncts(t *testing.T) {
+	if JoinConjuncts(nil) != nil {
+		t.Error("JoinConjuncts(nil) != nil")
+	}
+	a := &ColumnRef{Name: "a"}
+	b := &ColumnRef{Name: "b"}
+	e := JoinConjuncts([]Expr{a, b})
+	be, ok := e.(*BinaryExpr)
+	if !ok || be.Op != OpAnd {
+		t.Fatalf("joined = %T", e)
+	}
+	if got := SplitConjuncts(e); len(got) != 2 {
+		t.Errorf("split = %d", len(got))
+	}
+}

@@ -1,0 +1,101 @@
+package sqlparser
+
+// WalkExpr calls fn for e and every sub-expression of e, pre-order.
+// Subqueries are not descended into; callers that need them handle
+// SubqueryExpr / InExpr / ExistsExpr explicitly.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch ex := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(ex.Left, fn)
+		WalkExpr(ex.Right, fn)
+	case *UnaryExpr:
+		WalkExpr(ex.X, fn)
+	case *FuncCall:
+		for _, a := range ex.Args {
+			WalkExpr(a, fn)
+		}
+	case *LikeExpr:
+		WalkExpr(ex.X, fn)
+		WalkExpr(ex.Pattern, fn)
+	case *BetweenExpr:
+		WalkExpr(ex.X, fn)
+		WalkExpr(ex.Lo, fn)
+		WalkExpr(ex.Hi, fn)
+	case *InExpr:
+		WalkExpr(ex.X, fn)
+		for _, v := range ex.List {
+			WalkExpr(v, fn)
+		}
+	case *IsNullExpr:
+		WalkExpr(ex.X, fn)
+	case *CaseExpr:
+		for _, w := range ex.Whens {
+			WalkExpr(w.Cond, fn)
+			WalkExpr(w.Result, fn)
+		}
+		WalkExpr(ex.Else, fn)
+	}
+}
+
+// ColumnRefs returns every column reference in e, in source order.
+func ColumnRefs(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	WalkExpr(e, func(x Expr) {
+		if c, ok := x.(*ColumnRef); ok {
+			out = append(out, c)
+		}
+	})
+	return out
+}
+
+// SplitConjuncts flattens a tree of AND operators into its conjuncts.
+// A nil expression yields nil.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+		return append(SplitConjuncts(b.Left), SplitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+// JoinConjuncts rebuilds a conjunction from a list of predicates; it
+// returns nil for an empty list.
+func JoinConjuncts(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if out == nil {
+			out = e
+		} else {
+			out = &BinaryExpr{Op: OpAnd, Left: out, Right: e}
+		}
+	}
+	return out
+}
+
+// HasAggregate reports whether the expression contains an aggregate
+// function call (COUNT, SUM, AVG, MIN, MAX).
+func HasAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) {
+		if f, ok := x.(*FuncCall); ok && IsAggregateName(f.Name) {
+			found = true
+		}
+	})
+	return found
+}
+
+// IsAggregateName reports whether the (upper-case) function name is one of
+// the supported aggregates.
+func IsAggregateName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+// Package storage implements the in-memory row store used by the substrate
+// engine: heap tables of typed rows plus ordered secondary indexes. It is
+// deliberately simple — the engine needs a substrate that produces realistic
+// query plans, not a durable storage manager — but access paths are real:
+// sequential scans walk the heap, index scans binary-search the index.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"lantern/internal/datum"
+)
+
+// Column describes one column of a table.
+type Column struct {
+	Name string
+	Type datum.Kind
+}
+
+// Row is a single tuple; the slice is indexed by column position.
+type Row []datum.D
+
+// Clone returns a copy of the row that shares no storage with the original.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an append-only heap of rows with optional secondary indexes.
+type Table struct {
+	Name    string
+	Columns []Column
+	Rows    []Row
+
+	indexes map[string]*Index // keyed by column name
+	colPos  map[string]int
+}
+
+// NewTable creates an empty table with the given schema.
+func NewTable(name string, cols []Column) *Table {
+	t := &Table{
+		Name:    name,
+		Columns: cols,
+		indexes: make(map[string]*Index),
+		colPos:  make(map[string]int, len(cols)),
+	}
+	for i, c := range cols {
+		t.colPos[c.Name] = i
+	}
+	return t
+}
+
+// ColumnIndex returns the position of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colPos[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Insert appends a row, coercing integer values into float columns and
+// validating arity and kinds. Indexes are maintained.
+func (t *Table) Insert(r Row) error {
+	if len(r) != len(t.Columns) {
+		return fmt.Errorf("storage: table %s: inserting %d values into %d columns", t.Name, len(r), len(t.Columns))
+	}
+	row := r.Clone()
+	for i, v := range row {
+		if v.IsNull() {
+			continue
+		}
+		want := t.Columns[i].Type
+		if v.Kind() == want {
+			continue
+		}
+		if want == datum.KFloat && v.Kind() == datum.KInt {
+			row[i] = datum.NewFloat(float64(v.Int()))
+			continue
+		}
+		if want == datum.KInt && v.Kind() == datum.KFloat && v.Float() == float64(int64(v.Float())) {
+			row[i] = datum.NewInt(int64(v.Float()))
+			continue
+		}
+		return fmt.Errorf("storage: table %s column %s: cannot store %s into %s",
+			t.Name, t.Columns[i].Name, v.Kind(), want)
+	}
+	rowID := len(t.Rows)
+	t.Rows = append(t.Rows, row)
+	for col, idx := range t.indexes {
+		idx.add(row[t.colPos[col]], rowID)
+	}
+	return nil
+}
+
+// Delete removes all rows for which keep returns false and rebuilds the
+// indexes. It returns the number of rows removed.
+func (t *Table) Delete(remove func(Row) bool) int {
+	kept := t.Rows[:0]
+	n := 0
+	for _, r := range t.Rows {
+		if remove(r) {
+			n++
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.Rows = kept
+	t.rebuildIndexes()
+	return n
+}
+
+// Update applies fn to every row in place; fn returns true when it modified
+// the row. Indexes are rebuilt if anything changed. It returns the number of
+// modified rows.
+func (t *Table) Update(fn func(Row) bool) int {
+	n := 0
+	for _, r := range t.Rows {
+		if fn(r) {
+			n++
+		}
+	}
+	if n > 0 {
+		t.rebuildIndexes()
+	}
+	return n
+}
+
+func (t *Table) rebuildIndexes() {
+	for col := range t.indexes {
+		t.buildIndex(col)
+	}
+}
+
+// CreateIndex builds an ordered index on the named column. Creating an index
+// that already exists is a no-op.
+func (t *Table) CreateIndex(col string) error {
+	if _, ok := t.colPos[col]; !ok {
+		return fmt.Errorf("storage: table %s has no column %s", t.Name, col)
+	}
+	if _, ok := t.indexes[col]; ok {
+		return nil
+	}
+	t.buildIndex(col)
+	return nil
+}
+
+func (t *Table) buildIndex(col string) {
+	pos := t.colPos[col]
+	idx := &Index{Column: col}
+	idx.entries = make([]indexEntry, 0, len(t.Rows))
+	for i, r := range t.Rows {
+		idx.entries = append(idx.entries, indexEntry{key: r[pos], rowID: i})
+	}
+	sort.SliceStable(idx.entries, func(a, b int) bool {
+		return datum.Compare(idx.entries[a].key, idx.entries[b].key) < 0
+	})
+	t.indexes[col] = idx
+}
+
+// Index returns the index on col, or nil.
+func (t *Table) Index(col string) *Index { return t.indexes[col] }
+
+// IndexedColumns lists the columns that currently carry an index, sorted.
+func (t *Table) IndexedColumns() []string {
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Index is an ordered secondary index: (key, rowID) pairs sorted by key.
+type Index struct {
+	Column  string
+	entries []indexEntry
+}
+
+type indexEntry struct {
+	key   datum.D
+	rowID int
+}
+
+// add inserts a single entry keeping the order; used for incremental
+// maintenance on Insert.
+func (ix *Index) add(key datum.D, rowID int) {
+	pos := sort.Search(len(ix.entries), func(i int) bool {
+		return datum.Compare(ix.entries[i].key, key) > 0
+	})
+	ix.entries = append(ix.entries, indexEntry{})
+	copy(ix.entries[pos+1:], ix.entries[pos:])
+	ix.entries[pos] = indexEntry{key: key, rowID: rowID}
+}
+
+// Len reports the number of entries.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Lookup returns the rowIDs whose key equals k, in index order.
+func (ix *Index) Lookup(k datum.D) []int {
+	lo := sort.Search(len(ix.entries), func(i int) bool {
+		return datum.Compare(ix.entries[i].key, k) >= 0
+	})
+	var out []int
+	for i := lo; i < len(ix.entries) && datum.Compare(ix.entries[i].key, k) == 0; i++ {
+		out = append(out, ix.entries[i].rowID)
+	}
+	return out
+}
+
+// Range returns the rowIDs with lo <= key <= hi (either bound may be the
+// NULL datum to mean unbounded on that side), in key order. NULL keys are
+// never returned.
+func (ix *Index) Range(lo, hi datum.D, includeLo, includeHi bool) []int {
+	var out []int
+	start := 0
+	if !lo.IsNull() {
+		if includeLo {
+			start = sort.Search(len(ix.entries), func(i int) bool {
+				return datum.Compare(ix.entries[i].key, lo) >= 0
+			})
+		} else {
+			start = sort.Search(len(ix.entries), func(i int) bool {
+				return datum.Compare(ix.entries[i].key, lo) > 0
+			})
+		}
+	}
+	for i := start; i < len(ix.entries); i++ {
+		k := ix.entries[i].key
+		if k.IsNull() {
+			continue
+		}
+		if !hi.IsNull() {
+			c := datum.Compare(k, hi)
+			if c > 0 || (c == 0 && !includeHi) {
+				break
+			}
+		}
+		out = append(out, ix.entries[i].rowID)
+	}
+	return out
+}

