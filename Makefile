@@ -1,0 +1,27 @@
+GO ?= go
+BIN := bin
+
+.PHONY: all build test race vet bench bench-serving clean
+
+all: build test
+
+build:
+	$(GO) build -o $(BIN)/ ./cmd/...
+
+test: vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+bench-serving:
+	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .
+
+clean:
+	rm -rf $(BIN)

@@ -8,9 +8,11 @@ package lantern
 //	go test -bench=. -benchmem
 //	go test -bench=BenchmarkTable5 -benchtime=1x
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"lantern/internal/core"
 	"lantern/internal/datasets"
@@ -19,6 +21,7 @@ import (
 	"lantern/internal/metrics"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
+	"lantern/internal/service"
 	"lantern/internal/sqlparser"
 )
 
@@ -193,6 +196,57 @@ func BenchmarkPoolCompose(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := store.Exec("COMPOSE hash, hashjoin FROM pg"); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// serviceServer builds a serving-layer server over a TPC-H engine.
+// cacheBytes < 0 disables the narration cache.
+func serviceServer(b *testing.B, cacheBytes int64) *service.Server {
+	b.Helper()
+	srv := service.NewServer(tpchEngine(b), pool.NewSeededStore(), service.Config{
+		CacheBytes:     cacheBytes,
+		RequestTimeout: time.Minute,
+	})
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// BenchmarkServiceNarrateCached measures the serving hot path: a repeated
+// identical request answered from the fingerprint cache without parsing,
+// planning, or narrating.
+func BenchmarkServiceNarrateCached(b *testing.B) {
+	srv := serviceServer(b, 32<<20)
+	req := &service.NarrateRequest{SQL: benchJoinQuery}
+	if _, err := srv.Narrate(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Narrate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// BenchmarkServiceNarrateCold measures the same request with caching
+// disabled: full plan→fingerprint→LOT→narrate per call, through the
+// worker pool.
+func BenchmarkServiceNarrateCold(b *testing.B) {
+	srv := serviceServer(b, -1)
+	req := &service.NarrateRequest{SQL: benchJoinQuery}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Narrate(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("cold benchmark must not hit a cache")
 		}
 	}
 }

@@ -1,0 +1,223 @@
+// Command lanternd is the LANTERN serving daemon: a JSON-over-HTTP front
+// end to the concurrent narration service (internal/service).
+//
+// It loads one of the bundled datasets into the substrate engine, seeds
+// the POEM store, and serves:
+//
+//	POST /v1/narrate  {"sql": "...", "source": "pg", "options": {"presentation": "tree"}}
+//	POST /v1/qa       {"sql": "...", "question": "what does step 2 do?"}
+//	POST /v1/pool     {"stmt": "UPDATE pg SET desc = '...' WHERE name = 'seqscan'"}
+//	GET  /v1/healthz
+//	GET  /v1/stats
+//
+// Narrations are cached by plan fingerprint; POOL statements executed
+// through /v1/pool invalidate exactly the cached narrations that mention
+// the mutated operators. Try:
+//
+//	lanternd -addr :8080 -db tpch &
+//	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7"}'
+//	curl -s localhost:8080/v1/stats | jq .cache
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+const maxBodyBytes = 1 << 20
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	db := flag.String("db", "tpch", "dataset to load: tpch, sdss, imdb")
+	scale := flag.Float64("scale", 0.05, "dataset scale factor")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	workers := flag.Int("workers", 0, "narration workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "request queue depth (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
+	cacheMB := flag.Int64("cache-mb", 32, "narration cache budget in MiB (0 disables)")
+	shards := flag.Int("cache-shards", 16, "narration cache shard count")
+	flag.Parse()
+
+	eng := engine.NewDefault()
+	var err error
+	switch *db {
+	case "tpch":
+		err = datasets.LoadTPCH(eng, *scale, *seed)
+	case "sdss":
+		err = datasets.LoadSDSS(eng, *scale, *seed)
+	case "imdb":
+		err = datasets.LoadIMDB(eng, *scale, *seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", *db)
+	}
+	if err != nil {
+		log.Fatalf("lanternd: loading dataset: %v", err)
+	}
+
+	store := pool.NewSeededStore()
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // disabled
+	}
+	srv := service.NewServer(eng, store, service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheBytes:     cacheBytes,
+		CacheShards:    *shards,
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/narrate", postJSON(func(w http.ResponseWriter, r *http.Request) {
+		var req service.NarrateRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := srv.Narrate(r.Context(), &req)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("/v1/qa", postJSON(func(w http.ResponseWriter, r *http.Request) {
+		var req service.QARequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := srv.QA(r.Context(), &req)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("/v1/pool", postJSON(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Stmt string `json:"stmt"`
+		}
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		res, err := store.Exec(req.Stmt)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errBody(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"affected": res.Affected,
+			"template": res.Template,
+			"rows":     res.Rows,
+		})
+	}))
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+			return
+		}
+		st := srv.Stats()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":         "ok",
+			"dataset":        *db,
+			"uptime_seconds": st.UptimeSeconds,
+			"workers":        st.Workers,
+			"queue_len":      st.QueueLen,
+		})
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+			return
+		}
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutCtx)
+	}()
+
+	log.Printf("lanternd: serving %s (scale %g) on %s", *db, *scale, *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("lanternd: %v", err)
+	}
+	srv.Close()
+	log.Printf("lanternd: shut down")
+}
+
+// postJSON wraps a handler with the method check shared by the POST
+// endpoints.
+func postJSON(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use POST with a JSON body")))
+			return
+		}
+		h(w, r)
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(fmt.Errorf("invalid request body: %w", err)))
+		return false
+	}
+	return true
+}
+
+// writeServiceError maps service errors onto serving-appropriate status
+// codes: queue-full → 429 with Retry-After, deadline → 504, malformed
+// request → 400, and narration failures (e.g. an operator with no POEM
+// entry) → 422.
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, service.ErrBadRequest):
+		writeJSON(w, http.StatusBadRequest, errBody(err))
+	case errors.Is(err, service.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errBody(err))
+	case errors.Is(err, service.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, errBody(err))
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeJSON(w, http.StatusGatewayTimeout, errBody(err))
+	default:
+		writeJSON(w, http.StatusUnprocessableEntity, errBody(err))
+	}
+}
+
+func errBody(err error) map[string]string {
+	return map[string]string{"error": err.Error()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}

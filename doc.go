@@ -1,7 +1,8 @@
 // Package lantern is the root of the LANTERN reproduction: natural-language
 // narration of SQL query execution plans for database education (SIGMOD
-// 2021). See README.md for the tour, DESIGN.md for the system inventory,
-// and EXPERIMENTS.md for the paper-vs-measured record. The root package
-// itself only hosts the benchmark harness (bench_test.go), one benchmark
-// per table and figure of the paper's evaluation.
+// 2021). See README.md for the package tour, the lanternd serving
+// quickstart, and the cache/serving architecture. The root package itself
+// only hosts the benchmark harness (bench_test.go): one benchmark per
+// table and figure of the paper's evaluation, plus the serving-layer
+// hot-path benchmarks.
 package lantern

@@ -1,0 +1,3 @@
+module lantern
+
+go 1.24

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"lantern/internal/lot"
 	"lantern/internal/plan"
 )
@@ -17,10 +19,15 @@ type StepGenerator interface {
 // operator more than FreqThreshold times across QEPs (the paper's US 5
 // integration, threshold 5) — countering habituation exactly where
 // repeated exposure happens.
+//
+// Exposure tracking is safe for concurrent Narrate calls (the serving
+// layer narrates on a worker pool); the counters are guarded by an
+// internal mutex.
 type Lantern struct {
 	Rule          *RuleLantern
 	Neural        StepGenerator // nil disables switching
 	FreqThreshold int
+	mu            sync.Mutex
 	exposures     map[string]int
 }
 
@@ -37,10 +44,18 @@ func NewLantern(rule *RuleLantern, neural StepGenerator) *Lantern {
 
 // ResetExposure clears the per-operator exposure counters (a new learner
 // session).
-func (l *Lantern) ResetExposure() { l.exposures = make(map[string]int) }
+func (l *Lantern) ResetExposure() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.exposures = make(map[string]int)
+}
 
 // Exposure reports how many times an operator has been narrated so far.
-func (l *Lantern) Exposure(opName string) int { return l.exposures[plan.Canon(opName)] }
+func (l *Lantern) Exposure(opName string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.exposures[plan.Canon(opName)]
+}
 
 // Narrate generates the narration for a QEP, tracking per-operator
 // exposure across calls. Steps whose operator exceeded the threshold are
@@ -58,9 +73,12 @@ func (l *Lantern) Narrate(tree *plan.Node) (*Narration, error) {
 	nar := &Narration{Source: lt.Source}
 	for i, node := range lt.Steps {
 		op := plan.Canon(node.Plan.Name)
+		l.mu.Lock()
 		l.exposures[op]++
+		seen := l.exposures[op]
+		l.mu.Unlock()
 		step := ruleNar.Steps[i]
-		if l.Neural != nil && l.exposures[op] > l.FreqThreshold {
+		if l.Neural != nil && seen > l.FreqThreshold {
 			if text, err := l.Neural.ActSentence(node); err == nil && text != "" {
 				step.Text = text
 			}

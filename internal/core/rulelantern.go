@@ -87,11 +87,18 @@ func NewRuleLantern(store *pool.Store) *RuleLantern {
 // Narrate runs Algorithm 1: build the LOT, cluster auxiliary nodes, then
 // translate each non-auxiliary node in post-order into one step.
 func (rl *RuleLantern) Narrate(tree *plan.Node) (*Narration, error) {
-	lt, err := lot.Build(tree, rl.Store)
+	lt, err := rl.BuildLOT(tree)
 	if err != nil {
 		return nil, err
 	}
 	return rl.NarrateLOT(lt)
+}
+
+// BuildLOT annotates the plan tree against the generator's POEM store —
+// the first half of Narrate, exposed so callers that also need the LOT
+// (tree-view presentation, the serving layer) build it exactly once.
+func (rl *RuleLantern) BuildLOT(tree *plan.Node) (*lot.Tree, error) {
+	return lot.Build(tree, rl.Store)
 }
 
 // NarrateLOT narrates an already-built LOT.

@@ -1,0 +1,131 @@
+package metrics
+
+// Runtime observability primitives for the serving layer: a lock-free
+// Counter and a log-bucketed LatencyHistogram with p50/p95/p99 summaries.
+// These sit beside the paper's evaluation measures (BLEU, Self-BLEU) but
+// serve a different master: the /v1/stats endpoint of lanternd.
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be negative for gauge-style corrections).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is one bucket per power of two of nanoseconds: bucket i
+// holds observations d with bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i).
+// 64 buckets cover every possible time.Duration.
+const histBuckets = 64
+
+// LatencyHistogram is a fixed-size logarithmic histogram of durations,
+// safe for concurrent Observe and read. The zero value is ready.
+//
+// Quantile estimates are bucket-midpoint approximations: with power-of-two
+// buckets the relative error is at most ~50%, which is ample for the
+// p50/p95/p99 trend lines the stats endpoint reports.
+type LatencyHistogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *LatencyHistogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h *LatencyHistogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// Quantile returns an estimate of the q-quantile (0 < q <= 1) as the
+// midpoint of the bucket containing it, or 0 when the histogram is empty.
+// Reads are not atomic with respect to concurrent Observe calls; the
+// result is a statistically faithful snapshot, which is all a stats
+// endpoint needs.
+func (h *LatencyHistogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketMid(i)
+		}
+	}
+	return bucketMid(histBuckets - 1)
+}
+
+// bucketMid returns the midpoint of bucket i's range [2^(i-1), 2^i).
+func bucketMid(i int) time.Duration {
+	if i == 0 {
+		return 0 // only d == 0 lands here
+	}
+	lo := int64(1) << (i - 1)
+	hi := lo << 1
+	if hi < lo { // top bucket overflow
+		return time.Duration(lo)
+	}
+	return time.Duration((lo + hi) / 2)
+}
+
+// LatencySummary is a point-in-time digest of a LatencyHistogram.
+type LatencySummary struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Summary digests the histogram into the percentiles the serving stats
+// endpoint reports.
+func (h *LatencyHistogram) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero value must read 0")
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("Value = %d, want 16000", got)
+	}
+}
+
+func TestLatencyHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must read zero")
+	}
+	s := h.Summary()
+	if s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+// within asserts the log-bucketed estimate is inside [lo, hi] — the bucket
+// scheme guarantees at most ~50% relative error.
+func within(t *testing.T, name string, got, lo, hi time.Duration) {
+	t.Helper()
+	if got < lo || got > hi {
+		t.Fatalf("%s = %v, want within [%v, %v]", name, got, lo, hi)
+	}
+}
+
+func TestLatencyHistogramPercentiles(t *testing.T) {
+	var h LatencyHistogram
+	for i := 0; i < 50; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	within(t, "Mean", h.Mean(), 9*time.Millisecond, 11*time.Millisecond)
+	within(t, "P50", h.Quantile(0.50), 500*time.Microsecond, 2*time.Millisecond)
+	within(t, "P95", h.Quantile(0.95), 5*time.Millisecond, 20*time.Millisecond)
+	within(t, "P99", h.Quantile(0.99), 50*time.Millisecond, 200*time.Millisecond)
+
+	s := h.Summary()
+	if s.Count != 100 || s.P50 != h.Quantile(0.5) || s.P95 != h.Quantile(0.95) || s.P99 != h.Quantile(0.99) {
+		t.Fatalf("Summary inconsistent with direct quantiles: %+v", s)
+	}
+}
+
+func TestLatencyHistogramEdgeCases(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to zero
+	if h.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", h.Count())
+	}
+	if q := h.Quantile(0.99); q != 0 {
+		t.Fatalf("all-zero observations: Quantile = %v, want 0", q)
+	}
+	// Out-of-range q values are clamped, not panicking.
+	if h.Quantile(-1) != 0 || h.Quantile(2) != 0 {
+		t.Fatal("clamped quantiles must still answer")
+	}
+}
+
+func TestLatencyHistogramConcurrent(t *testing.T) {
+	var h LatencyHistogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g+1) * time.Millisecond)
+				h.Quantile(0.5) // concurrent reads must be safe
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}

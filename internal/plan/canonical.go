@@ -1,0 +1,50 @@
+package plan
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteCanonical writes a stable, structure-preserving serialization of the
+// tree: operator names, sources, and attributes (in sorted key order) with
+// explicit nesting markers. Two trees produce the same bytes iff they have
+// the same shape, operators, and attribute values — the property the
+// serving layer's plan fingerprinter is built on. Cardinality and cost
+// estimates are deliberately excluded: they vary with statistics but never
+// change the narration text.
+func (n *Node) WriteCanonical(w io.Writer) {
+	if n == nil {
+		return
+	}
+	fmt.Fprintf(w, "(%s\x1f%s", n.Source, n.Name)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "\x1f%s=%s", k, n.Attrs[k])
+		}
+	}
+	for _, c := range n.Children {
+		c.WriteCanonical(w)
+	}
+	io.WriteString(w, ")")
+}
+
+// OperatorSet returns the distinct canonical operator names (Canon applied)
+// appearing in the tree, sorted. The serving cache records this set per
+// entry so a POOL mutation of one operator invalidates only the narrations
+// that mention it.
+func (n *Node) OperatorSet() []string {
+	seen := make(map[string]bool)
+	n.Walk(func(x *Node) { seen[Canon(x.Name)] = true })
+	out := make([]string, 0, len(seen))
+	for op := range seen {
+		out = append(out, op)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -29,6 +29,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
 	"lantern/internal/engine"
 )
@@ -64,10 +65,28 @@ type Result struct {
 	Affected int    // CREATE/UPDATE counts
 }
 
+// Mutation describes one POOL write that changed an operator's narration
+// inputs: a CREATE, an UPDATE (the paper's ALTER path), or a DROP. Hooks
+// registered with OnMutation receive it after the write commits.
+type Mutation struct {
+	Source string
+	Name   string
+	Kind   string // "create", "update", "drop"
+}
+
+// MutationHook observes committed POOL mutations. Hooks run outside the
+// store lock, in registration order, on the goroutine that executed the
+// statement; they may call back into the store.
+type MutationHook func(Mutation)
+
 // Store is a POEM store. All state lives in the backing engine relations;
 // the struct itself only carries the connection, the OID counter, and the
 // RNG used for unconstrained desc choice in COMPOSE.
+//
+// A Store is safe for concurrent use: all public entry points serialize on
+// an internal mutex (the backing engine itself is single-threaded).
 type Store struct {
+	mu      sync.Mutex
 	eng     *engine.Engine
 	nextOID int
 	rng     *rand.Rand
@@ -75,6 +94,10 @@ type Store struct {
 	// against this, as the paper requires ("name must exist in the set of
 	// physical operators supported by the specified rdbms engine").
 	known map[string]map[string]bool
+	// hooks fire after committed mutations; pending accumulates events
+	// under the lock until the statement completes.
+	hooks   []MutationHook
+	pending []Mutation
 }
 
 // NewStore creates an empty POEM store backed by a fresh engine instance.
@@ -107,9 +130,21 @@ CREATE INDEX pdesc_oid ON pdesc (oid);`)
 	return s
 }
 
+// OnMutation registers a hook observing committed POOL mutations. The
+// serving layer uses this for targeted cache invalidation: an UPDATE of an
+// operator's description only needs to drop narrations mentioning that
+// operator.
+func (s *Store) OnMutation(fn MutationHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hooks = append(s.hooks, fn)
+}
+
 // RegisterSource declares a source engine and its physical operator
 // vocabulary.
 func (s *Store) RegisterSource(source string, ops ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	m, ok := s.known[source]
 	if !ok {
 		m = make(map[string]bool)
@@ -122,6 +157,8 @@ func (s *Store) RegisterSource(source string, ops ...string) {
 
 // Sources lists the registered source engines, sorted.
 func (s *Store) Sources() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]string, 0, len(s.known))
 	for k := range s.known {
 		out = append(out, k)
@@ -131,7 +168,11 @@ func (s *Store) Sources() []string {
 }
 
 // SetSeed re-seeds the RNG used for unconstrained desc selection.
-func (s *Store) SetSeed(seed int64) { s.rng = rand.New(rand.NewSource(seed)) }
+func (s *Store) SetSeed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rng = rand.New(rand.NewSource(seed))
+}
 
 // Exec parses and executes one POOL statement.
 func (s *Store) Exec(stmt string) (*Result, error) {
@@ -139,19 +180,35 @@ func (s *Store) Exec(stmt string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
+	var res *Result
 	switch st := parsed.(type) {
 	case *createStmt:
-		return s.execCreate(st)
+		res, err = s.execCreate(st)
 	case *selectStmt:
-		return s.execSelect(st)
+		res, err = s.execSelect(st)
 	case *composeStmt:
-		return s.execCompose(st)
+		res, err = s.execCompose(st)
 	case *updateStmt:
-		return s.execUpdate(st)
+		res, err = s.execUpdate(st)
 	case *dropStmt:
-		return s.execDrop(st)
+		res, err = s.execDrop(st)
+	default:
+		err = fmt.Errorf("pool: unsupported statement")
 	}
-	return nil, fmt.Errorf("pool: unsupported statement")
+	events := s.pending
+	s.pending = nil
+	hooks := s.hooks
+	s.mu.Unlock()
+	// Events fire even when the statement errored: a mutation may have
+	// partially committed before the failure, and a spurious invalidation
+	// is only a cache miss while a missed one serves stale narrations.
+	for _, ev := range events {
+		for _, h := range hooks {
+			h(ev)
+		}
+	}
+	return res, err
 }
 
 // MustExec executes a POOL statement and panics on error; intended for
@@ -194,7 +251,7 @@ func (s *Store) execCreate(st *createStmt) (*Result, error) {
 	}
 	targetID := "NULL"
 	if tgt := st.attrs["target"]; tgt != "" {
-		tobj, err := s.Lookup(st.source, tgt)
+		tobj, err := s.lookup(st.source, tgt)
 		if err != nil {
 			return nil, fmt.Errorf("pool: TARGET %q does not exist in source %q", tgt, st.source)
 		}
@@ -213,6 +270,9 @@ func (s *Store) execCreate(st *createStmt) (*Result, error) {
 	if _, err := s.eng.Exec(ins); err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
+	// Recorded as soon as the operator row exists, so the event survives a
+	// later desc-insert failure.
+	s.pending = append(s.pending, Mutation{Source: st.source, Name: st.name, Kind: "create"})
 	for _, d := range st.descs {
 		if _, err := s.eng.Exec(fmt.Sprintf("INSERT INTO pdesc VALUES (%d, %s)", oid, quote(d))); err != nil {
 			return nil, fmt.Errorf("pool: %w", err)
@@ -236,7 +296,7 @@ func (s *Store) execDrop(st *dropStmt) (*Result, error) {
 	if len(objs) == 0 {
 		return nil, fmt.Errorf("pool: no operator %q in source %q", st.name, st.source)
 	}
-	targets, err := s.AuxiliaryTargets(st.source)
+	targets, err := s.auxiliaryTargets(st.source)
 	if err != nil {
 		return nil, err
 	}
@@ -246,6 +306,9 @@ func (s *Store) execDrop(st *dropStmt) (*Result, error) {
 				st.source, st.name, aux)
 		}
 	}
+	// Recorded before the deletes so a mid-loop failure (rows partially
+	// gone) still invalidates dependent caches.
+	s.pending = append(s.pending, Mutation{Source: st.source, Name: st.name, Kind: "drop"})
 	for _, o := range objs {
 		if _, err := s.eng.Exec(fmt.Sprintf("DELETE FROM pdesc WHERE oid = %d", o.OID)); err != nil {
 			return nil, fmt.Errorf("pool: %w", err)
@@ -261,6 +324,12 @@ func (s *Store) execDrop(st *dropStmt) (*Result, error) {
 
 // Lookup returns the first object named name in source.
 func (s *Store) Lookup(source, name string) (*Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookup(source, name)
+}
+
+func (s *Store) lookup(source, name string) (*Object, error) {
 	objs, err := s.loadObjects(fmt.Sprintf("source = %s AND name = %s", quote(source), quote(name)))
 	if err != nil {
 		return nil, err
@@ -273,6 +342,12 @@ func (s *Store) Lookup(source, name string) (*Object, error) {
 
 // Objects returns every object of a source, ordered by OID.
 func (s *Store) Objects(source string) ([]Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objects(source)
+}
+
+func (s *Store) objects(source string) ([]Object, error) {
 	return s.loadObjects("source = " + quote(source))
 }
 
@@ -280,7 +355,13 @@ func (s *Store) Objects(source string) ([]Object, error) {
 // operator name to the set of critical operator names it supports (derived
 // from the target attribute; paper §4.2's directed edges).
 func (s *Store) AuxiliaryTargets(source string) (map[string]map[string]bool, error) {
-	objs, err := s.Objects(source)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auxiliaryTargets(source)
+}
+
+func (s *Store) auxiliaryTargets(source string) (map[string]map[string]bool, error) {
+	objs, err := s.objects(source)
 	if err != nil {
 		return nil, err
 	}
@@ -503,12 +584,27 @@ func (s *Store) execUpdate(st *updateStmt) (*Result, error) {
 		}
 		conds = append(conds, fmt.Sprintf("%s %s %s", col, c.op, quote(c.value)))
 	}
-	res, err := s.eng.Exec("SELECT oid FROM poperators WHERE " + strings.Join(conds, " AND "))
+	res, err := s.eng.Exec("SELECT oid, name FROM poperators WHERE " + strings.Join(conds, " AND "))
 	if err != nil {
 		return nil, fmt.Errorf("pool: %w", err)
 	}
 	if len(res.Rows) == 0 {
 		return &Result{Affected: 0}, nil
+	}
+	// Record the mutations before writing (coalesced by name) so a
+	// mid-statement failure with partially applied sets still invalidates
+	// dependent caches.
+	touched := make(map[string]bool)
+	for _, r := range res.Rows {
+		touched[r[1].Str()] = true
+	}
+	names := make([]string, 0, len(touched))
+	for n := range touched {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.pending = append(s.pending, Mutation{Source: st.source, Name: n, Kind: "update"})
 	}
 	affected := 0
 	for _, r := range res.Rows {

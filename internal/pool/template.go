@@ -23,7 +23,7 @@ const (
 func (s *Store) execCompose(st *composeStmt) (*Result, error) {
 	objs := make([]*Object, len(st.names))
 	for i, name := range st.names {
-		o, err := s.Lookup(st.source, name)
+		o, err := s.lookup(st.source, name)
 		if err != nil {
 			return nil, err
 		}
@@ -33,7 +33,7 @@ func (s *Store) execCompose(st *composeStmt) (*Result, error) {
 		// The left operand must be the auxiliary node (the composition
 		// operator is neither associative nor commutative — §5.4).
 		aux, crit := objs[0], objs[1]
-		targets, err := s.AuxiliaryTargets(st.source)
+		targets, err := s.auxiliaryTargets(st.source)
 		if err != nil {
 			return nil, err
 		}
@@ -63,6 +63,8 @@ func (s *Store) ComposeTemplate(source string, names []string, using map[string]
 	if using == nil {
 		using = map[string]string{}
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	res, err := s.execCompose(&composeStmt{names: names, source: source, using: using})
 	if err != nil {
 		return "", err

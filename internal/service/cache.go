@@ -1,0 +1,296 @@
+package service
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math/bits"
+	"sort"
+	"sync"
+
+	"lantern/internal/metrics"
+)
+
+// Step is one rendered narration step, as cached and as returned to
+// clients.
+type Step struct {
+	Text       string `json:"text"`
+	Identifier string `json:"identifier,omitempty"`
+}
+
+// CachedNarration is the immutable value stored per fingerprint. Callers
+// must not mutate it after Put.
+type CachedNarration struct {
+	Text      string   `json:"text"`
+	Steps     []Step   `json:"steps"`
+	Source    string   `json:"source"`    // plan dialect; scopes invalidation
+	Operators []string `json:"operators"` // canonical, sorted; invalidation index
+}
+
+// sizeBytes approximates the entry's memory footprint for the cache's byte
+// bound: string payloads plus a fixed per-entry overhead for the map/list
+// bookkeeping.
+func (c *CachedNarration) sizeBytes() int64 {
+	const entryOverhead = 256
+	n := int64(entryOverhead + len(c.Text))
+	for _, s := range c.Steps {
+		n += int64(len(s.Text) + len(s.Identifier) + 32)
+	}
+	for _, op := range c.Operators {
+		n += int64(len(op) + 16)
+	}
+	return n
+}
+
+type cacheEntry struct {
+	key  Fingerprint
+	val  *CachedNarration
+	size int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[Fingerprint]*list.Element
+	bytes int64
+}
+
+// Cache is a sharded, byte-bounded LRU cache of narrations keyed by plan
+// fingerprint. Shards are independent mutex-striped LRUs, so concurrent
+// lookups of different fingerprints rarely contend; the byte budget is
+// split evenly across shards. Safe for concurrent use.
+type Cache struct {
+	shards        []*cacheShard
+	mask          uint32
+	maxShardBytes int64
+
+	hits         metrics.Counter
+	misses       metrics.Counter
+	evictions    metrics.Counter
+	invalidated  metrics.Counter
+	rejectedSize metrics.Counter // entries larger than one shard's budget
+}
+
+// NewCache builds a cache with the given shard count (rounded up to a
+// power of two, minimum 1) and total byte budget (minimum 1 shard byte
+// each). A nil *Cache is a valid always-miss cache.
+func NewCache(shards int, maxBytes int64) *Cache {
+	if shards < 1 {
+		shards = 1
+	}
+	if bits.OnesCount(uint(shards)) != 1 {
+		shards = 1 << bits.Len(uint(shards))
+	}
+	perShard := maxBytes / int64(shards)
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards:        make([]*cacheShard, shards),
+		mask:          uint32(shards - 1),
+		maxShardBytes: perShard,
+	}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{ll: list.New(), items: make(map[Fingerprint]*list.Element)}
+	}
+	return c
+}
+
+func (c *Cache) shardFor(key Fingerprint) *cacheShard {
+	return c.shards[binary.BigEndian.Uint32(key[:4])&c.mask]
+}
+
+// Get returns the cached narration for key, promoting it to
+// most-recently-used, and records a hit or miss.
+func (c *Cache) Get(key Fingerprint) (*CachedNarration, bool) {
+	if c == nil {
+		return nil, false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return nil, false
+	}
+	sh.ll.MoveToFront(el)
+	val := el.Value.(*cacheEntry).val
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return val, true
+}
+
+// Put inserts or replaces the narration for key and evicts
+// least-recently-used entries until the shard fits its byte budget. An
+// entry larger than a whole shard's budget is not cached (returns false).
+func (c *Cache) Put(key Fingerprint, val *CachedNarration) bool {
+	if c == nil {
+		return false
+	}
+	size := val.sizeBytes()
+	if size > c.maxShardBytes {
+		c.rejectedSize.Inc()
+		return false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		sh.bytes += size - ent.size
+		ent.val, ent.size = val, size
+		sh.ll.MoveToFront(el)
+	} else {
+		el := sh.ll.PushFront(&cacheEntry{key: key, val: val, size: size})
+		sh.items[key] = el
+		sh.bytes += size
+	}
+	var evicted int64
+	for sh.bytes > c.maxShardBytes {
+		back := sh.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		sh.ll.Remove(back)
+		delete(sh.items, ent.key)
+		sh.bytes -= ent.size
+		evicted++
+	}
+	sh.mu.Unlock()
+	c.evictions.Add(evicted)
+	return true
+}
+
+// InvalidateOperator removes every entry of the given source dialect whose
+// plan mentions the canonical operator name op, returning how many were
+// dropped. This is the targeted maintenance path: a POOL mutation of one
+// operator's description leaves narrations of other sources and narrations
+// not using that operator untouched.
+func (c *Cache) InvalidateOperator(source, op string) int {
+	if c == nil {
+		return 0
+	}
+	dropped := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		var next *list.Element
+		for el := sh.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			ent := el.Value.(*cacheEntry)
+			if ent.val.Source == source && containsSorted(ent.val.Operators, op) {
+				sh.ll.Remove(el)
+				delete(sh.items, ent.key)
+				sh.bytes -= ent.size
+				dropped++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	c.invalidated.Add(int64(dropped))
+	return dropped
+}
+
+// Delete removes one entry, reporting whether it was present. Used by the
+// server to retract an entry it inserted concurrently with a POOL
+// mutation (counted as an invalidation when present).
+func (c *Cache) Delete(key Fingerprint) bool {
+	if c == nil {
+		return false
+	}
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.items[key]
+	if ok {
+		ent := el.Value.(*cacheEntry)
+		sh.ll.Remove(el)
+		delete(sh.items, ent.key)
+		sh.bytes -= ent.size
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.invalidated.Inc()
+	}
+	return ok
+}
+
+// Clear drops every entry (counted as invalidations).
+func (c *Cache) Clear() {
+	if c == nil {
+		return
+	}
+	dropped := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		dropped += sh.ll.Len()
+		sh.ll.Init()
+		sh.items = make(map[Fingerprint]*list.Element)
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	c.invalidated.Add(int64(dropped))
+}
+
+// containsSorted reports whether sorted slice ops contains op.
+func containsSorted(ops []string, op string) bool {
+	i := sort.SearchStrings(ops, op)
+	return i < len(ops) && ops[i] == op
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += sh.ll.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the accounted size of all cached entries.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	var b int64
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		b += sh.bytes
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+// CacheStats is a point-in-time digest of cache activity.
+type CacheStats struct {
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	MaxBytes     int64 `json:"max_bytes"`
+	Shards       int   `json:"shards"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Evictions    int64 `json:"evictions"`
+	Invalidated  int64 `json:"invalidated"`
+	RejectedSize int64 `json:"rejected_oversize"`
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	return CacheStats{
+		Entries:      c.Len(),
+		Bytes:        c.Bytes(),
+		MaxBytes:     c.maxShardBytes * int64(len(c.shards)),
+		Shards:       len(c.shards),
+		Hits:         c.hits.Value(),
+		Misses:       c.misses.Value(),
+		Evictions:    c.evictions.Value(),
+		Invalidated:  c.invalidated.Value(),
+		RejectedSize: c.rejectedSize.Value(),
+	}
+}

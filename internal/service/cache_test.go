@@ -1,0 +1,208 @@
+package service
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func fpOf(s string) Fingerprint {
+	return requestKey("test", s, Options{})
+}
+
+func narrOf(textLen int, ops ...string) *CachedNarration {
+	return &CachedNarration{Text: strings.Repeat("x", textLen), Source: "pg", Operators: ops}
+}
+
+func TestCachePutGet(t *testing.T) {
+	c := NewCache(4, 1<<20)
+	key := fpOf("a")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("empty cache must miss")
+	}
+	val := narrOf(10, "seqscan")
+	c.Put(key, val)
+	got, ok := c.Get(key)
+	if !ok || got != val {
+		t.Fatal("cached entry must be returned")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheLRUEvictionAtByteBound(t *testing.T) {
+	// One shard, budget for exactly three 100-byte-text entries
+	// (sizeBytes = 256 overhead + 100 text).
+	entrySize := narrOf(100).sizeBytes()
+	c := NewCache(1, 3*entrySize)
+	for _, k := range []string{"a", "b", "c"} {
+		c.Put(fpOf(k), narrOf(100))
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	// Touch "a" so "b" is the least recently used, then overflow.
+	c.Get(fpOf("a"))
+	c.Put(fpOf("d"), narrOf(100))
+	if c.Len() != 3 {
+		t.Fatalf("Len after eviction = %d, want 3", c.Len())
+	}
+	if c.Bytes() > 3*entrySize {
+		t.Fatalf("Bytes = %d exceeds bound %d", c.Bytes(), 3*entrySize)
+	}
+	if _, ok := c.Get(fpOf("b")); ok {
+		t.Fatal("LRU entry b must have been evicted")
+	}
+	if _, ok := c.Get(fpOf("a")); !ok {
+		t.Fatal("recently used entry a must survive")
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("Evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestCacheOversizeRejected(t *testing.T) {
+	c := NewCache(1, 128) // smaller than any entry's 256-byte overhead
+	if c.Put(fpOf("big"), narrOf(1000)) {
+		t.Fatal("oversize entry must be rejected")
+	}
+	if c.Len() != 0 {
+		t.Fatal("oversize entry must not be stored")
+	}
+	if st := c.Stats(); st.RejectedSize != 1 {
+		t.Fatalf("RejectedSize = %d, want 1", st.RejectedSize)
+	}
+}
+
+func TestCacheInvalidateOperatorTargeted(t *testing.T) {
+	c := NewCache(8, 1<<20)
+	c.Put(fpOf("scan-only"), narrOf(10, "seqscan"))
+	c.Put(fpOf("sorted"), narrOf(10, "seqscan", "sort"))
+	c.Put(fpOf("join"), narrOf(10, "hash", "hashjoin", "seqscan"))
+	ssSorted := &CachedNarration{Text: "sqlserver plan", Source: "sqlserver", Operators: []string{"sort", "tablescan"}}
+	c.Put(fpOf("ss-sorted"), ssSorted)
+	if n := c.InvalidateOperator("pg", "sort"); n != 1 {
+		t.Fatalf("InvalidateOperator(pg, sort) dropped %d entries, want 1", n)
+	}
+	if _, ok := c.Get(fpOf("sorted")); ok {
+		t.Fatal("pg entry mentioning sort must be invalidated")
+	}
+	for _, keep := range []string{"scan-only", "join"} {
+		if _, ok := c.Get(fpOf(keep)); !ok {
+			t.Fatalf("entry %q does not mention sort and must survive", keep)
+		}
+	}
+	// Invalidation is scoped by source: the sqlserver narration also
+	// mentions a sort, but its POEM entries were not touched.
+	if _, ok := c.Get(fpOf("ss-sorted")); !ok {
+		t.Fatal("sqlserver entry must survive a pg mutation")
+	}
+	if n := c.InvalidateOperator("pg", "nosuchop"); n != 0 {
+		t.Fatalf("unknown operator dropped %d entries, want 0", n)
+	}
+	if st := c.Stats(); st.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want 1", st.Invalidated)
+	}
+}
+
+func TestCacheDelete(t *testing.T) {
+	c := NewCache(2, 1<<20)
+	c.Put(fpOf("a"), narrOf(10))
+	if !c.Delete(fpOf("a")) {
+		t.Fatal("Delete must report the entry was present")
+	}
+	if _, ok := c.Get(fpOf("a")); ok {
+		t.Fatal("deleted entry must be gone")
+	}
+	if c.Delete(fpOf("a")) {
+		t.Fatal("second Delete must report absence")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("Bytes = %d after delete, want 0", c.Bytes())
+	}
+}
+
+func TestCacheClear(t *testing.T) {
+	c := NewCache(2, 1<<20)
+	c.Put(fpOf("a"), narrOf(10))
+	c.Put(fpOf("b"), narrOf(10))
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("after Clear: Len=%d Bytes=%d, want 0/0", c.Len(), c.Bytes())
+	}
+}
+
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	if _, ok := c.Get(fpOf("a")); ok {
+		t.Fatal("nil cache must miss")
+	}
+	if c.Put(fpOf("a"), narrOf(1)) {
+		t.Fatal("nil cache must not store")
+	}
+	if c.InvalidateOperator("pg", "sort") != 0 || c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("nil cache must be inert")
+	}
+	if c.Delete(fpOf("a")) {
+		t.Fatal("nil cache delete must report absence")
+	}
+	c.Clear()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatal("nil cache stats must be zero")
+	}
+}
+
+func TestContainsSorted(t *testing.T) {
+	ops := []string{"hash", "hashjoin", "seqscan", "sort"}
+	for _, op := range ops {
+		if !containsSorted(ops, op) {
+			t.Fatalf("containsSorted(%v, %q) = false", ops, op)
+		}
+	}
+	for _, op := range []string{"", "aaa", "mergejoin", "zzz"} {
+		if containsSorted(ops, op) {
+			t.Fatalf("containsSorted(%v, %q) = true", ops, op)
+		}
+	}
+	if containsSorted(nil, "x") {
+		t.Fatal("empty set contains nothing")
+	}
+}
+
+// TestCacheConcurrent exercises readers, writers, and invalidators
+// concurrently; run with -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8, 64<<10)
+	ops := []string{"seqscan", "sort", "hash", "hashjoin", "limit"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 2000; i++ {
+				k := fpOf(fmt.Sprintf("key-%d", rng.Intn(200)))
+				switch rng.Intn(10) {
+				case 0:
+					c.InvalidateOperator("pg", ops[rng.Intn(len(ops))])
+				case 1, 2, 3:
+					c.Put(k, narrOf(rng.Intn(500), ops[rng.Intn(len(ops))]))
+				default:
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("inconsistent accounting after concurrency: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

@@ -1,0 +1,522 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lantern/internal/core"
+	"lantern/internal/engine"
+	"lantern/internal/metrics"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/qa"
+)
+
+// Service errors. ErrOverloaded is the fast 429-style rejection: the
+// request never entered the queue, so the client can retry elsewhere
+// immediately instead of waiting on a doomed deadline.
+var (
+	ErrOverloaded = errors.New("service: queue full, request rejected")
+	ErrClosed     = errors.New("service: server is shut down")
+	ErrBadRequest = errors.New("service: bad request")
+)
+
+// Config sizes the serving pipeline. Zero values take defaults.
+type Config struct {
+	// Workers is the number of narration goroutines (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds pending requests; a full queue rejects with
+	// ErrOverloaded (default: 4×Workers).
+	QueueDepth int
+	// RequestTimeout is the deadline applied to requests whose context has
+	// none (default: 5s).
+	RequestTimeout time.Duration
+	// CacheBytes is the narration cache budget; 0 disables caching
+	// (default when left zero on NewServer: 32 MiB; set negative to
+	// disable explicitly).
+	CacheBytes int64
+	// CacheShards is the number of cache stripes (default: 16).
+	CacheShards int
+	// MaxIndexEntries caps the request→fingerprint front index
+	// (default: 65536).
+	MaxIndexEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = 16
+	}
+	if c.MaxIndexEntries <= 0 {
+		c.MaxIndexEntries = 1 << 16
+	}
+	return c
+}
+
+// NarrateRequest asks for the narration of one query or plan. Exactly one
+// of SQL (planned by the server's embedded engine) or Plan (a serialized
+// plan document: PostgreSQL-style EXPLAIN JSON or SQL-Server-style XML
+// showplan) must be set.
+type NarrateRequest struct {
+	SQL     string  `json:"sql,omitempty"`
+	Plan    string  `json:"plan,omitempty"`
+	Source  string  `json:"source,omitempty"` // "pg" (default) or "sqlserver"
+	Options Options `json:"options,omitempty"`
+}
+
+// NarrateResponse is the rendered narration plus its cache identity.
+type NarrateResponse struct {
+	Text        string   `json:"text"`
+	Steps       []Step   `json:"steps"`
+	Source      string   `json:"source"`
+	Fingerprint string   `json:"fingerprint"`
+	Operators   []string `json:"operators"`
+	Cached      bool     `json:"cached"`
+}
+
+// QARequest asks a natural-language question about one query or plan.
+type QARequest struct {
+	SQL      string `json:"sql,omitempty"`
+	Plan     string `json:"plan,omitempty"`
+	Source   string `json:"source,omitempty"`
+	Question string `json:"question"`
+}
+
+// QAResponse carries the answer.
+type QAResponse struct {
+	Answer string `json:"answer"`
+}
+
+type taskKind int
+
+const (
+	taskNarrate taskKind = iota
+	taskQA
+)
+
+type taskResult struct {
+	narrate *NarrateResponse
+	qa      *QAResponse
+	err     error
+}
+
+type task struct {
+	kind taskKind
+	ctx  context.Context
+	nreq *NarrateRequest
+	qreq *QARequest
+	out  chan taskResult // buffered(1): workers never block on delivery
+}
+
+// Server is the concurrent narration service: admission control in front
+// of a bounded queue drained by a fixed worker pool running the
+// parse→LOT→narrate pipeline, with a fingerprint-keyed narration cache in
+// front of the whole thing. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	store *pool.Store
+	rule  *core.RuleLantern
+	cache *Cache
+	// mutGen counts committed POOL mutations; a worker snapshots it before
+	// reading the store and retracts its cache insert if it moved, so a
+	// narration computed from pre-mutation descriptions can never outlive
+	// the invalidation that should have dropped it.
+	mutGen atomic.Int64
+
+	engMu sync.Mutex // the substrate engine is single-threaded
+	eng   *engine.Engine
+
+	idxMu sync.RWMutex
+	idx   map[Fingerprint]Fingerprint // request key → plan fingerprint
+
+	closeMu sync.RWMutex
+	closed  bool
+	queue   chan *task
+	wg      sync.WaitGroup
+	started time.Time
+
+	narrateReqs metrics.Counter
+	qaReqs      metrics.Counter
+	rejected    metrics.Counter
+	timeouts    metrics.Counter
+	failures    metrics.Counter
+	hitLatency  metrics.LatencyHistogram
+	coldLatency metrics.LatencyHistogram
+	qaLatency   metrics.LatencyHistogram
+}
+
+// NewServer builds and starts a server over a planning engine (nil is
+// allowed when every request carries a pre-serialized plan) and a POEM
+// store. It registers the store-mutation hook that keeps the cache
+// consistent: an UPDATE/CREATE/DROP of operator X drops exactly the cached
+// narrations whose plans mention X.
+func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		rule:    core.NewRuleLantern(store),
+		eng:     eng,
+		idx:     make(map[Fingerprint]Fingerprint),
+		queue:   make(chan *task, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	if cfg.CacheBytes > 0 {
+		s.cache = NewCache(cfg.CacheShards, cfg.CacheBytes)
+	}
+	store.OnMutation(func(m pool.Mutation) {
+		s.mutGen.Add(1)
+		s.cache.InvalidateOperator(m.Source, m.Name)
+	})
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close drains the queue, stops the workers, and rejects all future
+// requests with ErrClosed. Idempotent.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		if err := t.ctx.Err(); err != nil {
+			t.out <- taskResult{err: err}
+			continue
+		}
+		switch t.kind {
+		case taskNarrate:
+			resp, err := s.handleNarrate(t.ctx, t.nreq)
+			t.out <- taskResult{narrate: resp, err: err}
+		case taskQA:
+			resp, err := s.handleQA(t.ctx, t.qreq)
+			t.out <- taskResult{qa: resp, err: err}
+		}
+	}
+}
+
+// Narrate serves one narration request: constant-time on a cache hit,
+// through the worker pool on a miss. It applies the default deadline when
+// ctx has none and rejects immediately with ErrOverloaded when the queue
+// is full.
+func (s *Server) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
+	s.narrateReqs.Inc()
+	source, payload, err := normalizeRequest(req.SQL, req.Plan, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	req = &NarrateRequest{SQL: req.SQL, Plan: req.Plan, Source: source, Options: req.Options}
+
+	start := time.Now()
+	// Fast path: repeated identical request → plan fingerprint → cached
+	// narration, no parsing, no planning, no queue. The front index is
+	// only maintained when caching is on.
+	if s.cache != nil {
+		rkey := requestKey(source, payload, req.Options)
+		if fp, ok := s.indexGet(rkey); ok {
+			if ent, ok := s.cache.Get(fp); ok {
+				s.hitLatency.Observe(time.Since(start))
+				return entryResponse(fp, ent, true), nil
+			}
+		}
+	}
+
+	res, err := s.dispatch(ctx, &task{kind: taskNarrate, nreq: req})
+	if err != nil {
+		return nil, err
+	}
+	if res.narrate != nil && res.narrate.Cached {
+		s.hitLatency.Observe(time.Since(start))
+	} else {
+		s.coldLatency.Observe(time.Since(start))
+	}
+	return res.narrate, nil
+}
+
+// QA serves one question-answering request through the worker pool.
+func (s *Server) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
+	s.qaReqs.Inc()
+	source, _, err := normalizeRequest(req.SQL, req.Plan, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		return nil, fmt.Errorf("%w: question must not be empty", ErrBadRequest)
+	}
+	req = &QARequest{SQL: req.SQL, Plan: req.Plan, Source: source, Question: req.Question}
+	start := time.Now()
+	res, err := s.dispatch(ctx, &task{kind: taskQA, qreq: req})
+	if err != nil {
+		return nil, err
+	}
+	s.qaLatency.Observe(time.Since(start))
+	return res.qa, nil
+}
+
+// dispatch applies the default deadline, performs admission control, and
+// waits for the worker's answer or the deadline, whichever first.
+func (s *Server) dispatch(ctx context.Context, t *task) (taskResult, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	t.ctx = ctx
+	t.out = make(chan taskResult, 1)
+
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return taskResult{}, ErrClosed
+	}
+	select {
+	case s.queue <- t:
+		s.closeMu.RUnlock()
+	default:
+		s.closeMu.RUnlock()
+		s.rejected.Inc()
+		return taskResult{}, ErrOverloaded
+	}
+
+	select {
+	case res := <-t.out:
+		if res.err != nil {
+			if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
+				s.timeouts.Inc()
+			} else {
+				s.failures.Inc()
+			}
+			return taskResult{}, res.err
+		}
+		return res, nil
+	case <-ctx.Done():
+		s.timeouts.Inc()
+		return taskResult{}, ctx.Err()
+	}
+}
+
+// normalizeRequest validates the SQL/Plan/Source triple and returns the
+// effective source and the raw payload the front index keys on.
+func normalizeRequest(sql, planDoc, source string) (string, string, error) {
+	hasSQL := strings.TrimSpace(sql) != ""
+	hasPlan := strings.TrimSpace(planDoc) != ""
+	if hasSQL == hasPlan {
+		return "", "", fmt.Errorf("%w: exactly one of sql or plan must be set", ErrBadRequest)
+	}
+	if source == "" {
+		source = "pg"
+	}
+	if source != "pg" && source != "sqlserver" {
+		return "", "", fmt.Errorf("%w: unknown source %q (want pg or sqlserver)", ErrBadRequest, source)
+	}
+	if hasSQL {
+		return source, "sql\x00" + sql, nil
+	}
+	return source, "plan\x00" + planDoc, nil
+}
+
+// resolveTree turns the request payload into a vendor-neutral plan tree:
+// parse the supplied plan document, or plan the SQL on the embedded engine
+// and round-trip it through the chosen serialization — exactly the path a
+// real RDBMS deployment would take.
+func (s *Server) resolveTree(ctx context.Context, sql, planDoc, source string) (*plan.Node, error) {
+	if strings.TrimSpace(planDoc) != "" {
+		if source == "sqlserver" {
+			return plan.ParseSQLServerXML(planDoc)
+		}
+		return plan.ParsePostgresJSON(planDoc)
+	}
+	if s.eng == nil {
+		return nil, fmt.Errorf("service: server has no planning engine; send a serialized plan instead of sql")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	format := "JSON"
+	if source == "sqlserver" {
+		format = "XML"
+	}
+	s.engMu.Lock()
+	r, err := s.eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, sql))
+	s.engMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if source == "sqlserver" {
+		return plan.ParseSQLServerXML(r.Plan)
+	}
+	return plan.ParsePostgresJSON(r.Plan)
+}
+
+func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
+	tree, err := s.resolveTree(ctx, req.SQL, req.Plan, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	fp, ops := PlanFingerprint(tree, req.Options)
+	if s.cache != nil {
+		_, payload, _ := normalizeRequest(req.SQL, req.Plan, req.Source)
+		s.indexPut(requestKey(req.Source, payload, req.Options), fp)
+
+		// Plan-level hit: a different SQL text (or raw plan doc) that
+		// planned to an already-narrated tree.
+		if ent, ok := s.cache.Get(fp); ok {
+			return entryResponse(fp, ent, true), nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Snapshot the mutation generation before reading the POEM store, so
+	// an insert computed from pre-mutation descriptions can be retracted.
+	gen := s.mutGen.Load()
+	lt, err := s.rule.BuildLOT(tree)
+	if err != nil {
+		return nil, err
+	}
+	nar, err := s.rule.NarrateLOT(lt)
+	if err != nil {
+		return nil, err
+	}
+	text := nar.Text()
+	if req.Options.canonical() == PresentTree {
+		text = core.PresentTree(lt, nar)
+	}
+	steps := make([]Step, len(nar.Steps))
+	for i, st := range nar.Steps {
+		steps[i] = Step{Text: st.Text, Identifier: st.Identifier}
+	}
+	ent := &CachedNarration{Text: text, Steps: steps, Source: tree.Source, Operators: ops}
+	if s.cache != nil && s.cache.Put(fp, ent) && s.mutGen.Load() != gen {
+		// A POOL mutation raced this narration. Either its invalidation
+		// pass already saw our entry and dropped it, or we retract it here;
+		// both ways no possibly-stale entry survives.
+		s.cache.Delete(fp)
+	}
+	return entryResponse(fp, ent, false), nil
+}
+
+func (s *Server) handleQA(ctx context.Context, req *QARequest) (*QAResponse, error) {
+	tree, err := s.resolveTree(ctx, req.SQL, req.Plan, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	answerer, err := qa.New(s.store, tree)
+	if err != nil {
+		return nil, err
+	}
+	answer, err := answerer.Answer(req.Question)
+	if err != nil {
+		return nil, err
+	}
+	return &QAResponse{Answer: answer}, nil
+}
+
+func entryResponse(fp Fingerprint, ent *CachedNarration, cached bool) *NarrateResponse {
+	return &NarrateResponse{
+		Text:        ent.Text,
+		Steps:       ent.Steps,
+		Source:      ent.Source,
+		Fingerprint: fp.String(),
+		Operators:   ent.Operators,
+		Cached:      cached,
+	}
+}
+
+func (s *Server) indexGet(rkey Fingerprint) (Fingerprint, bool) {
+	s.idxMu.RLock()
+	fp, ok := s.idx[rkey]
+	s.idxMu.RUnlock()
+	return fp, ok
+}
+
+func (s *Server) indexPut(rkey, fp Fingerprint) {
+	s.idxMu.Lock()
+	if len(s.idx) >= s.cfg.MaxIndexEntries {
+		s.idx = make(map[Fingerprint]Fingerprint, s.cfg.MaxIndexEntries/4)
+	}
+	s.idx[rkey] = fp
+	s.idxMu.Unlock()
+}
+
+// Cache exposes the narration cache (nil when caching is disabled), for
+// tests and admin tooling.
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Store exposes the POEM store backing the narrations.
+func (s *Server) Store() *pool.Store { return s.store }
+
+// Stats is the /v1/stats payload: pipeline gauges, request counters,
+// cache counters, and latency digests split by cache outcome.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueLen      int     `json:"queue_len"`
+	IndexEntries  int     `json:"index_entries"`
+
+	NarrateRequests int64 `json:"narrate_requests"`
+	QARequests      int64 `json:"qa_requests"`
+	Rejected        int64 `json:"rejected"`
+	Timeouts        int64 `json:"timeouts"`
+	Failures        int64 `json:"failures"`
+
+	Cache CacheStats `json:"cache"`
+
+	LatencyCached metrics.LatencySummary `json:"latency_cached"`
+	LatencyCold   metrics.LatencySummary `json:"latency_cold"`
+	LatencyQA     metrics.LatencySummary `json:"latency_qa"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.idxMu.RLock()
+	idxLen := len(s.idx)
+	s.idxMu.RUnlock()
+	return Stats{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Workers:         s.cfg.Workers,
+		QueueDepth:      s.cfg.QueueDepth,
+		QueueLen:        len(s.queue),
+		IndexEntries:    idxLen,
+		NarrateRequests: s.narrateReqs.Value(),
+		QARequests:      s.qaReqs.Value(),
+		Rejected:        s.rejected.Value(),
+		Timeouts:        s.timeouts.Value(),
+		Failures:        s.failures.Value(),
+		Cache:           s.cache.Stats(),
+		LatencyCached:   s.hitLatency.Summary(),
+		LatencyCold:     s.coldLatency.Summary(),
+		LatencyQA:       s.qaLatency.Summary(),
+	}
+}

@@ -1,0 +1,315 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lantern/internal/core"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+)
+
+const (
+	qScan = "SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'"
+	qSort = "SELECT c_name FROM customer ORDER BY c_name"
+	qJoin = `SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY c.c_name LIMIT 5`
+)
+
+func newTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	eng := engine.NewDefault()
+	if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+		t.Fatalf("loading tpch: %v", err)
+	}
+	srv := NewServer(eng, pool.NewSeededStore(), cfg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func mustNarrate(t testing.TB, s *Server, req *NarrateRequest) *NarrateResponse {
+	t.Helper()
+	resp, err := s.Narrate(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Narrate(%q): %v", req.SQL, err)
+	}
+	return resp
+}
+
+// TestNarrateMatchesLibraryPath: the serving layer must return byte-for-byte
+// the narration the library path produces.
+func TestNarrateMatchesLibraryPath(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	for _, sql := range []string{qScan, qSort, qJoin} {
+		got := mustNarrate(t, srv, &NarrateRequest{SQL: sql})
+
+		// Independent library path: fresh engine, fresh seeded store.
+		eng := engine.NewDefault()
+		if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.Exec("EXPLAIN (FORMAT JSON) " + sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := plan.ParsePostgresJSON(r.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nar, err := core.NewRuleLantern(pool.NewSeededStore()).Narrate(tree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Text != nar.Text() {
+			t.Fatalf("service narration differs from library path for %q:\nservice: %q\nlibrary: %q",
+				sql, got.Text, nar.Text())
+		}
+	}
+}
+
+func TestRepeatServedFromCache(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	first := mustNarrate(t, srv, &NarrateRequest{SQL: qJoin})
+	if first.Cached {
+		t.Fatal("first request cannot be a cache hit")
+	}
+	second := mustNarrate(t, srv, &NarrateRequest{SQL: qJoin})
+	if !second.Cached {
+		t.Fatal("repeated identical request must be served from cache")
+	}
+	if second.Text != first.Text || second.Fingerprint != first.Fingerprint {
+		t.Fatal("cached response must match the original")
+	}
+	if st := srv.Stats(); st.Cache.Hits < 1 {
+		t.Fatalf("stats hit counter = %d, want >= 1", st.Cache.Hits)
+	}
+}
+
+// TestPlanLevelHit: a textually different query that plans to the same tree
+// must hit at the fingerprint level.
+func TestPlanLevelHit(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	mustNarrate(t, srv, &NarrateRequest{SQL: qScan})
+	reformatted := "SELECT   c_name   FROM customer WHERE c_mktsegment = 'BUILDING'"
+	resp := mustNarrate(t, srv, &NarrateRequest{SQL: reformatted})
+	if !resp.Cached {
+		t.Fatal("reformatted query planning to the same tree must hit the plan-fingerprint cache")
+	}
+}
+
+func TestChangedCondChangesFingerprint(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	a := mustNarrate(t, srv, &NarrateRequest{SQL: qScan})
+	b := mustNarrate(t, srv, &NarrateRequest{
+		SQL: "SELECT c_name FROM customer WHERE c_mktsegment = 'MACHINERY'"})
+	if a.Fingerprint == b.Fingerprint {
+		t.Fatal("changed filter condition must change the plan fingerprint")
+	}
+	if b.Cached {
+		t.Fatal("different fingerprint cannot be a cache hit")
+	}
+}
+
+// TestPOOLMutationInvalidatesTargeted: an UPDATE of one operator's
+// description drops exactly the cached narrations whose plans mention that
+// operator.
+func TestPOOLMutationInvalidatesTargeted(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	sorted := mustNarrate(t, srv, &NarrateRequest{SQL: qSort})
+	if !containsSorted(sorted.Operators, "sort") {
+		t.Fatalf("expected a sort in the ORDER BY plan, got operators %v", sorted.Operators)
+	}
+	scan := mustNarrate(t, srv, &NarrateRequest{SQL: qScan})
+	if containsSorted(scan.Operators, "sort") {
+		t.Fatalf("scan query unexpectedly uses sort: %v", scan.Operators)
+	}
+
+	if _, err := srv.Store().Exec(
+		`UPDATE pg SET desc = 'rearrange the rows of $R1$' WHERE name = 'sort'`); err != nil {
+		t.Fatalf("POOL update: %v", err)
+	}
+	if st := srv.Stats(); st.Cache.Invalidated < 1 {
+		t.Fatalf("invalidated = %d, want >= 1", st.Cache.Invalidated)
+	}
+
+	// The narration not using sort survives the mutation...
+	if resp := mustNarrate(t, srv, &NarrateRequest{SQL: qScan}); !resp.Cached {
+		t.Fatal("narration without the mutated operator must stay cached")
+	}
+	// ...while the sorted one is regenerated with the new description.
+	after := mustNarrate(t, srv, &NarrateRequest{SQL: qSort})
+	if after.Cached {
+		t.Fatal("narration using the mutated operator must have been invalidated")
+	}
+	if !strings.Contains(after.Text, "rearrange the rows") {
+		t.Fatalf("regenerated narration must use the new description, got: %q", after.Text)
+	}
+	if after.Text == sorted.Text {
+		t.Fatal("regenerated narration must differ from the pre-update one")
+	}
+}
+
+func TestTreePresentation(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	doc := mustNarrate(t, srv, &NarrateRequest{SQL: qJoin})
+	tree := mustNarrate(t, srv, &NarrateRequest{SQL: qJoin, Options: Options{Presentation: PresentTree}})
+	if tree.Cached {
+		t.Fatal("different presentation must not share the document cache entry")
+	}
+	if tree.Text == doc.Text {
+		t.Fatal("tree presentation must render differently from the document")
+	}
+	if len(tree.Steps) != len(doc.Steps) {
+		t.Fatalf("step count differs between presentations: %d vs %d", len(tree.Steps), len(doc.Steps))
+	}
+}
+
+func TestQAEndToEnd(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	resp, err := srv.QA(context.Background(), &QARequest{SQL: qJoin, Question: "how many steps are there?"})
+	if err != nil {
+		t.Fatalf("QA: %v", err)
+	}
+	if !strings.Contains(resp.Answer, "steps") {
+		t.Fatalf("unexpected answer: %q", resp.Answer)
+	}
+	if _, err := srv.QA(context.Background(), &QARequest{SQL: qJoin}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("empty question: err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	cases := []*NarrateRequest{
+		{},                          // neither sql nor plan
+		{SQL: qScan, Plan: "{}"},    // both
+		{SQL: qScan, Source: "db9"}, // unknown source
+	}
+	for _, req := range cases {
+		if _, err := srv.Narrate(context.Background(), req); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("req %+v: err = %v, want ErrBadRequest", req, err)
+		}
+	}
+}
+
+// TestOverloadFastRejection: a full queue rejects immediately with
+// ErrOverloaded instead of queueing behind the deadline.
+func TestOverloadFastRejection(t *testing.T) {
+	// A server with a 1-slot queue and no running workers: the queue can
+	// never drain, so the rejection path is deterministic.
+	s := &Server{cfg: Config{QueueDepth: 1}.withDefaults(), queue: make(chan *task, 1)}
+	s.queue <- &task{} // fill the queue
+	start := time.Now()
+	_, err := s.Narrate(context.Background(), &NarrateRequest{SQL: qScan})
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("rejection took %v; must be immediate, not deadline-bound", elapsed)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", s.Stats().Rejected)
+	}
+}
+
+func TestDeadlineRespected(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := srv.Narrate(ctx, &NarrateRequest{SQL: qJoin})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if srv.Stats().Timeouts < 1 {
+		t.Fatal("timeout counter must record the expired request")
+	}
+}
+
+func TestClosedServer(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	srv.Close()
+	srv.Close() // idempotent
+	if _, err := srv.Narrate(context.Background(), &NarrateRequest{SQL: qScan}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentNarrateWithMutations hammers the server from many
+// goroutines while POOL mutations run; correctness is checked by the race
+// detector plus cache-consistency assertions (a cached answer must always
+// equal a freshly computed one).
+func TestConcurrentNarrateWithMutations(t *testing.T) {
+	srv := newTestServer(t, Config{Workers: 4, QueueDepth: 256, RequestTimeout: 30 * time.Second})
+	queries := []string{qScan, qSort, qJoin,
+		"SELECT c_name FROM customer WHERE c_custkey = 7",
+		"SELECT o_orderkey FROM orders ORDER BY o_totalprice"}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				sql := queries[(g+i)%len(queries)]
+				resp, err := srv.Narrate(context.Background(), &NarrateRequest{SQL: sql})
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						continue // legitimate under load
+					}
+					select {
+					case errs <- fmt.Errorf("narrate %q: %w", sql, err):
+					default:
+					}
+					return
+				}
+				if resp.Text == "" || len(resp.Steps) == 0 {
+					select {
+					case errs <- fmt.Errorf("empty narration for %q", sql):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		descs := []string{
+			`UPDATE pg SET desc = 'sort the rows of $R1$' WHERE name = 'sort'`,
+			`UPDATE pg SET desc = 'order $R1$' WHERE name = 'sort'`,
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := srv.Store().Exec(descs[i%len(descs)]); err != nil {
+				select {
+				case errs <- fmt.Errorf("pool update: %w", err):
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// After the dust settles, every cached narration must equal a freshly
+	// recomputed one.
+	srv.Cache().Clear()
+	for _, sql := range queries {
+		fresh := mustNarrate(t, srv, &NarrateRequest{SQL: sql})
+		again := mustNarrate(t, srv, &NarrateRequest{SQL: sql})
+		if !again.Cached || again.Text != fresh.Text {
+			t.Fatalf("cache inconsistency for %q", sql)
+		}
+	}
+}
