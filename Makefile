@@ -1,7 +1,13 @@
 GO ?= go
 BIN := bin
+FUZZTIME ?= 10s
 
-.PHONY: all build test race vet bench bench-serving clean
+# Recipes pipe test output into tooling (see bench); pipefail keeps a
+# failing `go test` from being masked by a succeeding consumer.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build test race vet bench bench-serving fuzz corpus clean
 
 all: build test
 
@@ -17,11 +23,27 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Smoke-runs the root benchmark harness (one iteration each) and records
+# the parsed results in BENCH_service.json — the bench trajectory tracked
+# across PRs.
 bench:
-	$(GO) test -bench=. -benchmem -benchtime=1x .
+	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_service.json
 
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .
+
+# Native fuzzing over the three plan-dialect parsers, seeded from the
+# golden corpus ($(FUZZTIME) per target).
+fuzz:
+	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParsePostgresJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParseSQLServerXML -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParseMySQLJSON -fuzztime $(FUZZTIME)
+
+# Regenerates the cross-dialect golden corpus: inputs from the substrate
+# engine, then expectations via the corpus runners.
+corpus:
+	$(GO) run ./internal/plan/testdata/gen
+	$(GO) test ./internal/plan ./internal/pool ./internal/service -run Corpus -update
 
 clean:
 	rm -rf $(BIN)

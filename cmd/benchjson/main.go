@@ -1,0 +1,89 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// benchmark report, echoing the raw output to stderr so the run stays
+// visible. It backs `make bench`, which tracks the serving hot path in
+// BENCH_service.json across PRs:
+//
+//	go test -run xxx -bench . -benchmem -benchtime 1x . | benchjson -out BENCH_service.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Result is one parsed benchmark line. BytesPerOp/AllocsPerOp are
+// pointers so a genuine 0 B/op result stays distinguishable from a run
+// without -benchmem.
+type Result struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the BENCH_service.json payload.
+type Report struct {
+	GeneratedAt string   `json:"generated_at"`
+	GoVersion   string   `json:"go_version,omitempty"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+// BenchmarkServiceNarrateCached-8   930512   1286 ns/op   312 B/op   7 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_service.json", "output JSON path")
+	flag.Parse()
+
+	report := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		r := Result{Name: m[1]}
+		r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			v, _ := strconv.ParseFloat(m[4], 64)
+			r.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseFloat(m[5], 64)
+			r.AllocsPerOp = &v
+		}
+		report.Benchmarks = append(report.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("benchjson: reading stdin: %v", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark lines found on stdin")
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}

@@ -1,12 +1,14 @@
 // Command lantern narrates SQL query execution plans in natural language.
 //
 // It loads one of the bundled datasets into the substrate engine, plans the
-// given query, serializes the plan in the chosen vendor format
-// (PostgreSQL-style JSON or SQL-Server-style XML), parses it back, and runs
-// RULE-LANTERN (and optionally NEURAL-LANTERN) over it:
+// given query, serializes the plan in the chosen vendor dialect
+// (PostgreSQL-style JSON, SQL-Server-style XML, or MySQL-style
+// EXPLAIN FORMAT=JSON), parses it back through the dialect registry, and
+// runs RULE-LANTERN (and optionally NEURAL-LANTERN) over it:
 //
 //	lantern -db tpch "SELECT c_name FROM customer WHERE c_custkey = 7"
 //	lantern -db tpch -source sqlserver -show-plan "SELECT ..."
+//	lantern -db tpch -source mysql "SELECT ..."
 //	lantern -db imdb -mode neural "SELECT ..."
 package main
 
@@ -30,7 +32,7 @@ import (
 func main() {
 	db := flag.String("db", "tpch", "dataset to load: tpch, sdss, imdb")
 	scale := flag.Float64("scale", 0.05, "dataset scale factor")
-	source := flag.String("source", "pg", "plan dialect: pg (JSON) or sqlserver (XML)")
+	source := flag.String("source", "pg", "plan dialect: "+strings.Join(plan.Dialects(), ", "))
 	mode := flag.String("mode", "rule", "narration mode: rule, neural, auto (frequency switching)")
 	showPlan := flag.Bool("show-plan", false, "also print the raw serialized plan")
 	treeView := flag.Bool("tree", false, "present as NL-annotated visual tree instead of document text")
@@ -120,24 +122,16 @@ func main() {
 	fmt.Print(nar.Text())
 }
 
-// explainTree plans the query and round-trips it through the chosen
+// explainTree plans the query and round-trips it through the dialect's
 // serialization, exactly as LANTERN consumes plans from a real RDBMS.
 func explainTree(eng *engine.Engine, source, query string) (*plan.Node, string, error) {
-	format := "JSON"
-	if source == "sqlserver" {
-		format = "XML"
-	}
-	r, err := eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, query))
-	if err != nil {
-		return nil, "", err
-	}
-	var tree *plan.Node
-	if source == "sqlserver" {
-		tree, err = plan.ParseSQLServerXML(r.Plan)
-	} else {
-		tree, err = plan.ParsePostgresJSON(r.Plan)
-	}
-	return tree, r.Plan, err
+	return plan.ExplainAndParse(source, func(format string) (string, error) {
+		r, err := eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, query))
+		if err != nil {
+			return "", err
+		}
+		return r.Plan, nil
+	})
 }
 
 // trainQuick trains a small NEURAL-LANTERN on workload queries of the

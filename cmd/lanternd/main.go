@@ -4,18 +4,27 @@
 // It loads one of the bundled datasets into the substrate engine, seeds
 // the POEM store, and serves:
 //
-//	POST /v1/narrate  {"sql": "...", "source": "pg", "options": {"presentation": "tree"}}
+//	POST /v1/narrate  {"sql": "...", "dialect": "pg", "options": {"presentation": "tree"}}
 //	POST /v1/qa       {"sql": "...", "question": "what does step 2 do?"}
 //	POST /v1/pool     {"stmt": "UPDATE pg SET desc = '...' WHERE name = 'seqscan'"}
+//	GET  /v1/dialects
 //	GET  /v1/healthz
 //	GET  /v1/stats
 //
+// A narrate/qa request carries either "sql" (planned by the embedded
+// engine in the chosen dialect) or "plan" (a pre-serialized EXPLAIN
+// document). "dialect" selects the plan frontend ("pg", "sqlserver",
+// "mysql"); when omitted it defaults to pg for SQL and is auto-detected
+// for plan documents (pg-JSON array vs showplan-XML vs mysql-JSON
+// query_block).
+//
 // Narrations are cached by plan fingerprint; POOL statements executed
 // through /v1/pool invalidate exactly the cached narrations that mention
-// the mutated operators. Try:
+// the mutated operators, scoped to the mutated dialect. Try:
 //
 //	lanternd -addr :8080 -db tpch &
 //	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7"}'
+//	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7", "dialect": "mysql"}'
 //	curl -s localhost:8080/v1/stats | jq .cache
 package main
 
@@ -29,11 +38,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
+	"lantern/internal/plan"
 	"lantern/internal/pool"
 	"lantern/internal/service"
 )
@@ -124,6 +135,47 @@ func main() {
 			"rows":     res.Rows,
 		})
 	}))
+	mux.HandleFunc("/v1/dialects", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+			return
+		}
+		type dialectInfo struct {
+			Name string `json:"name"`
+			// PlanFrontend: a registered plan parser exists; false for
+			// POOL-only sources (db2, the paper's transfer example).
+			PlanFrontend bool `json:"plan_frontend"`
+			AutoDetect   bool `json:"auto_detect"`
+			SQLPlanning  bool `json:"sql_planning"`
+			PoolSeeded   bool `json:"pool_seeded"`
+		}
+		seeded := make(map[string]bool)
+		names := make(map[string]bool)
+		for _, s := range store.Sources() {
+			seeded[s] = true
+			names[s] = true
+		}
+		for _, n := range plan.Dialects() {
+			names[n] = true
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		var out []dialectInfo
+		for _, name := range sorted {
+			d, ok := plan.Lookup(name)
+			out = append(out, dialectInfo{
+				Name:         name,
+				PlanFrontend: ok,
+				AutoDetect:   ok && d.Detect != nil,
+				SQLPlanning:  ok && d.EngineFormat != "",
+				PoolSeeded:   seeded[name],
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"dialects": out})
+	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))

@@ -1,7 +1,8 @@
 // crossdbms demonstrates LANTERN's vendor portability (the property NEURON
 // lacks, paper US 5): the same SDSS query is narrated from a
-// PostgreSQL-style JSON plan and from a SQL-Server-style XML showplan —
-// different operator vocabularies, one declarative POEM store. It then uses
+// PostgreSQL-style JSON plan, a SQL-Server-style XML showplan, and a
+// MySQL-style EXPLAIN FORMAT=JSON document — three operator vocabularies,
+// one declarative POEM store, one pluggable dialect registry. It then uses
 // POOL's UPDATE/REPLACE statements to transfer descriptions to DB2's
 // operators, exactly as §4.2's examples do.
 package main
@@ -29,42 +30,42 @@ func main() {
 	query := `SELECT p.objid, s.class, s.z FROM photoobj p, specobj s
 		WHERE p.objid = s.bestobjid AND s.class = 'QSO' AND s.z > 2`
 
-	// --- PostgreSQL dialect -------------------------------------------------
-	r, err := eng.Exec("EXPLAIN (FORMAT JSON) " + query)
-	if err != nil {
-		log.Fatal(err)
+	// --- One query, every registered dialect --------------------------------
+	// Each dialect round-trips through its own serialization and parser,
+	// and the document is re-parsed via auto-detection to show the
+	// registry attributing it without being told the dialect.
+	for _, name := range plan.Dialects() {
+		d, _ := plan.Lookup(name)
+		if d.EngineFormat == "" {
+			continue // no engine serializer (e.g. a plan-document-only dialect)
+		}
+		r, err := eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", d.EngineFormat, query))
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, detected, err := plan.ParseAuto(r.Plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if detected != name {
+			log.Fatalf("auto-detection attributed a %s plan to %s", name, detected)
+		}
+		fmt.Printf("--- %s operators: %v\n", name, tree.OperatorNames())
+		nar, err := rl.Narrate(tree)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(nar.Text(), "\n")
 	}
-	pgTree, err := plan.ParsePostgresJSON(r.Plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("PostgreSQL operators:", pgTree.OperatorNames())
-	nar, err := rl.Narrate(pgTree)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(nar.Text())
-
-	// --- SQL Server dialect ---------------------------------------------------
-	r, err = eng.Exec("EXPLAIN (FORMAT XML) " + query)
-	if err != nil {
-		log.Fatal(err)
-	}
-	msTree, err := plan.ParseSQLServerXML(r.Plan)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("\nSQL Server operators:", msTree.OperatorNames())
-	nar, err = rl.Narrate(msTree)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Print(nar.Text())
 
 	// --- NEURON cannot follow -------------------------------------------------
+	msTree, err := plan.Parse("sqlserver", mustExplain(eng, "XML", query))
+	if err != nil {
+		log.Fatal(err)
+	}
 	n := neuron.New()
 	if _, err := n.Narrate(msTree); err != nil {
-		fmt.Println("\nNEURON on the same SQL Server plan:", err)
+		fmt.Println("NEURON on the same SQL Server plan:", err)
 	}
 
 	// --- POOL keeps SMEs productive across vendors -----------------------------
@@ -73,6 +74,9 @@ func main() {
 		`SELECT defn FROM db2 WHERE name = 'zzjoin'`,
 		`UPDATE db2 SET desc = (SELECT desc FROM pg WHERE pg.name = 'hashjoin') WHERE db2.name = 'hsjoin'`,
 		`UPDATE pg SET desc = REPLACE((SELECT desc FROM pg AS pg2 WHERE pg2.name = 'hashjoin'), 'hash', 'nested loop ') WHERE pg.name = 'nestedloop'`,
+		// Transfer pg's hash-join description onto MySQL's operator: a new
+		// dialect inherits SME work instead of restarting it.
+		`UPDATE mysql SET desc = (SELECT desc FROM pg WHERE pg.name = 'hashjoin') WHERE mysql.name = 'hashjoin'`,
 		`COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join'`,
 	} {
 		res, err := store.Exec(stmt)
@@ -88,4 +92,12 @@ func main() {
 			fmt.Printf("  %s\n    -> OK (%d affected)\n", stmt, res.Affected)
 		}
 	}
+}
+
+func mustExplain(eng *engine.Engine, format, query string) string {
+	r, err := eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, query))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r.Plan
 }

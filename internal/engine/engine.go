@@ -326,6 +326,8 @@ func (e *Engine) runExplain(s *sqlparser.ExplainStmt) (*Result, error) {
 		text, err = ExplainJSON(plan)
 	case sqlparser.ExplainXML:
 		text, err = ExplainXML(plan)
+	case sqlparser.ExplainMySQL:
+		text, err = ExplainMySQL(plan)
 	default:
 		text = ExplainText(plan)
 	}

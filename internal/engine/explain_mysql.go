@@ -1,0 +1,207 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// --- MySQL format (EXPLAIN FORMAT=JSON) -------------------------------------
+//
+// MySQL serializes plans very differently from the other two engines: a
+// single "query_block" object whose joins are flat nested_loop arrays of
+// table accesses (MySQL executes only nested-loop-family joins), with
+// sorting/grouping/distinct represented as wrapper operations rather than
+// tree nodes, and non-table join inputs materialized as derived-table
+// subqueries. Reproducing that shape keeps the cross-vendor gap the
+// paper's parsers bridge genuine for the third dialect too.
+
+type myxCost struct {
+	QueryCost  string `json:"query_cost,omitempty"`
+	PrefixCost string `json:"prefix_cost,omitempty"`
+	ReadCost   string `json:"read_cost,omitempty"`
+}
+
+type myxSubquery struct {
+	QueryBlock *myxBlock `json:"query_block"`
+}
+
+type myxTable struct {
+	TableName         string       `json:"table_name"`
+	AccessType        string       `json:"access_type,omitempty"`
+	Key               string       `json:"key,omitempty"`
+	RowsExamined      float64      `json:"rows_examined_per_scan,omitempty"`
+	RowsProduced      float64      `json:"rows_produced_per_join,omitempty"`
+	Filtered          string       `json:"filtered,omitempty"`
+	CostInfo          *myxCost     `json:"cost_info,omitempty"`
+	IndexCondition    string       `json:"index_condition,omitempty"`
+	AttachedCondition string       `json:"attached_condition,omitempty"`
+	UsingJoinBuffer   string       `json:"using_join_buffer,omitempty"`
+	Materialized      *myxSubquery `json:"materialized_from_subquery,omitempty"`
+}
+
+type myxJoin struct {
+	Table *myxTable `json:"table"`
+}
+
+type myxBlock struct {
+	SelectID            int       `json:"select_id,omitempty"`
+	CostInfo            *myxCost  `json:"cost_info,omitempty"`
+	Message             string    `json:"message,omitempty"`
+	UsingFilesort       *bool     `json:"using_filesort,omitempty"`
+	UsingTemporaryTable bool      `json:"using_temporary_table,omitempty"`
+	Ordering            *myxBlock `json:"ordering_operation,omitempty"`
+	Grouping            *myxBlock `json:"grouping_operation,omitempty"`
+	Duplicates          *myxBlock `json:"duplicates_removal,omitempty"`
+	Buffer              *myxBlock `json:"buffer_result,omitempty"`
+	NestedLoop          []myxJoin `json:"nested_loop,omitempty"`
+	Table               *myxTable `json:"table,omitempty"`
+}
+
+// ExplainMySQL renders the plan as a MySQL-style EXPLAIN FORMAT=JSON
+// document. Limit nodes are transparent (MySQL's JSON explain does not
+// report LIMIT) and Hash build nodes are inlined, as in the XML emitter.
+func ExplainMySQL(n *Node) (string, error) {
+	g := &mysqlGen{}
+	b := g.block(n)
+	b.SelectID = 1
+	b.CostInfo = &myxCost{QueryCost: fmt.Sprintf("%.2f", round2(n.EstCost))}
+	doc := map[string]*myxBlock{"query_block": b}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+// mysqlGen carries the derived-table counter used to name materialized
+// join inputs, mirroring MySQL's <derivedN> naming.
+type mysqlGen struct {
+	nderived int
+}
+
+func boolPtr(b bool) *bool { return &b }
+
+func (g *mysqlGen) block(n *Node) *myxBlock {
+	switch n.Op {
+	case OpSort:
+		inner := g.block(n.Children[0])
+		inner.UsingFilesort = boolPtr(true)
+		return &myxBlock{Ordering: inner}
+	case OpUnique:
+		return &myxBlock{Duplicates: g.block(n.Children[0])}
+	case OpAggregate, OpHashAggregate, OpGroupAggregate:
+		inner := g.block(n.Children[0])
+		inner.UsingTemporaryTable = n.Op == OpHashAggregate
+		return &myxBlock{Grouping: inner}
+	case OpMaterialize:
+		return &myxBlock{Buffer: g.block(n.Children[0])}
+	case OpLimit, OpHash:
+		return g.block(n.Children[0])
+	case OpResult:
+		return &myxBlock{Message: "No tables used"}
+	case OpHashJoin, OpMergeJoin, OpNestedLoop:
+		return &myxBlock{NestedLoop: g.nestedLoop(n)}
+	default: // scans
+		return &myxBlock{Table: g.tableRef(n, "", "")}
+	}
+}
+
+func isJoinOp(op Op) bool {
+	return op == OpHashJoin || op == OpMergeJoin || op == OpNestedLoop
+}
+
+// nestedLoop flattens a left-deep join subtree into MySQL's flat
+// nested_loop array. The join predicate lands on the inner table's
+// attached_condition (that is where MySQL evaluates it); hash joins mark
+// the inner table with using_join_buffer, everything else degrades to the
+// nested-loop family MySQL actually executes.
+func (g *mysqlGen) nestedLoop(n *Node) []myxJoin {
+	left, right := n.Children[0], n.Children[1]
+	if right.Op == OpHash {
+		right = right.Children[0]
+	}
+	var items []myxJoin
+	if isJoinOp(left.Op) && left.Filter == nil {
+		items = g.nestedLoop(left)
+	} else {
+		items = []myxJoin{{Table: g.tableRef(left, "", "")}}
+	}
+	joinBuffer := ""
+	if n.Op == OpHashJoin {
+		joinBuffer = "hash join"
+	}
+	cond := combineConds(condText(n.JoinCond), condText(n.Filter))
+	inner := g.tableRef(right, cond, joinBuffer)
+	// As in real MySQL, the inner table of a join prefix reports the
+	// cumulative numbers of the whole prefix: prefix_cost is the join's
+	// total cost and rows_produced_per_join its output estimate; the
+	// table's own access cost moves to read_cost.
+	inner.CostInfo = &myxCost{
+		PrefixCost: fmt.Sprintf("%.2f", round2(n.EstCost)),
+		ReadCost:   fmt.Sprintf("%.2f", round2(right.EstCost)),
+	}
+	inner.RowsProduced = n.EstRows
+	return append(items, myxJoin{Table: inner})
+}
+
+// tableRef renders one join input as a table access object. Scans map
+// directly; any other operator becomes a materialized derived table, the
+// way MySQL represents non-table join inputs. joinCond is the enclosing
+// join's predicate ("" for the first table of a nested_loop).
+func (g *mysqlGen) tableRef(n *Node, joinCond, joinBuffer string) *myxTable {
+	cost := &myxCost{PrefixCost: fmt.Sprintf("%.2f", round2(n.EstCost))}
+	switch n.Op {
+	case OpSeqScan:
+		return &myxTable{
+			TableName:         aliasOr(n),
+			AccessType:        "ALL",
+			RowsExamined:      n.EstRows,
+			RowsProduced:      n.EstRows,
+			Filtered:          "100.00",
+			CostInfo:          cost,
+			AttachedCondition: combineConds(joinCond, condText(n.Filter)),
+			UsingJoinBuffer:   joinBuffer,
+		}
+	case OpIndexScan:
+		access := "index"
+		if n.IndexCond != nil {
+			access = "ref"
+		}
+		return &myxTable{
+			TableName:         aliasOr(n),
+			AccessType:        access,
+			Key:               n.IndexName,
+			RowsExamined:      n.EstRows,
+			RowsProduced:      n.EstRows,
+			Filtered:          "100.00",
+			CostInfo:          cost,
+			IndexCondition:    condText(n.IndexCond),
+			AttachedCondition: combineConds(joinCond, condText(n.Filter)),
+			UsingJoinBuffer:   joinBuffer,
+		}
+	default:
+		g.nderived++
+		return &myxTable{
+			TableName:         fmt.Sprintf("<derived%d>", g.nderived+1),
+			AccessType:        "ALL",
+			RowsExamined:      n.EstRows,
+			RowsProduced:      n.EstRows,
+			CostInfo:          cost,
+			AttachedCondition: joinCond,
+			UsingJoinBuffer:   joinBuffer,
+			Materialized:      &myxSubquery{QueryBlock: g.block(n)},
+		}
+	}
+}
+
+// combineConds joins two rendered predicates with AND, tolerating either
+// being empty.
+func combineConds(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return "(" + a + " AND " + b + ")"
+}

@@ -136,6 +136,63 @@ func TestExplainXMLWellFormed(t *testing.T) {
 	}
 }
 
+func TestExplainMySQLWellFormed(t *testing.T) {
+	e := goldenEngine(t)
+	plan, err := e.PlanSQL(goldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ExplainMySQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		QueryBlock struct {
+			SelectID int `json:"select_id"`
+			CostInfo struct {
+				QueryCost string `json:"query_cost"`
+			} `json:"cost_info"`
+		} `json:"query_block"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if parsed.QueryBlock.SelectID != 1 || parsed.QueryBlock.CostInfo.QueryCost == "" {
+		t.Errorf("query_block header incomplete:\n%s", doc)
+	}
+	// MySQL vocabulary only: flat nested_loop with a hash join buffer, no
+	// PostgreSQL node names.
+	if strings.Contains(doc, "Node Type") || strings.Contains(doc, "Seq Scan") {
+		t.Error("PostgreSQL shape leaked into MySQL explain")
+	}
+	for _, want := range []string{`"nested_loop"`, `"using_join_buffer": "hash join"`,
+		`"grouping_operation"`, `"access_type": "ALL"`, `"attached_condition"`} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %s:\n%s", want, doc)
+		}
+	}
+}
+
+func TestExplainMySQLLimitTransparent(t *testing.T) {
+	e := goldenEngine(t)
+	plan, err := e.PlanSQL("SELECT e_id FROM emp ORDER BY e_salary LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ExplainMySQL(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MySQL's JSON explain does not report LIMIT; the ordering must still
+	// appear as a filesort.
+	if strings.Contains(doc, "limit") || strings.Contains(doc, "Top") {
+		t.Errorf("limit leaked into MySQL explain:\n%s", doc)
+	}
+	if !strings.Contains(doc, `"using_filesort": true`) {
+		t.Errorf("missing filesort:\n%s", doc)
+	}
+}
+
 func TestCondTextFormat(t *testing.T) {
 	e := goldenEngine(t)
 	plan, err := e.PlanSQL("SELECT e_id FROM emp WHERE e_salary > 90 AND e_dept = 1")

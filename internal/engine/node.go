@@ -1,8 +1,9 @@
 // Package engine implements the substrate RDBMS that stands in for
-// PostgreSQL / SQL Server in this reproduction: a cost-based planner over
-// the catalog's statistics, a full in-memory executor, and EXPLAIN emitters
-// in three formats (PostgreSQL-style text and JSON, SQL-Server-style XML
-// showplan). LANTERN consumes the JSON/XML forms through internal/plan,
+// PostgreSQL / SQL Server / MySQL in this reproduction: a cost-based
+// planner over the catalog's statistics, a full in-memory executor, and
+// EXPLAIN emitters in four formats (PostgreSQL-style text and JSON,
+// SQL-Server-style XML showplan, MySQL-style EXPLAIN FORMAT=JSON).
+// LANTERN consumes the JSON/XML/MySQL forms through internal/plan,
 // exactly as the paper's system consumes the output of the commercial
 // engines.
 package engine

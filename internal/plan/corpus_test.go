@@ -1,0 +1,85 @@
+package plan_test
+
+import (
+	"bytes"
+	"testing"
+
+	"lantern/internal/plan"
+	"lantern/internal/plantest"
+)
+
+// TestCorpusParse is the parser leg of the cross-dialect golden-corpus
+// harness: every corpus plan must parse through the registry, carry its
+// dialect as Source on every node, and match its checked-in canonical
+// tree (<name>.tree; regenerate with -update).
+func TestCorpusParse(t *testing.T) {
+	for _, e := range plantest.Entries(t) {
+		t.Run(e.Dialect+"/"+e.Name, func(t *testing.T) {
+			tree, err := plan.Parse(e.Dialect, e.Doc)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			tree.Walk(func(n *plan.Node) {
+				if n.Source != e.Dialect {
+					t.Errorf("node %q has Source %q, want %q", n.Name, n.Source, e.Dialect)
+				}
+			})
+			plantest.Golden(t, e.GoldenPath(".tree"), plantest.Dump(tree))
+		})
+	}
+}
+
+// TestCorpusDetect checks auto-detection: every corpus document must be
+// attributed to its own dialect, and ParseAuto must produce the same
+// canonical bytes as the explicit parse.
+func TestCorpusDetect(t *testing.T) {
+	for _, e := range plantest.Entries(t) {
+		t.Run(e.Dialect+"/"+e.Name, func(t *testing.T) {
+			got, err := plan.Detect(e.Doc)
+			if err != nil {
+				t.Fatalf("detect: %v", err)
+			}
+			if got != e.Dialect {
+				t.Fatalf("Detect = %q, want %q", got, e.Dialect)
+			}
+			auto, dialect, err := plan.ParseAuto(e.Doc)
+			if err != nil {
+				t.Fatalf("ParseAuto: %v", err)
+			}
+			if dialect != e.Dialect {
+				t.Fatalf("ParseAuto dialect = %q, want %q", dialect, e.Dialect)
+			}
+			explicit, err := plan.Parse(e.Dialect, e.Doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var a, b bytes.Buffer
+			auto.WriteCanonical(&a)
+			explicit.WriteCanonical(&b)
+			if a.String() != b.String() {
+				t.Error("ParseAuto and explicit Parse disagree on canonical form")
+			}
+		})
+	}
+}
+
+// TestCorpusCanonicalStability: the canonical serialization (the
+// fingerprint input) must be deterministic across repeated parses.
+func TestCorpusCanonicalStability(t *testing.T) {
+	for _, e := range plantest.Entries(t) {
+		first, err := plan.Parse(e.Dialect, e.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		second, err := plan.Parse(e.Dialect, e.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a, b bytes.Buffer
+		first.WriteCanonical(&a)
+		second.WriteCanonical(&b)
+		if a.String() != b.String() {
+			t.Errorf("%s/%s: canonical serialization is not deterministic", e.Dialect, e.Name)
+		}
+	}
+}

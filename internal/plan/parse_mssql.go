@@ -3,6 +3,7 @@ package plan
 import (
 	"encoding/xml"
 	"fmt"
+	"strings"
 )
 
 // msRelOp mirrors the RelOp element of the SQL-Server-style XML showplan
@@ -28,9 +29,41 @@ type msShowPlan struct {
 	Root    *msRelOp `xml:"BatchSequence>Batch>Statements>StmtSimple>QueryPlan>RelOp"`
 }
 
+// maxXMLDepth bounds element nesting in showplan documents. Real plans are
+// a few dozen levels deep; without the bound, a small adversarial document
+// of nothing but open tags drives unbounded recursion inside
+// xml.Unmarshal (found by FuzzParseSQLServerXML).
+const maxXMLDepth = 512
+
+// checkXMLDepth rejects documents nested deeper than maxXMLDepth with a
+// cheap token pre-scan. Malformed XML passes: Unmarshal reports it with a
+// better error.
+func checkXMLDepth(doc string) error {
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil
+		}
+		switch tok.(type) {
+		case xml.StartElement:
+			depth++
+			if depth > maxXMLDepth {
+				return fmt.Errorf("plan: XML showplan nested deeper than %d elements", maxXMLDepth)
+			}
+		case xml.EndElement:
+			depth--
+		}
+	}
+}
+
 // ParseSQLServerXML parses a SQL-Server-style XML showplan into a
 // vendor-neutral operator tree with Source = "sqlserver".
 func ParseSQLServerXML(doc string) (*Node, error) {
+	if err := checkXMLDepth(doc); err != nil {
+		return nil, err
+	}
 	var sp msShowPlan
 	if err := xml.Unmarshal([]byte(doc), &sp); err != nil {
 		return nil, fmt.Errorf("plan: malformed XML showplan: %w", err)

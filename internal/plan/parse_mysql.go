@@ -1,0 +1,242 @@
+package plan
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// myBlock mirrors one "block" of MySQL's EXPLAIN FORMAT=JSON output: the
+// top-level query_block and every wrapper operation share this shape, each
+// holding exactly one content key (a table, a nested_loop array, a nested
+// operation, or a message).
+type myBlock struct {
+	SelectID       int      `json:"select_id"`
+	Message        string   `json:"message"`
+	CostInfo       myCost   `json:"cost_info"`
+	UsingFilesort  *bool    `json:"using_filesort"`
+	UsingTemporary bool     `json:"using_temporary_table"`
+	Table          *myTable `json:"table"`
+	NestedLoop     []myJoin `json:"nested_loop"`
+	Ordering       *myBlock `json:"ordering_operation"`
+	Grouping       *myBlock `json:"grouping_operation"`
+	Duplicates     *myBlock `json:"duplicates_removal"`
+	Buffer         *myBlock `json:"buffer_result"`
+}
+
+// myJoin is one element of a nested_loop array.
+type myJoin struct {
+	Table *myTable `json:"table"`
+}
+
+// myTable mirrors MySQL's table access object. MySQL reports the query
+// alias as table_name; there is no separate base-relation field.
+type myTable struct {
+	TableName         string   `json:"table_name"`
+	AccessType        string   `json:"access_type"`
+	Key               string   `json:"key"`
+	UsedKeyParts      []string `json:"used_key_parts"`
+	Ref               []string `json:"ref"`
+	RowsExamined      float64  `json:"rows_examined_per_scan"`
+	RowsProduced      float64  `json:"rows_produced_per_join"`
+	Filtered          string   `json:"filtered"`
+	CostInfo          myCost   `json:"cost_info"`
+	AttachedCondition string   `json:"attached_condition"`
+	IndexCondition    string   `json:"index_condition"`
+	UsingJoinBuffer   string   `json:"using_join_buffer"`
+	Materialized      *struct {
+		QueryBlock *myBlock `json:"query_block"`
+	} `json:"materialized_from_subquery"`
+}
+
+// myCost mirrors MySQL's cost_info objects; MySQL serializes costs as
+// strings.
+type myCost struct {
+	QueryCost  string `json:"query_cost"`
+	PrefixCost string `json:"prefix_cost"`
+	ReadCost   string `json:"read_cost"`
+	EvalCost   string `json:"eval_cost"`
+}
+
+func (c myCost) value() float64 {
+	for _, s := range []string{c.QueryCost, c.PrefixCost, c.ReadCost} {
+		if v := parseCost(s); v != 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+func parseCost(s string) float64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// ParseMySQLJSON parses a MySQL-style EXPLAIN FORMAT=JSON document (an
+// object with a "query_block" key) into a vendor-neutral operator tree
+// with Source = "mysql".
+//
+// Mapping notes. MySQL serializes joins as flat nested_loop arrays, which
+// are folded left-deep into binary join operators ("Nested Loop", or
+// "Hash Join" when the table carries using_join_buffer: "hash join"); the
+// attached_condition of a non-first nested_loop table is evaluated in the
+// join loop, so it becomes the join condition of the fold. Wrapper
+// operations map to unary operators: ordering_operation → "Filesort"
+// (skipped when using_filesort is false — the order came for free from an
+// index), grouping_operation → "Group", duplicates_removal → "Duplicates
+// Removal", buffer_result → "Buffer Result", materialized_from_subquery →
+// "Materialize". A bare message ("No tables used") becomes "Constant
+// Result".
+func ParseMySQLJSON(doc string) (*Node, error) {
+	var outer struct {
+		QueryBlock *myBlock `json:"query_block"`
+	}
+	if err := json.Unmarshal([]byte(doc), &outer); err != nil {
+		return nil, fmt.Errorf("plan: malformed MySQL JSON plan: %w", err)
+	}
+	if outer.QueryBlock == nil {
+		return nil, fmt.Errorf(`plan: MySQL JSON plan lacks a "query_block" object`)
+	}
+	root, err := fromMyBlock(outer.QueryBlock)
+	if err != nil {
+		return nil, err
+	}
+	if root.Cost == 0 {
+		root.Cost = outer.QueryBlock.CostInfo.value()
+	}
+	return root, nil
+}
+
+func fromMyBlock(b *myBlock) (*Node, error) {
+	wrap := func(name string, inner *myBlock) (*Node, error) {
+		child, err := fromMyBlock(inner)
+		if err != nil {
+			return nil, err
+		}
+		return &Node{Name: name, Source: "mysql", Children: []*Node{child},
+			Rows: child.Rows, Cost: inner.CostInfo.value()}, nil
+	}
+	switch {
+	case b.Ordering != nil:
+		// using_filesort=false means the required order fell out of an
+		// index: no physical sort happens, so no operator is narrated.
+		if b.Ordering.UsingFilesort != nil && !*b.Ordering.UsingFilesort {
+			return fromMyBlock(b.Ordering)
+		}
+		return wrap("Filesort", b.Ordering)
+	case b.Grouping != nil:
+		return wrap("Group", b.Grouping)
+	case b.Duplicates != nil:
+		return wrap("Duplicates Removal", b.Duplicates)
+	case b.Buffer != nil:
+		return wrap("Buffer Result", b.Buffer)
+	case len(b.NestedLoop) > 0:
+		return fromMyNestedLoop(b.NestedLoop)
+	case b.Table != nil:
+		return fromMyTable(b.Table, false)
+	case b.Message != "":
+		return &Node{Name: "Constant Result", Source: "mysql"}, nil
+	}
+	return nil, fmt.Errorf("plan: MySQL query block has no recognized content (table, nested_loop, operation, or message)")
+}
+
+// fromMyNestedLoop folds a flat nested_loop array into left-deep binary
+// join nodes: [t1, t2, t3] → join(join(t1, t2), t3).
+func fromMyNestedLoop(items []myJoin) (*Node, error) {
+	if items[0].Table == nil {
+		return nil, fmt.Errorf("plan: MySQL nested_loop item 0 lacks a table")
+	}
+	left, err := fromMyTable(items[0].Table, false)
+	if err != nil {
+		return nil, err
+	}
+	if len(items) == 1 {
+		return left, nil
+	}
+	for i, item := range items[1:] {
+		t := item.Table
+		if t == nil {
+			return nil, fmt.Errorf("plan: MySQL nested_loop item %d lacks a table", i+1)
+		}
+		right, err := fromMyTable(t, true)
+		if err != nil {
+			return nil, err
+		}
+		// The inner table's prefix_cost is cumulative (the join's); the
+		// table's own access cost is read_cost.
+		if rc := parseCost(t.CostInfo.ReadCost); rc != 0 {
+			right.Cost = rc
+		}
+		name := "Nested Loop"
+		if t.UsingJoinBuffer == "hash join" {
+			name = "Hash Join"
+		}
+		// MySQL reports the join prefix's numbers on its inner table:
+		// rows_produced_per_join is the join's output estimate and
+		// prefix_cost its cumulative cost.
+		rows := t.RowsProduced
+		if rows == 0 {
+			rows = right.Rows
+		}
+		join := &Node{Name: name, Source: "mysql", Children: []*Node{left, right},
+			Rows: rows, Cost: t.CostInfo.value()}
+		// The attached_condition of an inner nested_loop table is
+		// evaluated per join iteration: it is the join condition (MySQL
+		// folds residual scan filters into the same predicate).
+		join.SetAttr(AttrJoinCond, t.AttachedCondition)
+		left = join
+	}
+	return left, nil
+}
+
+// fromMyTable converts one table access object. inner marks tables in a
+// join position after the first, whose attached_condition belongs to the
+// enclosing join (see fromMyNestedLoop) rather than to the scan.
+func fromMyTable(t *myTable, inner bool) (*Node, error) {
+	if t.Materialized != nil {
+		if t.Materialized.QueryBlock == nil {
+			return nil, fmt.Errorf("plan: MySQL materialized_from_subquery lacks a query_block")
+		}
+		child, err := fromMyBlock(t.Materialized.QueryBlock)
+		if err != nil {
+			return nil, err
+		}
+		n := &Node{Name: "Materialize", Source: "mysql", Children: []*Node{child},
+			Rows: t.RowsExamined, Cost: t.CostInfo.value()}
+		n.SetAttr(AttrAlias, t.TableName)
+		if !inner {
+			// In first-join or standalone position the attached_condition
+			// filters the derived table itself (inner-position conditions
+			// become the enclosing join's predicate in fromMyNestedLoop).
+			n.SetAttr(AttrFilter, t.AttachedCondition)
+		}
+		return n, nil
+	}
+	var name string
+	switch t.AccessType {
+	case "ALL", "":
+		name = "Table Scan"
+	case "ref", "eq_ref", "const", "system", "fulltext", "ref_or_null":
+		name = "Index Lookup"
+	case "range", "index_merge":
+		name = "Index Range Scan"
+	case "index":
+		name = "Index Scan"
+	default:
+		name = "Table Scan"
+	}
+	n := &Node{Name: name, Source: "mysql", Rows: t.RowsExamined, Cost: t.CostInfo.value()}
+	n.SetAttr(AttrRelation, t.TableName)
+	n.SetAttr(AttrIndexName, t.Key)
+	n.SetAttr(AttrIndexCond, t.IndexCondition)
+	if !inner {
+		n.SetAttr(AttrFilter, t.AttachedCondition)
+	}
+	return n, nil
+}

@@ -1,9 +1,12 @@
 // Package plan defines the vendor-neutral query-execution-plan tree that
-// LANTERN operates on, together with parsers for the two serializations the
-// substrate engine (standing in for PostgreSQL and SQL Server) produces:
-// PostgreSQL-style EXPLAIN (FORMAT JSON) documents and SQL-Server-style XML
-// showplans. This mirrors the paper's architecture: "we can extend lantern
-// to any rdbms easily by writing a parser to create operator trees".
+// LANTERN operates on, together with a pluggable dialect registry
+// (registry.go) and the three built-in frontends: PostgreSQL-style
+// EXPLAIN (FORMAT JSON) documents, SQL-Server-style XML showplans, and
+// MySQL-style EXPLAIN FORMAT=JSON documents. This makes the paper's
+// architecture note operational: "we can extend lantern to any rdbms
+// easily by writing a parser to create operator trees" — write a
+// ParseFunc, Register it, seed POOL descriptions for the new operator
+// vocabulary, and add a testdata/<dialect> conformance corpus.
 package plan
 
 import (

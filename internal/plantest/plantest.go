@@ -1,0 +1,178 @@
+// Package plantest is the shared cross-dialect golden-corpus harness used
+// by the plan, pool, and service test suites. The corpus lives in
+// internal/plan/testdata/<dialect>/*.plan: one serialized EXPLAIN document
+// per file, with checked-in golden expectations next to it (<name>.tree for
+// the parsed canonical tree, <name>.txt for the RULE-LANTERN narration).
+//
+// Every future dialect lands by adding a testdata/<dialect> directory —
+// the table-driven runners in the three suites pick it up automatically,
+// so a new frontend ships with a conformance corpus instead of ad-hoc
+// string literals. Regenerate expectations with:
+//
+//	go test ./internal/plan ./internal/pool ./internal/service -run Corpus -update
+//
+// and regenerate the corpus *inputs* from the substrate engine with:
+//
+//	go run ./internal/plan/testdata/gen
+package plantest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"lantern/internal/plan"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files instead of comparing")
+
+// Update reports whether the test run was invoked with -update.
+func Update() bool { return *update }
+
+// CorpusDir returns the absolute path of the corpus root
+// (internal/plan/testdata), located relative to this source file so the
+// harness works from any package's test working directory.
+func CorpusDir() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		panic("plantest: cannot locate source file")
+	}
+	return filepath.Join(filepath.Dir(file), "..", "plan", "testdata")
+}
+
+// Entry is one corpus plan: a dialect, a short name, and the serialized
+// document.
+type Entry struct {
+	Dialect string
+	Name    string
+	Path    string // absolute path of the .plan input
+	Doc     string
+}
+
+// GoldenPath returns the path of this entry's golden file with the given
+// extension (".tree", ".txt").
+func (e Entry) GoldenPath(ext string) string {
+	return strings.TrimSuffix(e.Path, ".plan") + ext
+}
+
+// Entries loads the whole corpus, sorted by dialect then name, and fails
+// the test if any dialect directory holds fewer than MinPlansPerDialect
+// plans — the conformance floor every dialect must meet.
+func Entries(t testing.TB) []Entry {
+	t.Helper()
+	entries, err := LoadEntries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDialect := make(map[string]int)
+	for _, e := range entries {
+		byDialect[e.Dialect]++
+	}
+	for d, n := range byDialect {
+		if n < MinPlansPerDialect {
+			t.Fatalf("plantest: dialect %q has only %d corpus plans, want >= %d", d, n, MinPlansPerDialect)
+		}
+	}
+	return entries
+}
+
+// MinPlansPerDialect is the conformance floor: every dialect directory
+// must carry at least this many corpus plans.
+const MinPlansPerDialect = 4
+
+// LoadEntries loads the corpus without a testing.TB, for fuzz seeding and
+// tooling.
+func LoadEntries() ([]Entry, error) {
+	root := CorpusDir()
+	dirs, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("plantest: reading corpus root: %w", err)
+	}
+	var entries []Entry
+	for _, d := range dirs {
+		if !d.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(root, d.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			if !strings.HasSuffix(f.Name(), ".plan") {
+				continue
+			}
+			path := filepath.Join(root, d.Name(), f.Name())
+			doc, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, Entry{
+				Dialect: d.Name(),
+				Name:    strings.TrimSuffix(f.Name(), ".plan"),
+				Path:    path,
+				Doc:     string(doc),
+			})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Dialect != entries[j].Dialect {
+			return entries[i].Dialect < entries[j].Dialect
+		}
+		return entries[i].Name < entries[j].Name
+	})
+	return entries, nil
+}
+
+// Golden compares got against the golden file at path, or rewrites the
+// file when the run carries -update. The diff failure prints both full
+// texts: corpus plans are small enough that context beats excerpting.
+func Golden(t testing.TB, path string, got string) {
+	t.Helper()
+	if Update() {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatalf("plantest: writing golden %s: %v", path, err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("plantest: missing golden %s (run with -update to create it): %v", path, err)
+	}
+	if string(want) != got {
+		t.Errorf("golden mismatch for %s (run with -update to accept)\n--- want ---\n%s\n--- got ---\n%s",
+			filepath.Base(path), want, got)
+	}
+}
+
+// Dump renders a tree verbosely and stably for golden comparison: one
+// line per node with source, operator, row/cost estimates, and sorted
+// attributes, children indented beneath.
+func Dump(n *plan.Node) string {
+	var sb strings.Builder
+	var rec func(x *plan.Node, depth int)
+	rec = func(x *plan.Node, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&sb, "%s [%s] rows=%g cost=%g", x.Name, x.Source, x.Rows, x.Cost)
+		if len(x.Attrs) > 0 {
+			keys := make([]string, 0, len(x.Attrs))
+			for k := range x.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%q", k, x.Attrs[k])
+			}
+		}
+		sb.WriteString("\n")
+		for _, c := range x.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(n, 0)
+	return sb.String()
+}

@@ -124,6 +124,10 @@ CREATE INDEX pdesc_oid ON pdesc (oid);`)
 		"tablescan", "indexseek", "hashmatch", "hashmatchaggregate",
 		"mergejoin", "nestedloops", "sort", "streamaggregate", "distinctsort",
 		"top", "tablespool", "constantscan")
+	s.RegisterSource("mysql",
+		"tablescan", "indexlookup", "indexrangescan", "indexscan",
+		"nestedloop", "hashjoin", "filesort", "group", "duplicatesremoval",
+		"materialize", "bufferresult", "constantresult")
 	s.RegisterSource("db2",
 		"tbscan", "ixscan", "hsjoin", "msjoin", "nljoin", "zzjoin", "sort",
 		"grpby", "unique", "filter", "tq")

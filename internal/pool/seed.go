@@ -1,7 +1,8 @@
 package pool
 
 // SeedStandard populates a store with the descriptions two SMEs would
-// author for the three supported engines, issued as POOL statements — the
+// author for the supported engines (pg, sqlserver, mysql, db2), issued as
+// POOL statements — the
 // exact workflow the paper's §4 prescribes. The pg templates are chosen so
 // RULE-LANTERN reproduces the paper's Example 5.1 narration verbatim
 // ("hash T1 and perform hash join on inproceedings and T1 on condition ...").
@@ -163,6 +164,79 @@ func SeedStandard(s *Store) {
 			COND = 'false')`,
 		`CREATE POPERATOR constantscan FOR sqlserver (
 			TYPE = 'unary',
+			DESC = 'produce a constant result',
+			COND = 'false')`,
+
+		// --- MySQL (EXPLAIN FORMAT=JSON frontend) --------------------------
+		`CREATE POPERATOR tablescan FOR mysql (
+			ALIAS = 'table scan',
+			TYPE = 'unary',
+			DEFN = 'reads every row of the table (access type ALL)',
+			DESC = 'perform table scan on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexlookup FOR mysql (
+			ALIAS = 'index lookup',
+			TYPE = 'unary',
+			DEFN = 'fetches matching rows through an index (access types ref, eq_ref, const)',
+			DESC = 'perform index lookup on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexrangescan FOR mysql (
+			ALIAS = 'index range scan',
+			TYPE = 'unary',
+			DEFN = 'scans a contiguous range of an index (access type range)',
+			DESC = 'perform index range scan on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexscan FOR mysql (
+			ALIAS = 'index scan',
+			TYPE = 'unary',
+			DEFN = 'scans an entire index in order (access type index)',
+			DESC = 'perform full index scan on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR nestedloop FOR mysql (
+			ALIAS = 'nested loop join',
+			TYPE = 'binary',
+			DEFN = 'joins by scanning the inner input once per outer row',
+			DESC = 'perform nested loop join',
+			COND = 'true')`,
+		`CREATE POPERATOR hashjoin FOR mysql (
+			ALIAS = 'hash join',
+			TYPE = 'binary',
+			DEFN = 'joins through an in-memory hash table (using_join_buffer: hash join)',
+			DESC = 'perform hash join',
+			COND = 'true')`,
+		`CREATE POPERATOR filesort FOR mysql (
+			ALIAS = 'filesort',
+			TYPE = 'unary',
+			DEFN = 'sorts the rows, spilling to disk when they exceed the sort buffer',
+			DESC = 'sort $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR group FOR mysql (
+			ALIAS = 'group aggregate',
+			TYPE = 'unary',
+			DEFN = 'computes aggregate functions over groups of input rows',
+			DESC = 'perform aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR duplicatesremoval FOR mysql (
+			ALIAS = 'duplicate removal',
+			TYPE = 'unary',
+			DEFN = 'removes duplicate rows (DISTINCT)',
+			DESC = 'perform duplicate removal on $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR materialize FOR mysql (
+			ALIAS = 'materialized subquery',
+			TYPE = 'unary',
+			DEFN = 'materializes a derived table from a subquery',
+			DESC = 'materialize $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR bufferresult FOR mysql (
+			ALIAS = 'buffer result',
+			TYPE = 'unary',
+			DEFN = 'buffers its input so it can be rescanned cheaply',
+			DESC = 'materialize $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR constantresult FOR mysql (
+			TYPE = 'unary',
+			DEFN = 'computes a constant result without reading any table',
 			DESC = 'produce a constant result',
 			COND = 'false')`,
 

@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lantern/internal/plan"
+	"lantern/internal/plantest"
+	"lantern/internal/pool"
+)
+
+// newCorpusServer builds a server with no planning engine: the corpus
+// feeds pre-serialized plan documents, the path a real RDBMS deployment
+// uses.
+func newCorpusServer(t testing.TB) *Server {
+	t.Helper()
+	srv := NewServer(nil, pool.NewSeededStore(), Config{})
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestCorpusNarrations is the serving leg of the cross-dialect golden
+// corpus harness: every corpus plan must narrate end-to-end through the
+// server and match its checked-in narration (<name>.txt; regenerate with
+// -update).
+func TestCorpusNarrations(t *testing.T) {
+	srv := newCorpusServer(t)
+	for _, e := range plantest.Entries(t) {
+		t.Run(e.Dialect+"/"+e.Name, func(t *testing.T) {
+			resp, err := srv.Narrate(context.Background(), &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect})
+			if err != nil {
+				t.Fatalf("narrate: %v", err)
+			}
+			if resp.Dialect != e.Dialect {
+				t.Errorf("response dialect = %q, want %q", resp.Dialect, e.Dialect)
+			}
+			if len(resp.Steps) == 0 {
+				t.Error("narration has no steps")
+			}
+			plantest.Golden(t, e.GoldenPath(".txt"), resp.Text)
+		})
+	}
+}
+
+// TestCorpusAutoDetection: the same corpus documents, sent without a
+// dialect, must auto-detect and produce the identical fingerprint and
+// text as the explicit-dialect request (i.e. they share a cache entry).
+func TestCorpusAutoDetection(t *testing.T) {
+	srv := newCorpusServer(t)
+	for _, e := range plantest.Entries(t) {
+		explicit, err := srv.Narrate(context.Background(), &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect})
+		if err != nil {
+			t.Fatalf("%s/%s explicit: %v", e.Dialect, e.Name, err)
+		}
+		auto, err := srv.Narrate(context.Background(), &NarrateRequest{Plan: e.Doc})
+		if err != nil {
+			t.Fatalf("%s/%s auto: %v", e.Dialect, e.Name, err)
+		}
+		if auto.Dialect != e.Dialect {
+			t.Errorf("%s/%s: auto-detected dialect %q", e.Dialect, e.Name, auto.Dialect)
+		}
+		if auto.Fingerprint != explicit.Fingerprint {
+			t.Errorf("%s/%s: auto and explicit requests fingerprint differently", e.Dialect, e.Name)
+		}
+		if auto.Text != explicit.Text {
+			t.Errorf("%s/%s: auto and explicit narrations differ", e.Dialect, e.Name)
+		}
+		if !auto.Cached {
+			t.Errorf("%s/%s: auto-detected repeat missed the cache", e.Dialect, e.Name)
+		}
+	}
+}
+
+// TestCorpusQA: the question-answering path must work over every corpus
+// dialect too.
+func TestCorpusQA(t *testing.T) {
+	srv := newCorpusServer(t)
+	for _, e := range plantest.Entries(t) {
+		resp, err := srv.QA(context.Background(), &QARequest{
+			Plan: e.Doc, Dialect: e.Dialect, Question: "how many steps are there?",
+		})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Dialect, e.Name, err)
+		}
+		if resp.Answer == "" {
+			t.Errorf("%s/%s: empty answer", e.Dialect, e.Name)
+		}
+	}
+}
+
+// TestCorpusInvalidationScopedByDialect: mutating an operator shared by
+// name across dialects (e.g. "tablescan" exists in sqlserver and mysql)
+// must only invalidate the mutated dialect's narrations.
+func TestCorpusInvalidationScopedByDialect(t *testing.T) {
+	srv := newCorpusServer(t)
+	entries := plantest.Entries(t)
+	for _, e := range entries { // warm the cache
+		if _, err := srv.Narrate(context.Background(), &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect}); err != nil {
+			t.Fatalf("%s/%s: %v", e.Dialect, e.Name, err)
+		}
+	}
+	if _, err := srv.Store().Exec(`UPDATE mysql SET desc = 'scan every row of $R1$ and filtering on $cond$' WHERE name = 'tablescan'`); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		resp, err := srv.Narrate(context.Background(), &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Dialect, e.Name, err)
+		}
+		tree, err := plan.Parse(e.Dialect, e.Doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uses := false
+		for _, op := range tree.OperatorSet() {
+			if op == "tablescan" {
+				uses = true
+			}
+		}
+		switch {
+		case e.Dialect == "mysql" && uses && resp.Cached:
+			t.Errorf("%s/%s: stale narration survived a mysql tablescan mutation", e.Dialect, e.Name)
+		case e.Dialect == "mysql" && uses && !strings.Contains(resp.Text, "scan every row of"):
+			t.Errorf("%s/%s: re-narration does not use the updated description:\n%s", e.Dialect, e.Name, resp.Text)
+		case !(e.Dialect == "mysql" && uses) && !resp.Cached:
+			t.Errorf("%s/%s: invalidation leaked outside mysql tablescan plans", e.Dialect, e.Name)
+		}
+	}
+}

@@ -72,19 +72,28 @@ func (c Config) withDefaults() Config {
 
 // NarrateRequest asks for the narration of one query or plan. Exactly one
 // of SQL (planned by the server's embedded engine) or Plan (a serialized
-// plan document: PostgreSQL-style EXPLAIN JSON or SQL-Server-style XML
-// showplan) must be set.
+// plan document in any registered dialect: PostgreSQL-style EXPLAIN JSON,
+// SQL-Server-style XML showplan, or MySQL-style EXPLAIN FORMAT=JSON) must
+// be set.
 type NarrateRequest struct {
-	SQL     string  `json:"sql,omitempty"`
-	Plan    string  `json:"plan,omitempty"`
-	Source  string  `json:"source,omitempty"` // "pg" (default) or "sqlserver"
+	SQL  string `json:"sql,omitempty"`
+	Plan string `json:"plan,omitempty"`
+	// Dialect names the plan frontend ("pg", "sqlserver", "mysql", or any
+	// dialect registered with internal/plan). Empty means "pg" for SQL
+	// requests and auto-detection for plan documents. Source is the
+	// pre-registry spelling of the same field, kept for compatibility.
+	Dialect string  `json:"dialect,omitempty"`
+	Source  string  `json:"source,omitempty"`
 	Options Options `json:"options,omitempty"`
 }
 
 // NarrateResponse is the rendered narration plus its cache identity.
+// Dialect reports the effective (possibly auto-detected) plan dialect;
+// Source carries the same value under the field's historical name.
 type NarrateResponse struct {
 	Text        string   `json:"text"`
 	Steps       []Step   `json:"steps"`
+	Dialect     string   `json:"dialect"`
 	Source      string   `json:"source"`
 	Fingerprint string   `json:"fingerprint"`
 	Operators   []string `json:"operators"`
@@ -92,9 +101,11 @@ type NarrateResponse struct {
 }
 
 // QARequest asks a natural-language question about one query or plan.
+// Dialect/Source behave as in NarrateRequest.
 type QARequest struct {
 	SQL      string `json:"sql,omitempty"`
 	Plan     string `json:"plan,omitempty"`
+	Dialect  string `json:"dialect,omitempty"`
 	Source   string `json:"source,omitempty"`
 	Question string `json:"question"`
 }
@@ -230,11 +241,11 @@ func (s *Server) worker() {
 // is full.
 func (s *Server) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
 	s.narrateReqs.Inc()
-	source, payload, err := normalizeRequest(req.SQL, req.Plan, req.Source)
+	source, payload, err := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
 	if err != nil {
 		return nil, err
 	}
-	req = &NarrateRequest{SQL: req.SQL, Plan: req.Plan, Source: source, Options: req.Options}
+	req = &NarrateRequest{SQL: req.SQL, Plan: req.Plan, Dialect: source, Source: source, Options: req.Options}
 
 	start := time.Now()
 	// Fast path: repeated identical request → plan fingerprint → cached
@@ -265,14 +276,14 @@ func (s *Server) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResp
 // QA serves one question-answering request through the worker pool.
 func (s *Server) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
 	s.qaReqs.Inc()
-	source, _, err := normalizeRequest(req.SQL, req.Plan, req.Source)
+	source, _, err := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
 	if err != nil {
 		return nil, err
 	}
 	if strings.TrimSpace(req.Question) == "" {
 		return nil, fmt.Errorf("%w: question must not be empty", ErrBadRequest)
 	}
-	req = &QARequest{SQL: req.SQL, Plan: req.Plan, Source: source, Question: req.Question}
+	req = &QARequest{SQL: req.SQL, Plan: req.Plan, Dialect: source, Source: source, Question: req.Question}
 	start := time.Now()
 	res, err := s.dispatch(ctx, &task{kind: taskQA, qreq: req})
 	if err != nil {
@@ -324,36 +335,53 @@ func (s *Server) dispatch(ctx context.Context, t *task) (taskResult, error) {
 	}
 }
 
-// normalizeRequest validates the SQL/Plan/Source triple and returns the
-// effective source and the raw payload the front index keys on.
-func normalizeRequest(sql, planDoc, source string) (string, string, error) {
+// normalizeRequest validates the SQL/Plan/Dialect triple and returns the
+// effective dialect and the raw payload the front index keys on. The
+// dialect is resolved against the plan-frontend registry: dialect (the
+// preferred field) or source (its compatibility alias) when set and
+// registered; otherwise "pg" for SQL requests and auto-detection for
+// serialized plan documents.
+func normalizeRequest(sql, planDoc, dialect, source string) (string, string, error) {
 	hasSQL := strings.TrimSpace(sql) != ""
 	hasPlan := strings.TrimSpace(planDoc) != ""
 	if hasSQL == hasPlan {
 		return "", "", fmt.Errorf("%w: exactly one of sql or plan must be set", ErrBadRequest)
 	}
-	if source == "" {
-		source = "pg"
+	if dialect != "" && source != "" && dialect != source {
+		return "", "", fmt.Errorf("%w: dialect %q and source %q disagree (set one)", ErrBadRequest, dialect, source)
 	}
-	if source != "pg" && source != "sqlserver" {
-		return "", "", fmt.Errorf("%w: unknown source %q (want pg or sqlserver)", ErrBadRequest, source)
+	if dialect == "" {
+		dialect = source
+	}
+	switch {
+	case dialect != "":
+		if _, ok := plan.Lookup(dialect); !ok {
+			return "", "", fmt.Errorf("%w: unknown dialect %q (registered: %s)",
+				ErrBadRequest, dialect, strings.Join(plan.Dialects(), ", "))
+		}
+	case hasSQL:
+		dialect = "pg"
+	default:
+		detected, err := plan.Detect(planDoc)
+		if err != nil {
+			return "", "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		dialect = detected
 	}
 	if hasSQL {
-		return source, "sql\x00" + sql, nil
+		return dialect, "sql\x00" + sql, nil
 	}
-	return source, "plan\x00" + planDoc, nil
+	return dialect, "plan\x00" + planDoc, nil
 }
 
 // resolveTree turns the request payload into a vendor-neutral plan tree:
-// parse the supplied plan document, or plan the SQL on the embedded engine
-// and round-trip it through the chosen serialization — exactly the path a
-// real RDBMS deployment would take.
+// parse the supplied plan document with the dialect's registered frontend,
+// or plan the SQL on the embedded engine and round-trip it through the
+// dialect's serialization — exactly the path a real RDBMS deployment
+// would take.
 func (s *Server) resolveTree(ctx context.Context, sql, planDoc, source string) (*plan.Node, error) {
 	if strings.TrimSpace(planDoc) != "" {
-		if source == "sqlserver" {
-			return plan.ParseSQLServerXML(planDoc)
-		}
-		return plan.ParsePostgresJSON(planDoc)
+		return plan.Parse(source, planDoc)
 	}
 	if s.eng == nil {
 		return nil, fmt.Errorf("service: server has no planning engine; send a serialized plan instead of sql")
@@ -361,20 +389,19 @@ func (s *Server) resolveTree(ctx context.Context, sql, planDoc, source string) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	format := "JSON"
-	if source == "sqlserver" {
-		format = "XML"
+	tree, _, err := plan.ExplainAndParse(source, func(format string) (string, error) {
+		s.engMu.Lock()
+		r, err := s.eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, sql))
+		s.engMu.Unlock()
+		if err != nil {
+			return "", err
+		}
+		return r.Plan, nil
+	})
+	if errors.Is(err, plan.ErrUnknownDialect) || errors.Is(err, plan.ErrNoEngineSerializer) {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	s.engMu.Lock()
-	r, err := s.eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, sql))
-	s.engMu.Unlock()
-	if err != nil {
-		return nil, err
-	}
-	if source == "sqlserver" {
-		return plan.ParseSQLServerXML(r.Plan)
-	}
-	return plan.ParsePostgresJSON(r.Plan)
+	return tree, err
 }
 
 func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
@@ -384,7 +411,7 @@ func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*Narra
 	}
 	fp, ops := PlanFingerprint(tree, req.Options)
 	if s.cache != nil {
-		_, payload, _ := normalizeRequest(req.SQL, req.Plan, req.Source)
+		_, payload, _ := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
 		s.indexPut(requestKey(req.Source, payload, req.Options), fp)
 
 		// Plan-level hit: a different SQL text (or raw plan doc) that
@@ -446,6 +473,7 @@ func entryResponse(fp Fingerprint, ent *CachedNarration, cached bool) *NarrateRe
 	return &NarrateResponse{
 		Text:        ent.Text,
 		Steps:       ent.Steps,
+		Dialect:     ent.Source,
 		Source:      ent.Source,
 		Fingerprint: fp.String(),
 		Operators:   ent.Operators,

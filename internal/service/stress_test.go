@@ -1,0 +1,170 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lantern/internal/plan"
+	"lantern/internal/plantest"
+	"lantern/internal/pool"
+)
+
+// TestStressNarrateRacesPoolMutations is the serving layer's consistency
+// stress test: narration readers hammer every corpus dialect while a
+// writer keeps mutating operator descriptions through POOL — exactly the
+// /v1/narrate vs /v1/pool race the daemon serves. The invariant under
+// test is the one the cache's invalidation hook plus mutation-generation
+// retraction provide: no stale narration survives invalidation. A
+// response computed concurrently with a mutation may legitimately carry
+// the old description once, but it must not persist — after each
+// mutation commits, repeated requests must converge to the new
+// description, and nothing older than the previous variant may ever be
+// served. Runs under -race in CI.
+func TestStressNarrateRacesPoolMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	srv := NewServer(nil, pool.NewSeededStore(), Config{Workers: 4, QueueDepth: 256})
+	defer srv.Close()
+	entries := plantest.Entries(t)
+
+	// The writer flips the description of each dialect's scan operator
+	// through numbered variants; variant v narrates as "epoch-v".
+	scanOp := map[string]string{"pg": "seqscan", "sqlserver": "tablescan", "mysql": "tablescan"}
+	mutate := func(v int) {
+		for dialect, op := range scanOp {
+			stmt := fmt.Sprintf(
+				`UPDATE %s SET desc = 'scan $R1$ in epoch-%d while filtering on $cond$' WHERE name = '%s'`,
+				dialect, v, op)
+			if _, err := srv.Store().Exec(stmt); err != nil {
+				t.Errorf("mutation %d (%s): %v", v, dialect, err)
+			}
+		}
+	}
+	mutate(0)
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers: pure race pressure across all dialects, checking that the
+	// pipeline never errors under concurrent invalidation.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := entries[i%len(entries)]
+				resp, err := srv.Narrate(ctx, &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect})
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						continue
+					}
+					t.Errorf("%s/%s: %v", e.Dialect, e.Name, err)
+					return
+				}
+				if resp.Text == "" {
+					t.Errorf("%s/%s: empty narration", e.Dialect, e.Name)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: after each mutation commits, requests for a plan using the
+	// mutated operator must converge to the new epoch — a stale cached
+	// narration surviving the invalidation would keep answering with an
+	// old epoch forever.
+	const rounds = 40
+	probe, ok := probeEntry(entries, "mysql", "tablescan")
+	if !ok {
+		t.Fatal("no mysql corpus plan uses tablescan")
+	}
+	for v := 1; v <= rounds; v++ {
+		mutate(v)
+		deadline := time.Now().Add(5 * time.Second)
+		lastSeen := int64(-1)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("stale narration survived invalidation: epoch-%d never observed after it committed (last seen epoch-%d)",
+					v, lastSeen)
+			}
+			resp, err := srv.Narrate(ctx, &NarrateRequest{Plan: probe.Doc, Dialect: probe.Dialect})
+			if err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				t.Fatalf("probe: %v", err)
+			}
+			got, ok := narrationEpoch(resp.Text)
+			if !ok {
+				t.Fatalf("probe plan %s/%s does not use a mutated operator:\n%s",
+					probe.Dialect, probe.Name, resp.Text)
+			}
+			lastSeen = got
+			if got == int64(v) {
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiescent check: with all mutations committed and all readers
+	// drained, every corpus plan that uses a mutated scan operator must
+	// narrate with the final epoch.
+	for _, e := range entries {
+		resp, err := srv.Narrate(ctx, &NarrateRequest{Plan: e.Doc, Dialect: e.Dialect})
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Dialect, e.Name, err)
+		}
+		if got, ok := narrationEpoch(resp.Text); ok && got != rounds {
+			t.Errorf("%s/%s: final narration stuck at epoch-%d, want epoch-%d",
+				e.Dialect, e.Name, got, rounds)
+		}
+	}
+}
+
+// probeEntry finds a corpus plan of the given dialect whose operator set
+// contains op.
+func probeEntry(entries []plantest.Entry, dialect, op string) (plantest.Entry, bool) {
+	for _, e := range entries {
+		if e.Dialect != dialect {
+			continue
+		}
+		tree, err := plan.Parse(e.Dialect, e.Doc)
+		if err != nil {
+			continue
+		}
+		for _, have := range tree.OperatorSet() {
+			if have == op {
+				return e, true
+			}
+		}
+	}
+	return plantest.Entry{}, false
+}
+
+// narrationEpoch extracts the epoch number a stress-test narration
+// carries, or ok=false when the plan does not use a mutated operator.
+func narrationEpoch(text string) (int64, bool) {
+	i := strings.LastIndex(text, "epoch-")
+	if i < 0 {
+		return 0, false
+	}
+	var v int64
+	if _, err := fmt.Sscanf(text[i:], "epoch-%d", &v); err != nil {
+		return 0, false
+	}
+	return v, true
+}

@@ -79,12 +79,14 @@ type DeleteStmt struct {
 // ExplainFormat selects the serialization of an EXPLAIN result.
 type ExplainFormat int
 
-// EXPLAIN output formats mirroring the paper's two engines: PostgreSQL-style
-// text and JSON, and SQL-Server-style XML showplan.
+// EXPLAIN output formats mirroring the supported engines: PostgreSQL-style
+// text and JSON, SQL-Server-style XML showplan, and MySQL-style
+// EXPLAIN FORMAT=JSON.
 const (
 	ExplainText ExplainFormat = iota
 	ExplainJSON
 	ExplainXML
+	ExplainMySQL
 )
 
 // ExplainStmt wraps a SELECT and requests its plan instead of its rows.

@@ -95,6 +95,8 @@ func formatStatement(sb *strings.Builder, s Statement) {
 			sb.WriteString("(FORMAT JSON) ")
 		case ExplainXML:
 			sb.WriteString("(FORMAT XML) ")
+		case ExplainMySQL:
+			sb.WriteString("(FORMAT MYSQL) ")
 		}
 		formatSelect(sb, st.Query)
 	default:

@@ -37,8 +37,9 @@ var keywords = map[string]bool{
 	"LEFT": true, "OUTER": true, "ON": true, "CREATE": true, "TABLE": true,
 	"INDEX": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true, "EXPLAIN": true,
-	"FORMAT": true, "JSON": true, "XML": true, "TEXT": true, "EXISTS": true,
-	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"FORMAT": true, "JSON": true, "XML": true, "TEXT": true, "MYSQL": true,
+	"EXISTS": true,
+	"CASE":   true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
 	"INTEGER": true, "INT": true, "FLOAT": true, "BOOLEAN": true,
 	"VARCHAR": true, "CHAR": true, "DECIMAL": true, "DATE": true,
 }

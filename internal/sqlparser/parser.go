@@ -570,10 +570,12 @@ func (p *parser) parseExplain() (Statement, error) {
 			stmt.Format = ExplainJSON
 		case p.acceptKeyword("XML"):
 			stmt.Format = ExplainXML
+		case p.acceptKeyword("MYSQL"):
+			stmt.Format = ExplainMySQL
 		case p.acceptKeyword("TEXT"):
 			stmt.Format = ExplainText
 		default:
-			return nil, p.errorf("expected JSON, XML or TEXT, got %q", p.peek().text)
+			return nil, p.errorf("expected JSON, XML, MYSQL or TEXT, got %q", p.peek().text)
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
