@@ -1,13 +1,17 @@
 GO ?= go
 BIN := bin
 FUZZTIME ?= 10s
+# Benchtime for the tracked benchmark suites. Fast benchmarks accumulate
+# enough iterations for stable numbers; the experiment benchmarks
+# (Fig*/Table*) still run a single iteration since one exceeds the budget.
+BENCHTIME ?= 100ms
 
 # Recipes pipe test output into tooling (see bench); pipefail keeps a
 # failing `go test` from being masked by a succeeding consumer.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race vet bench bench-serving fuzz corpus clean
+.PHONY: all build test race vet bench bench-service bench-engine bench-serving fuzz corpus clean
 
 all: build test
 
@@ -23,11 +27,20 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Smoke-runs the root benchmark harness (one iteration each) and records
-# the parsed results in BENCH_service.json — the bench trajectory tracked
-# across PRs.
-bench:
-	$(GO) test -run xxx -bench . -benchmem -benchtime 1x . | $(GO) run ./cmd/benchjson -out BENCH_service.json
+# Runs the root benchmark harness at a stable benchtime and records the
+# parsed results in two reports tracked across PRs: BENCH_service.json
+# (narration pipeline + serving layer) and BENCH_engine.json (substrate
+# engine executor/planner, including the streaming-vs-reference pairs).
+bench: bench-service bench-engine
+
+# The beam/paraphrase ablations are narration-pipeline benchmarks and stay
+# in the service report; the engine report gets the executor/planner suites
+# and the plan-shape/access-path/ordering ablations.
+bench-service:
+	$(GO) test -run xxx -bench '^Benchmark(Fig|Table|Exp|US|Parser|Rule|Neural|Explain|Pool|Service|BLEU|AblationBeam|AblationParaphrase)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_service.json
+
+bench-engine:
+	$(GO) test -run xxx -bench '^Benchmark(Exec|Planner|AblationJoin|AblationIndex|AblationSeqScan|AblationOrdering)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
 
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .

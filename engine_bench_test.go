@@ -1,0 +1,102 @@
+package lantern
+
+// Engine micro-benchmarks for the streaming iterator executor, recorded to
+// BENCH_engine.json by `make bench`. Each streaming benchmark has a
+// full-materialization twin (Config.ReferenceExec) where the comparison is
+// the point: ExecLimitShortCircuit vs ExecLimitFullMaterialize is the
+// headline — LIMIT 10 over a scan touches ten heap rows instead of the
+// whole table.
+//
+//	go test -bench 'BenchmarkExec' -benchmem .
+import (
+	"testing"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+)
+
+func execBenchEngine(b *testing.B, reference bool, mutate func(*engine.Config)) *engine.Engine {
+	b.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.ReferenceExec = reference
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e := engine.New(cfg)
+	if err := datasets.LoadTPCH(e, 0.05, 1); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+const (
+	execJoinHashQuery = `SELECT c.c_name, o.o_totalprice FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000`
+	execJoinNLQuery = `SELECT c.c_name, o.o_totalprice FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000`
+	execTopKQuery              = `SELECT l_orderkey, l_extendedprice FROM lineitem ORDER BY l_extendedprice DESC LIMIT 10`
+	execLimitShortCircuitQuery = `SELECT l_orderkey FROM lineitem WHERE l_quantity > 10 LIMIT 10`
+	execStreamScanQuery        = `SELECT l_orderkey, l_quantity FROM lineitem WHERE l_quantity > 25`
+)
+
+// --- Joins -------------------------------------------------------------------
+
+func BenchmarkExecJoinHash(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) {
+		c.EnableMergeJoin, c.EnableNestLoop = false, false
+	}), execJoinHashQuery)
+}
+
+func BenchmarkExecJoinHashReference(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, true, func(c *engine.Config) {
+		c.EnableMergeJoin, c.EnableNestLoop = false, false
+	}), execJoinHashQuery)
+}
+
+func BenchmarkExecJoinNL(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) {
+		c.EnableHashJoin, c.EnableMergeJoin = false, false
+	}), execJoinNLQuery)
+}
+
+func BenchmarkExecJoinNLReference(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, true, func(c *engine.Config) {
+		c.EnableHashJoin, c.EnableMergeJoin = false, false
+	}), execJoinNLQuery)
+}
+
+func BenchmarkExecJoinMerge(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) {
+		c.EnableHashJoin, c.EnableNestLoop = false, false
+	}), execJoinHashQuery)
+}
+
+// --- Top-K sort --------------------------------------------------------------
+
+func BenchmarkExecTopK(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, nil), execTopKQuery)
+}
+
+func BenchmarkExecTopKFullSort(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, true, nil), execTopKQuery)
+}
+
+// --- Limit short-circuit -----------------------------------------------------
+
+func BenchmarkExecLimitShortCircuit(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, nil), execLimitShortCircuitQuery)
+}
+
+func BenchmarkExecLimitFullMaterialize(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, true, nil), execLimitShortCircuitQuery)
+}
+
+// --- Streaming scan ----------------------------------------------------------
+
+func BenchmarkExecStreamScan(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, nil), execStreamScanQuery)
+}
+
+func BenchmarkExecStreamScanReference(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, true, nil), execStreamScanQuery)
+}

@@ -1,0 +1,120 @@
+//go:build !race
+
+package engine
+
+// Allocation regression guards for the streaming executor's hot paths.
+// These caps are the point of the pre-bound expression layer: filter
+// evaluation, the hash-join probe loop, and the top-K heap must not
+// allocate per row (the only sanctioned allocation is the emitted joined
+// row itself). Kept out of -race builds because the race runtime inflates
+// allocation counts; CI runs this package without -race as well.
+
+import (
+	"testing"
+
+	"lantern/internal/datum"
+	"lantern/internal/storage"
+)
+
+// allocDB builds the shared engine without the *testing.T plumbing of
+// testDB (AllocsPerRun needs plain closures).
+func allocDB(t *testing.T) *Engine {
+	t.Helper()
+	return testDB(t, DefaultConfig())
+}
+
+// TestFilterEvalAllocs: evaluating a pre-bound scan filter is
+// allocation-free per row.
+func TestFilterEvalAllocs(t *testing.T) {
+	e := allocDB(t)
+	plan, err := e.PlanSQL("SELECT c_name FROM customer WHERE c_acctbal > 50 AND c_mktsegment = 'BUILDING'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildIter(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if err := it.Open(); err != nil { // rewind: scans reset for free
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("filter eval allocates %.2f allocs/row, want 0", avg)
+	}
+}
+
+// TestHashJoinProbeAllocs: the probe loop allocates exactly one object per
+// emitted row — the joined output row — and nothing per candidate.
+func TestHashJoinProbeAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableMergeJoin, cfg.EnableNestLoop = false, false
+	e := testDB(t, cfg)
+	plan, err := e.PlanSQL("SELECT o.o_orderkey, c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildIter(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	// Every order matches exactly one customer: 60 output rows per pass.
+	// 50 pulls stay within one pass, so Open (which rebuilds the hash
+	// table) never runs inside the measured region.
+	avg := testing.AllocsPerRun(50, func() {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("iterator exhausted mid-measurement")
+		}
+	})
+	if avg > 1 {
+		t.Fatalf("hash-join probe allocates %.2f allocs/row, want <= 1 (the output row)", avg)
+	}
+}
+
+// TestTopKPushAllocs: once the heap is full, pushing rows — whether they
+// displace the current worst or are dropped — allocates nothing.
+func TestTopKPushAllocs(t *testing.T) {
+	h := newTopKHeap(16, 1, []bool{false})
+	key := make([]datum.D, 1)
+	rows := make([]storage.Row, 64)
+	for i := range rows {
+		rows[i] = storage.Row{datum.NewInt(int64(i))}
+	}
+	for i := 0; i < 16; i++ { // fill
+		key[0] = datum.NewInt(int64(1000 + i))
+		h.push(rows[i%len(rows)], key)
+	}
+	n := 0
+	avg := testing.AllocsPerRun(500, func() {
+		// Alternate displacing (small keys) and dropping (large keys).
+		if n%2 == 0 {
+			key[0] = datum.NewInt(int64(500 - n))
+		} else {
+			key[0] = datum.NewInt(int64(1 << 40))
+		}
+		h.push(rows[n%len(rows)], key)
+		n++
+	})
+	if avg > 0 {
+		t.Fatalf("top-K push allocates %.2f allocs/row, want 0", avg)
+	}
+}

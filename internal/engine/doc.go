@@ -1,0 +1,65 @@
+// Package engine implements the substrate RDBMS that stands in for
+// PostgreSQL / SQL Server / MySQL in this reproduction: a cost-based
+// planner over the catalog's statistics, a full in-memory executor, and
+// EXPLAIN emitters in four formats (PostgreSQL-style text and JSON,
+// SQL-Server-style XML showplan, MySQL-style EXPLAIN FORMAT=JSON).
+// LANTERN consumes the JSON/XML/MySQL forms through internal/plan,
+// exactly as the paper's system consumes the output of the commercial
+// engines.
+//
+// # Execution model
+//
+// Queries execute through a streaming iterator executor (iter.go): every
+// physical operator implements
+//
+//	type rowIter interface {
+//		Open() error
+//		Next() (row storage.Row, ok bool, err error)
+//		Close() error
+//	}
+//
+// Open prepares the operator, Next produces one row at a time, Close
+// releases children. Rows flow through the pipeline on demand, so
+// pipelined operators — sequential and index scans, filters,
+// limit/offset, the probe side of a hash join, the outer side of a nested
+// loop, unique — never buffer their input. Only operators whose semantics
+// require buffering materialize: sort, aggregation, the build side of a
+// hash join, the inner side of a nested loop, and both merge-join inputs.
+//
+// # Operator contracts
+//
+//   - Rows returned by Next may alias heap or operator-internal storage;
+//     consumers must not mutate them. Operators that emit derived rows
+//     (joins, aggregates) allocate fresh rows.
+//   - Open may be called again after exhaustion to rescan (scans rewind
+//     for free; buffering operators recompute).
+//   - All expressions are pre-bound at construction time (bind.go):
+//     column references resolve to ordinals once, so per-row evaluation
+//     performs no schema lookups and no allocation. Join predicates bind
+//     against a two-part environment (probe/outer row + build/inner row)
+//     and are checked before the joined row is allocated, so non-matching
+//     candidate pairs cost nothing. Hash joins additionally cache the
+//     evaluated build-side key datums, making the hash-collision recheck
+//     a pure datum comparison.
+//
+// # Limit short-circuiting and top-K
+//
+// Limit simply stops pulling from its child once offset+limit rows have
+// been seen, so `LIMIT 10` over a scan touches ten heap rows instead of
+// the whole table. When a Sort feeds a Limit directly, the planner marks
+// the Sort with SortLimit = limit + offset and the executor keeps a
+// bounded top-K heap (O(n log k), O(k) space) instead of buffering and
+// sorting the full input; arrival order breaks ties, so the result is
+// bit-identical to a stable full sort followed by truncation. Top-K does
+// not apply when a cardinality-changing operator (Unique, aggregation)
+// sits between the Sort and the Limit.
+//
+// # Reference executor
+//
+// The original materialize-everything executor (executor.go) is retained
+// behind Config.ReferenceExec as the semantic oracle: the differential
+// tests run the full corpus and a randomized query generator through both
+// paths and assert identical row multisets (sequences, under ORDER BY),
+// and the engine benchmarks report streaming vs full-materialization
+// pairs. Plan selection is identical in both modes.
+package engine

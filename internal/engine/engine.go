@@ -21,6 +21,11 @@ type Config struct {
 	// DPThreshold is the largest relation count planned with exhaustive
 	// dynamic programming; larger joins fall back to greedy ordering.
 	DPThreshold int
+	// ReferenceExec routes execution through the materializing reference
+	// executor (executor.go) instead of the streaming iterator executor
+	// (iter.go). Plan choice is unaffected. It exists for differential
+	// testing and for benchmarking streaming against full materialization.
+	ReferenceExec bool
 }
 
 // DefaultConfig enables every plan type.
@@ -133,13 +138,20 @@ func (e *Engine) PlanSQL(sql string) (*Node, error) {
 	return e.planSelect(sel)
 }
 
-// runSelect plans, executes, and projects a SELECT.
+// runSelect plans, executes, and projects a SELECT. Execution streams
+// through the iterator executor unless Config.ReferenceExec asks for the
+// materializing reference path.
 func (e *Engine) runSelect(sel *sqlparser.SelectStmt) (*Result, error) {
 	plan, err := e.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := e.execNode(plan)
+	var rows []storage.Row
+	if e.Cfg.ReferenceExec {
+		rows, err = e.execNode(plan)
+	} else {
+		rows, err = e.execStream(plan)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -180,16 +192,29 @@ func (e *Engine) project(sel *sqlparser.SelectStmt, plan *Node, rows []storage.R
 	for _, c := range cols {
 		res.Columns = append(res.Columns, c.name)
 	}
-	ctx := &evalCtx{schema: plan.Schema, sub: e.subquery}
+	// Pre-bind the computed output expressions once against the plan
+	// schema; direct copies keep their ordinal.
+	bound := make([]boundExpr, len(cols))
+	for i, c := range cols {
+		if c.pos >= 0 {
+			continue
+		}
+		b, err := bindExpr(c.expr, plan.Schema, e.subquery)
+		if err != nil {
+			return nil, err
+		}
+		bound[i] = b
+	}
+	var env rowEnv
 	for _, r := range rows {
-		ctx.row = r
+		env.left = r
 		out := make(storage.Row, len(cols))
 		for i, c := range cols {
 			if c.pos >= 0 {
 				out[i] = r[c.pos]
 				continue
 			}
-			v, err := eval(ctx, c.expr)
+			v, err := bound[i](&env)
 			if err != nil {
 				return nil, err
 			}

@@ -9,7 +9,12 @@ import (
 	"lantern/internal/storage"
 )
 
-// execNode materializes the rows produced by a plan node.
+// execNode materializes the rows produced by a plan node. This is the
+// reference executor: every operator fully materializes its output. The
+// streaming iterator executor in iter.go is the default query path
+// (see Config.ReferenceExec); this path is retained as the semantic
+// oracle for the differential tests and as the "full materialization"
+// baseline in the engine benchmarks.
 func (e *Engine) execNode(n *Node) ([]storage.Row, error) {
 	switch n.Op {
 	case OpSeqScan:
@@ -35,7 +40,14 @@ func (e *Engine) execNode(n *Node) ([]storage.Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if int64(len(rows)) > n.Limit {
+		if n.Offset > 0 {
+			if n.Offset >= int64(len(rows)) {
+				rows = nil
+			} else {
+				rows = rows[n.Offset:]
+			}
+		}
+		if n.Limit >= 0 && int64(len(rows)) > n.Limit {
 			rows = rows[:n.Limit]
 		}
 		return rows, nil
@@ -259,6 +271,7 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 	}
 	probeCtx := &evalCtx{schema: probeNode.Schema, sub: e.subquery}
 	pairCtx := &evalCtx{schema: n.Schema, sub: e.subquery}
+	buildRowCtx := &evalCtx{schema: hashNode.Schema, sub: e.subquery}
 	residualCond := sqlparser.JoinConjuncts(residual)
 	var out []storage.Row
 	leftOuter := n.JoinType == sqlparser.LeftJoin
@@ -266,6 +279,9 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 	for i := range nullsRight {
 		nullsRight[i] = datum.Null
 	}
+	// Reusable pair buffer: candidates are checked in place and only
+	// materialized with concatRows once key + residual checks pass.
+	pairBuf := make(storage.Row, 0, len(n.Schema))
 	for _, pr := range probe {
 		probeCtx.row = pr
 		matched := false
@@ -275,9 +291,8 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 		}
 		if ok {
 			for _, br := range table[h] {
-				joined := concatRows(pr, br)
-				pairCtx.row = joined
-				match, err := evalJoinMatch(pairCtx, probeKeys, buildKeys, probeCtx, &evalCtx{schema: hashNode.Schema, row: br, sub: e.subquery})
+				buildRowCtx.row = br
+				match, err := evalJoinMatch(probeKeys, buildKeys, probeCtx, buildRowCtx)
 				if err != nil {
 					return nil, err
 				}
@@ -285,6 +300,8 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 					continue
 				}
 				if residualCond != nil {
+					pairBuf = append(append(pairBuf[:0], pr...), br...)
+					pairCtx.row = pairBuf
 					v, err := eval(pairCtx, residualCond)
 					if err != nil {
 						return nil, err
@@ -294,7 +311,7 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 					}
 				}
 				matched = true
-				out = append(out, joined)
+				out = append(out, concatRows(pr, br))
 			}
 		}
 		if leftOuter && !matched {
@@ -305,7 +322,7 @@ func (e *Engine) execHashJoin(n *Node) ([]storage.Row, error) {
 }
 
 // evalJoinMatch verifies key equality exactly (hash collisions are possible).
-func evalJoinMatch(_ *evalCtx, lKeys, rKeys []sqlparser.Expr, lCtx, rCtx *evalCtx) (bool, error) {
+func evalJoinMatch(lKeys, rKeys []sqlparser.Expr, lCtx, rCtx *evalCtx) (bool, error) {
 	for i := range lKeys {
 		lv, err := eval(lCtx, lKeys[i])
 		if err != nil {
@@ -649,6 +666,12 @@ func accumulate(ctx *evalCtx, st *aggState, call *sqlparser.FuncCall) error {
 	if err != nil {
 		return err
 	}
+	return accumulateDatum(st, v)
+}
+
+// accumulateDatum folds one evaluated argument into an aggregate state;
+// shared by the reference and streaming executors.
+func accumulateDatum(st *aggState, v datum.D) error {
 	if v.IsNull() {
 		return nil
 	}
@@ -664,10 +687,11 @@ func accumulate(ctx *evalCtx, st *aggState, call *sqlparser.FuncCall) error {
 		if st.sum.IsNull() {
 			st.sum = v
 		} else {
-			st.sum, err = datum.Arith('+', st.sum, v)
+			sum, err := datum.Arith('+', st.sum, v)
 			if err != nil {
 				return err
 			}
+			st.sum = sum
 		}
 	}
 	if st.min.IsNull() || datum.Compare(v, st.min) < 0 {

@@ -1,0 +1,1275 @@
+package engine
+
+// iter.go is the streaming iterator executor: every operator implements
+// rowIter (Open/Next/Close), expressions are pre-bound to ordinals at
+// construction time (bind.go), and pipelined operators — scans, filters,
+// limit/offset, the probe side of hash joins, the outer side of nested
+// loops, unique — never buffer their input. Only the operators whose
+// semantics require it materialize: sort (bounded to a top-K heap when the
+// planner set SortLimit), aggregation, the build side of a hash join, the
+// inner side of a nested loop, and both merge-join inputs (whose key
+// datums are evaluated once into flat arenas rather than per comparison).
+//
+// Limit short-circuits by simply not pulling from its child once
+// offset+limit rows have been seen, so `LIMIT 10` over a scan touches ten
+// heap rows instead of the whole table. The materializing executor in
+// executor.go is kept as the reference implementation; differential tests
+// assert both produce identical row multisets.
+
+import (
+	"fmt"
+	"sort"
+
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// rowIter is the streaming operator contract. Open prepares the operator
+// (materializing inputs only where semantics demand it); Next returns the
+// next row, with ok=false at end of stream; Close releases child iterators.
+// Returned rows may alias operator-internal or heap storage and must not be
+// mutated by callers.
+type rowIter interface {
+	Open() error
+	Next() (row storage.Row, ok bool, err error)
+	Close() error
+}
+
+// execStream runs a plan through the streaming executor and collects the
+// result. Errors from construction (e.g. unresolvable columns) surface just
+// like execution errors.
+func (e *Engine) execStream(n *Node) ([]storage.Row, error) {
+	it, err := e.buildIter(n)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// buildIter constructs the iterator tree for a plan node, binding all
+// expressions against the operator schemas.
+func (e *Engine) buildIter(n *Node) (rowIter, error) {
+	switch n.Op {
+	case OpSeqScan:
+		return e.newSeqScanIter(n)
+	case OpIndexScan:
+		return e.newIndexScanIter(n)
+	case OpHash, OpMaterialize:
+		return e.buildIter(n.Children[0])
+	case OpHashJoin:
+		return e.newHashJoinIter(n)
+	case OpMergeJoin:
+		return e.newMergeJoinIter(n)
+	case OpNestedLoop:
+		return e.newNestedLoopIter(n)
+	case OpSort:
+		return e.newSortIter(n)
+	case OpAggregate, OpHashAggregate, OpGroupAggregate:
+		return e.newAggIter(n)
+	case OpUnique:
+		return e.newUniqueIter(n)
+	case OpLimit:
+		child, err := e.buildIter(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, limit: n.Limit, offset: n.Offset}, nil
+	case OpResult:
+		return e.newResultIter(n)
+	}
+	return nil, fmt.Errorf("engine: cannot execute operator %s", n.Op.Name())
+}
+
+// --- Scans -----------------------------------------------------------------
+
+type seqScanIter struct {
+	rows   []storage.Row
+	filter boundExpr // nil when unfiltered
+	env    rowEnv
+	pos    int
+}
+
+func (e *Engine) newSeqScanIter(n *Node) (*seqScanIter, error) {
+	t, err := e.Cat.Table(n.Relation)
+	if err != nil {
+		return nil, err
+	}
+	it := &seqScanIter{rows: t.Rows}
+	if n.Filter != nil {
+		if it.filter, err = bindExpr(n.Filter, n.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *seqScanIter) Open() error {
+	it.pos = 0
+	return nil
+}
+
+func (it *seqScanIter) Next() (storage.Row, bool, error) {
+	for it.pos < len(it.rows) {
+		r := it.rows[it.pos]
+		it.pos++
+		if it.filter == nil {
+			return r, true, nil
+		}
+		it.env.left = r
+		v, err := it.filter(&it.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if truthy(v) {
+			return r, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (it *seqScanIter) Close() error { return nil }
+
+type indexScanIter struct {
+	eng     *Engine
+	n       *Node
+	heap    []storage.Row
+	recheck boundExpr // index condition ∧ residual filter
+	env     rowEnv
+	ids     []int
+	pos     int
+}
+
+func (e *Engine) newIndexScanIter(n *Node) (*indexScanIter, error) {
+	t, err := e.Cat.Table(n.Relation)
+	if err != nil {
+		return nil, err
+	}
+	// Re-check the full index condition alongside the residual filter
+	// (cheap, and keeps multi-conjunct conditions exact when the scan
+	// bounds only captured part of them) — mirrors the reference executor.
+	combined := sqlparser.JoinConjuncts(append(sqlparser.SplitConjuncts(n.IndexCond), sqlparser.SplitConjuncts(n.Filter)...))
+	it := &indexScanIter{eng: e, n: n, heap: t.Rows}
+	if combined != nil {
+		if it.recheck, err = bindExpr(combined, n.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *indexScanIter) Open() error {
+	t, err := it.eng.Cat.Table(it.n.Relation)
+	if err != nil {
+		return err
+	}
+	col, lo, hi, incLo, incHi, eq, hasEq, err := indexBounds(it.n.IndexCond)
+	if err != nil {
+		return err
+	}
+	ix := t.Index(col)
+	if ix == nil {
+		return fmt.Errorf("engine: planned index on %s.%s does not exist", it.n.Relation, col)
+	}
+	if hasEq {
+		it.ids = ix.Lookup(eq)
+	} else {
+		it.ids = ix.Range(lo, hi, incLo, incHi)
+	}
+	it.pos = 0
+	return nil
+}
+
+func (it *indexScanIter) Next() (storage.Row, bool, error) {
+	for it.pos < len(it.ids) {
+		r := it.heap[it.ids[it.pos]]
+		it.pos++
+		if it.recheck == nil {
+			return r, true, nil
+		}
+		it.env.left = r
+		v, err := it.recheck(&it.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if truthy(v) {
+			return r, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (it *indexScanIter) Close() error { return nil }
+
+// --- Limit -----------------------------------------------------------------
+
+// limitIter implements LIMIT/OFFSET by counting rows pulled from its child;
+// once limit rows are emitted it stops pulling, short-circuiting the whole
+// subtree below it.
+type limitIter struct {
+	child            rowIter
+	limit, offset    int64 // limit < 0 means unbounded (OFFSET-only)
+	skipped, emitted int64
+}
+
+func (it *limitIter) Open() error {
+	it.skipped, it.emitted = 0, 0
+	return it.child.Open()
+}
+
+func (it *limitIter) Next() (storage.Row, bool, error) {
+	if it.limit >= 0 && it.emitted >= it.limit {
+		return nil, false, nil
+	}
+	for {
+		r, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if it.skipped < it.offset {
+			it.skipped++
+			continue
+		}
+		it.emitted++
+		return r, true, nil
+	}
+}
+
+func (it *limitIter) Close() error { return it.child.Close() }
+
+// --- Hash join -------------------------------------------------------------
+
+// hashJoinIter materializes the build side once at Open, caching the
+// evaluated join-key datums per build row in a flat arena so the
+// hash-collision recheck is a pure datum comparison (no expression
+// re-evaluation per probe×build pair). The probe side streams: each probe
+// row's keys are evaluated once into a reusable buffer, and candidate
+// pairs are checked through a two-part rowEnv so the joined row is only
+// allocated for pairs that survive key, residual and filter checks.
+type hashJoinIter struct {
+	probe, build rowIter
+	probeKeys    []boundExpr
+	buildKeys    []boundExpr
+	nKeys        int
+	residual     boundExpr // pair-bound residual join condition
+	outFilter    boundExpr // pair-bound post-join filter (n.Filter)
+	leftOuter    bool
+	nullsRight   storage.Row
+
+	entries  []storage.Row
+	keyArena []datum.D // len(entries)*nKeys, parallel to entries
+	table    map[uint64][]int32
+
+	env         rowEnv
+	probeRow    storage.Row
+	probeKeyBuf []datum.D
+	bucket      []int32
+	bi          int
+	matched     bool
+}
+
+func (e *Engine) newHashJoinIter(n *Node) (*hashJoinIter, error) {
+	probeNode, hashNode := n.Children[0], n.Children[1]
+	probeKeyExprs, buildKeyExprs, residual := joinKeyPairs(n.JoinCond, probeNode.Schema)
+	if len(probeKeyExprs) == 0 {
+		return nil, fmt.Errorf("engine: hash join without equi-condition")
+	}
+	it := &hashJoinIter{
+		nKeys:     len(probeKeyExprs),
+		leftOuter: n.JoinType == sqlparser.LeftJoin,
+	}
+	var err error
+	if it.probe, err = e.buildIter(probeNode); err != nil {
+		return nil, err
+	}
+	if it.build, err = e.buildIter(hashNode); err != nil {
+		return nil, err
+	}
+	if it.probeKeys, err = bindExprs(probeKeyExprs, probeNode.Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	if it.buildKeys, err = bindExprs(buildKeyExprs, hashNode.Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	// n.Schema is always probe schema followed by build schema (see
+	// planner buildJoin), so pair binding matches the output row layout.
+	if cond := sqlparser.JoinConjuncts(residual); cond != nil {
+		if it.residual, err = bindPairExpr(cond, probeNode.Schema, hashNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	if n.Filter != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, probeNode.Schema, hashNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	it.nullsRight = make(storage.Row, len(hashNode.Schema))
+	for i := range it.nullsRight {
+		it.nullsRight[i] = datum.Null
+	}
+	it.probeKeyBuf = make([]datum.D, it.nKeys)
+	return it, nil
+}
+
+func (it *hashJoinIter) Open() error {
+	if err := it.build.Open(); err != nil {
+		return err
+	}
+	it.entries = it.entries[:0]
+	it.keyArena = it.keyArena[:0]
+	it.table = make(map[uint64][]int32)
+	var env rowEnv
+	for {
+		r, ok, err := it.build.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env.left = r
+		h := uint64(1469598103934665603)
+		null := false
+		off := len(it.keyArena)
+		for _, k := range it.buildKeys {
+			v, err := k(&env)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				null = true
+				break
+			}
+			it.keyArena = append(it.keyArena, v)
+			h = h*1099511628211 ^ v.Hash()
+		}
+		if null {
+			it.keyArena = it.keyArena[:off] // NULL keys never match
+			continue
+		}
+		it.table[h] = append(it.table[h], int32(len(it.entries)))
+		it.entries = append(it.entries, r)
+	}
+	it.probeRow, it.bucket, it.bi = nil, nil, 0
+	return it.probe.Open()
+}
+
+func (it *hashJoinIter) Next() (storage.Row, bool, error) {
+	for {
+		if it.probeRow == nil {
+			r, ok, err := it.probe.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.probeRow = r
+			it.matched = false
+			it.bucket, it.bi = nil, 0
+			it.env.left = r
+			h := uint64(1469598103934665603)
+			null := false
+			for i, k := range it.probeKeys {
+				v, err := k(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if v.IsNull() {
+					null = true
+					break
+				}
+				it.probeKeyBuf[i] = v
+				h = h*1099511628211 ^ v.Hash()
+			}
+			if !null {
+				it.bucket = it.table[h]
+			}
+		}
+		it.env.left = it.probeRow
+		for it.bi < len(it.bucket) {
+			idx := it.bucket[it.bi]
+			it.bi++
+			off := int(idx) * it.nKeys
+			if !datumsEqual(it.probeKeyBuf, it.keyArena[off:off+it.nKeys]) {
+				continue // hash collision
+			}
+			br := it.entries[idx]
+			it.env.right = br
+			if it.residual != nil {
+				v, err := it.residual(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			// The ON condition (keys + residual) alone decides matched:
+			// the pushed-down WHERE filter only gates emission, exactly as
+			// the reference executor applies it after null-extension.
+			it.matched = true
+			if it.outFilter != nil {
+				v, err := it.outFilter(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			return concatRows(it.probeRow, br), true, nil
+		}
+		pr := it.probeRow
+		it.probeRow = nil
+		if it.leftOuter && !it.matched {
+			it.env.left, it.env.right = pr, it.nullsRight
+			if it.outFilter != nil {
+				v, err := it.outFilter(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			return concatRows(pr, it.nullsRight), true, nil
+		}
+	}
+}
+
+func (it *hashJoinIter) Close() error {
+	err := it.probe.Close()
+	if err2 := it.build.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+func datumsEqual(a, b []datum.D) bool {
+	for i := range a {
+		if !datum.Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- Nested loop -----------------------------------------------------------
+
+// nestedLoopIter streams the outer side and materializes the inner side
+// once at Open (it must be rescanned per outer row). The join condition and
+// post-join filter evaluate through a two-part rowEnv, so non-matching
+// pairs cost zero allocations — the joined row is only built on emission.
+type nestedLoopIter struct {
+	outer, innerSrc rowIter
+	inner           []storage.Row
+	cond, outFilter boundExpr // pair-bound
+	leftOuter       bool
+	nullsInner      storage.Row
+
+	env      rowEnv
+	outerRow storage.Row
+	ii       int
+	matched  bool
+}
+
+func (e *Engine) newNestedLoopIter(n *Node) (*nestedLoopIter, error) {
+	outerNode, innerNode := n.Children[0], n.Children[1]
+	it := &nestedLoopIter{leftOuter: n.JoinType == sqlparser.LeftJoin}
+	var err error
+	if it.outer, err = e.buildIter(outerNode); err != nil {
+		return nil, err
+	}
+	if it.innerSrc, err = e.buildIter(innerNode); err != nil {
+		return nil, err
+	}
+	if n.JoinCond != nil {
+		if it.cond, err = bindPairExpr(n.JoinCond, outerNode.Schema, innerNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	if n.Filter != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, outerNode.Schema, innerNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	it.nullsInner = make(storage.Row, len(innerNode.Schema))
+	for i := range it.nullsInner {
+		it.nullsInner[i] = datum.Null
+	}
+	return it, nil
+}
+
+func (it *nestedLoopIter) Open() error {
+	if err := it.innerSrc.Open(); err != nil {
+		return err
+	}
+	it.inner = it.inner[:0]
+	for {
+		r, ok, err := it.innerSrc.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		it.inner = append(it.inner, r)
+	}
+	it.outerRow, it.ii = nil, 0
+	return it.outer.Open()
+}
+
+func (it *nestedLoopIter) Next() (storage.Row, bool, error) {
+	for {
+		if it.outerRow == nil {
+			r, ok, err := it.outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			it.outerRow, it.ii, it.matched = r, 0, false
+		}
+		it.env.left = it.outerRow
+		for it.ii < len(it.inner) {
+			ir := it.inner[it.ii]
+			it.ii++
+			it.env.right = ir
+			if it.cond != nil {
+				v, err := it.cond(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			// ON condition alone decides matched; the WHERE filter only
+			// gates emission (reference applies it after null-extension).
+			it.matched = true
+			if it.outFilter != nil {
+				v, err := it.outFilter(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			return concatRows(it.outerRow, ir), true, nil
+		}
+		or := it.outerRow
+		it.outerRow = nil
+		if it.leftOuter && !it.matched {
+			it.env.left, it.env.right = or, it.nullsInner
+			if it.outFilter != nil {
+				v, err := it.outFilter(&it.env)
+				if err != nil {
+					return nil, false, err
+				}
+				if !truthy(v) {
+					continue
+				}
+			}
+			return concatRows(or, it.nullsInner), true, nil
+		}
+	}
+}
+
+func (it *nestedLoopIter) Close() error {
+	err := it.outer.Close()
+	if err2 := it.innerSrc.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// --- Merge join ------------------------------------------------------------
+
+// mergeJoinIter materializes both (sorted) inputs at Open and evaluates the
+// join keys once per row into flat arenas, so the merge itself is pure
+// datum comparison — the reference path re-evaluates key expressions on
+// every advance. Equal-key groups are emitted pairwise without buffering
+// the cross product.
+type mergeJoinIter struct {
+	left, right  rowIter
+	lKeyExprs    []boundExpr
+	rKeyExprs    []boundExpr
+	nKeys        int
+	residual     boundExpr // pair-bound
+	outFilter    boundExpr // pair-bound
+	lRows, rRows []storage.Row
+	lKeys, rKeys []datum.D
+	li, ri       int // next ungrouped positions
+	lEnd, rEnd   int // current group bounds
+	a, b         int // cross-product cursors
+	inGroup      bool
+	env          rowEnv
+}
+
+func (e *Engine) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
+	leftNode, rightNode := n.Children[0], n.Children[1]
+	lKeyExprs, rKeyExprs, residual := joinKeyPairs(n.JoinCond, leftNode.Schema)
+	if len(lKeyExprs) == 0 {
+		return nil, fmt.Errorf("engine: merge join without equi-condition")
+	}
+	it := &mergeJoinIter{nKeys: len(lKeyExprs)}
+	var err error
+	if it.left, err = e.buildIter(leftNode); err != nil {
+		return nil, err
+	}
+	if it.right, err = e.buildIter(rightNode); err != nil {
+		return nil, err
+	}
+	if it.lKeyExprs, err = bindExprs(lKeyExprs, leftNode.Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	if it.rKeyExprs, err = bindExprs(rKeyExprs, rightNode.Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	if cond := sqlparser.JoinConjuncts(residual); cond != nil {
+		if it.residual, err = bindPairExpr(cond, leftNode.Schema, rightNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	if n.Filter != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, leftNode.Schema, rightNode.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+// drainKeyed materializes an already-opened child and its per-row key
+// datums.
+func drainKeyed(child rowIter, keys []boundExpr) ([]storage.Row, []datum.D, error) {
+	var rows []storage.Row
+	var arena []datum.D
+	var env rowEnv
+	for {
+		r, ok, err := child.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return rows, arena, nil
+		}
+		env.left = r
+		for _, k := range keys {
+			v, err := k(&env)
+			if err != nil {
+				return nil, nil, err
+			}
+			arena = append(arena, v)
+		}
+		rows = append(rows, r)
+	}
+}
+
+func (it *mergeJoinIter) Open() error {
+	var err error
+	if err = it.left.Open(); err != nil {
+		return err
+	}
+	if it.lRows, it.lKeys, err = drainKeyed(it.left, it.lKeyExprs); err != nil {
+		return err
+	}
+	if err = it.right.Open(); err != nil {
+		return err
+	}
+	if it.rRows, it.rKeys, err = drainKeyed(it.right, it.rKeyExprs); err != nil {
+		return err
+	}
+	it.li, it.ri, it.inGroup = 0, 0, false
+	return nil
+}
+
+func (it *mergeJoinIter) key(arena []datum.D, i int) []datum.D {
+	return arena[i*it.nKeys : (i+1)*it.nKeys]
+}
+
+func keyHasNull(k []datum.D) bool {
+	for _, v := range k {
+		if v.IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+func compareKeys(a, b []datum.D) int {
+	for i := range a {
+		if c := datum.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// advance finds the next equal-key group; reports false when either input
+// is exhausted.
+func (it *mergeJoinIter) advance() bool {
+	for it.li < len(it.lRows) && it.ri < len(it.rRows) {
+		lk := it.key(it.lKeys, it.li)
+		if keyHasNull(lk) {
+			it.li++
+			continue
+		}
+		rk := it.key(it.rKeys, it.ri)
+		if keyHasNull(rk) {
+			it.ri++
+			continue
+		}
+		c := compareKeys(lk, rk)
+		if c < 0 {
+			it.li++
+			continue
+		}
+		if c > 0 {
+			it.ri++
+			continue
+		}
+		it.lEnd = it.li + 1
+		for it.lEnd < len(it.lRows) && compareKeys(it.key(it.lKeys, it.lEnd), lk) == 0 {
+			it.lEnd++
+		}
+		it.rEnd = it.ri + 1
+		for it.rEnd < len(it.rRows) && compareKeys(it.key(it.rKeys, it.rEnd), rk) == 0 {
+			it.rEnd++
+		}
+		it.a, it.b = it.li, it.ri
+		it.inGroup = true
+		return true
+	}
+	return false
+}
+
+func (it *mergeJoinIter) Next() (storage.Row, bool, error) {
+	for {
+		if !it.inGroup {
+			if !it.advance() {
+				return nil, false, nil
+			}
+		}
+		for it.a < it.lEnd {
+			for it.b < it.rEnd {
+				lr, rr := it.lRows[it.a], it.rRows[it.b]
+				it.b++
+				it.env.left, it.env.right = lr, rr
+				if it.residual != nil {
+					v, err := it.residual(&it.env)
+					if err != nil {
+						return nil, false, err
+					}
+					if !truthy(v) {
+						continue
+					}
+				}
+				if it.outFilter != nil {
+					v, err := it.outFilter(&it.env)
+					if err != nil {
+						return nil, false, err
+					}
+					if !truthy(v) {
+						continue
+					}
+				}
+				return concatRows(lr, rr), true, nil
+			}
+			it.a++
+			it.b = it.ri
+		}
+		it.li, it.ri = it.lEnd, it.rEnd
+		it.inGroup = false
+	}
+}
+
+func (it *mergeJoinIter) Close() error {
+	err := it.left.Close()
+	if err2 := it.right.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// --- Sort / top-K -----------------------------------------------------------
+
+// sortIter materializes and sorts its input at Open. When the planner set
+// SortLimit (a Sort feeding a Limit), it keeps a bounded top-K heap instead
+// of buffering and sorting everything; sequence numbers break ties so the
+// result is identical to a stable full sort followed by truncation.
+type sortIter struct {
+	child rowIter
+	keys  []boundExpr
+	desc  []bool
+	topK  int64 // 0 = full sort
+	out   []storage.Row
+	pos   int
+}
+
+func (e *Engine) newSortIter(n *Node) (*sortIter, error) {
+	it := &sortIter{topK: n.SortLimit}
+	var err error
+	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+		return nil, err
+	}
+	exprs := make([]sqlparser.Expr, len(n.SortKeys))
+	it.desc = make([]bool, len(n.SortKeys))
+	for i, k := range n.SortKeys {
+		exprs[i] = k.Expr
+		it.desc[i] = k.Desc
+	}
+	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *sortIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	it.pos = 0
+	if it.topK > 0 {
+		return it.openTopK()
+	}
+	rows, arena, err := drainKeyed(it.child, it.keys)
+	if err != nil {
+		return err
+	}
+	nKeys := len(it.keys)
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for j := 0; j < nKeys; j++ {
+			c := datum.Compare(arena[a*nKeys+j], arena[b*nKeys+j])
+			if it.desc[j] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	it.out = make([]storage.Row, len(rows))
+	for i, j := range idx {
+		it.out[i] = rows[j]
+	}
+	return nil
+}
+
+func (it *sortIter) openTopK() error {
+	h := newTopKHeap(int(it.topK), len(it.keys), it.desc)
+	scratch := make([]datum.D, len(it.keys))
+	var env rowEnv
+	for {
+		r, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env.left = r
+		for i, k := range it.keys {
+			v, err := k(&env)
+			if err != nil {
+				return err
+			}
+			scratch[i] = v
+		}
+		h.push(r, scratch)
+	}
+	it.out = h.finish()
+	return nil
+}
+
+func (it *sortIter) Next() (storage.Row, bool, error) {
+	if it.pos >= len(it.out) {
+		return nil, false, nil
+	}
+	r := it.out[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *sortIter) Close() error { return it.child.Close() }
+
+// topKHeap retains the K rows that order first, as a max-heap keyed on
+// (sort keys, arrival sequence): the root is the row that orders last among
+// those retained, so a new row either displaces the root in place or is
+// dropped — zero allocations per row once the heap is full. The sequence
+// tiebreak makes the selection and final order exactly equal to a stable
+// full sort truncated to K.
+type topKHeap struct {
+	k, nKeys int
+	desc     []bool
+	rows     []storage.Row
+	keys     []datum.D // slot-major arena, nKeys per slot
+	seqs     []int64
+	order    []int32 // heap of slot indices
+	next     int64   // arrival counter
+}
+
+func newTopKHeap(k, nKeys int, desc []bool) *topKHeap {
+	// k comes from a user-supplied LIMIT and may vastly exceed the input
+	// size; cap the initial capacity and let append grow the slices, so a
+	// huge LIMIT costs memory proportional to the actual input.
+	hint := k
+	if hint > 1024 {
+		hint = 1024
+	}
+	return &topKHeap{
+		k: k, nKeys: nKeys, desc: desc,
+		rows:  make([]storage.Row, 0, hint),
+		keys:  make([]datum.D, 0, hint*nKeys),
+		seqs:  make([]int64, 0, hint),
+		order: make([]int32, 0, hint),
+	}
+}
+
+// before reports whether (keyA, seqA) orders strictly before slot y.
+func (h *topKHeap) before(keyA []datum.D, seqA int64, y int32) bool {
+	off := int(y) * h.nKeys
+	for j := 0; j < h.nKeys; j++ {
+		c := datum.Compare(keyA[j], h.keys[off+j])
+		if h.desc[j] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return seqA < h.seqs[y]
+}
+
+func (h *topKHeap) slotBefore(x, y int32) bool {
+	off := int(x) * h.nKeys
+	return h.before(h.keys[off:off+h.nKeys], h.seqs[x], y)
+}
+
+func (h *topKHeap) push(r storage.Row, key []datum.D) {
+	seq := h.next
+	h.next++
+	if h.k == 0 {
+		return
+	}
+	if len(h.rows) < h.k {
+		slot := int32(len(h.rows))
+		h.rows = append(h.rows, r)
+		h.keys = append(h.keys, key...)
+		h.seqs = append(h.seqs, seq)
+		h.order = append(h.order, slot)
+		// Sift up: a child that orders after its parent rises.
+		i := len(h.order) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !h.slotBefore(h.order[parent], h.order[i]) {
+				break
+			}
+			h.order[parent], h.order[i] = h.order[i], h.order[parent]
+			i = parent
+		}
+		return
+	}
+	worst := h.order[0]
+	if !h.before(key, seq, worst) {
+		return // orders at or after everything retained
+	}
+	// Displace the root in place.
+	h.rows[worst] = r
+	copy(h.keys[int(worst)*h.nKeys:], key)
+	h.seqs[worst] = seq
+	h.siftDown(0)
+}
+
+func (h *topKHeap) siftDown(i int) {
+	n := len(h.order)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.slotBefore(h.order[largest], h.order[l]) {
+			largest = l
+		}
+		if r < n && h.slotBefore(h.order[largest], h.order[r]) {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.order[i], h.order[largest] = h.order[largest], h.order[i]
+		i = largest
+	}
+}
+
+// finish returns the retained rows in ascending sort order.
+func (h *topKHeap) finish() []storage.Row {
+	sort.Slice(h.order, func(x, y int) bool { return h.slotBefore(h.order[x], h.order[y]) })
+	out := make([]storage.Row, len(h.order))
+	for i, slot := range h.order {
+		out[i] = h.rows[slot]
+	}
+	return out
+}
+
+// --- Aggregation -----------------------------------------------------------
+
+// aggIter computes grouped aggregation at Open (aggregation is inherently
+// blocking) with pre-bound group-key and argument expressions, then streams
+// the finalized group rows.
+type aggIter struct {
+	child     rowIter
+	groupKeys []boundExpr
+	aggs      []aggSpec
+	aggArgs   []boundExpr // nil entry for COUNT(*)
+	having    boundExpr   // bound against the aggregate output schema
+	plain     bool        // no GROUP BY: empty input still yields one row
+	out       []storage.Row
+	pos       int
+}
+
+func (e *Engine) newAggIter(n *Node) (*aggIter, error) {
+	childSchema := n.Children[0].Schema
+	it := &aggIter{aggs: n.Aggs, plain: len(n.GroupKeys) == 0}
+	var err error
+	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+		return nil, err
+	}
+	if it.groupKeys, err = bindExprs(n.GroupKeys, childSchema, e.subquery); err != nil {
+		return nil, err
+	}
+	it.aggArgs = make([]boundExpr, len(n.Aggs))
+	for i, a := range n.Aggs {
+		if a.Call.Star {
+			continue
+		}
+		if it.aggArgs[i], err = bindExpr(a.Call.Args[0], childSchema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	if n.HavingFilter != nil {
+		if it.having, err = bindExpr(n.HavingFilter, n.Schema, e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *aggIter) newStates() []*aggState {
+	states := make([]*aggState, len(it.aggs))
+	for i := range states {
+		states[i] = &aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		if it.aggs[i].Call.Distinct {
+			states[i].distinct = make(map[string]bool)
+		}
+	}
+	return states
+}
+
+func (it *aggIter) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	type group struct {
+		keyVals []datum.D
+		states  []*aggState
+	}
+	groups := make(map[string]*group)
+	var order []*group
+	var env rowEnv
+	keyBuf := make([]byte, 0, 64)
+	for {
+		r, ok, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env.left = r
+		keyBuf = keyBuf[:0]
+		keyVals := make([]datum.D, len(it.groupKeys))
+		for i, k := range it.groupKeys {
+			v, err := k(&env)
+			if err != nil {
+				return err
+			}
+			keyVals[i] = v
+			keyBuf = append(keyBuf, v.String()...)
+			keyBuf = append(keyBuf, 0)
+		}
+		g, ok := groups[string(keyBuf)]
+		if !ok {
+			g = &group{keyVals: keyVals, states: it.newStates()}
+			groups[string(keyBuf)] = g
+			order = append(order, g)
+		}
+		for i, a := range it.aggs {
+			if a.Call.Star {
+				g.states[i].count++
+				continue
+			}
+			v, err := it.aggArgs[i](&env)
+			if err != nil {
+				return err
+			}
+			if err := accumulateDatum(g.states[i], v); err != nil {
+				return err
+			}
+		}
+	}
+	// Plain aggregate over an empty input still yields one row.
+	if it.plain && len(order) == 0 {
+		order = append(order, &group{states: it.newStates()})
+	}
+	it.out = it.out[:0]
+	it.pos = 0
+	for _, g := range order {
+		row := make(storage.Row, 0, len(g.keyVals)+len(g.states))
+		row = append(row, g.keyVals...)
+		for i, a := range it.aggs {
+			row = append(row, finalize(g.states[i], a.Call))
+		}
+		if it.having != nil {
+			env.left = row
+			v, err := it.having(&env)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		it.out = append(it.out, row)
+	}
+	return nil
+}
+
+func (it *aggIter) Next() (storage.Row, bool, error) {
+	if it.pos >= len(it.out) {
+		return nil, false, nil
+	}
+	r := it.out[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *aggIter) Close() error { return it.child.Close() }
+
+// --- Unique ----------------------------------------------------------------
+
+// uniqueIter streams its (sorted) input, emitting the first row of each
+// distinct key.
+type uniqueIter struct {
+	child rowIter
+	keys  []boundExpr
+	seen  map[string]bool
+	buf   []byte
+	env   rowEnv
+}
+
+func (e *Engine) newUniqueIter(n *Node) (*uniqueIter, error) {
+	it := &uniqueIter{}
+	var err error
+	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+		return nil, err
+	}
+	exprs := make([]sqlparser.Expr, len(n.SortKeys))
+	for i, k := range n.SortKeys {
+		exprs[i] = k.Expr
+	}
+	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, e.subquery); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *uniqueIter) Open() error {
+	it.seen = make(map[string]bool)
+	return it.child.Open()
+}
+
+func (it *uniqueIter) Next() (storage.Row, bool, error) {
+	for {
+		r, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.env.left = r
+		it.buf = it.buf[:0]
+		for _, k := range it.keys {
+			v, err := k(&it.env)
+			if err != nil {
+				return nil, false, err
+			}
+			it.buf = append(it.buf, v.String()...)
+			it.buf = append(it.buf, 0)
+		}
+		if it.seen[string(it.buf)] {
+			continue
+		}
+		it.seen[string(it.buf)] = true
+		return r, true, nil
+	}
+}
+
+func (it *uniqueIter) Close() error { return it.child.Close() }
+
+// --- Result ----------------------------------------------------------------
+
+// resultIter emits the single constant row of a FROM-less SELECT.
+type resultIter struct {
+	items []boundExpr
+	row   storage.Row
+	done  bool
+}
+
+func (e *Engine) newResultIter(n *Node) (*resultIter, error) {
+	it := &resultIter{items: make([]boundExpr, len(n.ResultItems))}
+	for i, item := range n.ResultItems {
+		b, err := bindExpr(item.Expr, nil, e.subquery)
+		if err != nil {
+			return nil, err
+		}
+		it.items[i] = b
+	}
+	return it, nil
+}
+
+func (it *resultIter) Open() error {
+	var env rowEnv
+	it.row = make(storage.Row, len(it.items))
+	for i, item := range it.items {
+		v, err := item(&env)
+		if err != nil {
+			return err
+		}
+		it.row[i] = v
+	}
+	it.done = false
+	return nil
+}
+
+func (it *resultIter) Next() (storage.Row, bool, error) {
+	if it.done {
+		return nil, false, nil
+	}
+	it.done = true
+	return it.row, true, nil
+}
+
+func (it *resultIter) Close() error { return nil }

@@ -1,11 +1,3 @@
-// Package engine implements the substrate RDBMS that stands in for
-// PostgreSQL / SQL Server / MySQL in this reproduction: a cost-based
-// planner over the catalog's statistics, a full in-memory executor, and
-// EXPLAIN emitters in four formats (PostgreSQL-style text and JSON,
-// SQL-Server-style XML showplan, MySQL-style EXPLAIN FORMAT=JSON).
-// LANTERN consumes the JSON/XML/MySQL forms through internal/plan,
-// exactly as the paper's system consumes the output of the commercial
-// engines.
 package engine
 
 import (
@@ -141,14 +133,20 @@ type Node struct {
 
 	// Sort / Unique.
 	SortKeys []sortKey
+	// SortLimit > 0 marks a Sort directly under a Limit: only the first
+	// SortLimit rows of the ordering are ever observed, so the streaming
+	// executor may keep a bounded top-K heap instead of sorting everything.
+	SortLimit int64
 
 	// Aggregation.
 	GroupKeys    []sqlparser.Expr
 	Aggs         []aggSpec
 	HavingFilter sqlparser.Expr
 
-	// Limit.
-	Limit int64
+	// Limit. Limit < 0 means "no limit" (OFFSET-only node); Offset is the
+	// number of leading rows discarded before counting.
+	Limit  int64
+	Offset int64
 
 	// Result (constant) items.
 	ResultItems []sqlparser.SelectItem

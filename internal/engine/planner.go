@@ -923,11 +923,20 @@ func (p *planner) finishPlan(root *Node) (*Node, error) {
 		}
 	}
 
-	if p.sel.Limit >= 0 {
-		rows := minf(root.EstRows, float64(p.sel.Limit))
+	if p.sel.Limit >= 0 || p.sel.Offset > 0 {
+		rows := root.EstRows
+		if p.sel.Limit >= 0 {
+			rows = minf(rows, float64(p.sel.Limit))
+			// A Sort feeding a Limit only ever surfaces the first
+			// limit+offset rows of the ordering: mark it so the streaming
+			// executor can keep a bounded top-K heap.
+			if root.Op == OpSort {
+				root.SortLimit = p.sel.Limit + p.sel.Offset
+			}
+		}
 		root = &Node{
 			Op: OpLimit, Children: []*Node{root},
-			Limit: p.sel.Limit, Schema: root.Schema,
+			Limit: p.sel.Limit, Offset: p.sel.Offset, Schema: root.Schema,
 			EstRows: rows, EstCost: root.EstCost + rows*cpuTupleCost,
 			sorted: root.sorted,
 		}

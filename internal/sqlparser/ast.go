@@ -28,6 +28,7 @@ type SelectStmt struct {
 	Having   Expr // nil when absent
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
 }
 
 // CreateTableStmt creates a base table.

@@ -169,6 +169,10 @@ func formatSelect(sb *strings.Builder, s *SelectStmt) {
 		sb.WriteString(" LIMIT ")
 		sb.WriteString(strconv.FormatInt(s.Limit, 10))
 	}
+	if s.Offset > 0 {
+		sb.WriteString(" OFFSET ")
+		sb.WriteString(strconv.FormatInt(s.Offset, 10))
+	}
 }
 
 func formatTableRef(sb *strings.Builder, ref TableRef) {

@@ -31,7 +31,7 @@ type token struct {
 var keywords = map[string]bool{
 	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
 	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
-	"DESC": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "AS": true, "AND": true, "OR": true,
 	"NOT": true, "LIKE": true, "BETWEEN": true, "IN": true, "IS": true,
 	"NULL": true, "TRUE": true, "FALSE": true, "JOIN": true, "INNER": true,
 	"LEFT": true, "OUTER": true, "ON": true, "CREATE": true, "TABLE": true,

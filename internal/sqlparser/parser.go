@@ -244,6 +244,16 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		}
 		sel.Limit = n
 	}
+	if p.acceptKeyword("OFFSET") {
+		if p.peek().kind != tkInt {
+			return nil, p.errorf("expected integer after OFFSET, got %q", p.peek().text)
+		}
+		n, err := strconv.ParseInt(p.advance().text, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
 	return sel, nil
 }
 

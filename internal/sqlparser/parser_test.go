@@ -105,6 +105,27 @@ func TestOrderByLimit(t *testing.T) {
 	if sel.Limit != 10 {
 		t.Errorf("limit = %d, want 10", sel.Limit)
 	}
+	if sel.Offset != 0 {
+		t.Errorf("offset = %d, want 0", sel.Offset)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	sel := mustSelect(t, "SELECT a FROM t LIMIT 10 OFFSET 5")
+	if sel.Limit != 10 || sel.Offset != 5 {
+		t.Fatalf("limit = %d offset = %d, want 10/5", sel.Limit, sel.Offset)
+	}
+	if got := FormatStatement(sel); got != "SELECT a FROM t LIMIT 10 OFFSET 5" {
+		t.Errorf("format round trip = %q", got)
+	}
+	// OFFSET without LIMIT is valid (PostgreSQL-style).
+	sel = mustSelect(t, "SELECT a FROM t OFFSET 3")
+	if sel.Limit != -1 || sel.Offset != 3 {
+		t.Fatalf("limit = %d offset = %d, want -1/3", sel.Limit, sel.Offset)
+	}
+	if _, err := ParseSelect("SELECT a FROM t OFFSET x"); err == nil {
+		t.Error("non-integer OFFSET accepted")
+	}
 }
 
 func TestAggregates(t *testing.T) {
