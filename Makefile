@@ -45,12 +45,13 @@ bench-engine:
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .
 
-# Native fuzzing over the three plan-dialect parsers, seeded from the
+# Go-native fuzzing over the four plan-dialect parsers, seeded from the
 # golden corpus ($(FUZZTIME) per target).
 fuzz:
 	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParsePostgresJSON -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParseSQLServerXML -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParseMySQLJSON -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/plan -run '^$$' -fuzz FuzzParseNativeJSON -fuzztime $(FUZZTIME)
 
 # Regenerates the cross-dialect golden corpus: inputs from the substrate
 # engine, then expectations via the corpus runners.

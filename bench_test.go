@@ -260,3 +260,42 @@ func BenchmarkBLEU(b *testing.B) {
 		metrics.BLEU(hyp, ref)
 	}
 }
+
+// BenchmarkServiceQueryCached measures the /v1/query serving path on a
+// warm narration cache: the query still executes (the actuals key the
+// cache), but the narration is answered from the fingerprint cache.
+func BenchmarkServiceQueryCached(b *testing.B) {
+	srv := serviceServer(b, 32<<20)
+	req := &service.QueryRequest{SQL: benchJoinQuery, MaxRows: -1}
+	if _, err := srv.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Query(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a narration cache hit")
+		}
+	}
+}
+
+// BenchmarkServiceQueryCold measures the same request with caching
+// disabled: execute with instrumentation, bridge, fingerprint, narrate —
+// the full end-to-end loop per call.
+func BenchmarkServiceQueryCold(b *testing.B) {
+	srv := serviceServer(b, -1)
+	req := &service.QueryRequest{SQL: benchJoinQuery, MaxRows: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := srv.Query(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Cached {
+			b.Fatal("cold benchmark must not hit a cache")
+		}
+	}
+}

@@ -4,6 +4,12 @@
 // BENCH_service.json across PRs:
 //
 //	go test -run xxx -bench . -benchmem -benchtime 1x . | benchjson -out BENCH_service.json
+//
+// With -compare it instead diffs two reports and flags regressions, which
+// backs the non-blocking CI step guarding BENCH_engine.json:
+//
+//	benchjson -compare old.json new.json            # exit 1 on a >20% ns/op regression
+//	benchjson -threshold 0.5 -compare old.json new.json
 package main
 
 import (
@@ -44,7 +50,16 @@ var benchLine = regexp.MustCompile(
 
 func main() {
 	out := flag.String("out", "BENCH_service.json", "output JSON path")
+	compare := flag.Bool("compare", false, "compare two reports (old.json new.json) instead of reading stdin")
+	threshold := flag.Float64("threshold", 0.20, "relative ns/op slowdown flagged as a regression in -compare mode")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			log.Fatal("benchjson: -compare needs exactly two arguments: old.json new.json")
+		}
+		os.Exit(compareReports(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 
 	report := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -86,4 +101,68 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// loadReport reads a previously-written benchmark report.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// compareReports diffs two reports by benchmark name and prints one line
+// per benchmark with the relative ns/op change. Benchmarks slower by more
+// than threshold are marked REGRESSION and make the exit status 1;
+// benchmarks present on only one side are reported but never fail the
+// diff (suites grow and shrink across PRs). Micro-benchmarks under 100ns
+// are skipped for regression purposes: at that scale the delta is noise.
+func compareReports(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	const noiseFloorNs = 100.0
+	regressions := 0
+	for _, nb := range newRep.Benchmarks {
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Printf("%-60s %12s -> %10.1f ns/op  NEW\n", nb.Name, "-", nb.NsPerOp)
+			continue
+		}
+		delete(oldBy, nb.Name)
+		if ob.NsPerOp <= 0 {
+			continue
+		}
+		change := nb.NsPerOp/ob.NsPerOp - 1
+		mark := ""
+		if change > threshold && ob.NsPerOp >= noiseFloorNs && nb.NsPerOp >= noiseFloorNs {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s %10.1f -> %10.1f ns/op  %+6.1f%%%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, change*100, mark)
+	}
+	for name := range oldBy {
+		fmt.Printf("%-60s missing from %s\n", name, newPath)
+	}
+	if regressions > 0 {
+		fmt.Printf("benchjson: %d benchmark(s) regressed more than %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	fmt.Println("benchjson: no regressions beyond threshold")
+	return 0
 }

@@ -10,6 +10,13 @@
 //	lantern -db tpch -source sqlserver -show-plan "SELECT ..."
 //	lantern -db tpch -source mysql "SELECT ..."
 //	lantern -db imdb -mode neural "SELECT ..."
+//
+// With -source native the plan reaches the narrator through the direct
+// engine↔plan bridge (no EXPLAIN-text round-trip), and -exec additionally
+// executes the query with per-operator instrumentation, narrating the
+// actual row counts and optimizer mis-estimates:
+//
+//	lantern -db tpch -source native -exec "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name"
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	source := flag.String("source", "pg", "plan dialect: "+strings.Join(plan.Dialects(), ", "))
 	mode := flag.String("mode", "rule", "narration mode: rule, neural, auto (frequency switching)")
 	showPlan := flag.Bool("show-plan", false, "also print the raw serialized plan")
+	execQuery := flag.Bool("exec", false, "execute the query with instrumentation and narrate its actuals (implies -source native)")
 	treeView := flag.Bool("tree", false, "present as NL-annotated visual tree instead of document text")
 	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it")
 	seed := flag.Int64("seed", 1, "data generation seed")
@@ -67,9 +75,26 @@ func main() {
 	}
 
 	store := pool.NewSeededStore()
-	tree, raw, err := explainTree(eng, *source, query)
-	if err != nil {
-		fatal(err)
+	var tree *plan.Node
+	var raw string
+	if *execQuery {
+		// Execute with instrumentation and bridge the plan directly —
+		// the narration reports what actually happened.
+		qr, qerr := eng.QueryInstrumented(query)
+		if qerr != nil {
+			fatal(qerr)
+		}
+		tree = engine.ToPlanNodeStats(qr.Plan, qr.Stats)
+		if raw, err = plan.FormatNative(tree); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "executed: %d rows in %.3f ms\n",
+			len(qr.Result.Rows), float64(qr.Elapsed)/1e6)
+	} else {
+		tree, raw, err = explainTree(eng, *source, query)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	if *showPlan {
 		fmt.Println(raw)

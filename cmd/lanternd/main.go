@@ -5,6 +5,7 @@
 // the POEM store, and serves:
 //
 //	POST /v1/narrate  {"sql": "...", "dialect": "pg", "options": {"presentation": "tree"}}
+//	POST /v1/query    {"sql": "...", "max_rows": 5}
 //	POST /v1/qa       {"sql": "...", "question": "what does step 2 do?"}
 //	POST /v1/pool     {"stmt": "UPDATE pg SET desc = '...' WHERE name = 'seqscan'"}
 //	GET  /v1/dialects
@@ -18,13 +19,22 @@
 // for plan documents (pg-JSON array vs showplan-XML vs mysql-JSON
 // query_block).
 //
-// Narrations are cached by plan fingerprint; POOL statements executed
+// /v1/query closes the loop the other endpoints only estimate: the SQL is
+// planned and *executed* against the loaded dataset with per-operator
+// instrumentation, the plan travels the direct native bridge (no EXPLAIN
+// text), and the narration reports what actually happened — actual row
+// counts, loop counts, and optimizer mis-estimate callouts — alongside
+// the query's columns, first rows, cardinality, and elapsed time.
+//
+// Narrations are cached by plan fingerprint (for /v1/query the key also
+// covers the actuals, excluding wall time); POOL statements executed
 // through /v1/pool invalidate exactly the cached narrations that mention
 // the mutated operators, scoped to the mutated dialect. Try:
 //
 //	lanternd -addr :8080 -db tpch &
 //	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7"}'
 //	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7", "dialect": "mysql"}'
+//	curl -s localhost:8080/v1/query -d '{"sql": "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY c.c_name LIMIT 5"}'
 //	curl -s localhost:8080/v1/stats | jq .cache
 package main
 
@@ -99,6 +109,18 @@ func main() {
 			return
 		}
 		resp, err := srv.Narrate(r.Context(), &req)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}))
+	mux.HandleFunc("/v1/query", postJSON(func(w http.ResponseWriter, r *http.Request) {
+		var req service.QueryRequest
+		if !decodeBody(w, r, &req) {
+			return
+		}
+		resp, err := srv.Query(r.Context(), &req)
 		if err != nil {
 			writeServiceError(w, err)
 			return

@@ -1,10 +1,13 @@
 // crossdbms demonstrates LANTERN's vendor portability (the property NEURON
 // lacks, paper US 5): the same SDSS query is narrated from a
-// PostgreSQL-style JSON plan, a SQL-Server-style XML showplan, and a
-// MySQL-style EXPLAIN FORMAT=JSON document — three operator vocabularies,
-// one declarative POEM store, one pluggable dialect registry. It then uses
-// POOL's UPDATE/REPLACE statements to transfer descriptions to DB2's
-// operators, exactly as §4.2's examples do.
+// PostgreSQL-style JSON plan, a SQL-Server-style XML showplan, a
+// MySQL-style EXPLAIN FORMAT=JSON document, and the engine's native plan
+// serialization — four operator vocabularies, one declarative POEM store,
+// one pluggable dialect registry. It then executes the query through the
+// direct engine↔plan bridge to narrate what *actually* happened (actual
+// row counts and optimizer mis-estimates), and finally uses POOL's
+// UPDATE/REPLACE statements to transfer descriptions to DB2's operators,
+// exactly as §4.2's examples do.
 package main
 
 import (
@@ -57,6 +60,21 @@ func main() {
 		}
 		fmt.Print(nar.Text(), "\n")
 	}
+
+	// --- Narrating what actually happened ------------------------------------
+	// The native bridge skips serialization entirely: execute with
+	// instrumentation, bridge the plan with its actuals, narrate.
+	qr, err := eng.QueryInstrumented(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	actualTree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
+	nar, err := rl.Narrate(actualTree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("--- native with actuals (%d rows in %.3f ms):\n%s\n",
+		len(qr.Result.Rows), float64(qr.Elapsed)/1e6, nar.Text())
 
 	// --- NEURON cannot follow -------------------------------------------------
 	msTree, err := plan.Parse("sqlserver", mustExplain(eng, "XML", query))

@@ -22,6 +22,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strconv"
 	"strings"
 
 	"lantern/internal/lot"
@@ -106,6 +108,9 @@ func (rl *RuleLantern) NarrateLOT(lt *lot.Tree) (*Narration, error) {
 	nar := &Narration{Source: lt.Source}
 	for _, node := range lt.Steps {
 		text := NodeSentence(node)
+		if ac := ActualsClause(node.Plan); ac != "" {
+			text += " " + ac
+		}
 		switch {
 		case node.Parent == nil:
 			text += " to get the final results."
@@ -179,6 +184,74 @@ func nodeValues(node *lot.Node) map[string]string {
 		vals["cond"] = p.Attr(plan.AttrFilter)
 	}
 	return vals
+}
+
+// MisEstimateFactor is the estimate-vs-actual ratio beyond which a
+// narration calls out the optimizer's mis-estimate. Smaller gaps are
+// normal statistical noise and would train learners to ignore the callout.
+const MisEstimateFactor = 4.0
+
+// ActualsClause renders the runtime-statistics aside for a narrated node
+// when the plan carries actual-stats attributes (an EXPLAIN ANALYZE
+// document or a tree bridged from an instrumented execution): the actual
+// row count, the loop count when the operator restarted, and — when
+// estimate and actual are both present and disagree by at least
+// MisEstimateFactor — the mis-estimate, with direction and magnitude.
+// Wall time is deliberately not narrated: it varies run to run, and
+// keeping it out makes the narration a pure function of the
+// fingerprint-keyed plan (see plan.AttrTimeMs).
+func ActualsClause(p *plan.Node) string {
+	raw := p.Attr(plan.AttrActualRows)
+	if raw == "" {
+		return ""
+	}
+	actual, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("(this step actually produced ")
+	sb.WriteString(raw)
+	if actual == 1 {
+		sb.WriteString(" row")
+	} else {
+		sb.WriteString(" rows")
+	}
+	// The estimate is per execution while AttrActualRows totals across
+	// all loops, so compare per-loop actuals — otherwise a perfectly
+	// estimated inner side rescanned N times would read as an N-fold
+	// underestimate.
+	perLoop := actual
+	if loops, err := strconv.ParseFloat(p.Attr(plan.AttrLoops), 64); err == nil && loops > 1 {
+		fmt.Fprintf(&sb, " across %s loops", p.Attr(plan.AttrLoops))
+		perLoop = actual / loops
+	}
+	if note := misEstimateNote(p.Rows, perLoop); note != "" {
+		sb.WriteString("; ")
+		sb.WriteString(note)
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// misEstimateNote describes an optimizer mis-estimate of at least
+// MisEstimateFactor in either direction, or "" when the estimate is
+// absent or close enough. The threshold test uses add-one smoothing so
+// zero-row actuals stay comparable, but the *displayed* magnitude is the
+// raw ratio — smoothing would understate small-estimate gaps, exactly the
+// cases the callout exists to teach (est 1 vs actual 99 is 99x, not 50x).
+func misEstimateNote(est, actual float64) string {
+	if est <= 0 {
+		return ""
+	}
+	smoothed := (actual + 1) / (est + 1)
+	switch {
+	case smoothed >= MisEstimateFactor:
+		return fmt.Sprintf("the optimizer expected only %.0f, a %.1fx underestimate", est, actual/est)
+	case smoothed <= 1/MisEstimateFactor:
+		return fmt.Sprintf("the optimizer expected %.0f, a %.1fx overestimate", est, est/math.Max(actual, 1))
+	}
+	return ""
 }
 
 // relationDisplay shows the base relation, keeping the query's alias

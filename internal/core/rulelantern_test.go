@@ -283,3 +283,71 @@ CREATE TABLE b (y INTEGER, q VARCHAR(5));`); err != nil {
 		t.Errorf("merge join narration should sort both inputs:\n%s", text)
 	}
 }
+
+// TestNarrateActuals: a tree bridged from an instrumented execution
+// narrates the actual row counts, and a large estimate-vs-actual gap is
+// called out with direction and magnitude.
+func TestNarrateActuals(t *testing.T) {
+	e := dblpEngine(t)
+	qr, err := e.QueryInstrumented("SELECT author FROM inproceedings WHERE proceeding_key = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
+	nar, err := NewRuleLantern(pool.NewSeededStore()).Narrate(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := nar.Text()
+	if !strings.Contains(text, "actually produced 5 rows") {
+		t.Errorf("narration lacks the actual row count:\n%s", text)
+	}
+	// The same plan without stats narrates exactly as before — no clause.
+	plain, err := NewRuleLantern(pool.NewSeededStore()).Narrate(engine.ToPlanNode(qr.Plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.Text(), "actually produced") {
+		t.Errorf("uninstrumented narration grew an actuals clause:\n%s", plain.Text())
+	}
+}
+
+// TestActualsClauseMisEstimate exercises the callout thresholds directly.
+func TestActualsClauseMisEstimate(t *testing.T) {
+	mk := func(est float64, actual string) *plan.Node {
+		n := &plan.Node{Name: "Seq Scan", Source: "native", Rows: est}
+		n.SetAttr(plan.AttrRelation, "t")
+		n.SetAttr(plan.AttrActualRows, actual)
+		n.SetAttr(plan.AttrLoops, "1")
+		return n
+	}
+	if got := ActualsClause(mk(10, "499")); !strings.Contains(got, "underestimate") {
+		t.Errorf("50x gap not called out as underestimate: %q", got)
+	}
+	if got := ActualsClause(mk(400, "3")); !strings.Contains(got, "overestimate") {
+		t.Errorf("100x gap not called out as overestimate: %q", got)
+	}
+	if got := ActualsClause(mk(10, "12")); strings.Contains(got, "estimate") {
+		t.Errorf("near-match should not be called out: %q", got)
+	}
+	if got := ActualsClause(mk(2, "1")); !strings.Contains(got, "1 row)") {
+		t.Errorf("singular form wrong: %q", got)
+	}
+	loopy := mk(10, "12")
+	loopy.SetAttr(plan.AttrLoops, "3")
+	if got := ActualsClause(loopy); !strings.Contains(got, "across 3 loops") {
+		t.Errorf("loop count missing: %q", got)
+	}
+	// A perfectly-estimated operator rescanned many times must not read
+	// as a mis-estimate: the total is divided by loops before comparing.
+	perfect := mk(50, "5000")
+	perfect.SetAttr(plan.AttrLoops, "100")
+	if got := ActualsClause(perfect); strings.Contains(got, "estimate") {
+		t.Errorf("loop count misread as a mis-estimate: %q", got)
+	}
+	// The displayed magnitude is the raw ratio, not the smoothed one used
+	// for the threshold: est 1 vs actual 99 is a 99x gap, not 50x.
+	if got := ActualsClause(mk(1, "99")); !strings.Contains(got, "99.0x underestimate") {
+		t.Errorf("displayed factor should be the raw ratio: %q", got)
+	}
+}

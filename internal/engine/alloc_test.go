@@ -90,6 +90,44 @@ func TestHashJoinProbeAllocs(t *testing.T) {
 	}
 }
 
+// TestInstrumentationDisabledAllocs: the instrumentation seam must be
+// invisible when disabled. The default build path (nil wrap hook) produces
+// no wrapper objects — the root of a scan plan is the scan iterator
+// itself, not an instrIter — and the hot Next() path stays at 0 allocs/row
+// exactly as before the bridge landed.
+func TestInstrumentationDisabledAllocs(t *testing.T) {
+	e := allocDB(t)
+	plan, err := e.PlanSQL("SELECT o_orderkey FROM orders WHERE o_totalprice > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildIter(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	if _, wrapped := it.(*instrIter); wrapped {
+		t.Fatal("default build path wrapped the root operator in an instrIter")
+	}
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		_, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			if err := it.Open(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("uninstrumented Next allocates %.2f allocs/row, want 0", avg)
+	}
+}
+
 // TestTopKPushAllocs: once the heap is full, pushing rows — whether they
 // displace the current worst or are dropped — allocates nothing.
 func TestTopKPushAllocs(t *testing.T) {

@@ -1,0 +1,218 @@
+package engine
+
+// bridge.go is the native engine↔plan bridge: it converts the engine's
+// physical plan directly into the vendor-neutral plan.Node tree the
+// narrator consumes (no EXPLAIN-text round-trip), and provides the opt-in
+// iterator instrumentation that annotates that tree with per-operator
+// runtime statistics — PostgreSQL's EXPLAIN ANALYZE semantics.
+//
+// The instrumentation contract:
+//
+//   - Collection is opt-in per execution. The normal path (Engine.Exec,
+//     execStream) builds iterators with a nil wrap hook, so a disabled run
+//     pays zero extra allocations and zero extra branches per row — the
+//     pipeline is the identical object graph the allocation guards in
+//     alloc_test.go measure.
+//   - When enabled (ExecPlanInstrumented, QueryInstrumented, EXPLAIN
+//     ANALYZE), every plan operator's iterator is wrapped in an instrIter
+//     that counts Open calls (loops), rows returned by Next (actual rows),
+//     and inclusive wall time spent inside Open/Next — inclusive meaning a
+//     parent's time contains its children's, exactly as PostgreSQL reports
+//     actual time.
+//   - Actual rows are totals across all loops, matching EXPLAIN ANALYZE;
+//     pass-through operators (Hash, Materialize) get their own wrapper, so
+//     a Hash node reports the build-side row count.
+//   - Wall time is the only non-deterministic statistic; the plan layer
+//     excludes AttrTimeMs from the canonical serialization so
+//     actuals-annotated plans remain cacheable by fingerprint.
+
+import (
+	"strconv"
+	"strings"
+	"time"
+
+	"lantern/internal/plan"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// OpStats is the runtime statistics of one plan operator.
+type OpStats struct {
+	// Rows is the total number of rows the operator produced across all
+	// loops.
+	Rows int64
+	// Loops counts how many times the operator was (re)started (Open
+	// calls).
+	Loops int64
+	// Time is the inclusive wall time spent in the operator's Open and
+	// Next calls, children included.
+	Time time.Duration
+}
+
+// ExecStats maps each plan node to its collected runtime statistics. A nil
+// map means "no instrumentation".
+type ExecStats map[*Node]*OpStats
+
+// instrIter decorates one operator iterator with statistics collection.
+type instrIter struct {
+	child rowIter
+	st    *OpStats
+}
+
+func (it *instrIter) Open() error {
+	it.st.Loops++
+	start := time.Now()
+	err := it.child.Open()
+	it.st.Time += time.Since(start)
+	return err
+}
+
+func (it *instrIter) Next() (storage.Row, bool, error) {
+	start := time.Now()
+	r, ok, err := it.child.Next()
+	it.st.Time += time.Since(start)
+	if ok {
+		it.st.Rows++
+	}
+	return r, ok, err
+}
+
+func (it *instrIter) Close() error { return it.child.Close() }
+
+// ExecPlanInstrumented runs a physical plan through the streaming executor
+// with per-operator instrumentation enabled, returning the result rows and
+// the collected statistics.
+func (e *Engine) ExecPlanInstrumented(n *Node) ([]storage.Row, ExecStats, error) {
+	st := make(ExecStats)
+	b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
+		os := st[pn]
+		if os == nil {
+			os = &OpStats{}
+			st[pn] = os
+		}
+		return &instrIter{child: it, st: os}
+	}}
+	it, err := b.build(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, nil, err
+	}
+	var out []storage.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return out, st, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// QueryResult bundles an executed, projected SELECT with the physical plan
+// that produced it and the plan's runtime statistics — everything the
+// serving layer's /v1/query path needs in one call.
+type QueryResult struct {
+	Result  *Result
+	Plan    *Node
+	Stats   ExecStats
+	Elapsed time.Duration
+}
+
+// QueryInstrumented parses, plans, and executes a SELECT with runtime
+// instrumentation, then projects the final output columns.
+func (e *Engine) QueryInstrumented(sql string) (*QueryResult, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rows, st, err := e.ExecPlanInstrumented(pl)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.project(sel, pl, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryResult{Result: res, Plan: pl, Stats: st, Elapsed: elapsed}, nil
+}
+
+// ToPlanNode converts a physical plan directly into the vendor-neutral
+// operator tree (Source "native") without serializing to any EXPLAIN
+// format. The emitted names and attributes match what parsing the
+// engine's own PostgreSQL-style EXPLAIN JSON would produce, so narrations
+// are identical whichever path a plan took — the differential test in
+// bridge_test.go pins this.
+func ToPlanNode(n *Node) *plan.Node { return ToPlanNodeStats(n, nil) }
+
+// ToPlanNodeStats is ToPlanNode plus actual-stats annotation: when st has
+// an entry for a node, the standardized AttrActualRows / AttrLoops /
+// AttrTimeMs attributes are attached. st may be nil.
+func ToPlanNodeStats(n *Node, st ExecStats) *plan.Node {
+	if n == nil {
+		return nil
+	}
+	p := &plan.Node{
+		Name:   n.Op.Name(),
+		Source: "native",
+		Rows:   n.EstRows,
+		Cost:   round2(n.EstCost),
+	}
+	switch n.Op {
+	case OpSeqScan:
+		p.SetAttr(plan.AttrRelation, n.Relation)
+		p.SetAttr(plan.AttrAlias, aliasOr(n))
+		p.SetAttr(plan.AttrFilter, condText(n.Filter))
+	case OpIndexScan:
+		p.SetAttr(plan.AttrRelation, n.Relation)
+		p.SetAttr(plan.AttrAlias, aliasOr(n))
+		p.SetAttr(plan.AttrIndexName, n.IndexName)
+		p.SetAttr(plan.AttrIndexCond, condText(n.IndexCond))
+		p.SetAttr(plan.AttrFilter, condText(n.Filter))
+	case OpHashJoin, OpMergeJoin, OpNestedLoop:
+		p.SetAttr(plan.AttrJoinCond, condText(n.JoinCond))
+		p.SetAttr(plan.AttrFilter, condText(n.Filter))
+		if n.JoinType == sqlparser.LeftJoin {
+			p.SetAttr("jointype", "Left")
+		}
+	case OpSort, OpUnique:
+		p.SetAttr(plan.AttrSortKey, strings.Join(sortKeyTexts(n.SortKeys), ", "))
+	case OpAggregate, OpHashAggregate, OpGroupAggregate:
+		p.SetAttr(plan.AttrGroupKey, strings.Join(groupKeyTexts(n.GroupKeys), ", "))
+		p.SetAttr(plan.AttrFilter, condText(n.HavingFilter))
+		switch n.Op {
+		case OpAggregate:
+			p.SetAttr(plan.AttrStrategy, "Plain")
+		case OpHashAggregate:
+			p.SetAttr(plan.AttrStrategy, "Hashed")
+		case OpGroupAggregate:
+			p.SetAttr(plan.AttrStrategy, "Sorted")
+		}
+	}
+	if os := st[n]; os != nil {
+		p.SetAttr(plan.AttrActualRows, strconv.FormatInt(os.Rows, 10))
+		p.SetAttr(plan.AttrLoops, strconv.FormatInt(os.Loops, 10))
+		p.SetAttr(plan.AttrTimeMs, strconv.FormatFloat(float64(os.Time)/float64(time.Millisecond), 'f', 3, 64))
+	}
+	for _, c := range n.Children {
+		p.Children = append(p.Children, ToPlanNodeStats(c, st))
+	}
+	return p
+}
+
+// ExplainNative serializes the plan in the engine's native dialect — the
+// lossless JSON rendering of the bridged tree, including actual-stats
+// attributes when st is non-nil. plan.ParseNativeJSON inverts it exactly.
+func ExplainNative(n *Node, st ExecStats) (string, error) {
+	return plan.FormatNative(ToPlanNodeStats(n, st))
+}

@@ -54,6 +54,33 @@
 // not apply when a cardinality-changing operator (Unique, aggregation)
 // sits between the Sort and the Limit.
 //
+// # Native plan bridge and instrumentation
+//
+// The engine's plans reach the narrator directly through the native
+// bridge (bridge.go): ToPlanNode converts a physical plan into the
+// vendor-neutral plan.Node tree with Source "native" and no EXPLAIN-text
+// round-trip, and ExplainNative serializes that tree in the registered
+// "native" dialect. The bridge is pinned against the legacy path — the
+// differential test asserts ToPlanNode is structurally equal to parsing
+// the engine's own EXPLAIN (FORMAT JSON) output.
+//
+// Runtime instrumentation is opt-in per execution and follows EXPLAIN
+// ANALYZE semantics:
+//
+//   - Disabled (the default): iterators are built with a nil wrap hook.
+//     No wrapper objects exist, no counters are touched — zero extra
+//     allocations and zero extra branches per row. The allocation guards
+//     in alloc_test.go enforce this.
+//   - Enabled (ExecPlanInstrumented, QueryInstrumented, or the EXPLAIN
+//     ANALYZE statement): every operator's iterator is wrapped in an
+//     instrIter collecting actual rows (totals across all loops), loops
+//     (Open calls), and inclusive wall time — a parent's time contains
+//     its children's, as PostgreSQL reports it.
+//
+// Collected stats annotate bridged trees via the standardized attrs
+// AttrActualRows / AttrLoops / AttrTimeMs; wall time is the only
+// non-deterministic one and is excluded from plan fingerprints.
+//
 // # Reference executor
 //
 // The original materialize-everything executor (executor.go) is retained

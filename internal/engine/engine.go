@@ -345,16 +345,30 @@ func (e *Engine) runExplain(s *sqlparser.ExplainStmt) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// ANALYZE executes the query with instrumentation and annotates the
+	// serialized plan with the collected actuals (rows, loops, wall time).
+	var st ExecStats
+	if s.Analyze {
+		switch s.Format {
+		case sqlparser.ExplainXML, sqlparser.ExplainMySQL:
+			return nil, fmt.Errorf("engine: EXPLAIN ANALYZE supports the TEXT, JSON and NATIVE formats")
+		}
+		if _, st, err = e.ExecPlanInstrumented(plan); err != nil {
+			return nil, err
+		}
+	}
 	var text string
 	switch s.Format {
 	case sqlparser.ExplainJSON:
-		text, err = ExplainJSON(plan)
+		text, err = ExplainJSONStats(plan, st)
 	case sqlparser.ExplainXML:
 		text, err = ExplainXML(plan)
 	case sqlparser.ExplainMySQL:
 		text, err = ExplainMySQL(plan)
+	case sqlparser.ExplainNative:
+		text, err = ExplainNative(plan, st)
 	default:
-		text = ExplainText(plan)
+		text = explainTextStats(plan, st)
 	}
 	if err != nil {
 		return nil, err

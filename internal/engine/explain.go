@@ -58,20 +58,29 @@ func groupKeyTexts(keys []sqlparser.Expr) []string {
 // --- Text format (PostgreSQL-style) ---------------------------------------
 
 // ExplainText renders the plan in PostgreSQL's text EXPLAIN format.
-func ExplainText(n *Node) string {
+func ExplainText(n *Node) string { return explainTextStats(n, nil) }
+
+// explainTextStats is ExplainText with optional EXPLAIN ANALYZE actuals
+// appended per node, PostgreSQL-style.
+func explainTextStats(n *Node, st ExecStats) string {
 	var sb strings.Builder
-	explainTextNode(&sb, n, 0, false)
+	explainTextNode(&sb, n, st, 0, false)
 	return sb.String()
 }
 
-func explainTextNode(sb *strings.Builder, n *Node, depth int, arrow bool) {
+func explainTextNode(sb *strings.Builder, n *Node, st ExecStats, depth int, arrow bool) {
 	indent := strings.Repeat("      ", depth)
 	if arrow {
 		sb.WriteString(indent)
 		sb.WriteString("->  ")
 	}
 	sb.WriteString(headline(n))
-	fmt.Fprintf(sb, "  (cost=%.2f rows=%.0f)\n", n.EstCost, n.EstRows)
+	fmt.Fprintf(sb, "  (cost=%.2f rows=%.0f)", n.EstCost, n.EstRows)
+	if os := st[n]; os != nil {
+		fmt.Fprintf(sb, " (actual time=%.3f rows=%d loops=%d)",
+			float64(os.Time)/1e6, os.Rows, os.Loops)
+	}
+	sb.WriteString("\n")
 	detail := func(label, text string) {
 		if text == "" {
 			return
@@ -105,7 +114,7 @@ func explainTextNode(sb *strings.Builder, n *Node, depth int, arrow bool) {
 		detail("Filter", condText(n.Filter))
 	}
 	for _, c := range n.Children {
-		explainTextNode(sb, c, depth+1, true)
+		explainTextNode(sb, c, st, depth+1, true)
 	}
 }
 
@@ -134,29 +143,39 @@ func headline(n *Node) string {
 
 // jsonPlan mirrors the shape of PostgreSQL's EXPLAIN (FORMAT JSON) output.
 type jsonPlan struct {
-	NodeType     string      `json:"Node Type"`
-	JoinType     string      `json:"Join Type,omitempty"`
-	Strategy     string      `json:"Strategy,omitempty"`
-	RelationName string      `json:"Relation Name,omitempty"`
-	Alias        string      `json:"Alias,omitempty"`
-	IndexName    string      `json:"Index Name,omitempty"`
-	IndexCond    string      `json:"Index Cond,omitempty"`
-	HashCond     string      `json:"Hash Cond,omitempty"`
-	MergeCond    string      `json:"Merge Cond,omitempty"`
-	JoinFilter   string      `json:"Join Filter,omitempty"`
-	Filter       string      `json:"Filter,omitempty"`
-	SortKey      []string    `json:"Sort Key,omitempty"`
-	GroupKey     []string    `json:"Group Key,omitempty"`
-	StartupCost  float64     `json:"Startup Cost"`
-	TotalCost    float64     `json:"Total Cost"`
-	PlanRows     float64     `json:"Plan Rows"`
-	Plans        []*jsonPlan `json:"Plans,omitempty"`
+	NodeType     string   `json:"Node Type"`
+	JoinType     string   `json:"Join Type,omitempty"`
+	Strategy     string   `json:"Strategy,omitempty"`
+	RelationName string   `json:"Relation Name,omitempty"`
+	Alias        string   `json:"Alias,omitempty"`
+	IndexName    string   `json:"Index Name,omitempty"`
+	IndexCond    string   `json:"Index Cond,omitempty"`
+	HashCond     string   `json:"Hash Cond,omitempty"`
+	MergeCond    string   `json:"Merge Cond,omitempty"`
+	JoinFilter   string   `json:"Join Filter,omitempty"`
+	Filter       string   `json:"Filter,omitempty"`
+	SortKey      []string `json:"Sort Key,omitempty"`
+	GroupKey     []string `json:"Group Key,omitempty"`
+	StartupCost  float64  `json:"Startup Cost"`
+	TotalCost    float64  `json:"Total Cost"`
+	PlanRows     float64  `json:"Plan Rows"`
+	// EXPLAIN ANALYZE actuals, present only on instrumented plans.
+	ActualRows  *float64    `json:"Actual Rows,omitempty"`
+	ActualLoops *float64    `json:"Actual Loops,omitempty"`
+	ActualTime  *float64    `json:"Actual Total Time,omitempty"`
+	Plans       []*jsonPlan `json:"Plans,omitempty"`
 }
 
 // ExplainJSON renders the plan in PostgreSQL's JSON EXPLAIN format:
 // a one-element array holding {"Plan": {...}}.
-func ExplainJSON(n *Node) (string, error) {
-	doc := []map[string]*jsonPlan{{"Plan": toJSONPlan(n)}}
+func ExplainJSON(n *Node) (string, error) { return ExplainJSONStats(n, nil) }
+
+// ExplainJSONStats is ExplainJSON with EXPLAIN ANALYZE actual-stats fields
+// (Actual Rows / Actual Loops / Actual Total Time) attached per node when
+// st is non-nil — the same fields PostgreSQL emits, which the pg plan
+// frontend maps onto the standardized actual-stats attrs.
+func ExplainJSONStats(n *Node, st ExecStats) (string, error) {
+	doc := []map[string]*jsonPlan{{"Plan": toJSONPlan(n, st)}}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return "", err
@@ -164,7 +183,7 @@ func ExplainJSON(n *Node) (string, error) {
 	return string(b), nil
 }
 
-func toJSONPlan(n *Node) *jsonPlan {
+func toJSONPlan(n *Node, st ExecStats) *jsonPlan {
 	jp := &jsonPlan{
 		NodeType:  n.Op.Name(),
 		TotalCost: round2(n.EstCost),
@@ -209,8 +228,21 @@ func toJSONPlan(n *Node) *jsonPlan {
 		jp.GroupKey = groupKeyTexts(n.GroupKeys)
 		jp.Filter = condText(n.HavingFilter)
 	}
+	if os := st[n]; os != nil {
+		// PostgreSQL's JSON reports Actual Rows / Actual Total Time as
+		// per-loop averages; emit the same semantics so the pg frontend
+		// (which scales them back up by the loop count) reads either a
+		// real PostgreSQL document or ours identically.
+		loops := float64(os.Loops)
+		if loops <= 0 {
+			loops = 1
+		}
+		rows := float64(os.Rows) / loops
+		timeMs := float64(os.Time) / 1e6 / loops
+		jp.ActualRows, jp.ActualLoops, jp.ActualTime = &rows, &loops, &timeMs
+	}
 	for _, c := range n.Children {
-		jp.Plans = append(jp.Plans, toJSONPlan(c))
+		jp.Plans = append(jp.Plans, toJSONPlan(c, st))
 	}
 	return jp
 }

@@ -62,35 +62,65 @@ func (e *Engine) execStream(n *Node) ([]storage.Row, error) {
 }
 
 // buildIter constructs the iterator tree for a plan node, binding all
-// expressions against the operator schemas.
+// expressions against the operator schemas. This is the uninstrumented
+// fast path: no wrap hook, so the built pipeline is byte-for-byte the one
+// the allocation guards measure.
 func (e *Engine) buildIter(n *Node) (rowIter, error) {
+	return (&ibuild{e: e}).build(n)
+}
+
+// ibuild carries per-construction state through iterator building. The
+// optional wrap hook decorates every operator iterator as it is built —
+// the instrumentation seam (bridge.go) — and is nil on the normal path,
+// where construction and execution are identical to a hookless build.
+type ibuild struct {
+	e    *Engine
+	wrap func(n *Node, it rowIter) rowIter
+}
+
+// build constructs the iterator for n and applies the wrap hook, if any.
+func (b *ibuild) build(n *Node) (rowIter, error) {
+	it, err := b.buildOp(n)
+	if err != nil {
+		return nil, err
+	}
+	if b.wrap != nil {
+		it = b.wrap(n, it)
+	}
+	return it, nil
+}
+
+func (b *ibuild) buildOp(n *Node) (rowIter, error) {
 	switch n.Op {
 	case OpSeqScan:
-		return e.newSeqScanIter(n)
+		return b.newSeqScanIter(n)
 	case OpIndexScan:
-		return e.newIndexScanIter(n)
+		return b.newIndexScanIter(n)
 	case OpHash, OpMaterialize:
-		return e.buildIter(n.Children[0])
+		// Pass-through operators reuse the child iterator; under
+		// instrumentation they still get their own wrapper, so Hash nodes
+		// report the build-side row count just like PostgreSQL's ANALYZE.
+		return b.build(n.Children[0])
 	case OpHashJoin:
-		return e.newHashJoinIter(n)
+		return b.newHashJoinIter(n)
 	case OpMergeJoin:
-		return e.newMergeJoinIter(n)
+		return b.newMergeJoinIter(n)
 	case OpNestedLoop:
-		return e.newNestedLoopIter(n)
+		return b.newNestedLoopIter(n)
 	case OpSort:
-		return e.newSortIter(n)
+		return b.newSortIter(n)
 	case OpAggregate, OpHashAggregate, OpGroupAggregate:
-		return e.newAggIter(n)
+		return b.newAggIter(n)
 	case OpUnique:
-		return e.newUniqueIter(n)
+		return b.newUniqueIter(n)
 	case OpLimit:
-		child, err := e.buildIter(n.Children[0])
+		child, err := b.build(n.Children[0])
 		if err != nil {
 			return nil, err
 		}
 		return &limitIter{child: child, limit: n.Limit, offset: n.Offset}, nil
 	case OpResult:
-		return e.newResultIter(n)
+		return b.newResultIter(n)
 	}
 	return nil, fmt.Errorf("engine: cannot execute operator %s", n.Op.Name())
 }
@@ -104,14 +134,14 @@ type seqScanIter struct {
 	pos    int
 }
 
-func (e *Engine) newSeqScanIter(n *Node) (*seqScanIter, error) {
-	t, err := e.Cat.Table(n.Relation)
+func (b *ibuild) newSeqScanIter(n *Node) (*seqScanIter, error) {
+	t, err := b.e.Cat.Table(n.Relation)
 	if err != nil {
 		return nil, err
 	}
 	it := &seqScanIter{rows: t.Rows}
 	if n.Filter != nil {
-		if it.filter, err = bindExpr(n.Filter, n.Schema, e.subquery); err != nil {
+		if it.filter, err = bindExpr(n.Filter, n.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -154,8 +184,8 @@ type indexScanIter struct {
 	pos     int
 }
 
-func (e *Engine) newIndexScanIter(n *Node) (*indexScanIter, error) {
-	t, err := e.Cat.Table(n.Relation)
+func (b *ibuild) newIndexScanIter(n *Node) (*indexScanIter, error) {
+	t, err := b.e.Cat.Table(n.Relation)
 	if err != nil {
 		return nil, err
 	}
@@ -163,9 +193,9 @@ func (e *Engine) newIndexScanIter(n *Node) (*indexScanIter, error) {
 	// (cheap, and keeps multi-conjunct conditions exact when the scan
 	// bounds only captured part of them) — mirrors the reference executor.
 	combined := sqlparser.JoinConjuncts(append(sqlparser.SplitConjuncts(n.IndexCond), sqlparser.SplitConjuncts(n.Filter)...))
-	it := &indexScanIter{eng: e, n: n, heap: t.Rows}
+	it := &indexScanIter{eng: b.e, n: n, heap: t.Rows}
 	if combined != nil {
-		if it.recheck, err = bindExpr(combined, n.Schema, e.subquery); err != nil {
+		if it.recheck, err = bindExpr(combined, n.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -282,7 +312,7 @@ type hashJoinIter struct {
 	matched     bool
 }
 
-func (e *Engine) newHashJoinIter(n *Node) (*hashJoinIter, error) {
+func (b *ibuild) newHashJoinIter(n *Node) (*hashJoinIter, error) {
 	probeNode, hashNode := n.Children[0], n.Children[1]
 	probeKeyExprs, buildKeyExprs, residual := joinKeyPairs(n.JoinCond, probeNode.Schema)
 	if len(probeKeyExprs) == 0 {
@@ -293,27 +323,27 @@ func (e *Engine) newHashJoinIter(n *Node) (*hashJoinIter, error) {
 		leftOuter: n.JoinType == sqlparser.LeftJoin,
 	}
 	var err error
-	if it.probe, err = e.buildIter(probeNode); err != nil {
+	if it.probe, err = b.build(probeNode); err != nil {
 		return nil, err
 	}
-	if it.build, err = e.buildIter(hashNode); err != nil {
+	if it.build, err = b.build(hashNode); err != nil {
 		return nil, err
 	}
-	if it.probeKeys, err = bindExprs(probeKeyExprs, probeNode.Schema, e.subquery); err != nil {
+	if it.probeKeys, err = bindExprs(probeKeyExprs, probeNode.Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
-	if it.buildKeys, err = bindExprs(buildKeyExprs, hashNode.Schema, e.subquery); err != nil {
+	if it.buildKeys, err = bindExprs(buildKeyExprs, hashNode.Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
 	// n.Schema is always probe schema followed by build schema (see
 	// planner buildJoin), so pair binding matches the output row layout.
 	if cond := sqlparser.JoinConjuncts(residual); cond != nil {
-		if it.residual, err = bindPairExpr(cond, probeNode.Schema, hashNode.Schema, e.subquery); err != nil {
+		if it.residual, err = bindPairExpr(cond, probeNode.Schema, hashNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
 	if n.Filter != nil {
-		if it.outFilter, err = bindPairExpr(n.Filter, probeNode.Schema, hashNode.Schema, e.subquery); err != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, probeNode.Schema, hashNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -485,23 +515,23 @@ type nestedLoopIter struct {
 	matched  bool
 }
 
-func (e *Engine) newNestedLoopIter(n *Node) (*nestedLoopIter, error) {
+func (b *ibuild) newNestedLoopIter(n *Node) (*nestedLoopIter, error) {
 	outerNode, innerNode := n.Children[0], n.Children[1]
 	it := &nestedLoopIter{leftOuter: n.JoinType == sqlparser.LeftJoin}
 	var err error
-	if it.outer, err = e.buildIter(outerNode); err != nil {
+	if it.outer, err = b.build(outerNode); err != nil {
 		return nil, err
 	}
-	if it.innerSrc, err = e.buildIter(innerNode); err != nil {
+	if it.innerSrc, err = b.build(innerNode); err != nil {
 		return nil, err
 	}
 	if n.JoinCond != nil {
-		if it.cond, err = bindPairExpr(n.JoinCond, outerNode.Schema, innerNode.Schema, e.subquery); err != nil {
+		if it.cond, err = bindPairExpr(n.JoinCond, outerNode.Schema, innerNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
 	if n.Filter != nil {
-		if it.outFilter, err = bindPairExpr(n.Filter, outerNode.Schema, innerNode.Schema, e.subquery); err != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, outerNode.Schema, innerNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -617,7 +647,7 @@ type mergeJoinIter struct {
 	env          rowEnv
 }
 
-func (e *Engine) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
+func (b *ibuild) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
 	leftNode, rightNode := n.Children[0], n.Children[1]
 	lKeyExprs, rKeyExprs, residual := joinKeyPairs(n.JoinCond, leftNode.Schema)
 	if len(lKeyExprs) == 0 {
@@ -625,25 +655,25 @@ func (e *Engine) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
 	}
 	it := &mergeJoinIter{nKeys: len(lKeyExprs)}
 	var err error
-	if it.left, err = e.buildIter(leftNode); err != nil {
+	if it.left, err = b.build(leftNode); err != nil {
 		return nil, err
 	}
-	if it.right, err = e.buildIter(rightNode); err != nil {
+	if it.right, err = b.build(rightNode); err != nil {
 		return nil, err
 	}
-	if it.lKeyExprs, err = bindExprs(lKeyExprs, leftNode.Schema, e.subquery); err != nil {
+	if it.lKeyExprs, err = bindExprs(lKeyExprs, leftNode.Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
-	if it.rKeyExprs, err = bindExprs(rKeyExprs, rightNode.Schema, e.subquery); err != nil {
+	if it.rKeyExprs, err = bindExprs(rKeyExprs, rightNode.Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
 	if cond := sqlparser.JoinConjuncts(residual); cond != nil {
-		if it.residual, err = bindPairExpr(cond, leftNode.Schema, rightNode.Schema, e.subquery); err != nil {
+		if it.residual, err = bindPairExpr(cond, leftNode.Schema, rightNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
 	if n.Filter != nil {
-		if it.outFilter, err = bindPairExpr(n.Filter, leftNode.Schema, rightNode.Schema, e.subquery); err != nil {
+		if it.outFilter, err = bindPairExpr(n.Filter, leftNode.Schema, rightNode.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -817,10 +847,10 @@ type sortIter struct {
 	pos   int
 }
 
-func (e *Engine) newSortIter(n *Node) (*sortIter, error) {
+func (b *ibuild) newSortIter(n *Node) (*sortIter, error) {
 	it := &sortIter{topK: n.SortLimit}
 	var err error
-	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+	if it.child, err = b.build(n.Children[0]); err != nil {
 		return nil, err
 	}
 	exprs := make([]sqlparser.Expr, len(n.SortKeys))
@@ -829,7 +859,7 @@ func (e *Engine) newSortIter(n *Node) (*sortIter, error) {
 		exprs[i] = k.Expr
 		it.desc[i] = k.Desc
 	}
-	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, e.subquery); err != nil {
+	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
 	return it, nil
@@ -1042,14 +1072,14 @@ type aggIter struct {
 	pos       int
 }
 
-func (e *Engine) newAggIter(n *Node) (*aggIter, error) {
+func (b *ibuild) newAggIter(n *Node) (*aggIter, error) {
 	childSchema := n.Children[0].Schema
 	it := &aggIter{aggs: n.Aggs, plain: len(n.GroupKeys) == 0}
 	var err error
-	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+	if it.child, err = b.build(n.Children[0]); err != nil {
 		return nil, err
 	}
-	if it.groupKeys, err = bindExprs(n.GroupKeys, childSchema, e.subquery); err != nil {
+	if it.groupKeys, err = bindExprs(n.GroupKeys, childSchema, b.e.subquery); err != nil {
 		return nil, err
 	}
 	it.aggArgs = make([]boundExpr, len(n.Aggs))
@@ -1057,12 +1087,12 @@ func (e *Engine) newAggIter(n *Node) (*aggIter, error) {
 		if a.Call.Star {
 			continue
 		}
-		if it.aggArgs[i], err = bindExpr(a.Call.Args[0], childSchema, e.subquery); err != nil {
+		if it.aggArgs[i], err = bindExpr(a.Call.Args[0], childSchema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
 	if n.HavingFilter != nil {
-		if it.having, err = bindExpr(n.HavingFilter, n.Schema, e.subquery); err != nil {
+		if it.having, err = bindExpr(n.HavingFilter, n.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -1182,17 +1212,17 @@ type uniqueIter struct {
 	env   rowEnv
 }
 
-func (e *Engine) newUniqueIter(n *Node) (*uniqueIter, error) {
+func (b *ibuild) newUniqueIter(n *Node) (*uniqueIter, error) {
 	it := &uniqueIter{}
 	var err error
-	if it.child, err = e.buildIter(n.Children[0]); err != nil {
+	if it.child, err = b.build(n.Children[0]); err != nil {
 		return nil, err
 	}
 	exprs := make([]sqlparser.Expr, len(n.SortKeys))
 	for i, k := range n.SortKeys {
 		exprs[i] = k.Expr
 	}
-	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, e.subquery); err != nil {
+	if it.keys, err = bindExprs(exprs, n.Children[0].Schema, b.e.subquery); err != nil {
 		return nil, err
 	}
 	return it, nil
@@ -1238,14 +1268,14 @@ type resultIter struct {
 	done  bool
 }
 
-func (e *Engine) newResultIter(n *Node) (*resultIter, error) {
+func (b *ibuild) newResultIter(n *Node) (*resultIter, error) {
 	it := &resultIter{items: make([]boundExpr, len(n.ResultItems))}
 	for i, item := range n.ResultItems {
-		b, err := bindExpr(item.Expr, nil, e.subquery)
+		bound, err := bindExpr(item.Expr, nil, b.e.subquery)
 		if err != nil {
 			return nil, err
 		}
-		it.items[i] = b
+		it.items[i] = bound
 	}
 	return it, nil
 }

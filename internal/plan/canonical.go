@@ -12,7 +12,9 @@ import (
 // the same shape, operators, and attribute values — the property the
 // serving layer's plan fingerprinter is built on. Cardinality and cost
 // estimates are deliberately excluded: they vary with statistics but never
-// change the narration text.
+// change the narration text. AttrTimeMs is excluded for the same reason —
+// it varies run to run while the narrated actuals (rows, loops) do not, so
+// including it would make actuals-annotated plans uncacheable.
 func (n *Node) WriteCanonical(w io.Writer) {
 	if n == nil {
 		return
@@ -21,6 +23,9 @@ func (n *Node) WriteCanonical(w io.Writer) {
 	if len(n.Attrs) > 0 {
 		keys := make([]string, 0, len(n.Attrs))
 		for k := range n.Attrs {
+			if k == AttrTimeMs {
+				continue
+			}
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)

@@ -74,6 +74,22 @@ func FuzzParseSQLServerXML(f *testing.F) {
 	})
 }
 
+func FuzzParseNativeJSON(f *testing.F) {
+	seedCorpus(f, "native",
+		`{"lantern_plan": {}}`,
+		`{"lantern_plan": {"name": "Seq Scan", "attrs": {"relation": "t"}}}`,
+		`{"lantern_plan": {"name": "Limit", "children": [{"name": "Sort", "children": [null]}]}}`,
+		`{"lantern_plan": {"name": "Seq Scan", "attrs": {"filter": "query_block"}}}`,
+		"{\"lantern_plan\": {\"name\": \"\xff\xfe\"}}",
+	)
+	f.Fuzz(func(t *testing.T, doc string) {
+		tree, err := plan.ParseNativeJSON(doc)
+		if err == nil {
+			checkTree(t, tree)
+		}
+	})
+}
+
 func FuzzParseMySQLJSON(f *testing.F) {
 	seedCorpus(f, "mysql",
 		`{"query_block": {}}`,

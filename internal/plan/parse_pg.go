@@ -3,27 +3,33 @@ package plan
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 )
 
 // pgNode mirrors the node shape of PostgreSQL's EXPLAIN (FORMAT JSON).
 type pgNode struct {
-	NodeType     string    `json:"Node Type"`
-	JoinType     string    `json:"Join Type"`
-	Strategy     string    `json:"Strategy"`
-	RelationName string    `json:"Relation Name"`
-	Alias        string    `json:"Alias"`
-	IndexName    string    `json:"Index Name"`
-	IndexCond    string    `json:"Index Cond"`
-	HashCond     string    `json:"Hash Cond"`
-	MergeCond    string    `json:"Merge Cond"`
-	JoinFilter   string    `json:"Join Filter"`
-	Filter       string    `json:"Filter"`
-	SortKey      []string  `json:"Sort Key"`
-	GroupKey     []string  `json:"Group Key"`
-	TotalCost    float64   `json:"Total Cost"`
-	PlanRows     float64   `json:"Plan Rows"`
-	Plans        []*pgNode `json:"Plans"`
+	NodeType     string   `json:"Node Type"`
+	JoinType     string   `json:"Join Type"`
+	Strategy     string   `json:"Strategy"`
+	RelationName string   `json:"Relation Name"`
+	Alias        string   `json:"Alias"`
+	IndexName    string   `json:"Index Name"`
+	IndexCond    string   `json:"Index Cond"`
+	HashCond     string   `json:"Hash Cond"`
+	MergeCond    string   `json:"Merge Cond"`
+	JoinFilter   string   `json:"Join Filter"`
+	Filter       string   `json:"Filter"`
+	SortKey      []string `json:"Sort Key"`
+	GroupKey     []string `json:"Group Key"`
+	TotalCost    float64  `json:"Total Cost"`
+	PlanRows     float64  `json:"Plan Rows"`
+	// EXPLAIN ANALYZE runtime statistics; pointers so absent fields stay
+	// distinguishable from genuine zeroes.
+	ActualRows *float64  `json:"Actual Rows"`
+	ActualLoop *float64  `json:"Actual Loops"`
+	ActualTime *float64  `json:"Actual Total Time"`
+	Plans      []*pgNode `json:"Plans"`
 }
 
 // ParsePostgresJSON parses a PostgreSQL-style EXPLAIN (FORMAT JSON)
@@ -82,6 +88,23 @@ func fromPGNode(p *pgNode) *Node {
 	}
 	n.SetAttr(AttrSortKey, strings.Join(p.SortKey, ", "))
 	n.SetAttr(AttrGroupKey, strings.Join(p.GroupKey, ", "))
+	// EXPLAIN ANALYZE actuals map onto the standardized actual-stats
+	// attrs. PostgreSQL reports Actual Rows and Actual Total Time as
+	// per-loop averages; the standardized attrs carry totals across all
+	// loops, so both scale by the loop count.
+	loops := 1.0
+	if p.ActualLoop != nil && *p.ActualLoop > 0 {
+		loops = *p.ActualLoop
+	}
+	if p.ActualRows != nil {
+		n.SetAttr(AttrActualRows, strconv.FormatInt(int64(*p.ActualRows*loops+0.5), 10))
+	}
+	if p.ActualLoop != nil {
+		n.SetAttr(AttrLoops, strconv.FormatInt(int64(*p.ActualLoop), 10))
+	}
+	if p.ActualTime != nil {
+		n.SetAttr(AttrTimeMs, strconv.FormatFloat(*p.ActualTime*loops, 'f', 3, 64))
+	}
 	for _, c := range p.Plans {
 		n.Children = append(n.Children, fromPGNode(c))
 	}

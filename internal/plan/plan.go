@@ -28,6 +28,24 @@ const (
 	AttrStrategy  = "strategy" // aggregate strategy (Plain/Sorted/Hashed)
 )
 
+// Actual-stats attribute keys, standardized across dialects. They are set
+// only on plans that carry runtime instrumentation (EXPLAIN ANALYZE
+// documents, or trees bridged directly from an instrumented execution) and
+// sit alongside the estimated Rows/Cost fields, so narrators can contrast
+// what the optimizer expected with what actually happened.
+const (
+	// AttrActualRows is the total number of rows the operator produced
+	// across all loops, as a decimal integer.
+	AttrActualRows = "actualrows"
+	// AttrLoops is the number of times the operator was (re)started, as a
+	// decimal integer (PostgreSQL's loops).
+	AttrLoops = "loops"
+	// AttrTimeMs is the operator's inclusive wall time in milliseconds.
+	// Unlike the other actuals it varies run to run, so it is excluded
+	// from the canonical serialization (and therefore from cache keys).
+	AttrTimeMs = "timems"
+)
+
 // Node is one operator of a vendor-neutral QEP tree.
 type Node struct {
 	// Name is the physical operator name exactly as the source engine

@@ -1,10 +1,11 @@
-package plan
+package plan_test
 
 import (
 	"strings"
 	"testing"
 
 	"lantern/internal/engine"
+	"lantern/internal/plan"
 )
 
 // planEngine builds a small database whose plans exercise every node type.
@@ -48,7 +49,7 @@ func explainXML(t *testing.T, e *engine.Engine, q string) string {
 
 func TestParsePostgresJSON(t *testing.T) {
 	e := planEngine(t)
-	tree, err := ParsePostgresJSON(explainJSON(t, e, joinQuery))
+	tree, err := plan.ParsePostgresJSON(explainJSON(t, e, joinQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,10 +62,10 @@ func TestParsePostgresJSON(t *testing.T) {
 	}
 	// Aggregate strategies are resolved to physical names.
 	hasAgg := false
-	tree.Walk(func(n *Node) {
+	tree.Walk(func(n *plan.Node) {
 		if strings.Contains(n.Name, "Aggregate") {
 			hasAgg = true
-			if n.Name == "Aggregate" && n.Attr(AttrStrategy) != "Plain" {
+			if n.Name == "Aggregate" && n.Attr(plan.AttrStrategy) != "Plain" {
 				t.Errorf("unresolved aggregate strategy: %+v", n.Attrs)
 			}
 		}
@@ -76,16 +77,16 @@ func TestParsePostgresJSON(t *testing.T) {
 
 func TestParsePostgresJSONJoinCond(t *testing.T) {
 	e := planEngine(t)
-	tree, err := ParsePostgresJSON(explainJSON(t, e, joinQuery))
+	tree, err := plan.ParsePostgresJSON(explainJSON(t, e, joinQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
 	found := false
-	tree.Walk(func(n *Node) {
-		if n.Attr(AttrJoinCond) != "" {
+	tree.Walk(func(n *plan.Node) {
+		if n.Attr(plan.AttrJoinCond) != "" {
 			found = true
-			if !strings.Contains(n.Attr(AttrJoinCond), "custkey") {
-				t.Errorf("join cond = %q", n.Attr(AttrJoinCond))
+			if !strings.Contains(n.Attr(plan.AttrJoinCond), "custkey") {
+				t.Errorf("join cond = %q", n.Attr(plan.AttrJoinCond))
 			}
 		}
 	})
@@ -96,7 +97,7 @@ func TestParsePostgresJSONJoinCond(t *testing.T) {
 
 func TestParseSQLServerXML(t *testing.T) {
 	e := planEngine(t)
-	tree, err := ParseSQLServerXML(explainXML(t, e, joinQuery))
+	tree, err := plan.ParseSQLServerXML(explainXML(t, e, joinQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,21 +119,21 @@ func TestXMLHasNoHashBuildNode(t *testing.T) {
 	e := planEngine(t)
 	// Force a hash join so the PG plan would contain a Hash node.
 	cfgQuery := "SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey"
-	pgTree, err := ParsePostgresJSON(explainJSON(t, e, cfgQuery))
+	pgTree, err := plan.ParsePostgresJSON(explainJSON(t, e, cfgQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
-	msTree, err := ParseSQLServerXML(explainXML(t, e, cfgQuery))
+	msTree, err := plan.ParseSQLServerXML(explainXML(t, e, cfgQuery))
 	if err != nil {
 		t.Fatal(err)
 	}
 	pgHash, msHash := false, false
-	pgTree.Walk(func(n *Node) {
+	pgTree.Walk(func(n *plan.Node) {
 		if n.Name == "Hash" {
 			pgHash = true
 		}
 	})
-	msTree.Walk(func(n *Node) {
+	msTree.Walk(func(n *plan.Node) {
 		if n.Name == "Hash" {
 			msHash = true
 		}
@@ -154,18 +155,18 @@ func TestJSONXMLStructuralAgreement(t *testing.T) {
 		"SELECT DISTINCT c_mktsegment FROM customer ORDER BY c_mktsegment LIMIT 1",
 	}
 	for _, q := range queries {
-		pgTree, err := ParsePostgresJSON(explainJSON(t, e, q))
+		pgTree, err := plan.ParsePostgresJSON(explainJSON(t, e, q))
 		if err != nil {
 			t.Fatalf("%q: %v", q, err)
 		}
-		msTree, err := ParseSQLServerXML(explainXML(t, e, q))
+		msTree, err := plan.ParseSQLServerXML(explainXML(t, e, q))
 		if err != nil {
 			t.Fatalf("%q: %v", q, err)
 		}
 		// XML inlines Hash build nodes, so node counts differ by the number
 		// of Hash nodes in the PG tree.
 		hashCount := 0
-		pgTree.Walk(func(n *Node) {
+		pgTree.Walk(func(n *plan.Node) {
 			if n.Name == "Hash" {
 				hashCount++
 			}
@@ -176,13 +177,13 @@ func TestJSONXMLStructuralAgreement(t *testing.T) {
 		}
 		// Leaf relations agree.
 		var pgRels, msRels []string
-		pgTree.Walk(func(n *Node) {
-			if r := n.Attr(AttrRelation); r != "" {
+		pgTree.Walk(func(n *plan.Node) {
+			if r := n.Attr(plan.AttrRelation); r != "" {
 				pgRels = append(pgRels, r)
 			}
 		})
-		msTree.Walk(func(n *Node) {
-			if r := n.Attr(AttrRelation); r != "" {
+		msTree.Walk(func(n *plan.Node) {
+			if r := n.Attr(plan.AttrRelation); r != "" {
 				msRels = append(msRels, r)
 			}
 		})
@@ -193,19 +194,19 @@ func TestJSONXMLStructuralAgreement(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	if _, err := ParsePostgresJSON("not json"); err == nil {
+	if _, err := plan.ParsePostgresJSON("not json"); err == nil {
 		t.Error("expected JSON error")
 	}
-	if _, err := ParsePostgresJSON("[]"); err == nil {
+	if _, err := plan.ParsePostgresJSON("[]"); err == nil {
 		t.Error("expected empty-plan error")
 	}
-	if _, err := ParsePostgresJSON(`[{"NotPlan": {}}]`); err == nil {
+	if _, err := plan.ParsePostgresJSON(`[{"NotPlan": {}}]`); err == nil {
 		t.Error("expected missing-Plan error")
 	}
-	if _, err := ParseSQLServerXML("<broken"); err == nil {
+	if _, err := plan.ParseSQLServerXML("<broken"); err == nil {
 		t.Error("expected XML error")
 	}
-	if _, err := ParseSQLServerXML("<ShowPlanXML></ShowPlanXML>"); err == nil {
+	if _, err := plan.ParseSQLServerXML("<ShowPlanXML></ShowPlanXML>"); err == nil {
 		t.Error("expected missing-RelOp error")
 	}
 }
@@ -219,27 +220,27 @@ func TestCanon(t *testing.T) {
 		"Sort":        "sort",
 	}
 	for in, want := range cases {
-		if got := Canon(in); got != want {
-			t.Errorf("Canon(%q) = %q, want %q", in, got, want)
+		if got := plan.Canon(in); got != want {
+			t.Errorf("plan.Canon(%q) = %q, want %q", in, got, want)
 		}
 	}
 }
 
 func TestWalkPostOrder(t *testing.T) {
-	root := &Node{Name: "A", Children: []*Node{
-		{Name: "B", Children: []*Node{{Name: "C"}}},
+	root := &plan.Node{Name: "A", Children: []*plan.Node{
+		{Name: "B", Children: []*plan.Node{{Name: "C"}}},
 		{Name: "D"},
 	}}
 	var order []string
-	root.WalkPostOrder(func(n *Node) { order = append(order, n.Name) })
+	root.WalkPostOrder(func(n *plan.Node) { order = append(order, n.Name) })
 	if strings.Join(order, "") != "CBDA" {
 		t.Errorf("post order = %v", order)
 	}
 }
 
 func TestNodeStringRendering(t *testing.T) {
-	n := &Node{Name: "Hash Join", Children: []*Node{
-		{Name: "Seq Scan", Attrs: map[string]string{AttrRelation: "orders"}},
+	n := &plan.Node{Name: "Hash Join", Children: []*plan.Node{
+		{Name: "Seq Scan", Attrs: map[string]string{plan.AttrRelation: "orders"}},
 	}}
 	s := n.String()
 	if !strings.Contains(s, "Hash Join") || !strings.Contains(s, "(orders)") {
@@ -248,7 +249,7 @@ func TestNodeStringRendering(t *testing.T) {
 }
 
 func TestAttrHelpers(t *testing.T) {
-	n := &Node{}
+	n := &plan.Node{}
 	if n.Attr("x") != "" {
 		t.Error("empty node should return empty attr")
 	}

@@ -134,8 +134,8 @@ func ExplainAndParse(dialect string, explain func(engineFormat string) (doc stri
 }
 
 // Detect identifies which registered dialect doc is serialized in, trying
-// detectors in registration order (pg-JSON, then showplan-XML, then
-// mysql-JSON for the built-ins).
+// detectors in registration order (native, then pg-JSON, then
+// showplan-XML, then mysql-JSON for the built-ins).
 func Detect(doc string) (string, error) {
 	regMu.RLock()
 	order := make([]Dialect, 0, len(regOrder))
@@ -148,7 +148,7 @@ func Detect(doc string) (string, error) {
 			return d.Name, nil
 		}
 	}
-	return "", fmt.Errorf("plan: cannot detect plan dialect (expect a PostgreSQL EXPLAIN JSON array, a ShowPlanXML document, or a MySQL EXPLAIN JSON object)")
+	return "", fmt.Errorf("plan: cannot detect plan dialect (expect a native lantern_plan object, a PostgreSQL EXPLAIN JSON array, a ShowPlanXML document, or a MySQL EXPLAIN JSON object)")
 }
 
 // ParseAuto detects doc's dialect and parses it, returning the tree and
@@ -163,6 +163,18 @@ func ParseAuto(doc string) (*Node, string, error) {
 }
 
 func init() {
+	// The native dialect registers first so its detector wins: a native
+	// document whose condition text happens to mention "query_block" (or
+	// any other dialect's marker) must never be misclassified as pg or
+	// mysql JSON. The converse cannot happen either — detectNative
+	// requires a genuine top-level "lantern_plan" key, which no foreign
+	// emitter produces.
+	MustRegister(Dialect{
+		Name:         "native",
+		Parse:        ParseNativeJSON,
+		EngineFormat: "NATIVE",
+		Detect:       detectNative,
+	})
 	MustRegister(Dialect{
 		Name:         "pg",
 		Parse:        ParsePostgresJSON,

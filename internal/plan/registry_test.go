@@ -10,7 +10,7 @@ import (
 func TestRegistryBuiltins(t *testing.T) {
 	names := plan.Dialects()
 	joined := strings.Join(names, ",")
-	for _, want := range []string{"pg", "sqlserver", "mysql"} {
+	for _, want := range []string{"native", "pg", "sqlserver", "mysql"} {
 		d, ok := plan.Lookup(want)
 		if !ok {
 			t.Fatalf("built-in dialect %q not registered (have %s)", want, joined)
@@ -135,5 +135,91 @@ func TestXMLDepthGuard(t *testing.T) {
 	deep := strings.Repeat("<RelOp>", 100000)
 	if _, err := plan.ParseSQLServerXML(deep); err == nil {
 		t.Error("pathologically nested showplan accepted")
+	}
+}
+
+// TestNativeDetectPriority: native documents must never be misclassified
+// as pg or mysql JSON, even when their condition text contains another
+// dialect's detection marker — native registers first, so its detector
+// wins, and the other detectors cannot claim a lantern_plan document.
+func TestNativeDetectPriority(t *testing.T) {
+	cases := []string{
+		`{"lantern_plan": {"name": "Seq Scan", "attrs": {"relation": "t"}}}`,
+		// Adversarial: a filter mentioning mysql's marker string.
+		`{"lantern_plan": {"name": "Seq Scan", "attrs": {"filter": "((c) = ('query_block'))"}}}`,
+		// Leading whitespace must not defeat detection.
+		"\n\t {\"lantern_plan\": {\"name\": \"Result\"}}",
+	}
+	for _, doc := range cases {
+		got, err := plan.Detect(doc)
+		if err != nil {
+			t.Errorf("Detect(%q): %v", doc, err)
+			continue
+		}
+		if got != "native" {
+			t.Errorf("Detect(%q) = %q, want native", doc, got)
+		}
+	}
+	// And the converse: foreign documents never detect as native — even a
+	// mysql document whose condition text mentions native's marker string,
+	// since the detector requires a genuine top-level lantern_plan key.
+	foreign := []string{
+		`[{"Plan": {"Node Type": "Seq Scan"}}]`,
+		`{"query_block": {"table": {"table_name": "t"}}}`,
+		`{"query_block": {"table": {"table_name": "t", "attached_condition": "(c = '\"lantern_plan\"')"}}}`,
+		`<ShowPlanXML></ShowPlanXML>`,
+	}
+	for _, doc := range foreign {
+		got, err := plan.Detect(doc)
+		if err == nil && got == "native" {
+			t.Errorf("Detect(%q) = native, want another dialect", doc)
+		}
+	}
+}
+
+// TestNativeRoundTripAttrs: FormatNative/ParseNativeJSON must preserve the
+// actual-stats attributes bit-for-bit.
+func TestNativeRoundTripAttrs(t *testing.T) {
+	n := &plan.Node{Name: "Seq Scan", Source: "native", Rows: 100, Cost: 4.5}
+	n.SetAttr(plan.AttrRelation, "customer")
+	n.SetAttr(plan.AttrActualRows, "42")
+	n.SetAttr(plan.AttrLoops, "3")
+	n.SetAttr(plan.AttrTimeMs, "0.125")
+	doc, err := plan.FormatNative(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := plan.ParseNativeJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{plan.AttrRelation, plan.AttrActualRows, plan.AttrLoops, plan.AttrTimeMs} {
+		if back.Attr(key) != n.Attr(key) {
+			t.Errorf("attr %q: got %q, want %q", key, back.Attr(key), n.Attr(key))
+		}
+	}
+	if back.Rows != n.Rows || back.Cost != n.Cost {
+		t.Errorf("estimates changed: rows %g cost %g", back.Rows, back.Cost)
+	}
+}
+
+// TestParsePostgresJSONActualsPerLoop: PostgreSQL reports Actual Rows and
+// Actual Total Time as per-loop averages; the frontend must scale them by
+// the loop count into the standardized across-all-loops totals.
+func TestParsePostgresJSONActualsPerLoop(t *testing.T) {
+	tree, err := plan.ParsePostgresJSON(`[{"Plan": {
+		"Node Type": "Seq Scan", "Relation Name": "t", "Plan Rows": 1,
+		"Actual Rows": 0.5, "Actual Loops": 100, "Actual Total Time": 0.25}}]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Attr(plan.AttrActualRows); got != "50" {
+		t.Errorf("actual rows = %q, want 50 (0.5/loop x 100 loops)", got)
+	}
+	if got := tree.Attr(plan.AttrLoops); got != "100" {
+		t.Errorf("loops = %q, want 100", got)
+	}
+	if got := tree.Attr(plan.AttrTimeMs); got != "25.000" {
+		t.Errorf("time = %q, want 25.000", got)
 	}
 }

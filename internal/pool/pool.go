@@ -131,6 +131,12 @@ CREATE INDEX pdesc_oid ON pdesc (oid);`)
 	s.RegisterSource("db2",
 		"tbscan", "ixscan", "hsjoin", "msjoin", "nljoin", "zzjoin", "sort",
 		"grpby", "unique", "filter", "tq")
+	// The native source is the substrate engine's own vocabulary, reached
+	// through the direct plan bridge rather than a vendor EXPLAIN parser.
+	s.RegisterSource("native",
+		"seqscan", "indexscan", "hash", "hashjoin", "mergejoin", "nestedloop",
+		"sort", "materialize", "aggregate", "hashaggregate", "groupaggregate",
+		"unique", "limit", "result")
 	return s
 }
 

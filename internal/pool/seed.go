@@ -240,6 +240,95 @@ func SeedStandard(s *Store) {
 			DESC = 'produce a constant result',
 			COND = 'false')`,
 
+		// --- Native (the substrate engine's direct plan bridge) -----------
+		// The bridge emits the engine's own operator vocabulary (pg-style
+		// names), so this mirrors the pg descriptions; it is a separate
+		// POOL source so SMEs can tune the wording of "what actually
+		// happened" narrations independently of the PostgreSQL frontend.
+		`CREATE POPERATOR seqscan FOR native (
+			ALIAS = 'sequential scan',
+			TYPE = 'unary',
+			DEFN = 'scans the entire relation sequentially, evaluating the filter condition on every tuple',
+			DESC = 'perform sequential scan on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR indexscan FOR native (
+			ALIAS = 'index scan',
+			TYPE = 'unary',
+			DEFN = 'uses an index to fetch only the tuples matching the condition',
+			DESC = 'perform index scan on $R1$ using index on $index$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashjoin FOR native (
+			TYPE = 'binary',
+			DEFN = 'a type of join algorithm that uses hashing to create subsets of tuples',
+			DESC = 'perform hash join',
+			COND = 'true')`,
+		`CREATE POPERATOR hash FOR native (
+			TYPE = 'unary',
+			DEFN = 'builds an in-memory hash table over its input for the enclosing hash join',
+			DESC = 'hash $R1$',
+			COND = 'false',
+			TARGET = 'hashjoin')`,
+		`CREATE POPERATOR mergejoin FOR native (
+			TYPE = 'binary',
+			DEFN = 'joins two inputs sorted on the join keys by merging them',
+			DESC = 'perform merge join',
+			COND = 'true')`,
+		`CREATE POPERATOR nestedloop FOR native (
+			ALIAS = 'nested loop join',
+			TYPE = 'binary',
+			DEFN = 'joins by scanning the inner relation once per outer tuple',
+			DESC = 'perform nested loop join',
+			COND = 'true')`,
+		`CREATE POPERATOR aggregate FOR native (
+			TYPE = 'unary',
+			DEFN = 'computes aggregate functions over the whole input',
+			DESC = 'perform aggregate on $R1$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR groupaggregate FOR native (
+			ALIAS = 'aggregate',
+			TYPE = 'unary',
+			DEFN = 'computes aggregates over groups of sorted input tuples',
+			DESC = 'perform aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR hashaggregate FOR native (
+			ALIAS = 'hash aggregate',
+			TYPE = 'unary',
+			DEFN = 'computes aggregates over groups found via a hash table',
+			DESC = 'perform hash aggregate on $R1$ with grouping on attribute $group$ and filtering on $cond$',
+			COND = 'true')`,
+		`CREATE POPERATOR sort FOR native (
+			TYPE = 'unary',
+			DEFN = 'sorts the input on the given keys',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'mergejoin')`,
+		`CREATE POPERATOR sort FOR native (
+			TYPE = 'unary',
+			DESC = 'sort $R1$',
+			COND = 'false',
+			TARGET = 'groupaggregate')`,
+		`CREATE POPERATOR materialize FOR native (
+			TYPE = 'unary',
+			DEFN = 'materializes its input so it can be rescanned cheaply',
+			DESC = 'materialize $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR unique FOR native (
+			ALIAS = 'duplicate removal',
+			TYPE = 'unary',
+			DEFN = 'removes duplicate rows from sorted input',
+			DESC = 'perform duplicate removal on $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR limit FOR native (
+			TYPE = 'unary',
+			DEFN = 'returns only the first requested rows of its input',
+			DESC = 'keep only the first requested rows of $R1$',
+			COND = 'false')`,
+		`CREATE POPERATOR result FOR native (
+			TYPE = 'unary',
+			DEFN = 'computes a constant result without reading any relation',
+			DESC = 'produce a constant result',
+			COND = 'false')`,
+
 		// --- DB2 (paper's running cross-engine example) --------------------
 		`CREATE POPERATOR tbscan FOR db2 (
 			ALIAS = 'table scan',

@@ -2,6 +2,12 @@
 // narration service over the existing parse→LOT→narrate pipeline, built
 // around a canonical plan fingerprinter and a sharded, byte-bounded LRU
 // narration cache with targeted invalidation driven by POOL mutations.
+// The Query path closes the loop end to end: plan, execute with
+// per-operator instrumentation on the embedded engine, bridge the plan
+// with its actuals into the native dialect, and narrate what actually
+// happened — with the narration cached under an actuals-aware fingerprint
+// (actual rows and loops key the cache; wall time, the one
+// non-deterministic statistic, does not).
 //
 // The design follows the precompute-and-maintain playbook: a narration is
 // a pure function of (plan structure, operator conditions, narration

@@ -100,6 +100,39 @@ type NarrateResponse struct {
 	Cached      bool     `json:"cached"`
 }
 
+// QueryRequest asks for the full loop: plan the SQL on the embedded
+// engine, execute it against the loaded dataset with per-operator
+// instrumentation, and narrate the plan with its actuals — "narrate what
+// actually happened", not just what the optimizer expected. The plan
+// always travels the native bridge (dialect "native"), no EXPLAIN text
+// involved.
+type QueryRequest struct {
+	SQL     string  `json:"sql"`
+	Options Options `json:"options,omitempty"`
+	// MaxRows caps how many result rows are echoed back (rendered as
+	// strings); 0 means the default of 10, negative means none. The full
+	// result cardinality is always reported in RowCount.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the narration of an executed query plus its runtime
+// outcome. Text/Steps/Fingerprint/Operators/Cached behave as in
+// NarrateResponse; the narration is cached by actuals-aware plan
+// fingerprint (actual rows and loops key the cache, wall time does not),
+// while Columns/Rows/RowCount/ElapsedMs are fresh per execution.
+type QueryResponse struct {
+	Text        string     `json:"text"`
+	Steps       []Step     `json:"steps"`
+	Dialect     string     `json:"dialect"`
+	Fingerprint string     `json:"fingerprint"`
+	Operators   []string   `json:"operators"`
+	Cached      bool       `json:"cached"`
+	Columns     []string   `json:"columns"`
+	Rows        [][]string `json:"rows,omitempty"`
+	RowCount    int        `json:"row_count"`
+	ElapsedMs   float64    `json:"elapsed_ms"`
+}
+
 // QARequest asks a natural-language question about one query or plan.
 // Dialect/Source behave as in NarrateRequest.
 type QARequest struct {
@@ -120,11 +153,13 @@ type taskKind int
 const (
 	taskNarrate taskKind = iota
 	taskQA
+	taskQuery
 )
 
 type taskResult struct {
 	narrate *NarrateResponse
 	qa      *QAResponse
+	query   *QueryResponse
 	err     error
 }
 
@@ -133,6 +168,7 @@ type task struct {
 	ctx  context.Context
 	nreq *NarrateRequest
 	qreq *QARequest
+	xreq *QueryRequest
 	out  chan taskResult // buffered(1): workers never block on delivery
 }
 
@@ -165,12 +201,17 @@ type Server struct {
 
 	narrateReqs metrics.Counter
 	qaReqs      metrics.Counter
+	queryReqs   metrics.Counter
 	rejected    metrics.Counter
 	timeouts    metrics.Counter
 	failures    metrics.Counter
 	hitLatency  metrics.LatencyHistogram
 	coldLatency metrics.LatencyHistogram
 	qaLatency   metrics.LatencyHistogram
+	// Query latencies are tracked apart from narrate: they include the
+	// execution itself, so mixing them would swamp the narration digests.
+	queryHitLatency  metrics.LatencyHistogram
+	queryColdLatency metrics.LatencyHistogram
 }
 
 // NewServer builds and starts a server over a planning engine (nil is
@@ -231,6 +272,9 @@ func (s *Server) worker() {
 		case taskQA:
 			resp, err := s.handleQA(t.ctx, t.qreq)
 			t.out <- taskResult{qa: resp, err: err}
+		case taskQuery:
+			resp, err := s.handleQuery(t.ctx, t.xreq)
+			t.out <- taskResult{query: resp, err: err}
 		}
 	}
 }
@@ -291,6 +335,32 @@ func (s *Server) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
 	}
 	s.qaLatency.Observe(time.Since(start))
 	return res.qa, nil
+}
+
+// Query serves one execute-and-narrate request through the worker pool
+// (the same admission control and deadlines as Narrate). There is no
+// request-level fast path: the query must execute before its actuals —
+// and therefore its cache key — are known, so a "hit" skips only the
+// narration work, never the execution.
+func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	s.queryReqs.Inc()
+	if strings.TrimSpace(req.SQL) == "" {
+		return nil, fmt.Errorf("%w: sql must not be empty", ErrBadRequest)
+	}
+	if s.eng == nil {
+		return nil, fmt.Errorf("%w: server has no embedded engine; /v1/query is unavailable", ErrBadRequest)
+	}
+	start := time.Now()
+	res, err := s.dispatch(ctx, &task{kind: taskQuery, xreq: req})
+	if err != nil {
+		return nil, err
+	}
+	if res.query.Cached {
+		s.queryHitLatency.Observe(time.Since(start))
+	} else {
+		s.queryColdLatency.Observe(time.Since(start))
+	}
+	return res.query, nil
 }
 
 // dispatch applies the default deadline, performs admission control, and
@@ -423,9 +493,21 @@ func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*Narra
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ent, err := s.narrateAndCache(tree, fp, ops, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	return entryResponse(fp, ent, false), nil
+}
 
-	// Snapshot the mutation generation before reading the POEM store, so
-	// an insert computed from pre-mutation descriptions can be retracted.
+// narrateAndCache is the shared narrate-and-insert tail of handleNarrate
+// and handleQuery: build the LOT, narrate, render per the options, and
+// insert under fp with the mutation-retraction discipline — the mutation
+// generation is snapshotted before reading the POEM store, so an entry
+// computed from pre-mutation descriptions can never outlive the
+// invalidation that should have dropped it (either the invalidation pass
+// saw our Put and removed it, or we retract it here).
+func (s *Server) narrateAndCache(tree *plan.Node, fp Fingerprint, ops []string, opts Options) (*CachedNarration, error) {
 	gen := s.mutGen.Load()
 	lt, err := s.rule.BuildLOT(tree)
 	if err != nil {
@@ -436,7 +518,7 @@ func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*Narra
 		return nil, err
 	}
 	text := nar.Text()
-	if req.Options.canonical() == PresentTree {
+	if opts.canonical() == PresentTree {
 		text = core.PresentTree(lt, nar)
 	}
 	steps := make([]Step, len(nar.Steps))
@@ -445,12 +527,76 @@ func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*Narra
 	}
 	ent := &CachedNarration{Text: text, Steps: steps, Source: tree.Source, Operators: ops}
 	if s.cache != nil && s.cache.Put(fp, ent) && s.mutGen.Load() != gen {
-		// A POOL mutation raced this narration. Either its invalidation
-		// pass already saw our entry and dropped it, or we retract it here;
-		// both ways no possibly-stale entry survives.
 		s.cache.Delete(fp)
 	}
-	return entryResponse(fp, ent, false), nil
+	return ent, nil
+}
+
+// queryEchoRows renders the first maxRows result rows as strings for the
+// response body.
+func queryEchoRows(res *engine.Result, maxRows int) [][]string {
+	if maxRows == 0 {
+		maxRows = 10
+	}
+	if maxRows < 0 || len(res.Rows) == 0 {
+		return nil
+	}
+	if maxRows > len(res.Rows) {
+		maxRows = len(res.Rows)
+	}
+	out := make([][]string, maxRows)
+	for i := 0; i < maxRows; i++ {
+		row := make([]string, len(res.Rows[i]))
+		for j, d := range res.Rows[i] {
+			row[j] = d.String()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// handleQuery is the end-to-end /v1/query pipeline: plan and execute the
+// SQL with instrumentation on the embedded engine (serialized, the engine
+// is single-threaded), bridge the plan with its actuals into a native
+// tree, then narrate — answering from the fingerprint cache when the same
+// plan with the same actuals (wall time excluded) was narrated before.
+func (s *Server) handleQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.engMu.Lock()
+	qr, err := s.eng.QueryInstrumented(req.SQL)
+	s.engMu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	tree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
+	fp, ops := PlanFingerprint(tree, req.Options)
+
+	resp := &QueryResponse{
+		Dialect:     tree.Source,
+		Fingerprint: fp.String(),
+		Operators:   ops,
+		Columns:     qr.Result.Columns,
+		Rows:        queryEchoRows(qr.Result, req.MaxRows),
+		RowCount:    len(qr.Result.Rows),
+		ElapsedMs:   float64(qr.Elapsed) / 1e6,
+	}
+	if s.cache != nil {
+		if ent, ok := s.cache.Get(fp); ok {
+			resp.Text, resp.Steps, resp.Cached = ent.Text, ent.Steps, true
+			return resp, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ent, err := s.narrateAndCache(tree, fp, ops, req.Options)
+	if err != nil {
+		return nil, err
+	}
+	resp.Text, resp.Steps = ent.Text, ent.Steps
+	return resp, nil
 }
 
 func (s *Server) handleQA(ctx context.Context, req *QARequest) (*QAResponse, error) {
@@ -515,15 +661,18 @@ type Stats struct {
 
 	NarrateRequests int64 `json:"narrate_requests"`
 	QARequests      int64 `json:"qa_requests"`
+	QueryRequests   int64 `json:"query_requests"`
 	Rejected        int64 `json:"rejected"`
 	Timeouts        int64 `json:"timeouts"`
 	Failures        int64 `json:"failures"`
 
 	Cache CacheStats `json:"cache"`
 
-	LatencyCached metrics.LatencySummary `json:"latency_cached"`
-	LatencyCold   metrics.LatencySummary `json:"latency_cold"`
-	LatencyQA     metrics.LatencySummary `json:"latency_qa"`
+	LatencyCached      metrics.LatencySummary `json:"latency_cached"`
+	LatencyCold        metrics.LatencySummary `json:"latency_cold"`
+	LatencyQA          metrics.LatencySummary `json:"latency_qa"`
+	LatencyQueryCached metrics.LatencySummary `json:"latency_query_cached"`
+	LatencyQueryCold   metrics.LatencySummary `json:"latency_query_cold"`
 }
 
 // Stats snapshots the server.
@@ -532,19 +681,22 @@ func (s *Server) Stats() Stats {
 	idxLen := len(s.idx)
 	s.idxMu.RUnlock()
 	return Stats{
-		UptimeSeconds:   time.Since(s.started).Seconds(),
-		Workers:         s.cfg.Workers,
-		QueueDepth:      s.cfg.QueueDepth,
-		QueueLen:        len(s.queue),
-		IndexEntries:    idxLen,
-		NarrateRequests: s.narrateReqs.Value(),
-		QARequests:      s.qaReqs.Value(),
-		Rejected:        s.rejected.Value(),
-		Timeouts:        s.timeouts.Value(),
-		Failures:        s.failures.Value(),
-		Cache:           s.cache.Stats(),
-		LatencyCached:   s.hitLatency.Summary(),
-		LatencyCold:     s.coldLatency.Summary(),
-		LatencyQA:       s.qaLatency.Summary(),
+		UptimeSeconds:      time.Since(s.started).Seconds(),
+		Workers:            s.cfg.Workers,
+		QueueDepth:         s.cfg.QueueDepth,
+		QueueLen:           len(s.queue),
+		IndexEntries:       idxLen,
+		NarrateRequests:    s.narrateReqs.Value(),
+		QARequests:         s.qaReqs.Value(),
+		QueryRequests:      s.queryReqs.Value(),
+		Rejected:           s.rejected.Value(),
+		Timeouts:           s.timeouts.Value(),
+		Failures:           s.failures.Value(),
+		Cache:              s.cache.Stats(),
+		LatencyCached:      s.hitLatency.Summary(),
+		LatencyCold:        s.coldLatency.Summary(),
+		LatencyQA:          s.qaLatency.Summary(),
+		LatencyQueryCached: s.queryHitLatency.Summary(),
+		LatencyQueryCold:   s.queryColdLatency.Summary(),
 	}
 }

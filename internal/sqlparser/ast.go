@@ -81,19 +81,25 @@ type DeleteStmt struct {
 type ExplainFormat int
 
 // EXPLAIN output formats mirroring the supported engines: PostgreSQL-style
-// text and JSON, SQL-Server-style XML showplan, and MySQL-style
-// EXPLAIN FORMAT=JSON.
+// text and JSON, SQL-Server-style XML showplan, MySQL-style
+// EXPLAIN FORMAT=JSON, and the engine's own native plan serialization
+// (the lossless engine↔narrator bridge format).
 const (
 	ExplainText ExplainFormat = iota
 	ExplainJSON
 	ExplainXML
 	ExplainMySQL
+	ExplainNative
 )
 
 // ExplainStmt wraps a SELECT and requests its plan instead of its rows.
+// With Analyze set the query is also executed and the plan is annotated
+// with per-operator runtime statistics (actual rows, loops, wall time) —
+// PostgreSQL's EXPLAIN ANALYZE semantics.
 type ExplainStmt struct {
-	Format ExplainFormat
-	Query  *SelectStmt
+	Format  ExplainFormat
+	Analyze bool
+	Query   *SelectStmt
 }
 
 func (*SelectStmt) stmt()      {}

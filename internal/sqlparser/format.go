@@ -90,13 +90,22 @@ func formatStatement(sb *strings.Builder, s Statement) {
 		}
 	case *ExplainStmt:
 		sb.WriteString("EXPLAIN ")
+		var opts []string
+		if st.Analyze {
+			opts = append(opts, "ANALYZE")
+		}
 		switch st.Format {
 		case ExplainJSON:
-			sb.WriteString("(FORMAT JSON) ")
+			opts = append(opts, "FORMAT JSON")
 		case ExplainXML:
-			sb.WriteString("(FORMAT XML) ")
+			opts = append(opts, "FORMAT XML")
 		case ExplainMySQL:
-			sb.WriteString("(FORMAT MYSQL) ")
+			opts = append(opts, "FORMAT MYSQL")
+		case ExplainNative:
+			opts = append(opts, "FORMAT NATIVE")
+		}
+		if len(opts) > 0 {
+			sb.WriteString("(" + strings.Join(opts, ", ") + ") ")
 		}
 		formatSelect(sb, st.Query)
 	default:

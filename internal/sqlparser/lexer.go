@@ -37,6 +37,10 @@ var keywords = map[string]bool{
 	"LEFT": true, "OUTER": true, "ON": true, "CREATE": true, "TABLE": true,
 	"INDEX": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"UPDATE": true, "SET": true, "DELETE": true, "EXPLAIN": true,
+	// NATIVE and ANALYZE are deliberately NOT keywords: they only have
+	// meaning inside an EXPLAIN option list, where the parser matches
+	// them contextually (acceptWord), so columns or tables named
+	// "native"/"analyze" keep working everywhere else.
 	"FORMAT": true, "JSON": true, "XML": true, "TEXT": true, "MYSQL": true,
 	"EXISTS": true,
 	"CASE":   true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,

@@ -3,6 +3,7 @@ package sqlparser
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"lantern/internal/datum"
 )
@@ -91,6 +92,19 @@ func (p *parser) accept(kind tokenKind, text string) bool {
 }
 
 func (p *parser) acceptKeyword(kw string) bool { return p.accept(tkKeyword, kw) }
+
+// acceptWord consumes the next token if it is the given word as either a
+// keyword or a plain identifier (case-insensitive). Used for contextual
+// keywords like ANALYZE and NATIVE that must stay valid identifiers
+// outside their one grammatical position.
+func (p *parser) acceptWord(w string) bool {
+	t := p.peek()
+	if (t.kind == tkKeyword || t.kind == tkIdent) && strings.EqualFold(t.text, w) {
+		p.pos++
+		return true
+	}
+	return false
+}
 
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
@@ -571,25 +585,42 @@ func (p *parser) parseExplain() (Statement, error) {
 		return nil, err
 	}
 	stmt := &ExplainStmt{Format: ExplainText}
-	if p.accept(tkSymbol, "(") {
-		if err := p.expectKeyword("FORMAT"); err != nil {
-			return nil, err
-		}
-		switch {
-		case p.acceptKeyword("JSON"):
-			stmt.Format = ExplainJSON
-		case p.acceptKeyword("XML"):
-			stmt.Format = ExplainXML
-		case p.acceptKeyword("MYSQL"):
-			stmt.Format = ExplainMySQL
-		case p.acceptKeyword("TEXT"):
-			stmt.Format = ExplainText
-		default:
-			return nil, p.errorf("expected JSON, XML, MYSQL or TEXT, got %q", p.peek().text)
+	switch {
+	case p.accept(tkSymbol, "("):
+		// Option list: EXPLAIN (ANALYZE), EXPLAIN (FORMAT JSON),
+		// EXPLAIN (ANALYZE, FORMAT NATIVE), in any order.
+		for {
+			switch {
+			case p.acceptWord("ANALYZE"):
+				stmt.Analyze = true
+			case p.acceptKeyword("FORMAT"):
+				switch {
+				case p.acceptKeyword("JSON"):
+					stmt.Format = ExplainJSON
+				case p.acceptKeyword("XML"):
+					stmt.Format = ExplainXML
+				case p.acceptKeyword("MYSQL"):
+					stmt.Format = ExplainMySQL
+				case p.acceptWord("NATIVE"):
+					stmt.Format = ExplainNative
+				case p.acceptKeyword("TEXT"):
+					stmt.Format = ExplainText
+				default:
+					return nil, p.errorf("expected JSON, XML, MYSQL, NATIVE or TEXT, got %q", p.peek().text)
+				}
+			default:
+				return nil, p.errorf("expected ANALYZE or FORMAT, got %q", p.peek().text)
+			}
+			if !p.accept(tkSymbol, ",") {
+				break
+			}
 		}
 		if err := p.expectSymbol(")"); err != nil {
 			return nil, err
 		}
+	case p.acceptWord("ANALYZE"):
+		// PostgreSQL's bare form: EXPLAIN ANALYZE SELECT ...
+		stmt.Analyze = true
 	}
 	sel, err := p.parseSelect()
 	if err != nil {

@@ -266,15 +266,55 @@ func TestDelete(t *testing.T) {
 
 func TestExplainFormats(t *testing.T) {
 	for src, want := range map[string]ExplainFormat{
-		"EXPLAIN SELECT a FROM t":               ExplainText,
-		"EXPLAIN (FORMAT JSON) SELECT a FROM t": ExplainJSON,
-		"EXPLAIN (FORMAT XML) SELECT a FROM t":  ExplainXML,
-		"EXPLAIN (FORMAT TEXT) SELECT a FROM t": ExplainText,
+		"EXPLAIN SELECT a FROM t":                 ExplainText,
+		"EXPLAIN (FORMAT JSON) SELECT a FROM t":   ExplainJSON,
+		"EXPLAIN (FORMAT XML) SELECT a FROM t":    ExplainXML,
+		"EXPLAIN (FORMAT TEXT) SELECT a FROM t":   ExplainText,
+		"EXPLAIN (FORMAT NATIVE) SELECT a FROM t": ExplainNative,
 	} {
 		stmt := mustParse(t, src)
 		ex := stmt.(*ExplainStmt)
 		if ex.Format != want {
 			t.Errorf("%q: format = %v, want %v", src, ex.Format, want)
+		}
+	}
+}
+
+func TestExplainAnalyzeOptions(t *testing.T) {
+	for src, want := range map[string]struct {
+		analyze bool
+		format  ExplainFormat
+	}{
+		"EXPLAIN ANALYZE SELECT a FROM t":                  {true, ExplainText},
+		"EXPLAIN (ANALYZE) SELECT a FROM t":                {true, ExplainText},
+		"EXPLAIN (ANALYZE, FORMAT NATIVE) SELECT a FROM t": {true, ExplainNative},
+		"EXPLAIN (FORMAT JSON, ANALYZE) SELECT a FROM t":   {true, ExplainJSON},
+		"EXPLAIN (FORMAT NATIVE) SELECT a FROM t":          {false, ExplainNative},
+	} {
+		stmt := mustParse(t, src)
+		ex := stmt.(*ExplainStmt)
+		if ex.Analyze != want.analyze || ex.Format != want.format {
+			t.Errorf("%q: analyze=%v format=%v, want %+v", src, ex.Analyze, ex.Format, want)
+		}
+	}
+	for _, bad := range []string{
+		"EXPLAIN (ANALYZE FORMAT JSON) SELECT a FROM t", // missing comma
+		"EXPLAIN (VERBOSE) SELECT a FROM t",
+		"EXPLAIN (FORMAT YAML) SELECT a FROM t",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("%q parsed, want error", bad)
+		}
+	}
+	// ANALYZE and NATIVE are contextual, not reserved: they stay valid
+	// identifiers everywhere outside an EXPLAIN option list.
+	for _, ok := range []string{
+		"SELECT native FROM t",
+		"SELECT a FROM analyze",
+		"SELECT analyze, native FROM t WHERE native = 1",
+	} {
+		if _, err := Parse(ok); err != nil {
+			t.Errorf("Parse(%q): %v (contextual keyword leaked into the grammar)", ok, err)
 		}
 	}
 }
