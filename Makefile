@@ -11,7 +11,7 @@ BENCHTIME ?= 100ms
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race vet bench bench-service bench-engine bench-serving fuzz corpus clean
+.PHONY: all build test race vet bench bench-service bench-engine bench-serving contract fuzz corpus clean
 
 all: build test
 
@@ -44,6 +44,13 @@ bench-engine:
 
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .
+
+# Contract tests: boot the daemon surface on a real listener and replay
+# the recorded v1+v2 request corpus (internal/httpapi/testdata/corpus)
+# against it, plus a live NDJSON streaming session. Regenerate the
+# recordings with `go test ./internal/httpapi -run TestCorpus -update`.
+contract:
+	$(GO) test ./internal/httpapi -run 'TestContract|TestCorpus' -count=1 -v
 
 # Go-native fuzzing over the four plan-dialect parsers, seeded from the
 # golden corpus ($(FUZZTIME) per target).

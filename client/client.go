@@ -1,0 +1,275 @@
+// Package client is the Go SDK for the LANTERN serving API: typed
+// methods over the v2 request envelope, automatic retries on retryable
+// structured errors, and a streaming iterator for incremental query
+// results.
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Narrate(ctx, &client.NarrateRequest{SQL: "SELECT ..."})
+//
+// Every method is a thin projection of Do, the generic envelope call —
+// exactly mirroring the server, where the v1 and v2 surfaces are thin
+// projections of one pipeline. Failures surface as *client.Error (an
+// alias of the service's ErrorInfo): a stable code, a human-readable
+// message, and a retryable bit the SDK itself honors.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lantern/internal/service"
+)
+
+// Envelope and payload types, re-exported so SDK users never import
+// internal packages.
+type (
+	// Request is the v2 typed envelope.
+	Request = service.Request
+	// Response is the v2 envelope answer.
+	Response = service.Response
+	// Error is the structured error envelope (code/message/retryable).
+	Error = service.ErrorInfo
+
+	// NarrateRequest / NarrateResponse mirror the narrate op payload.
+	NarrateRequest  = service.NarrateRequest
+	NarrateResponse = service.NarrateResponse
+	// QueryRequest / QueryResponse mirror the query op payload.
+	QueryRequest  = service.QueryRequest
+	QueryResponse = service.QueryResponse
+	// QARequest / QAResponse mirror the qa op payload.
+	QARequest  = service.QARequest
+	QAResponse = service.QAResponse
+	// PoolResponse mirrors the pool op payload.
+	PoolResponse = service.PoolResponse
+	// Options is the narration configuration.
+	Options = service.Options
+)
+
+// Op kinds, re-exported for hand-built envelopes.
+const (
+	OpNarrate = service.OpNarrate
+	OpQuery   = service.OpQuery
+	OpQA      = service.OpQA
+	OpPool    = service.OpPool
+	OpBatch   = service.OpBatch
+)
+
+// Client talks to one lanternd base URL. Safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetries sets how many times a retryable failure is retried
+// (default 2; 0 disables).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithBackoff sets the base delay between retries; attempt i waits
+// i×backoff (default 100ms).
+func WithBackoff(d time.Duration) Option { return func(c *Client) { c.backoff = d } }
+
+// New builds a client for a daemon base URL like "http://localhost:8080".
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base:    base,
+		hc:      http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Do sends one envelope through POST /v2/do, retrying retryable failures
+// (overloaded, unavailable, deadline — and transport-level errors, which
+// are retryable by nature) with linear backoff. On an op failure the
+// returned error is the server's *Error; errors.As recovers it.
+//
+// Retries re-send the envelope verbatim. The serving ops are read-only
+// except pool, whose statements are idempotent POOL writes; callers that
+// need at-most-once pool semantics should use WithRetries(0).
+func (c *Client) Do(ctx context.Context, req *Request) (*Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.send(ctx, "/v2/do", req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if attempt >= c.retries || !retryable(err) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, lastErr
+		case <-time.After(time.Duration(attempt+1) * c.backoff):
+		}
+	}
+}
+
+// send performs one POST of the envelope and decodes the answer.
+func (c *Client) send(ctx context.Context, path string, req *Request) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	defer hresp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(hresp.Body, 64<<20))
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	var resp Response
+	if err := json.Unmarshal(raw, &resp); err == nil && resp.Error != nil {
+		return nil, resp.Error
+	} else if err == nil && hresp.StatusCode == http.StatusOK {
+		return &resp, nil
+	}
+	// Anything else — an unparsable body, or a non-200 without an error
+	// envelope (e.g. a proxy error page that happens to be JSON) — is a
+	// transport-level failure, never a success: classify by status.
+	terr := fmt.Errorf("client: non-envelope response (status %d): %.200s", hresp.StatusCode, raw)
+	if retryableStatus(hresp.StatusCode) {
+		return nil, &transportError{err: terr}
+	}
+	return nil, terr
+}
+
+// Narrate asks for the narration of one query or plan.
+func (c *Client) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
+	dialect, err := mergeDialectSource(req.Dialect, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(ctx, &Request{
+		Op:      OpNarrate,
+		SQL:     req.SQL,
+		Plan:    req.Plan,
+		Dialect: dialect,
+		Options: req.Options,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Narrate, nil
+}
+
+// Query executes the SQL on the daemon's dataset and narrates what
+// actually happened.
+func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	resp, err := c.Do(ctx, &Request{
+		Op:      OpQuery,
+		SQL:     req.SQL,
+		Options: req.Options,
+		MaxRows: req.MaxRows,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Query, nil
+}
+
+// QA asks a natural-language question about one query or plan.
+func (c *Client) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
+	dialect, err := mergeDialectSource(req.Dialect, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Do(ctx, &Request{
+		Op:       OpQA,
+		SQL:      req.SQL,
+		Plan:     req.Plan,
+		Dialect:  dialect,
+		Question: req.Question,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.QA, nil
+}
+
+// Pool executes one POOL statement (the paper's SME maintenance surface).
+func (c *Client) Pool(ctx context.Context, stmt string) (*PoolResponse, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpPool, Stmt: stmt})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Pool, nil
+}
+
+// Batch fans several envelopes through the pipeline in one round-trip.
+// The outer call fails only on transport problems; per-entry failures are
+// embedded in the matching Response's Error field, order preserved.
+func (c *Client) Batch(ctx context.Context, reqs []*Request) ([]*Response, error) {
+	resp, err := c.Do(ctx, &Request{Op: OpBatch, Batch: reqs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}
+
+// mergeDialectSource applies the server's own dialect/source merge rule
+// client-side (one shared implementation — service.MergeDialectSource —
+// so SDK and server cannot drift): a disagreement is a bad_request before
+// any bytes hit the wire, not a silent pick.
+func mergeDialectSource(dialect, source string) (string, error) {
+	merged, err := service.MergeDialectSource(dialect, source)
+	if err != nil {
+		return "", service.AsErrorInfo(err)
+	}
+	return merged, nil
+}
+
+// IsRetryable reports whether err carries a retryable structured error
+// (or is a transport-level failure). The SDK already retries these; the
+// helper is for callers layering their own policy.
+func IsRetryable(err error) bool { return retryable(err) }
+
+func retryable(err error) bool {
+	var info *Error
+	if errors.As(err, &info) {
+		return info.Retryable
+	}
+	var terr *transportError
+	return errors.As(err, &terr)
+}
+
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// transportError wraps connection-level failures so the retry policy can
+// distinguish them from op failures.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }

@@ -1,0 +1,242 @@
+package client_test
+
+// SDK tests run against the real daemon surface (internal/httpapi over a
+// TPC-H engine) via httptest, plus a flaky front for the retry policy.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lantern/client"
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/httpapi"
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+func newDaemon(t testing.TB) *httptest.Server {
+	t.Helper()
+	eng := engine.NewDefault()
+	if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+		t.Fatalf("loading tpch: %v", err)
+	}
+	store := pool.NewSeededStore()
+	srv := service.NewServer(eng, store, service.Config{RequestTimeout: 30 * time.Second})
+	t.Cleanup(srv.Close)
+	daemon := httptest.NewServer(httpapi.New(srv, store, httpapi.Config{Dataset: "tpch"}))
+	t.Cleanup(daemon.Close)
+	return daemon
+}
+
+const qJoin = "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY c.c_name LIMIT 5"
+
+func TestTypedMethods(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	ctx := context.Background()
+
+	nar, err := c.Narrate(ctx, &client.NarrateRequest{SQL: qJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nar.Text == "" || nar.Fingerprint == "" {
+		t.Fatalf("narrate: %+v", nar)
+	}
+
+	q, err := c.Query(ctx, &client.QueryRequest{SQL: qJoin, MaxRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.RowCount != 5 || len(q.Rows) != 2 || q.Dialect != "native" {
+		t.Fatalf("query: count=%d rows=%d dialect=%s", q.RowCount, len(q.Rows), q.Dialect)
+	}
+
+	qa, err := c.QA(ctx, &client.QARequest{SQL: qJoin, Question: "how many steps are there?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qa.Answer == "" {
+		t.Fatal("empty QA answer")
+	}
+
+	pl, err := c.Pool(ctx, `SELECT desc FROM pg WHERE name = 'sort'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Rows) == 0 {
+		t.Fatalf("pool: %+v", pl)
+	}
+}
+
+func TestStructuredErrors(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	_, err := c.Query(context.Background(), &client.QueryRequest{SQL: "SELECT FROM WHERE"})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var info *client.Error
+	if !errors.As(err, &info) {
+		t.Fatalf("error %T is not *client.Error", err)
+	}
+	if info.Code != "bad_request" || info.Retryable {
+		t.Fatalf("info = %+v", info)
+	}
+	if client.IsRetryable(err) {
+		t.Fatal("bad_request must not be retryable")
+	}
+}
+
+// TestDialectSourceDisagreement: the SDK rejects a contradicting
+// dialect/source pair client-side with the same code the server would
+// use, instead of silently picking one.
+func TestDialectSourceDisagreement(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	_, err := c.Narrate(context.Background(), &client.NarrateRequest{
+		SQL: qJoin, Dialect: "pg", Source: "mysql"})
+	var info *client.Error
+	if !errors.As(err, &info) || info.Code != "bad_request" {
+		t.Fatalf("err = %v, want client-side bad_request", err)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	resps, err := c.Batch(context.Background(), []*client.Request{
+		{Op: client.OpNarrate, ID: "a", SQL: qJoin},
+		{Op: client.OpQuery, ID: "b", SQL: qJoin},
+		{Op: client.OpNarrate, ID: "c", Dialect: "db9", SQL: qJoin},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("%d responses", len(resps))
+	}
+	if resps[0].Narrate == nil || resps[0].ID != "a" {
+		t.Fatalf("entry 0: %+v", resps[0])
+	}
+	if resps[1].Query == nil {
+		t.Fatalf("entry 1: %+v", resps[1])
+	}
+	if resps[2].Error == nil || resps[2].Error.Code != "bad_request" {
+		t.Fatalf("entry 2: %+v", resps[2])
+	}
+}
+
+// TestRetryOnRetryable: the SDK retries overloaded/transport failures and
+// succeeds once the backend recovers.
+func TestRetryOnRetryable(t *testing.T) {
+	daemon := newDaemon(t)
+	var fails atomic.Int32
+	fails.Store(2)
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fails.Add(-1) >= 0 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			io.WriteString(w, `{"op":"narrate","error":{"code":"overloaded","message":"queue full","retryable":true}}`)
+			return
+		}
+		// Recovered: proxy to the real daemon.
+		resp, err := http.Post(daemon.URL+r.URL.Path, "application/json", r.Body)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	t.Cleanup(flaky.Close)
+
+	c := client.New(flaky.URL, client.WithRetries(3), client.WithBackoff(time.Millisecond))
+	nar, err := c.Narrate(context.Background(), &client.NarrateRequest{SQL: qJoin})
+	if err != nil {
+		t.Fatalf("retries exhausted: %v", err)
+	}
+	if nar.Text == "" {
+		t.Fatal("empty narration after retry")
+	}
+	if fails.Load() >= 0 {
+		t.Fatal("flaky front never tripped")
+	}
+
+	// With retries disabled the first overloaded answer surfaces.
+	fails.Store(1)
+	c0 := client.New(flaky.URL, client.WithRetries(0))
+	if _, err := c0.Narrate(context.Background(), &client.NarrateRequest{SQL: qJoin}); !client.IsRetryable(err) {
+		t.Fatalf("want retryable overloaded error, got %v", err)
+	}
+}
+
+// TestNon200WithoutEnvelope: a non-200 response whose body is parsable
+// JSON but carries no error envelope (a proxy error page) must surface as
+// a retryable transport failure — never as a nil-payload success.
+func TestNon200WithoutEnvelope(t *testing.T) {
+	proxy := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, `{"message": "upstream unavailable"}`)
+	}))
+	t.Cleanup(proxy.Close)
+	c := client.New(proxy.URL, client.WithRetries(1), client.WithBackoff(time.Millisecond))
+	resp, err := c.Narrate(context.Background(), &client.NarrateRequest{SQL: qJoin})
+	if err == nil {
+		t.Fatalf("nil error for a 503 without envelope (resp=%+v)", resp)
+	}
+	if !client.IsRetryable(err) {
+		t.Fatalf("503 must classify as retryable transport failure, got %v", err)
+	}
+}
+
+func TestQueryStreamIterator(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	qs, err := c.QueryStream(context.Background(), &client.QueryRequest{
+		SQL: "SELECT c_name FROM customer ORDER BY c_name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qs.Close()
+	if len(qs.Columns()) != 1 {
+		t.Fatalf("columns = %v", qs.Columns())
+	}
+	if qs.Trailer() != nil {
+		t.Fatal("trailer must be nil before EOF")
+	}
+	rows := 0
+	for {
+		row, err := qs.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != 1 {
+			t.Fatalf("row = %v", row)
+		}
+		rows++
+	}
+	tr := qs.Trailer()
+	if tr == nil || tr.RowCount != rows || tr.Text == "" {
+		t.Fatalf("trailer = %+v after %d rows", tr, rows)
+	}
+	// Next after EOF stays EOF.
+	if _, err := qs.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+func TestQueryStreamBadSQL(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	_, err := c.QueryStream(context.Background(), &client.QueryRequest{SQL: "SELECT FROM"})
+	var info *client.Error
+	if !errors.As(err, &info) || info.Code != "bad_request" {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,149 @@
+package client
+
+// stream.go is the SDK side of /v2/query?stream=ndjson: a pull-based
+// iterator over the row records, with the narration trailer available
+// after the stream ends.
+//
+//	qs, err := c.QueryStream(ctx, &client.QueryRequest{SQL: sql})
+//	defer qs.Close()
+//	for {
+//		row, err := qs.Next()
+//		if err == io.EOF { break }
+//		...
+//	}
+//	trailer := qs.Trailer() // the full QueryResponse, narration included
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"lantern/internal/httpapi"
+)
+
+// QueryStream iterates the NDJSON records of one streaming query. Not
+// safe for concurrent use.
+type QueryStream struct {
+	body    io.ReadCloser
+	sc      *bufio.Scanner
+	columns []string
+	trailer *QueryResponse
+	done    bool
+}
+
+// streamRecord is the server's NDJSON framing — the shared wire-format
+// definition, so handler and SDK cannot drift.
+type streamRecord = httpapi.StreamRecord
+
+// QueryStream opens a streaming query. The first record (the column
+// header) is consumed before returning, so Columns is immediately
+// available; rows are pulled with Next. Streaming calls are not retried —
+// rows may already have been observed.
+func (c *Client) QueryStream(ctx context.Context, req *QueryRequest) (*QueryStream, error) {
+	body, err := json.Marshal(&Request{Op: OpQuery, SQL: req.SQL, Options: req.Options, MaxRows: req.MaxRows})
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/query?stream=ndjson", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, &transportError{err: err}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		defer hresp.Body.Close()
+		raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<20))
+		var resp Response
+		if json.Unmarshal(raw, &resp) == nil && resp.Error != nil {
+			return nil, resp.Error
+		}
+		return nil, fmt.Errorf("client: stream rejected (status %d): %.200s", hresp.StatusCode, raw)
+	}
+
+	qs := &QueryStream{body: hresp.Body, sc: bufio.NewScanner(hresp.Body)}
+	qs.sc.Buffer(make([]byte, 64<<10), 16<<20)
+	// Consume the header record eagerly so Columns is usable immediately.
+	rec, err := qs.read()
+	if err != nil {
+		qs.Close()
+		return nil, err
+	}
+	if rec.Record != httpapi.RecordColumns {
+		qs.Close()
+		return nil, fmt.Errorf("client: stream opened with %q record, want columns", rec.Record)
+	}
+	qs.columns = rec.Columns
+	return qs, nil
+}
+
+// Columns is the output header, available before the first row.
+func (s *QueryStream) Columns() []string { return s.columns }
+
+// Next returns the next result row. io.EOF signals a clean end of stream
+// — the trailer is then available via Trailer. Any other error means the
+// stream broke (including a server-reported mid-stream error).
+func (s *QueryStream) Next() ([]string, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	rec, err := s.read()
+	if err != nil {
+		s.done = true
+		return nil, err
+	}
+	switch rec.Record {
+	case httpapi.RecordRow:
+		return rec.Row, nil
+	case httpapi.RecordTrailer:
+		s.done = true
+		if rec.Response != nil {
+			s.trailer = rec.Response.Query
+		}
+		return nil, io.EOF
+	case httpapi.RecordError:
+		s.done = true
+		if rec.Error != nil {
+			return nil, rec.Error
+		}
+		return nil, fmt.Errorf("client: stream failed without detail")
+	default:
+		s.done = true
+		return nil, fmt.Errorf("client: unexpected stream record %q", rec.Record)
+	}
+}
+
+// Trailer returns the complete query response (narration included) once
+// Next has returned io.EOF; nil before that.
+func (s *QueryStream) Trailer() *QueryResponse { return s.trailer }
+
+// Close releases the underlying connection. Safe to call at any time,
+// including mid-stream abandonment.
+func (s *QueryStream) Close() error {
+	s.done = true
+	return s.body.Close()
+}
+
+func (s *QueryStream) read() (*streamRecord, error) {
+	for s.sc.Scan() {
+		line := bytes.TrimSpace(s.sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec streamRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("client: bad stream record: %w", err)
+		}
+		return &rec, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		return nil, &transportError{err: err}
+	}
+	return nil, io.ErrUnexpectedEOF
+}

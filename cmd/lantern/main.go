@@ -11,29 +11,40 @@
 //	lantern -db tpch -source mysql "SELECT ..."
 //	lantern -db imdb -mode neural "SELECT ..."
 //
-// With -source native the plan reaches the narrator through the direct
-// engine↔plan bridge (no EXPLAIN-text round-trip), and -exec additionally
-// executes the query with per-operator instrumentation, narrating the
-// actual row counts and optimizer mis-estimates:
+// With -exec the query is executed with per-operator instrumentation and
+// narrated with its actuals (actual row counts, optimizer mis-estimates).
+// The exec path consumes the serving API through the Go client SDK
+// (lantern/client): by default the CLI boots an in-process daemon over the
+// loaded dataset and speaks the v2 envelope to it loopback — the exact
+// pipeline a production deployment serves — and with -remote it targets a
+// running lanternd instead, loading no data locally:
 //
-//	lantern -db tpch -source native -exec "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name"
+//	lantern -db tpch -exec "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name"
+//	lantern -remote http://localhost:8080 -exec "SELECT ..."
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"lantern/client"
 	"lantern/internal/core"
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
+	"lantern/internal/httpapi"
 	"lantern/internal/lot"
 	"lantern/internal/neural"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
 	"lantern/internal/qa"
+	"lantern/internal/service"
 )
 
 func main() {
@@ -42,27 +53,12 @@ func main() {
 	source := flag.String("source", "pg", "plan dialect: "+strings.Join(plan.Dialects(), ", "))
 	mode := flag.String("mode", "rule", "narration mode: rule, neural, auto (frequency switching)")
 	showPlan := flag.Bool("show-plan", false, "also print the raw serialized plan")
-	execQuery := flag.Bool("exec", false, "execute the query with instrumentation and narrate its actuals (implies -source native)")
+	execQuery := flag.Bool("exec", false, "execute the query through the serving API (client SDK) and narrate its actuals")
+	remote := flag.String("remote", "", "base URL of a running lanternd (e.g. http://localhost:8080); -exec then targets it instead of an in-process daemon")
 	treeView := flag.Bool("tree", false, "present as NL-annotated visual tree instead of document text")
-	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it")
+	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it (estimate-based, even with -exec)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	flag.Parse()
-
-	eng := engine.NewDefault()
-	var err error
-	switch *db {
-	case "tpch":
-		err = datasets.LoadTPCH(eng, *scale, *seed)
-	case "sdss":
-		err = datasets.LoadSDSS(eng, *scale, *seed)
-	case "imdb":
-		err = datasets.LoadIMDB(eng, *scale, *seed)
-	default:
-		fatal(fmt.Errorf("unknown dataset %q", *db))
-	}
-	if err != nil {
-		fatal(err)
-	}
 
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) == "" {
@@ -74,27 +70,38 @@ func main() {
 		query = data
 	}
 
-	store := pool.NewSeededStore()
-	var tree *plan.Node
-	var raw string
+	// The exec path speaks the v2 envelope through the SDK — against a
+	// remote daemon, or an in-process one booted over the local dataset.
+	// The serving pipeline narrates rule-based and never echoes raw plans,
+	// so the flags that need local machinery are rejected rather than
+	// silently ignored.
 	if *execQuery {
-		// Execute with instrumentation and bridge the plan directly —
-		// the narration reports what actually happened.
-		qr, qerr := eng.QueryInstrumented(query)
-		if qerr != nil {
-			fatal(qerr)
+		if *mode != "rule" {
+			fatal(fmt.Errorf("-exec narrates through the serving API, which is rule-based; -mode %s is only available without -exec", *mode))
 		}
-		tree = engine.ToPlanNodeStats(qr.Plan, qr.Stats)
-		if raw, err = plan.FormatNative(tree); err != nil {
-			fatal(err)
+		if *showPlan {
+			fatal(fmt.Errorf("-show-plan is not available with -exec (the serving API returns narrations, not raw plans)"))
 		}
-		fmt.Fprintf(os.Stderr, "executed: %d rows in %.3f ms\n",
-			len(qr.Result.Rows), float64(qr.Elapsed)/1e6)
-	} else {
-		tree, raw, err = explainTree(eng, *source, query)
-		if err != nil {
-			fatal(err)
+		// -exec always travels the native engine↔plan bridge; a non-native
+		// dialect request would be silently dropped, so reject it. The flag
+		// default "pg" means "unset" here.
+		if *source != "pg" && *source != "native" {
+			fatal(fmt.Errorf("-exec implies -source native; -source %s is only available without -exec", *source))
 		}
+		c, shutdown := sdkClient(*remote, *db, *scale, *seed)
+		defer shutdown()
+		runExec(c, query, *treeView, *ask)
+		return
+	}
+	if *remote != "" {
+		fatal(fmt.Errorf("-remote requires -exec (the local paths need no daemon)"))
+	}
+
+	eng := loadEngine(*db, *scale, *seed)
+	store := pool.NewSeededStore()
+	tree, raw, err := explainTree(eng, *source, query)
+	if err != nil {
+		fatal(err)
 	}
 	if *showPlan {
 		fmt.Println(raw)
@@ -145,6 +152,74 @@ func main() {
 		return
 	}
 	fmt.Print(nar.Text())
+}
+
+// runExec drives the execute-and-narrate loop through the client SDK.
+func runExec(c *client.Client, query string, treeView bool, ask string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if ask != "" {
+		resp, err := c.QA(ctx, &client.QARequest{SQL: query, Question: ask})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(resp.Answer)
+		return
+	}
+	opts := client.Options{}
+	if treeView {
+		opts.Presentation = service.PresentTree
+	}
+	resp, err := c.Query(ctx, &client.QueryRequest{SQL: query, MaxRows: -1, Options: opts})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "executed: %d rows in %.3f ms\n", resp.RowCount, resp.ElapsedMs)
+	fmt.Print(resp.Text)
+	if !strings.HasSuffix(resp.Text, "\n") {
+		fmt.Println()
+	}
+}
+
+// sdkClient returns a client against the remote daemon, or boots an
+// in-process one on a loopback listener over the locally loaded dataset.
+func sdkClient(remote, db string, scale float64, seed int64) (*client.Client, func()) {
+	if remote != "" {
+		return client.New(remote), func() {}
+	}
+	eng := loadEngine(db, scale, seed)
+	store := pool.NewSeededStore()
+	srv := service.NewServer(eng, store, service.Config{RequestTimeout: 5 * time.Minute})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: httpapi.New(srv, store, httpapi.Config{Dataset: db})}
+	go httpSrv.Serve(ln)
+	shutdown := func() {
+		httpSrv.Close()
+		srv.Close()
+	}
+	return client.New("http://" + ln.Addr().String()), shutdown
+}
+
+func loadEngine(db string, scale float64, seed int64) *engine.Engine {
+	eng := engine.NewDefault()
+	var err error
+	switch db {
+	case "tpch":
+		err = datasets.LoadTPCH(eng, scale, seed)
+	case "sdss":
+		err = datasets.LoadSDSS(eng, scale, seed)
+	case "imdb":
+		err = datasets.LoadIMDB(eng, scale, seed)
+	default:
+		err = fmt.Errorf("unknown dataset %q", db)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	return eng
 }
 
 // explainTree plans the query and round-trips it through the dialect's

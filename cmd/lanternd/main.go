@@ -1,46 +1,51 @@
 // Command lanternd is the LANTERN serving daemon: a JSON-over-HTTP front
-// end to the concurrent narration service (internal/service).
+// end to the concurrent narration service (internal/service), serving two
+// surfaces over one typed request pipeline (internal/httpapi):
 //
-// It loads one of the bundled datasets into the substrate engine, seeds
-// the POEM store, and serves:
+// The v2 envelope API — one request shape, every operation:
 //
-//	POST /v1/narrate  {"sql": "...", "dialect": "pg", "options": {"presentation": "tree"}}
-//	POST /v1/query    {"sql": "...", "max_rows": 5}
-//	POST /v1/qa       {"sql": "...", "question": "what does step 2 do?"}
-//	POST /v1/pool     {"stmt": "UPDATE pg SET desc = '...' WHERE name = 'seqscan'"}
-//	GET  /v1/dialects
-//	GET  /v1/healthz
-//	GET  /v1/stats
+//	POST /v2/do       {"op": "narrate|query|qa|pool|batch", ...}
+//	POST /v2/narrate  {"sql": "...", "dialect": "pg", "options": {"presentation": "tree"}}
+//	POST /v2/query    {"sql": "...", "max_rows": 5}     (?stream=ndjson streams rows)
+//	POST /v2/qa       {"sql": "...", "question": "what does step 2 do?"}
+//	POST /v2/pool     {"stmt": "UPDATE pg SET desc = '...' WHERE name = 'seqscan'"}
+//	POST /v2/batch    {"batch": [{"op": "narrate", ...}, {"op": "query", ...}]}
 //
-// A narrate/qa request carries either "sql" (planned by the embedded
-// engine in the chosen dialect) or "plan" (a pre-serialized EXPLAIN
-// document). "dialect" selects the plan frontend ("pg", "sqlserver",
-// "mysql"); when omitted it defaults to pg for SQL and is auto-detected
-// for plan documents (pg-JSON array vs showplan-XML vs mysql-JSON
-// query_block).
+// v2 failures are structured — {"error": {"code", "message", "retryable"}}
+// — with stable codes (bad_request, overloaded, unavailable,
+// deadline_exceeded, canceled, narration_failed) instead of ad-hoc
+// strings; an "id" on any envelope is echoed back for correlation, and a
+// "fingerprint" hint answers repeat narrations straight from the cache.
+// The Go SDK for this surface lives in the lantern/client package.
 //
-// /v1/query closes the loop the other endpoints only estimate: the SQL is
-// planned and *executed* against the loaded dataset with per-operator
-// instrumentation, the plan travels the direct native bridge (no EXPLAIN
-// text), and the narration reports what actually happened — actual row
-// counts, loop counts, and optimizer mis-estimate callouts — alongside
-// the query's columns, first rows, cardinality, and elapsed time.
+// The legacy v1 surface, kept as a thin adapter over the same pipeline
+// (byte-identical responses, pinned by the recorded corpus in
+// internal/httpapi/testdata):
 //
-// Narrations are cached by plan fingerprint (for /v1/query the key also
-// covers the actuals, excluding wall time); POOL statements executed
-// through /v1/pool invalidate exactly the cached narrations that mention
-// the mutated operators, scoped to the mutated dialect. Try:
+//	POST /v1/narrate  POST /v1/query  POST /v1/qa  POST /v1/pool
+//	GET  /v1/dialects GET /v1/healthz GET /v1/stats
+//
+// /v2/query (and /v1/query) closes the loop the other endpoints only
+// estimate: the SQL is planned and *executed* against the loaded dataset
+// with per-operator instrumentation — concurrent queries run on
+// independent engine sessions from a pool sized by -engine-sessions — and
+// the narration reports what actually happened. With ?stream=ndjson the
+// rows arrive incrementally as NDJSON records while the query runs, and
+// the narration follows as a trailer record:
 //
 //	lanternd -addr :8080 -db tpch &
-//	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7"}'
-//	curl -s localhost:8080/v1/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7", "dialect": "mysql"}'
-//	curl -s localhost:8080/v1/query -d '{"sql": "SELECT c.c_name, SUM(o.o_totalprice) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey GROUP BY c.c_name ORDER BY c.c_name LIMIT 5"}'
+//	curl -s localhost:8080/v2/narrate -d '{"sql": "SELECT c_name FROM customer WHERE c_custkey = 7"}'
+//	curl -sN localhost:8080/v2/query?stream=ndjson -d '{"sql": "SELECT c_name FROM customer ORDER BY c_name"}'
+//	curl -s localhost:8080/v2/batch -d '{"batch": [{"op": "narrate", "sql": "SELECT 1 FROM customer"}]}'
 //	curl -s localhost:8080/v1/stats | jq .cache
+//
+// Narrations are cached by plan fingerprint (for query ops the key also
+// covers the actuals, excluding wall time); POOL statements invalidate
+// exactly the cached narrations that mention the mutated operators.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -48,18 +53,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
 	"syscall"
 	"time"
 
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
-	"lantern/internal/plan"
+	"lantern/internal/httpapi"
 	"lantern/internal/pool"
 	"lantern/internal/service"
 )
-
-const maxBodyBytes = 1 << 20
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -71,6 +73,7 @@ func main() {
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
 	cacheMB := flag.Int64("cache-mb", 32, "narration cache budget in MiB (0 disables)")
 	shards := flag.Int("cache-shards", 16, "narration cache shard count")
+	sessions := flag.Int("engine-sessions", 0, "engine session pool size for query ops (0 = workers)")
 	flag.Parse()
 
 	eng := engine.NewDefault()
@@ -100,129 +103,12 @@ func main() {
 		RequestTimeout: *timeout,
 		CacheBytes:     cacheBytes,
 		CacheShards:    *shards,
-	})
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/narrate", postJSON(func(w http.ResponseWriter, r *http.Request) {
-		var req service.NarrateRequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		resp, err := srv.Narrate(r.Context(), &req)
-		if err != nil {
-			writeServiceError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	}))
-	mux.HandleFunc("/v1/query", postJSON(func(w http.ResponseWriter, r *http.Request) {
-		var req service.QueryRequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		resp, err := srv.Query(r.Context(), &req)
-		if err != nil {
-			writeServiceError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	}))
-	mux.HandleFunc("/v1/qa", postJSON(func(w http.ResponseWriter, r *http.Request) {
-		var req service.QARequest
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		resp, err := srv.QA(r.Context(), &req)
-		if err != nil {
-			writeServiceError(w, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, resp)
-	}))
-	mux.HandleFunc("/v1/pool", postJSON(func(w http.ResponseWriter, r *http.Request) {
-		var req struct {
-			Stmt string `json:"stmt"`
-		}
-		if !decodeBody(w, r, &req) {
-			return
-		}
-		res, err := store.Exec(req.Stmt)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errBody(err))
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"affected": res.Affected,
-			"template": res.Template,
-			"rows":     res.Rows,
-		})
-	}))
-	mux.HandleFunc("/v1/dialects", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
-			return
-		}
-		type dialectInfo struct {
-			Name string `json:"name"`
-			// PlanFrontend: a registered plan parser exists; false for
-			// POOL-only sources (db2, the paper's transfer example).
-			PlanFrontend bool `json:"plan_frontend"`
-			AutoDetect   bool `json:"auto_detect"`
-			SQLPlanning  bool `json:"sql_planning"`
-			PoolSeeded   bool `json:"pool_seeded"`
-		}
-		seeded := make(map[string]bool)
-		names := make(map[string]bool)
-		for _, s := range store.Sources() {
-			seeded[s] = true
-			names[s] = true
-		}
-		for _, n := range plan.Dialects() {
-			names[n] = true
-		}
-		sorted := make([]string, 0, len(names))
-		for n := range names {
-			sorted = append(sorted, n)
-		}
-		sort.Strings(sorted)
-		var out []dialectInfo
-		for _, name := range sorted {
-			d, ok := plan.Lookup(name)
-			out = append(out, dialectInfo{
-				Name:         name,
-				PlanFrontend: ok,
-				AutoDetect:   ok && d.Detect != nil,
-				SQLPlanning:  ok && d.EngineFormat != "",
-				PoolSeeded:   seeded[name],
-			})
-		}
-		writeJSON(w, http.StatusOK, map[string]any{"dialects": out})
-	})
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
-			return
-		}
-		st := srv.Stats()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status":         "ok",
-			"dataset":        *db,
-			"uptime_seconds": st.UptimeSeconds,
-			"workers":        st.Workers,
-			"queue_len":      st.QueueLen,
-		})
-	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
-			return
-		}
-		writeJSON(w, http.StatusOK, srv.Stats())
+		EngineSessions: *sessions,
 	})
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           httpapi.New(srv, store, httpapi.Config{Dataset: *db}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -240,58 +126,4 @@ func main() {
 	}
 	srv.Close()
 	log.Printf("lanternd: shut down")
-}
-
-// postJSON wraps a handler with the method check shared by the POST
-// endpoints.
-func postJSON(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use POST with a JSON body")))
-			return
-		}
-		h(w, r)
-	}
-}
-
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(dst); err != nil {
-		writeJSON(w, http.StatusBadRequest, errBody(fmt.Errorf("invalid request body: %w", err)))
-		return false
-	}
-	return true
-}
-
-// writeServiceError maps service errors onto serving-appropriate status
-// codes: queue-full → 429 with Retry-After, deadline → 504, malformed
-// request → 400, and narration failures (e.g. an operator with no POEM
-// entry) → 422.
-func writeServiceError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, service.ErrBadRequest):
-		writeJSON(w, http.StatusBadRequest, errBody(err))
-	case errors.Is(err, service.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, errBody(err))
-	case errors.Is(err, service.ErrClosed):
-		writeJSON(w, http.StatusServiceUnavailable, errBody(err))
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
-		writeJSON(w, http.StatusGatewayTimeout, errBody(err))
-	default:
-		writeJSON(w, http.StatusUnprocessableEntity, errBody(err))
-	}
-}
-
-func errBody(err error) map[string]string {
-	return map[string]string{"error": err.Error()}
-}
-
-func writeJSON(w http.ResponseWriter, status int, body any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(body)
 }

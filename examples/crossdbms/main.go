@@ -3,23 +3,34 @@
 // PostgreSQL-style JSON plan, a SQL-Server-style XML showplan, a
 // MySQL-style EXPLAIN FORMAT=JSON document, and the engine's native plan
 // serialization — four operator vocabularies, one declarative POEM store,
-// one pluggable dialect registry. It then executes the query through the
-// direct engine↔plan bridge to narrate what *actually* happened (actual
-// row counts and optimizer mis-estimates), and finally uses POOL's
-// UPDATE/REPLACE statements to transfer descriptions to DB2's operators,
-// exactly as §4.2's examples do.
+// one pluggable dialect registry. It then switches to the serving surface:
+// an in-process lanternd is booted and driven through the Go client SDK —
+// a batch envelope narrating across dialects in one round-trip, an
+// executed query narrating what *actually* happened (actual row counts and
+// optimizer mis-estimates), a streaming query delivering rows before the
+// narration trailer, and a structured, retryable-annotated error. Finally
+// POOL's UPDATE/REPLACE statements transfer descriptions to DB2's
+// operators, exactly as §4.2's examples do.
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"log"
+	"net"
+	"net/http"
+	"time"
 
+	"lantern/client"
 	"lantern/internal/core"
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
+	"lantern/internal/httpapi"
 	"lantern/internal/neuron"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
+	"lantern/internal/service"
 )
 
 func main() {
@@ -61,20 +72,66 @@ func main() {
 		fmt.Print(nar.Text(), "\n")
 	}
 
-	// --- Narrating what actually happened ------------------------------------
-	// The native bridge skips serialization entirely: execute with
-	// instrumentation, bridge the plan with its actuals, narrate.
-	qr, err := eng.QueryInstrumented(query)
+	// --- The serving surface through the Go client SDK -----------------------
+	// Everything below drives the same pipeline a production deployment
+	// serves: an in-process daemon on a loopback listener, spoken to in v2
+	// envelopes via lantern/client.
+	srv := service.NewServer(eng, store, service.Config{RequestTimeout: time.Minute})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	actualTree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
-	nar, err := rl.Narrate(actualTree)
+	httpSrv := &http.Server{Handler: httpapi.New(srv, store, httpapi.Config{Dataset: "sdss"})}
+	go httpSrv.Serve(ln)
+	defer func() { httpSrv.Close(); srv.Close() }()
+	c := client.New("http://" + ln.Addr().String())
+	ctx := context.Background()
+
+	// One batch envelope, three dialects — narrated in a single round-trip.
+	batch, err := c.Batch(ctx, []*client.Request{
+		{Op: client.OpNarrate, ID: "pg", Dialect: "pg", SQL: query},
+		{Op: client.OpNarrate, ID: "mysql", Dialect: "mysql", SQL: query},
+		{Op: client.OpNarrate, ID: "native", Dialect: "native", SQL: query},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("--- native with actuals (%d rows in %.3f ms):\n%s\n",
-		len(qr.Result.Rows), float64(qr.Elapsed)/1e6, nar.Text())
+	fmt.Println("--- one batch envelope, three dialects:")
+	for _, r := range batch {
+		fmt.Printf("  [%s] %d steps, fingerprint %.12s...\n", r.ID, len(r.Narrate.Steps), r.Narrate.Fingerprint)
+	}
+
+	// Narrating what actually happened: the query op executes with
+	// instrumentation on a pooled engine session and narrates its actuals.
+	qr, err := c.Query(ctx, &client.QueryRequest{SQL: query, MaxRows: -1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n--- native with actuals (%d rows in %.3f ms):\n%s\n", qr.RowCount, qr.ElapsedMs, qr.Text)
+
+	// Streaming: rows arrive incrementally, the narration follows as the
+	// trailer — a client renders results before the query has finished.
+	qs, err := c.QueryStream(ctx, &client.QueryRequest{SQL: query})
+	if err != nil {
+		log.Fatal(err)
+	}
+	streamed := 0
+	for {
+		if _, err := qs.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			log.Fatal(err)
+		}
+		streamed++
+	}
+	fmt.Printf("--- streamed %d rows over %v, then the trailer narration (%d steps)\n",
+		streamed, qs.Columns(), len(qs.Trailer().Steps))
+	qs.Close()
+
+	// Structured errors: stable code + retryable bit, not string matching.
+	if _, err := c.Query(ctx, &client.QueryRequest{SQL: "SELECT FROM nowhere"}); err != nil {
+		fmt.Printf("--- structured error: %v (retryable=%v)\n\n", err, client.IsRetryable(err))
+	}
 
 	// --- NEURON cannot follow -------------------------------------------------
 	msTree, err := plan.Parse("sqlserver", mustExplain(eng, "XML", query))
@@ -97,7 +154,9 @@ func main() {
 		`UPDATE mysql SET desc = (SELECT desc FROM pg WHERE pg.name = 'hashjoin') WHERE mysql.name = 'hashjoin'`,
 		`COMPOSE hash, hashjoin FROM pg USING hashjoin.desc = 'perform hash join'`,
 	} {
-		res, err := store.Exec(stmt)
+		// Through the SDK: POOL statements are first-class envelope ops, so
+		// SME maintenance runs against a live daemon, not a local store.
+		res, err := c.Pool(ctx, stmt)
 		if err != nil {
 			log.Fatal(err)
 		}

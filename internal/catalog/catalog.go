@@ -2,11 +2,19 @@
 // statistics of the substrate engine: which tables and indexes exist, how
 // many rows each table has, and per-column distinct counts, min/max bounds
 // and null fractions — the inputs to the cost model in internal/engine.
+//
+// The registry itself is safe for concurrent use: lookups, stats reads
+// (including the analyze-on-demand path), and DDL are serialized by an
+// internal RWMutex, so independent engine sessions sharing one catalog can
+// plan concurrently (the serving layer's session pool relies on this).
+// Row storage is not covered by the lock — concurrent reads of a table are
+// safe, but DML must be externally synchronized against readers.
 package catalog
 
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"lantern/internal/datum"
 	"lantern/internal/storage"
@@ -27,6 +35,7 @@ type TableStats struct {
 
 // Catalog is the schema registry: tables plus their statistics.
 type Catalog struct {
+	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	stats  map[string]*TableStats
 }
@@ -41,6 +50,8 @@ func New() *Catalog {
 
 // CreateTable registers a new table. It fails if the name is taken.
 func (c *Catalog) CreateTable(name string, cols []storage.Column) (*storage.Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.tables[name]; ok {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
@@ -51,13 +62,17 @@ func (c *Catalog) CreateTable(name string, cols []storage.Column) (*storage.Tabl
 
 // DropTable removes a table; unknown names are a no-op.
 func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	delete(c.tables, name)
 	delete(c.stats, name)
 }
 
 // Table returns the named table, or an error naming the table.
 func (c *Catalog) Table(name string) (*storage.Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[name]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
 	}
@@ -66,16 +81,20 @@ func (c *Catalog) Table(name string) (*storage.Table, error) {
 
 // HasTable reports whether the named table exists.
 func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
 	_, ok := c.tables[name]
+	c.mu.RUnlock()
 	return ok
 }
 
 // TableNames lists all table names, sorted.
 func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
 	out := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		out = append(out, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -83,17 +102,23 @@ func (c *Catalog) TableNames() []string {
 // Analyze recomputes statistics for the named table (all tables when name
 // is empty), mirroring PostgreSQL's ANALYZE.
 func (c *Catalog) Analyze(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.analyzeLocked(name)
+}
+
+func (c *Catalog) analyzeLocked(name string) error {
 	if name == "" {
 		for n := range c.tables {
-			if err := c.Analyze(n); err != nil {
+			if err := c.analyzeLocked(n); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	t, err := c.Table(name)
-	if err != nil {
-		return err
+	t, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: relation %q does not exist", name)
 	}
 	ts := &TableStats{RowCount: len(t.Rows), Columns: make(map[string]ColumnStats, len(t.Columns))}
 	for i, col := range t.Columns {
@@ -129,14 +154,26 @@ func (c *Catalog) Analyze(name string) error {
 // optimizer always sees fresh numbers — acceptable for an in-memory
 // teaching engine.
 func (c *Catalog) Stats(name string) (*TableStats, error) {
-	t, err := c.Table(name)
-	if err != nil {
-		return nil, err
+	c.mu.RLock()
+	t, ok := c.tables[name]
+	s := c.stats[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
 	}
-	if s, ok := c.stats[name]; ok && s.RowCount == len(t.Rows) {
+	if s != nil && s.RowCount == len(t.Rows) {
 		return s, nil
 	}
-	if err := c.Analyze(name); err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Re-check under the write lock: a concurrent Stats call may have
+	// analyzed the table while we were waiting.
+	if s := c.stats[name]; s != nil {
+		if t, ok := c.tables[name]; ok && s.RowCount == len(t.Rows) {
+			return s, nil
+		}
+	}
+	if err := c.analyzeLocked(name); err != nil {
 		return nil, err
 	}
 	return c.stats[name], nil

@@ -160,7 +160,34 @@ func (e *Engine) runSelect(sel *sqlparser.SelectStmt) (*Result, error) {
 
 // project computes the final select items over the plan's output rows.
 func (e *Engine) project(sel *sqlparser.SelectStmt, plan *Node, rows []storage.Row) (*Result, error) {
-	res := &Result{}
+	pr, err := e.newProjector(sel, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: pr.columns}
+	for _, r := range rows {
+		out, err := pr.project(r)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// projector renders one plan output row into the final select items. It is
+// built once per query — stars expanded, computed expressions pre-bound
+// against the plan schema — and then applied row by row, which is what
+// lets the streaming query path project incrementally instead of
+// materializing the whole result first.
+type projector struct {
+	columns []string
+	pos     []int       // >= 0: direct copy of plan column
+	bound   []boundExpr // set where pos < 0
+	env     rowEnv
+}
+
+func (e *Engine) newProjector(sel *sqlparser.SelectStmt, plan *Node) (*projector, error) {
 	// Expand stars into concrete schema columns.
 	type outCol struct {
 		name string
@@ -189,13 +216,14 @@ func (e *Engine) project(sel *sqlparser.SelectStmt, plan *Node, rows []storage.R
 			cols = append(cols, outCol{name: itemName(it), expr: it.Expr, pos: -1})
 		}
 	}
-	for _, c := range cols {
-		res.Columns = append(res.Columns, c.name)
+	pr := &projector{
+		columns: make([]string, len(cols)),
+		pos:     make([]int, len(cols)),
+		bound:   make([]boundExpr, len(cols)),
 	}
-	// Pre-bind the computed output expressions once against the plan
-	// schema; direct copies keep their ordinal.
-	bound := make([]boundExpr, len(cols))
 	for i, c := range cols {
+		pr.columns[i] = c.name
+		pr.pos[i] = c.pos
 		if c.pos >= 0 {
 			continue
 		}
@@ -203,26 +231,28 @@ func (e *Engine) project(sel *sqlparser.SelectStmt, plan *Node, rows []storage.R
 		if err != nil {
 			return nil, err
 		}
-		bound[i] = b
+		pr.bound[i] = b
 	}
-	var env rowEnv
-	for _, r := range rows {
-		env.left = r
-		out := make(storage.Row, len(cols))
-		for i, c := range cols {
-			if c.pos >= 0 {
-				out[i] = r[c.pos]
-				continue
-			}
-			v, err := bound[i](&env)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = v
+	return pr, nil
+}
+
+// project renders one plan output row. The returned row is freshly
+// allocated and never aliases r.
+func (p *projector) project(r storage.Row) (storage.Row, error) {
+	p.env.left = r
+	out := make(storage.Row, len(p.pos))
+	for i, pos := range p.pos {
+		if pos >= 0 {
+			out[i] = r[pos]
+			continue
 		}
-		res.Rows = append(res.Rows, out)
+		v, err := p.bound[i](&p.env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
 	}
-	return res, nil
+	return out, nil
 }
 
 func (e *Engine) runInsert(s *sqlparser.InsertStmt) (*Result, error) {

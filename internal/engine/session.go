@@ -1,0 +1,121 @@
+package engine
+
+// session.go is the engine session pool: N lightweight engine sessions
+// over one shared catalog, so concurrent read-only requests (the serving
+// layer's /v2/query path) execute on independent engine instances instead
+// of serializing on a single engine behind a mutex.
+//
+// A session is just an Engine value sharing the base engine's catalog —
+// planning and SELECT execution never mutate engine state, and the catalog
+// registry itself is concurrency-safe (internal/catalog), so sessions are
+// independent by construction. The pool pre-warms the optimizer statistics
+// of every table at construction so the analyze-on-demand path is a pure
+// read during serving.
+//
+// The pool assumes a read-only workload: DML/DDL must not run against the
+// shared catalog while sessions are in flight. That is exactly the serving
+// layer's contract — datasets are loaded before the server starts.
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrPoolClosed is returned by Acquire after the pool has been closed.
+var ErrPoolClosed = errors.New("engine: session pool is closed")
+
+// Session returns a new engine instance sharing this engine's catalog and
+// planner configuration. Sessions plan and execute read-only statements
+// independently; see the package notes above for the concurrency contract.
+func (e *Engine) Session() *Engine {
+	return &Engine{Cat: e.Cat, Cfg: e.Cfg}
+}
+
+// SessionPool is a fixed-size pool of engine sessions over one shared
+// catalog. Acquire blocks until a session is free (or the context ends),
+// bounding engine concurrency to the pool size.
+type SessionPool struct {
+	sessions chan *Engine
+	size     int
+	closed   atomic.Bool
+}
+
+// NewSessionPool builds a pool of size sessions over base's catalog. Size
+// values below 1 are raised to 1. The base engine's statistics are warmed
+// (Analyze of every table) so concurrent planning starts from a fully
+// populated cost model.
+func NewSessionPool(base *Engine, size int) (*SessionPool, error) {
+	if size < 1 {
+		size = 1
+	}
+	if err := base.Cat.Analyze(""); err != nil {
+		return nil, err
+	}
+	p := &SessionPool{sessions: make(chan *Engine, size), size: size}
+	for i := 0; i < size; i++ {
+		p.sessions <- base.Session()
+	}
+	return p, nil
+}
+
+// Size reports the pool capacity.
+func (p *SessionPool) Size() int { return p.size }
+
+// Idle reports how many sessions are currently free.
+func (p *SessionPool) Idle() int { return len(p.sessions) }
+
+// Acquire returns a free session, blocking until one is released, the
+// context is done, or the pool is closed.
+func (p *SessionPool) Acquire(ctx context.Context) (*Engine, error) {
+	if p.closed.Load() {
+		return nil, ErrPoolClosed
+	}
+	select {
+	case e := <-p.sessions:
+		// A session handed out during Close is immediately returned so the
+		// caller never executes on a closed pool.
+		if p.closed.Load() {
+			p.Release(e)
+			return nil, ErrPoolClosed
+		}
+		return e, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Release returns a session to the pool. Releasing after Close is a no-op
+// (the session is dropped), so callers may always pair Acquire with a
+// deferred Release.
+func (p *SessionPool) Release(e *Engine) {
+	if e == nil || p.closed.Load() {
+		return
+	}
+	select {
+	case p.sessions <- e:
+	default:
+		// Double release or release after a drained Close: drop the session
+		// rather than block.
+	}
+}
+
+// Close marks the pool closed and unblocks future Acquires with
+// ErrPoolClosed. Sessions still checked out stay valid until released
+// (their Release becomes a no-op); callers that need quiescence should
+// drain in-flight work before Close — the serving layer's Server.Close
+// does exactly that.
+func (p *SessionPool) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	// Drain free sessions so they are collectable; in-flight ones are
+	// dropped on Release.
+	for {
+		select {
+		case <-p.sessions:
+		default:
+			return
+		}
+	}
+}

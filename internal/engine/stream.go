@@ -1,0 +1,138 @@
+package engine
+
+// stream.go is the incremental counterpart of QueryInstrumented: the same
+// parse→plan→instrumented-execute→project loop, but handing rows to the
+// caller as the iterator pipeline produces them instead of materializing
+// the whole result first. The serving layer's /v2/query?stream=ndjson path
+// rides this — a client sees the first row while the scan is still
+// running, and the narration (which needs the complete actuals) arrives as
+// a trailer after the last row.
+
+import (
+	"time"
+
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// StreamingQuery is one open, instrumented SELECT execution. Rows are
+// pulled with Next; after Next reports exhaustion, Finish returns the plan
+// with its collected actuals. Close releases the iterator pipeline and is
+// safe to call at any point (including mid-stream abandonment).
+type StreamingQuery struct {
+	// Columns is the output header, available before the first row.
+	Columns []string
+
+	it      rowIter
+	pr      *projector
+	plan    *Node
+	stats   ExecStats
+	started time.Time
+	elapsed time.Duration
+	rows    int
+	done    bool
+	closed  bool
+}
+
+// QueryStreamInstrumented parses and plans a SELECT, opens its
+// instrumented iterator pipeline, and returns the live stream. The
+// engine session must stay checked out until Close.
+func (e *Engine) QueryStreamInstrumented(sql string) (*StreamingQuery, error) {
+	sel, err := sqlparser.ParseSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := e.planSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := e.newProjector(sel, pl)
+	if err != nil {
+		return nil, err
+	}
+	st := make(ExecStats)
+	b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
+		os := st[pn]
+		if os == nil {
+			os = &OpStats{}
+			st[pn] = os
+		}
+		return &instrIter{child: it, st: os}
+	}}
+	it, err := b.build(pl)
+	if err != nil {
+		return nil, err
+	}
+	q := &StreamingQuery{
+		Columns: pr.columns,
+		it:      it,
+		pr:      pr,
+		plan:    pl,
+		stats:   st,
+		started: time.Now(),
+	}
+	if err := it.Open(); err != nil {
+		it.Close()
+		q.closed = true
+		return nil, err
+	}
+	return q, nil
+}
+
+// Next returns the next projected output row, with ok=false at end of
+// stream. The returned row is freshly allocated and owned by the caller.
+func (q *StreamingQuery) Next() (storage.Row, bool, error) {
+	if q.done || q.closed {
+		return nil, false, nil
+	}
+	r, ok, err := q.it.Next()
+	if err != nil {
+		q.done = true
+		q.elapsed = time.Since(q.started)
+		return nil, false, err
+	}
+	if !ok {
+		q.done = true
+		q.elapsed = time.Since(q.started)
+		return nil, false, nil
+	}
+	out, err := q.pr.project(r)
+	if err != nil {
+		q.done = true
+		q.elapsed = time.Since(q.started)
+		return nil, false, err
+	}
+	q.rows++
+	return out, true, nil
+}
+
+// RowCount reports how many rows Next has produced so far.
+func (q *StreamingQuery) RowCount() int { return q.rows }
+
+// Elapsed reports the wall time of the execution: live while streaming,
+// frozen at the value reached when the stream ended.
+func (q *StreamingQuery) Elapsed() time.Duration {
+	if q.done {
+		return q.elapsed
+	}
+	return time.Since(q.started)
+}
+
+// Finish returns the physical plan and its per-operator actuals. The
+// statistics are complete only once Next has reported end of stream; on an
+// abandoned stream they cover the rows actually pulled — which is also
+// what a real EXPLAIN ANALYZE under LIMIT would report.
+func (q *StreamingQuery) Finish() (*Node, ExecStats) { return q.plan, q.stats }
+
+// Close releases the iterator pipeline. Idempotent.
+func (q *StreamingQuery) Close() error {
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	if !q.done {
+		q.done = true
+		q.elapsed = time.Since(q.started)
+	}
+	return q.it.Close()
+}

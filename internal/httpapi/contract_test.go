@@ -1,0 +1,137 @@
+package httpapi
+
+// The contract test boots the daemon surface on a real TCP listener —
+// exactly what `lanternd` serves, minus flag parsing — and replays the
+// recorded v1+v2 corpus over the wire, then drives a live NDJSON stream.
+// It is the `make contract` job: an end-to-end proof that a deployed
+// daemon honors the recorded API contract, transport included.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestContractReplay boots the daemon and replays every recorded
+// exchange over HTTP.
+func TestContractReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contract replay needs a booted daemon")
+	}
+	daemon := httptest.NewServer(newTestHandler(t))
+	defer daemon.Close()
+	client := daemon.Client()
+
+	for _, file := range corpusFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c corpusCase
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if c.Status == 0 || c.Response == nil {
+			t.Fatalf("%s has no recorded response; run TestCorpus with -update", file)
+		}
+
+		req, err := http.NewRequest(c.Method, daemon.URL+c.Path, bytes.NewReader(c.Body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		if resp.StatusCode != c.Status {
+			t.Errorf("%s: status = %d, want %d\n%s", name, resp.StatusCode, c.Status, body)
+			continue
+		}
+		var got, want any
+		if err := json.Unmarshal(normalizeJSON(t, body), &got); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := json.Unmarshal(c.Response, &want); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: response diverged from recording over the wire\ngot:\n%s\nrecorded:\n%s",
+				name, normalizeJSON(t, body), c.Response)
+		}
+	}
+}
+
+// TestContractStreaming drives /v2/query?stream=ndjson over a real
+// connection, reading the stream incrementally: a row record must be
+// readable off the wire before the trailer (the narration computed after
+// execution completes) has been received.
+func TestContractStreaming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("contract streaming needs a booted daemon")
+	}
+	daemon := httptest.NewServer(newTestHandler(t))
+	defer daemon.Close()
+
+	resp, err := daemon.Client().Post(
+		daemon.URL+"/v2/query?stream=ndjson", "application/json",
+		strings.NewReader(`{"sql": "SELECT c_name, c_acctbal FROM customer ORDER BY c_name"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status = %d\n%s", resp.StatusCode, body)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var kinds []string
+	deadline := time.Now().Add(30 * time.Second)
+	for sc.Scan() {
+		if time.Now().After(deadline) {
+			t.Fatal("stream did not terminate")
+		}
+		var rec struct {
+			Record string `json:"record"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", sc.Text(), err)
+		}
+		kinds = append(kinds, rec.Record)
+		if rec.Record == "trailer" || rec.Record == "error" {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(kinds) < 3 || kinds[0] != "columns" || kinds[len(kinds)-1] != "trailer" {
+		t.Fatalf("stream framing wrong: %v", kinds)
+	}
+	sawRowBeforeTrailer := false
+	for _, k := range kinds[1 : len(kinds)-1] {
+		if k == "row" {
+			sawRowBeforeTrailer = true
+		}
+	}
+	if !sawRowBeforeTrailer {
+		t.Fatal("no row record arrived before the trailer")
+	}
+}

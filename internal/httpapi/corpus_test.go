@@ -1,0 +1,216 @@
+package httpapi
+
+// The recorded request/response corpus: every file under testdata/corpus
+// is one HTTP exchange against the daemon surface — v1 endpoints (pinning
+// byte-identical legacy behavior atop the v2 pipeline) and v2 envelopes.
+// Files replay in lexical order, so cache state (cached:true on repeats,
+// stats counters) is deterministic. Regenerate the recorded halves with:
+//
+//	go test ./internal/httpapi -run TestCorpus -update
+//
+// Volatile fields (wall-clock latencies, uptime) are scrubbed before
+// comparison; everything else must match byte for byte.
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+var update = flag.Bool("update", false, "rewrite the recorded corpus responses")
+
+// corpusCase is one recorded exchange. Method/Path/Body are authored;
+// Status/Response are recorded by -update and asserted on replay.
+type corpusCase struct {
+	Method   string          `json:"method"`
+	Path     string          `json:"path"`
+	Body     json.RawMessage `json:"body,omitempty"`
+	Status   int             `json:"status,omitempty"`
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// newTestHandler builds the full daemon surface over a small TPC-H
+// engine with a fixed, machine-independent pipeline configuration.
+func newTestHandler(t testing.TB) http.Handler {
+	t.Helper()
+	eng := engine.NewDefault()
+	if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+		t.Fatalf("loading tpch: %v", err)
+	}
+	store := pool.NewSeededStore()
+	srv := service.NewServer(eng, store, service.Config{
+		Workers:        2,
+		QueueDepth:     8,
+		EngineSessions: 2,
+		RequestTimeout: 30 * time.Second,
+	})
+	t.Cleanup(srv.Close)
+	return New(srv, store, Config{Dataset: "tpch"})
+}
+
+func corpusFiles(t testing.TB) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no corpus files: %v", err)
+	}
+	sort.Strings(files)
+	return files
+}
+
+// scrub zeroes wall-clock-dependent values in a decoded JSON document so
+// recorded responses compare deterministically.
+func scrub(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, val := range x {
+			switch {
+			case k == "elapsed_ms" || k == "uptime_seconds":
+				x[k] = 0.0
+			case strings.HasPrefix(k, "latency_"):
+				x[k] = "<volatile>"
+			default:
+				x[k] = scrub(val)
+			}
+		}
+		return x
+	case []any:
+		for i, val := range x {
+			x[i] = scrub(val)
+		}
+		return x
+	default:
+		return v
+	}
+}
+
+// replay performs one case against the handler and returns the status and
+// the scrubbed, re-marshaled body.
+func replay(t *testing.T, h http.Handler, c *corpusCase) (int, []byte) {
+	t.Helper()
+	var body *bytes.Reader
+	if c.Body != nil {
+		body = bytes.NewReader(c.Body)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(c.Method, c.Path, body)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, normalizeJSON(t, rec.Body.Bytes())
+}
+
+// normalizeJSON decodes, scrubs, and re-marshals indented so recorded and
+// replayed bodies compare structurally and read well in the repo.
+func normalizeJSON(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("response is not JSON: %v\n%s", err, raw)
+	}
+	out, err := json.MarshalIndent(scrub(v), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCorpus replays the recorded corpus in order against the in-process
+// handler: the v1 half proves the adapter reproduces legacy behavior
+// byte-for-byte atop the v2 pipeline; the v2 half pins the envelope
+// contract.
+func TestCorpus(t *testing.T) {
+	h := newTestHandler(t)
+	for _, file := range corpusFiles(t) {
+		name := strings.TrimSuffix(filepath.Base(file), ".json")
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c corpusCase
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		status, body := replay(t, h, &c)
+
+		if *update {
+			c.Status = status
+			c.Response = body
+			out, err := json.MarshalIndent(&c, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(file, append(out, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+
+		t.Run(name, func(t *testing.T) {
+			if c.Status == 0 || c.Response == nil {
+				t.Fatalf("%s has no recorded response; run with -update", file)
+			}
+			if status != c.Status {
+				t.Fatalf("status = %d, want %d\nbody: %s", status, c.Status, body)
+			}
+			var got, want any
+			if err := json.Unmarshal(body, &got); err != nil {
+				t.Fatal(err)
+			}
+			if err := json.Unmarshal(c.Response, &want); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("response diverged from recording\ngot:\n%s\nrecorded:\n%s", body, c.Response)
+			}
+		})
+	}
+}
+
+// TestCorpusCoversAllV1Endpoints guards the corpus itself: every v1
+// endpoint must appear, so the adapter proof cannot silently lose
+// coverage.
+func TestCorpusCoversAllV1Endpoints(t *testing.T) {
+	want := map[string]bool{
+		"/v1/narrate": false, "/v1/query": false, "/v1/qa": false,
+		"/v1/pool": false, "/v1/dialects": false, "/v1/healthz": false, "/v1/stats": false,
+		"/v2/do": false, "/v2/narrate": false, "/v2/query": false,
+		"/v2/qa": false, "/v2/pool": false, "/v2/batch": false,
+	}
+	for _, file := range corpusFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c corpusCase
+		if err := json.Unmarshal(raw, &c); err != nil {
+			t.Fatal(err)
+		}
+		path := c.Path
+		if i := strings.IndexByte(path, '?'); i >= 0 {
+			path = path[:i]
+		}
+		if _, ok := want[path]; ok {
+			want[path] = true
+		}
+	}
+	for path, covered := range want {
+		if !covered {
+			t.Errorf("corpus has no case for %s", path)
+		}
+	}
+}

@@ -1,0 +1,421 @@
+// Package httpapi is the HTTP front end of the LANTERN serving layer,
+// shared by the lanternd daemon, the in-process mode of the lantern CLI,
+// and the contract tests.
+//
+// It exposes two surfaces over one pipeline:
+//
+//   - /v2 — the typed envelope API. Every operation (narrate, query, qa,
+//     pool, batch) is one service.Request run through service.Server.Do;
+//     failures carry structured errors (code, message, retryable).
+//     /v2/query?stream=ndjson streams result rows incrementally with the
+//     narration as a trailer record.
+//   - /v1 — the legacy per-endpoint surface, kept as a thin adapter over
+//     the same pipeline: each handler wraps its payload in an envelope and
+//     unwraps the matching response field, byte-identical to the
+//     pre-envelope daemon (the golden corpus in testdata pins this).
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+
+	"lantern/internal/plan"
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+// maxBodyBytes caps request bodies.
+const maxBodyBytes = 1 << 20
+
+// Config carries the daemon metadata surfaced by the admin endpoints.
+type Config struct {
+	// Dataset is the name of the loaded dataset, echoed by /v1/healthz.
+	Dataset string
+}
+
+// New builds the HTTP handler over a running service server and its POEM
+// store.
+func New(srv *service.Server, store *pool.Store, cfg Config) http.Handler {
+	h := &api{srv: srv, store: store, cfg: cfg}
+	mux := http.NewServeMux()
+
+	// --- v2: the typed envelope surface --------------------------------
+	mux.HandleFunc("/v2/do", postEnvelope(h.v2Do("")))
+	mux.HandleFunc("/v2/narrate", postEnvelope(h.v2Do(service.OpNarrate)))
+	mux.HandleFunc("/v2/query", postEnvelope(h.v2Query))
+	mux.HandleFunc("/v2/qa", postEnvelope(h.v2Do(service.OpQA)))
+	mux.HandleFunc("/v2/pool", postEnvelope(h.v2Do(service.OpPool)))
+	mux.HandleFunc("/v2/batch", postEnvelope(h.v2Do(service.OpBatch)))
+
+	// --- v1: the legacy surface, adapted onto the same pipeline --------
+	mux.HandleFunc("/v1/narrate", postJSON(h.v1Narrate))
+	mux.HandleFunc("/v1/query", postJSON(h.v1Query))
+	mux.HandleFunc("/v1/qa", postJSON(h.v1QA))
+	mux.HandleFunc("/v1/pool", postJSON(h.v1Pool))
+	mux.HandleFunc("/v1/dialects", h.dialects)
+	mux.HandleFunc("/v1/healthz", h.healthz)
+	mux.HandleFunc("/v1/stats", h.stats)
+	return mux
+}
+
+type api struct {
+	srv   *service.Server
+	store *pool.Store
+	cfg   Config
+}
+
+// --- v2 handlers ---------------------------------------------------------
+
+// v2Do serves one envelope. A non-empty wantOp pins the endpoint's op:
+// an omitted body op is filled in, a contradicting one is rejected.
+func (h *api) v2Do(wantOp string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		req, ok := decodeEnvelope(w, r, wantOp)
+		if !ok {
+			return
+		}
+		resp, err := h.srv.Do(r.Context(), req)
+		if err != nil {
+			writeV2Error(w, req, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// v2Query serves the query op, unary or — with ?stream=ndjson —
+// streaming: rows are emitted as NDJSON records while the executor runs,
+// followed by a trailer record carrying the full envelope response
+// (narration included).
+func (h *api) v2Query(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Query().Get("stream") {
+	case "":
+		h.v2Do(service.OpQuery)(w, r)
+	case "ndjson":
+		h.v2QueryStream(w, r)
+	default:
+		writeV2Error(w, nil, service.AsErrorInfo(
+			fmt.Errorf("%w: unknown stream format %q (supported: ndjson)", service.ErrBadRequest, r.URL.Query().Get("stream"))))
+	}
+}
+
+// StreamRecord is the NDJSON framing of /v2/query?stream=ndjson — the
+// single wire-format definition, shared by this handler and the client
+// SDK's stream iterator. Every line is one JSON object tagged by
+// "record":
+//
+//	{"record":"columns","columns":[...]}
+//	{"record":"row","row":[...]}
+//	{"record":"trailer","response":{...}}   (terminal, success)
+//	{"record":"error","error":{...}}        (terminal, failure mid-stream)
+type StreamRecord struct {
+	Record   string             `json:"record"`
+	Columns  []string           `json:"columns,omitempty"`
+	Row      []string           `json:"row,omitempty"`
+	Response *service.Response  `json:"response,omitempty"`
+	Error    *service.ErrorInfo `json:"error,omitempty"`
+}
+
+// Stream record kinds.
+const (
+	RecordColumns = "columns"
+	RecordRow     = "row"
+	RecordTrailer = "trailer"
+	RecordError   = "error"
+)
+
+func (h *api) v2QueryStream(w http.ResponseWriter, r *http.Request) {
+	req, ok := decodeEnvelope(w, r, service.OpQuery)
+	if !ok {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	started := false
+	enc := json.NewEncoder(w)
+	emit := func(rec StreamRecord) error {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+
+	// The full envelope goes through DoStream, so timeout_ms and id apply
+	// to streams exactly as to unary ops.
+	envelope, err := h.srv.DoStream(r.Context(), req, service.StreamCallbacks{
+		OnColumns: func(cols []string) error {
+			return emit(StreamRecord{Record: RecordColumns, Columns: cols})
+		},
+		OnRow: func(row []string) error {
+			return emit(StreamRecord{Record: RecordRow, Row: row})
+		},
+	})
+	if err != nil {
+		if !started {
+			// Nothing sent yet: a regular error envelope with a status code.
+			writeV2Error(w, req, err)
+			return
+		}
+		// Mid-stream: the status line is gone; emit a terminal error record.
+		emit(StreamRecord{Record: RecordError, Error: service.AsErrorInfo(err)})
+		return
+	}
+	emit(StreamRecord{Record: RecordTrailer, Response: envelope})
+}
+
+// --- v1 adapters ---------------------------------------------------------
+
+func (h *api) v1Narrate(w http.ResponseWriter, r *http.Request) {
+	var req service.NarrateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := h.srv.Narrate(r.Context(), &req)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *api) v1Query(w http.ResponseWriter, r *http.Request) {
+	var req service.QueryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := h.srv.Query(r.Context(), &req)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *api) v1QA(w http.ResponseWriter, r *http.Request) {
+	var req service.QARequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := h.srv.QA(r.Context(), &req)
+	if err != nil {
+		writeV1Error(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// v1Pool adapts /v1/pool onto the envelope pipeline. Success keeps the
+// historical body shape; failures carry the structured error envelope
+// (code/message/retryable) instead of the bare string the pre-envelope
+// daemon returned.
+func (h *api) v1Pool(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Stmt string `json:"stmt"`
+	}
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := h.srv.Do(r.Context(), &service.Request{Op: service.OpPool, Stmt: req.Stmt})
+	if err != nil {
+		info := service.AsErrorInfo(err)
+		writeJSON(w, statusForCode(info.Code), map[string]*service.ErrorInfo{"error": info})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp.Pool)
+}
+
+// --- admin endpoints -----------------------------------------------------
+
+func (h *api) dialects(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+		return
+	}
+	type dialectInfo struct {
+		Name string `json:"name"`
+		// PlanFrontend: a registered plan parser exists; false for
+		// POOL-only sources (db2, the paper's transfer example).
+		PlanFrontend bool `json:"plan_frontend"`
+		AutoDetect   bool `json:"auto_detect"`
+		SQLPlanning  bool `json:"sql_planning"`
+		PoolSeeded   bool `json:"pool_seeded"`
+	}
+	seeded := make(map[string]bool)
+	names := make(map[string]bool)
+	for _, s := range h.store.Sources() {
+		seeded[s] = true
+		names[s] = true
+	}
+	for _, n := range plan.Dialects() {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+	var out []dialectInfo
+	for _, name := range sorted {
+		d, ok := plan.Lookup(name)
+		out = append(out, dialectInfo{
+			Name:         name,
+			PlanFrontend: ok,
+			AutoDetect:   ok && d.Detect != nil,
+			SQLPlanning:  ok && d.EngineFormat != "",
+			PoolSeeded:   seeded[name],
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"dialects": out})
+}
+
+func (h *api) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+		return
+	}
+	st := h.srv.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"dataset":        h.cfg.Dataset,
+		"uptime_seconds": st.UptimeSeconds,
+		"workers":        st.Workers,
+		"queue_len":      st.QueueLen,
+	})
+}
+
+func (h *api) stats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use GET")))
+		return
+	}
+	writeJSON(w, http.StatusOK, h.srv.Stats())
+}
+
+// --- shared plumbing -----------------------------------------------------
+
+// postJSON wraps a v1 handler with the method check shared by the POST
+// endpoints, answering in the legacy error shape.
+func postJSON(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errBody(errors.New("use POST with a JSON body")))
+			return
+		}
+		h(w, r)
+	}
+}
+
+// postEnvelope is postJSON for the v2 surface: a wrong method still
+// answers in the structured envelope shape the v2 contract promises.
+func postEnvelope(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, &service.Response{Error: &service.ErrorInfo{
+				Code:    service.CodeBadRequest,
+				Message: "use POST with a JSON envelope body",
+			}})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, errBody(fmt.Errorf("invalid request body: %w", err)))
+		return false
+	}
+	return true
+}
+
+// decodeEnvelope decodes a v2 Request body. A non-empty wantOp fills an
+// omitted op and rejects a contradicting one.
+func decodeEnvelope(w http.ResponseWriter, r *http.Request, wantOp string) (*service.Request, bool) {
+	var req service.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeV2Error(w, nil, service.AsErrorInfo(
+			fmt.Errorf("%w: invalid request body: %v", service.ErrBadRequest, err)))
+		return nil, false
+	}
+	if wantOp != "" {
+		switch req.Op {
+		case "":
+			req.Op = wantOp
+		case wantOp:
+		default:
+			writeV2Error(w, &req, service.AsErrorInfo(
+				fmt.Errorf("%w: op %q does not match endpoint op %q", service.ErrBadRequest, req.Op, wantOp)))
+			return nil, false
+		}
+	}
+	return &req, true
+}
+
+// statusForCode maps structured error codes onto HTTP statuses: the same
+// classes the v1 surface always used.
+func statusForCode(code string) int {
+	switch code {
+	case service.CodeBadRequest:
+		return http.StatusBadRequest
+	case service.CodeOverloaded:
+		return http.StatusTooManyRequests
+	case service.CodeUnavailable:
+		return http.StatusServiceUnavailable
+	case service.CodeDeadlineExceeded, service.CodeCanceled:
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// writeV2Error writes the envelope error response for a failed op.
+func writeV2Error(w http.ResponseWriter, req *service.Request, err error) {
+	info := service.AsErrorInfo(err)
+	resp := &service.Response{Error: info}
+	if req != nil {
+		resp.Op = req.Op
+		resp.ID = req.ID
+	}
+	if info.Code == service.CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, statusForCode(info.Code), resp)
+}
+
+// writeV1Error maps service errors onto the legacy v1 body shape
+// {"error": "message"} with serving-appropriate status codes: queue-full
+// → 429 with Retry-After, deadline → 504, malformed request → 400, and
+// narration failures (e.g. an operator with no POEM entry) → 422.
+func writeV1Error(w http.ResponseWriter, err error) {
+	info := service.AsErrorInfo(err)
+	if info.Code == service.CodeOverloaded {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, statusForCode(info.Code), map[string]string{"error": info.Message})
+}
+
+func errBody(err error) map[string]string {
+	return map[string]string{"error": err.Error()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}

@@ -1,0 +1,201 @@
+package service
+
+// envelope.go is the v2 typed request envelope: one Request/Response pair
+// carries every operation the service performs (narrate, query, qa, pool,
+// batch), so validation, admission control, caching, deadlines, and error
+// shaping live in one pipeline (pipeline.go) instead of per-endpoint
+// handler code. The v1 surface is a thin projection of this envelope —
+// each legacy endpoint wraps its payload in a Request and unwraps the
+// matching Response field.
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Op kinds accepted in Request.Op.
+const (
+	OpNarrate = "narrate"
+	OpQuery   = "query"
+	OpQA      = "qa"
+	OpPool    = "pool"
+	OpBatch   = "batch"
+)
+
+// Structured error codes carried in ErrorInfo.Code. Codes are the stable,
+// machine-readable contract; messages are for humans and may change.
+const (
+	// CodeBadRequest: the request is malformed (missing fields, unknown
+	// dialect, unparsable SQL). Not retryable.
+	CodeBadRequest = "bad_request"
+	// CodeOverloaded: the admission queue was full; the request never
+	// entered the pipeline. Retryable immediately elsewhere or after
+	// backoff.
+	CodeOverloaded = "overloaded"
+	// CodeUnavailable: the server is shutting down. Retryable against
+	// another instance.
+	CodeUnavailable = "unavailable"
+	// CodeDeadlineExceeded: the per-request deadline expired. Retryable
+	// (possibly with a larger budget).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeCanceled: the client canceled the request. Not retryable — the
+	// caller gave up on purpose.
+	CodeCanceled = "canceled"
+	// CodeNarrationFailed: the pipeline ran but could not narrate (e.g. an
+	// operator with no POEM entry) or answer. Not retryable until the
+	// store changes. This is the catch-all non-transport failure class.
+	CodeNarrationFailed = "narration_failed"
+)
+
+// Request is the v2 envelope: the op kind plus the union of per-op
+// payload fields. Exactly the fields relevant to Op are consulted; the
+// validate stage rejects contradictory combinations.
+type Request struct {
+	// Op selects the operation: narrate, query, qa, pool, or batch.
+	Op string `json:"op"`
+	// ID is an optional client-chosen idempotency/correlation hint, echoed
+	// verbatim in the Response (and on every Response of a batch).
+	ID string `json:"id,omitempty"`
+
+	// SQL / Plan / Dialect describe the subject plan for narrate and qa
+	// (exactly one of SQL or Plan), and the SQL to execute for query.
+	SQL     string `json:"sql,omitempty"`
+	Plan    string `json:"plan,omitempty"`
+	Dialect string `json:"dialect,omitempty"`
+
+	// Question is the qa payload.
+	Question string `json:"question,omitempty"`
+	// Stmt is the POOL statement for op "pool".
+	Stmt string `json:"stmt,omitempty"`
+
+	// Options is the narration configuration (participates in the cache
+	// fingerprint).
+	Options Options `json:"options,omitempty"`
+	// MaxRows caps echoed result rows for query ops (see QueryRequest).
+	MaxRows int `json:"max_rows,omitempty"`
+
+	// TimeoutMs tightens the per-request deadline below the server default;
+	// 0 means the server default, values above it are clamped.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+
+	// Fingerprint is an optional cache hint: the plan fingerprint an
+	// earlier response reported for this same request. When the server's
+	// request-key index has no entry for the request, the hint stands in
+	// for it and answers straight from the narration cache; when the index
+	// knows the request, it wins and a disagreeing (stale) hint is
+	// ignored, so a mismatched hint can never substitute another plan's
+	// narration for this request's.
+	Fingerprint string `json:"fingerprint,omitempty"`
+
+	// Batch is the sub-request list for op "batch". Sub-requests must not
+	// themselves be batches.
+	Batch []*Request `json:"batch,omitempty"`
+
+	// payload is the front-index key material ("sql\x00..." or
+	// "plan\x00...") computed once by the validate stage so the cache and
+	// execute stages never re-derive it.
+	payload string
+}
+
+// Response is the v2 envelope answer: the op echoed back, at most one
+// payload field set on success, Error set on failure. In a batch, the
+// outer Response succeeds while individual entries may carry errors.
+type Response struct {
+	Op    string     `json:"op"`
+	ID    string     `json:"id,omitempty"`
+	Error *ErrorInfo `json:"error,omitempty"`
+
+	Narrate *NarrateResponse `json:"narrate,omitempty"`
+	Query   *QueryResponse   `json:"query,omitempty"`
+	QA      *QAResponse      `json:"qa,omitempty"`
+	Pool    *PoolResponse    `json:"pool,omitempty"`
+	Batch   []*Response      `json:"batch,omitempty"`
+}
+
+// PoolResponse is the outcome of one POOL statement. Field order matches
+// the alphabetical key order of the historical v1 body, so the v1 adapter
+// serializes byte-identically to the pre-envelope handler.
+type PoolResponse struct {
+	Affected int        `json:"affected"`
+	Rows     [][]string `json:"rows"`
+	Template string     `json:"template"`
+}
+
+// ErrorInfo is the structured error envelope: a stable machine-readable
+// code, a human-readable message, and an explicit retryable bit replacing
+// ad-hoc error strings.
+type ErrorInfo struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+
+	// err is the underlying Go error, preserved so errors.Is against the
+	// service sentinels keeps working across the envelope boundary.
+	err error
+}
+
+// Error implements the error interface.
+func (e *ErrorInfo) Error() string {
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// Unwrap exposes the underlying error for errors.Is / errors.As.
+func (e *ErrorInfo) Unwrap() error { return e.err }
+
+// AsErrorInfo shapes any pipeline error into the structured envelope. An
+// error that already is an *ErrorInfo passes through unchanged.
+func AsErrorInfo(err error) *ErrorInfo {
+	if err == nil {
+		return nil
+	}
+	var ei *ErrorInfo
+	if errors.As(err, &ei) {
+		return ei
+	}
+	info := &ErrorInfo{Message: err.Error(), err: err}
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		info.Code = CodeBadRequest
+	case errors.Is(err, ErrOverloaded):
+		info.Code, info.Retryable = CodeOverloaded, true
+	case errors.Is(err, ErrClosed):
+		info.Code, info.Retryable = CodeUnavailable, true
+	case errors.Is(err, context.DeadlineExceeded):
+		info.Code, info.Retryable = CodeDeadlineExceeded, true
+	case errors.Is(err, context.Canceled):
+		info.Code = CodeCanceled
+	default:
+		info.Code = CodeNarrationFailed
+	}
+	return info
+}
+
+// timeout returns the effective request timeout under the server default.
+func (r *Request) timeout(def time.Duration) time.Duration {
+	if r.TimeoutMs <= 0 {
+		return def
+	}
+	d := time.Duration(r.TimeoutMs) * time.Millisecond
+	if d > def {
+		return def
+	}
+	return d
+}
+
+// fingerprintHint decodes Request.Fingerprint; ok is false when absent or
+// malformed (a bad hint is ignored, never an error — it is only a hint).
+func (r *Request) fingerprintHint() (Fingerprint, bool) {
+	var fp Fingerprint
+	s := strings.TrimSpace(r.Fingerprint)
+	if len(s) != hex.EncodedLen(len(fp)) {
+		return fp, false
+	}
+	if _, err := hex.Decode(fp[:], []byte(s)); err != nil {
+		return fp, false
+	}
+	return fp, true
+}

@@ -2,12 +2,24 @@
 // narration service over the existing parse→LOT→narrate pipeline, built
 // around a canonical plan fingerprinter and a sharded, byte-bounded LRU
 // narration cache with targeted invalidation driven by POOL mutations.
+//
+// Every operation flows through one typed request envelope (envelope.go)
+// and one pipeline (pipeline.go): Do(ctx, Request) routes the op kind
+// (narrate, query, qa, pool, batch) through shared validate → cache →
+// admission → execute → observe stages with per-op strategy hooks, and
+// failures leave as structured errors (code, message, retryable). The v1
+// methods (Narrate/Query/QA) are thin wrappers over Do.
+//
 // The Query path closes the loop end to end: plan, execute with
-// per-operator instrumentation on the embedded engine, bridge the plan
-// with its actuals into the native dialect, and narrate what actually
-// happened — with the narration cached under an actuals-aware fingerprint
-// (actual rows and loops key the cache; wall time, the one
-// non-deterministic statistic, does not).
+// per-operator instrumentation on a pooled engine session (concurrent
+// queries run on independent engine instances — see
+// internal/engine/session.go), bridge the plan with its actuals into the
+// native dialect, and narrate what actually happened — with the narration
+// cached under an actuals-aware fingerprint (actual rows and loops key
+// the cache; wall time, the one non-deterministic statistic, does not).
+// QueryStream (stream.go) is the incremental flavor: rows are emitted as
+// the iterator pipeline produces them, the narration follows as a
+// trailer.
 //
 // The design follows the precompute-and-maintain playbook: a narration is
 // a pure function of (plan structure, operator conditions, narration

@@ -15,7 +15,6 @@ import (
 	"lantern/internal/metrics"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
-	"lantern/internal/qa"
 )
 
 // Service errors. ErrOverloaded is the fast 429-style rejection: the
@@ -46,6 +45,11 @@ type Config struct {
 	// MaxIndexEntries caps the request→fingerprint front index
 	// (default: 65536).
 	MaxIndexEntries int
+	// EngineSessions sizes the engine session pool executing query ops:
+	// concurrent queries run on independent engine instances over the
+	// shared catalog instead of serializing on one engine (default:
+	// Workers). 1 reproduces the historical fully-serialized engine.
+	EngineSessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -66,6 +70,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxIndexEntries <= 0 {
 		c.MaxIndexEntries = 1 << 16
+	}
+	if c.EngineSessions <= 0 {
+		c.EngineSessions = c.Workers
 	}
 	return c
 }
@@ -100,8 +107,8 @@ type NarrateResponse struct {
 	Cached      bool     `json:"cached"`
 }
 
-// QueryRequest asks for the full loop: plan the SQL on the embedded
-// engine, execute it against the loaded dataset with per-operator
+// QueryRequest asks for the full loop: plan the SQL on a pooled engine
+// session, execute it against the loaded dataset with per-operator
 // instrumentation, and narrate the plan with its actuals — "narrate what
 // actually happened", not just what the optimizer expected. The plan
 // always travels the native bridge (dialect "native"), no EXPLAIN text
@@ -111,7 +118,9 @@ type QueryRequest struct {
 	Options Options `json:"options,omitempty"`
 	// MaxRows caps how many result rows are echoed back (rendered as
 	// strings); 0 means the default of 10, negative means none. The full
-	// result cardinality is always reported in RowCount.
+	// result cardinality is always reported in RowCount. The streaming
+	// path interprets it as the emitted-row cap with no default (see
+	// Server.QueryStream).
 	MaxRows int `json:"max_rows,omitempty"`
 }
 
@@ -148,34 +157,25 @@ type QAResponse struct {
 	Answer string `json:"answer"`
 }
 
-type taskKind int
-
-const (
-	taskNarrate taskKind = iota
-	taskQA
-	taskQuery
-)
-
 type taskResult struct {
-	narrate *NarrateResponse
-	qa      *QAResponse
-	query   *QueryResponse
-	err     error
+	resp *Response
+	err  error
 }
 
+// task is one queued envelope: the pipeline stage data a worker needs to
+// run the op's execute strategy.
 type task struct {
-	kind taskKind
 	ctx  context.Context
-	nreq *NarrateRequest
-	qreq *QARequest
-	xreq *QueryRequest
+	req  *Request
+	spec *opSpec
 	out  chan taskResult // buffered(1): workers never block on delivery
 }
 
 // Server is the concurrent narration service: admission control in front
-// of a bounded queue drained by a fixed worker pool running the
-// parse→LOT→narrate pipeline, with a fingerprint-keyed narration cache in
-// front of the whole thing. Safe for concurrent use.
+// of a bounded queue drained by a fixed worker pool running the v2
+// pipeline's execute stage, with a fingerprint-keyed narration cache in
+// front of the whole thing and an engine session pool underneath query
+// execution. Safe for concurrent use.
 type Server struct {
 	cfg   Config
 	store *pool.Store
@@ -187,8 +187,10 @@ type Server struct {
 	// the invalidation that should have dropped it.
 	mutGen atomic.Int64
 
-	engMu sync.Mutex // the substrate engine is single-threaded
-	eng   *engine.Engine
+	// sessions is the engine session pool: concurrent query ops execute on
+	// independent engine instances over the shared catalog. Nil when the
+	// server was built without an engine (plan-document-only serving).
+	sessions *engine.SessionPool
 
 	idxMu sync.RWMutex
 	idx   map[Fingerprint]Fingerprint // request key → plan fingerprint
@@ -196,12 +198,26 @@ type Server struct {
 	closeMu sync.RWMutex
 	closed  bool
 	queue   chan *task
-	wg      sync.WaitGroup
-	started time.Time
+	// streamSem bounds concurrent streaming queries to the engine session
+	// count, giving streams the same fast ErrOverloaded rejection as
+	// queued ops (they run on caller goroutines, so the queue itself
+	// cannot bound them). Sized to the session pool because a stream holds
+	// its session across client backpressure — admitting more streams than
+	// sessions would only park them in Acquire until their deadline.
+	streamSem chan struct{}
+	// wg tracks the worker goroutines; inflight tracks inline and
+	// streaming ops running on caller goroutines. Close waits for both
+	// before tearing down the session pool.
+	wg       sync.WaitGroup
+	inflight sync.WaitGroup
+	started  time.Time
 
 	narrateReqs metrics.Counter
 	qaReqs      metrics.Counter
 	queryReqs   metrics.Counter
+	poolReqs    metrics.Counter
+	batchReqs   metrics.Counter
+	streamReqs  metrics.Counter
 	rejected    metrics.Counter
 	timeouts    metrics.Counter
 	failures    metrics.Counter
@@ -218,17 +234,24 @@ type Server struct {
 // allowed when every request carries a pre-serialized plan) and a POEM
 // store. It registers the store-mutation hook that keeps the cache
 // consistent: an UPDATE/CREATE/DROP of operator X drops exactly the cached
-// narrations whose plans mention X.
+// narrations whose plans mention X. When eng is non-nil its catalog
+// statistics are warmed and an EngineSessions-sized session pool is built
+// over it; the engine must not receive DML/DDL while the server serves.
 func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		store:   store,
-		rule:    core.NewRuleLantern(store),
-		eng:     eng,
-		idx:     make(map[Fingerprint]Fingerprint),
-		queue:   make(chan *task, cfg.QueueDepth),
-		started: time.Now(),
+		cfg:       cfg,
+		store:     store,
+		rule:      core.NewRuleLantern(store),
+		idx:       make(map[Fingerprint]Fingerprint),
+		queue:     make(chan *task, cfg.QueueDepth),
+		streamSem: make(chan struct{}, cfg.EngineSessions),
+		started:   time.Now(),
+	}
+	if eng != nil {
+		// The only NewSessionPool failure mode is an inconsistent catalog
+		// (a table vanishing mid-walk), impossible before serving starts.
+		s.sessions, _ = engine.NewSessionPool(eng, cfg.EngineSessions)
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheShards, cfg.CacheBytes)
@@ -244,8 +267,12 @@ func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
 	return s
 }
 
-// Close drains the queue, stops the workers, and rejects all future
-// requests with ErrClosed. Idempotent.
+// Close drains the queue and all in-flight work (worker tasks, inline
+// ops, open streams), stops the workers, tears down the engine session
+// pool, and rejects all future requests with ErrClosed. The drain ordering
+// is deliberate: the session pool and cache stay fully usable until the
+// last in-flight request has finished, so Close during a slow query can
+// never panic a worker or strand its result. Idempotent.
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -256,6 +283,10 @@ func (s *Server) Close() {
 	close(s.queue)
 	s.closeMu.Unlock()
 	s.wg.Wait()
+	s.inflight.Wait()
+	if s.sessions != nil {
+		s.sessions.Close()
+	}
 }
 
 func (s *Server) worker() {
@@ -265,119 +296,84 @@ func (s *Server) worker() {
 			t.out <- taskResult{err: err}
 			continue
 		}
-		switch t.kind {
-		case taskNarrate:
-			resp, err := s.handleNarrate(t.ctx, t.nreq)
-			t.out <- taskResult{narrate: resp, err: err}
-		case taskQA:
-			resp, err := s.handleQA(t.ctx, t.qreq)
-			t.out <- taskResult{qa: resp, err: err}
-		case taskQuery:
-			resp, err := s.handleQuery(t.ctx, t.xreq)
-			t.out <- taskResult{query: resp, err: err}
-		}
+		resp, err := t.spec.execute(s, t.ctx, t.req)
+		t.out <- taskResult{resp: resp, err: err}
 	}
 }
 
 // Narrate serves one narration request: constant-time on a cache hit,
-// through the worker pool on a miss. It applies the default deadline when
-// ctx has none and rejects immediately with ErrOverloaded when the queue
-// is full.
+// through the worker pool on a miss. It is a thin v1 wrapper over the v2
+// pipeline (Do) and behaves exactly as it always has: default deadline
+// when ctx has none, immediate ErrOverloaded when the queue is full.
 func (s *Server) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
-	s.narrateReqs.Inc()
-	source, payload, err := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
+	dialect, err := MergeDialectSource(req.Dialect, req.Source)
+	if err != nil {
+		s.narrateReqs.Inc()
+		return nil, err
+	}
+	resp, err := s.Do(ctx, &Request{
+		Op:      OpNarrate,
+		SQL:     req.SQL,
+		Plan:    req.Plan,
+		Dialect: dialect,
+		Options: req.Options,
+	})
 	if err != nil {
 		return nil, err
 	}
-	req = &NarrateRequest{SQL: req.SQL, Plan: req.Plan, Dialect: source, Source: source, Options: req.Options}
-
-	start := time.Now()
-	// Fast path: repeated identical request → plan fingerprint → cached
-	// narration, no parsing, no planning, no queue. The front index is
-	// only maintained when caching is on.
-	if s.cache != nil {
-		rkey := requestKey(source, payload, req.Options)
-		if fp, ok := s.indexGet(rkey); ok {
-			if ent, ok := s.cache.Get(fp); ok {
-				s.hitLatency.Observe(time.Since(start))
-				return entryResponse(fp, ent, true), nil
-			}
-		}
-	}
-
-	res, err := s.dispatch(ctx, &task{kind: taskNarrate, nreq: req})
-	if err != nil {
-		return nil, err
-	}
-	if res.narrate != nil && res.narrate.Cached {
-		s.hitLatency.Observe(time.Since(start))
-	} else {
-		s.coldLatency.Observe(time.Since(start))
-	}
-	return res.narrate, nil
+	return resp.Narrate, nil
 }
 
-// QA serves one question-answering request through the worker pool.
+// QA serves one question-answering request through the v2 pipeline.
 func (s *Server) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
-	s.qaReqs.Inc()
-	source, _, err := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
+	dialect, err := MergeDialectSource(req.Dialect, req.Source)
+	if err != nil {
+		s.qaReqs.Inc()
+		return nil, err
+	}
+	resp, err := s.Do(ctx, &Request{
+		Op:       OpQA,
+		SQL:      req.SQL,
+		Plan:     req.Plan,
+		Dialect:  dialect,
+		Question: req.Question,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if strings.TrimSpace(req.Question) == "" {
-		return nil, fmt.Errorf("%w: question must not be empty", ErrBadRequest)
-	}
-	req = &QARequest{SQL: req.SQL, Plan: req.Plan, Dialect: source, Source: source, Question: req.Question}
-	start := time.Now()
-	res, err := s.dispatch(ctx, &task{kind: taskQA, qreq: req})
-	if err != nil {
-		return nil, err
-	}
-	s.qaLatency.Observe(time.Since(start))
-	return res.qa, nil
+	return resp.QA, nil
 }
 
-// Query serves one execute-and-narrate request through the worker pool
+// Query serves one execute-and-narrate request through the v2 pipeline
 // (the same admission control and deadlines as Narrate). There is no
 // request-level fast path: the query must execute before its actuals —
 // and therefore its cache key — are known, so a "hit" skips only the
-// narration work, never the execution.
+// narration work, never the execution. Concurrent queries execute on
+// independent pooled engine sessions.
 func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	s.queryReqs.Inc()
-	if strings.TrimSpace(req.SQL) == "" {
-		return nil, fmt.Errorf("%w: sql must not be empty", ErrBadRequest)
-	}
-	if s.eng == nil {
-		return nil, fmt.Errorf("%w: server has no embedded engine; /v1/query is unavailable", ErrBadRequest)
-	}
-	start := time.Now()
-	res, err := s.dispatch(ctx, &task{kind: taskQuery, xreq: req})
+	resp, err := s.Do(ctx, &Request{
+		Op:      OpQuery,
+		SQL:     req.SQL,
+		Options: req.Options,
+		MaxRows: req.MaxRows,
+	})
 	if err != nil {
 		return nil, err
 	}
-	if res.query.Cached {
-		s.queryHitLatency.Observe(time.Since(start))
-	} else {
-		s.queryColdLatency.Observe(time.Since(start))
-	}
-	return res.query, nil
+	return resp.Query, nil
 }
 
 // dispatch applies the default deadline, performs admission control, and
 // waits for the worker's answer or the deadline, whichever first.
-func (s *Server) dispatch(ctx context.Context, t *task) (taskResult, error) {
-	if _, ok := ctx.Deadline(); !ok {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
-		defer cancel()
-	}
-	t.ctx = ctx
-	t.out = make(chan taskResult, 1)
+func (s *Server) dispatch(ctx context.Context, req *Request, spec *opSpec) (*Response, error) {
+	ctx, cancel := s.withDeadline(ctx, req)
+	defer cancel()
+	t := &task{ctx: ctx, req: req, spec: spec, out: make(chan taskResult, 1)}
 
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		return taskResult{}, ErrClosed
+		return nil, ErrClosed
 	}
 	select {
 	case s.queue <- t:
@@ -385,44 +381,88 @@ func (s *Server) dispatch(ctx context.Context, t *task) (taskResult, error) {
 	default:
 		s.closeMu.RUnlock()
 		s.rejected.Inc()
-		return taskResult{}, ErrOverloaded
+		return nil, ErrOverloaded
 	}
 
 	select {
 	case res := <-t.out:
 		if res.err != nil {
-			if errors.Is(res.err, context.DeadlineExceeded) || errors.Is(res.err, context.Canceled) {
-				s.timeouts.Inc()
-			} else {
-				s.failures.Inc()
-			}
-			return taskResult{}, res.err
+			s.countFailure(res.err)
+			return nil, res.err
 		}
-		return res, nil
+		return res.resp, nil
 	case <-ctx.Done():
 		s.timeouts.Inc()
-		return taskResult{}, ctx.Err()
+		return nil, ctx.Err()
 	}
+}
+
+// countFailure records a failed execution in the outcome counters, the
+// same classification for queued, inline, and streaming ops.
+func (s *Server) countFailure(err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		s.timeouts.Inc()
+	} else {
+		s.failures.Inc()
+	}
+}
+
+// withDeadline applies the effective request deadline: the envelope's
+// timeout hint (clamped by the server default) when none is inherited,
+// and even under an inherited deadline — a batch child's context already
+// carries the batch deadline — an explicit tighter hint still applies.
+// An inherited deadline is never extended.
+func (s *Server) withDeadline(ctx context.Context, req *Request) (context.Context, context.CancelFunc) {
+	d := req.timeout(s.cfg.RequestTimeout)
+	if dl, ok := ctx.Deadline(); ok {
+		if req.TimeoutMs <= 0 || time.Until(dl) <= d {
+			return ctx, func() {}
+		}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// enterInflight registers an inline or streaming op so Close drains it;
+// the caller must pair it with s.inflight.Done().
+func (s *Server) enterInflight() error {
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	return nil
+}
+
+// MergeDialectSource resolves the v1 dialect/source field pair (source is
+// the pre-registry spelling) into the single envelope dialect. Exported
+// because the client SDK applies the same rule before sending.
+func MergeDialectSource(dialect, source string) (string, error) {
+	if dialect != "" && source != "" && dialect != source {
+		return "", fmt.Errorf("%w: dialect %q and source %q disagree (set one)", ErrBadRequest, dialect, source)
+	}
+	if dialect == "" {
+		return source, nil
+	}
+	return dialect, nil
 }
 
 // normalizeRequest validates the SQL/Plan/Dialect triple and returns the
 // effective dialect and the raw payload the front index keys on. The
-// dialect is resolved against the plan-frontend registry: dialect (the
-// preferred field) or source (its compatibility alias) when set and
-// registered; otherwise "pg" for SQL requests and auto-detection for
-// serialized plan documents.
+// dialect is resolved against the plan-frontend registry: dialect (or
+// source, its compatibility alias) when set and registered; otherwise
+// "pg" for SQL requests and auto-detection for serialized plan documents.
 func normalizeRequest(sql, planDoc, dialect, source string) (string, string, error) {
 	hasSQL := strings.TrimSpace(sql) != ""
 	hasPlan := strings.TrimSpace(planDoc) != ""
 	if hasSQL == hasPlan {
 		return "", "", fmt.Errorf("%w: exactly one of sql or plan must be set", ErrBadRequest)
 	}
-	if dialect != "" && source != "" && dialect != source {
-		return "", "", fmt.Errorf("%w: dialect %q and source %q disagree (set one)", ErrBadRequest, dialect, source)
+	merged, err := MergeDialectSource(dialect, source)
+	if err != nil {
+		return "", "", err
 	}
-	if dialect == "" {
-		dialect = source
-	}
+	dialect = merged
 	switch {
 	case dialect != "":
 		if _, ok := plan.Lookup(dialect); !ok {
@@ -446,23 +486,26 @@ func normalizeRequest(sql, planDoc, dialect, source string) (string, string, err
 
 // resolveTree turns the request payload into a vendor-neutral plan tree:
 // parse the supplied plan document with the dialect's registered frontend,
-// or plan the SQL on the embedded engine and round-trip it through the
+// or plan the SQL on a pooled engine session and round-trip it through the
 // dialect's serialization — exactly the path a real RDBMS deployment
 // would take.
 func (s *Server) resolveTree(ctx context.Context, sql, planDoc, source string) (*plan.Node, error) {
 	if strings.TrimSpace(planDoc) != "" {
 		return plan.Parse(source, planDoc)
 	}
-	if s.eng == nil {
+	if s.sessions == nil {
 		return nil, fmt.Errorf("service: server has no planning engine; send a serialized plan instead of sql")
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	tree, _, err := plan.ExplainAndParse(source, func(format string) (string, error) {
-		s.engMu.Lock()
-		r, err := s.eng.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, sql))
-		s.engMu.Unlock()
+		sess, err := s.acquireSession(ctx)
+		if err != nil {
+			return "", err
+		}
+		defer s.sessions.Release(sess)
+		r, err := sess.Exec(fmt.Sprintf("EXPLAIN (FORMAT %s) %s", format, sql))
 		if err != nil {
 			return "", err
 		}
@@ -474,34 +517,8 @@ func (s *Server) resolveTree(ctx context.Context, sql, planDoc, source string) (
 	return tree, err
 }
 
-func (s *Server) handleNarrate(ctx context.Context, req *NarrateRequest) (*NarrateResponse, error) {
-	tree, err := s.resolveTree(ctx, req.SQL, req.Plan, req.Source)
-	if err != nil {
-		return nil, err
-	}
-	fp, ops := PlanFingerprint(tree, req.Options)
-	if s.cache != nil {
-		_, payload, _ := normalizeRequest(req.SQL, req.Plan, req.Dialect, req.Source)
-		s.indexPut(requestKey(req.Source, payload, req.Options), fp)
-
-		// Plan-level hit: a different SQL text (or raw plan doc) that
-		// planned to an already-narrated tree.
-		if ent, ok := s.cache.Get(fp); ok {
-			return entryResponse(fp, ent, true), nil
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ent, err := s.narrateAndCache(tree, fp, ops, req.Options)
-	if err != nil {
-		return nil, err
-	}
-	return entryResponse(fp, ent, false), nil
-}
-
-// narrateAndCache is the shared narrate-and-insert tail of handleNarrate
-// and handleQuery: build the LOT, narrate, render per the options, and
+// narrateAndCache is the shared narrate-and-insert tail of the narrate and
+// query strategies: build the LOT, narrate, render per the options, and
 // insert under fp with the mutation-retraction discipline — the mutation
 // generation is snapshotted before reading the POEM store, so an entry
 // computed from pre-mutation descriptions can never outlive the
@@ -555,66 +572,6 @@ func queryEchoRows(res *engine.Result, maxRows int) [][]string {
 	return out
 }
 
-// handleQuery is the end-to-end /v1/query pipeline: plan and execute the
-// SQL with instrumentation on the embedded engine (serialized, the engine
-// is single-threaded), bridge the plan with its actuals into a native
-// tree, then narrate — answering from the fingerprint cache when the same
-// plan with the same actuals (wall time excluded) was narrated before.
-func (s *Server) handleQuery(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	s.engMu.Lock()
-	qr, err := s.eng.QueryInstrumented(req.SQL)
-	s.engMu.Unlock()
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
-	}
-	tree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
-	fp, ops := PlanFingerprint(tree, req.Options)
-
-	resp := &QueryResponse{
-		Dialect:     tree.Source,
-		Fingerprint: fp.String(),
-		Operators:   ops,
-		Columns:     qr.Result.Columns,
-		Rows:        queryEchoRows(qr.Result, req.MaxRows),
-		RowCount:    len(qr.Result.Rows),
-		ElapsedMs:   float64(qr.Elapsed) / 1e6,
-	}
-	if s.cache != nil {
-		if ent, ok := s.cache.Get(fp); ok {
-			resp.Text, resp.Steps, resp.Cached = ent.Text, ent.Steps, true
-			return resp, nil
-		}
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	ent, err := s.narrateAndCache(tree, fp, ops, req.Options)
-	if err != nil {
-		return nil, err
-	}
-	resp.Text, resp.Steps = ent.Text, ent.Steps
-	return resp, nil
-}
-
-func (s *Server) handleQA(ctx context.Context, req *QARequest) (*QAResponse, error) {
-	tree, err := s.resolveTree(ctx, req.SQL, req.Plan, req.Source)
-	if err != nil {
-		return nil, err
-	}
-	answerer, err := qa.New(s.store, tree)
-	if err != nil {
-		return nil, err
-	}
-	answer, err := answerer.Answer(req.Question)
-	if err != nil {
-		return nil, err
-	}
-	return &QAResponse{Answer: answer}, nil
-}
-
 func entryResponse(fp Fingerprint, ent *CachedNarration, cached bool) *NarrateResponse {
 	return &NarrateResponse{
 		Text:        ent.Text,
@@ -658,10 +615,17 @@ type Stats struct {
 	QueueDepth    int     `json:"queue_depth"`
 	QueueLen      int     `json:"queue_len"`
 	IndexEntries  int     `json:"index_entries"`
+	// EngineSessions / EngineSessionsIdle report the query session pool
+	// (0/0 on an engineless server).
+	EngineSessions     int `json:"engine_sessions"`
+	EngineSessionsIdle int `json:"engine_sessions_idle"`
 
 	NarrateRequests int64 `json:"narrate_requests"`
 	QARequests      int64 `json:"qa_requests"`
 	QueryRequests   int64 `json:"query_requests"`
+	PoolRequests    int64 `json:"pool_requests"`
+	BatchRequests   int64 `json:"batch_requests"`
+	StreamRequests  int64 `json:"stream_requests"`
 	Rejected        int64 `json:"rejected"`
 	Timeouts        int64 `json:"timeouts"`
 	Failures        int64 `json:"failures"`
@@ -680,7 +644,7 @@ func (s *Server) Stats() Stats {
 	s.idxMu.RLock()
 	idxLen := len(s.idx)
 	s.idxMu.RUnlock()
-	return Stats{
+	st := Stats{
 		UptimeSeconds:      time.Since(s.started).Seconds(),
 		Workers:            s.cfg.Workers,
 		QueueDepth:         s.cfg.QueueDepth,
@@ -689,6 +653,9 @@ func (s *Server) Stats() Stats {
 		NarrateRequests:    s.narrateReqs.Value(),
 		QARequests:         s.qaReqs.Value(),
 		QueryRequests:      s.queryReqs.Value(),
+		PoolRequests:       s.poolReqs.Value(),
+		BatchRequests:      s.batchReqs.Value(),
+		StreamRequests:     s.streamReqs.Value(),
 		Rejected:           s.rejected.Value(),
 		Timeouts:           s.timeouts.Value(),
 		Failures:           s.failures.Value(),
@@ -699,4 +666,9 @@ func (s *Server) Stats() Stats {
 		LatencyQueryCached: s.queryHitLatency.Summary(),
 		LatencyQueryCold:   s.queryColdLatency.Summary(),
 	}
+	if s.sessions != nil {
+		st.EngineSessions = s.sessions.Size()
+		st.EngineSessionsIdle = s.sessions.Idle()
+	}
+	return st
 }

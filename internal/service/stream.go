@@ -1,0 +1,161 @@
+package service
+
+// stream.go is the streaming flavor of the query op: rows are handed to
+// the caller as the engine's iterator pipeline produces them, and the
+// narration — which needs the complete actuals — follows as a trailer.
+// The stream runs on the caller's goroutine (backpressure is the caller's
+// transport, e.g. a flushed NDJSON HTTP response). Admission mirrors the
+// unary path: concurrent streams are bounded by QueueDepth with an
+// immediate ErrOverloaded rejection when saturated, execution is bounded
+// by the engine session pool, and the server's in-flight group tracks
+// every open stream so Close drains them before teardown.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"lantern/internal/engine"
+)
+
+// StreamCallbacks receives the incremental parts of a streaming query.
+// OnColumns (optional) fires once before the first row; OnRow fires per
+// emitted row with freshly rendered strings. A non-nil error from either
+// aborts the stream and is returned from the streaming call verbatim.
+type StreamCallbacks struct {
+	OnColumns func(cols []string) error
+	OnRow     func(row []string) error
+}
+
+// DoStream executes one query envelope incrementally: rows are emitted
+// through cb as they are produced, then the executed plan is bridged,
+// fingerprinted, and narrated exactly as the unary query path does, and
+// the complete envelope response — the stream's trailer, with
+// Query.Rows nil since they already went through cb — is returned. The
+// envelope's deadline (timeout_ms) and correlation ID apply as on any
+// other op; req.Op may be empty or OpQuery.
+//
+// MaxRows bounds how many rows are emitted: 0 means all (streaming has no
+// echo default), positive caps the emitted rows, negative emits none.
+// Execution always runs to completion so the narrated actuals cover the
+// whole query, matching the unary path's fingerprint for the same SQL.
+func (s *Server) DoStream(ctx context.Context, req *Request, cb StreamCallbacks) (*Response, error) {
+	s.streamReqs.Inc()
+	if req.Op != "" && req.Op != OpQuery {
+		return nil, AsErrorInfo(fmt.Errorf("%w: op %q does not stream (only query)", ErrBadRequest, req.Op))
+	}
+	req.Op = OpQuery
+	if err := validateQuery(s, req); err != nil {
+		return nil, AsErrorInfo(err)
+	}
+	start := time.Now()
+	resp, err := s.queryStream(ctx, req, cb)
+	if err != nil {
+		if !errors.Is(err, ErrOverloaded) && !errors.Is(err, ErrClosed) {
+			s.countFailure(err)
+		}
+		return nil, AsErrorInfo(err)
+	}
+	// Streams share the query latency digests: the digest then covers the
+	// query path whichever flavor traffic takes. The elapsed time includes
+	// client backpressure — for a stream, delivery is the request.
+	if resp.Cached {
+		s.queryHitLatency.Observe(time.Since(start))
+	} else {
+		s.queryColdLatency.Observe(time.Since(start))
+	}
+	return s.seal(&Response{Query: resp}, req), nil
+}
+
+// QueryStream is the typed convenience over DoStream, mirroring Query.
+func (s *Server) QueryStream(ctx context.Context, req *QueryRequest, cb StreamCallbacks) (*QueryResponse, error) {
+	resp, err := s.DoStream(ctx, &Request{
+		Op:      OpQuery,
+		SQL:     req.SQL,
+		Options: req.Options,
+		MaxRows: req.MaxRows,
+	}, cb)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Query, nil
+}
+
+func (s *Server) queryStream(ctx context.Context, req *Request, cb StreamCallbacks) (*QueryResponse, error) {
+	if err := s.enterInflight(); err != nil {
+		return nil, err
+	}
+	defer s.inflight.Done()
+	// Admission: fast rejection like the worker queue, bounded by the
+	// session pool size (see the streamSem field comment).
+	select {
+	case s.streamSem <- struct{}{}:
+		defer func() { <-s.streamSem }()
+	default:
+		s.rejected.Inc()
+		return nil, ErrOverloaded
+	}
+	ctx, cancel := s.withDeadline(ctx, req)
+	defer cancel()
+
+	sess, err := s.acquireSession(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer s.sessions.Release(sess)
+
+	q, err := sess.QueryStreamInstrumented(req.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	defer q.Close()
+
+	if cb.OnColumns != nil {
+		if err := cb.OnColumns(q.Columns); err != nil {
+			return nil, err
+		}
+	}
+
+	emitCap := req.MaxRows // 0: all; >0: cap; <0: none
+	emitted := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		row, ok, err := q.Next()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		if !ok {
+			break
+		}
+		if cb.OnRow == nil || emitCap < 0 || (emitCap > 0 && emitted >= emitCap) {
+			continue // keep executing for complete actuals, stop emitting
+		}
+		rendered := make([]string, len(row))
+		for i, d := range row {
+			rendered[i] = d.String()
+		}
+		if err := cb.OnRow(rendered); err != nil {
+			return nil, err
+		}
+		emitted++
+	}
+
+	pl, stats := q.Finish()
+	tree := engine.ToPlanNodeStats(pl, stats)
+	fp, ops := PlanFingerprint(tree, req.Options)
+	resp := &QueryResponse{
+		Dialect:     tree.Source,
+		Fingerprint: fp.String(),
+		Operators:   ops,
+		Columns:     q.Columns,
+		RowCount:    q.RowCount(),
+		ElapsedMs:   float64(q.Elapsed()) / 1e6,
+	}
+	if err := s.finishQuery(ctx, tree, fp, ops, req.Options, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,68 @@
+package lantern
+
+// Benchmarks for the v2 serving pipeline's engine session pool: the same
+// 8-worker query load against a pool of 8 independent engine sessions
+// (BenchmarkServiceQueryParallel) and against a single-session pool
+// reproducing the historical engMu-serialized engine
+// (BenchmarkServiceQuerySerialized). On a multi-core machine the pooled
+// configuration's ops/sec scales with cores (>2x the serialized baseline
+// at 8 workers is the acceptance bar); on a single-core machine the two
+// converge — the pool removes serialization, it cannot mint CPUs. Both
+// land in BENCH_service.json via `make bench`.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+// queryBenchServer builds a serving stack with an explicit engine session
+// pool size and enough workers/queue to keep 8 concurrent callers from
+// tripping admission control.
+func queryBenchServer(b *testing.B, sessions int) *service.Server {
+	b.Helper()
+	srv := service.NewServer(tpchEngine(b), pool.NewSeededStore(), service.Config{
+		Workers:        8,
+		QueueDepth:     64,
+		EngineSessions: sessions,
+		RequestTimeout: time.Minute,
+	})
+	b.Cleanup(srv.Close)
+	return srv
+}
+
+// benchQueryParallel drives the query op from 8 concurrent workers.
+func benchQueryParallel(b *testing.B, sessions int) {
+	srv := queryBenchServer(b, sessions)
+	req := &service.QueryRequest{SQL: benchJoinQuery, MaxRows: -1}
+	if _, err := srv.Query(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	// RunParallel spawns GOMAXPROCS×parallelism goroutines; pick the
+	// parallelism that lands on 8 workers.
+	gmp := runtime.GOMAXPROCS(0)
+	b.SetParallelism((8 + gmp - 1) / gmp)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := srv.Query(context.Background(), req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServiceQueryParallel: 8 workers over an 8-session engine pool —
+// concurrent queries plan and execute on independent engine instances
+// sharing one catalog.
+func BenchmarkServiceQueryParallel(b *testing.B) { benchQueryParallel(b, 8) }
+
+// BenchmarkServiceQuerySerialized: the same 8-worker load forced through a
+// single engine session — the pre-pool behavior, where every /v1/query
+// serialized the daemon on one engine mutex.
+func BenchmarkServiceQuerySerialized(b *testing.B) { benchQueryParallel(b, 1) }
