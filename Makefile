@@ -11,7 +11,7 @@ BENCHTIME ?= 100ms
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race vet bench bench-service bench-engine bench-serving contract fuzz corpus clean
+.PHONY: all build test race vet bench bench-service bench-engine bench-serving contract metrics-lint fuzz corpus clean
 
 all: build test
 
@@ -51,6 +51,16 @@ bench-serving:
 # recordings with `go test ./internal/httpapi -run TestCorpus -update`.
 contract:
 	$(GO) test ./internal/httpapi -run 'TestContract|TestCorpus' -count=1 -v
+
+# Boots a real lanternd, exercises the serving surface once, scrapes
+# GET /metrics, and lints the exposition against the Prometheus text
+# format (cmd/promlint wraps internal/obs.Lint). METRICS_ADDR picks the
+# listen address if 18080 is taken.
+METRICS_ADDR ?= 127.0.0.1:18080
+metrics-lint: build
+	$(BIN)/lanternd -addr $(METRICS_ADDR) -db tpch -scale 0.01 & \
+	trap 'kill $$! 2>/dev/null' EXIT; \
+	$(BIN)/promlint -url http://$(METRICS_ADDR)/metrics -wait 30s
 
 # Go-native fuzzing over the four plan-dialect parsers, seeded from the
 # golden corpus ($(FUZZTIME) per target).

@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"time"
 
+	"lantern/internal/obs"
 	"lantern/internal/service"
 )
 
@@ -49,7 +50,18 @@ type (
 	PoolResponse = service.PoolResponse
 	// Options is the narration configuration.
 	Options = service.Options
+
+	// TraceInfo is the span-tree summary a response carries when its
+	// request set Debug: DebugTrace; SpanInfo is one node of that tree.
+	TraceInfo = obs.TraceInfo
+	SpanInfo  = obs.SpanInfo
 )
+
+// DebugTrace, set as a Request's Debug field, asks the server to trace
+// the request end to end and return the span tree on the Response. A
+// Request's TraceID pins the trace's correlation id; when empty the
+// server generates one.
+const DebugTrace = service.DebugTrace
 
 // Op kinds, re-exported for hand-built envelopes.
 const (

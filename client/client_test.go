@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -71,6 +72,54 @@ func TestTypedMethods(t *testing.T) {
 	}
 	if len(pl.Rows) == 0 {
 		t.Fatalf("pool: %+v", pl)
+	}
+}
+
+// TestTraceRoundTrip: the SDK's envelope carries debug=trace and the
+// pinned trace id to the daemon and surfaces the span tree back.
+func TestTraceRoundTrip(t *testing.T) {
+	c := client.New(newDaemon(t).URL)
+	ctx := context.Background()
+
+	resp, err := c.Do(ctx, &client.Request{
+		Op: client.OpQuery, SQL: qJoin, MaxRows: 1,
+		Debug: client.DebugTrace, TraceID: "sdk-trace-42",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Trace == nil || resp.Trace.TraceID != "sdk-trace-42" {
+		t.Fatalf("trace = %+v, want the pinned id back", resp.Trace)
+	}
+	if resp.Trace.Root == nil || resp.Trace.Root.Name != "request" {
+		t.Fatalf("trace root = %+v", resp.Trace.Root)
+	}
+	var opSpans int
+	var walk func(sp *client.SpanInfo)
+	walk = func(sp *client.SpanInfo) {
+		if strings.HasPrefix(sp.Name, "op:") {
+			opSpans++
+		}
+		for _, ch := range sp.Children {
+			walk(ch)
+		}
+	}
+	walk(resp.Trace.Root)
+	if opSpans == 0 {
+		t.Fatal("trace has no per-operator spans")
+	}
+	var tree strings.Builder
+	resp.Trace.WriteTree(&tree)
+	if !strings.Contains(tree.String(), "trace sdk-trace-42") {
+		t.Fatalf("WriteTree output:\n%s", tree.String())
+	}
+
+	plain, err := c.Do(ctx, &client.Request{Op: client.OpQuery, SQL: qJoin, MaxRows: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Trace != nil {
+		t.Fatal("untraced request came back with a trace")
 	}
 }
 

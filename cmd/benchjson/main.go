@@ -122,6 +122,12 @@ func loadReport(path string) (*Report, error) {
 // benchmarks present on only one side are reported but never fail the
 // diff (suites grow and shrink across PRs). Micro-benchmarks under 100ns
 // are skipped for regression purposes: at that scale the delta is noise.
+//
+// When both reports carry allocs/op (-benchmem runs), allocation counts
+// diff too: going from 0 to any allocations is always ALLOC-REGRESSION
+// (a zero-alloc hot path lost its guarantee — no noise floor excuses
+// that), and a relative increase beyond the same threshold flags as
+// well. Allocation counts are iteration-exact, so no noise floor applies.
 func compareReports(oldPath, newPath string, threshold float64) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -153,8 +159,21 @@ func compareReports(oldPath, newPath string, threshold float64) int {
 			mark = "  REGRESSION"
 			regressions++
 		}
-		fmt.Printf("%-60s %10.1f -> %10.1f ns/op  %+6.1f%%%s\n",
-			nb.Name, ob.NsPerOp, nb.NsPerOp, change*100, mark)
+		allocs := ""
+		if ob.AllocsPerOp != nil && nb.AllocsPerOp != nil {
+			oa, na := *ob.AllocsPerOp, *nb.AllocsPerOp
+			allocs = fmt.Sprintf("  %.0f -> %.0f allocs/op", oa, na)
+			switch {
+			case oa == 0 && na > 0:
+				mark = "  ALLOC-REGRESSION"
+				regressions++
+			case oa > 0 && na/oa-1 > threshold:
+				mark = "  ALLOC-REGRESSION"
+				regressions++
+			}
+		}
+		fmt.Printf("%-60s %10.1f -> %10.1f ns/op%s  %+6.1f%%%s\n",
+			nb.Name, ob.NsPerOp, nb.NsPerOp, allocs, change*100, mark)
 	}
 	for name := range oldBy {
 		fmt.Printf("%-60s missing from %s\n", name, newPath)

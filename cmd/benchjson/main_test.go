@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(Report{Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func f(v float64) *float64 { return &v }
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", []Result{{Name: "BenchmarkX", NsPerOp: 1000}})
+	slow := writeReport(t, dir, "slow.json", []Result{{Name: "BenchmarkX", NsPerOp: 1500}})
+	fine := writeReport(t, dir, "fine.json", []Result{{Name: "BenchmarkX", NsPerOp: 1050}})
+
+	if got := compareReports(old, slow, 0.20); got != 1 {
+		t.Fatalf("50%% slowdown: exit %d, want 1", got)
+	}
+	if got := compareReports(old, fine, 0.20); got != 0 {
+		t.Fatalf("5%% slowdown: exit %d, want 0", got)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	zero := writeReport(t, dir, "zero.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: f(0)}})
+	leaked := writeReport(t, dir, "leaked.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: f(1)}})
+	// 0 -> any allocations fails even though ns/op is identical.
+	if got := compareReports(zero, leaked, 0.20); got != 1 {
+		t.Fatalf("0 -> 1 allocs: exit %d, want 1", got)
+	}
+
+	ten := writeReport(t, dir, "ten.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: f(10)}})
+	thirteen := writeReport(t, dir, "thirteen.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: f(13)}})
+	eleven := writeReport(t, dir, "eleven.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500, AllocsPerOp: f(11)}})
+	if got := compareReports(ten, thirteen, 0.20); got != 1 {
+		t.Fatalf("10 -> 13 allocs: exit %d, want 1", got)
+	}
+	if got := compareReports(ten, eleven, 0.20); got != 0 {
+		t.Fatalf("10 -> 11 allocs: exit %d, want 0", got)
+	}
+
+	// Missing allocs on one side (no -benchmem) never fails the diff.
+	bare := writeReport(t, dir, "bare.json",
+		[]Result{{Name: "BenchmarkHot", NsPerOp: 500}})
+	if got := compareReports(zero, bare, 0.20); got != 0 {
+		t.Fatalf("allocs missing on one side: exit %d, want 0", got)
+	}
+}

@@ -56,6 +56,7 @@ func main() {
 	execQuery := flag.Bool("exec", false, "execute the query through the serving API (client SDK) and narrate its actuals")
 	remote := flag.String("remote", "", "base URL of a running lanternd (e.g. http://localhost:8080); -exec then targets it instead of an in-process daemon")
 	treeView := flag.Bool("tree", false, "present as NL-annotated visual tree instead of document text")
+	trace := flag.Bool("trace", false, "with -exec: print the request's span tree (pipeline stages and per-operator timings)")
 	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it (estimate-based, even with -exec)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	flag.Parse()
@@ -90,11 +91,14 @@ func main() {
 		}
 		c, shutdown := sdkClient(*remote, *db, *scale, *seed)
 		defer shutdown()
-		runExec(c, query, *treeView, *ask)
+		runExec(c, query, *treeView, *ask, *trace)
 		return
 	}
 	if *remote != "" {
 		fatal(fmt.Errorf("-remote requires -exec (the local paths need no daemon)"))
+	}
+	if *trace {
+		fatal(fmt.Errorf("-trace requires -exec (only served requests are traced)"))
 	}
 
 	eng := loadEngine(*db, *scale, *seed)
@@ -155,28 +159,37 @@ func main() {
 }
 
 // runExec drives the execute-and-narrate loop through the client SDK.
-func runExec(c *client.Client, query string, treeView bool, ask string) {
+// With trace the envelope asks for debug=trace and the span tree — the
+// pipeline stages plus the per-operator actuals — prints to stderr.
+func runExec(c *client.Client, query string, treeView bool, ask string, trace bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
+	debug := ""
+	if trace {
+		debug = client.DebugTrace
+	}
 	if ask != "" {
-		resp, err := c.QA(ctx, &client.QARequest{SQL: query, Question: ask})
+		resp, err := c.Do(ctx, &client.Request{Op: client.OpQA, SQL: query, Question: ask, Debug: debug})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(resp.Answer)
+		resp.Trace.WriteTree(os.Stderr)
+		fmt.Println(resp.QA.Answer)
 		return
 	}
 	opts := client.Options{}
 	if treeView {
 		opts.Presentation = service.PresentTree
 	}
-	resp, err := c.Query(ctx, &client.QueryRequest{SQL: query, MaxRows: -1, Options: opts})
+	resp, err := c.Do(ctx, &client.Request{Op: client.OpQuery, SQL: query, MaxRows: -1, Options: opts, Debug: debug})
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "executed: %d rows in %.3f ms\n", resp.RowCount, resp.ElapsedMs)
-	fmt.Print(resp.Text)
-	if !strings.HasSuffix(resp.Text, "\n") {
+	q := resp.Query
+	fmt.Fprintf(os.Stderr, "executed: %d rows in %.3f ms\n", q.RowCount, q.ElapsedMs)
+	resp.Trace.WriteTree(os.Stderr)
+	fmt.Print(q.Text)
+	if !strings.HasSuffix(q.Text, "\n") {
 		fmt.Println()
 	}
 }

@@ -42,6 +42,13 @@
 // Narrations are cached by plan fingerprint (for query ops the key also
 // covers the actuals, excluding wall time); POOL statements invalidate
 // exactly the cached narrations that mention the mutated operators.
+//
+// Observability: GET /metrics serves a Prometheus text-format exposition
+// of the same registry /v1/stats summarizes; any v2 request may set
+// "debug": "trace" (or ?debug=trace) to get the request's span tree back
+// in the envelope; -slow-query-log appends JSON-line diagnostics for
+// requests over -slow-query-threshold; -ops-addr starts a private
+// sidecar listener with net/http/pprof and /metrics.
 package main
 
 import (
@@ -74,6 +81,9 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 32, "narration cache budget in MiB (0 disables)")
 	shards := flag.Int("cache-shards", 16, "narration cache shard count")
 	sessions := flag.Int("engine-sessions", 0, "engine session pool size for query ops (0 = workers)")
+	opsAddr := flag.String("ops-addr", "", "optional operational listener (pprof + /metrics); keep it off the public network")
+	slowLog := flag.String("slow-query-log", "", "append slow-query diagnostics (JSON lines) to this file; - for stderr")
+	slowThreshold := flag.Duration("slow-query-threshold", 250*time.Millisecond, "log queries at least this slow (0 logs everything)")
 	flag.Parse()
 
 	eng := engine.NewDefault()
@@ -97,20 +107,48 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // disabled
 	}
-	srv := service.NewServer(eng, store, service.Config{
+	cfg := service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		RequestTimeout: *timeout,
 		CacheBytes:     cacheBytes,
 		CacheShards:    *shards,
 		EngineSessions: *sessions,
-	})
+	}
+	var slowFile *os.File
+	if *slowLog != "" {
+		if *slowLog == "-" {
+			cfg.SlowQueryLog = os.Stderr
+		} else {
+			slowFile, err = os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("lanternd: slow query log: %v", err)
+			}
+			cfg.SlowQueryLog = slowFile
+		}
+		cfg.SlowQueryThreshold = *slowThreshold
+	}
+	srv := service.NewServer(eng, store, cfg)
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           httpapi.New(srv, store, httpapi.Config{Dataset: *db}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	if *opsAddr != "" {
+		opsSrv := &http.Server{
+			Addr:              *opsAddr,
+			Handler:           httpapi.NewOps(srv),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("lanternd: ops listener (pprof, /metrics) on %s", *opsAddr)
+			if err := opsSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("lanternd: ops listener: %v", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -125,5 +163,8 @@ func main() {
 		log.Fatalf("lanternd: %v", err)
 	}
 	srv.Close()
+	if slowFile != nil {
+		slowFile.Close()
+	}
 	log.Printf("lanternd: shut down")
 }

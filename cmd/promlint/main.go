@@ -1,0 +1,73 @@
+// Command promlint validates a Prometheus text-format (0.0.4)
+// exposition: read from stdin, or scraped from a URL with retries so it
+// can be pointed at a daemon that is still booting. It backs
+// `make metrics-lint`, which boots lanternd and lints GET /metrics:
+//
+//	curl -s localhost:8080/metrics | promlint
+//	promlint -url http://localhost:8080/metrics -wait 15s
+//
+// Every format violation prints to stderr and the exit status is 1; a
+// clean exposition exits 0. The checks are internal/obs.Lint — the same
+// validator the contract tests run in-process.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"lantern/internal/obs"
+)
+
+func main() {
+	url := flag.String("url", "", "scrape this URL instead of reading stdin")
+	wait := flag.Duration("wait", 10*time.Second, "with -url: keep retrying the scrape this long before giving up")
+	flag.Parse()
+
+	var data []byte
+	var err error
+	source := "stdin"
+	if *url != "" {
+		source = *url
+		data, err = scrape(*url, *wait)
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+
+	errs := obs.Lint(data)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "promlint:", e)
+	}
+	if len(errs) > 0 {
+		fmt.Fprintf(os.Stderr, "promlint: %s: %d violation(s)\n", source, len(errs))
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: %s: %d bytes, format ok\n", source, len(data))
+}
+
+// scrape GETs the exposition, retrying connection failures until the
+// deadline — the target daemon may still be loading its dataset.
+func scrape(url string, wait time.Duration) ([]byte, error) {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+			}
+			return io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("GET %s: %w (gave up after %s)", url, err, wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -79,7 +79,7 @@ func scrub(v any) any {
 	case map[string]any:
 		for k, val := range x {
 			switch {
-			case k == "elapsed_ms" || k == "uptime_seconds":
+			case k == "elapsed_ms" || k == "uptime_seconds" || k == "duration_ms":
 				x[k] = 0.0
 			case strings.HasPrefix(k, "latency_"):
 				x[k] = "<volatile>"

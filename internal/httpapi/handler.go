@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 
+	"lantern/internal/obs"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
 	"lantern/internal/service"
@@ -58,6 +60,25 @@ func New(srv *service.Server, store *pool.Store, cfg Config) http.Handler {
 	mux.HandleFunc("/v1/dialects", h.dialects)
 	mux.HandleFunc("/v1/healthz", h.healthz)
 	mux.HandleFunc("/v1/stats", h.stats)
+
+	// Prometheus text-format exposition of the server's metric registry —
+	// the same instruments /v1/stats reports as JSON.
+	mux.Handle("/metrics", obs.Handler(srv.Metrics()))
+	return mux
+}
+
+// NewOps builds the operational sidecar handler — pprof profiling and the
+// metrics exposition — meant for a separate, non-public listener
+// (lanternd -ops-addr). The profile endpoints are deliberately not on the
+// main mux: they can stall the process and must never face clients.
+func NewOps(srv *service.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(srv.Metrics()))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -361,6 +382,11 @@ func decodeEnvelope(w http.ResponseWriter, r *http.Request, wantOp string) (*ser
 				fmt.Errorf("%w: op %q does not match endpoint op %q", service.ErrBadRequest, req.Op, wantOp)))
 			return nil, false
 		}
+	}
+	// ?debug=trace is the query-flag spelling of the envelope's debug
+	// field (curl-friendly); the body wins when both are set.
+	if req.Debug == "" {
+		req.Debug = r.URL.Query().Get("debug")
 	}
 	return &req, true
 }

@@ -1,0 +1,115 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/obs"
+	"lantern/internal/pool"
+	"lantern/internal/service"
+)
+
+func newTestServerAndHandler(t testing.TB) (*service.Server, http.Handler) {
+	t.Helper()
+	eng := engine.NewDefault()
+	if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+		t.Fatalf("loading tpch: %v", err)
+	}
+	store := pool.NewSeededStore()
+	srv := service.NewServer(eng, store, service.Config{
+		Workers:        2,
+		QueueDepth:     8,
+		EngineSessions: 2,
+		RequestTimeout: 30 * time.Second,
+	})
+	t.Cleanup(srv.Close)
+	return srv, New(srv, store, Config{Dataset: "tpch"})
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestMetricsLint drives real traffic through the handler, scrapes
+// GET /metrics, and validates the exposition with the same linter
+// `make metrics-lint` runs against a live daemon. It then asserts the
+// acceptance-criteria coverage: request counts and latencies by op, and
+// cache hits/misses.
+func TestMetricsLint(t *testing.T) {
+	_, h := newTestServerAndHandler(t)
+
+	// One cold narrate, one repeat (cache hit), one query.
+	for _, c := range []struct{ path, body string }{
+		{"/v2/narrate", `{"sql": "SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'"}`},
+		{"/v2/narrate", `{"sql": "SELECT c_name FROM customer WHERE c_mktsegment = 'BUILDING'"}`},
+		{"/v2/query", `{"sql": "SELECT c_name FROM customer ORDER BY c_name LIMIT 2"}`},
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, c.path, strings.NewReader(c.body))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("POST %s: %d\n%s", c.path, rec.Code, rec.Body.String())
+		}
+	}
+
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.Bytes()
+	for _, err := range obs.Lint(body) {
+		t.Errorf("lint: %v", err)
+	}
+
+	text := string(body)
+	for _, want := range []string{
+		`lantern_requests_total{op="narrate"} 2`,
+		`lantern_requests_total{op="query"} 1`,
+		`lantern_request_seconds{op="narrate",cache="miss",quantile="0.5"}`,
+		`lantern_request_seconds{op="narrate",cache="hit",quantile="0.5"}`,
+		`lantern_request_seconds_count{op="query",cache="miss"} 1`,
+		`lantern_cache_events_total{event="hit"} 1`,
+		`lantern_cache_events_total{event="miss"}`,
+		"# TYPE lantern_request_seconds summary",
+		"# TYPE lantern_requests_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+func TestMetricsMethodNotAllowed(t *testing.T) {
+	_, h := newTestServerAndHandler(t)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", strings.NewReader("{}")))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+// TestOpsHandler: the sidecar mux serves the exposition and the pprof
+// index without touching the public surface.
+func TestOpsHandler(t *testing.T) {
+	srv, _ := newTestServerAndHandler(t)
+	ops := NewOps(srv)
+
+	if rec := get(t, ops, "/metrics"); rec.Code != http.StatusOK {
+		t.Fatalf("ops /metrics = %d", rec.Code)
+	}
+	rec := get(t, ops, "/debug/pprof/")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "goroutine") {
+		t.Fatalf("ops pprof index = %d\n%s", rec.Code, rec.Body.String())
+	}
+}

@@ -1,8 +1,12 @@
-// Package metrics implements the evaluation measures the paper reports:
-// BLEU [43] for translation quality (Table 5), Self-BLEU [49] for the
-// diversity of paraphrased training samples (Table 4), and the
-// sparse-categorical token accuracy used for the validation curves of
+// Package metrics implements the text-quality evaluation measures the
+// paper reports: BLEU [43] for translation quality (Table 5), Self-BLEU
+// [49] for the diversity of paraphrased training samples (Table 4), and
+// the sparse-categorical token accuracy used for the validation curves of
 // Figure 7.
+//
+// Runtime telemetry — counters, gauges, latency histograms, and the
+// Prometheus exposition behind /metrics and /v1/stats — is a different
+// concern and lives in internal/obs.
 package metrics
 
 import (

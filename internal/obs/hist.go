@@ -1,30 +1,15 @@
-package metrics
+package obs
 
-// Runtime observability primitives for the serving layer: a lock-free
-// Counter and a log-bucketed LatencyHistogram with p50/p95/p99 summaries.
-// These sit beside the paper's evaluation measures (BLEU, Self-BLEU) but
-// serve a different master: the /v1/stats endpoint of lanternd.
+// hist.go: the log-bucketed latency histogram behind every summary-type
+// metric, moved here from internal/metrics/observe.go (where it served
+// only /v1/stats) and generalized to back the Prometheus exposition too.
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
 )
-
-// Counter is a monotonically increasing counter safe for concurrent use.
-// The zero value is ready.
-type Counter struct {
-	v atomic.Int64
-}
-
-// Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Add adds n (n may be negative for gauge-style corrections).
-func (c *Counter) Add(n int64) { c.v.Add(n) }
-
-// Value returns the current count.
-func (c *Counter) Value() int64 { return c.v.Load() }
 
 // histBuckets is one bucket per power of two of nanoseconds: bucket i
 // holds observations d with bits.Len64(d) == i, i.e. d in [2^(i-1), 2^i).
@@ -57,6 +42,9 @@ func (h *LatencyHistogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *LatencyHistogram) Count() int64 { return h.count.Load() }
 
+// Sum returns the total of all observed durations.
+func (h *LatencyHistogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
 // Mean returns the mean observed duration (0 when empty).
 func (h *LatencyHistogram) Mean() time.Duration {
 	n := h.count.Load()
@@ -66,8 +54,16 @@ func (h *LatencyHistogram) Mean() time.Duration {
 	return time.Duration(h.sumNS.Load() / n)
 }
 
-// Quantile returns an estimate of the q-quantile (0 < q <= 1) as the
-// midpoint of the bucket containing it, or 0 when the histogram is empty.
+// Quantile returns an estimate of the q-quantile as the midpoint of the
+// bucket containing it.
+//
+// Edge behavior, explicitly: q is clamped into [0, 1] — q <= 0 answers
+// the smallest observed bucket, q >= 1 the largest — and a NaN q is
+// treated as 0. An empty histogram returns 0 for every q. Because the
+// answer is a cumulative walk over the same bucket array, estimates are
+// monotone in q: Quantile(p) <= Quantile(q) whenever p <= q (the
+// monotonicity test in hist_test.go pins this).
+//
 // Reads are not atomic with respect to concurrent Observe calls; the
 // result is a statistically faithful snapshot, which is all a stats
 // endpoint needs.
@@ -76,7 +72,7 @@ func (h *LatencyHistogram) Quantile(q float64) time.Duration {
 	if total == 0 {
 		return 0
 	}
-	if q < 0 {
+	if math.IsNaN(q) || q < 0 {
 		q = 0
 	}
 	if q > 1 {
@@ -109,7 +105,8 @@ func bucketMid(i int) time.Duration {
 	return time.Duration((lo + hi) / 2)
 }
 
-// LatencySummary is a point-in-time digest of a LatencyHistogram.
+// LatencySummary is a point-in-time digest of a LatencyHistogram — the
+// shape the JSON stats endpoint reports.
 type LatencySummary struct {
 	Count int64         `json:"count"`
 	Mean  time.Duration `json:"mean_ns"`

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h LatencyHistogram
+	for _, q := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 || h.Sum() != 0 || h.Count() != 0 {
+		t.Errorf("empty histogram not zeroed: mean=%v sum=%v count=%v", h.Mean(), h.Sum(), h.Count())
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(1 * time.Millisecond)
+	h.Observe(100 * time.Millisecond)
+
+	lo := h.Quantile(0)
+	hi := h.Quantile(1)
+	if lo > hi {
+		t.Fatalf("Quantile(0)=%v > Quantile(1)=%v", lo, hi)
+	}
+	// Out-of-range q clamps to the edges.
+	if got := h.Quantile(-3); got != lo {
+		t.Errorf("Quantile(-3) = %v, want clamp to Quantile(0)=%v", got, lo)
+	}
+	if got := h.Quantile(7); got != hi {
+		t.Errorf("Quantile(7) = %v, want clamp to Quantile(1)=%v", got, hi)
+	}
+	// NaN is treated as 0.
+	if got := h.Quantile(math.NaN()); got != lo {
+		t.Errorf("Quantile(NaN) = %v, want Quantile(0)=%v", got, lo)
+	}
+}
+
+// TestHistogramQuantileMonotone pins the satellite requirement: over
+// randomized observations, Quantile is monotone in q — in particular
+// p50 <= p95 <= p99.
+func TestHistogramQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var h LatencyHistogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Mix of magnitudes: ns to seconds, heavy-tailed.
+			d := time.Duration(rng.Int63n(int64(time.Second)) >> uint(rng.Intn(30)))
+			h.Observe(d)
+		}
+		s := h.Summary()
+		if s.P50 > s.P95 || s.P95 > s.P99 {
+			t.Fatalf("trial %d (n=%d): quantiles not monotone: p50=%v p95=%v p99=%v",
+				trial, n, s.P50, s.P95, s.P99)
+		}
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				t.Fatalf("trial %d: Quantile(%.2f)=%v < Quantile(%.2f)=%v",
+					trial, q, cur, q-0.05, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestHistogramAccuracy(t *testing.T) {
+	var h LatencyHistogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(10 * time.Millisecond)
+	}
+	// Bucket-midpoint estimate: within a factor of 2 of the true value.
+	got := h.Quantile(0.5)
+	if got < 5*time.Millisecond || got > 20*time.Millisecond {
+		t.Errorf("p50 of constant 10ms = %v, want within [5ms, 20ms]", got)
+	}
+	if mean := h.Mean(); mean != 10*time.Millisecond {
+		t.Errorf("mean = %v, want exactly 10ms", mean)
+	}
+	if sum := h.Sum(); sum != 10*time.Second {
+		t.Errorf("sum = %v, want 10s", sum)
+	}
+}
+
+func TestHistogramNegativeObservation(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(-5 * time.Millisecond)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d, want 1", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("negative observation should count as zero, p50 = %v", got)
+	}
+}

@@ -1,0 +1,242 @@
+package obs
+
+// lint.go: a validator for Prometheus text-format exposition, used by the
+// `make metrics-lint` CI check to verify what a booted daemon actually
+// serves at GET /metrics — independent of the writer in prom.go, so a
+// writer bug cannot hide from its own checker.
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// lintFamily tracks what the exposition declared for one metric name.
+type lintFamily struct {
+	help bool
+	typ  string
+}
+
+var lintTypes = map[string]bool{
+	"counter": true, "gauge": true, "summary": true,
+	"histogram": true, "untyped": true,
+}
+
+// Lint validates Prometheus text-format exposition data and returns every
+// violation found (nil when clean). It checks:
+//
+//   - metric and label names match the Prometheus charsets;
+//   - every sample's family declares both # HELP and # TYPE before its
+//     first sample, with a known type, each at most once;
+//   - summary/histogram child samples (_sum, _count, _bucket, quantile/le
+//     labels) attach to a declared family of that type;
+//   - no duplicate series (same name and label set twice);
+//   - sample values parse as floats.
+func Lint(data []byte) []error {
+	var errs []error
+	fams := make(map[string]*lintFamily)
+	sampled := make(map[string]bool) // family already has samples
+	seen := make(map[string]bool)    // full series identity
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, fams, sampled); err != nil {
+				errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+			}
+			continue
+		}
+		if err := lintSample(line, fams, sampled, seen); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %w", lineNo, err))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, err)
+	}
+	for name, f := range fams {
+		if !f.help {
+			errs = append(errs, fmt.Errorf("metric %s has # TYPE but no # HELP", name))
+		}
+		if f.typ == "" {
+			errs = append(errs, fmt.Errorf("metric %s has # HELP but no # TYPE", name))
+		}
+	}
+	return errs
+}
+
+func lintComment(line string, fams map[string]*lintFamily, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		name := fields[2]
+		if !validName.MatchString(name) {
+			return fmt.Errorf("HELP for invalid metric name %q", name)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &lintFamily{}
+			fams[name] = f
+		}
+		if f.help {
+			return fmt.Errorf("duplicate # HELP for %s", name)
+		}
+		f.help = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		if !validName.MatchString(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		if !lintTypes[typ] {
+			return fmt.Errorf("metric %s has unknown type %q", name, typ)
+		}
+		f := fams[name]
+		if f == nil {
+			f = &lintFamily{}
+			fams[name] = f
+		}
+		if f.typ != "" {
+			return fmt.Errorf("duplicate # TYPE for %s", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("metric %s: # TYPE after samples", name)
+		}
+		f.typ = typ
+	}
+	return nil
+}
+
+func lintSample(line string, fams map[string]*lintFamily, sampled, seen map[string]bool) error {
+	name, labels, value, err := parseSample(line)
+	if err != nil {
+		return err
+	}
+	if !validName.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if _, err := strconv.ParseFloat(value, 64); err != nil {
+		return fmt.Errorf("metric %s: value %q is not a float", name, value)
+	}
+	// Resolve the family: summary/histogram children sample under
+	// suffixed names.
+	famName := name
+	if fams[famName] == nil {
+		for _, suffix := range []string{"_sum", "_count", "_bucket"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && fams[base] != nil {
+				t := fams[base].typ
+				if t == "summary" || t == "histogram" {
+					famName = base
+				}
+				break
+			}
+		}
+	}
+	f := fams[famName]
+	if f == nil || f.typ == "" || !f.help {
+		return fmt.Errorf("metric %s: sample without preceding # HELP and # TYPE", name)
+	}
+	sampled[famName] = true
+	var parts []string
+	for k, v := range labels {
+		if !validLabel.MatchString(k) && k != "quantile" && k != "le" {
+			return fmt.Errorf("metric %s: invalid label name %q", name, k)
+		}
+		parts = append(parts, k+"="+v)
+	}
+	sort.Strings(parts)
+	id := name + "{" + strings.Join(parts, ",") + "}"
+	if seen[id] {
+		return fmt.Errorf("duplicate series %s", id)
+	}
+	seen[id] = true
+	return nil
+}
+
+// parseSample splits `name{k="v",...} value` (labels optional) into its
+// parts without supporting the full escape grammar beyond what the
+// escaper in prom.go emits.
+func parseSample(line string) (name string, labels map[string]string, value string, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, "", fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, "", err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, "", fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, labels, fields[0], nil
+}
+
+func parseLabels(s string, out map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("malformed label pair in %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s: value is not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				val.WriteByte(s[i])
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("label %s: unterminated value", key)
+		}
+		if _, dup := out[key]; dup {
+			return fmt.Errorf("duplicate label %s in one series", key)
+		}
+		out[key] = val.String()
+		s = strings.TrimPrefix(strings.TrimSpace(s), ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}

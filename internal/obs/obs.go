@@ -1,0 +1,250 @@
+// Package obs is the runtime observability substrate of the serving
+// layer: a labeled metrics registry with Prometheus text-format
+// exposition (obs.go, prom.go), log-bucketed latency histograms with
+// quantile digests (hist.go), request-scoped trace span trees (trace.go),
+// and a non-blocking structured slow-query log sink (slowlog.go).
+//
+// It generalizes the ad-hoc counters that used to live in
+// internal/metrics/observe.go: every instrument is registered under a
+// stable Prometheus-style name (optionally with labels), so one registry
+// backs both the machine-readable GET /metrics exposition and the
+// JSON /v1/stats snapshot — the two can never disagree, because they read
+// the same atomics.
+//
+// Design constraints, in order:
+//
+//   - Hot-path instruments are pre-bound: Registry lookups (map + lock)
+//     happen once at construction; Inc/Observe on the returned handle is
+//     a single atomic op with no allocation.
+//   - Everything is safe for concurrent use.
+//   - The exposition is deterministic: families sort by name, series by
+//     label values, so scrapes diff cleanly and the format linter
+//     (lint.go) can assert no-duplicate-series.
+//
+// The paper-evaluation measures (BLEU, Self-BLEU, token accuracy) are a
+// different concern and stay in internal/metrics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter safe for concurrent use.
+// The zero value is ready; registry-bound counters are obtained from
+// CounterVec.With.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Prometheus counters are monotonic; negative n is reserved
+// for the gauge-style corrections of unregistered counters.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metric kinds, matching the Prometheus TYPE vocabulary we emit.
+const (
+	typeCounter = "counter"
+	typeGauge   = "gauge"
+	typeSummary = "summary"
+)
+
+// validName is the Prometheus metric-name charset.
+var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// validLabel is the Prometheus label-name charset.
+var validLabel = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+
+// series is one labeled instance of a family: exactly one of the value
+// sources is set, matching the family's type.
+type series struct {
+	values []string // label values, parallel to the family's label names
+	c      *Counter
+	g      *Gauge
+	h      *LatencyHistogram
+	cfn    func() int64   // func-backed counter (snapshot on scrape)
+	gfn    func() float64 // func-backed gauge
+}
+
+// family is one named metric with a fixed label schema.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*series
+}
+
+func (f *family) bind(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s has labels %v, got %d values", f.name, f.labels, len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{values: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.c = &Counter{}
+	case typeGauge:
+		s.g = &Gauge{}
+	case typeSummary:
+		s.h = &LatencyHistogram{}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Registry holds a set of metric families. The zero value is not usable;
+// call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register creates (or re-fetches an identical) family. Conflicting
+// re-registration is a programmer error and panics.
+func (r *Registry) register(name, help, typ string, labels []string) *family {
+	if !validName.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validLabel.MatchString(l) {
+			panic(fmt.Sprintf("obs: metric %s: invalid label name %q", name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || strings.Join(f.labels, ",") != strings.Join(labels, ",") {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{
+		name:   name,
+		help:   help,
+		typ:    typ,
+		labels: append([]string(nil), labels...),
+		series: make(map[string]*series),
+	}
+	r.families[name] = f
+	return f
+}
+
+// CounterVec is a registered counter family; With binds one label
+// combination to a hot-path handle.
+type CounterVec struct{ f *family }
+
+// GaugeVec is a registered gauge family.
+type GaugeVec struct{ f *family }
+
+// SummaryVec is a registered latency-summary family (a LatencyHistogram
+// per label combination, exposed as a Prometheus summary in seconds).
+type SummaryVec struct{ f *family }
+
+// Counter registers (or fetches) a counter family. With no label names it
+// is a single series bound via With().
+func (r *Registry) Counter(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, typeCounter, labels)}
+}
+
+// Gauge registers (or fetches) a gauge family.
+func (r *Registry) Gauge(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, typeGauge, labels)}
+}
+
+// Summary registers (or fetches) a latency-summary family.
+func (r *Registry) Summary(name, help string, labels ...string) *SummaryVec {
+	return &SummaryVec{f: r.register(name, help, typeSummary, labels)}
+}
+
+// With binds one label-value combination, creating the series on first
+// use. The returned handle is cached: Inc is one atomic add.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.bind(values).c }
+
+// Func registers a snapshot-on-scrape series: the counter's value is read
+// from fn at exposition time. For counters whose source of truth already
+// lives elsewhere (e.g. cache hit totals).
+func (v *CounterVec) Func(fn func() int64, values ...string) {
+	v.f.bind(values).cfn = fn
+}
+
+// With binds one label-value combination of a gauge family.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.bind(values).g }
+
+// Func registers a snapshot-on-scrape gauge series.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	v.f.bind(values).gfn = fn
+}
+
+// With binds one label-value combination of a summary family.
+func (v *SummaryVec) With(values ...string) *LatencyHistogram { return v.f.bind(values).h }
+
+// GaugeFunc is the common shorthand for an unlabeled snapshot gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Gauge(name, help).Func(fn)
+}
+
+// CounterFunc is the common shorthand for an unlabeled snapshot counter.
+func (r *Registry) CounterFunc(name, help string, fn func() int64) {
+	r.Counter(name, help).Func(fn)
+}
+
+// snapshot returns the families sorted by name and, per family, the
+// series sorted by label values — the deterministic exposition order.
+func (r *Registry) snapshot() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns the family's series in label-value order.
+func (f *family) sortedSeries() []*series {
+	f.mu.Lock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].values, "\xff") < strings.Join(out[j].values, "\xff")
+	})
+	return out
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	reqs := r.Counter("test_requests_total", "Requests.", "op")
+	narrate := reqs.With("narrate")
+	query := reqs.With("query")
+	narrate.Inc()
+	narrate.Inc()
+	query.Add(5)
+	if narrate.Value() != 2 || query.Value() != 5 {
+		t.Fatalf("counter values = %d, %d; want 2, 5", narrate.Value(), query.Value())
+	}
+	// Re-binding the same labels returns the same series.
+	if reqs.With("narrate") != narrate {
+		t.Error("With with identical labels returned a different handle")
+	}
+
+	g := r.Gauge("test_depth", "Depth.").With()
+	g.Set(3.5)
+	if g.Value() != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", g.Value())
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ok_total", "fine")
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid name", func() { r.Counter("bad-name", "x") })
+	mustPanic("invalid label", func() { r.Counter("fine_total", "x", "bad-label") })
+	mustPanic("schema conflict", func() { r.Gauge("ok_total", "now a gauge") })
+	mustPanic("arity mismatch", func() { r.Counter("labeled_total", "x", "op").With("a", "b") })
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("app_requests_total", "Total requests.", "op", "cache")
+	c.With("query", "hit").Add(3)
+	c.With("narrate", "miss").Inc()
+	r.GaugeFunc("app_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	h := r.Summary("app_request_seconds", "Request latency.", "op").With("query")
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP app_requests_total Total requests.",
+		"# TYPE app_requests_total counter",
+		`app_requests_total{op="narrate",cache="miss"} 1`,
+		`app_requests_total{op="query",cache="hit"} 3`,
+		"# TYPE app_uptime_seconds gauge",
+		"app_uptime_seconds 12.5",
+		"# TYPE app_request_seconds summary",
+		`app_request_seconds{op="query",quantile="0.5"}`,
+		`app_request_seconds{op="query",quantile="0.99"}`,
+		"app_request_seconds_sum{op=\"query\"} 0.03",
+		`app_request_seconds_count{op="query"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// The linter accepts our own output.
+	if errs := Lint(buf.Bytes()); len(errs) != 0 {
+		t.Fatalf("Lint rejected our own exposition: %v\n---\n%s", errs, out)
+	}
+
+	// Deterministic: a second scrape is byte-identical.
+	var buf2 bytes.Buffer
+	r.WritePrometheus(&buf2)
+	if buf.String() != buf2.String() {
+		t.Error("consecutive scrapes differ")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x").With().Inc()
+	h := Handler(r)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST /metrics = %d, want 405", rec.Code)
+	}
+}
+
+func TestLintCatchesViolations(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"no help/type", "orphan_total 1\n"},
+		{"bad name", "# HELP bad-name x\n# TYPE bad-name counter\nbad-name 1\n"},
+		{"bad type", "# HELP a_total x\n# TYPE a_total tally\na_total 1\n"},
+		{"duplicate series", "# HELP a_total x\n# TYPE a_total counter\na_total{op=\"q\"} 1\na_total{op=\"q\"} 2\n"},
+		{"non-float value", "# HELP a_total x\n# TYPE a_total counter\na_total banana\n"},
+		{"duplicate help", "# HELP a_total x\n# HELP a_total y\n# TYPE a_total counter\na_total 1\n"},
+		{"type without help", "# TYPE a_total counter\na_total 1\n"},
+	}
+	for _, tc := range cases {
+		if errs := Lint([]byte(tc.in)); len(errs) == 0 {
+			t.Errorf("%s: lint found no errors in:\n%s", tc.name, tc.in)
+		}
+	}
+}
+
+func TestLintAcceptsSummaryChildren(t *testing.T) {
+	in := "# HELP lat_seconds x\n# TYPE lat_seconds summary\n" +
+		"lat_seconds{quantile=\"0.5\"} 0.01\n" +
+		"lat_seconds_sum 0.5\n" +
+		"lat_seconds_count 10\n"
+	if errs := Lint([]byte(in)); len(errs) != 0 {
+		t.Fatalf("lint rejected valid summary: %v", errs)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x", "op")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h := c.With("a")
+			for j := 0; j < 1000; j++ {
+				h.Inc()
+			}
+		}()
+	}
+	// Concurrent scrapes while writing.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			r.WritePrometheus(&buf)
+		}()
+	}
+	wg.Wait()
+	if got := c.With("a").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}

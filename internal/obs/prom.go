@@ -1,0 +1,136 @@
+package obs
+
+// prom.go: Prometheus text-format exposition (version 0.0.4) of a
+// Registry. Families sort by name, series by label values, so consecutive
+// scrapes of an idle server are byte-identical and `make metrics-lint`
+// can assert the format invariants (lint.go) against a live daemon.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// summaryQuantiles are the quantile series emitted per summary family,
+// matching the p50/p95/p99 digests /v1/stats reports.
+var summaryQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// format: a HELP/TYPE header pair per family, then one sample line per
+// series (summaries expand into quantile samples plus _sum and _count).
+// Durations are exposed in seconds, the Prometheus base unit.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshot() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.sortedSeries() {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.c != nil || s.cfn != nil:
+		v := int64(0)
+		if s.cfn != nil {
+			v = s.cfn()
+		} else {
+			v = s.c.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, s.values, ""), v)
+		return err
+	case s.g != nil || s.gfn != nil:
+		v := 0.0
+		if s.gfn != nil {
+			v = s.gfn()
+		} else {
+			v = s.g.Value()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.values, ""), formatFloat(v))
+		return err
+	case s.h != nil:
+		for _, sq := range summaryQuantiles {
+			d := s.h.Quantile(sq.q)
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name,
+				labelString(f.labels, s.values, sq.label), formatFloat(seconds(d))); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+			labelString(f.labels, s.values, ""), formatFloat(seconds(s.h.Sum()))); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+			labelString(f.labels, s.values, ""), s.h.Count())
+		return err
+	}
+	return nil
+}
+
+func seconds(d time.Duration) float64 { return float64(d) / float64(time.Second) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelString renders {k="v",...}; quantile (when non-empty) is appended
+// as the summary's reserved label. No labels at all renders as "".
+func labelString(names, values []string, quantile string) string {
+	if len(names) == 0 && quantile == "" {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteByte('"')
+	}
+	if quantile != "" {
+		if len(names) > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(`quantile="`)
+		sb.WriteString(quantile)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+// Handler serves the registry as a GET /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,123 @@
+package obs
+
+// slowlog.go: a non-blocking JSON-lines sink for slow-query diagnosis
+// records. The request path marshals the entry and hands the bytes to a
+// buffered channel; a single writer goroutine drains it. When the channel
+// is full the entry is dropped and counted — a diagnostics log must never
+// backpressure the queries it is diagnosing.
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"time"
+)
+
+// slowLogQueue bounds how many marshaled entries can be in flight before
+// Offer starts dropping.
+const slowLogQueue = 256
+
+// SlowLog writes JSON lines to a sink without blocking the caller.
+// Nil-safe: every method on a nil *SlowLog is a no-op, so the service
+// calls it unconditionally.
+type SlowLog struct {
+	threshold time.Duration
+	ch        chan []byte
+	done      chan struct{}
+	written   Counter
+	dropped   Counter
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewSlowLog starts a writer goroutine draining into w. Entries for
+// requests faster than threshold are the caller's job to filter (see
+// Threshold); threshold 0 means log everything offered. The underlying
+// writer is NOT closed by Close — the caller owns its lifecycle.
+func NewSlowLog(w io.Writer, threshold time.Duration) *SlowLog {
+	l := &SlowLog{
+		threshold: threshold,
+		ch:        make(chan []byte, slowLogQueue),
+		done:      make(chan struct{}),
+	}
+	go func() {
+		defer close(l.done)
+		bw := bufio.NewWriter(w)
+		for line := range l.ch {
+			bw.Write(line)
+			bw.WriteByte('\n')
+			l.written.Inc()
+		}
+		bw.Flush()
+	}()
+	return l
+}
+
+// Threshold returns the configured slow threshold (0 on nil: callers
+// treat a nil log as "nothing qualifies" via Enabled).
+func (l *SlowLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Enabled reports whether the log accepts entries.
+func (l *SlowLog) Enabled() bool { return l != nil }
+
+// Offer enqueues one marshaled JSON entry (without trailing newline).
+// Non-blocking: a full queue or a closed log drops the entry and counts
+// the drop. No-op on nil.
+func (l *SlowLog) Offer(line []byte) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.dropped.Inc()
+		return
+	}
+	// Send under the lock: Close sets closed before closing the channel,
+	// so no Offer can race a send onto a closed channel.
+	select {
+	case l.ch <- line:
+	default:
+		l.dropped.Inc()
+	}
+	l.mu.Unlock()
+}
+
+// Close stops accepting entries, drains what was queued, flushes, and
+// reports how many entries were written and dropped over the log's
+// lifetime. Idempotent and nil-safe.
+func (l *SlowLog) Close() (written, dropped int64) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	if !l.closed {
+		l.closed = true
+		close(l.ch)
+	}
+	l.mu.Unlock()
+	<-l.done
+	return l.written.Value(), l.dropped.Value()
+}
+
+// Written returns entries flushed to the sink so far.
+func (l *SlowLog) Written() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.written.Value()
+}
+
+// Dropped returns entries lost to a full queue or post-Close offers.
+func (l *SlowLog) Dropped() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped.Value()
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer guards a bytes.Buffer against the writer goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSlowLogWritesLines(t *testing.T) {
+	var buf syncBuffer
+	l := NewSlowLog(&buf, 50*time.Millisecond)
+	if l.Threshold() != 50*time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+	l.Offer([]byte(`{"a":1}`))
+	l.Offer([]byte(`{"b":2}`))
+	written, dropped := l.Close()
+	if written != 2 || dropped != 0 {
+		t.Fatalf("Close = (%d, %d), want (2, 0)", written, dropped)
+	}
+	if got := buf.String(); got != "{\"a\":1}\n{\"b\":2}\n" {
+		t.Fatalf("sink = %q", got)
+	}
+}
+
+func TestSlowLogCloseIdempotentAndDropsAfter(t *testing.T) {
+	var buf syncBuffer
+	l := NewSlowLog(&buf, 0)
+	l.Offer([]byte(`{}`))
+	l.Close()
+	l.Offer([]byte(`{"late":true}`)) // after close: dropped, no panic
+	written, dropped := l.Close()
+	if written != 1 || dropped != 1 {
+		t.Fatalf("Close = (%d, %d), want (1, 1)", written, dropped)
+	}
+	if strings.Contains(buf.String(), "late") {
+		t.Error("post-close entry reached sink")
+	}
+}
+
+func TestSlowLogNilSafe(t *testing.T) {
+	var l *SlowLog
+	if l.Enabled() {
+		t.Error("nil log reports enabled")
+	}
+	l.Offer([]byte(`{}`))
+	if w, d := l.Close(); w != 0 || d != 0 {
+		t.Errorf("nil Close = (%d, %d)", w, d)
+	}
+	if l.Threshold() != 0 || l.Written() != 0 || l.Dropped() != 0 {
+		t.Error("nil accessors leaked state")
+	}
+}
+
+// blockingWriter stalls until released, forcing the queue to fill.
+type blockingWriter struct{ release chan struct{} }
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	<-w.release
+	return len(p), nil
+}
+
+func TestSlowLogDropsWhenFull(t *testing.T) {
+	w := &blockingWriter{release: make(chan struct{})}
+	l := NewSlowLog(w, 0)
+	// Fill the queue past capacity; writer is stalled. The writer
+	// goroutine may hold one entry in the bufio layer, so overshoot.
+	for i := 0; i < slowLogQueue*2; i++ {
+		l.Offer([]byte(`{}`))
+	}
+	if l.Dropped() == 0 {
+		t.Fatal("expected drops with a stalled writer and full queue")
+	}
+	close(w.release)
+	written, dropped := l.Close()
+	if written+dropped != slowLogQueue*2 {
+		t.Fatalf("written %d + dropped %d != offered %d", written, dropped, slowLogQueue*2)
+	}
+}
+
+func TestSlowLogConcurrentOffers(t *testing.T) {
+	var buf syncBuffer
+	l := NewSlowLog(&buf, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				l.Offer([]byte(`{"x":1}`))
+			}
+		}()
+	}
+	wg.Wait()
+	written, dropped := l.Close()
+	if written+dropped != 160 {
+		t.Fatalf("written %d + dropped %d != 160", written, dropped)
+	}
+	if lines := strings.Count(buf.String(), "\n"); int64(lines) != written {
+		t.Fatalf("sink has %d lines, written = %d", lines, written)
+	}
+}

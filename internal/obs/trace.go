@@ -1,0 +1,234 @@
+package obs
+
+// trace.go: request-scoped span trees. One Trace is created per request
+// when tracing is on (debug=trace or a slow-query log is configured) and
+// carried on the request value itself — never in a context.Context, whose
+// WithValue would allocate on every request even with tracing off.
+//
+// Every method on Trace and Span is safe on a nil receiver and does
+// nothing, so call sites instrument unconditionally:
+//
+//	sp := req.tr.Start("validate")   // req.tr == nil → sp == nil
+//	defer sp.End()                   // no-op
+//
+// which is what keeps the disabled hot path at zero allocations (the
+// alloc guard in the service tests pins this).
+//
+// A Trace is single-writer: spans are started and ended by whichever
+// goroutine currently owns the request. The pipeline's caller→worker
+// handoff over a channel establishes the necessary happens-before; there
+// is no internal locking.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Trace is one request's span tree.
+type Trace struct {
+	id   string
+	root *Span
+	cur  *Span // innermost open span; Start attaches children here
+}
+
+// Span is one timed region of a trace.
+type Span struct {
+	tr       *Trace
+	parent   *Span
+	name     string
+	start    time.Time
+	d        time.Duration
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// NewTraceID returns a random 16-byte hex trace id.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; fall back to a fixed id
+		// rather than plumb an error through every request.
+		return "00000000000000000000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace starts a trace with an open root span. An empty id gets a
+// fresh random one (clients pin ids for correlation across systems).
+func NewTrace(id, rootName string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	tr := &Trace{id: id}
+	tr.root = &Span{tr: tr, name: rootName, start: time.Now()}
+	tr.cur = tr.root
+	return tr
+}
+
+// ID returns the trace id ("" on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span (nil on nil).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Start opens a child span under the innermost open span and makes it
+// current. Returns nil on a nil trace.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	parent := t.cur
+	if parent == nil {
+		parent = t.root
+	}
+	s := &Span{tr: t, parent: parent, name: name, start: time.Now()}
+	parent.children = append(parent.children, s)
+	t.cur = s
+	return s
+}
+
+// Finish ends the root span (and any spans left open beneath it) and
+// returns the total duration. Safe on nil.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	for t.cur != nil && t.cur != t.root {
+		t.cur.End()
+	}
+	t.root.End()
+	return t.root.d
+}
+
+// End closes the span. Ending a span that is current pops back to its
+// parent; ending twice, or ending nil, does nothing.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.d = time.Since(s.start)
+	if s.tr != nil && s.tr.cur == s {
+		s.tr.cur = s.parent
+	}
+}
+
+// SetAttr attaches a key=value annotation to the span. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// Add attaches an already-measured child span — used to graft engine
+// operator timings (collected by the iterator instrumentation) onto the
+// tree after execution, without moving the current-span cursor. Returns
+// the child for attr attachment; nil on a nil receiver.
+func (s *Span) Add(name string, d time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, parent: s, name: name, start: s.start, d: d, ended: true}
+	s.children = append(s.children, c)
+	return c
+}
+
+// TraceInfo is the wire form of a finished trace, embedded in v2
+// responses under "trace" when the request asked for debug=trace, and in
+// slow-query log entries.
+type TraceInfo struct {
+	TraceID string    `json:"trace_id"`
+	Root    *SpanInfo `json:"root"`
+}
+
+// SpanInfo is the wire form of one span.
+type SpanInfo struct {
+	Name       string            `json:"name"`
+	DurationMs float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanInfo       `json:"children,omitempty"`
+}
+
+// Info renders the trace for the wire. Open spans are reported with
+// their duration so far. Nil-safe (returns nil).
+func (t *Trace) Info() *TraceInfo {
+	if t == nil {
+		return nil
+	}
+	return &TraceInfo{TraceID: t.id, Root: t.root.info()}
+}
+
+func (s *Span) info() *SpanInfo {
+	if s == nil {
+		return nil
+	}
+	d := s.d
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	out := &SpanInfo{
+		Name:       s.name,
+		DurationMs: float64(d) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			out.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.info())
+	}
+	return out
+}
+
+// WriteTree pretty-prints a TraceInfo as an indented tree — the renderer
+// behind `lantern -exec -trace`.
+func (ti *TraceInfo) WriteTree(w io.Writer) {
+	if ti == nil || ti.Root == nil {
+		return
+	}
+	fmt.Fprintf(w, "trace %s\n", ti.TraceID)
+	writeSpanTree(w, ti.Root, 0)
+}
+
+func writeSpanTree(w io.Writer, s *SpanInfo, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%s  %.3fms", indent, s.Name, s.DurationMs)
+	if len(s.Attrs) > 0 {
+		keys := make([]string, 0, len(s.Attrs))
+		for k := range s.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + "=" + s.Attrs[k]
+		}
+		fmt.Fprintf(w, "  [%s]", strings.Join(parts, " "))
+	}
+	fmt.Fprintln(w)
+	for _, c := range s.Children {
+		writeSpanTree(w, c, depth+1)
+	}
+}

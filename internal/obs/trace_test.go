@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTraceIsNoop(t *testing.T) {
+	var tr *Trace
+	sp := tr.Start("anything")
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Add("child", time.Millisecond)
+	if tr.ID() != "" || tr.Root() != nil || tr.Info() != nil || tr.Finish() != 0 {
+		t.Error("nil trace leaked state")
+	}
+}
+
+func TestTraceNesting(t *testing.T) {
+	tr := NewTrace("tid-1", "request")
+	a := tr.Start("validate")
+	a.End()
+	b := tr.Start("execute")
+	c := tr.Start("run_sql")
+	c.SetAttr("rows", "42")
+	c.End()
+	b.End()
+	total := tr.Finish()
+	if total <= 0 {
+		t.Fatalf("Finish = %v, want > 0", total)
+	}
+
+	info := tr.Info()
+	if info.TraceID != "tid-1" {
+		t.Fatalf("trace id = %q", info.TraceID)
+	}
+	root := info.Root
+	if root.Name != "request" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want request/2", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "validate" || root.Children[1].Name != "execute" {
+		t.Fatalf("children = %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	ex := root.Children[1]
+	if len(ex.Children) != 1 || ex.Children[0].Name != "run_sql" {
+		t.Fatalf("execute children wrong: %+v", ex.Children)
+	}
+	if ex.Children[0].Attrs["rows"] != "42" {
+		t.Errorf("attrs = %v", ex.Children[0].Attrs)
+	}
+}
+
+func TestTraceFinishClosesOpenSpans(t *testing.T) {
+	tr := NewTrace("", "request")
+	tr.Start("outer")
+	tr.Start("inner") // never ended
+	tr.Finish()
+	info := tr.Info()
+	if info.TraceID == "" || len(info.TraceID) != 32 {
+		t.Errorf("generated trace id = %q, want 32 hex chars", info.TraceID)
+	}
+	outer := info.Root.Children[0]
+	if outer.Name != "outer" || len(outer.Children) != 1 {
+		t.Fatalf("open spans not closed into tree: %+v", outer)
+	}
+}
+
+func TestSpanDoubleEnd(t *testing.T) {
+	tr := NewTrace("t", "r")
+	s := tr.Start("a")
+	s.End()
+	d1 := s.d
+	time.Sleep(time.Millisecond)
+	s.End()
+	if s.d != d1 {
+		t.Error("second End changed duration")
+	}
+}
+
+func TestSpanAddPreMeasured(t *testing.T) {
+	tr := NewTrace("t", "r")
+	ex := tr.Start("execute")
+	op := ex.Add("op:Hash Join", 7*time.Millisecond)
+	op.SetAttr("loops", "1")
+	// Add must not move the cursor: the next Start is still under execute.
+	inner := tr.Start("bridge")
+	inner.End()
+	ex.End()
+	tr.Finish()
+
+	info := tr.Info()
+	exi := info.Root.Children[0]
+	if len(exi.Children) != 2 {
+		t.Fatalf("execute has %d children, want 2", len(exi.Children))
+	}
+	if exi.Children[0].Name != "op:Hash Join" || exi.Children[0].DurationMs != 7.0 {
+		t.Fatalf("pre-measured child = %+v", exi.Children[0])
+	}
+	if exi.Children[1].Name != "bridge" {
+		t.Fatalf("cursor moved by Add: second child = %q", exi.Children[1].Name)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	ti := &TraceInfo{
+		TraceID: "abc",
+		Root: &SpanInfo{
+			Name: "request", DurationMs: 5,
+			Children: []*SpanInfo{
+				{Name: "execute", DurationMs: 4, Attrs: map[string]string{"rows": "3", "loops": "1"},
+					Children: []*SpanInfo{{Name: "op:Seq Scan", DurationMs: 2}}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	ti.WriteTree(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"trace abc",
+		"request  5.000ms",
+		"  execute  4.000ms  [loops=1 rows=3]",
+		"    op:Seq Scan  2.000ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree output missing %q:\n%s", want, out)
+		}
+	}
+	// Nil-safe.
+	var none *TraceInfo
+	none.WriteTree(&buf)
+}

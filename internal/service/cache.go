@@ -7,7 +7,7 @@ import (
 	"sort"
 	"sync"
 
-	"lantern/internal/metrics"
+	"lantern/internal/obs"
 )
 
 // Step is one rendered narration step, as cached and as returned to
@@ -63,11 +63,11 @@ type Cache struct {
 	mask          uint32
 	maxShardBytes int64
 
-	hits         metrics.Counter
-	misses       metrics.Counter
-	evictions    metrics.Counter
-	invalidated  metrics.Counter
-	rejectedSize metrics.Counter // entries larger than one shard's budget
+	hits         obs.Counter
+	misses       obs.Counter
+	evictions    obs.Counter
+	invalidated  obs.Counter
+	rejectedSize obs.Counter // entries larger than one shard's budget
 }
 
 // NewCache builds a cache with the given shard count (rounded up to a

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"lantern/internal/obs"
+	"lantern/internal/plan"
 )
 
 // Op kinds accepted in Request.Op.
@@ -95,10 +98,30 @@ type Request struct {
 	// themselves be batches.
 	Batch []*Request `json:"batch,omitempty"`
 
+	// TraceID correlates this request across systems: when set it names
+	// the request's trace; when empty and tracing is armed, a random id is
+	// generated and reported back in the trace output.
+	TraceID string `json:"trace_id,omitempty"`
+	// Debug asks for diagnostics in the response. The only recognized
+	// value is DebugTrace ("trace"), which embeds the request's span tree
+	// as Response.Trace; anything else is rejected as a bad request.
+	Debug string `json:"debug,omitempty"`
+
 	// payload is the front-index key material ("sql\x00..." or
 	// "plan\x00...") computed once by the validate stage so the cache and
 	// execute stages never re-derive it.
 	payload string
+	// tr is the request-scoped trace, armed by beginTrace when the
+	// response or the slow-query log wants the span tree; nil otherwise,
+	// and every span call on it is then a free no-op.
+	tr *obs.Trace
+	// slowTree retains the executed plan tree (with actuals) for the
+	// slow-query log's mis-estimate callouts. Only set when a slow log is
+	// configured, so the tree is not kept alive otherwise.
+	slowTree *plan.Node
+	// admissionWait is how long the request sat in the worker queue,
+	// recorded by the worker for the trace and the slow log.
+	admissionWait time.Duration
 }
 
 // Response is the v2 envelope answer: the op echoed back, at most one
@@ -114,6 +137,10 @@ type Response struct {
 	QA      *QAResponse      `json:"qa,omitempty"`
 	Pool    *PoolResponse    `json:"pool,omitempty"`
 	Batch   []*Response      `json:"batch,omitempty"`
+
+	// Trace is the request's span tree, present only when the request set
+	// debug=trace.
+	Trace *obs.TraceInfo `json:"trace,omitempty"`
 }
 
 // PoolResponse is the outcome of one POOL statement. Field order matches

@@ -172,26 +172,48 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 	}
 	spec.count(s)
 
+	// The whole pipeline run holds an in-flight slot, so Close cannot tear
+	// down the slow-query log (or any other shared sink) between a
+	// worker's answer and this caller's encode tail.
+	if err := s.enterInflight(); err != nil {
+		return nil, AsErrorInfo(err)
+	}
+	defer s.inflight.Done()
+
+	start := time.Now()
+	// Arm the request trace (debug=trace or a configured slow-query log);
+	// with neither, req.tr stays nil and every span call below is a free
+	// nil-receiver no-op.
+	if err := s.beginTrace(req); err != nil {
+		return nil, AsErrorInfo(err)
+	}
+
 	// Validate: per-op checks and in-place normalization.
 	if spec.validate != nil {
-		if err := spec.validate(s, req); err != nil {
+		sp := req.tr.Start("validate")
+		err := spec.validate(s, req)
+		sp.End()
+		if err != nil {
 			return nil, AsErrorInfo(err)
 		}
 	}
 
-	start := time.Now()
 	// Fast path: cache hits bypass admission entirely.
 	if spec.fastPath != nil {
-		if resp, ok := spec.fastPath(s, req); ok {
+		sp := req.tr.Start("cache")
+		resp, hit := spec.fastPath(s, req)
+		sp.End()
+		if hit {
 			if spec.observe != nil {
 				spec.observe(s, resp, time.Since(start))
 			}
-			return s.seal(resp, req), nil
+			return s.finishRequest(resp, req, time.Since(start)), nil
 		}
 	}
 
 	// Admission + execute: inline ops run on the caller's goroutine under
-	// the in-flight tracker; everything else is queued to the worker pool.
+	// the in-flight tracker; everything else is queued to the worker pool
+	// (the worker records the admission wait and the execute span).
 	var (
 		resp *Response
 		err  error
@@ -202,12 +224,15 @@ func (s *Server) Do(ctx context.Context, req *Request) (*Response, error) {
 		resp, err = s.dispatch(ctx, req, spec)
 	}
 	if err != nil {
+		// On a timeout the worker may still be executing — and writing
+		// spans — so the error path must not touch req.tr (finishRequest
+		// would).
 		return nil, AsErrorInfo(err)
 	}
 	if spec.observe != nil {
 		spec.observe(s, resp, time.Since(start))
 	}
-	return s.seal(resp, req), nil
+	return s.finishRequest(resp, req, time.Since(start)), nil
 }
 
 // seal stamps the envelope bookkeeping (op echo, correlation ID) onto a
@@ -232,7 +257,9 @@ func (s *Server) runInline(ctx context.Context, req *Request, spec *opSpec) (*Re
 		s.timeouts.Inc()
 		return nil, err
 	}
+	sp := req.tr.Start("execute")
 	resp, err := spec.execute(s, ctx, req)
+	sp.End()
 	if err != nil {
 		s.countFailure(err)
 		return nil, err
@@ -329,7 +356,9 @@ func narrateFastPath(s *Server, r *Request) (*Response, bool) {
 // execNarrate resolves the plan tree, fingerprints it, and narrates (or
 // answers from the plan-level cache).
 func (s *Server) execNarrate(ctx context.Context, r *Request) (*NarrateResponse, error) {
+	sp := r.tr.Start("resolve_plan")
 	tree, err := s.resolveTree(ctx, r.SQL, r.Plan, r.Dialect)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -346,7 +375,9 @@ func (s *Server) execNarrate(ctx context.Context, r *Request) (*NarrateResponse,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp = r.tr.Start("narrate")
 	ent, err := s.narrateAndCache(tree, fp, ops, r.Options)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -363,17 +394,26 @@ func (s *Server) execQuery(ctx context.Context, r *Request) (*QueryResponse, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := r.tr.Start("session_acquire")
 	sess, err := s.acquireSession(ctx)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	spRun := r.tr.Start("run_sql")
 	qr, err := sess.QueryInstrumented(r.SQL)
+	spRun.End()
 	s.sessions.Release(sess)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	sp = r.tr.Start("bridge")
 	tree := engine.ToPlanNodeStats(qr.Plan, qr.Stats)
 	fp, ops := PlanFingerprint(tree, r.Options)
+	sp.End()
+	// The operator spans hang off run_sql — that is when they executed —
+	// with the durations/rows/loops the iterator instrumentation measured.
+	attachOperatorSpans(spRun, tree)
 
 	resp := &QueryResponse{
 		Dialect:     tree.Source,
@@ -384,7 +424,7 @@ func (s *Server) execQuery(ctx context.Context, r *Request) (*QueryResponse, err
 		RowCount:    len(qr.Result.Rows),
 		ElapsedMs:   float64(qr.Elapsed) / 1e6,
 	}
-	if err := s.finishQuery(ctx, tree, fp, ops, r.Options, resp); err != nil {
+	if err := s.finishQuery(ctx, tree, fp, ops, r, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
@@ -393,9 +433,16 @@ func (s *Server) execQuery(ctx context.Context, r *Request) (*QueryResponse, err
 // finishQuery attaches the narration to an executed query response:
 // answered from the actuals-aware fingerprint cache when possible,
 // narrated and cached otherwise. Shared by the unary and streaming paths.
-func (s *Server) finishQuery(ctx context.Context, tree *plan.Node, fp Fingerprint, ops []string, opts Options, resp *QueryResponse) error {
+func (s *Server) finishQuery(ctx context.Context, tree *plan.Node, fp Fingerprint, ops []string, r *Request, resp *QueryResponse) error {
+	if s.slowlog.Enabled() {
+		// Keep the executed tree for the slow log's mis-estimate callouts.
+		r.slowTree = tree
+	}
 	if s.cache != nil {
-		if ent, ok := s.cache.Get(fp); ok {
+		sp := r.tr.Start("plan_cache")
+		ent, ok := s.cache.Get(fp)
+		sp.End()
+		if ok {
 			resp.Text, resp.Steps, resp.Cached = ent.Text, ent.Steps, true
 			return nil
 		}
@@ -403,7 +450,9 @@ func (s *Server) finishQuery(ctx context.Context, tree *plan.Node, fp Fingerprin
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	ent, err := s.narrateAndCache(tree, fp, ops, opts)
+	sp := r.tr.Start("narrate")
+	ent, err := s.narrateAndCache(tree, fp, ops, r.Options)
+	sp.End()
 	if err != nil {
 		return err
 	}

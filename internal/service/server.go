@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"strings"
 	"sync"
@@ -12,7 +13,7 @@ import (
 
 	"lantern/internal/core"
 	"lantern/internal/engine"
-	"lantern/internal/metrics"
+	"lantern/internal/obs"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
 )
@@ -50,6 +51,16 @@ type Config struct {
 	// shared catalog instead of serializing on one engine (default:
 	// Workers). 1 reproduces the historical fully-serialized engine.
 	EngineSessions int
+	// SlowQueryLog, when non-nil, receives one JSON line per request at
+	// least SlowQueryThreshold slow (see SlowQueryEntry). Writes are
+	// decoupled from the request path by a bounded queue; entries are
+	// dropped (and counted) rather than ever blocking a request. The
+	// writer is not closed by Server.Close — the caller owns it.
+	SlowQueryLog io.Writer
+	// SlowQueryThreshold is the minimum elapsed time for a request to be
+	// logged; 0 logs every request (useful in tests). Ignored without
+	// SlowQueryLog.
+	SlowQueryThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -165,10 +176,11 @@ type taskResult struct {
 // task is one queued envelope: the pipeline stage data a worker needs to
 // run the op's execute strategy.
 type task struct {
-	ctx  context.Context
-	req  *Request
-	spec *opSpec
-	out  chan taskResult // buffered(1): workers never block on delivery
+	ctx      context.Context
+	req      *Request
+	spec     *opSpec
+	enqueued time.Time       // when admission accepted it; worker derives the queue wait
+	out      chan taskResult // buffered(1): workers never block on delivery
 }
 
 // Server is the concurrent narration service: admission control in front
@@ -212,22 +224,29 @@ type Server struct {
 	inflight sync.WaitGroup
 	started  time.Time
 
-	narrateReqs metrics.Counter
-	qaReqs      metrics.Counter
-	queryReqs   metrics.Counter
-	poolReqs    metrics.Counter
-	batchReqs   metrics.Counter
-	streamReqs  metrics.Counter
-	rejected    metrics.Counter
-	timeouts    metrics.Counter
-	failures    metrics.Counter
-	hitLatency  metrics.LatencyHistogram
-	coldLatency metrics.LatencyHistogram
-	qaLatency   metrics.LatencyHistogram
+	// reg is the server's metrics registry: every instrument below is a
+	// pre-bound handle into it, so /v1/stats and GET /metrics read the
+	// same atomics and can never disagree. slowlog is the structured
+	// slow-query sink (nil unless Config.SlowQueryLog is set).
+	reg     *obs.Registry
+	slowlog *obs.SlowLog
+
+	narrateReqs *obs.Counter
+	qaReqs      *obs.Counter
+	queryReqs   *obs.Counter
+	poolReqs    *obs.Counter
+	batchReqs   *obs.Counter
+	streamReqs  *obs.Counter
+	rejected    *obs.Counter
+	timeouts    *obs.Counter
+	failures    *obs.Counter
+	hitLatency  *obs.LatencyHistogram
+	coldLatency *obs.LatencyHistogram
+	qaLatency   *obs.LatencyHistogram
 	// Query latencies are tracked apart from narrate: they include the
 	// execution itself, so mixing them would swamp the narration digests.
-	queryHitLatency  metrics.LatencyHistogram
-	queryColdLatency metrics.LatencyHistogram
+	queryHitLatency  *obs.LatencyHistogram
+	queryColdLatency *obs.LatencyHistogram
 }
 
 // NewServer builds and starts a server over a planning engine (nil is
@@ -256,6 +275,10 @@ func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheShards, cfg.CacheBytes)
 	}
+	if cfg.SlowQueryLog != nil {
+		s.slowlog = obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold)
+	}
+	s.registerMetrics()
 	store.OnMutation(func(m pool.Mutation) {
 		s.mutGen.Add(1)
 		s.cache.InvalidateOperator(m.Source, m.Name)
@@ -266,6 +289,98 @@ func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
 	}
 	return s
 }
+
+// registerMetrics builds the server's registry and binds the hot-path
+// instrument handles. Request-path instruments are pre-bound counters and
+// summaries (one atomic op to record); sizes and snapshot-style values
+// (queue length, cache totals, session pool occupancy) are func-backed
+// series read at scrape time from their source of truth.
+func (s *Server) registerMetrics() {
+	r := obs.NewRegistry()
+	s.reg = r
+
+	reqs := r.Counter("lantern_requests_total",
+		"Requests by operation (streaming queries under op=\"stream\").", "op")
+	s.narrateReqs = reqs.With(OpNarrate)
+	s.qaReqs = reqs.With(OpQA)
+	s.queryReqs = reqs.With(OpQuery)
+	s.poolReqs = reqs.With(OpPool)
+	s.batchReqs = reqs.With(OpBatch)
+	s.streamReqs = reqs.With("stream")
+	s.rejected = r.Counter("lantern_rejected_total",
+		"Requests rejected at admission: worker queue or stream semaphore full.").With()
+	s.timeouts = r.Counter("lantern_timeouts_total",
+		"Requests that hit their deadline or were canceled.").With()
+	s.failures = r.Counter("lantern_failures_total",
+		"Requests that failed in execution (excluding timeouts and rejections).").With()
+
+	lat := r.Summary("lantern_request_seconds",
+		"Request latency by operation and cache outcome.", "op", "cache")
+	s.hitLatency = lat.With(OpNarrate, "hit")
+	s.coldLatency = lat.With(OpNarrate, "miss")
+	s.qaLatency = lat.With(OpQA, "none")
+	s.queryHitLatency = lat.With(OpQuery, "hit")
+	s.queryColdLatency = lat.With(OpQuery, "miss")
+
+	cacheEvents := r.Counter("lantern_cache_events_total",
+		"Narration cache activity by event kind.", "event")
+	cacheEvents.Func(func() int64 { return s.cacheCounter(func(c *Cache) *obs.Counter { return &c.hits }) }, "hit")
+	cacheEvents.Func(func() int64 { return s.cacheCounter(func(c *Cache) *obs.Counter { return &c.misses }) }, "miss")
+	cacheEvents.Func(func() int64 { return s.cacheCounter(func(c *Cache) *obs.Counter { return &c.evictions }) }, "eviction")
+	cacheEvents.Func(func() int64 { return s.cacheCounter(func(c *Cache) *obs.Counter { return &c.invalidated }) }, "invalidation")
+	cacheEvents.Func(func() int64 { return s.cacheCounter(func(c *Cache) *obs.Counter { return &c.rejectedSize }) }, "rejected_oversize")
+	r.GaugeFunc("lantern_cache_entries", "Narration cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("lantern_cache_bytes", "Accounted bytes in the narration cache.",
+		func() float64 { return float64(s.cache.Bytes()) })
+
+	r.GaugeFunc("lantern_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	r.GaugeFunc("lantern_workers", "Size of the worker pool.",
+		func() float64 { return float64(s.cfg.Workers) })
+	r.GaugeFunc("lantern_queue_depth", "Capacity of the admission queue.",
+		func() float64 { return float64(s.cfg.QueueDepth) })
+	r.GaugeFunc("lantern_queue_len", "Requests currently waiting in the admission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	r.GaugeFunc("lantern_index_entries", "Entries in the request-key front index.",
+		func() float64 {
+			s.idxMu.RLock()
+			n := len(s.idx)
+			s.idxMu.RUnlock()
+			return float64(n)
+		})
+	r.GaugeFunc("lantern_engine_sessions", "Size of the engine session pool (0 without an engine).",
+		func() float64 {
+			if s.sessions == nil {
+				return 0
+			}
+			return float64(s.sessions.Size())
+		})
+	r.GaugeFunc("lantern_engine_sessions_idle", "Engine sessions currently idle in the pool.",
+		func() float64 {
+			if s.sessions == nil {
+				return 0
+			}
+			return float64(s.sessions.Idle())
+		})
+
+	r.CounterFunc("lantern_slow_log_written_total", "Slow-query log entries flushed to the sink.",
+		func() int64 { return s.slowlog.Written() })
+	r.CounterFunc("lantern_slow_log_dropped_total", "Slow-query log entries dropped (full queue or closed sink).",
+		func() int64 { return s.slowlog.Dropped() })
+}
+
+// cacheCounter reads one of the cache's counters, 0 when caching is off.
+func (s *Server) cacheCounter(pick func(*Cache) *obs.Counter) int64 {
+	if s.cache == nil {
+		return 0
+	}
+	return pick(s.cache).Value()
+}
+
+// Metrics exposes the server's registry for the /metrics endpoint and
+// admin tooling.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // Close drains the queue and all in-flight work (worker tasks, inline
 // ops, open streams), stops the workers, tears down the engine session
@@ -287,16 +402,28 @@ func (s *Server) Close() {
 	if s.sessions != nil {
 		s.sessions.Close()
 	}
+	// The slow log flushes last: every in-flight request has finished, so
+	// every entry it offered is either queued (and drains here) or already
+	// counted as dropped.
+	s.slowlog.Close()
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
+		wait := time.Since(t.enqueued)
+		t.req.admissionWait = wait
 		if err := t.ctx.Err(); err != nil {
 			t.out <- taskResult{err: err}
 			continue
 		}
+		// The caller handed the request over through the queue and will not
+		// touch its trace until the result channel returns it (or at all, on
+		// timeout), so the worker is the trace's single writer here.
+		t.req.tr.Root().Add("admission", wait)
+		sp := t.req.tr.Start("execute")
 		resp, err := t.spec.execute(s, t.ctx, t.req)
+		sp.End()
 		t.out <- taskResult{resp: resp, err: err}
 	}
 }
@@ -368,7 +495,7 @@ func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, 
 func (s *Server) dispatch(ctx context.Context, req *Request, spec *opSpec) (*Response, error) {
 	ctx, cancel := s.withDeadline(ctx, req)
 	defer cancel()
-	t := &task{ctx: ctx, req: req, spec: spec, out: make(chan taskResult, 1)}
+	t := &task{ctx: ctx, req: req, spec: spec, enqueued: time.Now(), out: make(chan taskResult, 1)}
 
 	s.closeMu.RLock()
 	if s.closed {
@@ -630,13 +757,18 @@ type Stats struct {
 	Timeouts        int64 `json:"timeouts"`
 	Failures        int64 `json:"failures"`
 
+	// SlowLogWritten / SlowLogDropped report the slow-query log sink
+	// (0/0 when no log is configured).
+	SlowLogWritten int64 `json:"slow_log_written"`
+	SlowLogDropped int64 `json:"slow_log_dropped"`
+
 	Cache CacheStats `json:"cache"`
 
-	LatencyCached      metrics.LatencySummary `json:"latency_cached"`
-	LatencyCold        metrics.LatencySummary `json:"latency_cold"`
-	LatencyQA          metrics.LatencySummary `json:"latency_qa"`
-	LatencyQueryCached metrics.LatencySummary `json:"latency_query_cached"`
-	LatencyQueryCold   metrics.LatencySummary `json:"latency_query_cold"`
+	LatencyCached      obs.LatencySummary `json:"latency_cached"`
+	LatencyCold        obs.LatencySummary `json:"latency_cold"`
+	LatencyQA          obs.LatencySummary `json:"latency_qa"`
+	LatencyQueryCached obs.LatencySummary `json:"latency_query_cached"`
+	LatencyQueryCold   obs.LatencySummary `json:"latency_query_cold"`
 }
 
 // Stats snapshots the server.
@@ -659,6 +791,8 @@ func (s *Server) Stats() Stats {
 		Rejected:           s.rejected.Value(),
 		Timeouts:           s.timeouts.Value(),
 		Failures:           s.failures.Value(),
+		SlowLogWritten:     s.slowlog.Written(),
+		SlowLogDropped:     s.slowlog.Dropped(),
 		Cache:              s.cache.Stats(),
 		LatencyCached:      s.hitLatency.Summary(),
 		LatencyCold:        s.coldLatency.Summary(),

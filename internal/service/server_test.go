@@ -205,6 +205,7 @@ func TestOverloadFastRejection(t *testing.T) {
 	// A server with a 1-slot queue and no running workers: the queue can
 	// never drain, so the rejection path is deterministic.
 	s := &Server{cfg: Config{QueueDepth: 1}.withDefaults(), queue: make(chan *task, 1)}
+	s.registerMetrics()
 	s.queue <- &task{} // fill the queue
 	start := time.Now()
 	_, err := s.Narrate(context.Background(), &NarrateRequest{SQL: qScan})

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lantern/internal/plan"
+)
+
+// logBuffer guards the sink against the slow log's writer goroutine.
+type logBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *logBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *logBuffer) entries(t *testing.T) []SlowQueryEntry {
+	t.Helper()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []SlowQueryEntry
+	for _, line := range strings.Split(strings.TrimSpace(b.buf.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var e SlowQueryEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("slow log line is not valid JSON: %v\n%s", err, line)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// TestSlowLogEntries: with threshold 0 every request is logged, and each
+// entry is the self-contained diagnosis artifact the tentpole promises —
+// op, fingerprint, cache disposition, span tree, admission wait.
+func TestSlowLogEntries(t *testing.T) {
+	var sink logBuffer
+	srv := newTestServer(t, Config{SlowQueryLog: &sink})
+
+	if _, err := srv.Narrate(context.Background(), &NarrateRequest{SQL: qScan}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Query(context.Background(), &QueryRequest{SQL: qJoin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Narrate(context.Background(), &NarrateRequest{SQL: qScan}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+
+	ents := sink.entries(t)
+	if len(ents) != 3 {
+		t.Fatalf("got %d slow log entries, want 3", len(ents))
+	}
+	coldNarrate, query, hitNarrate := ents[0], ents[1], ents[2]
+
+	if coldNarrate.Op != OpNarrate || coldNarrate.Cache != "miss" {
+		t.Errorf("cold narrate entry: op=%q cache=%q", coldNarrate.Op, coldNarrate.Cache)
+	}
+	if hitNarrate.Cache != "hit" {
+		t.Errorf("repeat narrate entry: cache=%q, want hit", hitNarrate.Cache)
+	}
+	if query.Op != OpQuery || query.Fingerprint == "" {
+		t.Errorf("query entry: op=%q fingerprint=%q", query.Op, query.Fingerprint)
+	}
+	for i, e := range ents {
+		if e.TS == "" || e.ElapsedMs <= 0 {
+			t.Errorf("entry %d: ts=%q elapsed_ms=%v", i, e.TS, e.ElapsedMs)
+		}
+		if e.Trace == nil || e.Trace.Root == nil {
+			t.Fatalf("entry %d has no span tree", i)
+		}
+		if e.TraceID == "" || e.Trace.TraceID != e.TraceID {
+			t.Errorf("entry %d: trace ids disagree: %q vs %q", i, e.TraceID, e.Trace.TraceID)
+		}
+	}
+	// The query entry's trace reaches the per-operator spans.
+	exec := findChild(query.Trace.Root, "execute")
+	if exec == nil {
+		t.Fatal("query entry trace has no execute span")
+	}
+	run := findChild(exec, "run_sql")
+	if run == nil || len(run.Children) == 0 || !strings.HasPrefix(run.Children[0].Name, "op:") {
+		t.Fatalf("query entry trace has no operator spans under run_sql: %+v", run)
+	}
+
+	if written, dropped := srv.Stats().SlowLogWritten, srv.Stats().SlowLogDropped; written != 3 || dropped != 0 {
+		t.Errorf("stats report written=%d dropped=%d, want 3/0", written, dropped)
+	}
+}
+
+// TestSlowLogThresholdFilters: a threshold far above any test query's
+// latency keeps the log empty.
+func TestSlowLogThresholdFilters(t *testing.T) {
+	var sink logBuffer
+	srv := newTestServer(t, Config{SlowQueryLog: &sink, SlowQueryThreshold: time.Hour})
+	if _, err := srv.Narrate(context.Background(), &NarrateRequest{SQL: qScan}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if ents := sink.entries(t); len(ents) != 0 {
+		t.Fatalf("got %d entries under an hour-long threshold", len(ents))
+	}
+}
+
+// TestCloseFlushesSlowLog is the slow-log sibling of
+// TestCloseDrainsInflightQuery: Close while a logged query is still
+// executing must flush that query's entry before returning.
+func TestCloseFlushesSlowLog(t *testing.T) {
+	var sink logBuffer
+	srv := newTestServer(t, Config{Workers: 2, RequestTimeout: 30 * time.Second, SlowQueryLog: &sink})
+	slow := `SELECT c.c_name, o.o_totalprice FROM customer c, orders o WHERE c.c_nationkey < 100`
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Query(context.Background(), &QueryRequest{SQL: slow, MaxRows: -1})
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	srv.Close()
+
+	if err := <-done; err != nil && !errors.Is(err, ErrClosed) {
+		t.Fatalf("in-flight query failed: %v", err)
+	}
+	ents := sink.entries(t)
+	if len(ents) != 1 || ents[0].Op != OpQuery {
+		t.Fatalf("after Close: %d entries (%+v), want the in-flight query's", len(ents), ents)
+	}
+	if srv.Stats().SlowLogWritten != 1 {
+		t.Fatalf("SlowLogWritten = %d, want 1", srv.Stats().SlowLogWritten)
+	}
+	// Close is idempotent with the log attached.
+	srv.Close()
+}
+
+// TestStreamSlowLog: streaming queries log entries too (sans trace).
+func TestStreamSlowLog(t *testing.T) {
+	var sink logBuffer
+	srv := newTestServer(t, Config{SlowQueryLog: &sink})
+	_, err := srv.QueryStream(context.Background(), &QueryRequest{SQL: qScan}, StreamCallbacks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ents := sink.entries(t)
+	if len(ents) != 1 || ents[0].Op != OpQuery {
+		t.Fatalf("stream produced %d entries: %+v", len(ents), ents)
+	}
+	if ents[0].Trace != nil {
+		t.Error("stream entry carries a trace; streams do not arm one")
+	}
+	if ents[0].Fingerprint == "" {
+		t.Error("stream entry lost its fingerprint")
+	}
+}
+
+func TestMisEstimates(t *testing.T) {
+	mk := func(name string, est float64, actual, loops string) *plan.Node {
+		n := &plan.Node{Name: name, Rows: est}
+		if actual != "" {
+			n.SetAttr(plan.AttrActualRows, actual)
+		}
+		if loops != "" {
+			n.SetAttr(plan.AttrLoops, loops)
+		}
+		return n
+	}
+
+	under := mk("Seq Scan", 10, "1000", "")
+	over := mk("Hash Join", 1000, "10", "")
+	// 100 total rows across 20 loops = 5 per loop against an estimate of
+	// 5: perfectly estimated once normalized, so no callout.
+	looped := mk("Index Scan", 5, "100", "20")
+	fine := mk("Sort", 100, "120", "")
+	noActuals := mk("Limit", 10, "", "")
+
+	root := mk("Gather", 1, "1", "")
+	root.Children = []*plan.Node{under, over, looped, fine, noActuals}
+
+	got := MisEstimates(root)
+	if len(got) != 2 {
+		t.Fatalf("MisEstimates = %v, want exactly the under- and overestimate", got)
+	}
+	if !strings.Contains(got[0], "Seq Scan") || !strings.Contains(got[0], "underestimate") {
+		t.Errorf("first callout = %q", got[0])
+	}
+	if !strings.Contains(got[1], "Hash Join") || !strings.Contains(got[1], "overestimate") {
+		t.Errorf("second callout = %q", got[1])
+	}
+	if MisEstimates(nil) != nil {
+		t.Error("nil tree should report nothing")
+	}
+}

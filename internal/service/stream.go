@@ -60,12 +60,19 @@ func (s *Server) DoStream(ctx context.Context, req *Request, cb StreamCallbacks)
 	// Streams share the query latency digests: the digest then covers the
 	// query path whichever flavor traffic takes. The elapsed time includes
 	// client backpressure — for a stream, delivery is the request.
+	elapsed := time.Since(start)
 	if resp.Cached {
-		s.queryHitLatency.Observe(time.Since(start))
+		s.queryHitLatency.Observe(elapsed)
 	} else {
-		s.queryColdLatency.Observe(time.Since(start))
+		s.queryColdLatency.Observe(elapsed)
 	}
-	return s.seal(&Response{Query: resp}, req), nil
+	sealed := s.seal(&Response{Query: resp}, req)
+	// Slow streams are logged like unary queries, minus the span tree:
+	// streams never arm a trace (rows already left through cb, so there is
+	// no response to embed one in), but the fingerprint, cache disposition,
+	// and mis-estimate callouts still make the entry actionable.
+	s.maybeSlowLog(req, sealed, elapsed)
+	return sealed, nil
 }
 
 // QueryStream is the typed convenience over DoStream, mirroring Query.
@@ -154,7 +161,7 @@ func (s *Server) queryStream(ctx context.Context, req *Request, cb StreamCallbac
 		RowCount:    q.RowCount(),
 		ElapsedMs:   float64(q.Elapsed()) / 1e6,
 	}
-	if err := s.finishQuery(ctx, tree, fp, ops, req.Options, resp); err != nil {
+	if err := s.finishQuery(ctx, tree, fp, ops, req, resp); err != nil {
 		return nil, err
 	}
 	return resp, nil
