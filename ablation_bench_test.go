@@ -34,6 +34,12 @@ func ablationEngine(b *testing.B, mutate func(*engine.Config)) *engine.Engine {
 
 func benchQuery(b *testing.B, e *engine.Engine, q string) {
 	b.Helper()
+	// Warm up once so lazy initialization (catalog caches, runtime map and
+	// stack growth) is not charged to the measured iterations — at short
+	// benchtimes those one-time allocations otherwise dominate allocs/op.
+	if _, err := e.Exec(q); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := e.Exec(q); err != nil {

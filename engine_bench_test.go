@@ -1,11 +1,13 @@
 package lantern
 
-// Engine micro-benchmarks for the streaming iterator executor, recorded to
-// BENCH_engine.json by `make bench`. Each streaming benchmark has a
-// full-materialization twin (Config.ReferenceExec) where the comparison is
-// the point: ExecLimitShortCircuit vs ExecLimitFullMaterialize is the
-// headline — LIMIT 10 over a scan touches ten heap rows instead of the
-// whole table.
+// Engine micro-benchmarks for the executor, recorded to BENCH_engine.json
+// by `make bench`. The default path is the batch-at-a-time vectorized
+// pipeline; twins pin the ablations: *RowStream (Config.RowStreamExec)
+// forces the row-at-a-time streaming pipeline — the allocs/op gap against
+// the default is the point of vectorization — and *Reference
+// (Config.ReferenceExec) is full materialization, where
+// ExecLimitShortCircuit vs ExecLimitFullMaterialize remains the headline:
+// LIMIT 10 over a scan touches ten heap rows instead of the whole table.
 //
 //	go test -bench 'BenchmarkExec' -benchmem .
 import (
@@ -44,6 +46,13 @@ const (
 func BenchmarkExecJoinHash(b *testing.B) {
 	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) {
 		c.EnableMergeJoin, c.EnableNestLoop = false, false
+	}), execJoinHashQuery)
+}
+
+func BenchmarkExecJoinHashRowStream(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) {
+		c.EnableMergeJoin, c.EnableNestLoop = false, false
+		c.RowStreamExec = true
 	}), execJoinHashQuery)
 }
 
@@ -95,6 +104,10 @@ func BenchmarkExecLimitFullMaterialize(b *testing.B) {
 
 func BenchmarkExecStreamScan(b *testing.B) {
 	benchQuery(b, execBenchEngine(b, false, nil), execStreamScanQuery)
+}
+
+func BenchmarkExecStreamScanRowStream(b *testing.B) {
+	benchQuery(b, execBenchEngine(b, false, func(c *engine.Config) { c.RowStreamExec = true }), execStreamScanQuery)
 }
 
 func BenchmarkExecStreamScanReference(b *testing.B) {

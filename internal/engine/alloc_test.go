@@ -10,6 +10,8 @@ package engine
 // allocation counts; CI runs this package without -race as well.
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"lantern/internal/datum"
@@ -125,6 +127,164 @@ func TestInstrumentationDisabledAllocs(t *testing.T) {
 	})
 	if avg > 0 {
 		t.Fatalf("uninstrumented Next allocates %.2f allocs/row, want 0", avg)
+	}
+}
+
+// --- Batch-pipeline guards ---------------------------------------------------
+//
+// The vectorized executor's promise is per-BATCH costs, not per-row ones:
+// a filtered scan reuses its survivor buffer (zero allocations per batch),
+// the hash-join probe pays exactly one output-arena allocation per batch,
+// and a top-K query allocates a fixed setup regardless of input size. The
+// guards below pin those, so a regression back to per-row allocation shows
+// up as a thousandfold violation, not a few percent.
+
+const vecAllocRows = 20_000
+
+// vecAllocDB builds tables large enough that the batch pipeline runs many
+// full batchSize batches: g (200 rows) and t (vecAllocRows rows, t.grp
+// joining g.gid with fan-out vecAllocRows/200).
+func vecAllocDB(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := New(cfg)
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+	}
+	mustExec("CREATE TABLE g (gid INT, gname TEXT)")
+	mustExec("CREATE TABLE t (id INT, grp INT, v INT)")
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, 'g%d')", i, i)
+	}
+	mustExec("INSERT INTO g VALUES " + sb.String())
+	for base := 0; base < vecAllocRows; base += 500 {
+		sb.Reset()
+		for i := base; i < base+500; i++ {
+			if i > base {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d)", i, i%200, (i*37)%1000)
+		}
+		mustExec("INSERT INTO t VALUES " + sb.String())
+	}
+	return e
+}
+
+// TestVecScanFilterBatchAllocs: a filtered batch scan allocates nothing per
+// batch once its survivor buffer exists — the compiled predicate selects
+// into a reused slice and unfiltered chunks alias the heap.
+func TestVecScanFilterBatchAllocs(t *testing.T) {
+	e := vecAllocDB(t, DefaultConfig())
+	plan, err := e.PlanSQL("SELECT id, v FROM t WHERE v > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.(*seqScanVec); !ok {
+		t.Fatalf("vectorized plan root = %T, want *seqScanVec", it)
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		b, err := it.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			if err := it.Open(); err != nil { // rewind: scans reset for free
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("filtered batch scan allocates %.2f allocs/batch, want 0", avg)
+	}
+}
+
+// TestVecHashJoinProbeBatchAllocs: the batch probe loop pays one
+// output-arena allocation per emitted batch — ~1/1024 of the row
+// pipeline's one-row-allocation-per-output-row — and nothing per probe row
+// or per bucket candidate.
+func TestVecHashJoinProbeBatchAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EnableMergeJoin, cfg.EnableNestLoop = false, false
+	e := vecAllocDB(t, cfg)
+	plan, err := e.PlanSQL("SELECT g.gname, t.id FROM g, t WHERE g.gid = t.grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.(*hashJoinVec); !ok {
+		t.Fatalf("vectorized plan root = %T, want *hashJoinVec", it)
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		t.Fatal(err)
+	}
+	// Every t row matches exactly one g row: vecAllocRows output rows ≈ 19
+	// full batches per pass. 15 measured pulls (plus AllocsPerRun's warm-up)
+	// stay within one pass, so Open — which rebuilds the hash table — never
+	// runs inside the measured region.
+	avg := testing.AllocsPerRun(15, func() {
+		b, err := it.NextBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			t.Fatal("join exhausted mid-measurement")
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("batch hash-join probe allocates %.2f allocs/batch, want <= 2 (the output arena)", avg)
+	}
+}
+
+// TestVecTopKQueryAllocs: a whole vectorized top-K query — batch scan into
+// the bounded heap, then batch emission — allocates a fixed setup cost, not
+// a per-input-row one. The bound is expressed per input row so a regression
+// to per-row allocation (keys, closure envs, heap growth) overshoots it by
+// orders of magnitude.
+func TestVecTopKQueryAllocs(t *testing.T) {
+	e := vecAllocDB(t, DefaultConfig())
+	plan, err := e.PlanSQL("SELECT id FROM t ORDER BY v LIMIT 16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	avg := testing.AllocsPerRun(5, func() {
+		if err := it.Open(); err != nil { // Open sorts: the whole push loop runs here
+			t.Fatal(err)
+		}
+		for {
+			b, err := it.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+		}
+	})
+	if perRow := avg / vecAllocRows; perRow > 0.01 {
+		t.Fatalf("vectorized top-K allocates %.1f allocs/run (%.4f per input row), want a fixed setup cost", avg, perRow)
 	}
 }
 

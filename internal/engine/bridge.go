@@ -9,16 +9,20 @@ package engine
 // The instrumentation contract:
 //
 //   - Collection is opt-in per execution. The normal path (Engine.Exec,
-//     execStream) builds iterators with a nil wrap hook, so a disabled run
-//     pays zero extra allocations and zero extra branches per row — the
-//     pipeline is the identical object graph the allocation guards in
+//     execStream) runs the vectorized batch pipeline with no wrap hook, so
+//     a disabled run pays zero extra allocations and zero extra branches —
+//     the pipeline is the identical object graph the allocation guards in
 //     alloc_test.go measure.
 //   - When enabled (ExecPlanInstrumented, QueryInstrumented, EXPLAIN
-//     ANALYZE), every plan operator's iterator is wrapped in an instrIter
-//     that counts Open calls (loops), rows returned by Next (actual rows),
-//     and inclusive wall time spent inside Open/Next — inclusive meaning a
-//     parent's time contains its children's, exactly as PostgreSQL reports
-//     actual time.
+//     ANALYZE), execution routes to the row-at-a-time pipeline and every
+//     plan operator's iterator is wrapped in an instrIter that counts Open
+//     calls (loops), rows returned by Next (actual rows), and inclusive
+//     wall time spent inside Open/Next — inclusive meaning a parent's time
+//     contains its children's, exactly as PostgreSQL reports actual time.
+//     Per-row wrapping keeps actual rows exact at every operator, which
+//     batch-boundary counting could not guarantee; the differential suite
+//     pins both pipelines to identical results, so the instrumented
+//     actuals describe the same query the batch path executes.
 //   - Actual rows are totals across all loops, matching EXPLAIN ANALYZE;
 //     pass-through operators (Hash, Materialize) get their own wrapper, so
 //     a Hash node reports the build-side row count.

@@ -1,12 +1,15 @@
 package engine
 
-// Differential tests: every query runs through both the streaming iterator
-// executor and the materializing reference executor, asserting identical
-// results — as ordered sequences under ORDER BY, as row multisets
-// otherwise. A fixed-seed randomized query generator widens the corpus
-// beyond the hand-written cases, and every query is repeated under planner
-// configurations that force each join algorithm and access path, so all
-// iterator operators are exercised.
+// Differential tests: every query runs through the vectorized batch
+// executor (the default), the row-at-a-time streaming executor
+// (Config.RowStreamExec) and the materializing reference executor
+// (Config.ReferenceExec), asserting all three produce identical results —
+// as ordered sequences under ORDER BY (which also pins tie order, i.e.
+// sort stability), as row multisets otherwise. A fixed-seed randomized
+// query generator widens the corpus beyond the hand-written cases, and
+// every query is repeated under planner configurations that force each
+// join algorithm and access path, so all operators are exercised in both
+// pipelines.
 
 import (
 	"fmt"
@@ -37,38 +40,48 @@ func diffConfigs() map[string]Config {
 	}
 }
 
-// assertSameResults runs sql through both executors on e and compares.
+// assertSameResults runs sql through all three executors on e — vectorized
+// (default), row-streaming, and the materializing reference — and compares
+// each against the reference.
 func assertSameResults(t *testing.T, e *Engine, sql string) {
 	t.Helper()
-	e.Cfg.ReferenceExec = false
+	e.Cfg.ReferenceExec, e.Cfg.RowStreamExec = false, false
+	vec, vErr := e.Exec(sql)
+	e.Cfg.RowStreamExec = true
 	stream, sErr := e.Exec(sql)
+	e.Cfg.RowStreamExec = false
 	e.Cfg.ReferenceExec = true
 	ref, rErr := e.Exec(sql)
 	e.Cfg.ReferenceExec = false
-	if (sErr != nil) != (rErr != nil) {
-		t.Fatalf("query %q: stream err = %v, reference err = %v", sql, sErr, rErr)
+	if (vErr != nil) != (rErr != nil) || (sErr != nil) != (rErr != nil) {
+		t.Fatalf("query %q: vectorized err = %v, row-stream err = %v, reference err = %v", sql, vErr, sErr, rErr)
 	}
-	if sErr != nil {
-		return // both failed: acceptable as long as they agree
+	if rErr != nil {
+		return // all failed: acceptable as long as they agree
 	}
 	ordered := false
 	if sel, err := sqlparser.ParseSelect(sql); err == nil {
 		ordered = len(sel.OrderBy) > 0
 	}
-	var got, want []string
-	if ordered {
-		got, want = rowStrings(stream.Rows), rowStrings(ref.Rows)
-	} else {
-		got, want = sortedRowStrings(stream.Rows), sortedRowStrings(ref.Rows)
-	}
-	if len(got) != len(want) {
-		t.Fatalf("query %q: stream returned %d rows, reference %d", sql, len(got), len(want))
-	}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("query %q: row %d differs:\nstream:    %s\nreference: %s", sql, i, got[i], want[i])
+	compare := func(label string, res *Result) {
+		t.Helper()
+		var got, want []string
+		if ordered {
+			got, want = rowStrings(res.Rows), rowStrings(ref.Rows)
+		} else {
+			got, want = sortedRowStrings(res.Rows), sortedRowStrings(ref.Rows)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %s returned %d rows, reference %d", sql, label, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %q: row %d differs:\n%s: %s\nreference: %s", sql, i, label, got[i], want[i])
+			}
 		}
 	}
+	compare("vectorized", vec)
+	compare("row-stream", stream)
 }
 
 // diffCorpus is the hand-written query corpus, covering every operator and
@@ -121,6 +134,19 @@ var diffCorpus = []string{
 	"SELECT o_orderkey FROM orders LIMIT 1000",
 	"SELECT o_orderkey FROM orders OFFSET 55",
 	"SELECT c.c_name FROM customer c, orders o WHERE c.c_custkey = o.o_custkey ORDER BY o.o_totalprice LIMIT 3",
+	// LIMIT/OFFSET boundary semantics (orders has 60 rows): OFFSET beyond
+	// the result set, LIMIT 0 with OFFSET, OFFSET-only (unbounded limit)
+	// straddling and past the end, and Sort-under-Limit where the top-K
+	// heap must retain offset+limit rows rather than limit.
+	"SELECT o_orderkey FROM orders ORDER BY o_totalprice LIMIT 5 OFFSET 100",
+	"SELECT o_orderkey FROM orders LIMIT 5 OFFSET 100",
+	"SELECT o_orderkey FROM orders ORDER BY o_totalprice LIMIT 0 OFFSET 3",
+	"SELECT o_orderkey FROM orders ORDER BY o_totalprice OFFSET 55",
+	"SELECT o_orderkey FROM orders ORDER BY o_totalprice OFFSET 70",
+	"SELECT o_orderkey FROM orders ORDER BY o_totalprice LIMIT 10 OFFSET 55",
+	// Duplicate sort keys crossing the limit/offset boundary: ordered
+	// comparison pins top-K tie handling to the reference's stable sort.
+	"SELECT o_orderkey, o_status FROM orders ORDER BY o_status LIMIT 10 OFFSET 5",
 	// Subqueries.
 	"SELECT c_name FROM customer WHERE c_custkey IN (SELECT o_custkey FROM orders WHERE o_totalprice > 350)",
 	"SELECT c_name FROM customer WHERE EXISTS (SELECT o_orderkey FROM orders WHERE o_totalprice > 400)",
@@ -140,6 +166,112 @@ func TestDifferentialCorpus(t *testing.T) {
 				assertSameResults(t, e, q)
 			}
 		})
+	}
+}
+
+// nullDB is testDB plus NULL join keys on both sides: a customer with a
+// NULL c_custkey (and NULL c_acctbal) and two orders with NULL o_custkey.
+// The base tables' row counts are asserted by other tests, so NULL-keyed
+// rows live here rather than in testDB.
+func nullDB(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e := testDB(t, cfg)
+	mustExec(t, e, "INSERT INTO customer VALUES (NULL, 'custNULL', 'AUTO', NULL)")
+	mustExec(t, e, "INSERT INTO orders VALUES (61, NULL, 100.0, 'A')")
+	mustExec(t, e, "INSERT INTO orders VALUES (62, NULL, 500.0, 'B')")
+	return e
+}
+
+// nullKeyCorpus pins NULL join-key semantics: NULL keys never match on
+// either side, LEFT JOIN null-extends rows whose keys are NULL (they can
+// never satisfy the ON condition), and a multi-column key with one NULL
+// component behaves like a wholly NULL key.
+var nullKeyCorpus = []string{
+	"SELECT c.c_name, o.o_orderkey FROM customer c, orders o WHERE c.c_custkey = o.o_custkey",
+	"SELECT c.c_name, o.o_orderkey FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey",
+	"SELECT c.c_name, o.o_orderkey FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey AND o.o_totalprice > 300",
+	"SELECT c.c_name FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey WHERE o.o_orderkey IS NULL",
+	"SELECT c.c_name FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey WHERE o.o_totalprice > 200",
+	"SELECT c.c_name, o.o_orderkey FROM customer c, orders o WHERE c.c_custkey = o.o_custkey AND c.c_acctbal = o.o_totalprice",
+	"SELECT COUNT(*) FROM customer c, orders o WHERE c.c_custkey = o.o_custkey",
+	"SELECT c_name FROM customer WHERE c_custkey IS NULL",
+	"SELECT o_orderkey FROM orders WHERE o_custkey IS NOT NULL ORDER BY o_orderkey",
+}
+
+func TestDifferentialNullJoinKeys(t *testing.T) {
+	for name, cfg := range diffConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := nullDB(t, cfg)
+			for _, q := range nullKeyCorpus {
+				mustExec(t, e, q)
+				assertSameResults(t, e, q)
+			}
+		})
+	}
+}
+
+// TestDifferentialTopKStability pins the bounded top-K heap against the
+// reference executor's stable full sort when duplicate sort keys cross the
+// limit (and offset+limit) boundary: with k = i%3, every boundary falls
+// inside a run of ties, and the ordered comparison demands the exact same
+// tie-breaking on all three executors.
+func TestDifferentialTopKStability(t *testing.T) {
+	e := testDB(t, DefaultConfig())
+	mustExec(t, e, "CREATE TABLE dup (k INTEGER, v INTEGER)")
+	for i := 0; i < 30; i++ {
+		mustExec(t, e, fmt.Sprintf("INSERT INTO dup VALUES (%d, %d)", i%3, i))
+	}
+	queries := []string{
+		"SELECT v FROM dup ORDER BY k LIMIT 7",
+		"SELECT v FROM dup ORDER BY k LIMIT 7 OFFSET 4",
+		"SELECT v FROM dup ORDER BY k DESC LIMIT 12 OFFSET 2",
+		"SELECT v FROM dup ORDER BY k LIMIT 10 OFFSET 10",
+		"SELECT k, v FROM dup ORDER BY k LIMIT 29",
+		"SELECT k, v FROM dup ORDER BY k LIMIT 5 OFFSET 25",
+	}
+	for _, q := range queries {
+		mustExec(t, e, q)
+		assertSameResults(t, e, q)
+	}
+}
+
+// TestDifferentialBatchBoundary exercises the batch executor across batch
+// edges: the test tables elsewhere hold at most 60 rows, so filters,
+// joins, sorts and limits that straddle the 1024-row batch size would
+// otherwise never run against a multi-batch input.
+func TestDifferentialBatchBoundary(t *testing.T) {
+	e := testDB(t, DefaultConfig())
+	mustExec(t, e, "CREATE TABLE big (id INTEGER, grp INTEGER, val INTEGER)")
+	var sb strings.Builder
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if sb.Len() == 0 {
+			sb.WriteString("INSERT INTO big VALUES ")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "(%d, %d, %d)", i, i%7, (i*37)%1000)
+		if (i+1)%250 == 0 || i == n-1 {
+			mustExec(t, e, sb.String())
+			sb.Reset()
+		}
+	}
+	queries := []string{
+		"SELECT COUNT(*) FROM big",
+		"SELECT id FROM big WHERE val > 500",
+		"SELECT id FROM big LIMIT 1024",
+		"SELECT id FROM big LIMIT 1025",
+		"SELECT id FROM big LIMIT 1000 OFFSET 1024",
+		"SELECT id FROM big OFFSET 2999",
+		"SELECT id FROM big ORDER BY val, id LIMIT 1030",
+		"SELECT id FROM big ORDER BY val DESC, id LIMIT 5 OFFSET 1024",
+		"SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp",
+		"SELECT b.id, c.c_name FROM big b, customer c WHERE b.grp = c.c_custkey AND b.val < 100",
+		"SELECT DISTINCT grp FROM big",
+	}
+	for _, q := range queries {
+		mustExec(t, e, q)
+		assertSameResults(t, e, q)
 	}
 }
 
@@ -299,6 +431,24 @@ func TestDifferentialRandomized(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			e := testDB(t, cfg)
 			g := &queryGen{rng: rand.New(rand.NewSource(0x1a57e12))}
+			for i := 0; i < queriesPerConfig; i++ {
+				q := g.genQuery()
+				assertSameResults(t, e, q)
+			}
+		})
+	}
+}
+
+// TestDifferentialRandomizedNullKeys reruns the generator over nullDB, so
+// every generated join/filter/limit shape also executes against NULL join
+// keys on both sides (the generator's IS NULL / IS NOT NULL / LEFT JOIN
+// shapes become non-vacuous there).
+func TestDifferentialRandomizedNullKeys(t *testing.T) {
+	const queriesPerConfig = 80
+	for name, cfg := range diffConfigs() {
+		t.Run(name, func(t *testing.T) {
+			e := nullDB(t, cfg)
+			g := &queryGen{rng: rand.New(rand.NewSource(0x9e3779b9))}
 			for i := 0; i < queriesPerConfig; i++ {
 				q := g.genQuery()
 				assertSameResults(t, e, q)

@@ -9,44 +9,70 @@
 //
 // # Execution model
 //
-// Queries execute through a streaming iterator executor (iter.go): every
-// physical operator implements
+// SELECT queries execute batch-at-a-time by default (vec.go, vecjoin.go,
+// vecsort.go): every vectorized operator implements
 //
-//	type rowIter interface {
+//	type vecIter interface {
 //		Open() error
-//		Next() (row storage.Row, ok bool, err error)
+//		NextBatch() ([]storage.Row, error)
 //		Close() error
 //	}
 //
-// Open prepares the operator, Next produces one row at a time, Close
-// releases children. Rows flow through the pipeline on demand, so
-// pipelined operators — sequential and index scans, filters,
-// limit/offset, the probe side of a hash join, the outer side of a nested
-// loop, unique — never buffer their input. Only operators whose semantics
-// require buffering materialize: sort, aggregation, the build side of a
-// hash join, the inner side of a nested loop, and both merge-join inputs.
+// NextBatch returns up to batchSize (1024) rows per call, never an empty
+// batch; nil signals end of stream. Scans slice the table heap directly
+// (an unfiltered chunk is a zero-copy subslice) and run compiled
+// predicates over whole chunks in tight typed loops; the hash join packs
+// joined rows into a per-batch flat datum arena (one allocation per
+// output batch instead of one per row); sort keeps the bounded top-K heap
+// or sorts an index permutation over a flat key arena. The allocation
+// guards in alloc_test.go pin the steady-state batch loops at (near) zero
+// allocations per batch.
+//
+// The row-at-a-time streaming pipeline (iter.go) — rowIter with
+// Open/Next/Close — is retained in full. It is the execution path for
+// instrumented runs (EXPLAIN ANALYZE semantics need exact per-operator
+// actuals, which per-row wrappers collect), for Config.RowStreamExec
+// (pinned in benchmarks as the vectorization ablation), and the adapter
+// pair in vec.go bridges the two models: rowToVec lifts a row iterator
+// into batches where no native vectorized operator exists, and the
+// row-streaming Exec surface (StreamingQuery, the session pool, LIMIT
+// short-circuit consumption) drains the batch pipeline one row at a time
+// through vecToRow without buffering whole results.
 //
 // # Operator contracts
 //
-//   - Rows returned by Next may alias heap or operator-internal storage;
-//     consumers must not mutate them. Operators that emit derived rows
-//     (joins, aggregates) allocate fresh rows.
+//   - A batch returned by NextBatch is transient: it is valid only until
+//     the next NextBatch or Close call on that iterator. The row DATA
+//     inside a batch is not transient — derived rows (joins, projections)
+//     are packed into freshly allocated arenas that are never reused, and
+//     scan rows alias the table heap — so a consumer may retain
+//     individual rows forever, but must copy the batch slice itself if it
+//     wants to hold more than the current batch, and must never mutate a
+//     row in place.
 //   - Open may be called again after exhaustion to rescan (scans rewind
 //     for free; buffering operators recompute).
 //   - All expressions are pre-bound at construction time (bind.go):
 //     column references resolve to ordinals once, so per-row evaluation
-//     performs no schema lookups and no allocation. Join predicates bind
-//     against a two-part environment (probe/outer row + build/inner row)
-//     and are checked before the joined row is allocated, so non-matching
+//     performs no schema lookups and no allocation. Vectorized scans go
+//     further and compile conjunctions of comparisons against columns
+//     into typed predicate loops (vexpr.go). Join predicates bind against
+//     a two-part environment (probe/outer row + build/inner row) and are
+//     checked before the joined row is materialized, so non-matching
 //     candidate pairs cost nothing. Hash joins additionally cache the
 //     evaluated build-side key datums, making the hash-collision recheck
-//     a pure datum comparison.
+//     a pure datum comparison; rows whose key contains NULL are skipped
+//     at build and get an empty bucket at probe, so NULL never matches.
 //
 // # Limit short-circuiting and top-K
 //
-// Limit simply stops pulling from its child once offset+limit rows have
-// been seen, so `LIMIT 10` over a scan touches ten heap rows instead of
-// the whole table. When a Sort feeds a Limit directly, the planner marks
+// Limit stops pulling from its child once offset+limit rows have been
+// seen, so `LIMIT 10` over a scan touches ten heap rows instead of the
+// whole table — at batch granularity in the vectorized path: the first
+// 1024-row chunk is processed even when only ten rows are needed, which
+// trades a bounded amount of work on tiny limits for the batch loop's
+// throughput everywhere else. Whole batches inside the OFFSET are skipped
+// without touching their rows. When a Sort feeds a Limit directly, the
+// planner marks
 // the Sort with SortLimit = limit + offset and the executor keeps a
 // bounded top-K heap (O(n log k), O(k) space) instead of buffering and
 // sorting the full input; arrival order breaks ties, so the result is
@@ -67,15 +93,18 @@
 // Runtime instrumentation is opt-in per execution and follows EXPLAIN
 // ANALYZE semantics:
 //
-//   - Disabled (the default): iterators are built with a nil wrap hook.
-//     No wrapper objects exist, no counters are touched — zero extra
-//     allocations and zero extra branches per row. The allocation guards
-//     in alloc_test.go enforce this.
+//   - Disabled (the default): the vectorized pipeline runs with no
+//     wrapper objects and no counters — zero extra allocations and zero
+//     extra branches per batch. The allocation guards in alloc_test.go
+//     enforce this.
 //   - Enabled (ExecPlanInstrumented, QueryInstrumented, or the EXPLAIN
-//     ANALYZE statement): every operator's iterator is wrapped in an
-//     instrIter collecting actual rows (totals across all loops), loops
-//     (Open calls), and inclusive wall time — a parent's time contains
-//     its children's, as PostgreSQL reports it.
+//     ANALYZE statement): execution routes to the row pipeline and every
+//     operator's iterator is wrapped in an instrIter collecting actual
+//     rows (totals across all loops), loops (Open calls), and inclusive
+//     wall time — a parent's time contains its children's, as PostgreSQL
+//     reports it. Per-row wrapping keeps the actuals exact; the
+//     differential suite pins the row pipeline's results equal to the
+//     vectorized path's, so instrumented counts describe the same query.
 //
 // Collected stats annotate bridged trees via the standardized attrs
 // AttrActualRows / AttrLoops / AttrTimeMs; wall time is the only
@@ -85,8 +114,9 @@
 //
 // The original materialize-everything executor (executor.go) is retained
 // behind Config.ReferenceExec as the semantic oracle: the differential
-// tests run the full corpus and a randomized query generator through both
-// paths and assert identical row multisets (sequences, under ORDER BY),
-// and the engine benchmarks report streaming vs full-materialization
-// pairs. Plan selection is identical in both modes.
+// tests run the full corpus and a randomized query generator through all
+// three executors — vectorized, row-streaming, reference — and assert
+// identical row multisets (sequences, under ORDER BY), and the engine
+// benchmarks report vectorized / row-stream / reference triples. Plan
+// selection is identical in all modes.
 package engine

@@ -22,10 +22,17 @@ type Config struct {
 	// dynamic programming; larger joins fall back to greedy ordering.
 	DPThreshold int
 	// ReferenceExec routes execution through the materializing reference
-	// executor (executor.go) instead of the streaming iterator executor
-	// (iter.go). Plan choice is unaffected. It exists for differential
-	// testing and for benchmarking streaming against full materialization.
+	// executor (executor.go) instead of the batch executor (vec.go). Plan
+	// choice is unaffected. It exists for differential testing and for
+	// benchmarking against full materialization.
 	ReferenceExec bool
+	// RowStreamExec routes execution through the row-at-a-time streaming
+	// iterator executor (iter.go) instead of the batch executor. Plan
+	// choice is unaffected. The three-way differential tests use it to pin
+	// batch results equal to the row pipeline; instrumented execution
+	// (EXPLAIN ANALYZE, the query/streaming APIs) always runs the row
+	// pipeline regardless, so per-operator actuals stay exact.
+	RowStreamExec bool
 }
 
 // DefaultConfig enables every plan type.
@@ -138,19 +145,23 @@ func (e *Engine) PlanSQL(sql string) (*Node, error) {
 	return e.planSelect(sel)
 }
 
-// runSelect plans, executes, and projects a SELECT. Execution streams
-// through the iterator executor unless Config.ReferenceExec asks for the
-// materializing reference path.
+// runSelect plans, executes, and projects a SELECT. Execution runs
+// batch-at-a-time through the vectorized executor unless the config asks
+// for the materializing reference path or the row-at-a-time streaming
+// path (both kept as differential oracles).
 func (e *Engine) runSelect(sel *sqlparser.SelectStmt) (*Result, error) {
 	plan, err := e.planSelect(sel)
 	if err != nil {
 		return nil, err
 	}
 	var rows []storage.Row
-	if e.Cfg.ReferenceExec {
+	switch {
+	case e.Cfg.ReferenceExec:
 		rows, err = e.execNode(plan)
-	} else {
+	case e.Cfg.RowStreamExec:
 		rows, err = e.execStream(plan)
+	default:
+		return e.runSelectVec(sel, plan)
 	}
 	if err != nil {
 		return nil, err
@@ -253,6 +264,35 @@ func (p *projector) project(r storage.Row) (storage.Row, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// projectBatch renders a whole batch into one flat datum arena: two
+// allocations per batch instead of one per row. The returned rows are
+// subslices of a fresh arena and may be retained indefinitely; values are
+// copied out of the input rows (never aliased to the table heap), matching
+// project's contract, so later in-place UPDATEs cannot reach into a
+// previously returned result.
+func (p *projector) projectBatch(in []storage.Row) ([]storage.Row, error) {
+	width := len(p.pos)
+	arena := make([]datum.D, 0, len(in)*width)
+	rows := make([]storage.Row, len(in))
+	for i, r := range in {
+		n := len(arena)
+		for j, pos := range p.pos {
+			if pos >= 0 {
+				arena = append(arena, r[pos])
+				continue
+			}
+			p.env.left = r
+			v, err := p.bound[j](&p.env)
+			if err != nil {
+				return nil, err
+			}
+			arena = append(arena, v)
+		}
+		rows[i] = storage.Row(arena[n:len(arena):len(arena)])
+	}
+	return rows, nil
 }
 
 func (e *Engine) runInsert(s *sqlparser.InsertStmt) (*Result, error) {

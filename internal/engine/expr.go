@@ -70,6 +70,23 @@ func resolveComputed(schema []colRef, e sqlparser.Expr) (int, bool) {
 	return -1, false
 }
 
+// columnOrdinal resolves e to a schema ordinal when it is a bare column
+// reference — including computed columns materialized by a child operator
+// (aggregate outputs, group keys). The vectorized executor uses it to turn
+// key and filter operands into direct index loads.
+func columnOrdinal(e sqlparser.Expr, schema []colRef) (int, bool) {
+	if ref, ok := e.(*sqlparser.ColumnRef); ok {
+		if i, err := resolve(schema, ref); err == nil {
+			return i, true
+		}
+		return 0, false
+	}
+	if i, ok := resolveComputed(schema, e); ok {
+		return i, true
+	}
+	return 0, false
+}
+
 // eval evaluates an expression to a datum using SQL three-valued logic:
 // boolean results may be NULL (unknown).
 func eval(ctx *evalCtx, e sqlparser.Expr) (datum.D, error) {

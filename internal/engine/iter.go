@@ -73,13 +73,22 @@ func (e *Engine) buildIter(n *Node) (rowIter, error) {
 // optional wrap hook decorates every operator iterator as it is built —
 // the instrumentation seam (bridge.go) — and is nil on the normal path,
 // where construction and execution are identical to a hookless build.
+// The optional child hook replaces subtree construction wholesale: the
+// vectorized builder (vec.go) installs it so that a row-only operator
+// built through buildOp pulls from batch-executing children through the
+// vecToRow adapter. The two hooks are never set together — instrumented
+// pipelines are pure row pipelines.
 type ibuild struct {
-	e    *Engine
-	wrap func(n *Node, it rowIter) rowIter
+	e     *Engine
+	wrap  func(n *Node, it rowIter) rowIter
+	child func(n *Node) (rowIter, error)
 }
 
 // build constructs the iterator for n and applies the wrap hook, if any.
 func (b *ibuild) build(n *Node) (rowIter, error) {
+	if b.child != nil {
+		return b.child(n)
+	}
 	it, err := b.buildOp(n)
 	if err != nil {
 		return nil, err
@@ -496,6 +505,27 @@ func datumsEqual(a, b []datum.D) bool {
 	return true
 }
 
+// rowArena packs row-pipeline join output into flat datum chunks — one
+// chunk allocation per ~batchSize emitted rows instead of one allocation
+// per row (the row-at-a-time analogue of the batch writer's arena). Chunks
+// are never reused: each emitted row is a three-index subslice of its
+// chunk, so consumers may retain it forever, exactly like a concatRows
+// allocation.
+type rowArena struct {
+	buf []datum.D
+}
+
+func (a *rowArena) concat(l, r storage.Row) storage.Row {
+	need := len(l) + len(r)
+	if cap(a.buf)-len(a.buf) < need {
+		a.buf = make([]datum.D, 0, batchSize*need)
+	}
+	n := len(a.buf)
+	a.buf = append(a.buf, l...)
+	a.buf = append(a.buf, r...)
+	return storage.Row(a.buf[n:len(a.buf):len(a.buf)])
+}
+
 // --- Nested loop -----------------------------------------------------------
 
 // nestedLoopIter streams the outer side and materializes the inner side
@@ -510,6 +540,7 @@ type nestedLoopIter struct {
 	nullsInner      storage.Row
 
 	env      rowEnv
+	out      rowArena
 	outerRow storage.Row
 	ii       int
 	matched  bool
@@ -596,7 +627,7 @@ func (it *nestedLoopIter) Next() (storage.Row, bool, error) {
 					continue
 				}
 			}
-			return concatRows(it.outerRow, ir), true, nil
+			return it.out.concat(it.outerRow, ir), true, nil
 		}
 		or := it.outerRow
 		it.outerRow = nil
@@ -611,7 +642,7 @@ func (it *nestedLoopIter) Next() (storage.Row, bool, error) {
 					continue
 				}
 			}
-			return concatRows(or, it.nullsInner), true, nil
+			return it.out.concat(or, it.nullsInner), true, nil
 		}
 	}
 }
@@ -638,6 +669,7 @@ type mergeJoinIter struct {
 	nKeys        int
 	residual     boundExpr // pair-bound
 	outFilter    boundExpr // pair-bound
+	lEst, rEst   int // planner cardinality estimates, for preallocation
 	lRows, rRows []storage.Row
 	lKeys, rKeys []datum.D
 	li, ri       int // next ungrouped positions
@@ -645,6 +677,7 @@ type mergeJoinIter struct {
 	a, b         int // cross-product cursors
 	inGroup      bool
 	env          rowEnv
+	out          rowArena
 }
 
 func (b *ibuild) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
@@ -653,7 +686,11 @@ func (b *ibuild) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
 	if len(lKeyExprs) == 0 {
 		return nil, fmt.Errorf("engine: merge join without equi-condition")
 	}
-	it := &mergeJoinIter{nKeys: len(lKeyExprs)}
+	it := &mergeJoinIter{
+		nKeys: len(lKeyExprs),
+		lEst:  estCap(leftNode.EstRows),
+		rEst:  estCap(rightNode.EstRows),
+	}
 	var err error
 	if it.left, err = b.build(leftNode); err != nil {
 		return nil, err
@@ -682,9 +719,23 @@ func (b *ibuild) newMergeJoinIter(n *Node) (*mergeJoinIter, error) {
 
 // drainKeyed materializes an already-opened child and its per-row key
 // datums.
-func drainKeyed(child rowIter, keys []boundExpr) ([]storage.Row, []datum.D, error) {
-	var rows []storage.Row
-	var arena []datum.D
+// estCap clamps a planner cardinality estimate to a sane preallocation
+// capacity: materializing operators size their buffers from it so the
+// common case is one allocation instead of log-many append regrowths, and
+// a wild over-estimate cannot balloon memory.
+func estCap(est float64) int {
+	if est < 16 {
+		return 16
+	}
+	if est > 1<<20 {
+		return 1 << 20
+	}
+	return int(est)
+}
+
+func drainKeyed(child rowIter, keys []boundExpr, est int) ([]storage.Row, []datum.D, error) {
+	rows := make([]storage.Row, 0, est)
+	arena := make([]datum.D, 0, est*len(keys))
 	var env rowEnv
 	for {
 		r, ok, err := child.Next()
@@ -711,13 +762,13 @@ func (it *mergeJoinIter) Open() error {
 	if err = it.left.Open(); err != nil {
 		return err
 	}
-	if it.lRows, it.lKeys, err = drainKeyed(it.left, it.lKeyExprs); err != nil {
+	if it.lRows, it.lKeys, err = drainKeyed(it.left, it.lKeyExprs, it.lEst); err != nil {
 		return err
 	}
 	if err = it.right.Open(); err != nil {
 		return err
 	}
-	if it.rRows, it.rKeys, err = drainKeyed(it.right, it.rKeyExprs); err != nil {
+	if it.rRows, it.rKeys, err = drainKeyed(it.right, it.rKeyExprs, it.rEst); err != nil {
 		return err
 	}
 	it.li, it.ri, it.inGroup = 0, 0, false
@@ -814,7 +865,7 @@ func (it *mergeJoinIter) Next() (storage.Row, bool, error) {
 						continue
 					}
 				}
-				return concatRows(lr, rr), true, nil
+				return it.out.concat(lr, rr), true, nil
 			}
 			it.a++
 			it.b = it.ri
@@ -843,12 +894,13 @@ type sortIter struct {
 	keys  []boundExpr
 	desc  []bool
 	topK  int64 // 0 = full sort
+	est   int   // planner cardinality estimate, for preallocation
 	out   []storage.Row
 	pos   int
 }
 
 func (b *ibuild) newSortIter(n *Node) (*sortIter, error) {
-	it := &sortIter{topK: n.SortLimit}
+	it := &sortIter{topK: n.SortLimit, est: estCap(n.EstRows)}
 	var err error
 	if it.child, err = b.build(n.Children[0]); err != nil {
 		return nil, err
@@ -873,7 +925,7 @@ func (it *sortIter) Open() error {
 	if it.topK > 0 {
 		return it.openTopK()
 	}
-	rows, arena, err := drainKeyed(it.child, it.keys)
+	rows, arena, err := drainKeyed(it.child, it.keys, it.est)
 	if err != nil {
 		return err
 	}
@@ -1099,10 +1151,10 @@ func (b *ibuild) newAggIter(n *Node) (*aggIter, error) {
 	return it, nil
 }
 
-func (it *aggIter) newStates() []*aggState {
-	states := make([]*aggState, len(it.aggs))
+func (it *aggIter) newStates() []aggState {
+	states := make([]aggState, len(it.aggs))
 	for i := range states {
-		states[i] = &aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		states[i] = aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
 		if it.aggs[i].Call.Distinct {
 			states[i].distinct = make(map[string]bool)
 		}
@@ -1116,12 +1168,17 @@ func (it *aggIter) Open() error {
 	}
 	type group struct {
 		keyVals []datum.D
-		states  []*aggState
+		states  []aggState // value slice: one allocation per group, not per agg
 	}
-	groups := make(map[string]*group)
-	var order []*group
+	idx := make(map[string]int32) // encoded key → index into groups
+	var groups []group
 	var env rowEnv
+	// The build loop is per-input-row hot: keys evaluate into a reused
+	// scratch slice and encode via AppendKey into a reused byte buffer, so
+	// rows of existing groups allocate nothing (the map lookup on
+	// string(keyBuf) does not copy; only a new group's insert does).
 	keyBuf := make([]byte, 0, 64)
+	keyScratch := make([]datum.D, len(it.groupKeys))
 	for {
 		r, ok, err := it.child.Next()
 		if err != nil {
@@ -1132,22 +1189,22 @@ func (it *aggIter) Open() error {
 		}
 		env.left = r
 		keyBuf = keyBuf[:0]
-		keyVals := make([]datum.D, len(it.groupKeys))
 		for i, k := range it.groupKeys {
 			v, err := k(&env)
 			if err != nil {
 				return err
 			}
-			keyVals[i] = v
-			keyBuf = append(keyBuf, v.String()...)
+			keyScratch[i] = v
+			keyBuf = v.AppendKey(keyBuf)
 			keyBuf = append(keyBuf, 0)
 		}
-		g, ok := groups[string(keyBuf)]
+		gi, ok := idx[string(keyBuf)]
 		if !ok {
-			g = &group{keyVals: keyVals, states: it.newStates()}
-			groups[string(keyBuf)] = g
-			order = append(order, g)
+			gi = int32(len(groups))
+			groups = append(groups, group{keyVals: append([]datum.D(nil), keyScratch...), states: it.newStates()})
+			idx[string(keyBuf)] = gi
 		}
+		g := &groups[gi] // re-taken per row: groups may have been regrown
 		for i, a := range it.aggs {
 			if a.Call.Star {
 				g.states[i].count++
@@ -1157,22 +1214,23 @@ func (it *aggIter) Open() error {
 			if err != nil {
 				return err
 			}
-			if err := accumulateDatum(g.states[i], v); err != nil {
+			if err := accumulateDatum(&g.states[i], v); err != nil {
 				return err
 			}
 		}
 	}
 	// Plain aggregate over an empty input still yields one row.
-	if it.plain && len(order) == 0 {
-		order = append(order, &group{states: it.newStates()})
+	if it.plain && len(groups) == 0 {
+		groups = append(groups, group{states: it.newStates()})
 	}
 	it.out = it.out[:0]
 	it.pos = 0
-	for _, g := range order {
+	for gi := range groups {
+		g := &groups[gi]
 		row := make(storage.Row, 0, len(g.keyVals)+len(g.states))
 		row = append(row, g.keyVals...)
 		for i, a := range it.aggs {
-			row = append(row, finalize(g.states[i], a.Call))
+			row = append(row, finalize(&g.states[i], a.Call))
 		}
 		if it.having != nil {
 			env.left = row

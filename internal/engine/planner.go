@@ -544,20 +544,35 @@ func (p *planner) buildJoin(left, right *Node, conds []sqlparser.Expr) *Node {
 	joinCond := sqlparser.JoinConjuncts(conds)
 	outRows := p.estimateJoinRows(left, right, conds)
 	schema := append(append([]colRef{}, left.Schema...), right.Schema...)
-	schemaRev := append(append([]colRef{}, right.Schema...), left.Schema...)
+	// The swapped schema is only needed when a candidate puts right first;
+	// build it lazily so the common case allocates one schema, not two.
+	var schemaRevLazy []colRef
+	schemaRev := func() []colRef {
+		if schemaRevLazy == nil {
+			schemaRevLazy = append(append(make([]colRef, 0, len(schema)), right.Schema...), left.Schema...)
+		}
+		return schemaRevLazy
+	}
 
-	var candidates []*Node
+	var best *Node
+	consider := func(c *Node) {
+		if best == nil || c.EstCost < best.EstCost {
+			best = c
+		}
+	}
 	cfg := p.eng.Cfg
 	if len(conds) > 0 && cfg.EnableHashJoin {
 		// Build on the smaller side; probe with the larger. PG shows the
 		// probe side first and the Hash(build) second.
-		build, probe, sch := left, right, schemaRev
+		build, probe, sch := left, right, schema
 		if right.EstRows < left.EstRows {
-			build, probe, sch = right, left, schema
+			build, probe = right, left
+		} else {
+			sch = schemaRev()
 		}
 		hash := &Node{Op: OpHash, Children: []*Node{build}, Schema: build.Schema,
 			EstRows: build.EstRows, EstCost: build.EstCost + build.EstRows*hashBuildCost}
-		candidates = append(candidates, &Node{
+		consider(&Node{
 			Op: OpHashJoin, Children: []*Node{probe, hash},
 			JoinType: sqlparser.InnerJoin, JoinCond: joinCond,
 			Schema:  sch,
@@ -569,7 +584,7 @@ func (p *planner) buildJoin(left, right *Node, conds []sqlparser.Expr) *Node {
 		lKeys, rKeys := splitJoinKeys(conds, p, left)
 		ls := p.ensureSorted(left, lKeys)
 		rs := p.ensureSorted(right, rKeys)
-		candidates = append(candidates, &Node{
+		consider(&Node{
 			Op: OpMergeJoin, Children: []*Node{ls, rs},
 			JoinType: sqlparser.InnerJoin, JoinCond: joinCond,
 			Schema:  schema,
@@ -578,24 +593,18 @@ func (p *planner) buildJoin(left, right *Node, conds []sqlparser.Expr) *Node {
 			sorted:  keysToSort(lKeys),
 		})
 	}
-	if cfg.EnableNestLoop || len(candidates) == 0 {
+	if cfg.EnableNestLoop || best == nil {
 		outer, inner, sch := left, right, schema
 		if right.EstRows < left.EstRows {
-			outer, inner, sch = right, left, schemaRev
+			outer, inner, sch = right, left, schemaRev()
 		}
-		candidates = append(candidates, &Node{
+		consider(&Node{
 			Op: OpNestedLoop, Children: []*Node{outer, inner},
 			JoinType: sqlparser.InnerJoin, JoinCond: joinCond,
 			Schema:  sch,
 			EstRows: outRows,
 			EstCost: outer.EstCost + inner.EstCost + nestedLoopCost(outer.EstRows, inner.EstRows, outRows),
 		})
-	}
-	best := candidates[0]
-	for _, c := range candidates[1:] {
-		if c.EstCost < best.EstCost {
-			best = c
-		}
 	}
 	return best
 }
@@ -682,10 +691,10 @@ func keysToSort(keys []sqlparser.Expr) []sortKey {
 // ensureSorted wraps a plan with a Sort node unless it is already ordered by
 // the given keys.
 func (p *planner) ensureSorted(n *Node, keys []sqlparser.Expr) *Node {
-	want := keysToSort(keys)
-	if sortSatisfies(n.sorted, want) {
+	if sortSatisfiesExprs(n.sorted, keys) {
 		return n
 	}
+	want := keysToSort(keys)
 	return &Node{
 		Op: OpSort, Children: []*Node{n},
 		SortKeys: want,
@@ -716,20 +725,39 @@ func sortSatisfies(have, want []sortKey) bool {
 	return true
 }
 
+// sortSatisfiesExprs is sortSatisfies for a list of ascending key
+// expressions, checked without materializing a []sortKey.
+func sortSatisfiesExprs(have []sortKey, want []sqlparser.Expr) bool {
+	if len(want) == 0 {
+		return true
+	}
+	if len(have) < len(want) {
+		return false
+	}
+	for i, w := range want {
+		if have[i].Desc || !sortExprEqual(have[i].Expr, w) {
+			return false
+		}
+	}
+	return true
+}
+
 // sortExprEqual compares ordering expressions, tolerating a missing table
 // qualifier on one side (an unqualified ORDER BY key matches the
 // alias-qualified ordering an index scan provides, as long as the column
 // name is unambiguous — the binder has already rejected ambiguous names).
 func sortExprEqual(a, b sqlparser.Expr) bool {
-	if sqlparser.FormatExpr(a) == sqlparser.FormatExpr(b) {
-		return true
-	}
+	// Column references — the overwhelmingly common ordering key — compare
+	// by field without formatting (FormatExpr allocates on every call).
 	ac, aok := a.(*sqlparser.ColumnRef)
 	bc, bok := b.(*sqlparser.ColumnRef)
-	if !aok || !bok || ac.Name != bc.Name {
-		return false
+	if aok && bok {
+		if ac.Name != bc.Name {
+			return false
+		}
+		return ac.Table == bc.Table || ac.Table == "" || bc.Table == ""
 	}
-	return ac.Table == "" || bc.Table == ""
+	return sqlparser.FormatExpr(a) == sqlparser.FormatExpr(b)
 }
 
 // applyResidual attaches any predicates not yet consumed (multi-table

@@ -190,10 +190,27 @@ func TestQueryStreamIncremental(t *testing.T) {
 	if root == nil || root.Rows != int64(want) {
 		t.Fatalf("root actual rows = %+v, want %d", root, want)
 	}
+	if !q.Complete() {
+		t.Fatal("Complete() = false after a clean drain")
+	}
+	// A drained stream stays at clean end-of-stream, even after Close.
+	if _, ok, err := q.Next(); ok || err != nil {
+		t.Fatalf("Next after end of stream: ok=%v err=%v", ok, err)
+	}
+	if err := q.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := q.Next(); ok || err != nil {
+		t.Fatalf("Next after Close on a complete stream: ok=%v err=%v", ok, err)
+	}
 }
 
 // TestQueryStreamAbandon: closing mid-stream releases the pipeline without
-// error and freezes the counters.
+// error and freezes the counters — and the abandoned stream is clearly
+// distinguishable from a drained one. Before the fix, Next after a
+// mid-stream Close returned the same (nil, false, nil) as a genuine end of
+// stream, so Finish's partial actuals could pass for complete ones and
+// poison the actuals-keyed narration cache.
 func TestQueryStreamAbandon(t *testing.T) {
 	e := sessionTestEngine(t)
 	q, err := e.QueryStreamInstrumented("SELECT id FROM o")
@@ -211,8 +228,15 @@ func TestQueryStreamAbandon(t *testing.T) {
 	if err := q.Close(); err != nil { // idempotent
 		t.Fatal(err)
 	}
-	if _, ok, _ := q.Next(); ok {
-		t.Fatal("Next after Close produced a row")
+	if q.Complete() {
+		t.Fatal("Complete() = true on a stream abandoned mid-iteration")
+	}
+	row, ok, err := q.Next()
+	if row != nil || ok {
+		t.Fatal("Next after mid-stream Close produced a row")
+	}
+	if !errors.Is(err, ErrAbandonedStream) {
+		t.Fatalf("Next after mid-stream Close: err = %v, want ErrAbandonedStream", err)
 	}
 	if q.RowCount() != 5 {
 		t.Fatalf("RowCount = %d, want 5", q.RowCount())

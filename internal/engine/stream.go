@@ -9,29 +9,41 @@ package engine
 // a trailer after the last row.
 
 import (
+	"errors"
 	"time"
 
 	"lantern/internal/sqlparser"
 	"lantern/internal/storage"
 )
 
+// ErrAbandonedStream is returned by StreamingQuery.Next once the stream
+// has been closed (or has failed) before reaching end of stream. It exists
+// so that an abandoned stream can never masquerade as a cleanly drained
+// one: before this sentinel, Next after a mid-stream Close returned the
+// same (nil, false, nil) as a genuine end of stream, and a consumer could
+// read Finish's partial actuals as complete — and cache narration under an
+// actuals-aware fingerprint that the full run would never produce.
+var ErrAbandonedStream = errors.New("engine: streaming query abandoned before end of stream")
+
 // StreamingQuery is one open, instrumented SELECT execution. Rows are
 // pulled with Next; after Next reports exhaustion, Finish returns the plan
 // with its collected actuals. Close releases the iterator pipeline and is
-// safe to call at any point (including mid-stream abandonment).
+// safe to call at any point (including mid-stream abandonment) — but the
+// collected statistics are exact only when Complete reports true.
 type StreamingQuery struct {
 	// Columns is the output header, available before the first row.
 	Columns []string
 
-	it      rowIter
-	pr      *projector
-	plan    *Node
-	stats   ExecStats
-	started time.Time
-	elapsed time.Duration
-	rows    int
-	done    bool
-	closed  bool
+	it       rowIter
+	pr       *projector
+	plan     *Node
+	stats    ExecStats
+	started  time.Time
+	elapsed  time.Duration
+	rows     int
+	done     bool
+	closed   bool
+	complete bool
 }
 
 // QueryStreamInstrumented parses and plans a SELECT, opens its
@@ -81,9 +93,14 @@ func (e *Engine) QueryStreamInstrumented(sql string) (*StreamingQuery, error) {
 
 // Next returns the next projected output row, with ok=false at end of
 // stream. The returned row is freshly allocated and owned by the caller.
+// Once the stream has been closed or has failed mid-iteration, Next
+// returns ErrAbandonedStream rather than pretending the stream drained.
 func (q *StreamingQuery) Next() (storage.Row, bool, error) {
 	if q.done || q.closed {
-		return nil, false, nil
+		if q.complete {
+			return nil, false, nil
+		}
+		return nil, false, ErrAbandonedStream
 	}
 	r, ok, err := q.it.Next()
 	if err != nil {
@@ -93,6 +110,7 @@ func (q *StreamingQuery) Next() (storage.Row, bool, error) {
 	}
 	if !ok {
 		q.done = true
+		q.complete = true
 		q.elapsed = time.Since(q.started)
 		return nil, false, nil
 	}
@@ -118,10 +136,18 @@ func (q *StreamingQuery) Elapsed() time.Duration {
 	return time.Since(q.started)
 }
 
+// Complete reports whether Next reached a clean end of stream, i.e. the
+// per-operator actuals from Finish cover the whole execution. A stream
+// closed or failed mid-iteration is not complete; consumers keying caches
+// or narration on the actuals must check this (the serving layer skips
+// narration caching for incomplete streams).
+func (q *StreamingQuery) Complete() bool { return q.complete }
+
 // Finish returns the physical plan and its per-operator actuals. The
-// statistics are complete only once Next has reported end of stream; on an
-// abandoned stream they cover the rows actually pulled — which is also
-// what a real EXPLAIN ANALYZE under LIMIT would report.
+// statistics are exact only when Complete reports true; on an abandoned
+// stream they cover the rows actually pulled — which is also what a real
+// EXPLAIN ANALYZE under LIMIT would report — and must be marked partial by
+// the consumer.
 func (q *StreamingQuery) Finish() (*Node, ExecStats) { return q.plan, q.stats }
 
 // Close releases the iterator pipeline. Idempotent.

@@ -1,0 +1,458 @@
+package engine
+
+// vec.go is the batch-at-a-time (vectorized) executor. Operators implement
+// vecIter and hand rows downstream in batches of up to batchSize, so the
+// per-row costs of the streaming executor — an interface call per Next, a
+// closure call per filter evaluation, an allocation per joined or projected
+// row — are amortized across the batch: scans filter through tight typed
+// loops (vexpr.go), joins and projection pack their output rows into flat
+// per-batch datum arenas, and top-K keys load by ordinal.
+//
+// Batch memory contract:
+//   - A batch (the []storage.Row slice) is valid only until the consumer's
+//     next NextBatch call on the producer; consumers that need it longer
+//     copy the row headers out (sort, hash-join build do exactly that).
+//   - Row DATA is immortal: output arenas are freshly allocated per batch
+//     and never reused, and scan batches alias the table heap, so a
+//     retained storage.Row header stays valid forever. This is what lets
+//     the hash-join build side, the top-K heap, and the final Result all
+//     hold rows without copying.
+//   - Batches are never empty: producers either return >= 1 row or nil for
+//     end-of-stream.
+//
+// The row-at-a-time pipeline (iter.go) is retained in full: vecToRow
+// adapts any vecIter back to the rowIter contract, which keeps operators
+// without a native batch implementation (aggregation, unique, merge join,
+// nested loop, result) working unchanged over vectorized children, and
+// Config.RowStreamExec forces whole queries onto the row pipeline — the
+// differential tests pin vectorized results equal to both the row-stream
+// and the materializing reference executors. Instrumented execution
+// (bridge.go, EXPLAIN ANALYZE, the streaming query API) always uses the
+// row pipeline so per-operator actual rows/loops stay exact; the batch
+// path is the uninstrumented fast path that Exec and subqueries take.
+
+import (
+	"fmt"
+
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// batchSize is the row count operators aim for per batch: large enough to
+// amortize per-batch dispatch and allocation to noise, small enough that a
+// batch of row headers and its output arena stay cache-resident.
+const batchSize = 1024
+
+// vecIter is the batch operator contract. NextBatch returns the next batch
+// (never empty) or nil at end of stream; see the file header for the
+// memory contract. Open resets the operator for a fresh scan.
+type vecIter interface {
+	Open() error
+	NextBatch() ([]storage.Row, error)
+	Close() error
+}
+
+// buildVec constructs the vectorized iterator tree for a plan node.
+// Operators without a native batch implementation are built through the
+// row-op constructors (iter.go) with their children vectorized and adapted
+// back to rows, so every plan the planner can produce executes.
+func (e *Engine) buildVec(n *Node) (vecIter, error) {
+	rb := &ibuild{e: e}
+	v := &vbuild{e: e, rb: rb}
+	rb.child = func(c *Node) (rowIter, error) {
+		vi, err := v.build(c)
+		if err != nil {
+			return nil, err
+		}
+		return &vecToRow{child: vi}, nil
+	}
+	return v.build(n)
+}
+
+// vbuild constructs vecIter trees. rb is the row-op builder with its child
+// hook pointed back at vbuild, so a row-only operator embedded in a batch
+// pipeline pulls from vectorized children through the adapter.
+type vbuild struct {
+	e  *Engine
+	rb *ibuild
+}
+
+func (v *vbuild) build(n *Node) (vecIter, error) {
+	switch n.Op {
+	case OpSeqScan:
+		return v.newSeqScanVec(n)
+	case OpIndexScan:
+		return v.newIndexScanVec(n)
+	case OpHash, OpMaterialize:
+		return v.build(n.Children[0])
+	case OpHashJoin:
+		return v.newHashJoinVec(n)
+	case OpSort:
+		return v.newSortVec(n)
+	case OpLimit:
+		child, err := v.build(n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &limitVec{child: child, limit: n.Limit, offset: n.Offset}, nil
+	}
+	// Row-only operator: build it through iter.go with vectorized children.
+	it, err := v.rb.buildOp(n)
+	if err != nil {
+		return nil, err
+	}
+	return &rowToVec{child: it}, nil
+}
+
+// --- Adapters ---------------------------------------------------------------
+
+// vecToRow adapts a vecIter to the rowIter contract: the thin row-at-a-time
+// Next over batches that keeps row-only operators and the differential
+// oracle working on top of vectorized children. Handed-out rows stay valid
+// across batches (row data is immortal); only the batch slice is replaced.
+type vecToRow struct {
+	child vecIter
+	batch []storage.Row
+	pos   int
+}
+
+func (it *vecToRow) Open() error {
+	it.batch, it.pos = nil, 0
+	return it.child.Open()
+}
+
+func (it *vecToRow) Next() (storage.Row, bool, error) {
+	for it.pos >= len(it.batch) {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if b == nil {
+			return nil, false, nil
+		}
+		it.batch, it.pos = b, 0
+	}
+	r := it.batch[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *vecToRow) Close() error { return it.child.Close() }
+
+// rowToVec adapts a rowIter to the vecIter contract by accumulating rows
+// into a reused batch buffer. Rows produced by row operators are already
+// retainable (they alias the heap or are freshly allocated), so only the
+// slice header is transient — exactly the batch contract.
+type rowToVec struct {
+	child rowIter
+	buf   []storage.Row
+}
+
+func (it *rowToVec) Open() error { return it.child.Open() }
+
+func (it *rowToVec) NextBatch() ([]storage.Row, error) {
+	if it.buf == nil {
+		it.buf = make([]storage.Row, 0, batchSize)
+	}
+	buf := it.buf[:0]
+	for len(buf) < batchSize {
+		r, ok, err := it.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		buf = append(buf, r)
+	}
+	it.buf = buf
+	if len(buf) == 0 {
+		return nil, nil
+	}
+	return buf, nil
+}
+
+func (it *rowToVec) Close() error { return it.child.Close() }
+
+// --- Batch output writer ----------------------------------------------------
+
+// batchWriter packs freshly built output rows (joins, projection) into a
+// flat datum arena: one arena allocation per batch instead of one row
+// allocation per row. The arena is never reused — emitted rows are
+// three-index subslices of it and may be retained forever by consumers —
+// while the rows slice (headers only) is recycled across batches.
+type batchWriter struct {
+	width int
+	hint  int // expected rows in the current batch; 0 or out of range → batchSize
+	arena []datum.D
+	rows  []storage.Row
+}
+
+// reset starts a new batch: the header slice is recycled, the arena is
+// dropped and allocated lazily on the first append — a NextBatch call that
+// produces no rows (including the final EOS pull) must not pay for a
+// batch-wide arena, and a small batch should get a small one.
+func (w *batchWriter) reset() {
+	w.hint = 0
+	w.arena = nil
+	if w.rows == nil {
+		w.rows = make([]storage.Row, 0, batchSize)
+	}
+	w.rows = w.rows[:0]
+}
+
+// appendConcat emits a+b as one packed output row. Growing the arena
+// mid-batch is safe: earlier rows keep pointing at the old backing array,
+// which is never written again (each row is capped at its own length).
+func (w *batchWriter) appendConcat(a, b storage.Row) {
+	if w.arena == nil {
+		rows := w.hint
+		if rows <= 0 || rows > batchSize {
+			rows = batchSize
+		}
+		w.arena = make([]datum.D, 0, rows*w.width)
+	}
+	n := len(w.arena)
+	w.arena = append(w.arena, a...)
+	w.arena = append(w.arena, b...)
+	w.rows = append(w.rows, storage.Row(w.arena[n:len(w.arena):len(w.arena)]))
+}
+
+func (w *batchWriter) full() bool { return len(w.rows) >= batchSize }
+
+// --- Scans ------------------------------------------------------------------
+
+// seqScanVec scans the table heap in batchSize chunks. Unfiltered chunks
+// are returned as direct heap subslices (zero copies, zero allocations);
+// filtered chunks run the compiled predicate into a reused survivor buffer.
+type seqScanVec struct {
+	rows []storage.Row
+	pred vecPred // nil when unfiltered
+	out  []storage.Row
+	pos  int
+}
+
+func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
+	t, err := v.e.Cat.Table(n.Relation)
+	if err != nil {
+		return nil, err
+	}
+	it := &seqScanVec{rows: t.Rows}
+	if n.Filter != nil {
+		if it.pred, err = compileVecPred(n.Filter, n.Schema, v.e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *seqScanVec) Open() error {
+	it.pos = 0
+	return nil
+}
+
+func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
+	for it.pos < len(it.rows) {
+		end := it.pos + batchSize
+		if end > len(it.rows) {
+			end = len(it.rows)
+		}
+		in := it.rows[it.pos:end]
+		it.pos = end
+		if it.pred == nil {
+			return in, nil
+		}
+		// Survivor buffer sized to this chunk, not the full batch width:
+		// scanning a 25-row table should not zero a 1024-header buffer.
+		if cap(it.out) < len(in) {
+			it.out = make([]storage.Row, 0, len(in))
+		}
+		out, err := it.pred.selectInto(it.out[:0], in)
+		if err != nil {
+			return nil, err
+		}
+		it.out = out
+		if len(out) > 0 {
+			return out, nil
+		}
+		// Everything in this chunk was filtered out; pull the next one
+		// rather than return an empty batch.
+	}
+	return nil, nil
+}
+
+func (it *seqScanVec) Close() error { return nil }
+
+// indexScanVec resolves the index at Open exactly like indexScanIter, then
+// gathers candidate rows per batch and rechecks the full index condition
+// plus residual filter through a compiled predicate.
+type indexScanVec struct {
+	eng  *Engine
+	n    *Node
+	heap []storage.Row
+	pred vecPred // index condition ∧ residual filter, nil when neither
+	ids  []int
+	pos  int
+	in   []storage.Row
+	out  []storage.Row
+}
+
+func (v *vbuild) newIndexScanVec(n *Node) (*indexScanVec, error) {
+	t, err := v.e.Cat.Table(n.Relation)
+	if err != nil {
+		return nil, err
+	}
+	// Same recheck expression as indexScanIter: full index condition plus
+	// residual filter.
+	combined := sqlparser.JoinConjuncts(append(sqlparser.SplitConjuncts(n.IndexCond), sqlparser.SplitConjuncts(n.Filter)...))
+	it := &indexScanVec{eng: v.e, n: n, heap: t.Rows}
+	if combined != nil {
+		if it.pred, err = compileVecPred(combined, n.Schema, v.e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+func (it *indexScanVec) Open() error {
+	t, err := it.eng.Cat.Table(it.n.Relation)
+	if err != nil {
+		return err
+	}
+	col, lo, hi, incLo, incHi, eq, hasEq, err := indexBounds(it.n.IndexCond)
+	if err != nil {
+		return err
+	}
+	ix := t.Index(col)
+	if ix == nil {
+		return fmt.Errorf("engine: planned index on %s.%s does not exist", it.n.Relation, col)
+	}
+	if hasEq {
+		it.ids = ix.Lookup(eq)
+	} else {
+		it.ids = ix.Range(lo, hi, incLo, incHi)
+	}
+	it.pos = 0
+	return nil
+}
+
+func (it *indexScanVec) NextBatch() ([]storage.Row, error) {
+	for it.pos < len(it.ids) {
+		end := it.pos + batchSize
+		if end > len(it.ids) {
+			end = len(it.ids)
+		}
+		// Size the gather buffer to the candidates actually present rather
+		// than a full batch: a point lookup returning one id should not pay
+		// for zeroing two 1024-header buffers per query.
+		if need := end - it.pos; cap(it.in) < need {
+			it.in = make([]storage.Row, 0, need)
+		}
+		in := it.in[:0]
+		for _, id := range it.ids[it.pos:end] {
+			in = append(in, it.heap[id])
+		}
+		it.in = in
+		it.pos = end
+		if it.pred == nil {
+			return in, nil
+		}
+		if cap(it.out) < len(in) {
+			it.out = make([]storage.Row, 0, len(in))
+		}
+		out, err := it.pred.selectInto(it.out[:0], in)
+		if err != nil {
+			return nil, err
+		}
+		it.out = out
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (it *indexScanVec) Close() error { return nil }
+
+// --- Limit ------------------------------------------------------------------
+
+// limitVec implements LIMIT/OFFSET on batches by slicing: whole batches
+// inside the offset are skipped without touching their rows, and the final
+// batch is truncated to the remaining limit. Once the limit is reached the
+// child is never pulled again — the same short-circuit as limitIter.
+// limit < 0 means unbounded (OFFSET-only), matching the row pipeline.
+type limitVec struct {
+	child            vecIter
+	limit, offset    int64
+	skipped, emitted int64
+}
+
+func (it *limitVec) Open() error {
+	it.skipped, it.emitted = 0, 0
+	return it.child.Open()
+}
+
+func (it *limitVec) NextBatch() ([]storage.Row, error) {
+	if it.limit >= 0 && it.emitted >= it.limit {
+		return nil, nil
+	}
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if it.skipped < it.offset {
+			skip := it.offset - it.skipped
+			if skip >= int64(len(b)) {
+				it.skipped += int64(len(b))
+				continue
+			}
+			it.skipped = it.offset
+			b = b[skip:]
+		}
+		if it.limit >= 0 {
+			if rem := it.limit - it.emitted; int64(len(b)) > rem {
+				b = b[:rem]
+			}
+		}
+		it.emitted += int64(len(b))
+		return b, nil
+	}
+}
+
+func (it *limitVec) Close() error { return it.child.Close() }
+
+// --- Query entry ------------------------------------------------------------
+
+// runSelectVec executes a planned SELECT through the batch pipeline and
+// projects each batch through the arena-amortized projector.
+func (e *Engine) runSelectVec(sel *sqlparser.SelectStmt, plan *Node) (*Result, error) {
+	pr, err := e.newProjector(sel, plan)
+	if err != nil {
+		return nil, err
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: pr.columns}
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return res, nil
+		}
+		rows, err := pr.projectBatch(b)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+}

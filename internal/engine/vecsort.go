@@ -1,0 +1,165 @@
+package engine
+
+// vecsort.go is the batch sort. Like the row pipeline's sortIter it
+// materializes at Open — full stable sort, or the bounded topKHeap when
+// the planner set SortLimit (which is offset+limit, so OFFSET rows survive
+// truncation) — but it consumes batches and evaluates sort keys by ordinal
+// when they are bare column references, so the top-K push path does no
+// closure calls and no allocations once the heap is full. The heap's
+// arrival-sequence tiebreak keeps the result identical to the reference
+// executor's stable full sort truncated to K, including when duplicate
+// keys cross the limit boundary.
+
+import (
+	"sort"
+
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+type sortVec struct {
+	child   vecIter
+	keyOrds []int       // ordinal fast path; nil → keys
+	keys    []boundExpr // closure fallback
+	desc    []bool
+	nKeys   int
+	topK    int64 // 0 = full sort
+	est     int   // planner cardinality estimate, for preallocation
+	out     []storage.Row
+	pos     int
+}
+
+func (v *vbuild) newSortVec(n *Node) (*sortVec, error) {
+	it := &sortVec{topK: n.SortLimit, nKeys: len(n.SortKeys), est: estCap(n.EstRows)}
+	var err error
+	if it.child, err = v.build(n.Children[0]); err != nil {
+		return nil, err
+	}
+	exprs := make([]sqlparser.Expr, len(n.SortKeys))
+	it.desc = make([]bool, len(n.SortKeys))
+	for i, k := range n.SortKeys {
+		exprs[i] = k.Expr
+		it.desc[i] = k.Desc
+	}
+	if it.keyOrds = keyOrdinals(exprs, n.Children[0].Schema); it.keyOrds == nil {
+		if it.keys, err = bindExprs(exprs, n.Children[0].Schema, v.e.subquery); err != nil {
+			return nil, err
+		}
+	}
+	return it, nil
+}
+
+// evalKeys loads r's sort key datums into dst.
+func (it *sortVec) evalKeys(r storage.Row, dst []datum.D, env *rowEnv) error {
+	if it.keyOrds != nil {
+		for i, ord := range it.keyOrds {
+			dst[i] = r[ord]
+		}
+		return nil
+	}
+	env.left = r
+	for i, k := range it.keys {
+		v, err := k(env)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+func (it *sortVec) Open() error {
+	if err := it.child.Open(); err != nil {
+		return err
+	}
+	it.pos = 0
+	if it.topK > 0 {
+		return it.openTopK()
+	}
+	// Full sort: drain batches into rows + a flat key arena, then stable
+	// sort an index permutation — same shape as sortIter's full path. Both
+	// buffers preallocate from the planner estimate so an accurately
+	// costed sort materializes with one allocation each.
+	rows := make([]storage.Row, 0, it.est)
+	arena := make([]datum.D, 0, it.est*it.nKeys)
+	var env rowEnv
+	scratch := make([]datum.D, it.nKeys)
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, r := range b {
+			if err := it.evalKeys(r, scratch, &env); err != nil {
+				return err
+			}
+			arena = append(arena, scratch...)
+			rows = append(rows, r)
+		}
+	}
+	nKeys := it.nKeys
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for j := 0; j < nKeys; j++ {
+			c := datum.Compare(arena[a*nKeys+j], arena[b*nKeys+j])
+			if it.desc[j] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	it.out = make([]storage.Row, len(rows))
+	for i, j := range idx {
+		it.out[i] = rows[j]
+	}
+	return nil
+}
+
+func (it *sortVec) openTopK() error {
+	h := newTopKHeap(int(it.topK), it.nKeys, it.desc)
+	scratch := make([]datum.D, it.nKeys)
+	var env rowEnv
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for _, r := range b {
+			if err := it.evalKeys(r, scratch, &env); err != nil {
+				return err
+			}
+			h.push(r, scratch)
+		}
+	}
+	it.out = h.finish()
+	return nil
+}
+
+func (it *sortVec) NextBatch() ([]storage.Row, error) {
+	if it.pos >= len(it.out) {
+		return nil, nil
+	}
+	end := it.pos + batchSize
+	if end > len(it.out) {
+		end = len(it.out)
+	}
+	b := it.out[it.pos:end]
+	it.pos = end
+	return b, nil
+}
+
+func (it *sortVec) Close() error { return it.child.Close() }

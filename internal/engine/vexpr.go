@@ -1,0 +1,283 @@
+package engine
+
+// vexpr.go compiles filter predicates into vectorized selectors for the
+// batch executor (vec.go). Where bind.go compiles an expression into a
+// per-row closure, compileVecPred goes one step further for the predicate
+// shapes that dominate scan filters — comparisons of a column against a
+// literal or another column, IS [NOT] NULL, and conjunctions of those —
+// and emits a selector that runs a tight typed loop over a whole batch:
+// one ordinal load and one datum comparison per row, no closure calls, no
+// three-valued-logic boxing. Anything the specializer does not recognize
+// falls back to the pre-bound closure from bind.go evaluated row-by-row,
+// so vectorized filtering is never less general than the row pipeline.
+//
+// SQL semantics are preserved exactly: a comparison with a NULL operand is
+// not true, so the row is dropped — identical to what truthy(bound(env))
+// yields in the row pipeline, and pinned by the three-way differential
+// tests.
+
+import (
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+// vecPred filters a batch: rows that satisfy the predicate are appended to
+// out (which is returned). in rows must not be mutated; out must not alias
+// in (callers pass a distinct buffer or use filterInPlace-style
+// compaction via out = in[:0], which is safe because selection only drops
+// rows, never reorders ones already written).
+type vecPred interface {
+	selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error)
+}
+
+// compileVecPred compiles e into a vectorized selector over schema.
+func compileVecPred(e sqlparser.Expr, schema []colRef, sub subqueryFn) (vecPred, error) {
+	// Conjunctions chain specialized selectors; each conjunct filters the
+	// survivors of the previous one.
+	if conds := sqlparser.SplitConjuncts(e); len(conds) > 1 {
+		preds := make([]vecPred, len(conds))
+		for i, c := range conds {
+			p, err := compileVecPred(c, schema, sub)
+			if err != nil {
+				return nil, err
+			}
+			preds[i] = p
+		}
+		return &andPred{preds: preds}, nil
+	}
+	if p := specializePred(e, schema); p != nil {
+		return p, nil
+	}
+	b, err := bindExpr(e, schema, sub)
+	if err != nil {
+		return nil, err
+	}
+	return &exprPred{bound: b}, nil
+}
+
+// specializePred recognizes the typed-loop-able predicate shapes; nil means
+// "use the closure fallback".
+func specializePred(e sqlparser.Expr, schema []colRef) vecPred {
+	switch ex := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch ex.Op {
+		case sqlparser.OpEq, sqlparser.OpNe, sqlparser.OpLt, sqlparser.OpLe, sqlparser.OpGt, sqlparser.OpGe:
+		default:
+			return nil
+		}
+		lOrd, lCol := columnOrdinal(ex.Left, schema)
+		rOrd, rCol := columnOrdinal(ex.Right, schema)
+		lLit, lIsLit := literalValue(ex.Left)
+		rLit, rIsLit := literalValue(ex.Right)
+		switch {
+		case lCol && rIsLit:
+			return &cmpColLit{ord: lOrd, op: ex.Op, lit: rLit}
+		case lIsLit && rCol:
+			return &cmpColLit{ord: rOrd, op: flipCmp(ex.Op), lit: lLit}
+		case lCol && rCol:
+			return &cmpColCol{a: lOrd, b: rOrd, op: ex.Op}
+		}
+	case *sqlparser.IsNullExpr:
+		if ord, ok := columnOrdinal(ex.X, schema); ok {
+			return &isNullPred{ord: ord, not: ex.Not}
+		}
+	}
+	return nil
+}
+
+func literalValue(e sqlparser.Expr) (datum.D, bool) {
+	if lit, ok := e.(*sqlparser.Literal); ok {
+		return lit.Value, true
+	}
+	return datum.Null, false
+}
+
+// flipCmp mirrors a comparison operator for swapped operands
+// (lit op col ⇒ col flip(op) lit).
+func flipCmp(op sqlparser.BinOp) sqlparser.BinOp {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLe:
+		return sqlparser.OpGe
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGe:
+		return sqlparser.OpLe
+	}
+	return op // Eq / Ne are symmetric
+}
+
+// cmpHolds evaluates the comparison verdict from a three-way compare.
+func cmpHolds(op sqlparser.BinOp, c int) bool {
+	switch op {
+	case sqlparser.OpEq:
+		return c == 0
+	case sqlparser.OpNe:
+		return c != 0
+	case sqlparser.OpLt:
+		return c < 0
+	case sqlparser.OpLe:
+		return c <= 0
+	case sqlparser.OpGt:
+		return c > 0
+	case sqlparser.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// cmpColLit is the workhorse: column ⟨op⟩ constant in one typed loop.
+// NULL column values fail the comparison (SQL three-valued logic: NULL
+// predicates are not true). A NULL literal rejects every row.
+type cmpColLit struct {
+	ord int
+	op  sqlparser.BinOp
+	lit datum.D
+}
+
+func (p *cmpColLit) selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error) {
+	if p.lit.IsNull() {
+		return out, nil
+	}
+	// Fast integer path: the common TPC-H filter compares an int column to
+	// an int literal; skip datum.Compare's kind dispatch entirely.
+	if p.lit.Kind() == datum.KInt {
+		lv := p.lit.Int()
+		for _, r := range in {
+			v := r[p.ord]
+			if v.Kind() != datum.KInt {
+				if v.IsNull() {
+					continue
+				}
+				if v.IsNumeric() && cmpHolds(p.op, datum.Compare(v, p.lit)) {
+					out = append(out, r)
+				}
+				continue
+			}
+			c := 0
+			switch iv := v.Int(); {
+			case iv < lv:
+				c = -1
+			case iv > lv:
+				c = 1
+			}
+			if cmpHolds(p.op, c) {
+				out = append(out, r)
+			}
+		}
+		return out, nil
+	}
+	for _, r := range in {
+		v := r[p.ord]
+		if v.IsNull() {
+			continue
+		}
+		if cmpHolds(p.op, datum.Compare(v, p.lit)) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// cmpColCol compares two columns of the same row.
+type cmpColCol struct {
+	a, b int
+	op   sqlparser.BinOp
+}
+
+func (p *cmpColCol) selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error) {
+	for _, r := range in {
+		av, bv := r[p.a], r[p.b]
+		if av.IsNull() || bv.IsNull() {
+			continue
+		}
+		if cmpHolds(p.op, datum.Compare(av, bv)) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// isNullPred implements IS [NOT] NULL on a column.
+type isNullPred struct {
+	ord int
+	not bool
+}
+
+func (p *isNullPred) selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error) {
+	for _, r := range in {
+		if r[p.ord].IsNull() != p.not {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// andPred chains conjuncts: each filters the survivors of the previous.
+// The scratch buffer holds intermediate survivor sets; the final conjunct
+// writes directly into out.
+type andPred struct {
+	preds   []vecPred
+	scratch [2][]storage.Row
+}
+
+func (p *andPred) selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error) {
+	cur := in
+	var err error
+	for i, pred := range p.preds {
+		if i == len(p.preds)-1 {
+			return pred.selectInto(out, cur)
+		}
+		buf := p.scratch[i%2][:0]
+		if buf == nil {
+			buf = make([]storage.Row, 0, batchSize)
+		}
+		buf, err = pred.selectInto(buf, cur)
+		if err != nil {
+			return out, err
+		}
+		p.scratch[i%2] = buf
+		cur = buf
+	}
+	return append(out, cur...), nil // unreachable for len(preds) >= 1
+}
+
+// exprPred is the general fallback: the pre-bound closure from bind.go
+// evaluated per row. Still batch-amortized — the per-batch virtual call is
+// shared across up to batchSize rows.
+type exprPred struct {
+	bound boundExpr
+	env   rowEnv
+}
+
+func (p *exprPred) selectInto(out []storage.Row, in []storage.Row) ([]storage.Row, error) {
+	for _, r := range in {
+		p.env.left = r
+		v, err := p.bound(&p.env)
+		if err != nil {
+			return out, err
+		}
+		if truthy(v) {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// keyOrdinals resolves join/sort key expressions to schema ordinals when
+// every key is a bare column reference — the dominant case — so batch key
+// evaluation is a direct index load per key instead of a closure call.
+// Returns nil when any key needs general evaluation.
+func keyOrdinals(exprs []sqlparser.Expr, schema []colRef) []int {
+	ords := make([]int, len(exprs))
+	for i, e := range exprs {
+		ord, ok := columnOrdinal(e, schema)
+		if !ok {
+			return nil
+		}
+		ords[i] = ord
+	}
+	return ords
+}

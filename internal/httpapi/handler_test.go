@@ -6,11 +6,13 @@ package httpapi
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 func postBody(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
@@ -116,6 +118,70 @@ func TestV2QueryStreamNDJSON(t *testing.T) {
 	}
 	if _, reEchoed := q["rows"]; reEchoed {
 		t.Fatal("trailer must not re-echo streamed rows")
+	}
+}
+
+// TestV2QueryStreamEarlyClose: a client abandoning an NDJSON stream
+// mid-iteration must not leave partial results in the narration cache. The
+// abandoned execution carries partial actuals (the engine marks such
+// streams incomplete — StreamingQuery.Complete), so the first complete run
+// of the same SQL must still be a cache miss, and only the complete run
+// may populate the cache. The server must also stay fully serviceable
+// after the disconnect.
+func TestV2QueryStreamEarlyClose(t *testing.T) {
+	h := newTestHandler(t)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	// The result must be far larger than the kernel socket buffers, so the
+	// server is still mid-stream (blocked on a flush or observing the
+	// canceled context) when the client hangs up — a small result would
+	// race: the server could drain it to completion before the disconnect
+	// and legitimately cache it.
+	const body = `{"sql": "SELECT l1.l_orderkey, l2.l_linenumber FROM lineitem l1, lineitem l2 WHERE l1.l_orderkey <= l2.l_orderkey"}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		srv.URL+"/v2/query?stream=ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read the columns record and two rows, then hang up mid-stream.
+	br := bufio.NewReader(resp.Body)
+	for i := 0; i < 3; i++ {
+		if _, err := br.ReadString('\n'); err != nil {
+			t.Fatalf("reading stream record %d: %v", i, err)
+		}
+	}
+	cancel()
+	resp.Body.Close()
+	time.Sleep(50 * time.Millisecond) // let the server side observe the disconnect
+
+	runUnary := func() map[string]any {
+		t.Helper()
+		rec := postBody(t, h, "/v2/query", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("unary query after aborted stream: status = %d\n%s", rec.Code, rec.Body.String())
+		}
+		var envelope map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &envelope); err != nil {
+			t.Fatalf("unary response not JSON: %v", err)
+		}
+		return envelope["query"].(map[string]any)
+	}
+	q1 := runUnary()
+	if q1["cached"] == true {
+		t.Fatal("first complete run was a cache hit: the aborted stream populated the narration cache")
+	}
+	if q1["partial"] == true {
+		t.Fatal("unary query marked partial")
+	}
+	q2 := runUnary()
+	if q2["cached"] != true {
+		t.Fatal("second complete run missed the cache: caching broken after aborted stream")
 	}
 }
 

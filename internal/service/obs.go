@@ -98,6 +98,10 @@ type SlowQueryEntry struct {
 	AdmissionWaitMs float64        `json:"admission_wait_ms"`
 	Trace           *obs.TraceInfo `json:"trace,omitempty"`
 	MisEstimates    []string       `json:"mis_estimates,omitempty"`
+	// Partial marks an entry whose elapsed/row figures come from a
+	// streaming execution that ended before draining; such runs carry no
+	// fingerprint and their actuals undercount the full query.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // maybeSlowLog emits a slow-query entry when the server keeps a log and
@@ -122,6 +126,7 @@ func (s *Server) maybeSlowLog(req *Request, resp *Response, elapsed time.Duratio
 		ent.Fingerprint = resp.Narrate.Fingerprint
 	case resp.Query != nil:
 		ent.Fingerprint = resp.Query.Fingerprint
+		ent.Partial = resp.Query.Partial
 	}
 	line, err := json.Marshal(ent)
 	if err != nil {

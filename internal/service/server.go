@@ -151,6 +151,11 @@ type QueryResponse struct {
 	Rows        [][]string `json:"rows,omitempty"`
 	RowCount    int        `json:"row_count"`
 	ElapsedMs   float64    `json:"elapsed_ms"`
+	// Partial marks a streaming execution that ended before draining: its
+	// actuals (and RowCount) cover only the rows pulled, so no fingerprint
+	// is assigned, and the narration cache is never written from a partial
+	// run. Unary queries and cleanly drained streams never set it.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // QARequest asks a natural-language question about one query or plan.

@@ -152,6 +152,20 @@ func (s *Server) queryStream(ctx context.Context, req *Request, cb StreamCallbac
 
 	pl, stats := q.Finish()
 	tree := engine.ToPlanNodeStats(pl, stats)
+	// The drain loop above only exits cleanly at end of stream, but guard
+	// anyway: a stream that somehow ended early carries partial actuals,
+	// and narrating or caching under an actuals-aware fingerprint computed
+	// from them would poison the cache for the complete run. Mark the
+	// response partial and skip narration entirely.
+	if !q.Complete() {
+		return &QueryResponse{
+			Dialect:   tree.Source,
+			Columns:   q.Columns,
+			RowCount:  q.RowCount(),
+			ElapsedMs: float64(q.Elapsed()) / 1e6,
+			Partial:   true,
+		}, nil
+	}
 	fp, ops := PlanFingerprint(tree, req.Options)
 	resp := &QueryResponse{
 		Dialect:     tree.Source,
