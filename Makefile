@@ -11,7 +11,7 @@ BENCHTIME ?= 100ms
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race vet bench bench-service bench-engine bench-serving contract metrics-lint fuzz corpus clean
+.PHONY: all build test race vet bench bench-service bench-engine bench-engine-cpu bench-serving contract metrics-lint fuzz corpus clean
 
 all: build test
 
@@ -41,6 +41,15 @@ bench-service:
 
 bench-engine:
 	$(GO) test -run xxx -bench '^Benchmark(Exec|Planner|AblationJoin|AblationIndex|AblationSeqScan|AblationOrdering)' -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_engine.json
+
+# The morsel-parallel suite at pinned core counts: the -cpu 1 report is
+# the serial-parity check, the -cpu 4 report the scaling one. Each report
+# records the GOMAXPROCS it ran at, and benchjson -compare warns when two
+# reports come from different core counts, so cross-comparing the
+# variants is possible but flagged.
+bench-engine-cpu:
+	$(GO) test -run xxx -bench '^BenchmarkExec(Parallel|LimitShortCircuit)' -cpu 1 -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_engine.cpu1.json
+	$(GO) test -run xxx -bench '^BenchmarkExec(Parallel|LimitShortCircuit)' -cpu 4 -benchmem -benchtime $(BENCHTIME) . | $(GO) run ./cmd/benchjson -out BENCH_engine.cpu4.json
 
 bench-serving:
 	$(GO) test -run xxx -bench 'BenchmarkServiceNarrate' -benchmem .

@@ -194,10 +194,11 @@ func (c *Client) Narrate(ctx context.Context, req *NarrateRequest) (*NarrateResp
 // actually happened.
 func (c *Client) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	resp, err := c.Do(ctx, &Request{
-		Op:      OpQuery,
-		SQL:     req.SQL,
-		Options: req.Options,
-		MaxRows: req.MaxRows,
+		Op:             OpQuery,
+		SQL:            req.SQL,
+		Options:        req.Options,
+		MaxRows:        req.MaxRows,
+		MaxParallelism: req.MaxParallelism,
 	})
 	if err != nil {
 		return nil, err

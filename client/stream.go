@@ -44,7 +44,13 @@ type streamRecord = httpapi.StreamRecord
 // available; rows are pulled with Next. Streaming calls are not retried —
 // rows may already have been observed.
 func (c *Client) QueryStream(ctx context.Context, req *QueryRequest) (*QueryStream, error) {
-	body, err := json.Marshal(&Request{Op: OpQuery, SQL: req.SQL, Options: req.Options, MaxRows: req.MaxRows})
+	body, err := json.Marshal(&Request{
+		Op:             OpQuery,
+		SQL:            req.SQL,
+		Options:        req.Options,
+		MaxRows:        req.MaxRows,
+		MaxParallelism: req.MaxParallelism,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -36,10 +36,17 @@ type Result struct {
 	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
-// Report is the BENCH_service.json payload.
+// Report is the BENCH_service.json payload. GoMaxProcs/NumCPU record the
+// parallelism environment of the run: comparing reports taken at
+// different core counts is legitimate (e.g. the -cpu 1 and -cpu 4
+// variants of the engine suite) but the ns/op deltas then mix code
+// changes with scheduling effects, so -compare warns about the mismatch
+// without failing on it.
 type Report struct {
 	GeneratedAt string   `json:"generated_at"`
 	GoVersion   string   `json:"go_version,omitempty"`
+	GoMaxProcs  int      `json:"gomaxprocs,omitempty"`
+	NumCPU      int      `json:"num_cpu,omitempty"`
 	Benchmarks  []Result `json:"benchmarks"`
 }
 
@@ -64,6 +71,8 @@ func main() {
 	report := Report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -136,6 +145,17 @@ func compareReports(oldPath, newPath string, threshold float64) int {
 	newRep, err := loadReport(newPath)
 	if err != nil {
 		log.Fatalf("benchjson: %v", err)
+	}
+	// A core-count mismatch means the ns/op deltas below mix code changes
+	// with scheduling effects. That can be intentional (diffing the -cpu 1
+	// run against the -cpu 4 run), so it warns rather than flags.
+	if oldRep.GoMaxProcs != 0 && newRep.GoMaxProcs != 0 && oldRep.GoMaxProcs != newRep.GoMaxProcs {
+		fmt.Printf("benchjson: WARNING: reports ran at different GOMAXPROCS (%d vs %d); ns/op deltas include scheduling effects\n",
+			oldRep.GoMaxProcs, newRep.GoMaxProcs)
+	}
+	if oldRep.NumCPU != 0 && newRep.NumCPU != 0 && oldRep.NumCPU != newRep.NumCPU {
+		fmt.Printf("benchjson: WARNING: reports ran on machines with different core counts (%d vs %d CPUs); ns/op deltas include hardware effects\n",
+			oldRep.NumCPU, newRep.NumCPU)
 	}
 	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {

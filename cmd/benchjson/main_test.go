@@ -36,6 +36,38 @@ func TestCompareFlagsNsRegression(t *testing.T) {
 	}
 }
 
+func TestCompareWarnsOnCoreCountMismatchWithoutFailing(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, procs, cpus int) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		data, err := json.Marshal(Report{
+			GoMaxProcs: procs,
+			NumCPU:     cpus,
+			Benchmarks: []Result{{Name: "BenchmarkX", NsPerOp: 1000}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	one := write("cpu1.json", 1, 1)
+	four := write("cpu4.json", 4, 4)
+	// Identical ns/op across differing core counts: a warning is printed
+	// but the diff still passes — the mismatch is informational only.
+	if got := compareReports(one, four, 0.20); got != 0 {
+		t.Fatalf("core-count mismatch alone: exit %d, want 0", got)
+	}
+	// Reports without the fields (older files) stay comparable silently.
+	old := writeReport(t, dir, "old.json", []Result{{Name: "BenchmarkX", NsPerOp: 1000}})
+	if got := compareReports(old, four, 0.20); got != 0 {
+		t.Fatalf("missing core-count fields: exit %d, want 0", got)
+	}
+}
+
 func TestCompareFlagsAllocRegression(t *testing.T) {
 	dir := t.TempDir()
 	zero := writeReport(t, dir, "zero.json",

@@ -81,12 +81,18 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 32, "narration cache budget in MiB (0 disables)")
 	shards := flag.Int("cache-shards", 16, "narration cache shard count")
 	sessions := flag.Int("engine-sessions", 0, "engine session pool size for query ops (0 = workers)")
+	maxPar := flag.Int("max-parallelism", 0, "intra-query parallelism cap for query ops (0 = GOMAXPROCS, negative = serial); requests can lower it per query via max_parallelism")
+	parRows := flag.Int("parallel-rows-per-worker", 0, "estimated driver rows each parallel worker should justify (0 = engine default)")
 	opsAddr := flag.String("ops-addr", "", "optional operational listener (pprof + /metrics); keep it off the public network")
 	slowLog := flag.String("slow-query-log", "", "append slow-query diagnostics (JSON lines) to this file; - for stderr")
 	slowThreshold := flag.Duration("slow-query-threshold", 250*time.Millisecond, "log queries at least this slow (0 logs everything)")
 	flag.Parse()
 
 	eng := engine.NewDefault()
+	eng.Cfg.MaxQueryParallelism = *maxPar
+	if *parRows > 0 {
+		eng.Cfg.ParallelRowsPerWorker = *parRows
+	}
 	var err error
 	switch *db {
 	case "tpch":

@@ -19,13 +19,18 @@ import (
 
 func execBenchEngine(b *testing.B, reference bool, mutate func(*engine.Config)) *engine.Engine {
 	b.Helper()
+	return execBenchEngineScale(b, 0.05, reference, mutate)
+}
+
+func execBenchEngineScale(b *testing.B, scale float64, reference bool, mutate func(*engine.Config)) *engine.Engine {
+	b.Helper()
 	cfg := engine.DefaultConfig()
 	cfg.ReferenceExec = reference
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	e := engine.New(cfg)
-	if err := datasets.LoadTPCH(e, 0.05, 1); err != nil {
+	if err := datasets.LoadTPCH(e, scale, 1); err != nil {
 		b.Fatal(err)
 	}
 	return e
@@ -98,6 +103,55 @@ func BenchmarkExecLimitShortCircuit(b *testing.B) {
 
 func BenchmarkExecLimitFullMaterialize(b *testing.B) {
 	benchQuery(b, execBenchEngine(b, true, nil), execLimitShortCircuitQuery)
+}
+
+// --- Morsel-driven parallelism -----------------------------------------------
+//
+// The parallel benchmarks run at a larger TPC-H scale (0.5, lineitem ≈ 30k
+// rows) so each morsel carries real work, and use aggregation-shaped
+// queries so the timing measures the scan/join, not result materialization.
+// The *Serial twins run the identical query on the identical data with
+// parallelism disabled — the pairwise ratio is the speedup. Run with
+// `-cpu 1,4` to see both the serial-parity and the scaled numbers; on a
+// machine with fewer physical cores than the -cpu value the parallel
+// variant is oversubscribed and the ratio reads as scheduling overhead
+// rather than speedup.
+
+const (
+	execParallelScanQuery = `SELECT MAX(l_extendedprice), COUNT(*) FROM lineitem WHERE l_quantity > 10`
+	execParallelJoinQuery = `SELECT COUNT(*), SUM(o.o_totalprice) FROM customer c, orders o
+		WHERE c.c_custkey = o.o_custkey AND o.o_totalprice > 1000`
+)
+
+func benchParallelConfig(c *engine.Config) {
+	c.MaxQueryParallelism = 4
+	c.ParallelRowsPerWorker = 4096
+}
+
+func benchSerialConfig(c *engine.Config) {
+	c.MaxQueryParallelism = -1
+}
+
+func BenchmarkExecParallelScan(b *testing.B) {
+	benchQuery(b, execBenchEngineScale(b, 0.5, false, benchParallelConfig), execParallelScanQuery)
+}
+
+func BenchmarkExecParallelScanSerial(b *testing.B) {
+	benchQuery(b, execBenchEngineScale(b, 0.5, false, benchSerialConfig), execParallelScanQuery)
+}
+
+func BenchmarkExecParallelJoinHash(b *testing.B) {
+	benchQuery(b, execBenchEngineScale(b, 0.5, false, func(c *engine.Config) {
+		c.EnableMergeJoin, c.EnableNestLoop = false, false
+		benchParallelConfig(c)
+	}), execParallelJoinQuery)
+}
+
+func BenchmarkExecParallelJoinHashSerial(b *testing.B) {
+	benchQuery(b, execBenchEngineScale(b, 0.5, false, func(c *engine.Config) {
+		c.EnableMergeJoin, c.EnableNestLoop = false, false
+		benchSerialConfig(c)
+	}), execParallelJoinQuery)
 }
 
 // --- Streaming scan ----------------------------------------------------------

@@ -67,3 +67,46 @@ func TestTPCHDifferentialStreamingVsReference(t *testing.T) {
 		}
 	}
 }
+
+// TestTPCHDifferentialParallelVsSerial runs the TPC-H workload through the
+// morsel-parallel executor with the DOP policy forced up (4 workers, tiny
+// per-worker shares so every table splits into many morsels) and pins the
+// results against the serial vectorized executor — exact sequences under
+// ORDER BY, multisets otherwise.
+func TestTPCHDifferentialParallelVsSerial(t *testing.T) {
+	e := engine.NewDefault()
+	if err := datasets.LoadTPCH(e, 0.02, 1); err != nil {
+		t.Fatal(err)
+	}
+	par := e.Session()
+	par.Cfg.MaxQueryParallelism = 4
+	par.Cfg.ParallelRowsPerWorker = 64
+	for _, w := range datasets.TPCHWorkload() {
+		serial, sErr := e.Exec(w.SQL)
+		parallel, pErr := par.Exec(w.SQL)
+		if (sErr != nil) != (pErr != nil) {
+			t.Fatalf("%s: serial err = %v, parallel err = %v", w.Name, sErr, pErr)
+		}
+		if sErr != nil {
+			t.Errorf("%s: exec: %v", w.Name, sErr)
+			continue
+		}
+		got, want := diffRowStrings(parallel.Rows), diffRowStrings(serial.Rows)
+		sel, err := sqlparser.ParseSelect(w.SQL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sel.OrderBy) == 0 {
+			sort.Strings(got)
+			sort.Strings(want)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: parallel %d rows, serial %d", w.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row %d differs\nparallel: %s\nserial:   %s", w.Name, i, got[i], want[i])
+			}
+		}
+	}
+}

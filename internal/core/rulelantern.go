@@ -226,9 +226,18 @@ func ActualsClause(p *plan.Node) string {
 		fmt.Fprintf(&sb, " across %s loops", p.Attr(plan.AttrLoops))
 		perLoop = actual / loops
 	}
+	if workers := p.Attr(plan.AttrWorkers); workers != "" {
+		fmt.Fprintf(&sb, " using %s parallel workers", workers)
+	}
 	if note := misEstimateNote(p.Rows, perLoop); note != "" {
 		sb.WriteString("; ")
 		sb.WriteString(note)
+	}
+	if wanted := p.Attr(plan.AttrWorkersWanted); wanted != "" {
+		// The engine's DOP policy, re-applied to the actual row count, would
+		// have chosen more workers than the estimate-driven plan got — the
+		// mis-estimate cost real parallelism, which is worth teaching.
+		fmt.Fprintf(&sb, "; the row count would have justified %s parallel workers", wanted)
 	}
 	sb.WriteString(")")
 	return sb.String()

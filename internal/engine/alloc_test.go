@@ -288,6 +288,43 @@ func TestVecTopKQueryAllocs(t *testing.T) {
 	}
 }
 
+// TestVecLimitShortCircuitAllocs: a LIMIT-k query over a large scan pays
+// zero steady-state allocations per execution. The adaptive first batch
+// (the scan starts at initialChunkSize rows and grows toward batchSize)
+// keeps the short-circuit path from sizing buffers for a full batch it
+// will never fill, and those small buffers are reused across Open — a
+// regression that re-allocates the chunk on every execution shows up here
+// before it shows up as ExecLimitShortCircuit latency.
+func TestVecLimitShortCircuitAllocs(t *testing.T) {
+	e := vecAllocDB(t, DefaultConfig())
+	plan, err := e.PlanSQL("SELECT id FROM t WHERE v > 10 LIMIT 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	avg := testing.AllocsPerRun(20, func() {
+		if err := it.Open(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, err := it.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b == nil {
+				break
+			}
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("limit short-circuit allocates %.2f allocs/run, want 0 steady-state", avg)
+	}
+}
+
 // TestTopKPushAllocs: once the heap is full, pushing rows — whether they
 // displace the current worst or are dropped — allocates nothing.
 func TestTopKPushAllocs(t *testing.T) {

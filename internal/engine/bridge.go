@@ -14,7 +14,7 @@ package engine
 //     the pipeline is the identical object graph the allocation guards in
 //     alloc_test.go measure.
 //   - When enabled (ExecPlanInstrumented, QueryInstrumented, EXPLAIN
-//     ANALYZE), execution routes to the row-at-a-time pipeline and every
+//     ANALYZE), serial plans route to the row-at-a-time pipeline and every
 //     plan operator's iterator is wrapped in an instrIter that counts Open
 //     calls (loops), rows returned by Next (actual rows), and inclusive
 //     wall time spent inside Open/Next — inclusive meaning a parent's time
@@ -23,9 +23,24 @@ package engine
 //     batch-boundary counting could not guarantee; the differential suite
 //     pins both pipelines to identical results, so the instrumented
 //     actuals describe the same query the batch path executes.
+//   - Parallel plans (driver DOP >= 2, parallel.go) cannot run on the row
+//     pipeline, so they execute the vectorized exchange with every batch
+//     operator wrapped in an instrVecIter. Its counters are atomic: the
+//     workers' clones of one operator share a single OpStats, so Rows and
+//     Time are exact totals across workers (time sums busy time, like CPU
+//     time). Loops are reported as 1 for these operators — per-morsel
+//     pipeline restarts are scheduling, not EXPLAIN loops — and the driver
+//     scan's stats additionally carry the worker count and per-worker
+//     rows/time breakdown (OpStats.Workers / PerWorker).
 //   - Actual rows are totals across all loops, matching EXPLAIN ANALYZE;
 //     pass-through operators (Hash, Materialize) get their own wrapper, so
 //     a Hash node reports the build-side row count.
+//   - Whenever a plan was considered for parallelism, the driver's actual
+//     row count is fed back through the DOP policy: if the actuals would
+//     have earned more workers than the estimate did, WantedWorkers
+//     records the missed DOP and the bridged tree carries
+//     plan.AttrWorkersWanted — the narrator's "a mis-estimate kept this
+//     scan under-parallelized" signal.
 //   - Wall time is the only non-deterministic statistic; the plan layer
 //     excludes AttrTimeMs from the canonical serialization so
 //     actuals-annotated plans remain cacheable by fingerprint.
@@ -43,13 +58,31 @@ import (
 // OpStats is the runtime statistics of one plan operator.
 type OpStats struct {
 	// Rows is the total number of rows the operator produced across all
-	// loops.
+	// loops (summed across workers in a parallel region).
 	Rows int64
 	// Loops counts how many times the operator was (re)started (Open
-	// calls).
+	// calls). Operators inside a parallel region report 1.
 	Loops int64
 	// Time is the inclusive wall time spent in the operator's Open and
-	// Next calls, children included.
+	// Next calls, children included. In a parallel region it sums the
+	// workers' busy time, like CPU time.
+	Time time.Duration
+	// Workers is the degree of parallelism the operator actually ran with;
+	// 0 or 1 means serial. Set only on the driver scan of a parallel plan
+	// (or a plan that was considered and kept serial).
+	Workers int64
+	// WantedWorkers is the DOP the policy would have chosen from the
+	// actual row count, recorded only when it exceeds Workers — i.e. when
+	// a cardinality under-estimate cost parallelism.
+	WantedWorkers int64
+	// PerWorker is the per-worker rows/busy-time breakdown of a parallel
+	// driver scan, indexed by worker id.
+	PerWorker []WorkerStat
+}
+
+// WorkerStat is one worker's share of a parallel operator's work.
+type WorkerStat struct {
+	Rows int64
 	Time time.Duration
 }
 
@@ -83,18 +116,18 @@ func (it *instrIter) Next() (storage.Row, bool, error) {
 
 func (it *instrIter) Close() error { return it.child.Close() }
 
-// ExecPlanInstrumented runs a physical plan through the streaming executor
-// with per-operator instrumentation enabled, returning the result rows and
-// the collected statistics.
+// ExecPlanInstrumented runs a physical plan with per-operator
+// instrumentation enabled, returning the result rows and the collected
+// statistics. Serial plans run the row-at-a-time executor (exact per-row
+// actuals); parallel plans run the vectorized exchange with atomic batch
+// counters (see the header).
 func (e *Engine) ExecPlanInstrumented(n *Node) ([]storage.Row, ExecStats, error) {
+	if sh := e.activeParShape(n); sh != nil {
+		return e.execPlanInstrumentedVec(n, sh)
+	}
 	st := make(ExecStats)
 	b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
-		os := st[pn]
-		if os == nil {
-			os = &OpStats{}
-			st[pn] = os
-		}
-		return &instrIter{child: it, st: os}
+		return &instrIter{child: it, st: st.get(pn)}
 	}}
 	it, err := b.build(n)
 	if err != nil {
@@ -111,9 +144,81 @@ func (e *Engine) ExecPlanInstrumented(n *Node) ([]storage.Row, ExecStats, error)
 			return nil, nil, err
 		}
 		if !ok {
+			e.annotateWorkerStats(n, st)
 			return out, st, nil
 		}
 		out = append(out, r)
+	}
+}
+
+// get returns (allocating if needed) the stats slot for a node.
+func (st ExecStats) get(n *Node) *OpStats {
+	os := st[n]
+	if os == nil {
+		os = &OpStats{}
+		st[n] = os
+	}
+	return os
+}
+
+// execPlanInstrumentedVec is the instrumented runner for parallel plans:
+// the vectorized pipeline with every operator wrapped in an instrVecIter
+// (atomic counters shared across worker clones).
+func (e *Engine) execPlanInstrumentedVec(n *Node, sh *parShape) ([]storage.Row, ExecStats, error) {
+	st := make(ExecStats)
+	v := e.newVBuild(sh, st.get)
+	it, err := v.build(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer it.Close()
+	if err := it.Open(); err != nil {
+		return nil, nil, err
+	}
+	var out []storage.Row
+	for {
+		b, err := it.NextBatch()
+		if err != nil {
+			return nil, nil, err
+		}
+		if b == nil {
+			e.annotateWorkerStats(n, st)
+			return out, st, nil
+		}
+		out = append(out, b...)
+	}
+}
+
+// annotateWorkerStats normalizes parallel-run statistics after execution:
+// batch-instrumented operators never count loops, so any touched stats
+// entry without one gets Loops = 1; and when the plan was considered for
+// parallelism (driver DOP >= 1), the driver's actual row count is fed back
+// through the DOP policy to expose what a correct estimate would have
+// chosen (narrated via AttrWorkersWanted when larger).
+func (e *Engine) annotateWorkerStats(n *Node, st ExecStats) {
+	for _, os := range st {
+		if os.Loops == 0 {
+			os.Loops = 1
+		}
+	}
+	var driver *Node
+	n.Walk(func(x *Node) {
+		if driver == nil && x.DOP >= 1 {
+			driver = x
+		}
+	})
+	if driver == nil {
+		return
+	}
+	os := st[driver]
+	if os == nil {
+		return
+	}
+	if os.Workers == 0 {
+		os.Workers = int64(driver.DOP)
+	}
+	if wanted := int64(e.dopForRows(float64(os.Rows))); wanted > os.Workers {
+		os.WantedWorkers = wanted
 	}
 }
 
@@ -207,6 +312,15 @@ func ToPlanNodeStats(n *Node, st ExecStats) *plan.Node {
 		p.SetAttr(plan.AttrActualRows, strconv.FormatInt(os.Rows, 10))
 		p.SetAttr(plan.AttrLoops, strconv.FormatInt(os.Loops, 10))
 		p.SetAttr(plan.AttrTimeMs, strconv.FormatFloat(float64(os.Time)/float64(time.Millisecond), 'f', 3, 64))
+		// Worker attributes only appear when they say something: a serial
+		// run (Workers <= 1) with no missed parallelism stays byte-identical
+		// to pre-parallelism plans, keeping goldens and fingerprints stable.
+		if os.Workers >= 2 {
+			p.SetAttr(plan.AttrWorkers, strconv.FormatInt(os.Workers, 10))
+		}
+		if os.WantedWorkers > os.Workers && os.WantedWorkers >= 2 {
+			p.SetAttr(plan.AttrWorkersWanted, strconv.FormatInt(os.WantedWorkers, 10))
+		}
 	}
 	for _, c := range n.Children {
 		p.Children = append(p.Children, ToPlanNodeStats(c, st))

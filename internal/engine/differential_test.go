@@ -40,9 +40,10 @@ func diffConfigs() map[string]Config {
 	}
 }
 
-// assertSameResults runs sql through all three executors on e — vectorized
-// (default), row-streaming, and the materializing reference — and compares
-// each against the reference.
+// assertSameResults runs sql through all four executors on e — vectorized
+// (default), row-streaming, the materializing reference, and the
+// morsel-parallel executor with forced-up DOP — and compares each against
+// the reference.
 func assertSameResults(t *testing.T, e *Engine, sql string) {
 	t.Helper()
 	e.Cfg.ReferenceExec, e.Cfg.RowStreamExec = false, false
@@ -53,8 +54,17 @@ func assertSameResults(t *testing.T, e *Engine, sql string) {
 	e.Cfg.ReferenceExec = true
 	ref, rErr := e.Exec(sql)
 	e.Cfg.ReferenceExec = false
-	if (vErr != nil) != (rErr != nil) || (sErr != nil) != (rErr != nil) {
-		t.Fatalf("query %q: vectorized err = %v, row-stream err = %v, reference err = %v", sql, vErr, sErr, rErr)
+	// Parallel leg: a session over the same catalog with the DOP policy
+	// forced up so even the tiny test tables split into per-row morsels
+	// across 4 workers (the container may have GOMAXPROCS=1, so the cap
+	// deliberately oversubscribes).
+	par := e.Session()
+	par.Cfg.ReferenceExec, par.Cfg.RowStreamExec = false, false
+	par.Cfg.MaxQueryParallelism = 4
+	par.Cfg.ParallelRowsPerWorker = 1
+	parRes, pErr := par.Exec(sql)
+	if (vErr != nil) != (rErr != nil) || (sErr != nil) != (rErr != nil) || (pErr != nil) != (rErr != nil) {
+		t.Fatalf("query %q: vectorized err = %v, row-stream err = %v, parallel err = %v, reference err = %v", sql, vErr, sErr, pErr, rErr)
 	}
 	if rErr != nil {
 		return // all failed: acceptable as long as they agree
@@ -82,6 +92,7 @@ func assertSameResults(t *testing.T, e *Engine, sql string) {
 	}
 	compare("vectorized", vec)
 	compare("row-stream", stream)
+	compare("parallel", parRes)
 }
 
 // diffCorpus is the hand-written query corpus, covering every operator and

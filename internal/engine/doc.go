@@ -28,16 +28,64 @@
 // guards in alloc_test.go pin the steady-state batch loops at (near) zero
 // allocations per batch.
 //
+// The first batches of a scan are deliberately small: NextBatch starts
+// at initialChunkSize (64) rows and grows the chunk ×4 per call up to
+// batchSize, so a LIMIT-k short circuit touches tens of heap rows, not a
+// full batch, while long scans reach full batch width within three
+// calls.
+//
 // The row-at-a-time streaming pipeline (iter.go) — rowIter with
 // Open/Next/Close — is retained in full. It is the execution path for
-// instrumented runs (EXPLAIN ANALYZE semantics need exact per-operator
-// actuals, which per-row wrappers collect), for Config.RowStreamExec
-// (pinned in benchmarks as the vectorization ablation), and the adapter
-// pair in vec.go bridges the two models: rowToVec lifts a row iterator
-// into batches where no native vectorized operator exists, and the
-// row-streaming Exec surface (StreamingQuery, the session pool, LIMIT
-// short-circuit consumption) drains the batch pipeline one row at a time
-// through vecToRow without buffering whole results.
+// serial instrumented runs (EXPLAIN ANALYZE semantics need exact
+// per-operator actuals, which per-row wrappers collect), for
+// Config.RowStreamExec (pinned in benchmarks as the vectorization
+// ablation), and the adapter pair in vec.go bridges the two models:
+// rowToVec lifts a row iterator into batches where no native vectorized
+// operator exists, and the row-streaming Exec surface (StreamingQuery,
+// the session pool, LIMIT short-circuit consumption) drains the batch
+// pipeline one row at a time through vecToRow without buffering whole
+// results.
+//
+// # Morsel-driven parallelism
+//
+// Plans whose estimated driver cardinality justifies it execute with
+// intra-query parallelism (parallel.go), morsel-at-a-time in the style
+// of HyPer: the driving base-table scan is split into fixed-size morsels
+// (morselSize rows, lowered to Config.ParallelRowsPerWorker when that is
+// configured smaller) handed out by an atomic dispenser, and each worker
+// runs the ordinary vectorized pipeline over its morsels — operators
+// above the scan are unchanged; parallelism is purely a property of the
+// exchange at the root:
+//
+//   - Gather emits each morsel's output in morsel order, which IS the
+//     serial row order — parallel execution is order-indistinguishable
+//     from serial even without ORDER BY, pinned by test.
+//   - Aggregations pre-aggregate per worker and merge partial states,
+//     ordering groups by first appearance (minimum first-row sequence).
+//   - Sort / top-K merge per-worker runs by (sort key, sequence), so
+//     ties break by arrival order exactly as the serial stable sort.
+//   - Hash-join build sides above the parallelism threshold are built
+//     once into a shared table by the worker pool (merged in morsel
+//     order) and adopted read-only by every probe pipeline.
+//
+// The planner decides the degree of parallelism from cardinality
+// estimates: dop = ceil(estimated rows / Config.ParallelRowsPerWorker),
+// clamped to Config.MaxQueryParallelism (0 = GOMAXPROCS, negative =
+// force serial); small inputs stay serial so the morsel machinery costs
+// nothing on point lookups. Node.DOP records the decision on the plan
+// (1 = considered and kept serial, >=2 = parallel). The serving layer's
+// per-request max_parallelism hint can lower the cap per query but never
+// raise it. Workers propagate errors through the exchange, which cancels
+// the dispenser and drains the pool; Close during a parallel stream
+// (client disconnect) does the same, pinned by the cancellation tests.
+//
+// Instrumented parallel runs keep the vectorized pipeline (per-row
+// wrapping would serialize the workers): instrVecIter counts batches
+// with atomic adds, and per-worker actuals (rows, busy time) aggregate
+// into the driving operator's stats as OpStats.PerWorker, with
+// OpStats.Workers carrying the worker count the narrator calls out and
+// WantedWorkers recording the DOP a mis-estimated plan left on the
+// table.
 //
 // # Operator contracts
 //
@@ -98,17 +146,22 @@
 //     extra branches per batch. The allocation guards in alloc_test.go
 //     enforce this.
 //   - Enabled (ExecPlanInstrumented, QueryInstrumented, or the EXPLAIN
-//     ANALYZE statement): execution routes to the row pipeline and every
-//     operator's iterator is wrapped in an instrIter collecting actual
-//     rows (totals across all loops), loops (Open calls), and inclusive
-//     wall time — a parent's time contains its children's, as PostgreSQL
-//     reports it. Per-row wrapping keeps the actuals exact; the
-//     differential suite pins the row pipeline's results equal to the
-//     vectorized path's, so instrumented counts describe the same query.
+//     ANALYZE statement): serial plans route to the row pipeline and
+//     every operator's iterator is wrapped in an instrIter collecting
+//     actual rows (totals across all loops), loops (Open calls), and
+//     inclusive wall time — a parent's time contains its children's, as
+//     PostgreSQL reports it. Parallel plans stay on the vectorized
+//     pipeline (see Morsel-driven parallelism) with batch-granular
+//     atomic counters instead. The differential suite pins all pipelines
+//     to identical results, so instrumented counts describe the same
+//     query either way.
 //
 // Collected stats annotate bridged trees via the standardized attrs
-// AttrActualRows / AttrLoops / AttrTimeMs; wall time is the only
-// non-deterministic one and is excluded from plan fingerprints.
+// AttrActualRows / AttrLoops / AttrTimeMs, plus AttrWorkers /
+// AttrWorkersWanted on parallel (or should-have-been-parallel)
+// operators; wall time and the per-worker row split are the
+// non-deterministic ones — time is excluded from plan fingerprints, and
+// the split is never serialized at all.
 //
 // # Reference executor
 //

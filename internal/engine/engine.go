@@ -30,9 +30,22 @@ type Config struct {
 	// iterator executor (iter.go) instead of the batch executor. Plan
 	// choice is unaffected. The three-way differential tests use it to pin
 	// batch results equal to the row pipeline; instrumented execution
-	// (EXPLAIN ANALYZE, the query/streaming APIs) always runs the row
-	// pipeline regardless, so per-operator actuals stay exact.
+	// (EXPLAIN ANALYZE, the query/streaming APIs) runs the row pipeline
+	// for serial plans, so per-operator actuals stay exact.
 	RowStreamExec bool
+	// MaxQueryParallelism caps the degree of intra-query parallelism
+	// (parallel.go): 0 defaults to runtime.GOMAXPROCS, 1 (or negative)
+	// forces serial execution, values above the core count deliberately
+	// oversubscribe (useful for scheduling tests). The planner picks the
+	// actual DOP per query from cardinality estimates, so small queries
+	// stay serial regardless of this cap. The serving layer lowers the cap
+	// per request from the envelope's max_parallelism hint.
+	MaxQueryParallelism int
+	// ParallelRowsPerWorker is the DOP policy divisor: the planner runs
+	// one worker per this many estimated driver-scan output rows
+	// (default 65536). Tests set it low to force parallelism on small
+	// tables.
+	ParallelRowsPerWorker int
 }
 
 // DefaultConfig enables every plan type.

@@ -1047,6 +1047,13 @@ func (h *topKHeap) slotBefore(x, y int32) bool {
 func (h *topKHeap) push(r storage.Row, key []datum.D) {
 	seq := h.next
 	h.next++
+	h.pushSeq(r, key, seq)
+}
+
+// pushSeq inserts with a caller-assigned sequence. The parallel sort
+// workers (parallel.go) use it to tag each row with its serial arrival
+// order, so merged per-worker heaps reproduce the serial top-K exactly.
+func (h *topKHeap) pushSeq(r storage.Row, key []datum.D, seq int64) {
 	if h.k == 0 {
 		return
 	}
@@ -1106,6 +1113,22 @@ func (h *topKHeap) finish() []storage.Row {
 		out[i] = h.rows[slot]
 	}
 	return out
+}
+
+// finishRuns returns the retained rows in ascending sort order together
+// with their keys (row-major) and sequences — the sorted-run form the
+// parallel exchange merges across workers.
+func (h *topKHeap) finishRuns() ([]storage.Row, []datum.D, []int64) {
+	sort.Slice(h.order, func(x, y int) bool { return h.slotBefore(h.order[x], h.order[y]) })
+	rows := make([]storage.Row, len(h.order))
+	keys := make([]datum.D, 0, len(h.order)*h.nKeys)
+	seqs := make([]int64, len(h.order))
+	for i, slot := range h.order {
+		rows[i] = h.rows[slot]
+		keys = append(keys, h.keys[int(slot)*h.nKeys:(int(slot)+1)*h.nKeys]...)
+		seqs[i] = h.seqs[slot]
+	}
+	return rows, keys, seqs
 }
 
 // --- Aggregation -----------------------------------------------------------

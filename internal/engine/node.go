@@ -156,6 +156,12 @@ type Node struct {
 	EstRows float64
 	EstCost float64   // total cost of this node including children
 	sorted  []sortKey // physical ordering of the output, if any
+
+	// DOP is the planner's parallelism decision for the driver scan of a
+	// morsel-parallel plan (parallel.go): 0 = not considered, 1 =
+	// considered but kept serial (small estimate), >= 2 = execute with
+	// that many workers.
+	DOP int
 }
 
 // Walk visits n and all descendants pre-order.

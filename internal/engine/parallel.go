@@ -1,0 +1,1457 @@
+package engine
+
+// parallel.go is the morsel-driven intra-query parallel executor. A plan
+// the planner marked parallel (Node.DOP >= 2 on the driver scan) executes
+// its driver pipeline on DOP workers: the driver table's heap is split
+// into fixed-size morsels handed out by an atomic dispenser, every worker
+// runs its own clone of the vecIter pipeline below the exchange point, and
+// a single exchange operator merges worker output back into one serial
+// batch stream:
+//
+//   - gather: worker output is emitted in morsel order, which reproduces
+//     the serial pipeline's output sequence exactly (each worker pipeline
+//     is order-preserving within a morsel and morsels partition the heap
+//     sequentially), so LIMIT/OFFSET/Unique above the exchange behave
+//     identically to serial execution.
+//   - sort merge: each worker sorts (or top-K's) its share tagged with the
+//     serial arrival sequence; the exchange merges the runs by (keys, seq),
+//     which is precisely the stable full sort of the serial pipeline.
+//   - aggregation merge: each worker pre-aggregates its share; the
+//     exchange merges partial states and emits groups ordered by first
+//     arrival, matching the serial aggregate's insertion order. Only
+//     provably order-insensitive aggregates are merged this way (COUNT,
+//     MIN, MAX, and SUM/AVG over integer columns); float sums would
+//     reassociate, so those plans fall back to a serial aggregate over an
+//     ordered gather of the input.
+//
+// Hash-join build sides on the driver spine are built once, before the
+// workers start, and shared read-only by every worker's probe clone. When
+// the build side is itself a plain scan it is built in parallel: morsel
+// partitions are hashed by separate goroutines and merged in morsel order,
+// so bucket insertion order — and therefore duplicate-match emission
+// order — is identical to the serial build.
+//
+// Because every merge reproduces the serial operator's exact output order,
+// a parallel run is row-for-row equal to the serial vectorized run; the
+// differential suite pins this across the corpus, seeded-random, and
+// TPC-H workloads under -race.
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lantern/internal/datum"
+	"lantern/internal/sqlparser"
+	"lantern/internal/storage"
+)
+
+const (
+	// morselSize is the number of driver-table heap rows per morsel: small
+	// enough that workers load-balance under skewed filters, large enough
+	// that the per-morsel pipeline restart is noise.
+	morselSize = 4096
+	// defaultParallelRowsPerWorker is the planner's DOP policy knob: one
+	// worker per this many estimated driver rows. Small inputs therefore
+	// stay serial and keep their short-circuit latency.
+	defaultParallelRowsPerWorker = 65536
+	// seqStride separates the per-morsel output sequence spaces: row i of
+	// morsel m carries serial sequence m*seqStride + i, which is the row's
+	// position in the serial pipeline's output. 2^40 rows of join fan-out
+	// per 4096-row morsel is unreachable.
+	seqStride = int64(1) << 40
+)
+
+// maxDOP resolves Config.MaxQueryParallelism: 0 defaults to GOMAXPROCS,
+// values below 1 disable parallelism.
+func (c Config) maxDOP() int {
+	switch {
+	case c.MaxQueryParallelism == 0:
+		return runtime.GOMAXPROCS(0)
+	case c.MaxQueryParallelism < 1:
+		return 1
+	default:
+		return c.MaxQueryParallelism
+	}
+}
+
+func (c Config) parRowsPerWorker() float64 {
+	if c.ParallelRowsPerWorker <= 0 {
+		return defaultParallelRowsPerWorker
+	}
+	return float64(c.ParallelRowsPerWorker)
+}
+
+// morselRows is the per-morsel driver row count: morselSize, lowered to
+// the DOP policy's rows-per-worker granularity when that is configured
+// smaller. A config that asks for one worker per N rows should split work
+// at least that finely — which is also what lets tests force genuinely
+// multi-morsel execution over tables far smaller than morselSize.
+func (c Config) morselRows() int {
+	m := morselSize
+	if p := c.parRowsPerWorker(); p < float64(m) {
+		m = int(p)
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+// dopForRows is the DOP policy: one worker per parRowsPerWorker rows,
+// clamped to [1, maxDOP]. It is applied to the planner's estimate at plan
+// time and re-applied to the actual row count by instrumentation, which is
+// how a cardinality mis-estimate surfaces as a "too few workers" callout
+// in the narration.
+func (e *Engine) dopForRows(rows float64) int {
+	max := e.Cfg.maxDOP()
+	if max < 2 {
+		return 1
+	}
+	d := int(math.Ceil(rows / e.Cfg.parRowsPerWorker()))
+	if d < 1 {
+		d = 1
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// parKind is how worker output merges back into one stream.
+type parKind int
+
+const (
+	parGather parKind = iota // ordered concatenation (serial output order)
+	parSort                  // merge per-worker sorted runs / top-K heaps
+	parAgg                   // merge per-worker partial aggregate states
+)
+
+// parShape describes where the exchange sits in a plan: workers execute
+// the subtree rooted at (or, for sort/agg merges, below) exchange, with
+// driver — the unique base-table SeqScan on the Children[0] spine — split
+// into morsels. Everything above exchange runs serially on the consumer.
+type parShape struct {
+	exchange *Node
+	driver   *Node
+	kind     parKind
+}
+
+// findParallelShape derives the (deterministic) parallel shape of a plan,
+// or nil when the plan has no morsel-drivable scan. It descends from the
+// root through operators that must stay serial above the exchange — Limit
+// keeps its short-circuit by pulling the exchange lazily, Unique and
+// GroupAggregate consume the exchange's serial-order output — and places
+// the exchange at the first operator with a native merge strategy.
+func (e *Engine) findParallelShape(root *Node) *parShape {
+	n := root
+descend:
+	for {
+		switch n.Op {
+		case OpLimit, OpUnique, OpGroupAggregate:
+			n = n.Children[0]
+		default:
+			break descend
+		}
+	}
+	sh := &parShape{exchange: n, kind: parGather}
+	switch n.Op {
+	case OpSort:
+		sh.kind = parSort
+	case OpAggregate, OpHashAggregate:
+		if e.aggsMergeable(n) {
+			sh.kind = parAgg
+		} else {
+			// Merging partial states would reassociate float addition; keep
+			// the aggregate serial over an ordered gather of its input.
+			sh.exchange = n.Children[0]
+		}
+	}
+	sub := sh.exchange
+	if sh.kind != parGather {
+		sub = sh.exchange.Children[0]
+	}
+	if sh.driver = driverScan(sub); sh.driver == nil {
+		return nil
+	}
+	return sh
+}
+
+// driverScan chases the probe-side spine to the base SeqScan the dispenser
+// will split, or nil when the spine contains an operator the worker-tree
+// builder cannot clone (index scans, merge joins, nested loops).
+func driverScan(n *Node) *Node {
+	for {
+		switch n.Op {
+		case OpSeqScan:
+			return n
+		case OpHashJoin, OpHash, OpMaterialize:
+			n = n.Children[0]
+		default:
+			return nil
+		}
+	}
+}
+
+// aggsMergeable reports whether every aggregate of n can be computed as
+// mergeable partial states without changing the result: COUNT/MIN/MAX are
+// order- and grouping-insensitive for any type, SUM/AVG only when the
+// argument is an integer column (float addition is not associative, and a
+// merged partial sum must be bit-identical to the serial left fold).
+func (e *Engine) aggsMergeable(n *Node) bool {
+	for _, a := range n.Aggs {
+		switch a.Call.Name {
+		case "COUNT", "MIN", "MAX":
+		case "SUM", "AVG":
+			ref, ok := a.Call.Args[0].(*sqlparser.ColumnRef)
+			if !ok {
+				return false
+			}
+			if e.columnKind(n.Children[0], ref) != datum.KInt {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// columnKind resolves a column reference to its declared storage type by
+// finding the scan whose schema binds it (scan schemas list columns in
+// table order, so the ordinal maps straight to the catalog column).
+func (e *Engine) columnKind(n *Node, ref *sqlparser.ColumnRef) datum.Kind {
+	kind := datum.KNull
+	n.Walk(func(x *Node) {
+		if kind != datum.KNull || (x.Op != OpSeqScan && x.Op != OpIndexScan) {
+			return
+		}
+		for i, c := range x.Schema {
+			if c.Name != ref.Name || (ref.Table != "" && ref.Table != c.Qual) {
+				continue
+			}
+			if t, err := e.Cat.Table(x.Relation); err == nil && i < len(t.Columns) {
+				kind = t.Columns[i].Type
+			}
+			return
+		}
+	})
+	return kind
+}
+
+// annotateParallel runs at the end of planning: when the engine allows
+// parallelism and the plan has a drivable shape, the driver scan is marked
+// with the chosen DOP. DOP 1 records "considered, chose serial" (so
+// instrumentation can report the DOP a correct estimate would have
+// earned); DOP >= 2 makes the executors build the exchange.
+func (e *Engine) annotateParallel(root *Node) {
+	if e.Cfg.maxDOP() < 2 {
+		return
+	}
+	if sh := e.findParallelShape(root); sh != nil {
+		sh.driver.DOP = e.dopForRows(sh.driver.EstRows)
+	}
+}
+
+// activeParShape re-derives the shape for execution; non-nil only when the
+// planner chose DOP >= 2.
+func (e *Engine) activeParShape(root *Node) *parShape {
+	sh := e.findParallelShape(root)
+	if sh == nil || sh.driver.DOP < 2 {
+		return nil
+	}
+	return sh
+}
+
+// --- Morsel dispenser -------------------------------------------------------
+
+// morselDispenser hands out [lo, hi) heap ranges. One atomic add per grab
+// is the whole scheduling protocol; workers that finish a cheap morsel
+// simply grab the next, which is what load-balances skewed filters.
+type morselDispenser struct {
+	total int
+	size  int
+	count int
+	next  atomic.Int64
+}
+
+func newMorselDispenser(total, size int) *morselDispenser {
+	return &morselDispenser{total: total, size: size, count: (total + size - 1) / size}
+}
+
+func (d *morselDispenser) grab() (m, lo, hi int, ok bool) {
+	i := int(d.next.Add(1)) - 1
+	if i >= d.count {
+		return 0, 0, 0, false
+	}
+	lo = i * d.size
+	hi = lo + d.size
+	if hi > d.total {
+		hi = d.total
+	}
+	return i, lo, hi, true
+}
+
+// --- Worker-side scan -------------------------------------------------------
+
+// morselScanVec is seqScanVec restricted to the one [lo, hi) heap range the
+// worker was granted; setRange repositions it between morsels, Open is a
+// no-op so per-morsel pipeline restarts do not reset the range.
+type morselScanVec struct {
+	rows     []storage.Row
+	pred     vecPred
+	out      []storage.Row
+	pos, end int
+}
+
+func (it *morselScanVec) setRange(lo, hi int) { it.pos, it.end = lo, hi }
+
+func (it *morselScanVec) Open() error { return nil }
+
+func (it *morselScanVec) NextBatch() ([]storage.Row, error) {
+	for it.pos < it.end {
+		end := it.pos + batchSize
+		if end > it.end {
+			end = it.end
+		}
+		in := it.rows[it.pos:end]
+		it.pos = end
+		if it.pred == nil {
+			return in, nil
+		}
+		if cap(it.out) < len(in) {
+			it.out = make([]storage.Row, 0, len(in))
+		}
+		out, err := it.pred.selectInto(it.out[:0], in)
+		if err != nil {
+			return nil, err
+		}
+		it.out = out
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (it *morselScanVec) Close() error { return nil }
+
+// --- Vectorized instrumentation wrapper -------------------------------------
+
+// instrVecIter counts rows and inclusive wall time through one vectorized
+// operator. The counters are atomic because in a parallel region one
+// OpStats instance is shared by every worker's clone of the operator, so
+// totals sum across workers. Loops are deliberately not counted here —
+// per-morsel re-Opens are a scheduling detail, not EXPLAIN loops; the
+// instrumented runner sets Loops to 1 afterwards.
+type instrVecIter struct {
+	child vecIter
+	rows  *int64
+	nanos *int64
+}
+
+func (it *instrVecIter) Open() error {
+	start := time.Now()
+	err := it.child.Open()
+	atomic.AddInt64(it.nanos, int64(time.Since(start)))
+	return err
+}
+
+func (it *instrVecIter) NextBatch() ([]storage.Row, error) {
+	start := time.Now()
+	b, err := it.child.NextBatch()
+	atomic.AddInt64(it.nanos, int64(time.Since(start)))
+	if len(b) > 0 {
+		atomic.AddInt64(it.rows, int64(len(b)))
+	}
+	return b, err
+}
+
+func (it *instrVecIter) Close() error { return it.child.Close() }
+
+func (v *vbuild) instr(n *Node, it vecIter) vecIter {
+	if v.stats == nil {
+		return it
+	}
+	os := v.stats(n)
+	return &instrVecIter{child: it, rows: &os.Rows, nanos: (*int64)(&os.Time)}
+}
+
+// --- Exchange ---------------------------------------------------------------
+
+// hashShared is one prebuilt hash-join build side, shared read-only by
+// every worker's probe clone.
+type hashShared struct {
+	node     *Node // the OpHashJoin node this build belongs to
+	entries  []storage.Row
+	keyArena []datum.D
+	table    map[uint64][]int32
+}
+
+// parWorker is one worker's private pipeline clone plus its per-run
+// accounting. The pipeline (and its bound expressions, compiled predicates
+// and scratch buffers) is never shared across workers — only the morsel
+// dispenser, result channel, and prebuilt hash tables are, and those are
+// either atomic or read-only while workers run.
+type parWorker struct {
+	root vecIter
+	scan *morselScanVec
+
+	// Sort merge: per-worker key evaluation state.
+	sortKeyOrds []int
+	sortKeys    []boundExpr
+
+	// Aggregation merge: per-worker accumulator construction state.
+	aggGroupKeys []boundExpr
+	aggArgs      []boundExpr
+
+	rows  int64 // rows this worker's subtree emitted
+	nanos int64 // busy wall time
+}
+
+// morselOut is one drained morsel's output (gather), or a worker's whole
+// run (sort/agg merges, m < 0). Row headers are always freshly appended by
+// the worker, never a reused pipeline buffer.
+type morselOut struct {
+	m    int
+	rows []storage.Row
+	run  *workerRun
+	err  error
+}
+
+// workerRun is a sort or aggregation worker's accumulated output.
+type workerRun struct {
+	// Sort: rows sorted by (keys, seq); keys is row-major nKeys per row.
+	rows []storage.Row
+	keys []datum.D
+	seqs []int64
+	// Agg: partial groups in worker-local first-arrival order.
+	groups []*parGroup
+}
+
+// exchangeVec is the one merge point of a parallel plan. Open prepares
+// shared hash builds and spawns the workers; NextBatch merges their output
+// back into the serial batch stream per the shape's kind; Close cancels
+// and waits for every worker before returning, so no goroutine outlives
+// the iterator.
+type exchangeVec struct {
+	e  *Engine
+	n  *Node
+	sh *parShape
+	v  *vbuild // stats hook shared with the serial region
+
+	dop     int
+	workers []*parWorker
+	shared  []*hashShared // driver-spine hash builds, filled at Open
+	shells  []*hashJoinVec
+
+	sortDesc []bool
+	sortN    int
+	topK     int64
+
+	aggs     []aggSpec
+	plainAgg bool
+	having   boundExpr
+
+	// Run state.
+	disp    *morselDispenser
+	cancel  chan struct{}
+	results chan morselOut
+	wg      sync.WaitGroup
+	running bool
+	err     error
+
+	// Gather merge state.
+	pending map[int][]storage.Row
+	nextM   int
+	cur     []storage.Row
+	curPos  int
+
+	// Sort/agg merges materialize like their serial counterparts.
+	out    []storage.Row
+	outPos int
+}
+
+func (v *vbuild) newExchangeVec(n *Node) (*exchangeVec, error) {
+	sh := v.par
+	x := &exchangeVec{e: v.e, n: n, sh: sh, v: v, dop: sh.driver.DOP}
+	switch sh.kind {
+	case parSort:
+		x.sortN = len(n.SortKeys)
+		x.topK = n.SortLimit
+		x.sortDesc = make([]bool, x.sortN)
+		for i, k := range n.SortKeys {
+			x.sortDesc[i] = k.Desc
+		}
+	case parAgg:
+		x.aggs = n.Aggs
+		x.plainAgg = len(n.GroupKeys) == 0
+		if n.HavingFilter != nil {
+			var err error
+			if x.having, err = bindExpr(n.HavingFilter, n.Schema, v.e.subquery); err != nil {
+				return nil, err
+			}
+		}
+	}
+	workRoot := workerRootNode(sh, n)
+	for i := 0; i < x.dop; i++ {
+		w := &parWorker{}
+		root, err := x.buildWorkerTree(v, workRoot, w)
+		if err != nil {
+			return nil, err
+		}
+		w.root = root
+		if err := x.bindWorkerMerge(v, n, w); err != nil {
+			return nil, err
+		}
+		x.workers = append(x.workers, w)
+	}
+	return x, nil
+}
+
+// workerRootNode is the subtree workers execute: the exchange node itself
+// for gather, its input for sort/agg merges (the exchange replaces the
+// serial operator).
+func workerRootNode(sh *parShape, n *Node) *Node {
+	if sh.kind == parGather {
+		return n
+	}
+	return n.Children[0]
+}
+
+// buildWorkerTree clones the driver-spine pipeline for one worker: a
+// range-settable morsel scan at the driver, probe shells over shared
+// builds at hash joins. Expressions re-bind per worker so closure-internal
+// state (cached subquery results, scratch buffers) is never shared.
+func (x *exchangeVec) buildWorkerTree(v *vbuild, n *Node, w *parWorker) (vecIter, error) {
+	var it vecIter
+	switch {
+	case n == x.sh.driver:
+		ms := &morselScanVec{rows: nil} // heap resolved at Open
+		t, err := v.e.Cat.Table(n.Relation)
+		if err != nil {
+			return nil, err
+		}
+		ms.rows = t.Rows
+		if n.Filter != nil {
+			if ms.pred, err = compileVecPred(n.Filter, n.Schema, v.e.subquery); err != nil {
+				return nil, err
+			}
+		}
+		w.scan = ms
+		it = ms
+	case n.Op == OpHash || n.Op == OpMaterialize:
+		return x.buildWorkerTree(v, n.Children[0], w)
+	case n.Op == OpHashJoin:
+		probe, err := x.buildWorkerTree(v, n.Children[0], w)
+		if err != nil {
+			return nil, err
+		}
+		shell, err := v.hashJoinShell(n)
+		if err != nil {
+			return nil, err
+		}
+		shell.probe = probe
+		shell.shared = x.sharedFor(n)
+		x.shells = append(x.shells, shell)
+		it = shell
+	default:
+		return nil, fmt.Errorf("engine: operator %s on parallel driver spine", n.Op.Name())
+	}
+	// The worker-tree root is only instrumented when it is not the exchange
+	// node itself: the top-level wrapper around exchangeVec already counts
+	// the merged output for that node, and worker-side counts would double.
+	if n != x.n {
+		it = v.instr(n, it)
+	}
+	return it, nil
+}
+
+// sharedFor returns (allocating on first use) the shared build slot for a
+// spine join node. Slots are filled at Open, before workers start.
+func (x *exchangeVec) sharedFor(n *Node) *hashShared {
+	for _, s := range x.shared {
+		if s.node == n {
+			return s
+		}
+	}
+	s := &hashShared{node: n}
+	x.shared = append(x.shared, s)
+	return s
+}
+
+// bindWorkerMerge prepares the per-worker expression state the merge kind
+// needs (sort keys, aggregate group keys and arguments).
+func (x *exchangeVec) bindWorkerMerge(v *vbuild, n *Node, w *parWorker) error {
+	var err error
+	switch x.sh.kind {
+	case parSort:
+		childSchema := n.Children[0].Schema
+		exprs := make([]sqlparser.Expr, len(n.SortKeys))
+		for i, k := range n.SortKeys {
+			exprs[i] = k.Expr
+		}
+		if w.sortKeyOrds = keyOrdinals(exprs, childSchema); w.sortKeyOrds == nil {
+			if w.sortKeys, err = bindExprs(exprs, childSchema, v.e.subquery); err != nil {
+				return err
+			}
+		}
+	case parAgg:
+		childSchema := n.Children[0].Schema
+		if w.aggGroupKeys, err = bindExprs(n.GroupKeys, childSchema, v.e.subquery); err != nil {
+			return err
+		}
+		w.aggArgs = make([]boundExpr, len(n.Aggs))
+		for i, a := range n.Aggs {
+			if a.Call.Star {
+				continue
+			}
+			if w.aggArgs[i], err = bindExpr(a.Call.Args[0], childSchema, v.e.subquery); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (x *exchangeVec) Open() error {
+	if err := x.stop(); err != nil { // cancel any previous run
+		return err
+	}
+	t, err := x.e.Cat.Table(x.sh.driver.Relation)
+	if err != nil {
+		return err
+	}
+	heap := t.Rows
+	for _, w := range x.workers {
+		w.scan.rows = heap
+		w.rows, w.nanos = 0, 0
+	}
+	if err := x.prepareSharedBuilds(); err != nil {
+		return err
+	}
+	x.disp = newMorselDispenser(len(heap), x.e.Cfg.morselRows())
+	x.cancel = make(chan struct{})
+	x.results = make(chan morselOut, x.dop)
+	x.err = nil
+	x.pending = make(map[int][]storage.Row)
+	x.nextM, x.cur, x.curPos = 0, nil, 0
+	x.out, x.outPos = nil, 0
+	x.running = true
+	x.wg.Add(len(x.workers))
+	for _, w := range x.workers {
+		go x.runWorker(w)
+	}
+	if x.sh.kind != parGather {
+		return x.collectRuns()
+	}
+	return nil
+}
+
+// stop cancels an in-flight run and waits for every worker to exit. It is
+// what makes Close (and re-Open) safe mid-stream: after stop returns, no
+// worker goroutine remains.
+func (x *exchangeVec) stop() error {
+	if !x.running {
+		return nil
+	}
+	close(x.cancel)
+	go func() { // unblock senders while we wait
+		for range x.results {
+		}
+	}()
+	x.wg.Wait()
+	close(x.results)
+	x.running = false
+	return nil
+}
+
+// finish records per-worker stats once all workers have exited normally.
+func (x *exchangeVec) finish() {
+	if !x.running {
+		return
+	}
+	x.wg.Wait()
+	close(x.results)
+	x.running = false
+	if x.v.stats != nil {
+		st := x.v.stats(x.sh.driver)
+		st.Workers = int64(x.dop)
+		st.PerWorker = st.PerWorker[:0]
+		for _, w := range x.workers {
+			st.PerWorker = append(st.PerWorker, WorkerStat{Rows: w.rows, Time: time.Duration(w.nanos)})
+		}
+	}
+}
+
+func (x *exchangeVec) Close() error {
+	err := x.stop()
+	for _, w := range x.workers {
+		if cerr := w.root.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// --- Worker loop ------------------------------------------------------------
+
+func (x *exchangeVec) canceled() bool {
+	select {
+	case <-x.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// send delivers one result unless the run was canceled.
+func (x *exchangeVec) send(mo morselOut) bool {
+	select {
+	case x.results <- mo:
+		return true
+	case <-x.cancel:
+		return false
+	}
+}
+
+func (x *exchangeVec) runWorker(w *parWorker) {
+	defer x.wg.Done()
+	start := time.Now()
+	defer func() { w.nanos += int64(time.Since(start)) }()
+	switch x.sh.kind {
+	case parGather:
+		x.runGather(w)
+	case parSort:
+		x.runSort(w)
+	case parAgg:
+		x.runAgg(w)
+	}
+}
+
+// drainMorsel points the worker's scan at one morsel and fully drains the
+// pipeline, invoking emit per output batch. Batches are transient; emit
+// must copy the headers it keeps.
+func (w *parWorker) drainMorsel(lo, hi int, emit func([]storage.Row) error) error {
+	w.scan.setRange(lo, hi)
+	if err := w.root.Open(); err != nil {
+		return err
+	}
+	for {
+		b, err := w.root.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		w.rows += int64(len(b))
+		if err := emit(b); err != nil {
+			return err
+		}
+	}
+}
+
+func (x *exchangeVec) runGather(w *parWorker) {
+	for {
+		m, lo, hi, ok := x.disp.grab()
+		if !ok || x.canceled() {
+			return
+		}
+		var rows []storage.Row
+		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+			rows = append(rows, b...)
+			return nil
+		})
+		if !x.send(morselOut{m: m, rows: rows, err: err}) || err != nil {
+			return
+		}
+	}
+}
+
+func (x *exchangeVec) runSort(w *parWorker) {
+	run := &workerRun{}
+	var heap *topKHeap
+	if x.topK > 0 {
+		heap = newTopKHeap(int(x.topK), x.sortN, x.sortDesc)
+	}
+	var env rowEnv
+	scratch := make([]datum.D, x.sortN)
+	for {
+		m, lo, hi, ok := x.disp.grab()
+		if !ok || x.canceled() {
+			break
+		}
+		within := int64(0)
+		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+			for _, r := range b {
+				if err := x.evalSortKeys(w, r, scratch, &env); err != nil {
+					return err
+				}
+				seq := int64(m)*seqStride + within
+				within++
+				if heap != nil {
+					heap.pushSeq(r, scratch, seq)
+					continue
+				}
+				run.rows = append(run.rows, r)
+				run.keys = append(run.keys, scratch...)
+				run.seqs = append(run.seqs, seq)
+			}
+			return nil
+		})
+		if err != nil {
+			x.send(morselOut{m: -1, err: err})
+			return
+		}
+	}
+	if x.canceled() {
+		return
+	}
+	if heap != nil {
+		run.rows, run.keys, run.seqs = heap.finishRuns()
+	} else {
+		sortRunBySeqKeys(run, x.sortN, x.sortDesc)
+	}
+	x.send(morselOut{m: -1, run: run})
+}
+
+func (x *exchangeVec) evalSortKeys(w *parWorker, r storage.Row, dst []datum.D, env *rowEnv) error {
+	if w.sortKeyOrds != nil {
+		for i, ord := range w.sortKeyOrds {
+			dst[i] = r[ord]
+		}
+		return nil
+	}
+	env.left = r
+	for i, k := range w.sortKeys {
+		v, err := k(env)
+		if err != nil {
+			return err
+		}
+		dst[i] = v
+	}
+	return nil
+}
+
+// sortRunBySeqKeys sorts a full-sort run by (keys, seq) in place.
+func sortRunBySeqKeys(run *workerRun, nKeys int, desc []bool) {
+	idx := make([]int, len(run.rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := idx[x], idx[y]
+		for j := 0; j < nKeys; j++ {
+			c := datum.Compare(run.keys[a*nKeys+j], run.keys[b*nKeys+j])
+			if desc[j] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return run.seqs[a] < run.seqs[b]
+	})
+	rows := make([]storage.Row, len(idx))
+	keys := make([]datum.D, 0, len(idx)*nKeys)
+	seqs := make([]int64, len(idx))
+	for i, j := range idx {
+		rows[i] = run.rows[j]
+		keys = append(keys, run.keys[j*nKeys:(j+1)*nKeys]...)
+		seqs[i] = run.seqs[j]
+	}
+	run.rows, run.keys, run.seqs = rows, keys, seqs
+}
+
+func (x *exchangeVec) runAgg(w *parWorker) {
+	acc := newParAggAcc(x.aggs, len(w.aggGroupKeys))
+	var env rowEnv
+	for {
+		m, lo, hi, ok := x.disp.grab()
+		if !ok || x.canceled() {
+			break
+		}
+		within := int64(0)
+		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+			for _, r := range b {
+				seq := int64(m)*seqStride + within
+				within++
+				if err := acc.add(w, r, seq, &env); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			x.send(morselOut{m: -1, err: err})
+			return
+		}
+	}
+	if x.canceled() {
+		return
+	}
+	x.send(morselOut{m: -1, run: &workerRun{groups: acc.groups}})
+}
+
+// --- Gather merge -----------------------------------------------------------
+
+func (x *exchangeVec) NextBatch() ([]storage.Row, error) {
+	if x.err != nil {
+		return nil, x.err
+	}
+	if x.sh.kind != parGather {
+		if x.outPos >= len(x.out) {
+			return nil, nil
+		}
+		end := x.outPos + batchSize
+		if end > len(x.out) {
+			end = len(x.out)
+		}
+		b := x.out[x.outPos:end]
+		x.outPos = end
+		return b, nil
+	}
+	for {
+		if x.curPos < len(x.cur) {
+			end := x.curPos + batchSize
+			if end > len(x.cur) {
+				end = len(x.cur)
+			}
+			b := x.cur[x.curPos:end]
+			x.curPos = end
+			return b, nil
+		}
+		if x.nextM >= x.disp.count {
+			x.finish()
+			return nil, nil
+		}
+		rows, ok := x.pending[x.nextM]
+		if ok {
+			delete(x.pending, x.nextM)
+			x.cur, x.curPos = rows, 0
+			x.nextM++
+			continue
+		}
+		mo := <-x.results
+		if mo.err != nil {
+			x.err = mo.err
+			x.stop()
+			return nil, x.err
+		}
+		x.pending[mo.m] = mo.rows
+	}
+}
+
+// --- Sort / aggregation merges ----------------------------------------------
+
+// collectRuns waits for every worker's run (sort and aggregation merges
+// are blocking, like their serial operators) and materializes the merged
+// output.
+func (x *exchangeVec) collectRuns() error {
+	runs := make([]*workerRun, 0, x.dop)
+	for len(runs) < x.dop {
+		mo := <-x.results
+		if mo.err != nil {
+			x.err = mo.err
+			x.stop()
+			return x.err
+		}
+		runs = append(runs, mo.run)
+	}
+	x.finish()
+	if x.sh.kind == parSort {
+		x.out = mergeSortRuns(runs, x.sortN, x.sortDesc, x.topK)
+		return nil
+	}
+	out, err := x.mergeAggRuns(runs)
+	if err != nil {
+		x.err = err
+		return err
+	}
+	x.out = out
+	return nil
+}
+
+// mergeSortRuns k-way merges per-worker sorted runs by (keys, seq). The
+// seq tiebreak is the row's serial arrival order, so the merged sequence
+// is exactly the serial stable sort; truncation to topK happens after the
+// merge (each run already holds at most topK rows).
+func mergeSortRuns(runs []*workerRun, nKeys int, desc []bool, topK int64) []storage.Row {
+	total := 0
+	for _, r := range runs {
+		total += len(r.rows)
+	}
+	if topK > 0 && int64(total) > topK {
+		total = int(topK)
+	}
+	out := make([]storage.Row, 0, total)
+	pos := make([]int, len(runs))
+	for len(out) < cap(out) {
+		best := -1
+		for i, r := range runs {
+			if pos[i] >= len(r.rows) {
+				continue
+			}
+			if best < 0 || runBefore(runs[i], pos[i], runs[best], pos[best], nKeys, desc) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out = append(out, runs[best].rows[pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
+func runBefore(a *workerRun, ai int, b *workerRun, bi int, nKeys int, desc []bool) bool {
+	ao, bo := ai*nKeys, bi*nKeys
+	for j := 0; j < nKeys; j++ {
+		c := datum.Compare(a.keys[ao+j], b.keys[bo+j])
+		if desc[j] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return a.seqs[ai] < b.seqs[bi]
+}
+
+// mergeAggRuns merges per-worker partial groups, orders them by global
+// first arrival (the serial aggregate's insertion order), finalizes, and
+// applies HAVING.
+func (x *exchangeVec) mergeAggRuns(runs []*workerRun) ([]storage.Row, error) {
+	idx := make(map[string]int)
+	var groups []*parGroup
+	keyBuf := make([]byte, 0, 64)
+	for _, run := range runs {
+		for _, g := range run.groups {
+			keyBuf = keyBuf[:0]
+			for _, v := range g.keyVals {
+				keyBuf = v.AppendKey(keyBuf)
+				keyBuf = append(keyBuf, 0)
+			}
+			gi, ok := idx[string(keyBuf)]
+			if !ok {
+				idx[string(keyBuf)] = len(groups)
+				groups = append(groups, g)
+				continue
+			}
+			if err := groups[gi].merge(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a].firstSeq < groups[b].firstSeq })
+	if x.plainAgg && len(groups) == 0 {
+		groups = append(groups, newParGroup(nil, x.aggs, 0))
+	}
+	var env rowEnv
+	out := make([]storage.Row, 0, len(groups))
+	for _, g := range groups {
+		row := make(storage.Row, 0, len(g.keyVals)+len(g.states))
+		row = append(row, g.keyVals...)
+		for i, a := range x.aggs {
+			row = append(row, g.states[i].finalize(a.Call))
+		}
+		if x.having != nil {
+			env.left = row
+			v, err := x.having(&env)
+			if err != nil {
+				return nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- Partial aggregation ----------------------------------------------------
+
+// parAggState is one mergeable partial aggregate. DISTINCT aggregates
+// defer accumulation entirely: workers collect the distinct value set and
+// the merged set is folded at finalize, so cross-worker duplicates are
+// deduplicated exactly once.
+type parAggState struct {
+	st    aggState
+	dvals map[string]datum.D
+}
+
+func (s *parAggState) accumulate(v datum.D) error {
+	if v.IsNull() {
+		return nil
+	}
+	if s.dvals != nil {
+		s.dvals[v.String()] = v
+		return nil
+	}
+	return accumulateDatum(&s.st, v)
+}
+
+func (s *parAggState) merge(o *parAggState) error {
+	if s.dvals != nil {
+		for k, v := range o.dvals {
+			s.dvals[k] = v
+		}
+		return nil
+	}
+	s.st.count += o.st.count
+	if !o.st.sum.IsNull() {
+		if s.st.sum.IsNull() {
+			s.st.sum = o.st.sum
+		} else {
+			sum, err := datum.Arith('+', s.st.sum, o.st.sum)
+			if err != nil {
+				return err
+			}
+			s.st.sum = sum
+		}
+	}
+	if !o.st.min.IsNull() && (s.st.min.IsNull() || datum.Compare(o.st.min, s.st.min) < 0) {
+		s.st.min = o.st.min
+	}
+	if !o.st.max.IsNull() && (s.st.max.IsNull() || datum.Compare(o.st.max, s.st.max) > 0) {
+		s.st.max = o.st.max
+	}
+	return nil
+}
+
+func (s *parAggState) finalize(call *sqlparser.FuncCall) datum.D {
+	if s.dvals != nil {
+		keys := make([]string, 0, len(s.dvals))
+		for k := range s.dvals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		st := aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		for _, k := range keys {
+			accumulateDatum(&st, s.dvals[k])
+		}
+		return finalize(&st, call)
+	}
+	return finalize(&s.st, call)
+}
+
+// parGroup is one group's partial states plus the serial sequence of its
+// first input row — the merge orders groups by the minimum across workers,
+// which is the group's first appearance in the serial input.
+type parGroup struct {
+	keyVals  []datum.D
+	states   []parAggState
+	firstSeq int64
+}
+
+func newParGroup(keyVals []datum.D, aggs []aggSpec, firstSeq int64) *parGroup {
+	g := &parGroup{keyVals: keyVals, states: make([]parAggState, len(aggs)), firstSeq: firstSeq}
+	for i := range g.states {
+		g.states[i].st = aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		if aggs[i].Call.Distinct {
+			g.states[i].dvals = make(map[string]datum.D)
+		}
+	}
+	return g
+}
+
+func (g *parGroup) merge(o *parGroup) error {
+	if o.firstSeq < g.firstSeq {
+		g.firstSeq = o.firstSeq
+	}
+	for i := range g.states {
+		if err := g.states[i].merge(&o.states[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parAggAcc accumulates one worker's partial groups, keyed exactly like
+// the serial aggIter (AppendKey encoding).
+type parAggAcc struct {
+	aggs       []aggSpec
+	idx        map[string]int
+	groups     []*parGroup
+	keyBuf     []byte
+	keyScratch []datum.D
+}
+
+func newParAggAcc(aggs []aggSpec, nKeys int) *parAggAcc {
+	return &parAggAcc{
+		aggs:       aggs,
+		idx:        make(map[string]int),
+		keyBuf:     make([]byte, 0, 64),
+		keyScratch: make([]datum.D, nKeys),
+	}
+}
+
+func (a *parAggAcc) add(w *parWorker, r storage.Row, seq int64, env *rowEnv) error {
+	env.left = r
+	a.keyBuf = a.keyBuf[:0]
+	for i, k := range w.aggGroupKeys {
+		v, err := k(env)
+		if err != nil {
+			return err
+		}
+		a.keyScratch[i] = v
+		a.keyBuf = v.AppendKey(a.keyBuf)
+		a.keyBuf = append(a.keyBuf, 0)
+	}
+	gi, ok := a.idx[string(a.keyBuf)]
+	if !ok {
+		gi = len(a.groups)
+		a.idx[string(a.keyBuf)] = gi
+		a.groups = append(a.groups, newParGroup(append([]datum.D(nil), a.keyScratch...), a.aggs, seq))
+	}
+	g := a.groups[gi]
+	for i, spec := range a.aggs {
+		if spec.Call.Star {
+			g.states[i].st.count++
+			continue
+		}
+		v, err := w.aggArgs[i](env)
+		if err != nil {
+			return err
+		}
+		if err := g.states[i].accumulate(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Shared hash builds -----------------------------------------------------
+
+// prepareSharedBuilds (re)builds every driver-spine hash-join build side
+// once per Open, before workers start. A build side that is itself a plain
+// filtered scan is built in parallel: goroutines hash morsel partitions
+// independently and the partitions merge in morsel order, reproducing the
+// serial build's bucket insertion order exactly. Anything else drains a
+// serial vectorized pipeline, as hashJoinVec.Open would.
+func (x *exchangeVec) prepareSharedBuilds() error {
+	for _, s := range x.shared {
+		if err := x.buildShared(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (x *exchangeVec) buildShared(s *hashShared) error {
+	n := s.node
+	shell, err := x.v.hashJoinShell(n)
+	if err != nil {
+		return err
+	}
+	s.entries = s.entries[:0]
+	s.keyArena = s.keyArena[:0]
+	s.table = make(map[uint64][]int32)
+
+	if scanNode := plainBuildScan(n.Children[1]); scanNode != nil {
+		t, err := x.e.Cat.Table(scanNode.Relation)
+		if err != nil {
+			return err
+		}
+		if len(t.Rows) >= x.e.Cfg.morselRows() {
+			return x.buildSharedParallel(s, shell, n, scanNode, t.Rows)
+		}
+	}
+	return x.buildSharedSerial(s, shell, n)
+}
+
+// plainBuildScan returns the SeqScan when the build subtree is just
+// Hash → (Materialize →)? SeqScan, the shape eligible for parallel build.
+func plainBuildScan(n *Node) *Node {
+	for {
+		switch n.Op {
+		case OpHash, OpMaterialize:
+			n = n.Children[0]
+		case OpSeqScan:
+			return n
+		default:
+			return nil
+		}
+	}
+}
+
+func (x *exchangeVec) buildSharedSerial(s *hashShared, shell *hashJoinVec, n *Node) error {
+	// Build through a serial vbuild so nested operators (and, under
+	// instrumentation, their stats) behave exactly like a serial join open.
+	nv := x.e.newVBuild(nil, x.v.stats)
+	src, err := nv.build(n.Children[1])
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	if err := src.Open(); err != nil {
+		return err
+	}
+	var env rowEnv
+	keyBuf := make([]datum.D, shell.nKeys)
+	for {
+		b, err := src.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for _, r := range b {
+			h, null, err := hashRowKeys(r, shell.buildKeyOrds, shell.buildKeys, keyBuf, &env)
+			if err != nil {
+				return err
+			}
+			if null {
+				continue
+			}
+			s.keyArena = append(s.keyArena, keyBuf[:shell.nKeys]...)
+			s.table[h] = append(s.table[h], int32(len(s.entries)))
+			s.entries = append(s.entries, r)
+		}
+	}
+}
+
+// buildPart is one goroutine's hashed morsel partition.
+type buildPart struct {
+	m       int
+	rows    []storage.Row
+	keys    []datum.D
+	hashes  []uint64
+	scanned int64
+	err     error
+}
+
+func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, scanNode *Node, heap []storage.Row) error {
+	disp := newMorselDispenser(len(heap), x.e.Cfg.morselRows())
+	parts := make(chan *buildPart, x.dop)
+	var wg sync.WaitGroup
+	for i := 0; i < x.dop; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Per-goroutine pipeline state: compiled predicate, key binds,
+			// scratch buffers. The hash-side schema is the scan's own.
+			ms := &morselScanVec{rows: heap}
+			if scanNode.Filter != nil {
+				pred, err := compileVecPred(scanNode.Filter, scanNode.Schema, x.e.subquery)
+				if err != nil {
+					parts <- &buildPart{m: -1, err: err}
+					return
+				}
+				ms.pred = pred
+			}
+			var scan vecIter = ms
+			if x.v.stats != nil {
+				scan = x.v.instr(scanNode, ms)
+			}
+			var env rowEnv
+			keyBuf := make([]datum.D, shell.nKeys)
+			var keys []boundExpr
+			if shell.buildKeyOrds == nil {
+				var err error
+				if keys, err = x.rebindBuildKeys(n); err != nil {
+					parts <- &buildPart{m: -1, err: err}
+					return
+				}
+			}
+			for {
+				m, lo, hi, ok := disp.grab()
+				if !ok {
+					return
+				}
+				p := &buildPart{m: m}
+				ms.setRange(lo, hi)
+				if err := scan.Open(); err != nil {
+					parts <- &buildPart{m: -1, err: err}
+					return
+				}
+				for {
+					b, err := scan.NextBatch()
+					if err != nil {
+						parts <- &buildPart{m: -1, err: err}
+						return
+					}
+					if b == nil {
+						break
+					}
+					p.scanned += int64(len(b))
+					for _, r := range b {
+						h, null, err := hashRowKeys(r, shell.buildKeyOrds, keys, keyBuf, &env)
+						if err != nil {
+							parts <- &buildPart{m: -1, err: err}
+							return
+						}
+						if null {
+							continue
+						}
+						p.rows = append(p.rows, r)
+						p.keys = append(p.keys, keyBuf[:shell.nKeys]...)
+						p.hashes = append(p.hashes, h)
+					}
+				}
+				parts <- p
+			}
+		}()
+	}
+	go func() { wg.Wait(); close(parts) }()
+
+	// Merge partitions in morsel order: bucket lists get the same insertion
+	// order as a serial scan, so duplicate-match emission order matches.
+	pending := make(map[int]*buildPart)
+	var firstErr error
+	scanned := int64(0)
+	next, total := 0, disp.count
+	for p := range parts {
+		if p.err != nil {
+			if firstErr == nil {
+				firstErr = p.err
+			}
+			continue
+		}
+		pending[p.m] = p
+		for {
+			q, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			scanned += q.scanned
+			for i, r := range q.rows {
+				s.keyArena = append(s.keyArena, q.keys[i*shell.nKeys:(i+1)*shell.nKeys]...)
+				s.table[q.hashes[i]] = append(s.table[q.hashes[i]], int32(len(s.entries)))
+				s.entries = append(s.entries, r)
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if next != total {
+		return fmt.Errorf("engine: parallel hash build lost %d morsels", total-next)
+	}
+	if x.v.stats != nil {
+		// Credit the pass-through Hash/Materialize spine with the rows that
+		// flowed through it, as the serial wrappers would.
+		for c := n.Children[1]; c != nil && (c.Op == OpHash || c.Op == OpMaterialize); c = c.Children[0] {
+			x.v.stats(c).Rows += scanned
+		}
+	}
+	return nil
+}
+
+// rebindBuildKeys produces fresh build-key closures for one build
+// goroutine (closure state must not be shared).
+func (x *exchangeVec) rebindBuildKeys(n *Node) ([]boundExpr, error) {
+	probeNode, hashNode := n.Children[0], n.Children[1]
+	_, buildKeyExprs, _ := joinKeyPairs(n.JoinCond, probeNode.Schema)
+	return bindExprs(buildKeyExprs, hashNode.Schema, x.e.subquery)
+}

@@ -58,7 +58,12 @@ func (e *Engine) planSelect(sel *sqlparser.SelectStmt) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return p.finishPlan(join)
+	n, err := p.finishPlan(join)
+	if err != nil {
+		return nil, err
+	}
+	e.annotateParallel(n)
+	return n, nil
 }
 
 // planConstResult handles SELECT without FROM.

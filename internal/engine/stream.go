@@ -34,6 +34,7 @@ type StreamingQuery struct {
 	// Columns is the output header, available before the first row.
 	Columns []string
 
+	e        *Engine
 	it       rowIter
 	pr       *projector
 	plan     *Node
@@ -63,19 +64,32 @@ func (e *Engine) QueryStreamInstrumented(sql string) (*StreamingQuery, error) {
 		return nil, err
 	}
 	st := make(ExecStats)
-	b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
-		os := st[pn]
-		if os == nil {
-			os = &OpStats{}
-			st[pn] = os
+	var it rowIter
+	if sh := e.activeParShape(pl); sh != nil {
+		// Parallel plan: run the vectorized exchange pipeline (with atomic
+		// per-operator instrumentation) and stream rows off it through the
+		// vecToRow adapter. Close cancels and drains the workers.
+		vi, verr := e.newVBuild(sh, st.get).build(pl)
+		if verr != nil {
+			return nil, verr
 		}
-		return &instrIter{child: it, st: os}
-	}}
-	it, err := b.build(pl)
-	if err != nil {
-		return nil, err
+		it = &vecToRow{child: vi}
+	} else {
+		b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
+			os := st[pn]
+			if os == nil {
+				os = &OpStats{}
+				st[pn] = os
+			}
+			return &instrIter{child: it, st: os}
+		}}
+		it, err = b.build(pl)
+		if err != nil {
+			return nil, err
+		}
 	}
 	q := &StreamingQuery{
+		e:       e,
 		Columns: pr.columns,
 		it:      it,
 		pr:      pr,
@@ -112,6 +126,7 @@ func (q *StreamingQuery) Next() (storage.Row, bool, error) {
 		q.done = true
 		q.complete = true
 		q.elapsed = time.Since(q.started)
+		q.e.annotateWorkerStats(q.plan, q.stats)
 		return nil, false, nil
 	}
 	out, err := q.pr.project(r)
@@ -160,5 +175,12 @@ func (q *StreamingQuery) Close() error {
 		q.done = true
 		q.elapsed = time.Since(q.started)
 	}
-	return q.it.Close()
+	err := q.it.Close()
+	if !q.complete {
+		// Abandoned mid-stream: Close has cancelled and drained any parallel
+		// workers, so the partial per-operator actuals are now stable;
+		// normalize them the same way a clean end of stream would.
+		q.e.annotateWorkerStats(q.plan, q.stats)
+	}
+	return err
 }

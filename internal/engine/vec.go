@@ -27,9 +27,12 @@ package engine
 // Config.RowStreamExec forces whole queries onto the row pipeline — the
 // differential tests pin vectorized results equal to both the row-stream
 // and the materializing reference executors. Instrumented execution
-// (bridge.go, EXPLAIN ANALYZE, the streaming query API) always uses the
-// row pipeline so per-operator actual rows/loops stay exact; the batch
-// path is the uninstrumented fast path that Exec and subqueries take.
+// (bridge.go, EXPLAIN ANALYZE, the streaming query API) uses the row
+// pipeline for serial plans so per-operator actual rows/loops stay
+// exact; parallel plans stay on the batch pipeline with atomic
+// batch-granular counters (parallel.go), since per-row wrapping would
+// serialize the workers. The uninstrumented batch path is the fast path
+// that Exec and subqueries take.
 
 import (
 	"fmt"
@@ -56,10 +59,20 @@ type vecIter interface {
 // buildVec constructs the vectorized iterator tree for a plan node.
 // Operators without a native batch implementation are built through the
 // row-op constructors (iter.go) with their children vectorized and adapted
-// back to rows, so every plan the planner can produce executes.
+// back to rows, so every plan the planner can produce executes. Plans the
+// planner marked parallel (driver DOP >= 2) get an exchangeVec at the
+// exchange point (parallel.go).
 func (e *Engine) buildVec(n *Node) (vecIter, error) {
+	return e.newVBuild(e.activeParShape(n), nil).build(n)
+}
+
+// newVBuild assembles a vbuild with its row-op builder wired back through
+// the batch adapter. sh activates the parallel exchange; stats, when
+// non-nil, wraps every built operator in an instrVecIter sharing the
+// returned OpStats (bridge.go's vectorized instrumentation).
+func (e *Engine) newVBuild(sh *parShape, stats func(*Node) *OpStats) *vbuild {
 	rb := &ibuild{e: e}
-	v := &vbuild{e: e, rb: rb}
+	v := &vbuild{e: e, rb: rb, par: sh, stats: stats}
 	rb.child = func(c *Node) (rowIter, error) {
 		vi, err := v.build(c)
 		if err != nil {
@@ -67,7 +80,7 @@ func (e *Engine) buildVec(n *Node) (vecIter, error) {
 		}
 		return &vecToRow{child: vi}, nil
 	}
-	return v.build(n)
+	return v
 }
 
 // vbuild constructs vecIter trees. rb is the row-op builder with its child
@@ -76,9 +89,30 @@ func (e *Engine) buildVec(n *Node) (vecIter, error) {
 type vbuild struct {
 	e  *Engine
 	rb *ibuild
+	// par, when non-nil, is the active parallel shape: building par.exchange
+	// produces the exchange operator instead of the serial one.
+	par *parShape
+	// stats, when non-nil, returns the shared OpStats for a node; every
+	// built operator is then wrapped in an instrVecIter.
+	stats func(*Node) *OpStats
 }
 
 func (v *vbuild) build(n *Node) (vecIter, error) {
+	if v.par != nil && n == v.par.exchange {
+		x, err := v.newExchangeVec(n)
+		if err != nil {
+			return nil, err
+		}
+		return v.instr(n, x), nil
+	}
+	it, err := v.build0(n)
+	if err != nil {
+		return nil, err
+	}
+	return v.instr(n, it), nil
+}
+
+func (v *vbuild) build0(n *Node) (vecIter, error) {
 	switch n.Op {
 	case OpSeqScan:
 		return v.newSeqScanVec(n)
@@ -223,15 +257,23 @@ func (w *batchWriter) full() bool { return len(w.rows) >= batchSize }
 
 // --- Scans ------------------------------------------------------------------
 
-// seqScanVec scans the table heap in batchSize chunks. Unfiltered chunks
-// are returned as direct heap subslices (zero copies, zero allocations);
-// filtered chunks run the compiled predicate into a reused survivor buffer.
+// seqScanVec scans the table heap in chunks. Unfiltered chunks are
+// returned as direct heap subslices (zero copies, zero allocations);
+// filtered chunks run the compiled predicate into a reused survivor
+// buffer. Chunks grow adaptively from initialChunkSize to batchSize (×4
+// per chunk): a `LIMIT 10` consumer stops after one small chunk instead of
+// paying for a full 1024-row batch, while a full scan reaches max-size
+// chunks after two steps and keeps the batch loop's throughput.
 type seqScanVec struct {
-	rows []storage.Row
-	pred vecPred // nil when unfiltered
-	out  []storage.Row
-	pos  int
+	rows  []storage.Row
+	pred  vecPred // nil when unfiltered
+	out   []storage.Row
+	pos   int
+	chunk int
 }
+
+// initialChunkSize is the first chunk a seqScanVec produces after Open.
+const initialChunkSize = 64
 
 func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
 	t, err := v.e.Cat.Table(n.Relation)
@@ -249,12 +291,18 @@ func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
 
 func (it *seqScanVec) Open() error {
 	it.pos = 0
+	it.chunk = initialChunkSize
 	return nil
 }
 
 func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
 	for it.pos < len(it.rows) {
-		end := it.pos + batchSize
+		end := it.pos + it.chunk
+		if it.chunk < batchSize {
+			if it.chunk *= 4; it.chunk > batchSize {
+				it.chunk = batchSize
+			}
+		}
 		if end > len(it.rows) {
 			end = len(it.rows)
 		}

@@ -43,6 +43,11 @@ type hashJoinVec struct {
 	keyArena []datum.D // len(entries)*nKeys, parallel to entries
 	table    map[uint64][]int32
 
+	// shared, when non-nil, is a prebuilt build side owned by the parallel
+	// exchange (parallel.go): Open adopts it read-only instead of draining
+	// the build child, so every worker's probe clone shares one table.
+	shared *hashShared
+
 	w      batchWriter
 	env    rowEnv
 	keyBuf []datum.D
@@ -59,6 +64,25 @@ type hashJoinVec struct {
 }
 
 func (v *vbuild) newHashJoinVec(n *Node) (*hashJoinVec, error) {
+	it, err := v.hashJoinShell(n)
+	if err != nil {
+		return nil, err
+	}
+	if it.probe, err = v.build(n.Children[0]); err != nil {
+		return nil, err
+	}
+	if it.build, err = v.build(n.Children[1]); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+// hashJoinShell builds everything of a hashJoinVec except its child
+// iterators: key evaluation for both sides, residual and post-join filter
+// binds, and the output writer. The serial constructor attaches probe and
+// build children; the parallel exchange attaches a per-worker probe clone
+// and a shared prebuilt table instead.
+func (v *vbuild) hashJoinShell(n *Node) (*hashJoinVec, error) {
 	probeNode, hashNode := n.Children[0], n.Children[1]
 	probeKeyExprs, buildKeyExprs, residual := joinKeyPairs(n.JoinCond, probeNode.Schema)
 	if len(probeKeyExprs) == 0 {
@@ -69,12 +93,6 @@ func (v *vbuild) newHashJoinVec(n *Node) (*hashJoinVec, error) {
 		leftOuter: n.JoinType == sqlparser.LeftJoin,
 	}
 	var err error
-	if it.probe, err = v.build(probeNode); err != nil {
-		return nil, err
-	}
-	if it.build, err = v.build(hashNode); err != nil {
-		return nil, err
-	}
 	if it.probeKeyOrds = keyOrdinals(probeKeyExprs, probeNode.Schema); it.probeKeyOrds == nil {
 		if it.probeKeys, err = bindExprs(probeKeyExprs, probeNode.Schema, v.e.subquery); err != nil {
 			return nil, err
@@ -136,6 +154,14 @@ func hashRowKeys(r storage.Row, ords []int, keys []boundExpr, dst []datum.D, env
 }
 
 func (it *hashJoinVec) Open() error {
+	if it.shared != nil {
+		// Prebuilt by the exchange before workers started; adopt read-only.
+		it.entries, it.keyArena, it.table = it.shared.entries, it.shared.keyArena, it.shared.table
+		it.curBatch, it.pi = nil, 0
+		it.probeRow, it.bucket, it.bi = nil, nil, 0
+		it.probing = false
+		return it.probe.Open()
+	}
 	if err := it.build.Open(); err != nil {
 		return err
 	}
@@ -265,8 +291,10 @@ func (it *hashJoinVec) NextBatch() ([]storage.Row, error) {
 
 func (it *hashJoinVec) Close() error {
 	err := it.probe.Close()
-	if err2 := it.build.Close(); err == nil {
-		err = err2
+	if it.build != nil {
+		if err2 := it.build.Close(); err == nil {
+			err = err2
+		}
 	}
 	return err
 }

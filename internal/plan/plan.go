@@ -44,6 +44,16 @@ const (
 	// Unlike the other actuals it varies run to run, so it is excluded
 	// from the canonical serialization (and therefore from cache keys).
 	AttrTimeMs = "timems"
+	// AttrWorkers is the degree of parallelism an operator actually ran
+	// with, set only when >= 2 (a morsel-parallel driver scan). It is
+	// deterministic for a given plan and configuration, so unlike
+	// AttrTimeMs it participates in the canonical serialization.
+	AttrWorkers = "workers"
+	// AttrWorkersWanted is the degree of parallelism the engine's DOP
+	// policy would have chosen from the operator's actual row count, set
+	// only when a cardinality under-estimate made the run use fewer
+	// workers than warranted.
+	AttrWorkersWanted = "workerswanted"
 )
 
 // Node is one operator of a vendor-neutral QEP tree.

@@ -80,6 +80,12 @@ type Request struct {
 	Options Options `json:"options,omitempty"`
 	// MaxRows caps echoed result rows for query ops (see QueryRequest).
 	MaxRows int `json:"max_rows,omitempty"`
+	// MaxParallelism caps the degree of intra-query parallelism for query
+	// ops, below the server's engine configuration. It can only lower the
+	// cap: 0 leaves the server setting in force, 1 forces serial execution,
+	// values at or above the configured cap are no-ops, and negative values
+	// are rejected as bad requests.
+	MaxParallelism int `json:"max_parallelism,omitempty"`
 
 	// TimeoutMs tightens the per-request deadline below the server default;
 	// 0 means the server default, values above it are clamped.

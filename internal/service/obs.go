@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"lantern/internal/core"
+	"lantern/internal/engine"
 	"lantern/internal/obs"
 	"lantern/internal/plan"
 )
@@ -63,8 +64,11 @@ func (s *Server) finishRequest(resp *Response, req *Request, elapsed time.Durati
 // tree as AttrActualRows/AttrLoops/AttrTimeMs — under parent as
 // pre-measured "op:<Name>" spans mirroring the plan shape. The trace
 // therefore reports exactly what the instrumentation measured; no second
-// clock is involved.
-func attachOperatorSpans(parent *obs.Span, n *plan.Node) {
+// clock is involved. en and st walk the engine's physical plan in lockstep
+// with the bridged tree (ToPlanNodeStats preserves shape) so operators
+// that ran morsel-parallel grow one "worker:<i>" child span per worker,
+// carrying that worker's row share and busy time.
+func attachOperatorSpans(parent *obs.Span, n *plan.Node, en *engine.Node, st engine.ExecStats) {
 	if parent == nil || n == nil {
 		return
 	}
@@ -79,8 +83,23 @@ func attachOperatorSpans(parent *obs.Span, n *plan.Node) {
 	if loops := n.Attr(plan.AttrLoops); loops != "" {
 		sp.SetAttr("loops", loops)
 	}
-	for _, c := range n.Children {
-		attachOperatorSpans(sp, c)
+	if workers := n.Attr(plan.AttrWorkers); workers != "" {
+		sp.SetAttr("workers", workers)
+	}
+	if en != nil && st != nil {
+		if os := st[en]; os != nil {
+			for i, w := range os.PerWorker {
+				ws := sp.Add("worker:"+strconv.Itoa(i), w.Time)
+				ws.SetAttr("rows", strconv.FormatInt(w.Rows, 10))
+			}
+		}
+	}
+	for i, c := range n.Children {
+		var ec *engine.Node
+		if en != nil && i < len(en.Children) {
+			ec = en.Children[i]
+		}
+		attachOperatorSpans(sp, c, ec, st)
 	}
 }
 

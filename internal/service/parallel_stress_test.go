@@ -1,0 +1,205 @@
+package service
+
+// Stress tests for morsel-parallel execution behind the serving layer:
+// many concurrent queries, each fanning out into intra-query workers,
+// racing POOL mutations of the native operator descriptions — the
+// /v2/query vs /v1/pool race with the engine's exchange operators in the
+// loop. Runs under -race in CI alongside the narrate stress test.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lantern/internal/datasets"
+	"lantern/internal/engine"
+	"lantern/internal/pool"
+)
+
+// newParallelTestServer builds a server whose engine parallelizes even the
+// small test tables: TPC-H scale 0.01 has 150 orders, so 16 rows per
+// worker drives every order scan to the 4-worker cap.
+func newParallelTestServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	ecfg := engine.DefaultConfig()
+	ecfg.MaxQueryParallelism = 4
+	ecfg.ParallelRowsPerWorker = 16
+	eng := engine.New(ecfg)
+	if err := datasets.LoadTPCH(eng, 0.01, 1); err != nil {
+		t.Fatalf("loading tpch: %v", err)
+	}
+	srv := NewServer(eng, pool.NewSeededStore(), cfg)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestStressParallelQueriesRacePoolMutations: concurrent query requests —
+// each executing with intra-query worker parallelism, under a spread of
+// per-request max_parallelism hints — race a writer mutating the native
+// scan description through POOL. Row counts must stay pinned to the
+// serial answer for every request, and after the writer finishes the
+// narration must converge to the final epoch.
+func TestStressParallelQueriesRacePoolMutations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	srv := newParallelTestServer(t, Config{Workers: 4, QueueDepth: 256})
+	ctx := context.Background()
+
+	queries := []string{
+		"SELECT o_orderstatus, COUNT(*) FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus",
+		"SELECT o_orderkey FROM orders WHERE o_totalprice > 1000 ORDER BY o_orderkey",
+		`SELECT c.c_mktsegment, COUNT(*) FROM customer c, orders o
+			WHERE c.c_custkey = o.o_custkey GROUP BY c.c_mktsegment ORDER BY c.c_mktsegment`,
+	}
+
+	// Pin the expected cardinality of each query with a forced-serial run
+	// before any concurrency starts.
+	want := make(map[string]int, len(queries))
+	for _, q := range queries {
+		resp, err := srv.Query(ctx, &QueryRequest{SQL: q, MaxParallelism: 1})
+		if err != nil {
+			t.Fatalf("serial baseline %q: %v", q, err)
+		}
+		if resp.RowCount == 0 {
+			t.Fatalf("serial baseline %q returned no rows", q)
+		}
+		want[q] = resp.RowCount
+	}
+
+	mutate := func(v int) {
+		stmt := fmt.Sprintf(
+			`UPDATE native SET desc = 'scan $R1$ in epoch-%d while filtering on $cond$' WHERE name = 'seqscan'`, v)
+		if _, err := srv.Store().Exec(stmt); err != nil {
+			t.Errorf("mutation %d: %v", v, err)
+		}
+	}
+	mutate(0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := r; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := queries[i%len(queries)]
+				// Hints 0..4 cycle through "server default", forced serial,
+				// and every intermediate cap.
+				resp, err := srv.Query(ctx, &QueryRequest{SQL: q, MaxParallelism: i % 5})
+				if err != nil {
+					if errors.Is(err, ErrOverloaded) {
+						continue
+					}
+					t.Errorf("reader %d %q: %v", r, q, err)
+					return
+				}
+				if resp.RowCount != want[q] {
+					t.Errorf("reader %d %q: RowCount = %d, want %d (hint %d)",
+						r, q, resp.RowCount, want[q], i%5)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writer: flip epochs while the readers hammer; each epoch must become
+	// observable (no stale narration survives invalidation).
+	const rounds = 20
+	probe := queries[1] // plain filtered scan — narrates through seqscan
+	for v := 1; v <= rounds; v++ {
+		mutate(v)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if time.Now().After(deadline) {
+				t.Fatalf("epoch-%d never observed after its mutation committed", v)
+			}
+			resp, err := srv.Query(ctx, &QueryRequest{SQL: probe})
+			if err != nil {
+				if errors.Is(err, ErrOverloaded) {
+					continue
+				}
+				t.Fatalf("probe: %v", err)
+			}
+			if strings.Contains(resp.Text, fmt.Sprintf("epoch-%d ", v)) {
+				break
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Quiescent: final epoch everywhere, counts still pinned.
+	for _, q := range queries {
+		resp, err := srv.Query(ctx, &QueryRequest{SQL: q})
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if resp.RowCount != want[q] {
+			t.Errorf("%q: final RowCount = %d, want %d", q, resp.RowCount, want[q])
+		}
+		if !strings.Contains(resp.Text, fmt.Sprintf("epoch-%d ", rounds)) {
+			t.Errorf("%q: final narration not at epoch-%d:\n%s", q, rounds, resp.Text)
+		}
+	}
+}
+
+// TestStreamParallelClientAbortDrainsWorkers: a client abandoning a
+// parallel streaming query mid-stream must not leak exchange workers or
+// poison the session for the next request. The abort is the OnRow
+// callback failing — exactly what a dropped HTTP connection looks like to
+// the handler.
+func TestStreamParallelClientAbortDrainsWorkers(t *testing.T) {
+	srv := newParallelTestServer(t, Config{})
+	ctx := context.Background()
+	const q = "SELECT o_orderkey, o_totalprice FROM orders ORDER BY o_orderkey"
+
+	before := runtime.NumGoroutine()
+	sentinel := errors.New("client went away")
+	for i := 0; i < 5; i++ {
+		rows := 0
+		_, err := srv.QueryStream(ctx, &QueryRequest{SQL: q}, StreamCallbacks{
+			OnRow: func(row []string) error {
+				rows++
+				if rows >= 3 {
+					return sentinel
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("abort %d: err = %v, want the client sentinel", i, err)
+		}
+	}
+
+	// The exchange workers behind each abandoned stream must exit; give
+	// the scheduler a moment, then require the goroutine count back at
+	// (or below) the pre-test level.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked by abandoned parallel streams: %d before, %d after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The session returned to the pool must still execute cleanly.
+	resp, err := srv.QueryStream(ctx, &QueryRequest{SQL: q}, StreamCallbacks{})
+	if err != nil {
+		t.Fatalf("stream after aborts: %v", err)
+	}
+	if resp.RowCount != 150 {
+		t.Fatalf("RowCount after aborts = %d, want 150", resp.RowCount)
+	}
+}

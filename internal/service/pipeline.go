@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"time"
 
@@ -305,6 +306,9 @@ func validateQuery(s *Server, r *Request) error {
 	if strings.TrimSpace(r.SQL) == "" {
 		return fmt.Errorf("%w: sql must not be empty", ErrBadRequest)
 	}
+	if r.MaxParallelism < 0 {
+		return fmt.Errorf("%w: max_parallelism must not be negative (0 means the server default)", ErrBadRequest)
+	}
 	if s.sessions == nil {
 		return fmt.Errorf("%w: server has no embedded engine; query is unavailable", ErrBadRequest)
 	}
@@ -401,7 +405,7 @@ func (s *Server) execQuery(ctx context.Context, r *Request) (*QueryResponse, err
 		return nil, err
 	}
 	spRun := r.tr.Start("run_sql")
-	qr, err := sess.QueryInstrumented(r.SQL)
+	qr, err := capParallelism(sess, r.MaxParallelism).QueryInstrumented(r.SQL)
 	spRun.End()
 	s.sessions.Release(sess)
 	if err != nil {
@@ -412,8 +416,9 @@ func (s *Server) execQuery(ctx context.Context, r *Request) (*QueryResponse, err
 	fp, ops := PlanFingerprint(tree, r.Options)
 	sp.End()
 	// The operator spans hang off run_sql — that is when they executed —
-	// with the durations/rows/loops the iterator instrumentation measured.
-	attachOperatorSpans(spRun, tree)
+	// with the durations/rows/loops the iterator instrumentation measured,
+	// plus one child span per parallel worker on morsel-driven operators.
+	attachOperatorSpans(spRun, tree, qr.Plan, qr.Stats)
 
 	resp := &QueryResponse{
 		Dialect:     tree.Source,
@@ -484,4 +489,28 @@ func (s *Server) acquireSession(ctx context.Context) (*engine.Engine, error) {
 		return nil, ErrClosed
 	}
 	return sess, err
+}
+
+// capParallelism returns the engine session a query should run on: the
+// pooled session itself when the envelope hint does not lower the DOP cap,
+// or a per-request session copy with the cap lowered to the hint. The hint
+// can only lower parallelism — a server configured serial stays serial —
+// and the pooled session is what gets released back to the pool either way.
+func capParallelism(sess *engine.Engine, hint int) *engine.Engine {
+	if hint <= 0 {
+		return sess
+	}
+	cur := sess.Cfg.MaxQueryParallelism
+	switch {
+	case cur < 0:
+		return sess // already forced serial; the hint cannot raise it
+	case cur == 0:
+		cur = runtime.GOMAXPROCS(0)
+	}
+	if hint >= cur {
+		return sess
+	}
+	run := sess.Session()
+	run.Cfg.MaxQueryParallelism = hint
+	return run
 }

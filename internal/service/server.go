@@ -133,6 +133,10 @@ type QueryRequest struct {
 	// path interprets it as the emitted-row cap with no default (see
 	// Server.QueryStream).
 	MaxRows int `json:"max_rows,omitempty"`
+	// MaxParallelism caps intra-query parallelism below the server's
+	// engine configuration (see Request.MaxParallelism): 0 is the server
+	// default, 1 forces serial, negative is rejected.
+	MaxParallelism int `json:"max_parallelism,omitempty"`
 }
 
 // QueryResponse is the narration of an executed query plus its runtime
@@ -484,10 +488,11 @@ func (s *Server) QA(ctx context.Context, req *QARequest) (*QAResponse, error) {
 // independent pooled engine sessions.
 func (s *Server) Query(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
 	resp, err := s.Do(ctx, &Request{
-		Op:      OpQuery,
-		SQL:     req.SQL,
-		Options: req.Options,
-		MaxRows: req.MaxRows,
+		Op:             OpQuery,
+		SQL:            req.SQL,
+		Options:        req.Options,
+		MaxRows:        req.MaxRows,
+		MaxParallelism: req.MaxParallelism,
 	})
 	if err != nil {
 		return nil, err

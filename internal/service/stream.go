@@ -78,10 +78,11 @@ func (s *Server) DoStream(ctx context.Context, req *Request, cb StreamCallbacks)
 // QueryStream is the typed convenience over DoStream, mirroring Query.
 func (s *Server) QueryStream(ctx context.Context, req *QueryRequest, cb StreamCallbacks) (*QueryResponse, error) {
 	resp, err := s.DoStream(ctx, &Request{
-		Op:      OpQuery,
-		SQL:     req.SQL,
-		Options: req.Options,
-		MaxRows: req.MaxRows,
+		Op:             OpQuery,
+		SQL:            req.SQL,
+		Options:        req.Options,
+		MaxRows:        req.MaxRows,
+		MaxParallelism: req.MaxParallelism,
 	}, cb)
 	if err != nil {
 		return nil, err
@@ -112,7 +113,7 @@ func (s *Server) queryStream(ctx context.Context, req *Request, cb StreamCallbac
 	}
 	defer s.sessions.Release(sess)
 
-	q, err := sess.QueryStreamInstrumented(req.SQL)
+	q, err := capParallelism(sess, req.MaxParallelism).QueryStreamInstrumented(req.SQL)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
