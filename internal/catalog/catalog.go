@@ -7,8 +7,13 @@
 // (including the analyze-on-demand path), and DDL are serialized by an
 // internal RWMutex, so independent engine sessions sharing one catalog can
 // plan concurrently (the serving layer's session pool relies on this).
-// Row storage is not covered by the lock — concurrent reads of a table are
-// safe, but DML must be externally synchronized against readers.
+// Row storage carries its own synchronization: tables publish immutable
+// snapshots, so statistics computation never races concurrent DML.
+//
+// Statistics are derived from the segment metadata storage already
+// maintains — zone maps give min/max/null counts per sealed segment and
+// per-segment distinct sketches merge into exact distinct counts — so
+// ANALYZE touches only the unsealed tail rows, not the whole heap.
 package catalog
 
 import (
@@ -120,12 +125,33 @@ func (c *Catalog) analyzeLocked(name string) error {
 	if !ok {
 		return fmt.Errorf("catalog: relation %q does not exist", name)
 	}
-	ts := &TableStats{RowCount: len(t.Rows), Columns: make(map[string]ColumnStats, len(t.Columns))}
+	snap := t.Snapshot()
+	total := snap.NumRows()
+	tail := snap.Tail()
+	ts := &TableStats{RowCount: total, Columns: make(map[string]ColumnStats, len(t.Columns))}
 	for i, col := range t.Columns {
 		seen := make(map[string]struct{})
 		nulls := 0
 		min, max := datum.Null, datum.Null
-		for _, r := range t.Rows {
+		// Sealed segments: fold precomputed zone maps and distinct sketches
+		// instead of rescanning rows.
+		for _, seg := range snap.Segments() {
+			zm := seg.Zone(i)
+			nulls += zm.NullCount
+			if !zm.Min.IsNull() {
+				if min.IsNull() || datum.Compare(zm.Min, min) < 0 {
+					min = zm.Min
+				}
+				if max.IsNull() || datum.Compare(zm.Max, max) > 0 {
+					max = zm.Max
+				}
+			}
+			for _, k := range seg.DistinctKeys(i) {
+				seen[k] = struct{}{}
+			}
+		}
+		// Unsealed tail: the only rows that still need a scan.
+		for _, r := range tail {
 			v := r[i]
 			if v.IsNull() {
 				nulls++
@@ -140,8 +166,8 @@ func (c *Catalog) analyzeLocked(name string) error {
 			}
 		}
 		cs := ColumnStats{Distinct: len(seen), Min: min, Max: max}
-		if len(t.Rows) > 0 {
-			cs.NullFraction = float64(nulls) / float64(len(t.Rows))
+		if total > 0 {
+			cs.NullFraction = float64(nulls) / float64(total)
 		}
 		ts.Columns[col.Name] = cs
 	}
@@ -161,7 +187,7 @@ func (c *Catalog) Stats(name string) (*TableStats, error) {
 	if !ok {
 		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
 	}
-	if s != nil && s.RowCount == len(t.Rows) {
+	if s != nil && s.RowCount == t.RowCount() {
 		return s, nil
 	}
 	c.mu.Lock()
@@ -169,7 +195,7 @@ func (c *Catalog) Stats(name string) (*TableStats, error) {
 	// Re-check under the write lock: a concurrent Stats call may have
 	// analyzed the table while we were waiting.
 	if s := c.stats[name]; s != nil {
-		if t, ok := c.tables[name]; ok && s.RowCount == len(t.Rows) {
+		if t, ok := c.tables[name]; ok && s.RowCount == t.RowCount() {
 			return s, nil
 		}
 	}

@@ -229,6 +229,16 @@ func ActualsClause(p *plan.Node) string {
 	if workers := p.Attr(plan.AttrWorkers); workers != "" {
 		fmt.Fprintf(&sb, " using %s parallel workers", workers)
 	}
+	if segs := p.Attr(plan.AttrSegments); segs != "" {
+		// Zone-map pruning is worth narrating even when nothing was
+		// skipped: "0 of N pruned" teaches that the storage layout offered
+		// the optimization and the predicate could not use it.
+		pruned := p.Attr(plan.AttrSegmentsPruned)
+		if pruned == "" {
+			pruned = "0"
+		}
+		fmt.Fprintf(&sb, ", skipping %s of %s storage segments via zone maps", pruned, segs)
+	}
 	if note := misEstimateNote(p.Rows, perLoop); note != "" {
 		sb.WriteString("; ")
 		sb.WriteString(note)

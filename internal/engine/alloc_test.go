@@ -325,6 +325,74 @@ func TestVecLimitShortCircuitAllocs(t *testing.T) {
 	}
 }
 
+// TestVecScanZonePruneAllocs: skipping a refuted segment costs only the
+// zone-map comparison — no allocation. The table spans ~40 sealed
+// segments, the predicate refutes every one of them, and a full
+// Open-to-exhaustion pass must stay at zero steady-state allocations: a
+// regression that allocates per skipped segment overshoots the bound
+// forty-fold.
+func TestVecScanZonePruneAllocs(t *testing.T) {
+	e := New(DefaultConfig())
+	if _, err := e.Exec("CREATE TABLE pr (id INT, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Cat.Table("pr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetSegmentCapacity(256); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for base := 0; base < 10_000; base += 500 {
+		sb.Reset()
+		sb.WriteString("INSERT INTO pr VALUES ")
+		for i := base; i < base+500; i++ {
+			if i > base {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, i%1000)
+		}
+		if _, err := e.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	plan, err := e.PlanSQL("SELECT id FROM pr WHERE v > 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := e.buildVec(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, ok := it.(*seqScanVec)
+	if !ok {
+		t.Fatalf("vectorized plan root = %T, want *seqScanVec", it)
+	}
+	if !scan.prune {
+		t.Fatal("zone pruning disabled on default config")
+	}
+	defer it.Close()
+	avg := testing.AllocsPerRun(50, func() {
+		if err := it.Open(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, err := it.NextBatch()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b != nil {
+				t.Fatalf("prune-everything scan emitted %d rows", len(b))
+			}
+			break
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("pruned scan allocates %.2f allocs/run across ~40 skipped segments, want 0", avg)
+	}
+}
+
 // TestTopKPushAllocs: once the heap is full, pushing rows — whether they
 // displace the current worst or are dropped — allocates nothing.
 func TestTopKPushAllocs(t *testing.T) {

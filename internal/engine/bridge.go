@@ -78,6 +78,12 @@ type OpStats struct {
 	// PerWorker is the per-worker rows/busy-time breakdown of a parallel
 	// driver scan, indexed by worker id.
 	PerWorker []WorkerStat
+	// SegsScanned and SegsPruned count the sealed column segments a
+	// sequential scan examined versus skipped outright via zone maps
+	// (totals across loops and workers). Both stay 0 for tables whose rows
+	// all live in the unsealed tail, and for non-scan operators.
+	SegsScanned int64
+	SegsPruned  int64
 }
 
 // WorkerStat is one worker's share of a parallel operator's work.
@@ -126,7 +132,7 @@ func (e *Engine) ExecPlanInstrumented(n *Node) ([]storage.Row, ExecStats, error)
 		return e.execPlanInstrumentedVec(n, sh)
 	}
 	st := make(ExecStats)
-	b := &ibuild{e: e, wrap: func(pn *Node, it rowIter) rowIter {
+	b := &ibuild{e: e, stats: st.get, wrap: func(pn *Node, it rowIter) rowIter {
 		return &instrIter{child: it, st: st.get(pn)}
 	}}
 	it, err := b.build(n)
@@ -320,6 +326,13 @@ func ToPlanNodeStats(n *Node, st ExecStats) *plan.Node {
 		}
 		if os.WantedWorkers > os.Workers && os.WantedWorkers >= 2 {
 			p.SetAttr(plan.AttrWorkersWanted, strconv.FormatInt(os.WantedWorkers, 10))
+		}
+		// Segment attributes only appear once a scan has seen a sealed
+		// segment: tables living entirely in the row-major tail keep
+		// pre-segment plan texts.
+		if os.SegsScanned+os.SegsPruned > 0 {
+			p.SetAttr(plan.AttrSegments, strconv.FormatInt(os.SegsScanned+os.SegsPruned, 10))
+			p.SetAttr(plan.AttrSegmentsPruned, strconv.FormatInt(os.SegsPruned, 10))
 		}
 	}
 	for _, c := range n.Children {

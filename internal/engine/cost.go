@@ -188,8 +188,18 @@ func clampSel(s float64) float64 {
 
 // --- Operator cost formulas ----------------------------------------------
 
-func seqScanCost(rows float64) float64 {
-	return rows * (seqTupleCost + cpuTupleCost)
+// seqScanCost prices a sequential scan. pruneFrac is the predicted
+// fraction of heap rows that zone-map pruning lets the scan skip without
+// reading (0 when the table is tail-only, the filter is not prunable, or
+// pruning is disabled): skipped rows cost neither the page fetch nor the
+// per-tuple predicate check.
+func seqScanCost(rows, pruneFrac float64) float64 {
+	if pruneFrac < 0 {
+		pruneFrac = 0
+	} else if pruneFrac > 1 {
+		pruneFrac = 1
+	}
+	return rows * (1 - pruneFrac) * (seqTupleCost + cpuTupleCost)
 }
 
 func indexScanCost(tableRows, matchRows float64) float64 {

@@ -19,8 +19,8 @@
 //	}
 //
 // NextBatch returns up to batchSize (1024) rows per call, never an empty
-// batch; nil signals end of stream. Scans slice the table heap directly
-// (an unfiltered chunk is a zero-copy subslice) and run compiled
+// batch; nil signals end of stream. Scans slice storage-owned row memory
+// directly (an unfiltered chunk is a zero-copy subslice) and run compiled
 // predicates over whole chunks in tight typed loops; the hash join packs
 // joined rows into a per-batch flat datum arena (one allocation per
 // output batch instead of one per row); sort keeps the bounded top-K heap
@@ -46,14 +46,62 @@
 // pipeline one row at a time through vecToRow without buffering whole
 // results.
 //
+// # Columnar scans and zone-map pruning
+//
+// The storage layer (internal/storage) keeps each table as immutable
+// column-major sealed segments plus a row-major mutable tail, and every
+// scan — vectorized, row-stream, parallel, reference — operates a
+// Snapshot taken at Open. The scan contract against that layout:
+//
+//   - A Snapshot is a stable point-in-time view: concurrent INSERTs,
+//     UPDATEs, DELETEs, and CreateIndex calls never change what an open
+//     scan observes, and no external synchronization between readers and
+//     writers is required. Rescans (re-Open) take a fresh snapshot.
+//   - Sealed segments are scanned segment-at-a-time. Before any row is
+//     touched, the compiled predicate (a zonePruner, vexpr.go) is checked
+//     against the segment's per-column zone maps; a refuted segment is
+//     skipped wholesale — zero rows read, zero allocations — and counted
+//     in OpStats.SegsPruned. Surviving segments run the predicate as a
+//     typed loop directly over the column vectors (a segSelector walking
+//     Int64/Float64/String storage with the null bitmap), and only the
+//     qualifying row indices are late-materialized, as aliases into the
+//     segment's retained row-major form — so downstream operators see
+//     ordinary rows and the mutation/retention rules below are unchanged.
+//   - Pruning is proven conservative: a segment is skipped only when the
+//     zone map refutes the predicate under the same datum.Compare total
+//     order the row-level verdicts use, so a pruned segment can never
+//     contain a surviving row. The differential pruning corpus
+//     (pruning_diff_test.go) pins all four executors identical across
+//     segment-boundary literals, all-NULL segments, NULL-literal
+//     comparisons, and prune-everything predicates.
+//   - The unsealed tail has no zone maps and is scanned row-at-a-time via
+//     the ordinary selectInto path; tables smaller than one segment
+//     therefore behave exactly as the previous row-major heap did, and
+//     their plans carry no segment attributes at all.
+//
+// Scans report SegsScanned/SegsPruned through OpStats; bridged plans
+// expose them as the "segments"/"segspruned" attrs, the narrator turns
+// them into the "skipping N of M storage segments via zone maps"
+// callout, and trace spans and the slow-query log carry the same totals.
+// The planner consumes zone maps at plan time too: seqScanCost charges
+// only the fraction of rows whose segments the compiled predicate cannot
+// refute (predictedPruneFraction), so a clustered predicate's seq scan
+// is costed — and chosen — accordingly. Config.DisableZonePruning is the
+// ablation knob: it disables segment skipping and the planner's prune
+// costing (results are pinned unchanged), leaving the typed-loop gains
+// in place.
+//
 // # Morsel-driven parallelism
 //
 // Plans whose estimated driver cardinality justifies it execute with
 // intra-query parallelism (parallel.go), morsel-at-a-time in the style
-// of HyPer: the driving base-table scan is split into fixed-size morsels
-// (morselSize rows, lowered to Config.ParallelRowsPerWorker when that is
-// configured smaller) handed out by an atomic dispenser, and each worker
-// runs the ordinary vectorized pipeline over its morsels — operators
+// of HyPer: the driving base-table scan is split into morsels aligned to
+// the storage segments (at most morselSize rows each, lowered to
+// Config.ParallelRowsPerWorker when that is configured smaller; the tail
+// chunks the same way) handed out by an atomic dispenser, and each
+// worker runs the ordinary vectorized pipeline over its morsels — a
+// worker handed a zone-pruned segment's morsel skips it without reading
+// a row, so pruning composes with parallelism — operators
 // above the scan are unchanged; parallelism is purely a property of the
 // exchange at the root:
 //

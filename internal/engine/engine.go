@@ -46,6 +46,12 @@ type Config struct {
 	// (default 65536). Tests set it low to force parallelism on small
 	// tables.
 	ParallelRowsPerWorker int
+	// DisableZonePruning turns off zone-map segment skipping in sequential
+	// scans and the planner's prune-fraction scan costing. Results are
+	// unaffected — every segment is scanned through the same predicate
+	// loops. It exists for benchmarking the pruning win and as an escape
+	// hatch.
+	DisableZonePruning bool
 }
 
 // DefaultConfig enables every plan type.
@@ -324,7 +330,11 @@ func (e *Engine) runInsert(s *sqlparser.InsertStmt) (*Result, error) {
 		}
 	}
 	ctx := &evalCtx{sub: e.subquery}
-	n := 0
+	// Evaluate every VALUES row first, then hand the whole batch to
+	// storage in one call: validation happens once up front (an INSERT
+	// that fails leaves the table untouched) and the batch seals full
+	// segments as it fills instead of re-checking per row.
+	batch := make([]storage.Row, 0, len(s.Rows))
 	for _, exprRow := range s.Rows {
 		row := make(storage.Row, len(t.Columns))
 		for i := range row {
@@ -353,12 +363,12 @@ func (e *Engine) runInsert(s *sqlparser.InsertStmt) (*Result, error) {
 				row[i] = v
 			}
 		}
-		if err := t.Insert(row); err != nil {
-			return nil, err
-		}
-		n++
+		batch = append(batch, row)
 	}
-	return &Result{Affected: n}, nil
+	if err := t.InsertBatch(batch); err != nil {
+		return nil, err
+	}
+	return &Result{Affected: len(batch)}, nil
 }
 
 func (e *Engine) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {

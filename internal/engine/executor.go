@@ -99,7 +99,10 @@ func (e *Engine) execSeqScan(n *Node) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.filterRows(n, t.Rows)
+	// The reference oracle deliberately stays naive: materialize every row
+	// (segments and tail) and filter through the tree-walking evaluator —
+	// no zone maps, no typed loops — so it differentially checks both.
+	return e.filterRows(n, t.AllRows())
 }
 
 // execIndexScan derives the scan interval from the planned index condition
@@ -113,7 +116,8 @@ func (e *Engine) execIndexScan(n *Node) ([]storage.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	ix := t.Index(col)
+	snap := t.Snapshot()
+	ix := snap.Index(col)
 	if ix == nil {
 		return nil, fmt.Errorf("engine: planned index on %s.%s does not exist", n.Relation, col)
 	}
@@ -125,7 +129,7 @@ func (e *Engine) execIndexScan(n *Node) ([]storage.Row, error) {
 	}
 	rows := make([]storage.Row, 0, len(ids))
 	for _, id := range ids {
-		rows = append(rows, t.Rows[id])
+		rows = append(rows, snap.Row(id))
 	}
 	// Re-check the index condition too (cheap, and keeps multi-conjunct
 	// conditions exact when bounds only captured part of them).
@@ -567,12 +571,43 @@ func sortRows(e *Engine, rows []storage.Row, schema []colRef, keys []sortKey) ([
 	return out, nil
 }
 
-// aggState accumulates one aggregate within one group.
+// aggState accumulates one aggregate within one group. needs records
+// which folds this aggregate's finalize will read, so the per-row
+// accumulate skips the others — a SUM never pays the min/max compares.
 type aggState struct {
 	count    int64
+	needs    uint8
 	sum      datum.D
 	min, max datum.D
 	distinct map[string]bool
+}
+
+const (
+	aggNeedSum uint8 = 1 << iota
+	aggNeedMin
+	aggNeedMax
+)
+
+// aggNeeds maps an aggregate function to the folds it reads at finalize.
+// The count is always maintained (COUNT and AVG read it, and it is one
+// increment); unknown names conservatively keep everything.
+func aggNeeds(call *sqlparser.FuncCall) uint8 {
+	switch call.Name {
+	case "COUNT":
+		return 0
+	case "SUM", "AVG":
+		return aggNeedSum
+	case "MIN":
+		return aggNeedMin
+	case "MAX":
+		return aggNeedMax
+	}
+	return aggNeedSum | aggNeedMin | aggNeedMax
+}
+
+// newAggState returns the empty accumulator for one aggregate call.
+func newAggState(call *sqlparser.FuncCall) aggState {
+	return aggState{needs: aggNeeds(call), sum: datum.Null, min: datum.Null, max: datum.Null}
 }
 
 func (e *Engine) execAggregate(n *Node) ([]storage.Row, error) {
@@ -606,7 +641,8 @@ func (e *Engine) execAggregate(n *Node) ([]storage.Row, error) {
 		if !ok {
 			g = &group{keyVals: keyVals, states: make([]*aggState, len(n.Aggs))}
 			for i := range g.states {
-				g.states[i] = &aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+				st := newAggState(n.Aggs[i].Call)
+				g.states[i] = &st
 				if n.Aggs[i].Call.Distinct {
 					g.states[i].distinct = make(map[string]bool)
 				}
@@ -625,7 +661,8 @@ func (e *Engine) execAggregate(n *Node) ([]storage.Row, error) {
 	if len(n.GroupKeys) == 0 && len(groups) == 0 {
 		g := &group{states: make([]*aggState, len(n.Aggs))}
 		for i := range g.states {
-			g.states[i] = &aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+			st := newAggState(n.Aggs[i].Call)
+			g.states[i] = &st
 		}
 		groups[""] = g
 		order = append(order, "")
@@ -683,7 +720,7 @@ func accumulateDatum(st *aggState, v datum.D) error {
 		st.distinct[key] = true
 	}
 	st.count++
-	if v.IsNumeric() {
+	if st.needs&aggNeedSum != 0 && v.IsNumeric() {
 		if st.sum.IsNull() {
 			st.sum = v
 		} else {
@@ -694,10 +731,10 @@ func accumulateDatum(st *aggState, v datum.D) error {
 			st.sum = sum
 		}
 	}
-	if st.min.IsNull() || datum.Compare(v, st.min) < 0 {
+	if st.needs&aggNeedMin != 0 && (st.min.IsNull() || datum.Compare(v, st.min) < 0) {
 		st.min = v
 	}
-	if st.max.IsNull() || datum.Compare(v, st.max) > 0 {
+	if st.needs&aggNeedMax != 0 && (st.max.IsNull() || datum.Compare(v, st.max) > 0) {
 		st.max = v
 	}
 	return nil

@@ -82,6 +82,11 @@ type ibuild struct {
 	e     *Engine
 	wrap  func(n *Node, it rowIter) rowIter
 	child func(n *Node) (rowIter, error)
+	// stats, when non-nil, returns the shared OpStats slot for a node;
+	// scans use it to record segment-level accounting (scanned vs pruned)
+	// that per-row wrapping cannot observe. Set together with wrap by the
+	// instrumented runner; nil on the normal path.
+	stats func(n *Node) *OpStats
 }
 
 // build constructs the iterator for n and applies the wrap hook, if any.
@@ -136,11 +141,25 @@ func (b *ibuild) buildOp(n *Node) (rowIter, error) {
 
 // --- Scans -----------------------------------------------------------------
 
+// seqScanIter walks the sealed segments and then the tail row-at-a-time.
+// Filtered scans still consult zone maps: a compiled pruner (the same
+// specialization vexpr.go gives the batch pipeline) refutes whole segments
+// before any row is touched, so EXPLAIN ANALYZE's serial row pipeline
+// reports the identical segments-scanned/segments-pruned accounting as the
+// batch path. Row-level filtering stays on the bound closure.
 type seqScanIter struct {
-	rows   []storage.Row
+	snap   storage.Snapshot
 	filter boundExpr // nil when unfiltered
+	pruner vecPred   // compiled for zone-map checks only; nil when no filter
+	prune  bool
+	st     *OpStats
 	env    rowEnv
-	pos    int
+
+	cur      []storage.Row
+	seg      int
+	pos      int
+	tailDone bool
+	done     bool
 }
 
 func (b *ibuild) newSeqScanIter(n *Node) (*seqScanIter, error) {
@@ -148,9 +167,15 @@ func (b *ibuild) newSeqScanIter(n *Node) (*seqScanIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	it := &seqScanIter{rows: t.Rows}
+	it := &seqScanIter{snap: t.Snapshot(), prune: !b.e.Cfg.DisableZonePruning}
+	if b.stats != nil {
+		it.st = b.stats(n)
+	}
 	if n.Filter != nil {
 		if it.filter, err = bindExpr(n.Filter, n.Schema, b.e.subquery); err != nil {
+			return nil, err
+		}
+		if it.pruner, err = compileVecPred(n.Filter, n.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
 	}
@@ -158,13 +183,56 @@ func (b *ibuild) newSeqScanIter(n *Node) (*seqScanIter, error) {
 }
 
 func (it *seqScanIter) Open() error {
-	it.pos = 0
+	it.cur = nil
+	it.seg, it.pos = 0, 0
+	it.tailDone, it.done = false, false
+	it.advance()
 	return nil
 }
 
+// advance moves to the next run of rows: the next sealed segment surviving
+// zone-map pruning, then the tail, then end-of-stream.
+func (it *seqScanIter) advance() {
+	segs := it.snap.Segments()
+	for it.seg < len(segs) {
+		s := segs[it.seg]
+		it.seg++
+		if it.prune && it.pruner != nil && segPruned(it.pruner, s) {
+			it.noteSeg(true)
+			continue
+		}
+		it.noteSeg(false)
+		it.cur, it.pos = s.Rows(), 0
+		return
+	}
+	if !it.tailDone {
+		it.tailDone = true
+		it.cur, it.pos = it.snap.Tail(), 0
+		return
+	}
+	it.done = true
+}
+
+// noteSeg records segment accounting. The row pipeline is serial, so plain
+// increments suffice.
+func (it *seqScanIter) noteSeg(pruned bool) {
+	if it.st == nil {
+		return
+	}
+	if pruned {
+		it.st.SegsPruned++
+	} else {
+		it.st.SegsScanned++
+	}
+}
+
 func (it *seqScanIter) Next() (storage.Row, bool, error) {
-	for it.pos < len(it.rows) {
-		r := it.rows[it.pos]
+	for !it.done {
+		if it.pos >= len(it.cur) {
+			it.advance()
+			continue
+		}
+		r := it.cur[it.pos]
 		it.pos++
 		if it.filter == nil {
 			return r, true, nil
@@ -186,7 +254,7 @@ func (it *seqScanIter) Close() error { return nil }
 type indexScanIter struct {
 	eng     *Engine
 	n       *Node
-	heap    []storage.Row
+	snap    storage.Snapshot
 	recheck boundExpr // index condition ∧ residual filter
 	env     rowEnv
 	ids     []int
@@ -194,16 +262,16 @@ type indexScanIter struct {
 }
 
 func (b *ibuild) newIndexScanIter(n *Node) (*indexScanIter, error) {
-	t, err := b.e.Cat.Table(n.Relation)
-	if err != nil {
+	if _, err := b.e.Cat.Table(n.Relation); err != nil {
 		return nil, err
 	}
 	// Re-check the full index condition alongside the residual filter
 	// (cheap, and keeps multi-conjunct conditions exact when the scan
 	// bounds only captured part of them) — mirrors the reference executor.
 	combined := sqlparser.JoinConjuncts(append(sqlparser.SplitConjuncts(n.IndexCond), sqlparser.SplitConjuncts(n.Filter)...))
-	it := &indexScanIter{eng: b.e, n: n, heap: t.Rows}
+	it := &indexScanIter{eng: b.e, n: n}
 	if combined != nil {
+		var err error
 		if it.recheck, err = bindExpr(combined, n.Schema, b.e.subquery); err != nil {
 			return nil, err
 		}
@@ -216,11 +284,12 @@ func (it *indexScanIter) Open() error {
 	if err != nil {
 		return err
 	}
+	it.snap = t.Snapshot()
 	col, lo, hi, incLo, incHi, eq, hasEq, err := indexBounds(it.n.IndexCond)
 	if err != nil {
 		return err
 	}
-	ix := t.Index(col)
+	ix := it.snap.Index(col)
 	if ix == nil {
 		return fmt.Errorf("engine: planned index on %s.%s does not exist", it.n.Relation, col)
 	}
@@ -235,7 +304,7 @@ func (it *indexScanIter) Open() error {
 
 func (it *indexScanIter) Next() (storage.Row, bool, error) {
 	for it.pos < len(it.ids) {
-		r := it.heap[it.ids[it.pos]]
+		r := it.snap.Row(it.ids[it.pos])
 		it.pos++
 		if it.recheck == nil {
 			return r, true, nil
@@ -669,7 +738,7 @@ type mergeJoinIter struct {
 	nKeys        int
 	residual     boundExpr // pair-bound
 	outFilter    boundExpr // pair-bound
-	lEst, rEst   int // planner cardinality estimates, for preallocation
+	lEst, rEst   int       // planner cardinality estimates, for preallocation
 	lRows, rRows []storage.Row
 	lKeys, rKeys []datum.D
 	li, ri       int // next ungrouped positions
@@ -1177,7 +1246,7 @@ func (b *ibuild) newAggIter(n *Node) (*aggIter, error) {
 func (it *aggIter) newStates() []aggState {
 	states := make([]aggState, len(it.aggs))
 	for i := range states {
-		states[i] = aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		states[i] = newAggState(it.aggs[i].Call)
 		if it.aggs[i].Call.Distinct {
 			states[i].distinct = make(map[string]bool)
 		}

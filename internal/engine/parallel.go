@@ -269,64 +269,124 @@ func (e *Engine) activeParShape(root *Node) *parShape {
 
 // --- Morsel dispenser -------------------------------------------------------
 
-// morselDispenser hands out [lo, hi) heap ranges. One atomic add per grab
-// is the whole scheduling protocol; workers that finish a cheap morsel
-// simply grab the next, which is what load-balances skewed filters.
+// morsel is one unit of driver-scan work: a row range inside a sealed
+// segment (seg non-nil) or inside the unsealed tail (seg nil). Segments
+// are usually one morsel each — segment capacity and morsel size share the
+// same default — so zone-map pruning composes with parallel dispatch for
+// free: a worker that grabs a refuted segment drops it without touching a
+// row. When the configured morsel size is smaller than a segment, the
+// segment splits into sub-ranges; only the lo == 0 morsel carries the
+// segment's accounting so each segment counts once.
+type morsel struct {
+	seg    *storage.Segment // nil for a tail chunk
+	rows   []storage.Row    // the run lo/hi index into (segment rows or tail)
+	lo, hi int
+}
+
+// buildMorsels slices a table snapshot into morsels in table order, so
+// index-ordered merges reproduce the serial scan order exactly.
+func buildMorsels(snap storage.Snapshot, size int) []morsel {
+	var out []morsel
+	add := func(seg *storage.Segment, rows []storage.Row) {
+		for lo := 0; lo < len(rows); lo += size {
+			hi := lo + size
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			out = append(out, morsel{seg: seg, rows: rows, lo: lo, hi: hi})
+		}
+	}
+	for _, seg := range snap.Segments() {
+		add(seg, seg.Rows())
+	}
+	add(nil, snap.Tail())
+	return out
+}
+
+// morselDispenser hands out morsels. One atomic add per grab is the whole
+// scheduling protocol; workers that finish a cheap morsel (or drop a
+// pruned one) simply grab the next, which is what load-balances skewed
+// filters.
 type morselDispenser struct {
-	total int
-	size  int
-	count int
-	next  atomic.Int64
+	morsels []morsel
+	next    atomic.Int64
 }
 
-func newMorselDispenser(total, size int) *morselDispenser {
-	return &morselDispenser{total: total, size: size, count: (total + size - 1) / size}
+func newMorselDispenser(morsels []morsel) *morselDispenser {
+	return &morselDispenser{morsels: morsels}
 }
 
-func (d *morselDispenser) grab() (m, lo, hi int, ok bool) {
+func (d *morselDispenser) count() int { return len(d.morsels) }
+
+func (d *morselDispenser) grab() (m int, mo morsel, ok bool) {
 	i := int(d.next.Add(1)) - 1
-	if i >= d.count {
-		return 0, 0, 0, false
+	if i >= len(d.morsels) {
+		return 0, morsel{}, false
 	}
-	lo = i * d.size
-	hi = lo + d.size
-	if hi > d.total {
-		hi = d.total
-	}
-	return i, lo, hi, true
+	return i, d.morsels[i], true
 }
 
 // --- Worker-side scan -------------------------------------------------------
 
-// morselScanVec is seqScanVec restricted to the one [lo, hi) heap range the
-// worker was granted; setRange repositions it between morsels, Open is a
-// no-op so per-morsel pipeline restarts do not reset the range.
+// morselScanVec is seqScanVec restricted to the one morsel the worker was
+// granted; setMorsel repositions it (and makes the zone-map pruning
+// decision) between morsels, Open is a no-op so per-morsel pipeline
+// restarts do not reset the range.
 type morselScanVec struct {
+	pred  vecPred
+	prune bool
+	st    *OpStats // shared across workers; updated atomically
+	out   []storage.Row
+
+	seg      *storage.Segment
 	rows     []storage.Row
-	pred     vecPred
-	out      []storage.Row
 	pos, end int
+	skip     bool
 }
 
-func (it *morselScanVec) setRange(lo, hi int) { it.pos, it.end = lo, hi }
+// setMorsel points the scan at one morsel and consults the zone maps: a
+// refuted segment produces no batches at all. Segment accounting is
+// attributed to the lo == 0 morsel so split segments count once.
+func (it *morselScanVec) setMorsel(m morsel) {
+	it.seg, it.rows, it.pos, it.end = m.seg, m.rows, m.lo, m.hi
+	it.skip = m.seg != nil && it.prune && it.pred != nil && segPruned(it.pred, m.seg)
+	if it.st != nil && m.seg != nil && m.lo == 0 {
+		if it.skip {
+			atomic.AddInt64(&it.st.SegsPruned, 1)
+		} else {
+			atomic.AddInt64(&it.st.SegsScanned, 1)
+		}
+	}
+}
 
 func (it *morselScanVec) Open() error { return nil }
 
 func (it *morselScanVec) NextBatch() ([]storage.Row, error) {
+	if it.skip {
+		return nil, nil
+	}
 	for it.pos < it.end {
 		end := it.pos + batchSize
 		if end > it.end {
 			end = it.end
 		}
-		in := it.rows[it.pos:end]
+		lo := it.pos
 		it.pos = end
 		if it.pred == nil {
-			return in, nil
+			return it.rows[lo:end], nil
 		}
-		if cap(it.out) < len(in) {
-			it.out = make([]storage.Row, 0, len(in))
+		if cap(it.out) < end-lo {
+			it.out = make([]storage.Row, 0, end-lo)
 		}
-		out, err := it.pred.selectInto(it.out[:0], in)
+		var (
+			out []storage.Row
+			err error
+		)
+		if it.seg != nil {
+			out, err = segSelect(it.pred, it.out[:0], it.seg, lo, end)
+		} else {
+			out, err = it.pred.selectInto(it.out[:0], it.rows[lo:end])
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -531,16 +591,15 @@ func (x *exchangeVec) buildWorkerTree(v *vbuild, n *Node, w *parWorker) (vecIter
 	var it vecIter
 	switch {
 	case n == x.sh.driver:
-		ms := &morselScanVec{rows: nil} // heap resolved at Open
-		t, err := v.e.Cat.Table(n.Relation)
-		if err != nil {
-			return nil, err
-		}
-		ms.rows = t.Rows
+		ms := &morselScanVec{prune: !v.e.Cfg.DisableZonePruning}
 		if n.Filter != nil {
+			var err error
 			if ms.pred, err = compileVecPred(n.Filter, n.Schema, v.e.subquery); err != nil {
 				return nil, err
 			}
+		}
+		if v.stats != nil {
+			ms.st = v.stats(n)
 		}
 		w.scan = ms
 		it = ms
@@ -626,15 +685,14 @@ func (x *exchangeVec) Open() error {
 	if err != nil {
 		return err
 	}
-	heap := t.Rows
+	snap := t.Snapshot()
 	for _, w := range x.workers {
-		w.scan.rows = heap
 		w.rows, w.nanos = 0, 0
 	}
 	if err := x.prepareSharedBuilds(); err != nil {
 		return err
 	}
-	x.disp = newMorselDispenser(len(heap), x.e.Cfg.morselRows())
+	x.disp = newMorselDispenser(buildMorsels(snap, x.e.Cfg.morselRows()))
 	x.cancel = make(chan struct{})
 	x.results = make(chan morselOut, x.dop)
 	x.err = nil
@@ -736,8 +794,8 @@ func (x *exchangeVec) runWorker(w *parWorker) {
 // drainMorsel points the worker's scan at one morsel and fully drains the
 // pipeline, invoking emit per output batch. Batches are transient; emit
 // must copy the headers it keeps.
-func (w *parWorker) drainMorsel(lo, hi int, emit func([]storage.Row) error) error {
-	w.scan.setRange(lo, hi)
+func (w *parWorker) drainMorsel(mo morsel, emit func([]storage.Row) error) error {
+	w.scan.setMorsel(mo)
 	if err := w.root.Open(); err != nil {
 		return err
 	}
@@ -758,12 +816,12 @@ func (w *parWorker) drainMorsel(lo, hi int, emit func([]storage.Row) error) erro
 
 func (x *exchangeVec) runGather(w *parWorker) {
 	for {
-		m, lo, hi, ok := x.disp.grab()
+		m, mo, ok := x.disp.grab()
 		if !ok || x.canceled() {
 			return
 		}
 		var rows []storage.Row
-		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+		err := w.drainMorsel(mo, func(b []storage.Row) error {
 			rows = append(rows, b...)
 			return nil
 		})
@@ -782,12 +840,12 @@ func (x *exchangeVec) runSort(w *parWorker) {
 	var env rowEnv
 	scratch := make([]datum.D, x.sortN)
 	for {
-		m, lo, hi, ok := x.disp.grab()
+		m, mo, ok := x.disp.grab()
 		if !ok || x.canceled() {
 			break
 		}
 		within := int64(0)
-		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+		err := w.drainMorsel(mo, func(b []storage.Row) error {
 			for _, r := range b {
 				if err := x.evalSortKeys(w, r, scratch, &env); err != nil {
 					return err
@@ -872,12 +930,12 @@ func (x *exchangeVec) runAgg(w *parWorker) {
 	acc := newParAggAcc(x.aggs, len(w.aggGroupKeys))
 	var env rowEnv
 	for {
-		m, lo, hi, ok := x.disp.grab()
+		m, mo, ok := x.disp.grab()
 		if !ok || x.canceled() {
 			break
 		}
 		within := int64(0)
-		err := w.drainMorsel(lo, hi, func(b []storage.Row) error {
+		err := w.drainMorsel(mo, func(b []storage.Row) error {
 			for _, r := range b {
 				seq := int64(m)*seqStride + within
 				within++
@@ -926,7 +984,7 @@ func (x *exchangeVec) NextBatch() ([]storage.Row, error) {
 			x.curPos = end
 			return b, nil
 		}
-		if x.nextM >= x.disp.count {
+		if x.nextM >= x.disp.count() {
 			x.finish()
 			return nil, nil
 		}
@@ -1133,7 +1191,7 @@ func (s *parAggState) finalize(call *sqlparser.FuncCall) datum.D {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		st := aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		st := newAggState(call)
 		for _, k := range keys {
 			accumulateDatum(&st, s.dvals[k])
 		}
@@ -1154,7 +1212,7 @@ type parGroup struct {
 func newParGroup(keyVals []datum.D, aggs []aggSpec, firstSeq int64) *parGroup {
 	g := &parGroup{keyVals: keyVals, states: make([]parAggState, len(aggs)), firstSeq: firstSeq}
 	for i := range g.states {
-		g.states[i].st = aggState{sum: datum.Null, min: datum.Null, max: datum.Null}
+		g.states[i].st = newAggState(aggs[i].Call)
 		if aggs[i].Call.Distinct {
 			g.states[i].dvals = make(map[string]datum.D)
 		}
@@ -1260,8 +1318,8 @@ func (x *exchangeVec) buildShared(s *hashShared) error {
 		if err != nil {
 			return err
 		}
-		if len(t.Rows) >= x.e.Cfg.morselRows() {
-			return x.buildSharedParallel(s, shell, n, scanNode, t.Rows)
+		if t.RowCount() >= x.e.Cfg.morselRows() {
+			return x.buildSharedParallel(s, shell, n, scanNode, t.Snapshot())
 		}
 	}
 	return x.buildSharedSerial(s, shell, n)
@@ -1329,8 +1387,8 @@ type buildPart struct {
 	err     error
 }
 
-func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, scanNode *Node, heap []storage.Row) error {
-	disp := newMorselDispenser(len(heap), x.e.Cfg.morselRows())
+func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, scanNode *Node, snap storage.Snapshot) error {
+	disp := newMorselDispenser(buildMorsels(snap, x.e.Cfg.morselRows()))
 	parts := make(chan *buildPart, x.dop)
 	var wg sync.WaitGroup
 	for i := 0; i < x.dop; i++ {
@@ -1339,7 +1397,7 @@ func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, 
 			defer wg.Done()
 			// Per-goroutine pipeline state: compiled predicate, key binds,
 			// scratch buffers. The hash-side schema is the scan's own.
-			ms := &morselScanVec{rows: heap}
+			ms := &morselScanVec{prune: !x.e.Cfg.DisableZonePruning}
 			if scanNode.Filter != nil {
 				pred, err := compileVecPred(scanNode.Filter, scanNode.Schema, x.e.subquery)
 				if err != nil {
@@ -1347,6 +1405,9 @@ func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, 
 					return
 				}
 				ms.pred = pred
+			}
+			if x.v.stats != nil {
+				ms.st = x.v.stats(scanNode)
 			}
 			var scan vecIter = ms
 			if x.v.stats != nil {
@@ -1363,12 +1424,12 @@ func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, 
 				}
 			}
 			for {
-				m, lo, hi, ok := disp.grab()
+				m, mo, ok := disp.grab()
 				if !ok {
 					return
 				}
 				p := &buildPart{m: m}
-				ms.setRange(lo, hi)
+				ms.setMorsel(mo)
 				if err := scan.Open(); err != nil {
 					parts <- &buildPart{m: -1, err: err}
 					return
@@ -1408,7 +1469,7 @@ func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, 
 	pending := make(map[int]*buildPart)
 	var firstErr error
 	scanned := int64(0)
-	next, total := 0, disp.count
+	next, total := 0, disp.count()
 	for p := range parts {
 		if p.err != nil {
 			if firstErr == nil {

@@ -280,9 +280,9 @@ func (p *planner) planScan(rel relation) (*Node, error) {
 		Alias:    rel.alias,
 		Filter:   sqlparser.JoinConjuncts(filters),
 		EstRows:  outRows,
-		EstCost:  seqScanCost(baseRows),
 	}
 	seq.Schema = scanSchema(t, rel.alias)
+	seq.EstCost = seqScanCost(baseRows, p.predictedPruneFraction(t, seq.Filter, seq.Schema))
 
 	if !p.eng.Cfg.EnableIndexScan {
 		return seq, nil
@@ -325,6 +325,34 @@ func (p *planner) planScan(rel relation) (*Node, error) {
 		}
 	}
 	return best, nil
+}
+
+// predictedPruneFraction estimates the fraction of heap rows a filtered
+// sequential scan will skip via zone-map pruning, by replaying the
+// compiled predicate's zone checks against the table's current sealed
+// segments — the same checks the executor makes, so the prediction is
+// exact for the snapshot the planner sees. Cost: one min/max comparison
+// per segment, no row access.
+func (p *planner) predictedPruneFraction(t *storage.Table, filter sqlparser.Expr, schema []colRef) float64 {
+	if filter == nil || p.eng.Cfg.DisableZonePruning {
+		return 0
+	}
+	pred, err := compileVecPred(filter, schema, p.eng.subquery)
+	if err != nil || pred == nil {
+		return 0
+	}
+	snap := t.Snapshot()
+	total := snap.NumRows()
+	if total == 0 {
+		return 0
+	}
+	pruned := 0
+	for _, seg := range snap.Segments() {
+		if segPruned(pred, seg) {
+			pruned += seg.NumRows()
+		}
+	}
+	return float64(pruned) / float64(total)
 }
 
 func scanSchema(t *storage.Table, alias string) []colRef {
@@ -836,7 +864,9 @@ func (p *planner) planSyntactic() (*Node, error) {
 			rows := maxf(1, float64(stats.RowCount))
 			return &Node{
 				Op: OpSeqScan, Relation: r.Name, Alias: alias,
-				Schema: scanSchema(t, alias), EstRows: rows, EstCost: seqScanCost(rows),
+				// Syntactic scans carry no filter yet (WHERE applies after
+				// the joins), so no pruning can be predicted here.
+				Schema: scanSchema(t, alias), EstRows: rows, EstCost: seqScanCost(rows, 0),
 			}, nil
 		case *sqlparser.JoinRef:
 			left, err := build(r.Left)

@@ -36,6 +36,7 @@ package engine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"lantern/internal/datum"
 	"lantern/internal/sqlparser"
@@ -71,7 +72,7 @@ func (e *Engine) buildVec(n *Node) (vecIter, error) {
 // non-nil, wraps every built operator in an instrVecIter sharing the
 // returned OpStats (bridge.go's vectorized instrumentation).
 func (e *Engine) newVBuild(sh *parShape, stats func(*Node) *OpStats) *vbuild {
-	rb := &ibuild{e: e}
+	rb := &ibuild{e: e, stats: stats}
 	v := &vbuild{e: e, rb: rb, par: sh, stats: stats}
 	rb.child = func(c *Node) (rowIter, error) {
 		vi, err := v.build(c)
@@ -257,19 +258,30 @@ func (w *batchWriter) full() bool { return len(w.rows) >= batchSize }
 
 // --- Scans ------------------------------------------------------------------
 
-// seqScanVec scans the table heap in chunks. Unfiltered chunks are
-// returned as direct heap subslices (zero copies, zero allocations);
-// filtered chunks run the compiled predicate into a reused survivor
-// buffer. Chunks grow adaptively from initialChunkSize to batchSize (×4
-// per chunk): a `LIMIT 10` consumer stops after one small chunk instead of
-// paying for a full 1024-row batch, while a full scan reaches max-size
-// chunks after two steps and keeps the batch loop's throughput.
+// seqScanVec scans the table's sealed segments and then its tail, in
+// chunks. Filtered scans consult each segment's zone maps first and skip
+// refuted segments without touching a row; surviving segments filter
+// through the typed column-vector loops (vexpr.go), late-materializing
+// only surviving row headers. Unfiltered chunks are returned as direct
+// segment/tail subslices (zero copies, zero allocations). Chunks grow
+// adaptively from initialChunkSize to batchSize (×4 per chunk): a
+// `LIMIT 10` consumer stops after one small chunk instead of paying for a
+// full 1024-row batch, while a full scan reaches max-size chunks after two
+// steps and keeps the batch loop's throughput.
 type seqScanVec struct {
-	rows  []storage.Row
+	snap  storage.Snapshot
 	pred  vecPred // nil when unfiltered
+	prune bool    // consult zone maps (off under Config.DisableZonePruning)
+	st    *OpStats
 	out   []storage.Row
-	pos   int
-	chunk int
+
+	curSeg   *storage.Segment // segment cur aliases; nil for the tail
+	cur      []storage.Row    // current run of rows
+	seg      int              // next sealed segment ordinal
+	pos      int              // position within cur
+	tailDone bool
+	done     bool
+	chunk    int
 }
 
 // initialChunkSize is the first chunk a seqScanVec produces after Open.
@@ -280,7 +292,10 @@ func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
 	if err != nil {
 		return nil, err
 	}
-	it := &seqScanVec{rows: t.Rows}
+	it := &seqScanVec{snap: t.Snapshot(), prune: !v.e.Cfg.DisableZonePruning}
+	if v.stats != nil {
+		it.st = v.stats(n)
+	}
 	if n.Filter != nil {
 		if it.pred, err = compileVecPred(n.Filter, n.Schema, v.e.subquery); err != nil {
 			return nil, err
@@ -290,33 +305,85 @@ func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
 }
 
 func (it *seqScanVec) Open() error {
-	it.pos = 0
+	it.curSeg, it.cur = nil, nil
+	it.seg, it.pos = 0, 0
+	it.tailDone, it.done = false, false
 	it.chunk = initialChunkSize
+	it.advance()
 	return nil
 }
 
+// advance positions the scan at its next run of rows: the next sealed
+// segment surviving zone-map pruning, then the tail, then end-of-stream.
+// Segment-level accounting (scanned vs pruned) happens here; the counters
+// are atomic because build-side scans can run cloned across goroutines
+// against one shared OpStats.
+func (it *seqScanVec) advance() {
+	segs := it.snap.Segments()
+	for it.seg < len(segs) {
+		s := segs[it.seg]
+		it.seg++
+		if it.prune && it.pred != nil && segPruned(it.pred, s) {
+			it.noteSeg(true)
+			continue
+		}
+		it.noteSeg(false)
+		it.curSeg, it.cur, it.pos = s, s.Rows(), 0
+		return
+	}
+	if !it.tailDone {
+		it.tailDone = true
+		it.curSeg, it.cur, it.pos = nil, it.snap.Tail(), 0
+		return
+	}
+	it.done = true
+}
+
+func (it *seqScanVec) noteSeg(pruned bool) {
+	if it.st == nil {
+		return
+	}
+	if pruned {
+		atomic.AddInt64(&it.st.SegsPruned, 1)
+	} else {
+		atomic.AddInt64(&it.st.SegsScanned, 1)
+	}
+}
+
 func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
-	for it.pos < len(it.rows) {
+	for !it.done {
+		if it.pos >= len(it.cur) {
+			it.advance()
+			continue
+		}
 		end := it.pos + it.chunk
 		if it.chunk < batchSize {
 			if it.chunk *= 4; it.chunk > batchSize {
 				it.chunk = batchSize
 			}
 		}
-		if end > len(it.rows) {
-			end = len(it.rows)
+		if end > len(it.cur) {
+			end = len(it.cur)
 		}
-		in := it.rows[it.pos:end]
+		lo := it.pos
 		it.pos = end
 		if it.pred == nil {
-			return in, nil
+			return it.cur[lo:end], nil
 		}
 		// Survivor buffer sized to this chunk, not the full batch width:
 		// scanning a 25-row table should not zero a 1024-header buffer.
-		if cap(it.out) < len(in) {
-			it.out = make([]storage.Row, 0, len(in))
+		if cap(it.out) < end-lo {
+			it.out = make([]storage.Row, 0, end-lo)
 		}
-		out, err := it.pred.selectInto(it.out[:0], in)
+		var (
+			out []storage.Row
+			err error
+		)
+		if it.curSeg != nil {
+			out, err = segSelect(it.pred, it.out[:0], it.curSeg, lo, end)
+		} else {
+			out, err = it.pred.selectInto(it.out[:0], it.cur[lo:end])
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -334,11 +401,13 @@ func (it *seqScanVec) Close() error { return nil }
 
 // indexScanVec resolves the index at Open exactly like indexScanIter, then
 // gathers candidate rows per batch and rechecks the full index condition
-// plus residual filter through a compiled predicate.
+// plus residual filter through a compiled predicate. Index and row data
+// come from the same snapshot, so the gather is consistent under
+// concurrent DML.
 type indexScanVec struct {
 	eng  *Engine
 	n    *Node
-	heap []storage.Row
+	snap storage.Snapshot
 	pred vecPred // index condition ∧ residual filter, nil when neither
 	ids  []int
 	pos  int
@@ -347,15 +416,15 @@ type indexScanVec struct {
 }
 
 func (v *vbuild) newIndexScanVec(n *Node) (*indexScanVec, error) {
-	t, err := v.e.Cat.Table(n.Relation)
-	if err != nil {
+	if _, err := v.e.Cat.Table(n.Relation); err != nil {
 		return nil, err
 	}
 	// Same recheck expression as indexScanIter: full index condition plus
 	// residual filter.
 	combined := sqlparser.JoinConjuncts(append(sqlparser.SplitConjuncts(n.IndexCond), sqlparser.SplitConjuncts(n.Filter)...))
-	it := &indexScanVec{eng: v.e, n: n, heap: t.Rows}
+	it := &indexScanVec{eng: v.e, n: n}
 	if combined != nil {
+		var err error
 		if it.pred, err = compileVecPred(combined, n.Schema, v.e.subquery); err != nil {
 			return nil, err
 		}
@@ -368,11 +437,12 @@ func (it *indexScanVec) Open() error {
 	if err != nil {
 		return err
 	}
+	it.snap = t.Snapshot()
 	col, lo, hi, incLo, incHi, eq, hasEq, err := indexBounds(it.n.IndexCond)
 	if err != nil {
 		return err
 	}
-	ix := t.Index(col)
+	ix := it.snap.Index(col)
 	if ix == nil {
 		return fmt.Errorf("engine: planned index on %s.%s does not exist", it.n.Relation, col)
 	}
@@ -399,7 +469,7 @@ func (it *indexScanVec) NextBatch() ([]storage.Row, error) {
 		}
 		in := it.in[:0]
 		for _, id := range it.ids[it.pos:end] {
-			in = append(in, it.heap[id])
+			in = append(in, it.snap.Row(id))
 		}
 		it.in = in
 		it.pos = end

@@ -17,6 +17,8 @@ package engine
 // tests.
 
 import (
+	"strings"
+
 	"lantern/internal/datum"
 	"lantern/internal/sqlparser"
 	"lantern/internal/storage"
@@ -264,6 +266,255 @@ func (p *exprPred) selectInto(out []storage.Row, in []storage.Row) ([]storage.Ro
 		}
 	}
 	return out, nil
+}
+
+// --- Zone-map pruning and segment-typed selection ----------------------------
+//
+// The specialized predicates double as segment refuters and typed-vector
+// selectors. Scan schemas list table columns in declared order, so a
+// predicate ordinal indexes the segment's zone maps and column vectors
+// directly. Both facilities are conservative: a predicate shape without
+// pruning support never prunes, and a column without a typed vector (or a
+// kind pairing outside the fast paths) falls back to the row-major loop —
+// so they are strictly an optimization over selectInto, never a semantic
+// change. The differential corpus pins that.
+
+// zonePruner is implemented by predicates that can refute a whole sealed
+// segment from its per-column zone maps: true means no row of the segment
+// can satisfy the predicate, so the scan skips it without touching data.
+type zonePruner interface {
+	prunesSegment(seg *storage.Segment) bool
+}
+
+// segPruned reports whether p provably rejects every row of seg.
+func segPruned(p vecPred, seg *storage.Segment) bool {
+	zp, ok := p.(zonePruner)
+	return ok && zp.prunesSegment(seg)
+}
+
+// segSelector is implemented by predicates with a typed-vector loop: rows
+// [lo, hi) of the segment are filtered by scanning the flat column vector
+// and late-materializing only the surviving row headers.
+type segSelector interface {
+	selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error)
+}
+
+// segSelect filters rows [lo, hi) of seg through p: the typed-vector loop
+// when the predicate has one, the row-major loop otherwise.
+func segSelect(p vecPred, out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	if sp, ok := p.(segSelector); ok {
+		return sp.selectSeg(out, seg, lo, hi)
+	}
+	return p.selectInto(out, seg.Rows()[lo:hi])
+}
+
+// prunesSegment refutes a comparison from the column's zone map. Bounds
+// are compared with datum.Compare — the same total order selectInto's
+// verdicts refine — so a pruned segment can never contain a surviving row:
+// selectInto keeps a row only if cmpHolds(op, Compare(v, lit)), and the
+// zone map bounds every non-NULL v under that order.
+func (p *cmpColLit) prunesSegment(seg *storage.Segment) bool {
+	if p.lit.IsNull() {
+		return true // a NULL literal rejects every row
+	}
+	zm := seg.Zone(p.ord)
+	if zm.Min.IsNull() {
+		return true // only NULLs in the segment; comparisons are never true
+	}
+	cMin := datum.Compare(p.lit, zm.Min)
+	cMax := datum.Compare(p.lit, zm.Max)
+	switch p.op {
+	case sqlparser.OpEq:
+		return cMin < 0 || cMax > 0
+	case sqlparser.OpNe:
+		// Refutable only when every value equals the literal.
+		return cMin == 0 && cMax == 0
+	case sqlparser.OpLt: // v < lit impossible when min >= lit
+		return cMin <= 0
+	case sqlparser.OpLe:
+		return cMin < 0
+	case sqlparser.OpGt: // v > lit impossible when max <= lit
+		return cMax >= 0
+	case sqlparser.OpGe:
+		return cMax > 0
+	}
+	return false
+}
+
+// selectSeg runs the comparison over the typed column vector. Each fast
+// path replicates exactly what selectInto's datum path computes for that
+// kind pairing (ints compare as ints, mixed numerics widen to float,
+// strings compare lexically); any other pairing — or a column without a
+// typed vector — falls back to the row loop.
+func (p *cmpColLit) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	if p.lit.IsNull() {
+		return out, nil
+	}
+	vec := seg.Col(p.ord)
+	rows := seg.Rows()
+	switch {
+	case vec.Kind == datum.KInt && p.lit.Kind() == datum.KInt:
+		lv := p.lit.Int()
+		if !vec.HasNulls() {
+			for i := lo; i < hi; i++ {
+				if intCmpHolds(p.op, vec.Ints[i], lv) {
+					out = append(out, rows[i])
+				}
+			}
+			return out, nil
+		}
+		for i := lo; i < hi; i++ {
+			if !vec.Null(i) && intCmpHolds(p.op, vec.Ints[i], lv) {
+				out = append(out, rows[i])
+			}
+		}
+		return out, nil
+	case vec.Kind == datum.KInt && p.lit.Kind() == datum.KFloat:
+		lf := p.lit.Float()
+		for i := lo; i < hi; i++ {
+			if !vec.Null(i) && floatCmpHolds(p.op, float64(vec.Ints[i]), lf) {
+				out = append(out, rows[i])
+			}
+		}
+		return out, nil
+	case vec.Kind == datum.KFloat && p.lit.IsNumeric():
+		lf := p.lit.Float()
+		if !vec.HasNulls() {
+			for i := lo; i < hi; i++ {
+				if floatCmpHolds(p.op, vec.Floats[i], lf) {
+					out = append(out, rows[i])
+				}
+			}
+			return out, nil
+		}
+		for i := lo; i < hi; i++ {
+			if !vec.Null(i) && floatCmpHolds(p.op, vec.Floats[i], lf) {
+				out = append(out, rows[i])
+			}
+		}
+		return out, nil
+	case vec.Kind == datum.KString && p.lit.Kind() == datum.KString:
+		ls := p.lit.Str()
+		for i := lo; i < hi; i++ {
+			if !vec.Null(i) && cmpHolds(p.op, strings.Compare(vec.Strs[i], ls)) {
+				out = append(out, rows[i])
+			}
+		}
+		return out, nil
+	}
+	return p.selectInto(out, rows[lo:hi])
+}
+
+func intCmpHolds(op sqlparser.BinOp, a, b int64) bool {
+	switch op {
+	case sqlparser.OpEq:
+		return a == b
+	case sqlparser.OpNe:
+		return a != b
+	case sqlparser.OpLt:
+		return a < b
+	case sqlparser.OpLe:
+		return a <= b
+	case sqlparser.OpGt:
+		return a > b
+	case sqlparser.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+func floatCmpHolds(op sqlparser.BinOp, a, b float64) bool {
+	switch op {
+	case sqlparser.OpEq:
+		return a == b
+	case sqlparser.OpNe:
+		return a != b
+	case sqlparser.OpLt:
+		return a < b
+	case sqlparser.OpLe:
+		return a <= b
+	case sqlparser.OpGt:
+		return a > b
+	case sqlparser.OpGe:
+		return a >= b
+	}
+	return false
+}
+
+// prunesSegment refutes IS [NOT] NULL from the zone map's null count.
+func (p *isNullPred) prunesSegment(seg *storage.Segment) bool {
+	zm := seg.Zone(p.ord)
+	if p.not {
+		return zm.NullCount == seg.NumRows()
+	}
+	return zm.NullCount == 0
+}
+
+// selectSeg answers IS [NOT] NULL from the null bitmap alone — the bitmap
+// is built for every column, typed vector or not.
+func (p *isNullPred) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	vec := seg.Col(p.ord)
+	rows := seg.Rows()
+	if !vec.HasNulls() {
+		if p.not {
+			return append(out, rows[lo:hi]...), nil
+		}
+		return out, nil
+	}
+	for i := lo; i < hi; i++ {
+		if vec.Null(i) != p.not {
+			out = append(out, rows[i])
+		}
+	}
+	return out, nil
+}
+
+// prunesSegment: a conjunction is refuted when any conjunct is.
+func (p *andPred) prunesSegment(seg *storage.Segment) bool {
+	for _, pred := range p.preds {
+		if segPruned(pred, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+// selectSeg runs the first conjunct through its typed loop (the survivors
+// late-materialize there), then chains the rest over the survivor rows.
+func (p *andPred) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+	var cur []storage.Row
+	var err error
+	for i, pred := range p.preds {
+		last := i == len(p.preds)-1
+		if i == 0 {
+			if last {
+				return segSelect(pred, out, seg, lo, hi)
+			}
+			buf := p.scratch[0][:0]
+			if buf == nil {
+				buf = make([]storage.Row, 0, batchSize)
+			}
+			if buf, err = segSelect(pred, buf, seg, lo, hi); err != nil {
+				return out, err
+			}
+			p.scratch[0] = buf
+			cur = buf
+			continue
+		}
+		if last {
+			return pred.selectInto(out, cur)
+		}
+		buf := p.scratch[i%2][:0]
+		if buf == nil {
+			buf = make([]storage.Row, 0, batchSize)
+		}
+		if buf, err = pred.selectInto(buf, cur); err != nil {
+			return out, err
+		}
+		p.scratch[i%2] = buf
+		cur = buf
+	}
+	return append(out, cur...), nil // unreachable for len(preds) >= 1
 }
 
 // keyOrdinals resolves join/sort key expressions to schema ordinals when

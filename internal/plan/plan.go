@@ -54,6 +54,15 @@ const (
 	// only when a cardinality under-estimate made the run use fewer
 	// workers than warranted.
 	AttrWorkersWanted = "workerswanted"
+	// AttrSegments / AttrSegmentsPruned count the columnar segments a scan
+	// considered: pruned segments were skipped wholesale because their zone
+	// maps refuted the filter, scanned segments were actually read. Set only
+	// when the scan saw at least one sealed segment, so small tables that
+	// live entirely in the row-major tail keep pre-segment plan texts. Both
+	// are deterministic for a given dataset and query, so they participate
+	// in the canonical serialization.
+	AttrSegments       = "segments"
+	AttrSegmentsPruned = "segspruned"
 )
 
 // Node is one operator of a vendor-neutral QEP tree.

@@ -86,6 +86,12 @@ func attachOperatorSpans(parent *obs.Span, n *plan.Node, en *engine.Node, st eng
 	if workers := n.Attr(plan.AttrWorkers); workers != "" {
 		sp.SetAttr("workers", workers)
 	}
+	if segs := n.Attr(plan.AttrSegments); segs != "" {
+		sp.SetAttr("segments", segs)
+		if pruned := n.Attr(plan.AttrSegmentsPruned); pruned != "" {
+			sp.SetAttr("segments_pruned", pruned)
+		}
+	}
 	if en != nil && st != nil {
 		if os := st[en]; os != nil {
 			for i, w := range os.PerWorker {
@@ -117,6 +123,11 @@ type SlowQueryEntry struct {
 	AdmissionWaitMs float64        `json:"admission_wait_ms"`
 	Trace           *obs.TraceInfo `json:"trace,omitempty"`
 	MisEstimates    []string       `json:"mis_estimates,omitempty"`
+	// Segments / SegmentsPruned total the columnar segments the query's
+	// scans considered and skipped via zone maps, summed over the executed
+	// tree. Both absent when no scan saw a sealed segment.
+	Segments       int64 `json:"segments,omitempty"`
+	SegmentsPruned int64 `json:"segments_pruned,omitempty"`
 	// Partial marks an entry whose elapsed/row figures come from a
 	// streaming execution that ended before draining; such runs carry no
 	// fingerprint and their actuals undercount the full query.
@@ -140,6 +151,7 @@ func (s *Server) maybeSlowLog(req *Request, resp *Response, elapsed time.Duratio
 		Trace:           req.tr.Info(),
 		MisEstimates:    MisEstimates(req.slowTree),
 	}
+	ent.Segments, ent.SegmentsPruned = segmentTotals(req.slowTree)
 	switch {
 	case resp.Narrate != nil:
 		ent.Fingerprint = resp.Narrate.Fingerprint
@@ -189,6 +201,27 @@ func MisEstimates(n *plan.Node) []string {
 	var out []string
 	collectMisEstimates(n, &out)
 	return out
+}
+
+// segmentTotals sums the segment-pruning attributes over an executed plan
+// tree: how many sealed columnar segments the query's scans considered and
+// how many their zone maps let them skip.
+func segmentTotals(n *plan.Node) (segs, pruned int64) {
+	if n == nil {
+		return 0, 0
+	}
+	if v, err := strconv.ParseInt(n.Attr(plan.AttrSegments), 10, 64); err == nil {
+		segs += v
+	}
+	if v, err := strconv.ParseInt(n.Attr(plan.AttrSegmentsPruned), 10, 64); err == nil {
+		pruned += v
+	}
+	for _, c := range n.Children {
+		s, p := segmentTotals(c)
+		segs += s
+		pruned += p
+	}
+	return segs, pruned
 }
 
 func collectMisEstimates(n *plan.Node, out *[]string) {

@@ -1,13 +1,27 @@
-// Package storage implements the in-memory row store used by the substrate
-// engine: heap tables of typed rows plus ordered secondary indexes. It is
-// deliberately simple — the engine needs a substrate that produces realistic
-// query plans, not a durable storage manager — but access paths are real:
-// sequential scans walk the heap, index scans binary-search the index.
+// Package storage implements the in-memory column-segment store used by
+// the substrate engine. A table is a sequence of immutable column-major
+// segments (segment.go: one typed vector per column, a null bitmap, and
+// per-column zone maps) followed by a mutable row-major tail that seals
+// into a segment when it reaches the segment capacity. Access paths are
+// real: sequential scans walk segments and can skip whole segments via
+// zone maps, index scans binary-search ordered secondary indexes.
+//
+// Concurrency contract: readers take a Snapshot and never block or race
+// against writers. Sealed segments are immutable; the tail publishes its
+// length with an atomic store after the row slot is written, so an
+// in-flight scan sees a consistent prefix; Update, Delete and CreateIndex
+// rebuild into fresh segments and swap the whole table state with one
+// atomic pointer store. Writers serialize among themselves on an internal
+// mutex. DML therefore needs no external synchronization against readers —
+// a scan started before a mutation simply keeps reading the snapshot it
+// started on.
 package storage
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"lantern/internal/datum"
 )
@@ -28,29 +42,75 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Table is an append-only heap of rows with optional secondary indexes.
+// Table is an append-only table of sealed column segments plus a mutable
+// row-major tail, with optional ordered secondary indexes.
 type Table struct {
 	Name    string
 	Columns []Column
-	Rows    []Row
 
-	indexes map[string]*Index // keyed by column name
-	colPos  map[string]int
+	segCap int
+	colPos map[string]int
+
+	mu   sync.Mutex // serializes writers; readers go through data only
+	data atomic.Pointer[tableData]
 }
 
-// NewTable creates an empty table with the given schema.
+// tableData is one immutable-once-published version of the table's
+// contents. Every sealed segment holds exactly segCap rows, so a global
+// row ordinal resolves to (segment, offset) in O(1).
+type tableData struct {
+	segs    []*Segment
+	sealed  int // total rows across segs
+	tail    *tailBlock
+	indexes map[string]*Index // keyed by column name
+}
+
+// tailBlock is the mutable tail: slots are written in place (only ever at
+// positions >= the published length, under the writer mutex) and made
+// visible to readers by the atomic length store.
+type tailBlock struct {
+	rows []Row // len == cap == segCap
+	n    atomic.Int64
+}
+
+func newTailBlock(cap int) *tailBlock { return &tailBlock{rows: make([]Row, cap)} }
+
+// NewTable creates an empty table with the given schema and the default
+// segment capacity.
 func NewTable(name string, cols []Column) *Table {
 	t := &Table{
 		Name:    name,
 		Columns: cols,
-		indexes: make(map[string]*Index),
+		segCap:  DefaultSegmentRows,
 		colPos:  make(map[string]int, len(cols)),
 	}
 	for i, c := range cols {
 		t.colPos[c.Name] = i
 	}
+	t.data.Store(&tableData{tail: newTailBlock(t.segCap)})
 	return t
 }
+
+// SetSegmentCapacity overrides the rows-per-segment capacity; it exists so
+// tests can exercise multi-segment layouts without millions of rows. It
+// fails once the table holds rows.
+func (t *Table) SetSegmentCapacity(n int) error {
+	if n < 1 {
+		return fmt.Errorf("storage: segment capacity %d < 1", n)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	if d.sealed > 0 || d.tail.n.Load() > 0 {
+		return fmt.Errorf("storage: table %s: cannot change segment capacity once populated", t.Name)
+	}
+	t.segCap = n
+	t.data.Store(&tableData{tail: newTailBlock(n), indexes: d.indexes})
+	return nil
+}
+
+// SegmentCapacity returns the rows-per-segment capacity.
+func (t *Table) SegmentCapacity() int { return t.segCap }
 
 // ColumnIndex returns the position of the named column, or -1.
 func (t *Table) ColumnIndex(name string) int {
@@ -60,13 +120,84 @@ func (t *Table) ColumnIndex(name string) int {
 	return -1
 }
 
-// Insert appends a row, coercing integer values into float columns and
-// validating arity and kinds. Indexes are maintained.
-func (t *Table) Insert(r Row) error {
-	if len(r) != len(t.Columns) {
-		return fmt.Errorf("storage: table %s: inserting %d values into %d columns", t.Name, len(r), len(t.Columns))
+// --- Snapshots --------------------------------------------------------------
+
+// Snapshot is a consistent, immutable view of a table: the sealed
+// segments, a frozen prefix of the tail, and the indexes as of the
+// snapshot. Scans hold one for their whole lifetime, so concurrent DML
+// never changes what they see.
+type Snapshot struct {
+	d     *tableData
+	tailN int
+}
+
+// Snapshot captures the table's current contents.
+func (t *Table) Snapshot() Snapshot {
+	d := t.data.Load()
+	return Snapshot{d: d, tailN: int(d.tail.n.Load())}
+}
+
+// Segments returns the sealed segments in table order.
+func (s Snapshot) Segments() []*Segment { return s.d.segs }
+
+// Tail returns the unsealed tail rows in table order. Rows are immutable
+// once published; the slice itself must not be written.
+func (s Snapshot) Tail() []Row { return s.d.tail.rows[:s.tailN] }
+
+// NumRows returns the total row count of the snapshot.
+func (s Snapshot) NumRows() int { return s.d.sealed + s.tailN }
+
+// SealedRows returns the number of rows held in sealed segments.
+func (s Snapshot) SealedRows() int { return s.d.sealed }
+
+// Row resolves a global row ordinal (index order: segments then tail).
+func (s Snapshot) Row(i int) Row {
+	if i < s.d.sealed {
+		seg := s.d.segs[i/segRowsOf(s.d)]
+		return seg.rows[i%segRowsOf(s.d)]
 	}
-	row := r.Clone()
+	return s.d.tail.rows[i-s.d.sealed]
+}
+
+// segRowsOf recovers the per-segment capacity of a table version from its
+// first sealed segment (every sealed segment is full by construction).
+func segRowsOf(d *tableData) int {
+	if len(d.segs) == 0 {
+		return 1 // unused: sealed == 0 routes every ordinal to the tail
+	}
+	return d.segs[0].NumRows()
+}
+
+// Index returns the snapshot's index on col, or nil.
+func (s Snapshot) Index(col string) *Index { return s.d.indexes[col] }
+
+// AppendRows appends every row of the snapshot to dst in table order and
+// returns it.
+func (s Snapshot) AppendRows(dst []Row) []Row {
+	for _, seg := range s.d.segs {
+		dst = append(dst, seg.rows...)
+	}
+	return append(dst, s.Tail()...)
+}
+
+// RowCount returns the table's current row count.
+func (t *Table) RowCount() int { return t.Snapshot().NumRows() }
+
+// AllRows materializes the current rows as a fresh slice of row headers in
+// table order. The rows themselves are shared and immutable.
+func (t *Table) AllRows() []Row {
+	s := t.Snapshot()
+	return s.AppendRows(make([]Row, 0, s.NumRows()))
+}
+
+// --- Writes -----------------------------------------------------------------
+
+// coerceRow validates arity and kinds in place, coercing integer values
+// into float columns (and exact floats into integer columns).
+func (t *Table) coerceRow(row Row) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("storage: table %s: inserting %d values into %d columns", t.Name, len(row), len(t.Columns))
+	}
 	for i, v := range row {
 		if v.IsNull() {
 			continue
@@ -86,93 +217,253 @@ func (t *Table) Insert(r Row) error {
 		return fmt.Errorf("storage: table %s column %s: cannot store %s into %s",
 			t.Name, t.Columns[i].Name, v.Kind(), want)
 	}
-	rowID := len(t.Rows)
-	t.Rows = append(t.Rows, row)
-	for col, idx := range t.indexes {
-		idx.add(row[t.colPos[col]], rowID)
-	}
 	return nil
 }
 
-// Delete removes all rows for which keep returns false and rebuilds the
-// indexes. It returns the number of rows removed.
+// Insert appends a copy of the row, coercing integer values into float
+// columns and validating arity and kinds. Indexes are maintained
+// (copy-on-write, so concurrent readers stay consistent).
+func (t *Table) Insert(r Row) error {
+	row := r.Clone()
+	if err := t.coerceRow(row); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.appendLocked(row)
+	return nil
+}
+
+// InsertBatch bulk-loads validated rows in one pass: no per-row Clone (the
+// table takes ownership of the rows and their backing arrays), segments
+// seal as they fill, and indexes rebuild once at the end instead of once
+// per row. Validation runs before any mutation, so a bad row leaves the
+// table untouched.
+func (t *Table) InsertBatch(rows []Row) error {
+	for _, r := range rows {
+		if err := t.coerceRow(r); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	segs := d.segs
+	sealed := d.sealed
+	tail := d.tail
+	tailN := int(tail.n.Load())
+	sealedAny := false
+	for i := 0; i < len(rows); {
+		take := t.segCap - tailN
+		if rem := len(rows) - i; rem < take {
+			take = rem
+		}
+		copy(tail.rows[tailN:], rows[i:i+take])
+		tailN += take
+		i += take
+		if tailN == t.segCap {
+			if !sealedAny {
+				segs = append(make([]*Segment, 0, len(segs)+1), segs...)
+				sealedAny = true
+			}
+			segs = append(segs, sealSegment(tail.rows, t.Columns))
+			sealed += t.segCap
+			tail = newTailBlock(t.segCap)
+			tailN = 0
+		}
+	}
+	nd := &tableData{segs: segs, sealed: sealed, tail: tail, indexes: d.indexes}
+	if len(d.indexes) > 0 {
+		nd.indexes = buildIndexes(nd, tailN, t.colPos, indexColumns(d.indexes))
+	}
+	// Publish lengths after the slot writes, then the new table version.
+	tail.n.Store(int64(tailN))
+	if tail != d.tail {
+		d.tail.n.Store(int64(t.segCap)) // the old tail filled completely
+	}
+	t.data.Store(nd)
+	return nil
+}
+
+// appendLocked inserts one validated row, sealing the tail into a segment
+// when it fills. Callers hold t.mu.
+func (t *Table) appendLocked(row Row) {
+	d := t.data.Load()
+	n := int(d.tail.n.Load())
+	d.tail.rows[n] = row
+
+	var indexes map[string]*Index
+	if len(d.indexes) > 0 {
+		rowID := d.sealed + n
+		indexes = make(map[string]*Index, len(d.indexes))
+		for col, ix := range d.indexes {
+			indexes[col] = ix.cloneAdd(row[t.colPos[col]], rowID)
+		}
+	}
+
+	if n+1 < t.segCap {
+		if indexes == nil {
+			// Fast path: publishing the new length is the whole commit.
+			d.tail.n.Store(int64(n + 1))
+			return
+		}
+		nd := &tableData{segs: d.segs, sealed: d.sealed, tail: d.tail, indexes: indexes}
+		d.tail.n.Store(int64(n + 1))
+		t.data.Store(nd)
+		return
+	}
+
+	// Tail is full: seal it (adopting its row slice) and start a new one.
+	seg := sealSegment(d.tail.rows, t.Columns)
+	nd := &tableData{
+		segs:    append(append(make([]*Segment, 0, len(d.segs)+1), d.segs...), seg),
+		sealed:  d.sealed + t.segCap,
+		tail:    newTailBlock(t.segCap),
+		indexes: d.indexes,
+	}
+	if indexes != nil {
+		nd.indexes = indexes
+	}
+	d.tail.n.Store(int64(t.segCap))
+	t.data.Store(nd)
+}
+
+// rebuildLocked replaces the table contents with rows, re-segmenting and
+// rebuilding every index, and atomically swaps the new version in.
+// Callers hold t.mu.
+func (t *Table) rebuildLocked(rows []Row, indexCols []string) {
+	nd := &tableData{}
+	for len(rows) >= t.segCap {
+		run := make([]Row, t.segCap)
+		copy(run, rows[:t.segCap])
+		nd.segs = append(nd.segs, sealSegment(run, t.Columns))
+		nd.sealed += t.segCap
+		rows = rows[t.segCap:]
+	}
+	nd.tail = newTailBlock(t.segCap)
+	copy(nd.tail.rows, rows)
+	nd.tail.n.Store(int64(len(rows)))
+	if len(indexCols) > 0 {
+		nd.indexes = buildIndexes(nd, len(rows), t.colPos, indexCols)
+	}
+	t.data.Store(nd)
+}
+
+// Delete removes all rows for which remove returns true, rebuilding
+// segments and indexes. It returns the number of rows removed.
 func (t *Table) Delete(remove func(Row) bool) int {
-	kept := t.Rows[:0]
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	all := Snapshot{d: d, tailN: int(d.tail.n.Load())}.AppendRows(nil)
+	kept := all[:0]
 	n := 0
-	for _, r := range t.Rows {
+	for _, r := range all {
 		if remove(r) {
 			n++
 		} else {
 			kept = append(kept, r)
 		}
 	}
-	t.Rows = kept
-	t.rebuildIndexes()
+	if n > 0 {
+		t.rebuildLocked(kept, indexColumns(d.indexes))
+	}
 	return n
 }
 
-// Update applies fn to every row in place; fn returns true when it modified
-// the row. Indexes are rebuilt if anything changed. It returns the number of
-// modified rows.
+// Update applies fn to a copy of every row; fn returns true when it
+// modified the row. Modified copies replace the originals in a rebuilt
+// table version, so concurrent readers keep seeing the pre-update
+// snapshot. It returns the number of modified rows.
 func (t *Table) Update(fn func(Row) bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	all := Snapshot{d: d, tailN: int(d.tail.n.Load())}.AppendRows(nil)
 	n := 0
-	for _, r := range t.Rows {
-		if fn(r) {
+	for i, r := range all {
+		c := r.Clone()
+		if fn(c) {
+			all[i] = c
 			n++
 		}
 	}
 	if n > 0 {
-		t.rebuildIndexes()
+		t.rebuildLocked(all, indexColumns(d.indexes))
 	}
 	return n
 }
 
-func (t *Table) rebuildIndexes() {
-	for col := range t.indexes {
-		t.buildIndex(col)
-	}
-}
+// --- Indexes ----------------------------------------------------------------
 
-// CreateIndex builds an ordered index on the named column. Creating an index
-// that already exists is a no-op.
+// CreateIndex builds an ordered index on the named column. Creating an
+// index that already exists is a no-op.
 func (t *Table) CreateIndex(col string) error {
 	if _, ok := t.colPos[col]; !ok {
 		return fmt.Errorf("storage: table %s has no column %s", t.Name, col)
 	}
-	if _, ok := t.indexes[col]; ok {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := t.data.Load()
+	if _, ok := d.indexes[col]; ok {
 		return nil
 	}
-	t.buildIndex(col)
+	cols := append(indexColumns(d.indexes), col)
+	nd := &tableData{segs: d.segs, sealed: d.sealed, tail: d.tail}
+	nd.indexes = buildIndexes(nd, int(d.tail.n.Load()), t.colPos, cols)
+	t.data.Store(nd)
 	return nil
 }
 
-func (t *Table) buildIndex(col string) {
-	pos := t.colPos[col]
-	idx := &Index{Column: col}
-	idx.entries = make([]indexEntry, 0, len(t.Rows))
-	for i, r := range t.Rows {
-		idx.entries = append(idx.entries, indexEntry{key: r[pos], rowID: i})
+func indexColumns(indexes map[string]*Index) []string {
+	cols := make([]string, 0, len(indexes))
+	for c := range indexes {
+		cols = append(cols, c)
 	}
-	sort.SliceStable(idx.entries, func(a, b int) bool {
-		return datum.Compare(idx.entries[a].key, idx.entries[b].key) < 0
-	})
-	t.indexes[col] = idx
+	sort.Strings(cols)
+	return cols
 }
 
-// Index returns the index on col, or nil.
-func (t *Table) Index(col string) *Index { return t.indexes[col] }
-
-// IndexedColumns lists the columns that currently carry an index, sorted.
-func (t *Table) IndexedColumns() []string {
-	out := make([]string, 0, len(t.indexes))
-	for c := range t.indexes {
-		out = append(out, c)
+// buildIndexes builds fresh indexes over a table version's rows; tailN is
+// the tail length to index (the tail's published length may lag it while a
+// write is in flight).
+func buildIndexes(d *tableData, tailN int, colPos map[string]int, cols []string) map[string]*Index {
+	out := make(map[string]*Index, len(cols))
+	for _, col := range cols {
+		pos := colPos[col]
+		idx := &Index{Column: col}
+		rowID := 0
+		add := func(rows []Row) {
+			for _, r := range rows {
+				idx.entries = append(idx.entries, indexEntry{key: r[pos], rowID: rowID})
+				rowID++
+			}
+		}
+		for _, seg := range d.segs {
+			add(seg.rows)
+		}
+		add(d.tail.rows[:tailN])
+		sort.SliceStable(idx.entries, func(a, b int) bool {
+			return datum.Compare(idx.entries[a].key, idx.entries[b].key) < 0
+		})
+		out[col] = idx
 	}
-	sort.Strings(out)
 	return out
 }
 
+// Index returns the current index on col, or nil. Scans should prefer
+// Snapshot.Index so index and data come from the same table version.
+func (t *Table) Index(col string) *Index { return t.data.Load().indexes[col] }
+
+// IndexedColumns lists the columns that currently carry an index, sorted.
+func (t *Table) IndexedColumns() []string {
+	return indexColumns(t.data.Load().indexes)
+}
+
 // Index is an ordered secondary index: (key, rowID) pairs sorted by key.
+// rowIDs are global row ordinals (segments in table order, then tail),
+// resolvable through Snapshot.Row. An Index is immutable once published;
+// maintenance clones.
 type Index struct {
 	Column  string
 	entries []indexEntry
@@ -183,15 +474,17 @@ type indexEntry struct {
 	rowID int
 }
 
-// add inserts a single entry keeping the order; used for incremental
-// maintenance on Insert.
-func (ix *Index) add(key datum.D, rowID int) {
+// cloneAdd returns a copy of the index with one entry inserted in key
+// order — copy-on-write maintenance for Insert.
+func (ix *Index) cloneAdd(key datum.D, rowID int) *Index {
 	pos := sort.Search(len(ix.entries), func(i int) bool {
 		return datum.Compare(ix.entries[i].key, key) > 0
 	})
-	ix.entries = append(ix.entries, indexEntry{})
-	copy(ix.entries[pos+1:], ix.entries[pos:])
-	ix.entries[pos] = indexEntry{key: key, rowID: rowID}
+	entries := make([]indexEntry, len(ix.entries)+1)
+	copy(entries, ix.entries[:pos])
+	entries[pos] = indexEntry{key: key, rowID: rowID}
+	copy(entries[pos+1:], ix.entries[pos:])
+	return &Index{Column: ix.Column, entries: entries}
 }
 
 // Len reports the number of entries.

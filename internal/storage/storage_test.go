@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -21,8 +22,11 @@ func TestInsertAndScan(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if len(tbl.Rows) != 5 {
-		t.Fatalf("rows = %d, want 5", len(tbl.Rows))
+	if tbl.RowCount() != 5 {
+		t.Fatalf("rows = %d, want 5", tbl.RowCount())
+	}
+	if got := len(tbl.AllRows()); got != 5 {
+		t.Fatalf("AllRows = %d rows, want 5", got)
 	}
 }
 
@@ -38,11 +42,12 @@ func TestInsertTypeCoercion(t *testing.T) {
 	if err := tbl.Insert(Row{datum.NewInt(3), datum.NewFloat(4)}); err != nil {
 		t.Fatal(err)
 	}
-	if tbl.Rows[0][0].Kind() != datum.KFloat || tbl.Rows[0][0].Float() != 3 {
-		t.Errorf("int->float coercion failed: %v", tbl.Rows[0][0])
+	rows := tbl.AllRows()
+	if rows[0][0].Kind() != datum.KFloat || rows[0][0].Float() != 3 {
+		t.Errorf("int->float coercion failed: %v", rows[0][0])
 	}
-	if tbl.Rows[0][1].Kind() != datum.KInt || tbl.Rows[0][1].Int() != 4 {
-		t.Errorf("float->int coercion failed: %v", tbl.Rows[0][1])
+	if rows[0][1].Kind() != datum.KInt || rows[0][1].Int() != 4 {
+		t.Errorf("float->int coercion failed: %v", rows[0][1])
 	}
 	if err := tbl.Insert(Row{datum.NewString("x"), datum.NewInt(1)}); err == nil {
 		t.Error("expected type error storing string into float")
@@ -82,13 +87,14 @@ func TestIndexLookup(t *testing.T) {
 	if ix == nil || ix.Len() != 5 {
 		t.Fatalf("index missing or wrong length")
 	}
+	snap := tbl.Snapshot()
 	got := ix.Lookup(datum.NewInt(3))
 	if len(got) != 2 {
 		t.Fatalf("Lookup(3) = %v, want 2 rows", got)
 	}
 	for _, id := range got {
-		if tbl.Rows[id][0].Int() != 3 {
-			t.Errorf("row %d has key %v", id, tbl.Rows[id][0])
+		if snap.Row(id)[0].Int() != 3 {
+			t.Errorf("row %d has key %v", id, snap.Row(id)[0])
 		}
 	}
 	if got := ix.Lookup(datum.NewInt(99)); len(got) != 0 {
@@ -108,9 +114,10 @@ func TestIndexMaintainedOnInsert(t *testing.T) {
 	if len(got) != 3 {
 		t.Fatalf("range = %v", got)
 	}
+	snap := tbl.Snapshot()
 	for i, id := range got {
-		if tbl.Rows[id][0].Int() != want[i] {
-			t.Errorf("pos %d: key %v, want %d", i, tbl.Rows[id][0], want[i])
+		if snap.Row(id)[0].Int() != want[i] {
+			t.Errorf("pos %d: key %v, want %d", i, snap.Row(id)[0], want[i])
 		}
 	}
 }
@@ -163,8 +170,8 @@ func TestDeleteRebuildsIndex(t *testing.T) {
 	}
 	_ = tbl.CreateIndex("id")
 	n := tbl.Delete(func(r Row) bool { return r[0].Int()%2 == 0 })
-	if n != 3 || len(tbl.Rows) != 3 {
-		t.Fatalf("deleted %d, left %d", n, len(tbl.Rows))
+	if n != 3 || tbl.RowCount() != 3 {
+		t.Fatalf("deleted %d, left %d", n, tbl.RowCount())
 	}
 	ix := tbl.Index("id")
 	if ix.Len() != 3 {
@@ -189,8 +196,8 @@ func TestUpdate(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("updated %d, want 1", n)
 	}
-	if tbl.Rows[1][1].Str() != "z" {
-		t.Errorf("row not updated: %v", tbl.Rows[1])
+	if rows := tbl.AllRows(); rows[1][1].Str() != "z" {
+		t.Errorf("row not updated: %v", rows[1])
 	}
 }
 
@@ -227,7 +234,7 @@ func TestIndexLookupMatchesScan(t *testing.T) {
 		_ = tbl.CreateIndex("id")
 		got := tbl.Index("id").Lookup(datum.NewInt(int64(probe)))
 		want := 0
-		for _, r := range tbl.Rows {
+		for _, r := range tbl.AllRows() {
 			if r[0].Int() == int64(probe) {
 				want++
 			}
@@ -245,5 +252,303 @@ func TestRowClone(t *testing.T) {
 	c[0] = datum.NewInt(2)
 	if r[0].Int() != 1 {
 		t.Error("Clone shares storage")
+	}
+}
+
+// --- Segment / columnar tests -----------------------------------------------
+
+func smallSegTable(t *testing.T, segCap int) *Table {
+	t.Helper()
+	tbl := twoColTable()
+	if err := tbl.SetSegmentCapacity(segCap); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSegmentSealOnFill(t *testing.T) {
+	tbl := smallSegTable(t, 4)
+	for i := 0; i < 10; i++ {
+		_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("x")})
+	}
+	snap := tbl.Snapshot()
+	if got := len(snap.Segments()); got != 2 {
+		t.Fatalf("segments = %d, want 2", got)
+	}
+	if got := len(snap.Tail()); got != 2 {
+		t.Fatalf("tail = %d rows, want 2", got)
+	}
+	if snap.NumRows() != 10 || snap.SealedRows() != 8 {
+		t.Fatalf("NumRows=%d SealedRows=%d", snap.NumRows(), snap.SealedRows())
+	}
+	// Row ordinals resolve across segments and tail in insert order.
+	for i := 0; i < 10; i++ {
+		if snap.Row(i)[0].Int() != int64(i) {
+			t.Fatalf("Row(%d) = %v", i, snap.Row(i))
+		}
+	}
+}
+
+func TestSegmentTypedVectorsAndZoneMaps(t *testing.T) {
+	tbl := NewTable("t", []Column{
+		{Name: "i", Type: datum.KInt},
+		{Name: "f", Type: datum.KFloat},
+		{Name: "s", Type: datum.KString},
+	})
+	if err := tbl.SetSegmentCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	rows := []Row{
+		{datum.NewInt(7), datum.NewFloat(1.5), datum.NewString("b")},
+		{datum.NewInt(3), datum.Null, datum.NewString("a")},
+		{datum.Null, datum.NewFloat(-2), datum.NewString("c")},
+		{datum.NewInt(9), datum.NewFloat(0), datum.NewString("a")},
+	}
+	for _, r := range rows {
+		if err := tbl.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg := tbl.Snapshot().Segments()[0]
+
+	iv := seg.Col(0)
+	if iv.Kind != datum.KInt || len(iv.Ints) != 4 {
+		t.Fatalf("int vector: kind=%v len=%d", iv.Kind, len(iv.Ints))
+	}
+	if iv.Ints[0] != 7 || iv.Ints[1] != 3 || iv.Ints[3] != 9 {
+		t.Errorf("int vector values: %v", iv.Ints)
+	}
+	if !iv.Null(2) || iv.Null(0) {
+		t.Errorf("int null bitmap wrong")
+	}
+	if zm := seg.Zone(0); zm.Min.Int() != 3 || zm.Max.Int() != 9 || zm.NullCount != 1 {
+		t.Errorf("int zone map: %+v", zm)
+	}
+
+	fv := seg.Col(1)
+	if fv.Kind != datum.KFloat || fv.Floats[0] != 1.5 || !fv.Null(1) {
+		t.Errorf("float vector wrong: %+v", fv)
+	}
+	if zm := seg.Zone(1); zm.Min.Float() != -2 || zm.Max.Float() != 1.5 || zm.NullCount != 1 {
+		t.Errorf("float zone map: %+v", zm)
+	}
+
+	sv := seg.Col(2)
+	if sv.Kind != datum.KString || sv.Strs[2] != "c" || sv.HasNulls() {
+		t.Errorf("string vector wrong: %+v", sv)
+	}
+	if zm := seg.Zone(2); zm.Min.Str() != "a" || zm.Max.Str() != "c" || zm.NullCount != 0 {
+		t.Errorf("string zone map: %+v", zm)
+	}
+	if keys := seg.DistinctKeys(2); len(keys) != 3 {
+		t.Errorf("distinct sketch = %v, want 3 keys", keys)
+	}
+}
+
+func TestSegmentAllNullZoneMap(t *testing.T) {
+	tbl := smallSegTable(t, 2)
+	_ = tbl.Insert(Row{datum.Null, datum.NewString("a")})
+	_ = tbl.Insert(Row{datum.Null, datum.NewString("b")})
+	zm := tbl.Snapshot().Segments()[0].Zone(0)
+	if !zm.Min.IsNull() || !zm.Max.IsNull() || zm.NullCount != 2 {
+		t.Errorf("all-NULL zone map: %+v", zm)
+	}
+}
+
+func TestInsertBatch(t *testing.T) {
+	tbl := smallSegTable(t, 4)
+	_ = tbl.Insert(Row{datum.NewInt(-1), datum.NewString("pre")})
+	var rows []Row
+	for i := 0; i < 10; i++ {
+		rows = append(rows, Row{datum.NewInt(int64(i)), datum.NewString("b")})
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Snapshot()
+	if snap.NumRows() != 11 || len(snap.Segments()) != 2 || len(snap.Tail()) != 3 {
+		t.Fatalf("NumRows=%d segs=%d tail=%d", snap.NumRows(), len(snap.Segments()), len(snap.Tail()))
+	}
+	all := tbl.AllRows()
+	if all[0][0].Int() != -1 || all[10][0].Int() != 9 {
+		t.Errorf("batch order wrong: first=%v last=%v", all[0], all[10])
+	}
+}
+
+func TestInsertBatchValidatesBeforeMutating(t *testing.T) {
+	tbl := smallSegTable(t, 4)
+	rows := []Row{
+		{datum.NewInt(1), datum.NewString("ok")},
+		{datum.NewString("bad"), datum.NewString("x")},
+	}
+	if err := tbl.InsertBatch(rows); err == nil {
+		t.Fatal("expected type error")
+	}
+	if tbl.RowCount() != 0 {
+		t.Errorf("failed batch mutated table: %d rows", tbl.RowCount())
+	}
+}
+
+func TestInsertBatchCoercesAndIndexes(t *testing.T) {
+	tbl := NewTable("t", []Column{{Name: "f", Type: datum.KFloat}})
+	_ = tbl.CreateIndex("f")
+	if err := tbl.InsertBatch([]Row{{datum.NewInt(2)}, {datum.NewInt(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	rows := tbl.AllRows()
+	if rows[0][0].Kind() != datum.KFloat {
+		t.Errorf("batch row not coerced: %v", rows[0][0])
+	}
+	ids := tbl.Index("f").Range(datum.Null, datum.Null, true, true)
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 0 {
+		t.Errorf("index after batch = %v, want [1 0]", ids)
+	}
+}
+
+func TestSetSegmentCapacityErrors(t *testing.T) {
+	tbl := twoColTable()
+	if err := tbl.SetSegmentCapacity(0); err == nil {
+		t.Error("expected error for capacity 0")
+	}
+	_ = tbl.Insert(Row{datum.NewInt(1), datum.NewString("a")})
+	if err := tbl.SetSegmentCapacity(8); err == nil {
+		t.Error("expected error on populated table")
+	}
+}
+
+func TestDeleteResegments(t *testing.T) {
+	tbl := smallSegTable(t, 3)
+	for i := 0; i < 9; i++ {
+		_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("x")})
+	}
+	n := tbl.Delete(func(r Row) bool { return r[0].Int()%3 == 0 })
+	if n != 3 {
+		t.Fatalf("deleted %d, want 3", n)
+	}
+	snap := tbl.Snapshot()
+	if len(snap.Segments()) != 2 || len(snap.Tail()) != 0 {
+		t.Fatalf("after delete: segs=%d tail=%d, want 2/0", len(snap.Segments()), len(snap.Tail()))
+	}
+	if zm := snap.Segments()[0].Zone(0); zm.Min.Int() != 1 || zm.Max.Int() != 4 {
+		t.Errorf("rebuilt zone map stale: %+v", zm)
+	}
+}
+
+// Update must not mutate rows visible to snapshots taken before the update.
+func TestUpdatePreservesSnapshots(t *testing.T) {
+	tbl := smallSegTable(t, 2)
+	for i := 0; i < 4; i++ {
+		_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("old")})
+	}
+	before := tbl.Snapshot()
+	_ = tbl.Update(func(r Row) bool {
+		r[1] = datum.NewString("new")
+		return true
+	})
+	for i := 0; i < 4; i++ {
+		if before.Row(i)[1].Str() != "old" {
+			t.Fatalf("pre-update snapshot saw the update at row %d", i)
+		}
+	}
+	if tbl.AllRows()[0][1].Str() != "new" {
+		t.Fatal("update not visible in new snapshot")
+	}
+}
+
+// The fixed hazard from the old package doc: DML no longer needs external
+// synchronization against readers. Scans (snapshots) race inserts, updates,
+// deletes and index creation; -race must stay silent and every snapshot
+// must be internally consistent (a prefix of insert order).
+func TestScanInsertRace(t *testing.T) {
+	tbl := smallSegTable(t, 8)
+	const writers, perWriter = 2, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("w")})
+				if i%100 == 50 {
+					_ = tbl.Update(func(r Row) bool {
+						if r[0].Int() == int64(i) {
+							r[1] = datum.NewString("u")
+							return true
+						}
+						return false
+					})
+				}
+				if i%200 == 150 {
+					_ = tbl.Delete(func(r Row) bool { return r[0].Int() == int64(i-1) })
+				}
+			}
+		}(w)
+	}
+	errc := make(chan string, 1)
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = tbl.CreateIndex("id")
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := tbl.Snapshot()
+				n := snap.NumRows()
+				sum := 0
+				for _, seg := range snap.Segments() {
+					vec := seg.Col(0)
+					for i := 0; i < seg.NumRows(); i++ {
+						if !vec.Null(i) {
+							sum += int(vec.Ints[i])
+						}
+					}
+				}
+				for _, row := range snap.Tail() {
+					if row == nil {
+						select {
+						case errc <- "snapshot exposed unpublished tail slot":
+						default:
+						}
+						return
+					}
+					sum += int(row[0].Int())
+				}
+				_ = sum
+				if snap.NumRows() != n {
+					select {
+					case errc <- "snapshot row count changed":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
 	}
 }

@@ -178,11 +178,15 @@ func (g *Generator) sampleJoinTree() ([]string, []datasets.FK) {
 func (g *Generator) samplePredicate(tables []string, alias map[string]string) string {
 	table := tables[g.rng.Intn(len(tables))]
 	t, err := g.eng.Cat.Table(table)
-	if err != nil || len(t.Rows) == 0 {
+	if err != nil {
+		return ""
+	}
+	snap := t.Snapshot()
+	if snap.NumRows() == 0 {
 		return ""
 	}
 	col := t.Columns[g.rng.Intn(len(t.Columns))]
-	v := t.Rows[g.rng.Intn(len(t.Rows))][t.ColumnIndex(col.Name)]
+	v := snap.Row(g.rng.Intn(snap.NumRows()))[t.ColumnIndex(col.Name)]
 	if v.IsNull() {
 		return fmt.Sprintf("%s.%s IS NULL", alias[table], col.Name)
 	}
@@ -197,7 +201,7 @@ func (g *Generator) samplePredicate(tables []string, alias map[string]string) st
 		case 2:
 			return fmt.Sprintf("%s > %s", ref, v)
 		default:
-			hi := t.Rows[g.rng.Intn(len(t.Rows))][t.ColumnIndex(col.Name)]
+			hi := snap.Row(g.rng.Intn(snap.NumRows()))[t.ColumnIndex(col.Name)]
 			if hi.IsNull() || datum.Compare(hi, v) < 0 {
 				return fmt.Sprintf("%s >= %s", ref, v)
 			}
