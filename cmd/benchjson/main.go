@@ -22,6 +22,7 @@ import (
 	"regexp"
 	"runtime"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -43,17 +44,27 @@ type Result struct {
 // changes with scheduling effects, so -compare warns about the mismatch
 // without failing on it.
 type Report struct {
-	GeneratedAt string   `json:"generated_at"`
-	GoVersion   string   `json:"go_version,omitempty"`
-	GoMaxProcs  int      `json:"gomaxprocs,omitempty"`
-	NumCPU      int      `json:"num_cpu,omitempty"`
-	Benchmarks  []Result `json:"benchmarks"`
+	GeneratedAt string            `json:"generated_at"`
+	GoVersion   string            `json:"go_version,omitempty"`
+	GoMaxProcs  int               `json:"gomaxprocs,omitempty"`
+	NumCPU      int               `json:"num_cpu,omitempty"`
+	Config      map[string]string `json:"config,omitempty"`
+	Benchmarks  []Result          `json:"benchmarks"`
 }
 
 // benchLine matches e.g.
 // BenchmarkServiceNarrateCached-8   930512   1286 ns/op   312 B/op   7 allocs/op
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+// configLine matches self-describing setup lines benchmarks print, e.g.
+//
+//	benchconfig: tpch_sf=1 pool_cold_bytes=1 pool_warm_bytes=268435456
+//
+// The key=value pairs land in Report.Config, so a report records the
+// dataset scale and resource budgets its numbers were taken under and
+// -compare can flag diffs against a report taken under different ones.
+var configLine = regexp.MustCompile(`^benchconfig:\s+(.+)$`)
 
 func main() {
 	out := flag.String("out", "BENCH_service.json", "output JSON path")
@@ -79,6 +90,17 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line)
+		if m := configLine.FindStringSubmatch(line); m != nil {
+			if report.Config == nil {
+				report.Config = make(map[string]string)
+			}
+			for _, kv := range strings.Fields(m[1]) {
+				if k, v, ok := strings.Cut(kv, "="); ok {
+					report.Config[k] = v
+				}
+			}
+			continue
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -156,6 +178,15 @@ func compareReports(oldPath, newPath string, threshold float64) int {
 	if oldRep.NumCPU != 0 && newRep.NumCPU != 0 && oldRep.NumCPU != newRep.NumCPU {
 		fmt.Printf("benchjson: WARNING: reports ran on machines with different core counts (%d vs %d CPUs); ns/op deltas include hardware effects\n",
 			oldRep.NumCPU, newRep.NumCPU)
+	}
+	// Likewise for recorded benchmark config (dataset scale, pool budgets):
+	// a delta taken under different budgets measures the config change, not
+	// the code change.
+	for k, nv := range newRep.Config {
+		if ov, ok := oldRep.Config[k]; ok && ov != nv {
+			fmt.Printf("benchjson: WARNING: reports ran under different %s (%s vs %s); ns/op deltas include configuration effects\n",
+				k, ov, nv)
+		}
 	}
 	oldBy := make(map[string]Result, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {

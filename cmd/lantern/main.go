@@ -35,12 +35,14 @@ import (
 	"time"
 
 	"lantern/client"
+	"lantern/internal/catalog"
 	"lantern/internal/core"
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
 	"lantern/internal/httpapi"
 	"lantern/internal/lot"
 	"lantern/internal/neural"
+	"lantern/internal/pager"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
 	"lantern/internal/qa"
@@ -59,6 +61,7 @@ func main() {
 	trace := flag.Bool("trace", false, "with -exec: print the request's span tree (pipeline stages and per-operator timings)")
 	ask := flag.String("ask", "", "ask a question about the plan instead of narrating it (estimate-based, even with -exec)")
 	seed := flag.Int64("seed", 1, "data generation seed")
+	dataDir := flag.String("data-dir", "", "persist tables to this directory (spilled segments served through the buffer pool); a previously seeded directory is recovered without reloading")
 	flag.Parse()
 
 	query := strings.Join(flag.Args(), " ")
@@ -89,7 +92,7 @@ func main() {
 		if *source != "pg" && *source != "native" {
 			fatal(fmt.Errorf("-exec implies -source native; -source %s is only available without -exec", *source))
 		}
-		c, shutdown := sdkClient(*remote, *db, *scale, *seed)
+		c, shutdown := sdkClient(*remote, *db, *scale, *seed, *dataDir)
 		defer shutdown()
 		runExec(c, query, *treeView, *ask, *trace)
 		return
@@ -101,7 +104,7 @@ func main() {
 		fatal(fmt.Errorf("-trace requires -exec (only served requests are traced)"))
 	}
 
-	eng := loadEngine(*db, *scale, *seed)
+	eng := loadEngine(*db, *scale, *seed, *dataDir)
 	store := pool.NewSeededStore()
 	tree, raw, err := explainTree(eng, *source, query)
 	if err != nil {
@@ -196,11 +199,11 @@ func runExec(c *client.Client, query string, treeView bool, ask string, trace bo
 
 // sdkClient returns a client against the remote daemon, or boots an
 // in-process one on a loopback listener over the locally loaded dataset.
-func sdkClient(remote, db string, scale float64, seed int64) (*client.Client, func()) {
+func sdkClient(remote, db string, scale float64, seed int64, dataDir string) (*client.Client, func()) {
 	if remote != "" {
 		return client.New(remote), func() {}
 	}
-	eng := loadEngine(db, scale, seed)
+	eng := loadEngine(db, scale, seed, dataDir)
 	store := pool.NewSeededStore()
 	srv := service.NewServer(eng, store, service.Config{RequestTimeout: 5 * time.Minute})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -216,8 +219,18 @@ func sdkClient(remote, db string, scale float64, seed int64) (*client.Client, fu
 	return client.New("http://" + ln.Addr().String()), shutdown
 }
 
-func loadEngine(db string, scale float64, seed int64) *engine.Engine {
+func loadEngine(db string, scale float64, seed int64, dataDir string) *engine.Engine {
 	eng := engine.NewDefault()
+	if dataDir != "" {
+		cat, err := catalog.Open(dataDir, pager.Config{})
+		if err != nil {
+			fatal(err)
+		}
+		eng = engine.NewWithCatalog(engine.DefaultConfig(), cat)
+		if len(cat.TableNames()) > 0 {
+			return eng // recovered a seeded directory; don't reload
+		}
+	}
 	var err error
 	switch db {
 	case "tpch":

@@ -63,9 +63,11 @@ import (
 	"syscall"
 	"time"
 
+	"lantern/internal/catalog"
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
 	"lantern/internal/httpapi"
+	"lantern/internal/pager"
 	"lantern/internal/pool"
 	"lantern/internal/service"
 )
@@ -74,7 +76,10 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	db := flag.String("db", "tpch", "dataset to load: tpch, sdss, imdb")
 	scale := flag.Float64("scale", 0.05, "dataset scale factor")
+	sf := flag.Float64("sf", 0, "TPC-H official scale factor for the bulk loader (overrides -scale; needs -data-dir for SF >= 1)")
 	seed := flag.Int64("seed", 1, "data generation seed")
+	dataDir := flag.String("data-dir", "", "persist tables to this directory (spilled segments served through the buffer pool); reopening a seeded directory recovers it and skips loading")
+	poolMB := flag.Int64("buffer-pool-mb", 0, "buffer pool budget in MiB for spilled segments (0 = 64 MiB default); only meaningful with -data-dir")
 	workers := flag.Int("workers", 0, "narration workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "request queue depth (0 = 4x workers)")
 	timeout := flag.Duration("timeout", 5*time.Second, "per-request deadline")
@@ -89,17 +94,32 @@ func main() {
 	flag.Parse()
 
 	eng := engine.NewDefault()
+	recovered := false
+	if *dataDir != "" {
+		cat, err := catalog.Open(*dataDir, pager.Config{BufferPoolBytes: *poolMB << 20})
+		if err != nil {
+			log.Fatalf("lanternd: opening data dir: %v", err)
+		}
+		recovered = len(cat.TableNames()) > 0
+		eng = engine.NewWithCatalog(engine.DefaultConfig(), cat)
+	}
 	eng.Cfg.MaxQueryParallelism = *maxPar
 	if *parRows > 0 {
 		eng.Cfg.ParallelRowsPerWorker = *parRows
 	}
 	var err error
-	switch *db {
-	case "tpch":
+	switch {
+	case recovered:
+		// The data directory already holds a seeded catalog: serve it as
+		// recovered rather than reloading (CREATE TABLE would collide).
+		log.Printf("lanternd: recovered %d tables from %s", len(eng.Cat.TableNames()), *dataDir)
+	case *db == "tpch" && *sf > 0:
+		err = datasets.LoadTPCHSF(eng, *sf, *seed)
+	case *db == "tpch":
 		err = datasets.LoadTPCH(eng, *scale, *seed)
-	case "sdss":
+	case *db == "sdss":
 		err = datasets.LoadSDSS(eng, *scale, *seed)
-	case "imdb":
+	case *db == "imdb":
 		err = datasets.LoadIMDB(eng, *scale, *seed)
 	default:
 		err = fmt.Errorf("unknown dataset %q", *db)

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"lantern/internal/datum"
+	"lantern/internal/pager"
 	"lantern/internal/storage"
 )
 
@@ -38,20 +39,50 @@ type TableStats struct {
 	Columns  map[string]ColumnStats
 }
 
-// Catalog is the schema registry: tables plus their statistics.
+// Catalog is the schema registry: tables plus their statistics, and —
+// when opened over a data directory — the pager store that makes tables
+// disk-backed and larger than memory.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*storage.Table
 	stats  map[string]*TableStats
+	store  *pager.Store // nil for a purely in-memory catalog
 }
 
-// New creates an empty catalog.
+// New creates an empty in-memory catalog.
 func New() *Catalog {
 	return &Catalog{
 		tables: make(map[string]*storage.Table),
 		stats:  make(map[string]*TableStats),
 	}
 }
+
+// Open creates a catalog backed by a data directory: existing tables are
+// recovered from the directory's manifest (segment footers only — column
+// payloads stay on disk until a scan faults them in), and every table
+// created afterwards spills its sealed segments there. cfg sizes the
+// shared buffer pool.
+func Open(dir string, cfg pager.Config) (*Catalog, error) {
+	store, err := pager.Open(dir, cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := New()
+	c.store = store
+	man := store.Manifest()
+	for _, name := range man.TableNames() {
+		t, err := storage.OpenTable(name, store, man.Tables[name])
+		if err != nil {
+			return nil, fmt.Errorf("catalog: recovering %q: %w", name, err)
+		}
+		c.tables[name] = t
+	}
+	return c, nil
+}
+
+// Pager returns the catalog's pager store, or nil for an in-memory
+// catalog. The serving layer reads buffer pool statistics through it.
+func (c *Catalog) Pager() *pager.Store { return c.store }
 
 // CreateTable registers a new table. It fails if the name is taken.
 func (c *Catalog) CreateTable(name string, cols []storage.Column) (*storage.Table, error) {
@@ -61,14 +92,25 @@ func (c *Catalog) CreateTable(name string, cols []storage.Column) (*storage.Tabl
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
 	t := storage.NewTable(name, cols)
+	if c.store != nil {
+		if err := t.AttachStore(c.store); err != nil {
+			return nil, fmt.Errorf("catalog: persisting %q: %w", name, err)
+		}
+	}
 	c.tables[name] = t
 	return t, nil
 }
 
-// DropTable removes a table; unknown names are a no-op.
+// DropTable removes a table (and, for a disk-backed catalog, its files);
+// unknown names are a no-op.
 func (c *Catalog) DropTable(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok && c.store != nil {
+		// Best-effort: a failed manifest commit leaves the files for the
+		// next Open's orphan collection.
+		_ = c.store.DropTable(name)
+	}
 	delete(c.tables, name)
 	delete(c.stats, name)
 }

@@ -1,0 +1,343 @@
+package catalog
+
+// Crash-consistency tests for the disk-backed catalog. Two layers:
+//
+//   - Deterministic: the pager's pre-commit failpoint aborts every
+//     mutation right before the manifest rename, simulating a kill after
+//     the data files are written but before the commit point. The live
+//     table must roll back, a reopen must serve the pre-crash snapshot,
+//     and the stranded files must be garbage-collected.
+//   - Real kill: the test re-execs itself as a child process that
+//     append/update-loops against a shared data directory and is
+//     SIGKILLed mid-flight. Whatever instant the kill lands on, the
+//     reopened table must equal some committed snapshot — a contiguous
+//     id prefix in whole batches, with the update phase uniform across
+//     every row (a torn spill or rebuild would break one of the two).
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lantern/internal/datum"
+	"lantern/internal/pager"
+	"lantern/internal/storage"
+)
+
+// dumpRows renders a table's full snapshot in table order.
+func dumpRows(t *testing.T, tbl *storage.Table) []string {
+	t.Helper()
+	rows, err := tbl.Snapshot().FetchAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			parts[j] = v.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	return out
+}
+
+func segmentFiles(t *testing.T, dir, table string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".lseg") {
+			files = append(files, e.Name())
+		}
+	}
+	return files
+}
+
+// TestCrashBeforeCommitRecoversPriorSnapshot kills (via the failpoint)
+// every kind of table mutation right before its manifest commit:
+// mid-spill (InsertBatch past the seal point), mid-rebuild (Update,
+// Delete) and index DDL. Each must fail cleanly, leave the live table on
+// the pre-crash snapshot, and a reopened catalog must serve that same
+// snapshot with the stranded segment files garbage-collected.
+func TestCrashBeforeCommitRecoversPriorSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, pager.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := c.CreateTable("acct", []storage.Column{
+		{Name: "id", Type: datum.KInt},
+		{Name: "bal", Type: datum.KInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.SetSegmentCapacity(4); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]storage.Row, 12)
+	for i := range rows {
+		rows[i] = storage.Row{datum.NewInt(int64(i)), datum.NewInt(int64(100 + i))}
+	}
+	if err := tbl.InsertBatch(rows); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpRows(t, tbl)
+	liveSegs := segmentFiles(t, dir, "acct")
+
+	pager.SetFailBeforeCommit(func() error { return fmt.Errorf("injected crash") })
+	defer pager.SetFailBeforeCommit(nil)
+
+	// Mid-spill: the batch seals and spills two more segments, then the
+	// commit "crashes" — the new files are on disk, the manifest is not.
+	more := make([]storage.Row, 8)
+	for i := range more {
+		more[i] = storage.Row{datum.NewInt(int64(100 + i)), datum.NewInt(0)}
+	}
+	if err := tbl.InsertBatch(more); err == nil {
+		t.Fatal("InsertBatch survived the commit failpoint")
+	}
+	// Mid-rebuild, both rewrite paths.
+	if _, err := tbl.Update(func(r storage.Row) bool {
+		r[1] = datum.NewInt(r[1].Int() + 1)
+		return true
+	}); err == nil {
+		t.Fatal("Update survived the commit failpoint")
+	}
+	if _, err := tbl.Delete(func(r storage.Row) bool { return r[0].Int() < 6 }); err == nil {
+		t.Fatal("Delete survived the commit failpoint")
+	}
+	if err := tbl.CreateIndex("id"); err == nil {
+		t.Fatal("CreateIndex survived the commit failpoint")
+	}
+
+	// The live table rolled every mutation back.
+	if got := dumpRows(t, tbl); !equalStrings(got, want) {
+		t.Fatalf("live table diverged after failed mutations:\n%v\nwant\n%v", got, want)
+	}
+	pager.SetFailBeforeCommit(nil)
+
+	// The failed mutations stranded segment files past the committed set.
+	if got := segmentFiles(t, dir, "acct"); len(got) <= len(liveSegs) {
+		t.Fatalf("expected stranded segment files, have %d (committed %d)", len(got), len(liveSegs))
+	}
+
+	// Reopen: the recovered table serves the pre-crash snapshot, and the
+	// stranded files are gone.
+	c2, err := Open(dir, pager.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := c2.Table("acct")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dumpRows(t, re); !equalStrings(got, want) {
+		t.Fatalf("recovered table diverged:\n%v\nwant\n%v", got, want)
+	}
+	if re.Index("id") != nil {
+		t.Fatal("failed CreateIndex left durable index DDL")
+	}
+	if got := segmentFiles(t, dir, "acct"); !equalStrings(got, liveSegs) {
+		t.Fatalf("orphan GC left %v, want %v", got, liveSegs)
+	}
+
+	// And the recovered table accepts the same mutations cleanly now.
+	if _, err := re.Update(func(r storage.Row) bool {
+		r[1] = datum.NewInt(r[1].Int() + 1)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+const (
+	crashDirEnv  = "LANTERN_CRASH_DIR"
+	crashBatch   = 32
+	crashTable   = "wal"
+	crashSegCap  = 64
+	crashMaxIter = 5000 // child self-limit; the parent kills long before
+)
+
+// TestKillMidLoadRecovers re-execs the test binary as a child that
+// batch-inserts and phase-updates a disk-backed table in a tight loop,
+// SIGKILLs it mid-flight, then reopens the directory and checks the
+// recovered table equals a committed snapshot: ids form a contiguous
+// prefix in whole batches, and bal-id is the same phase constant on
+// every row. A second round reopens the same directory, continues
+// writing, and is killed again — recovery must also leave the table
+// writable.
+func TestKillMidLoadRecovers(t *testing.T) {
+	if dir := os.Getenv(crashDirEnv); dir != "" {
+		crashChild(dir)
+		return
+	}
+	if testing.Short() {
+		t.Skip("subprocess kill test")
+	}
+	dir := t.TempDir()
+	for round := 0; round < 2; round++ {
+		committed := runAndKillChild(t, dir)
+
+		c, err := Open(dir, pager.Config{})
+		if err != nil {
+			t.Fatalf("round %d: reopen after kill: %v", round, err)
+		}
+		tbl, err := c.Table(crashTable)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		n := tbl.RowCount()
+		if n%crashBatch != 0 {
+			t.Fatalf("round %d: recovered %d rows, not whole batches of %d", round, n, crashBatch)
+		}
+		if n < committed {
+			t.Fatalf("round %d: recovered %d rows, child reported %d committed", round, n, committed)
+		}
+		rows, err := tbl.Snapshot().FetchAll()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var phase int64 = -1
+		for i, r := range rows {
+			if r[0].Int() != int64(i) {
+				t.Fatalf("round %d: row %d has id %d — not a contiguous prefix", round, i, r[0].Int())
+			}
+			d := r[1].Int() - r[0].Int()
+			if phase == -1 {
+				phase = d
+			} else if d != phase {
+				t.Fatalf("round %d: row %d phase %d, row 0 phase %d — torn update", round, i, d, phase)
+			}
+		}
+	}
+}
+
+// runAndKillChild starts the child, lets it commit for a little while,
+// SIGKILLs it, and returns the highest committed row count it reported.
+func runAndKillChild(t *testing.T, dir string) int {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestKillMidLoadRecovers$")
+	cmd.Env = append(os.Environ(), crashDirEnv+"="+dir)
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var committed atomic.Int64
+	first := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(out)
+		once := false
+		for sc.Scan() {
+			var n int
+			if _, err := fmt.Sscanf(sc.Text(), "committed %d", &n); err == nil {
+				committed.Store(int64(n))
+				if !once {
+					once = true
+					close(first)
+				}
+			}
+		}
+	}()
+	select {
+	case <-first:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		cmd.Wait()
+		t.Fatal("child never committed a batch")
+	}
+	time.Sleep(150 * time.Millisecond) // let commits, spills and rebuilds pile up
+	cmd.Process.Kill()
+	cmd.Wait()
+	return int(committed.Load())
+}
+
+// crashChild is the re-exec'd writer: it opens (or recovers) the shared
+// directory and loops InsertBatch with a phase-bumping Update every few
+// batches, reporting each committed row count on stdout. It runs until
+// killed.
+func crashChild(dir string) {
+	c, err := Open(dir, pager.Config{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child: %v\n", err)
+		os.Exit(1)
+	}
+	var tbl *storage.Table
+	if c.HasTable(crashTable) {
+		tbl, _ = c.Table(crashTable)
+	} else {
+		tbl, err = c.CreateTable(crashTable, []storage.Column{
+			{Name: "id", Type: datum.KInt},
+			{Name: "bal", Type: datum.KInt},
+		})
+		if err == nil {
+			err = tbl.SetSegmentCapacity(crashSegCap)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "child: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	next := int64(tbl.RowCount())
+	phase := int64(0)
+	if next > 0 {
+		// Recover the phase from any row: bal - id is uniform.
+		r, err := tbl.Snapshot().FetchRow(0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "child: %v\n", err)
+			os.Exit(1)
+		}
+		phase = r[1].Int() - r[0].Int()
+	}
+	for iter := 0; iter < crashMaxIter; iter++ {
+		rows := make([]storage.Row, crashBatch)
+		for i := range rows {
+			id := next + int64(i)
+			rows[i] = storage.Row{datum.NewInt(id), datum.NewInt(id + phase)}
+		}
+		if err := tbl.InsertBatch(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "child: insert: %v\n", err)
+			os.Exit(1)
+		}
+		next += crashBatch
+		fmt.Printf("committed %d\n", next)
+		if iter%4 == 3 {
+			phase++
+			if _, err := tbl.Update(func(r storage.Row) bool {
+				r[1] = datum.NewInt(r[0].Int() + phase)
+				return true
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "child: update: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("committed %d\n", next)
+		}
+	}
+	os.Exit(0)
+}

@@ -4,7 +4,9 @@ import (
 	"strings"
 	"testing"
 
+	"lantern/internal/catalog"
 	"lantern/internal/engine"
+	"lantern/internal/pager"
 	"lantern/internal/plan"
 	"lantern/internal/sqlparser"
 )
@@ -30,6 +32,80 @@ func TestLoadTPCH(t *testing.T) {
 	}
 	if counts["lineitem"] <= counts["orders"] {
 		t.Errorf("lineitem (%d) should outnumber orders (%d)", counts["lineitem"], counts["orders"])
+	}
+}
+
+// TestLoadTPCHSFDiskBacked drives the bulk scale-factor loader against a
+// disk-backed catalog with a buffer pool far smaller than the data: rows
+// stream through InsertBatch, sealed segments spill as the load
+// proceeds, and the workload then runs by faulting segments back in.
+func TestLoadTPCHSFDiskBacked(t *testing.T) {
+	cat, err := catalog.Open(t.TempDir(), pager.Config{BufferPoolBytes: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := engine.NewWithCatalog(engine.DefaultConfig(), cat)
+	const sf = 0.001 // 1.5k orders, ~6k lineitem
+	if err := LoadTPCHSF(e, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int64{}
+	for _, tbl := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		r, err := e.Exec("SELECT COUNT(*) FROM " + tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", tbl, err)
+		}
+		counts[tbl] = r.Rows[0][0].Int()
+	}
+	want := map[string]int64{
+		"region": 5, "nation": 25, "supplier": 10, "customer": 150,
+		"part": 200, "partsupp": 800, "orders": 1500,
+	}
+	for tbl, n := range want {
+		if counts[tbl] != n {
+			t.Errorf("%s = %d rows, want %d (official proportions at SF %g)", tbl, counts[tbl], n, sf)
+		}
+	}
+	if counts["lineitem"] < counts["orders"] || counts["lineitem"] > 7*counts["orders"] {
+		t.Errorf("lineitem = %d rows, want 1..7 per order (%d orders)", counts["lineitem"], counts["orders"])
+	}
+	// The load spilled past the pool budget: serving the counts above
+	// faulted segments from disk.
+	if st := cat.Pager().Pool().Stats(); st.Misses == 0 {
+		t.Errorf("no buffer-pool misses after load+scan; data never spilled? %+v", st)
+	}
+	for _, w := range TPCHWorkload()[:6] {
+		if _, err := e.Exec(w.SQL); err != nil {
+			t.Errorf("%s: exec: %v", w.Name, err)
+		}
+	}
+}
+
+// TestLoadTPCHSFDeterministic pins that the bulk loader is a pure
+// function of (sf, seed) — including across in-memory and disk-backed
+// catalogs, whose flush/spill timing differs.
+func TestLoadTPCHSFDeterministic(t *testing.T) {
+	sum := func(disk bool) int64 {
+		e := engine.NewDefault()
+		if disk {
+			cat, err := catalog.Open(t.TempDir(), pager.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			e = engine.NewWithCatalog(engine.DefaultConfig(), cat)
+		}
+		if err := LoadTPCHSF(e, 0.0005, 7); err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Exec("SELECT SUM(l_orderkey), COUNT(*) FROM lineitem")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Rows[0][0].Int() * r.Rows[0][1].Int()
+	}
+	mem := sum(false)
+	if disk := sum(true); disk != mem {
+		t.Errorf("SF load diverges between catalogs: memory %d, disk %d", mem, disk)
 	}
 }
 

@@ -2,9 +2,12 @@ package datasets
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"lantern/internal/datum"
 	"lantern/internal/engine"
+	"lantern/internal/storage"
 )
 
 // tpchSegments, priorities and ship modes follow the TPC-H value domains.
@@ -23,23 +26,7 @@ var (
 // table-size ratios) with deterministic data under the seed.
 func LoadTPCH(e *engine.Engine, scale float64, seed int64) error {
 	rng := rand.New(rand.NewSource(seed))
-	ddl := `
-CREATE TABLE region (r_regionkey INTEGER, r_name VARCHAR(25), r_comment VARCHAR(120));
-CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR(25), n_regionkey INTEGER, n_comment VARCHAR(120));
-CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR(25), s_nationkey INTEGER, s_acctbal FLOAT, s_comment VARCHAR(100));
-CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25), c_nationkey INTEGER, c_mktsegment VARCHAR(10), c_acctbal FLOAT, c_phone VARCHAR(15));
-CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR(55), p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), p_retailprice FLOAT, p_brand VARCHAR(10));
-CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, ps_availqty INTEGER, ps_supplycost FLOAT);
-CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_orderstatus VARCHAR(1), o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR(15), o_shippriority INTEGER);
-CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipmode VARCHAR(10));
-CREATE INDEX customer_pk ON customer (c_custkey);
-CREATE INDEX orders_pk ON orders (o_orderkey);
-CREATE INDEX orders_custkey ON orders (o_custkey);
-CREATE INDEX lineitem_orderkey ON lineitem (l_orderkey);
-CREATE INDEX part_pk ON part (p_partkey);
-CREATE INDEX supplier_pk ON supplier (s_suppkey);
-`
-	if _, err := e.ExecScript(ddl); err != nil {
+	if _, err := e.ExecScript(tpchDDL + tpchIndexDDL); err != nil {
 		return err
 	}
 
@@ -128,6 +115,236 @@ CREATE INDEX supplier_pk ON supplier (s_suppkey);
 	}
 	return insertBatch(e, "lineitem", lineRows)
 }
+
+// tpchDDL is the TPC-H schema without indexes; LoadTPCHSF creates the
+// indexes after the data load so each build streams the table once
+// instead of rebuilding per inserted batch.
+const tpchDDL = `
+CREATE TABLE region (r_regionkey INTEGER, r_name VARCHAR(25), r_comment VARCHAR(120));
+CREATE TABLE nation (n_nationkey INTEGER, n_name VARCHAR(25), n_regionkey INTEGER, n_comment VARCHAR(120));
+CREATE TABLE supplier (s_suppkey INTEGER, s_name VARCHAR(25), s_nationkey INTEGER, s_acctbal FLOAT, s_comment VARCHAR(100));
+CREATE TABLE customer (c_custkey INTEGER, c_name VARCHAR(25), c_nationkey INTEGER, c_mktsegment VARCHAR(10), c_acctbal FLOAT, c_phone VARCHAR(15));
+CREATE TABLE part (p_partkey INTEGER, p_name VARCHAR(55), p_type VARCHAR(25), p_size INTEGER, p_container VARCHAR(10), p_retailprice FLOAT, p_brand VARCHAR(10));
+CREATE TABLE partsupp (ps_partkey INTEGER, ps_suppkey INTEGER, ps_availqty INTEGER, ps_supplycost FLOAT);
+CREATE TABLE orders (o_orderkey INTEGER, o_custkey INTEGER, o_orderstatus VARCHAR(1), o_totalprice FLOAT, o_orderdate DATE, o_orderpriority VARCHAR(15), o_shippriority INTEGER);
+CREATE TABLE lineitem (l_orderkey INTEGER, l_partkey INTEGER, l_suppkey INTEGER, l_linenumber INTEGER, l_quantity FLOAT, l_extendedprice FLOAT, l_discount FLOAT, l_tax FLOAT, l_returnflag VARCHAR(1), l_linestatus VARCHAR(1), l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipmode VARCHAR(10));
+`
+
+const tpchIndexDDL = `
+CREATE INDEX customer_pk ON customer (c_custkey);
+CREATE INDEX orders_pk ON orders (o_orderkey);
+CREATE INDEX orders_custkey ON orders (o_custkey);
+CREATE INDEX lineitem_orderkey ON lineitem (l_orderkey);
+CREATE INDEX part_pk ON part (p_partkey);
+CREATE INDEX supplier_pk ON supplier (s_suppkey);
+`
+
+// bulkLoader streams storage.Rows into a table through InsertBatch in
+// bounded flushes, so a load's resident footprint is one flush plus the
+// table's mutable tail — sealed segments spill to disk as they fill when
+// the table is disk-backed. The outer rows slice is reused across
+// flushes (InsertBatch copies the row headers into its own tail blocks);
+// the per-row arrays are freshly allocated and owned by the table.
+type bulkLoader struct {
+	tbl  *storage.Table
+	rows []storage.Row
+}
+
+// bulkFlushRows is sized so a flush of the widest table (lineitem,
+// 14 columns) stays in the low tens of megabytes.
+const bulkFlushRows = 50_000
+
+func (b *bulkLoader) add(r storage.Row) error {
+	b.rows = append(b.rows, r)
+	if len(b.rows) >= bulkFlushRows {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *bulkLoader) flush() error {
+	if len(b.rows) == 0 {
+		return nil
+	}
+	if err := b.tbl.InsertBatch(b.rows); err != nil {
+		return err
+	}
+	b.rows = b.rows[:0]
+	return nil
+}
+
+func bulkLoaderFor(e *engine.Engine, table string) (*bulkLoader, error) {
+	tbl, err := e.Cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return &bulkLoader{tbl: tbl, rows: make([]storage.Row, 0, bulkFlushRows)}, nil
+}
+
+// LoadTPCHSF creates and bulk-loads the eight TPC-H tables at the
+// official scale-factor row counts (SF 1: 10k suppliers, 150k customers,
+// 200k parts, 800k partsupp rows, 1.5M orders, ~6M lineitem rows) with
+// deterministic data under the seed, using the same value domains as
+// LoadTPCH so TPCHWorkload runs unchanged. Unlike LoadTPCH — which
+// builds SQL INSERT text and is hardwired to toy scales — rows stream
+// through storage.Table.InsertBatch in bounded flushes, and on a
+// disk-backed catalog every sealed segment spills before the next flush
+// is built: seeding SF >= 1 never holds the dataset resident. Indexes
+// are created after the load, streaming each table once.
+func LoadTPCHSF(e *engine.Engine, sf float64, seed int64) error {
+	if err := LoadTPCHSFNoIndex(e, sf, seed); err != nil {
+		return err
+	}
+	_, err := e.ExecScript(tpchIndexDDL)
+	return err
+}
+
+// LoadTPCHSFNoIndex is LoadTPCHSF without the secondary indexes. Index
+// entries are not durable (only the DDL is): every reopen of a
+// disk-backed directory rebuilds them by streaming the whole dataset
+// through the buffer pool. Sequential-scan benchmarks that reopen one
+// seeded directory under several pool budgets use this variant so the
+// reopens stay footer-only and the first segment fault is the measured
+// scan's, not the index rebuild's.
+func LoadTPCHSFNoIndex(e *engine.Engine, sf float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	if _, err := e.ExecScript(tpchDDL); err != nil {
+		return err
+	}
+
+	nSupp := scaled(10_000, sf)
+	nCust := scaled(150_000, sf)
+	nPart := scaled(200_000, sf)
+	nOrders := scaled(1_500_000, sf)
+
+	di, df, ds := datum.NewInt, datum.NewFloat, datum.NewString
+
+	ld, err := bulkLoaderFor(e, "region")
+	if err != nil {
+		return err
+	}
+	for i, r := range tpchRegions {
+		if err := ld.add(storage.Row{di(int64(i)), ds(r), ds(fmt.Sprintf("region comment %d", i))}); err != nil {
+			return err
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	if ld, err = bulkLoaderFor(e, "nation"); err != nil {
+		return err
+	}
+	for i := 0; i < 25; i++ {
+		if err := ld.add(storage.Row{di(int64(i)), ds(fmt.Sprintf("NATION%02d", i)), di(int64(i % 5)),
+			ds(fmt.Sprintf("nation comment %d", i))}); err != nil {
+			return err
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	if ld, err = bulkLoaderFor(e, "supplier"); err != nil {
+		return err
+	}
+	for i := 1; i <= nSupp; i++ {
+		if err := ld.add(storage.Row{di(int64(i)), ds(fmt.Sprintf("Supplier%05d", i)),
+			di(int64(rng.Intn(25))), df(round2(rng.Float64()*11000 - 1000)),
+			ds(fmt.Sprintf("supplier comment %d", i))}); err != nil {
+			return err
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	if ld, err = bulkLoaderFor(e, "customer"); err != nil {
+		return err
+	}
+	for i := 1; i <= nCust; i++ {
+		if err := ld.add(storage.Row{di(int64(i)), ds(fmt.Sprintf("Customer%06d", i)),
+			di(int64(rng.Intn(25))), ds(tpchSegments[rng.Intn(len(tpchSegments))]),
+			df(round2(rng.Float64()*11000 - 1000)),
+			ds(fmt.Sprintf("%02d-%03d-%04d", 10+rng.Intn(25), rng.Intn(1000), rng.Intn(10000)))}); err != nil {
+			return err
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	if ld, err = bulkLoaderFor(e, "part"); err != nil {
+		return err
+	}
+	for i := 1; i <= nPart; i++ {
+		if err := ld.add(storage.Row{di(int64(i)), ds(fmt.Sprintf("part name %d", i)),
+			ds(tpchTypes[rng.Intn(len(tpchTypes))]), di(int64(1 + rng.Intn(50))),
+			ds(tpchContainers[rng.Intn(len(tpchContainers))]), df(round2(900 + rng.Float64()*1100)),
+			ds(fmt.Sprintf("Brand#%d%d", 1+rng.Intn(5), 1+rng.Intn(5)))}); err != nil {
+			return err
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	// partsupp: the official four suppliers per part.
+	if ld, err = bulkLoaderFor(e, "partsupp"); err != nil {
+		return err
+	}
+	for i := 1; i <= nPart; i++ {
+		for s := 0; s < 4; s++ {
+			if err := ld.add(storage.Row{di(int64(i)), di(int64(1 + rng.Intn(nSupp))),
+				di(int64(rng.Intn(10000))), df(round2(rng.Float64() * 1000))}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ld.flush(); err != nil {
+		return err
+	}
+
+	// orders and lineitem generate interleaved (an order's line items
+	// right after the order) so neither table's rows accumulate beyond
+	// one flush.
+	ordersLd, err := bulkLoaderFor(e, "orders")
+	if err != nil {
+		return err
+	}
+	linesLd, err := bulkLoaderFor(e, "lineitem")
+	if err != nil {
+		return err
+	}
+	for i := 1; i <= nOrders; i++ {
+		odate := date(rng, 1992, 1998)
+		if err := ordersLd.add(storage.Row{di(int64(i)), di(int64(1 + rng.Intn(nCust))),
+			ds(tpchStatus[rng.Intn(3)]), df(round2(1000 + rng.Float64()*450000)),
+			ds(odate), ds(tpchPriorities[rng.Intn(5)]), di(int64(rng.Intn(2)))}); err != nil {
+			return err
+		}
+		nl := 1 + rng.Intn(7) // official: one to seven line items per order
+		for ln := 1; ln <= nl; ln++ {
+			if err := linesLd.add(storage.Row{di(int64(i)), di(int64(1 + rng.Intn(nPart))),
+				di(int64(1 + rng.Intn(nSupp))), di(int64(ln)),
+				df(float64(1 + rng.Intn(50))), df(round2(900 + rng.Float64()*100000)),
+				df(round2(rng.Float64() * 0.1)), df(round2(rng.Float64() * 0.08)),
+				ds([]string{"R", "A", "N"}[rng.Intn(3)]), ds([]string{"O", "F"}[rng.Intn(2)]),
+				ds(date(rng, 1992, 1998)), ds(date(rng, 1992, 1998)), ds(date(rng, 1992, 1998)),
+				ds(tpchModes[rng.Intn(len(tpchModes))])}); err != nil {
+				return err
+			}
+		}
+	}
+	if err := ordersLd.flush(); err != nil {
+		return err
+	}
+	return linesLd.flush()
+}
+
+// round2 keeps generated monetary values at two decimals, matching the
+// '%.2f' literals the SQL-text loader produces.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
 
 // TPCHForeignKeys returns the join graph of the TPC-H schema, used by the
 // random query generator.

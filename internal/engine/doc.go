@@ -91,6 +91,25 @@
 // costing (results are pinned unchanged), leaving the typed-loop gains
 // in place.
 //
+// Disk-backed tables (a catalog opened over a data directory,
+// internal/catalog + internal/pager) extend the contract without
+// changing it. A spilled segment keeps its zone maps, distinct sketches
+// and row count resident — only the payload (typed vectors, null
+// bitmaps, row-major view) lives in the segment file — so the pruning
+// check above runs on metadata alone and a refuted segment costs zero
+// I/O, not just zero rows: the buffer pool's miss counter is pinned
+// unchanged by test (disk_test.go). A surviving segment is faulted in
+// through Segment.Load, which pins a buffer-pool frame for the duration
+// of that segment's scan; scans release the previous segment's pin
+// before loading the next, so a serial scan holds at most one frame and
+// a parallel scan at most one per worker. Rows handed downstream remain
+// valid after the pin is released and even after eviction (the payload
+// is garbage-collected storage, the pool only bounds what it keeps
+// cached), so the batch row-retention rule below is unaffected. The one
+// visible change is the failure mode: I/O and checksum errors on the
+// fault path surface as query errors (wrapping pager.ErrChecksum for
+// corruption) on every executor rather than panics.
+//
 // # Morsel-driven parallelism
 //
 // Plans whose estimated driver cardinality justifies it execute with

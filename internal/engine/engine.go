@@ -77,6 +77,13 @@ func New(cfg Config) *Engine {
 	return &Engine{Cat: catalog.New(), Cfg: cfg}
 }
 
+// NewWithCatalog creates an engine over an existing catalog — typically
+// one opened over a data directory (catalog.Open), whose tables are
+// disk-backed and served through the pager's buffer pool.
+func NewWithCatalog(cfg Config, cat *catalog.Catalog) *Engine {
+	return &Engine{Cat: cat, Cfg: cfg}
+}
+
 // NewDefault creates an engine with the default configuration.
 func NewDefault() *Engine { return New(DefaultConfig()) }
 
@@ -390,7 +397,7 @@ func (e *Engine) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 		setPos[i] = p
 	}
 	ctx := &evalCtx{schema: schema, sub: e.subquery}
-	n := t.Update(func(r storage.Row) bool {
+	n, err := t.Update(func(r storage.Row) bool {
 		ctx.row = r
 		if s.Where != nil {
 			v, err := eval(ctx, s.Where)
@@ -412,6 +419,9 @@ func (e *Engine) runUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 		}
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Affected: n}, nil
 }
 
@@ -422,7 +432,7 @@ func (e *Engine) runDelete(s *sqlparser.DeleteStmt) (*Result, error) {
 	}
 	schema := scanSchema(t, s.Table)
 	ctx := &evalCtx{schema: schema, sub: e.subquery}
-	n := t.Delete(func(r storage.Row) bool {
+	n, err := t.Delete(func(r storage.Row) bool {
 		if s.Where == nil {
 			return true
 		}
@@ -430,6 +440,9 @@ func (e *Engine) runDelete(s *sqlparser.DeleteStmt) (*Result, error) {
 		v, err := eval(ctx, s.Where)
 		return err == nil && truthy(v)
 	})
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Affected: n}, nil
 }
 

@@ -14,6 +14,15 @@ import (
 func testDB(t *testing.T, cfg Config) *Engine {
 	t.Helper()
 	e := New(cfg)
+	seedTestDB(t, e, 0)
+	return e
+}
+
+// seedTestDB loads the standard test schema and rows into e. A non-zero
+// segCap shrinks every table's segment capacity first, so the small test
+// tables seal (and, on a disk-backed catalog, spill) multiple segments.
+func seedTestDB(t *testing.T, e *Engine, segCap int) {
+	t.Helper()
 	script := `
 CREATE TABLE inproceedings (proceeding_key INTEGER, author VARCHAR(30));
 CREATE TABLE publication (pub_key INTEGER, title VARCHAR(60));
@@ -23,6 +32,17 @@ CREATE INDEX customer_pk ON customer (c_custkey);
 `
 	if _, err := e.ExecScript(script); err != nil {
 		t.Fatal(err)
+	}
+	if segCap > 0 {
+		for _, name := range e.Cat.TableNames() {
+			tbl, err := e.Cat.Table(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tbl.SetSegmentCapacity(segCap); err != nil {
+				t.Fatal(err)
+			}
+		}
 	}
 	for i := 1; i <= 40; i++ {
 		title := "Proc"
@@ -42,7 +62,6 @@ CREATE INDEX customer_pk ON customer (c_custkey);
 	for i := 1; i <= 60; i++ {
 		mustExec(t, e, fmt.Sprintf("INSERT INTO orders VALUES (%d, %d, %d.0, '%s')", i, i%20+1, i*7, string(rune('A'+i%3))))
 	}
-	return e
 }
 
 func mustExec(t *testing.T, e *Engine, sql string) *Result {

@@ -102,7 +102,11 @@ func (e *Engine) execSeqScan(n *Node) ([]storage.Row, error) {
 	// The reference oracle deliberately stays naive: materialize every row
 	// (segments and tail) and filter through the tree-walking evaluator —
 	// no zone maps, no typed loops — so it differentially checks both.
-	return e.filterRows(n, t.AllRows())
+	rows, err := t.Snapshot().FetchAll()
+	if err != nil {
+		return nil, err
+	}
+	return e.filterRows(n, rows)
 }
 
 // execIndexScan derives the scan interval from the planned index condition
@@ -129,7 +133,11 @@ func (e *Engine) execIndexScan(n *Node) ([]storage.Row, error) {
 	}
 	rows := make([]storage.Row, 0, len(ids))
 	for _, id := range ids {
-		rows = append(rows, snap.Row(id))
+		r, err := snap.FetchRow(id)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
 	}
 	// Re-check the index condition too (cheap, and keeps multi-conjunct
 	// conditions exact when bounds only captured part of them).

@@ -155,6 +155,7 @@ type seqScanIter struct {
 	st     *OpStats
 	env    rowEnv
 
+	curSD    *storage.SegData // loaded payload cur aliases; nil for the tail
 	cur      []storage.Row
 	seg      int
 	pos      int
@@ -183,16 +184,29 @@ func (b *ibuild) newSeqScanIter(n *Node) (*seqScanIter, error) {
 }
 
 func (it *seqScanIter) Open() error {
+	it.releaseSeg()
 	it.cur = nil
 	it.seg, it.pos = 0, 0
 	it.tailDone, it.done = false, false
-	it.advance()
-	return nil
+	return it.advance()
+}
+
+// releaseSeg unpins the current segment's buffer pool frame, if any.
+// Handed-out rows stay valid past the release (GC holds the payload while
+// referenced); only the pool's eviction eligibility changes.
+func (it *seqScanIter) releaseSeg() {
+	if it.curSD != nil {
+		it.curSD.Release()
+		it.curSD = nil
+	}
 }
 
 // advance moves to the next run of rows: the next sealed segment surviving
-// zone-map pruning, then the tail, then end-of-stream.
-func (it *seqScanIter) advance() {
+// zone-map pruning, then the tail, then end-of-stream. Pruning reads only
+// resident zone maps; surviving segments fault their payload in through
+// the buffer pool, so a pruned segment costs zero I/O.
+func (it *seqScanIter) advance() error {
+	it.releaseSeg()
 	segs := it.snap.Segments()
 	for it.seg < len(segs) {
 		s := segs[it.seg]
@@ -202,15 +216,21 @@ func (it *seqScanIter) advance() {
 			continue
 		}
 		it.noteSeg(false)
-		it.cur, it.pos = s.Rows(), 0
-		return
+		sd, err := s.Load()
+		if err != nil {
+			it.done = true
+			return err
+		}
+		it.curSD, it.cur, it.pos = sd, sd.Rows(), 0
+		return nil
 	}
 	if !it.tailDone {
 		it.tailDone = true
 		it.cur, it.pos = it.snap.Tail(), 0
-		return
+		return nil
 	}
 	it.done = true
+	return nil
 }
 
 // noteSeg records segment accounting. The row pipeline is serial, so plain
@@ -229,7 +249,9 @@ func (it *seqScanIter) noteSeg(pruned bool) {
 func (it *seqScanIter) Next() (storage.Row, bool, error) {
 	for !it.done {
 		if it.pos >= len(it.cur) {
-			it.advance()
+			if err := it.advance(); err != nil {
+				return nil, false, err
+			}
 			continue
 		}
 		r := it.cur[it.pos]
@@ -249,7 +271,10 @@ func (it *seqScanIter) Next() (storage.Row, bool, error) {
 	return nil, false, nil
 }
 
-func (it *seqScanIter) Close() error { return nil }
+func (it *seqScanIter) Close() error {
+	it.releaseSeg()
+	return nil
+}
 
 type indexScanIter struct {
 	eng     *Engine
@@ -304,7 +329,10 @@ func (it *indexScanIter) Open() error {
 
 func (it *indexScanIter) Next() (storage.Row, bool, error) {
 	for it.pos < len(it.ids) {
-		r := it.snap.Row(it.ids[it.pos])
+		r, err := it.snap.FetchRow(it.ids[it.pos])
+		if err != nil {
+			return nil, false, err
+		}
 		it.pos++
 		if it.recheck == nil {
 			return r, true, nil

@@ -279,27 +279,32 @@ func (e *Engine) activeParShape(root *Node) *parShape {
 // segment's accounting so each segment counts once.
 type morsel struct {
 	seg    *storage.Segment // nil for a tail chunk
-	rows   []storage.Row    // the run lo/hi index into (segment rows or tail)
+	rows   []storage.Row    // tail rows; nil for a segment morsel (loaded lazily)
 	lo, hi int
 }
 
 // buildMorsels slices a table snapshot into morsels in table order, so
-// index-ordered merges reproduce the serial scan order exactly.
+// index-ordered merges reproduce the serial scan order exactly. Segment
+// morsels carry only the segment handle and a row range — never the rows
+// themselves — so splitting a disk-backed table into morsels touches no
+// payload: a segment is faulted in by the worker that grabs it, and only
+// after its zone maps survive pruning.
 func buildMorsels(snap storage.Snapshot, size int) []morsel {
 	var out []morsel
-	add := func(seg *storage.Segment, rows []storage.Row) {
-		for lo := 0; lo < len(rows); lo += size {
+	add := func(seg *storage.Segment, rows []storage.Row, n int) {
+		for lo := 0; lo < n; lo += size {
 			hi := lo + size
-			if hi > len(rows) {
-				hi = len(rows)
+			if hi > n {
+				hi = n
 			}
 			out = append(out, morsel{seg: seg, rows: rows, lo: lo, hi: hi})
 		}
 	}
 	for _, seg := range snap.Segments() {
-		add(seg, seg.Rows())
+		add(seg, nil, seg.NumRows())
 	}
-	add(nil, snap.Tail())
+	tail := snap.Tail()
+	add(nil, tail, len(tail))
 	return out
 }
 
@@ -338,17 +343,23 @@ type morselScanVec struct {
 	st    *OpStats // shared across workers; updated atomically
 	out   []storage.Row
 
-	seg      *storage.Segment
+	sd       *storage.SegData // pinned payload of the current segment morsel
 	rows     []storage.Row
 	pos, end int
 	skip     bool
+	err      error // deferred Load failure, surfaced by NextBatch
 }
 
 // setMorsel points the scan at one morsel and consults the zone maps: a
-// refuted segment produces no batches at all. Segment accounting is
-// attributed to the lo == 0 morsel so split segments count once.
+// refuted segment produces no batches at all — and is never faulted in,
+// so pruning a spilled segment costs zero I/O. A surviving segment morsel
+// faults its payload here and stays pinned until the next setMorsel (or
+// Close). Segment accounting is attributed to the lo == 0 morsel so split
+// segments count once.
 func (it *morselScanVec) setMorsel(m morsel) {
-	it.seg, it.rows, it.pos, it.end = m.seg, m.rows, m.lo, m.hi
+	it.releaseSeg()
+	it.err = nil
+	it.rows, it.pos, it.end = m.rows, m.lo, m.hi
 	it.skip = m.seg != nil && it.prune && it.pred != nil && segPruned(it.pred, m.seg)
 	if it.st != nil && m.seg != nil && m.lo == 0 {
 		if it.skip {
@@ -357,11 +368,30 @@ func (it *morselScanVec) setMorsel(m morsel) {
 			atomic.AddInt64(&it.st.SegsScanned, 1)
 		}
 	}
+	if m.seg == nil || it.skip {
+		return
+	}
+	sd, err := m.seg.Load()
+	if err != nil {
+		it.err = err
+		return
+	}
+	it.sd, it.rows = sd, sd.Rows()
+}
+
+func (it *morselScanVec) releaseSeg() {
+	if it.sd != nil {
+		it.sd.Release()
+		it.sd = nil
+	}
 }
 
 func (it *morselScanVec) Open() error { return nil }
 
 func (it *morselScanVec) NextBatch() ([]storage.Row, error) {
+	if it.err != nil {
+		return nil, it.err
+	}
 	if it.skip {
 		return nil, nil
 	}
@@ -382,8 +412,8 @@ func (it *morselScanVec) NextBatch() ([]storage.Row, error) {
 			out []storage.Row
 			err error
 		)
-		if it.seg != nil {
-			out, err = segSelect(it.pred, it.out[:0], it.seg, lo, end)
+		if it.sd != nil {
+			out, err = segSelect(it.pred, it.out[:0], it.sd, lo, end)
 		} else {
 			out, err = it.pred.selectInto(it.out[:0], it.rows[lo:end])
 		}
@@ -398,7 +428,10 @@ func (it *morselScanVec) NextBatch() ([]storage.Row, error) {
 	return nil, nil
 }
 
-func (it *morselScanVec) Close() error { return nil }
+func (it *morselScanVec) Close() error {
+	it.releaseSeg()
+	return nil
+}
 
 // --- Vectorized instrumentation wrapper -------------------------------------
 
@@ -1413,6 +1446,7 @@ func (x *exchangeVec) buildSharedParallel(s *hashShared, shell *hashJoinVec, n, 
 			if x.v.stats != nil {
 				scan = x.v.instr(scanNode, ms)
 			}
+			defer scan.Close() // unpin the last-held segment payload
 			var env rowEnv
 			keyBuf := make([]datum.D, shell.nKeys)
 			var keys []boundExpr

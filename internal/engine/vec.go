@@ -275,7 +275,7 @@ type seqScanVec struct {
 	st    *OpStats
 	out   []storage.Row
 
-	curSeg   *storage.Segment // segment cur aliases; nil for the tail
+	curSD    *storage.SegData // loaded payload cur aliases; nil for the tail
 	cur      []storage.Row    // current run of rows
 	seg      int              // next sealed segment ordinal
 	pos      int              // position within cur
@@ -305,20 +305,34 @@ func (v *vbuild) newSeqScanVec(n *Node) (*seqScanVec, error) {
 }
 
 func (it *seqScanVec) Open() error {
-	it.curSeg, it.cur = nil, nil
+	it.releaseSeg()
+	it.cur = nil
 	it.seg, it.pos = 0, 0
 	it.tailDone, it.done = false, false
 	it.chunk = initialChunkSize
-	it.advance()
-	return nil
+	return it.advance()
+}
+
+// releaseSeg unpins the current segment's buffer pool frame, if any. Rows
+// already handed downstream stay valid — the decoded payload is GC-held
+// while any consumer references it — releasing only lets the pool evict
+// the frame once no scan is positioned on it.
+func (it *seqScanVec) releaseSeg() {
+	if it.curSD != nil {
+		it.curSD.Release()
+		it.curSD = nil
+	}
 }
 
 // advance positions the scan at its next run of rows: the next sealed
 // segment surviving zone-map pruning, then the tail, then end-of-stream.
-// Segment-level accounting (scanned vs pruned) happens here; the counters
-// are atomic because build-side scans can run cloned across goroutines
-// against one shared OpStats.
-func (it *seqScanVec) advance() {
+// Pruning consults only the segment's resident zone maps; a surviving
+// segment is then faulted in (and pinned) through the buffer pool, so a
+// pruned segment costs zero I/O. Segment-level accounting (scanned vs
+// pruned) happens here; the counters are atomic because build-side scans
+// can run cloned across goroutines against one shared OpStats.
+func (it *seqScanVec) advance() error {
+	it.releaseSeg()
 	segs := it.snap.Segments()
 	for it.seg < len(segs) {
 		s := segs[it.seg]
@@ -328,15 +342,21 @@ func (it *seqScanVec) advance() {
 			continue
 		}
 		it.noteSeg(false)
-		it.curSeg, it.cur, it.pos = s, s.Rows(), 0
-		return
+		sd, err := s.Load()
+		if err != nil {
+			it.done = true
+			return err
+		}
+		it.curSD, it.cur, it.pos = sd, sd.Rows(), 0
+		return nil
 	}
 	if !it.tailDone {
 		it.tailDone = true
-		it.curSeg, it.cur, it.pos = nil, it.snap.Tail(), 0
-		return
+		it.cur, it.pos = it.snap.Tail(), 0
+		return nil
 	}
 	it.done = true
+	return nil
 }
 
 func (it *seqScanVec) noteSeg(pruned bool) {
@@ -353,7 +373,9 @@ func (it *seqScanVec) noteSeg(pruned bool) {
 func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
 	for !it.done {
 		if it.pos >= len(it.cur) {
-			it.advance()
+			if err := it.advance(); err != nil {
+				return nil, err
+			}
 			continue
 		}
 		end := it.pos + it.chunk
@@ -379,8 +401,8 @@ func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
 			out []storage.Row
 			err error
 		)
-		if it.curSeg != nil {
-			out, err = segSelect(it.pred, it.out[:0], it.curSeg, lo, end)
+		if it.curSD != nil {
+			out, err = segSelect(it.pred, it.out[:0], it.curSD, lo, end)
 		} else {
 			out, err = it.pred.selectInto(it.out[:0], it.cur[lo:end])
 		}
@@ -397,7 +419,10 @@ func (it *seqScanVec) NextBatch() ([]storage.Row, error) {
 	return nil, nil
 }
 
-func (it *seqScanVec) Close() error { return nil }
+func (it *seqScanVec) Close() error {
+	it.releaseSeg()
+	return nil
+}
 
 // indexScanVec resolves the index at Open exactly like indexScanIter, then
 // gathers candidate rows per batch and rechecks the full index condition
@@ -469,7 +494,11 @@ func (it *indexScanVec) NextBatch() ([]storage.Row, error) {
 		}
 		in := it.in[:0]
 		for _, id := range it.ids[it.pos:end] {
-			in = append(in, it.snap.Row(id))
+			r, err := it.snap.FetchRow(id)
+			if err != nil {
+				return nil, err
+			}
+			in = append(in, r)
 		}
 		it.in = in
 		it.pos = end

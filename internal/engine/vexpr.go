@@ -293,19 +293,24 @@ func segPruned(p vecPred, seg *storage.Segment) bool {
 }
 
 // segSelector is implemented by predicates with a typed-vector loop: rows
-// [lo, hi) of the segment are filtered by scanning the flat column vector
-// and late-materializing only the surviving row headers.
+// [lo, hi) of the loaded segment payload are filtered by scanning the flat
+// column vector and late-materializing only the surviving row headers.
+// Selection operates on a *storage.SegData — the payload a scan faulted in
+// (and pinned) through the buffer pool — never on the Segment itself, so
+// pruning (zones, always resident) and selection (payload, possibly
+// on disk) stay on opposite sides of the I/O boundary.
 type segSelector interface {
-	selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error)
+	selectSeg(out []storage.Row, sd *storage.SegData, lo, hi int) ([]storage.Row, error)
 }
 
-// segSelect filters rows [lo, hi) of seg through p: the typed-vector loop
-// when the predicate has one, the row-major loop otherwise.
-func segSelect(p vecPred, out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+// segSelect filters rows [lo, hi) of a loaded segment payload through p:
+// the typed-vector loop when the predicate has one, the row-major loop
+// otherwise.
+func segSelect(p vecPred, out []storage.Row, sd *storage.SegData, lo, hi int) ([]storage.Row, error) {
 	if sp, ok := p.(segSelector); ok {
-		return sp.selectSeg(out, seg, lo, hi)
+		return sp.selectSeg(out, sd, lo, hi)
 	}
-	return p.selectInto(out, seg.Rows()[lo:hi])
+	return p.selectInto(out, sd.Rows()[lo:hi])
 }
 
 // prunesSegment refutes a comparison from the column's zone map. Bounds
@@ -346,12 +351,12 @@ func (p *cmpColLit) prunesSegment(seg *storage.Segment) bool {
 // kind pairing (ints compare as ints, mixed numerics widen to float,
 // strings compare lexically); any other pairing — or a column without a
 // typed vector — falls back to the row loop.
-func (p *cmpColLit) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+func (p *cmpColLit) selectSeg(out []storage.Row, sd *storage.SegData, lo, hi int) ([]storage.Row, error) {
 	if p.lit.IsNull() {
 		return out, nil
 	}
-	vec := seg.Col(p.ord)
-	rows := seg.Rows()
+	vec := sd.Col(p.ord)
+	rows := sd.Rows()
 	switch {
 	case vec.Kind == datum.KInt && p.lit.Kind() == datum.KInt:
 		lv := p.lit.Int()
@@ -452,9 +457,9 @@ func (p *isNullPred) prunesSegment(seg *storage.Segment) bool {
 
 // selectSeg answers IS [NOT] NULL from the null bitmap alone — the bitmap
 // is built for every column, typed vector or not.
-func (p *isNullPred) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
-	vec := seg.Col(p.ord)
-	rows := seg.Rows()
+func (p *isNullPred) selectSeg(out []storage.Row, sd *storage.SegData, lo, hi int) ([]storage.Row, error) {
+	vec := sd.Col(p.ord)
+	rows := sd.Rows()
 	if !vec.HasNulls() {
 		if p.not {
 			return append(out, rows[lo:hi]...), nil
@@ -481,20 +486,20 @@ func (p *andPred) prunesSegment(seg *storage.Segment) bool {
 
 // selectSeg runs the first conjunct through its typed loop (the survivors
 // late-materialize there), then chains the rest over the survivor rows.
-func (p *andPred) selectSeg(out []storage.Row, seg *storage.Segment, lo, hi int) ([]storage.Row, error) {
+func (p *andPred) selectSeg(out []storage.Row, sd *storage.SegData, lo, hi int) ([]storage.Row, error) {
 	var cur []storage.Row
 	var err error
 	for i, pred := range p.preds {
 		last := i == len(p.preds)-1
 		if i == 0 {
 			if last {
-				return segSelect(pred, out, seg, lo, hi)
+				return segSelect(pred, out, sd, lo, hi)
 			}
 			buf := p.scratch[0][:0]
 			if buf == nil {
 				buf = make([]storage.Row, 0, batchSize)
 			}
-			if buf, err = segSelect(pred, buf, seg, lo, hi); err != nil {
+			if buf, err = segSelect(pred, buf, sd, lo, hi); err != nil {
 				return out, err
 			}
 			p.scratch[0] = buf

@@ -1,15 +1,18 @@
 package httpapi
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"lantern/internal/catalog"
 	"lantern/internal/datasets"
 	"lantern/internal/engine"
 	"lantern/internal/obs"
+	"lantern/internal/pager"
 	"lantern/internal/pool"
 	"lantern/internal/service"
 )
@@ -87,6 +90,77 @@ func TestMetricsLint(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q\n%s", want, text)
 		}
+	}
+}
+
+// TestMetricsBufferPool serves a disk-backed engine with a 1-byte buffer
+// pool: scanning a spilled table must fault segments, and the pool's
+// hit/miss/eviction series must reach both GET /metrics and /v1/stats.
+func TestMetricsBufferPool(t *testing.T) {
+	cat, err := catalog.Open(t.TempDir(), pager.Config{BufferPoolBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.NewWithCatalog(engine.DefaultConfig(), cat)
+	// SF 0.001 puts ~6k rows in lineitem — past the 4096-row seal point,
+	// so the table has spilled segments to fault back in.
+	if err := datasets.LoadTPCHSF(eng, 0.001, 1); err != nil {
+		t.Fatal(err)
+	}
+	store := pool.NewSeededStore()
+	srv := service.NewServer(eng, store, service.Config{
+		Workers: 2, EngineSessions: 2, RequestTimeout: 30 * time.Second,
+	})
+	t.Cleanup(srv.Close)
+	h := New(srv, store, Config{Dataset: "tpch"})
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v2/query",
+		strings.NewReader(`{"sql": "SELECT COUNT(*) FROM lineitem"}`))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query: %d\n%s", rec.Code, rec.Body.String())
+	}
+
+	mrec := get(t, h, "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", mrec.Code)
+	}
+	for _, err := range obs.Lint(mrec.Body.Bytes()) {
+		t.Errorf("lint: %v", err)
+	}
+	text := mrec.Body.String()
+	for _, want := range []string{
+		"# TYPE lantern_bufferpool_events_total counter",
+		`lantern_bufferpool_events_total{event="hit"}`,
+		`lantern_bufferpool_events_total{event="miss"}`,
+		`lantern_bufferpool_events_total{event="eviction"}`,
+		"lantern_bufferpool_bytes",
+		"lantern_bufferpool_budget_bytes 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, `lantern_bufferpool_events_total{event="miss"} 0`) {
+		t.Errorf("pool misses stayed 0 after scanning a spilled table\n%s", text)
+	}
+
+	srec := get(t, h, "/v1/stats")
+	if srec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %d", srec.Code)
+	}
+	var stats struct {
+		BufferPool *service.BufferPoolStats `json:"buffer_pool"`
+	}
+	if err := json.Unmarshal(srec.Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.BufferPool == nil || stats.BufferPool.Misses == 0 {
+		t.Errorf("/v1/stats buffer_pool = %+v, want non-nil with misses > 0", stats.BufferPool)
+	}
+	if stats.BufferPool != nil && stats.BufferPool.BudgetBytes != 1 {
+		t.Errorf("budget_bytes = %d, want 1", stats.BufferPool.BudgetBytes)
 	}
 }
 

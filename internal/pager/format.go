@@ -1,0 +1,562 @@
+package pager
+
+// format.go implements the .lseg segment and .ltail tail encodings
+// specified in the package comment: encode to a byte slice, decode with
+// checksum verification, and a footer-only read path that never touches
+// the column payloads.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"lantern/internal/datum"
+)
+
+const (
+	segMagic  = "LSEG1\n"
+	tailMagic = "LTAI1\n"
+	endMagic  = "LEND"
+	// Version is the current segment/tail file format version.
+	Version = 1
+	// trailerLen is the fixed segment trailer: bodyLen, footerLen (u64),
+	// bodyCRC, footerCRC (u32), end magic.
+	trailerLen = 8 + 8 + 4 + 4 + len(endMagic)
+)
+
+// Column payload encodings.
+const (
+	EncInt64  = 0 // fixed-width int64 values
+	EncFloat  = 1 // fixed-width IEEE-754 values
+	EncString = 2 // uvarint length + bytes per value
+	EncTagged = 3 // tagged datum per value (mixed or untyped columns)
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ZoneImage mirrors storage.ZoneMap across the package boundary.
+type ZoneImage struct {
+	Min, Max  datum.D
+	NullCount int
+}
+
+// ColumnImage is one column of a segment image. Exactly one payload view
+// is populated according to Enc; Datums carries the tagged fallback.
+// Footer-only reads leave every payload nil.
+type ColumnImage struct {
+	Kind   datum.Kind // declared column kind
+	Zone   ZoneImage
+	Sketch []string // sorted distinct non-NULL value keys
+
+	Enc    uint8
+	Nulls  []uint64 // 1 bit per row, set = NULL; nil when none
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+	Datums []datum.D
+}
+
+// Null reports whether row i of the column is NULL.
+func (c *ColumnImage) Null(i int) bool {
+	return c.Nulls != nil && c.Nulls[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SegmentImage is the codec-facing form of one sealed segment: metadata
+// (always populated) plus per-column payloads (nil on footer-only reads).
+type SegmentImage struct {
+	NumRows int
+	Cols    []ColumnImage
+}
+
+// --- Primitive writers ------------------------------------------------------
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)       { w.buf = append(w.buf, v) }
+func (w *writer) u16(v uint16)     { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *writer) u32(v uint32)     { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *writer) u64(v uint64)     { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) bytes(b []byte)   { w.buf = append(w.buf, b...) }
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// datum appends the tagged datum encoding.
+func (w *writer) datum(d datum.D) {
+	w.u8(uint8(d.Kind()))
+	switch d.Kind() {
+	case datum.KNull:
+	case datum.KInt:
+		w.varint(d.Int())
+	case datum.KFloat:
+		w.u64(math.Float64bits(d.Float()))
+	case datum.KString:
+		w.str(d.Str())
+	case datum.KBool:
+		if d.Bool() {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	}
+}
+
+// --- Primitive readers ------------------------------------------------------
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.buf) {
+		r.fail("pager: truncated read (%d bytes wanted at %d of %d)", n, r.pos, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *reader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (r *reader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("pager: bad uvarint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("pager: bad varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (r *reader) datum() datum.D {
+	switch datum.Kind(r.u8()) {
+	case datum.KNull:
+		return datum.Null
+	case datum.KInt:
+		return datum.NewInt(r.varint())
+	case datum.KFloat:
+		return datum.NewFloat(math.Float64frombits(r.u64()))
+	case datum.KString:
+		return datum.NewString(r.str())
+	case datum.KBool:
+		return datum.NewBool(r.u8() != 0)
+	default:
+		r.fail("pager: bad datum kind at %d", r.pos)
+		return datum.Null
+	}
+}
+
+// --- Segment codec ----------------------------------------------------------
+
+// EncodeSegment serializes a fully populated segment image.
+func EncodeSegment(img *SegmentImage) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 16+img.NumRows*len(img.Cols)*4)}
+	w.bytes([]byte(segMagic))
+	w.u16(Version)
+	w.u32(uint32(img.NumRows))
+	w.u32(uint32(len(img.Cols)))
+	for ci := range img.Cols {
+		c := &img.Cols[ci]
+		w.u8(c.Enc)
+		if c.Nulls != nil {
+			w.u8(1)
+			for _, word := range c.Nulls {
+				w.u64(word)
+			}
+		} else {
+			w.u8(0)
+		}
+		switch c.Enc {
+		case EncInt64:
+			if len(c.Ints) != img.NumRows {
+				return nil, fmt.Errorf("pager: int column has %d of %d rows", len(c.Ints), img.NumRows)
+			}
+			for _, v := range c.Ints {
+				w.u64(uint64(v))
+			}
+		case EncFloat:
+			if len(c.Floats) != img.NumRows {
+				return nil, fmt.Errorf("pager: float column has %d of %d rows", len(c.Floats), img.NumRows)
+			}
+			for _, v := range c.Floats {
+				w.u64(math.Float64bits(v))
+			}
+		case EncString:
+			if len(c.Strs) != img.NumRows {
+				return nil, fmt.Errorf("pager: string column has %d of %d rows", len(c.Strs), img.NumRows)
+			}
+			for _, v := range c.Strs {
+				w.str(v)
+			}
+		case EncTagged:
+			if len(c.Datums) != img.NumRows {
+				return nil, fmt.Errorf("pager: tagged column has %d of %d rows", len(c.Datums), img.NumRows)
+			}
+			for _, v := range c.Datums {
+				w.datum(v)
+			}
+		default:
+			return nil, fmt.Errorf("pager: unknown column encoding %d", c.Enc)
+		}
+	}
+	bodyLen := len(w.buf)
+	for ci := range img.Cols {
+		if ci == 0 {
+			w.u32(uint32(img.NumRows))
+			w.u32(uint32(len(img.Cols)))
+		}
+		c := &img.Cols[ci]
+		w.u8(uint8(c.Kind))
+		w.datum(c.Zone.Min)
+		w.datum(c.Zone.Max)
+		w.uvarint(uint64(c.Zone.NullCount))
+		w.uvarint(uint64(len(c.Sketch)))
+		for _, k := range c.Sketch {
+			w.str(k)
+		}
+	}
+	if len(img.Cols) == 0 {
+		w.u32(uint32(img.NumRows))
+		w.u32(0)
+	}
+	footer := w.buf[bodyLen:]
+	bodyCRC := crc32.Checksum(w.buf[:bodyLen], crcTable)
+	footerCRC := crc32.Checksum(footer, crcTable)
+	w.u64(uint64(bodyLen))
+	w.u64(uint64(len(footer)))
+	w.u32(bodyCRC)
+	w.u32(footerCRC)
+	w.bytes([]byte(endMagic))
+	return w.buf, nil
+}
+
+// parseTrailer validates the fixed trailer and returns the body and
+// footer extents.
+func parseTrailer(path string, data []byte) (bodyLen, footerLen int, bodyCRC, footerCRC uint32, err error) {
+	if len(data) < trailerLen+len(segMagic) {
+		return 0, 0, 0, 0, fmt.Errorf("pager: %s: file too short (%d bytes)", path, len(data))
+	}
+	t := data[len(data)-trailerLen:]
+	if string(t[trailerLen-len(endMagic):]) != endMagic {
+		return 0, 0, 0, 0, fmt.Errorf("pager: %s: bad trailer magic", path)
+	}
+	bodyLen = int(binary.LittleEndian.Uint64(t[0:8]))
+	footerLen = int(binary.LittleEndian.Uint64(t[8:16]))
+	bodyCRC = binary.LittleEndian.Uint32(t[16:20])
+	footerCRC = binary.LittleEndian.Uint32(t[20:24])
+	if bodyLen < 0 || footerLen < 0 || bodyLen+footerLen+trailerLen != len(data) {
+		return 0, 0, 0, 0, fmt.Errorf("pager: %s: inconsistent trailer (body %d + footer %d + trailer %d != %d)",
+			path, bodyLen, footerLen, trailerLen, len(data))
+	}
+	return bodyLen, footerLen, bodyCRC, footerCRC, nil
+}
+
+// decodeFooter parses the footer region into a payload-less image.
+func decodeFooter(path string, footer []byte) (*SegmentImage, error) {
+	r := &reader{buf: footer}
+	img := &SegmentImage{NumRows: int(r.u32())}
+	ncols := int(r.u32())
+	if r.err == nil && (ncols < 0 || ncols > 1<<20) {
+		r.fail("pager: %s: absurd column count %d", path, ncols)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	img.Cols = make([]ColumnImage, ncols)
+	for ci := 0; ci < ncols && r.err == nil; ci++ {
+		c := &img.Cols[ci]
+		c.Kind = datum.Kind(r.u8())
+		c.Zone.Min = r.datum()
+		c.Zone.Max = r.datum()
+		c.Zone.NullCount = int(r.uvarint())
+		nk := int(r.uvarint())
+		if r.err != nil || nk > img.NumRows {
+			r.fail("pager: %s: sketch of %d keys exceeds %d rows", path, nk, img.NumRows)
+			break
+		}
+		c.Sketch = make([]string, nk)
+		for i := 0; i < nk; i++ {
+			c.Sketch[i] = r.str()
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return img, nil
+}
+
+// ReadFooter reads and verifies only the footer of a segment file: the
+// trailer and footer region are read with two small pread calls; the
+// column payloads stay untouched on disk.
+func ReadFooter(path string) (*SegmentImage, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	size := st.Size()
+	if size < int64(trailerLen) {
+		return nil, fmt.Errorf("pager: %s: file too short (%d bytes)", path, size)
+	}
+	trailer := make([]byte, trailerLen)
+	if _, err := f.ReadAt(trailer, size-int64(trailerLen)); err != nil {
+		return nil, fmt.Errorf("pager: %s: %w", path, err)
+	}
+	// parseTrailer wants the full-length consistency check; feed it a
+	// synthetic view with the real total length.
+	if string(trailer[trailerLen-len(endMagic):]) != endMagic {
+		return nil, fmt.Errorf("pager: %s: bad trailer magic", path)
+	}
+	bodyLen := int64(binary.LittleEndian.Uint64(trailer[0:8]))
+	footerLen := int64(binary.LittleEndian.Uint64(trailer[8:16]))
+	footerCRC := binary.LittleEndian.Uint32(trailer[20:24])
+	if bodyLen < 0 || footerLen < 0 || bodyLen+footerLen+int64(trailerLen) != size {
+		return nil, fmt.Errorf("pager: %s: inconsistent trailer", path)
+	}
+	footer := make([]byte, footerLen)
+	if _, err := f.ReadAt(footer, bodyLen); err != nil {
+		return nil, fmt.Errorf("pager: %s: %w", path, err)
+	}
+	if crc32.Checksum(footer, crcTable) != footerCRC {
+		return nil, fmt.Errorf("%w: %s (footer)", ErrChecksum, path)
+	}
+	return decodeFooter(path, footer)
+}
+
+// DecodeSegment decodes a full segment file image from bytes, verifying
+// both checksums.
+func DecodeSegment(path string, data []byte) (*SegmentImage, error) {
+	bodyLen, footerLen, bodyCRC, footerCRC, err := parseTrailer(path, data)
+	if err != nil {
+		return nil, err
+	}
+	body, footer := data[:bodyLen], data[bodyLen:bodyLen+footerLen]
+	if crc32.Checksum(footer, crcTable) != footerCRC {
+		return nil, fmt.Errorf("%w: %s (footer)", ErrChecksum, path)
+	}
+	if crc32.Checksum(body, crcTable) != bodyCRC {
+		return nil, fmt.Errorf("%w: %s (body)", ErrChecksum, path)
+	}
+	img, err := decodeFooter(path, footer)
+	if err != nil {
+		return nil, err
+	}
+	r := &reader{buf: body}
+	if string(r.take(len(segMagic))) != segMagic {
+		return nil, fmt.Errorf("pager: %s: bad magic", path)
+	}
+	if v := r.u16(); v != Version {
+		return nil, fmt.Errorf("pager: %s: unsupported format version %d", path, v)
+	}
+	n := int(r.u32())
+	ncols := int(r.u32())
+	if r.err == nil && (n != img.NumRows || ncols != len(img.Cols)) {
+		r.fail("pager: %s: header (%d rows, %d cols) disagrees with footer (%d rows, %d cols)",
+			path, n, ncols, img.NumRows, len(img.Cols))
+	}
+	for ci := 0; ci < ncols && r.err == nil; ci++ {
+		c := &img.Cols[ci]
+		c.Enc = r.u8()
+		if r.u8() == 1 {
+			words := (n + 63) / 64
+			c.Nulls = make([]uint64, words)
+			for i := range c.Nulls {
+				c.Nulls[i] = r.u64()
+			}
+		}
+		switch c.Enc {
+		case EncInt64:
+			c.Ints = make([]int64, n)
+			for i := range c.Ints {
+				c.Ints[i] = int64(r.u64())
+			}
+		case EncFloat:
+			c.Floats = make([]float64, n)
+			for i := range c.Floats {
+				c.Floats[i] = math.Float64frombits(r.u64())
+			}
+		case EncString:
+			c.Strs = make([]string, n)
+			for i := range c.Strs {
+				c.Strs[i] = r.str()
+			}
+		case EncTagged:
+			c.Datums = make([]datum.D, n)
+			for i := range c.Datums {
+				c.Datums[i] = r.datum()
+			}
+		default:
+			r.fail("pager: %s: unknown column encoding %d", path, c.Enc)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return img, nil
+}
+
+// ReadSegmentFile reads and decodes a whole segment file.
+func ReadSegmentFile(path string) (*SegmentImage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	return DecodeSegment(path, data)
+}
+
+// --- Tail codec -------------------------------------------------------------
+
+// EncodeTail serializes the unsealed tail rows (row-major, tagged datums).
+func EncodeTail(rows [][]datum.D, ncols int) []byte {
+	w := &writer{buf: make([]byte, 0, 64+len(rows)*ncols*4)}
+	w.bytes([]byte(tailMagic))
+	w.u16(Version)
+	w.u32(uint32(len(rows)))
+	w.u32(uint32(ncols))
+	for _, row := range rows {
+		for _, d := range row {
+			w.datum(d)
+		}
+	}
+	crc := crc32.Checksum(w.buf, crcTable)
+	w.u32(crc)
+	w.bytes([]byte(endMagic))
+	return w.buf
+}
+
+// DecodeTail decodes a tail file, verifying its checksum.
+func DecodeTail(path string, data []byte) ([][]datum.D, error) {
+	tl := 4 + len(endMagic)
+	if len(data) < len(tailMagic)+2+8+tl {
+		return nil, fmt.Errorf("pager: %s: tail file too short", path)
+	}
+	if string(data[len(data)-len(endMagic):]) != endMagic {
+		return nil, fmt.Errorf("pager: %s: bad tail trailer magic", path)
+	}
+	crc := binary.LittleEndian.Uint32(data[len(data)-tl:])
+	body := data[:len(data)-tl]
+	if crc32.Checksum(body, crcTable) != crc {
+		return nil, fmt.Errorf("%w: %s (tail)", ErrChecksum, path)
+	}
+	r := &reader{buf: body}
+	if string(r.take(len(tailMagic))) != tailMagic {
+		return nil, fmt.Errorf("pager: %s: bad tail magic", path)
+	}
+	if v := r.u16(); v != Version {
+		return nil, fmt.Errorf("pager: %s: unsupported tail version %d", path, v)
+	}
+	n := int(r.u32())
+	ncols := int(r.u32())
+	rows := make([][]datum.D, 0, n)
+	arena := make([]datum.D, n*ncols)
+	for i := 0; i < n && r.err == nil; i++ {
+		row := arena[i*ncols : (i+1)*ncols : (i+1)*ncols]
+		for j := 0; j < ncols; j++ {
+			row[j] = r.datum()
+		}
+		rows = append(rows, row)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return rows, nil
+}
+
+// WriteTail writes a table's tail file via temp+rename and returns its
+// manifest-relative name.
+func (s *Store) WriteTail(table string, epoch uint64, rows [][]datum.D, ncols int) (string, error) {
+	name := TailFileName(table, epoch)
+	if err := os.MkdirAll(filepath.Join(s.dir, table), 0o755); err != nil {
+		return "", fmt.Errorf("pager: %s: %w", table, err)
+	}
+	if err := atomicWrite(s.Path(name), EncodeTail(rows, ncols)); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// ReadTail reads and decodes a manifest-relative tail file.
+func (s *Store) ReadTail(file string) ([][]datum.D, error) {
+	data, err := os.ReadFile(s.Path(file))
+	if err != nil {
+		return nil, fmt.Errorf("pager: %w", err)
+	}
+	return DecodeTail(s.Path(file), data)
+}

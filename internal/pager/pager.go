@@ -1,0 +1,419 @@
+// Package pager is the disk layer of the substrate engine: it spills
+// sealed column segments to per-table files and serves them back through
+// a bounded buffer pool, which is what turns the in-memory segment store
+// (internal/storage) into a larger-than-memory one — a table's data can
+// exceed RAM as long as its zone maps, distinct sketches and indexes fit.
+//
+// # On-disk layout
+//
+// A data directory holds one subdirectory per table plus a manifest:
+//
+//	<dir>/MANIFEST.json          catalog of tables → files (atomic temp+rename)
+//	<dir>/<table>/seg-<id>.lseg  one sealed segment (immutable once written)
+//	<dir>/<table>/tail-<e>.ltail the unsealed row-major tail at epoch e
+//
+// Every file is written to a ".tmp" sibling, fsynced, and renamed into
+// place; the manifest is committed the same way after the files it
+// references exist, and files a commit replaced are deleted only after
+// the manifest rename returns. A crash at any point therefore leaves the
+// directory describing either the old state or the new one, never a mix:
+// Open garbage-collects files the manifest does not reference.
+//
+// # Segment file format (.lseg, version 1)
+//
+// All integers are little-endian; "uvarint"/"varint" are Go's
+// encoding/binary varints; a "datum" is the tagged encoding below.
+//
+//	header:  magic "LSEG1\n" | version uint16 | numRows uint32 | numCols uint32
+//	body:    per column:
+//	           enc uint8          (0 int64, 1 float64, 2 string, 3 tagged)
+//	           hasNulls uint8     (1 → ceil(numRows/64) × uint64 null bitmap)
+//	           payload            int64/float64: numRows fixed-width values
+//	                              string: numRows × (uvarint len | bytes)
+//	                              tagged: numRows × datum
+//	footer:  numRows uint32 | numCols uint32
+//	         per column:
+//	           kind uint8         (declared datum.Kind)
+//	           zone               (min datum | max datum | nullCount uvarint)
+//	           sketch             (uvarint count | count × (uvarint len | bytes))
+//	trailer: bodyLen uint64 | footerLen uint64 | bodyCRC uint32 |
+//	         footerCRC uint32 | magic "LEND"   (28 bytes, fixed)
+//
+// The footer repeats the row/column counts so ReadFooter — the call that
+// rebuilds a table's zone maps and sketches at boot, and the reason
+// pruning and ANALYZE never touch column data — needs only the trailer
+// and the footer region, never the body. Both regions carry independent
+// CRC-32C checksums: a footer read verifies the footer CRC, a payload
+// fault verifies the body CRC, and a mismatch surfaces as ErrChecksum
+// (wrapped with the file name) rather than a panic or silent corruption.
+//
+// Tagged datum encoding: kind uint8 (datum.Kind), then the payload —
+// nothing for NULL, varint for INTEGER, IEEE-754 bits uint64 for FLOAT,
+// uvarint length + bytes for TEXT, one byte for BOOLEAN.
+//
+// # Tail file format (.ltail, version 1)
+//
+//	magic "LTAI1\n" | version uint16 | numRows uint32 | numCols uint32
+//	numRows × numCols × datum
+//	crc uint32 | magic "LEND"
+//
+// # Buffer pool
+//
+// Pool is a clock (second-chance) cache of decoded segment payloads with
+// a byte budget (Config.BufferPoolBytes). Frames are pinned while a scan
+// reads them — the evictor never reclaims a pinned frame, so the budget
+// is a target the pool may exceed while many scans hold pins — and
+// hit/miss/eviction counters are exported through Stats for the serving
+// layer's /metrics and /v1/stats surfaces.
+package pager
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrChecksum is wrapped by every read that fails CRC verification — a
+// torn or corrupted file surfaces as a structured, matchable error.
+var ErrChecksum = errors.New("pager: checksum mismatch")
+
+// Config configures a Store.
+type Config struct {
+	// BufferPoolBytes is the buffer pool's byte budget: decoded segment
+	// payloads are cached up to this total and evicted clock-wise beyond
+	// it. 0 defaults to 64 MiB; negative disables caching entirely
+	// (every fault decodes from disk — useful for tests).
+	BufferPoolBytes int64
+}
+
+// DefaultPoolBytes is the buffer pool budget when Config leaves it zero.
+const DefaultPoolBytes int64 = 64 << 20
+
+// Store is one opened data directory: the manifest, the buffer pool, and
+// the temp+rename write discipline. A Store is safe for concurrent use;
+// commits serialize internally.
+type Store struct {
+	dir  string
+	pool *Pool
+
+	mu  sync.Mutex
+	man *Manifest
+}
+
+// Open opens (creating if needed) a data directory and recovers its
+// manifest. Files not referenced by the manifest — leftovers of a crash
+// between file writes and the manifest commit — are deleted.
+func Open(dir string, cfg Config) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", dir, err)
+	}
+	man, err := readManifest(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.BufferPoolBytes
+	if budget == 0 {
+		budget = DefaultPoolBytes
+	}
+	s := &Store{dir: dir, pool: NewPool(budget), man: man}
+	if err := s.removeOrphans(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Pool returns the store's buffer pool.
+func (s *Store) Pool() *Pool { return s.pool }
+
+// Manifest returns a deep-enough copy of the current manifest for the
+// catalog to walk at boot (table entries are copied; the slices inside
+// are read-only by convention).
+func (s *Store) Manifest() Manifest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Manifest{Version: s.man.Version, Tables: make(map[string]TableManifest, len(s.man.Tables))}
+	for k, v := range s.man.Tables {
+		out.Tables[k] = v
+	}
+	return out
+}
+
+// Path resolves a manifest-relative file name (e.g. "orders/seg-00000001.lseg")
+// into an absolute path.
+func (s *Store) Path(file string) string { return filepath.Join(s.dir, file) }
+
+// SegmentFileName returns the manifest-relative name for segment id of a
+// table.
+func SegmentFileName(table string, id uint64) string {
+	return filepath.Join(table, fmt.Sprintf("seg-%08d.lseg", id))
+}
+
+// TailFileName returns the manifest-relative name for a table's tail at
+// the given epoch.
+func TailFileName(table string, epoch uint64) string {
+	return filepath.Join(table, fmt.Sprintf("tail-%08d.ltail", epoch))
+}
+
+// failBeforeCommit, when non-nil, runs immediately before the manifest
+// rename of every commit. Crash-consistency tests inject an error here to
+// simulate a kill after the data files are written but before the commit
+// point; production code never sets it.
+var failBeforeCommit func() error
+
+// SetFailBeforeCommit installs fn as the pre-commit failpoint: it runs
+// immediately before the manifest rename — the commit point of the
+// temp+rename discipline — and a non-nil error aborts the commit exactly
+// as a crash there would. Crash-consistency tests in the catalog and
+// engine suites use it to strand data files without a manifest; nil
+// removes the hook. Never called by production code, and not safe to
+// flip while commits are in flight.
+func SetFailBeforeCommit(fn func() error) { failBeforeCommit = fn }
+
+// CommitTable atomically updates one table's manifest entry and then
+// deletes the files the new entry replaced. The caller must have written
+// (and synced) every file the entry references before calling; remove
+// lists manifest-relative names that the previous state referenced and
+// the new one does not. Deletion failures after a successful commit are
+// ignored — the next Open garbage-collects orphans.
+func (s *Store) CommitTable(table string, tm TableManifest, remove []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, existed := s.man.Tables[table]
+	s.man.Tables[table] = tm
+	if err := s.commitLocked(); err != nil {
+		// Roll the in-memory state back so it keeps matching the on-disk
+		// manifest the failed write left behind.
+		if existed {
+			s.man.Tables[table] = old
+		} else {
+			delete(s.man.Tables, table)
+		}
+		return err
+	}
+	for _, f := range remove {
+		os.Remove(s.Path(f))
+	}
+	return nil
+}
+
+// DropTable removes a table's manifest entry and its directory.
+func (s *Store) DropTable(table string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.man.Tables[table]; !ok {
+		return nil
+	}
+	delete(s.man.Tables, table)
+	if err := s.commitLocked(); err != nil {
+		return err
+	}
+	// A recreated table reuses segment file names, so stale cached
+	// payloads must go before the files do.
+	s.pool.InvalidatePrefix(table + string(os.PathSeparator))
+	os.RemoveAll(filepath.Join(s.dir, table))
+	return nil
+}
+
+// commitLocked writes the manifest via temp+rename. Callers hold s.mu.
+func (s *Store) commitLocked() error {
+	if failBeforeCommit != nil {
+		if err := failBeforeCommit(); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(s.man, "", " ")
+	if err != nil {
+		return fmt.Errorf("pager: encoding manifest: %w", err)
+	}
+	return atomicWrite(filepath.Join(s.dir, manifestName), data)
+}
+
+// removeOrphans deletes files under the data directory that the manifest
+// does not reference: segment/tail files a crash stranded between their
+// write and the manifest commit, and stray .tmp files.
+func (s *Store) removeOrphans() error {
+	live := make(map[string]bool)
+	for name, tm := range s.man.Tables {
+		for _, seg := range tm.Segments {
+			live[seg.File] = true
+		}
+		if tm.Tail != "" {
+			live[tm.Tail] = true
+		}
+		live[name] = true // keep the table directory itself
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("pager: scanning %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			if e.Name() != manifestName && strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+			continue
+		}
+		tdir := e.Name()
+		files, err := os.ReadDir(filepath.Join(s.dir, tdir))
+		if err != nil {
+			continue
+		}
+		if !live[tdir] {
+			os.RemoveAll(filepath.Join(s.dir, tdir))
+			continue
+		}
+		for _, f := range files {
+			rel := filepath.Join(tdir, f.Name())
+			if !live[rel] {
+				os.Remove(s.Path(rel))
+			}
+		}
+	}
+	return nil
+}
+
+// WriteSegment encodes and writes one segment file via temp+rename and
+// returns its manifest-relative name. The file is durable (fsynced) when
+// WriteSegment returns; it becomes visible to recovery only once a
+// CommitTable references it.
+func (s *Store) WriteSegment(table string, id uint64, img *SegmentImage) (string, error) {
+	name := SegmentFileName(table, id)
+	if err := os.MkdirAll(filepath.Join(s.dir, table), 0o755); err != nil {
+		return "", fmt.Errorf("pager: %s: %w", table, err)
+	}
+	data, err := EncodeSegment(img)
+	if err != nil {
+		return "", err
+	}
+	if err := atomicWrite(s.Path(name), data); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+// ReadSegmentFooter reads only a segment file's metadata — row count,
+// column kinds, zone maps, distinct sketches — verifying the footer
+// checksum. It never reads the column payloads.
+func (s *Store) ReadSegmentFooter(file string) (*SegmentImage, error) {
+	return ReadFooter(s.Path(file))
+}
+
+// ReadSegment reads and decodes a whole segment file, verifying both
+// checksums. It does not consult the buffer pool — callers that want
+// caching go through Pool.Pin with this as the loader.
+func (s *Store) ReadSegment(file string) (*SegmentImage, error) {
+	return ReadSegmentFile(s.Path(file))
+}
+
+// Remove deletes a manifest-relative file, ignoring absence.
+func (s *Store) Remove(file string) { os.Remove(s.Path(file)) }
+
+// atomicWrite writes data to path via a ".tmp" sibling, fsyncing the file
+// before the rename so a crash cannot leave a half-written file under the
+// final name.
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("pager: %w", err)
+	}
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	} else {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pager: writing %s: %w", tmp, err)
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("pager: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pager: closing %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pager: committing %s: %w", path, err)
+	}
+	return nil
+}
+
+// --- Manifest ---------------------------------------------------------------
+
+const manifestName = "MANIFEST.json"
+
+// Manifest is the durable catalog of a data directory.
+type Manifest struct {
+	Version int                      `json:"version"`
+	Tables  map[string]TableManifest `json:"tables"`
+}
+
+// TableManifest describes one table's durable state.
+type TableManifest struct {
+	// Columns is the schema: names and datum kinds (as uint8 values).
+	Columns []ColumnManifest `json:"columns"`
+	// SegCap is the rows-per-segment capacity.
+	SegCap int `json:"seg_cap"`
+	// NextSeg is the next unused segment id.
+	NextSeg uint64 `json:"next_seg"`
+	// Segments lists the sealed segment files in table order.
+	Segments []SegmentManifest `json:"segments,omitempty"`
+	// Tail is the manifest-relative tail file name ("" when the tail is
+	// empty) and TailEpoch the epoch counter its name embeds.
+	Tail      string `json:"tail,omitempty"`
+	TailEpoch uint64 `json:"tail_epoch,omitempty"`
+	TailRows  int    `json:"tail_rows,omitempty"`
+	// Indexes lists indexed column names, sorted. Index entries are
+	// rebuilt from segment data at boot; only the DDL is durable.
+	Indexes []string `json:"indexes,omitempty"`
+}
+
+// ColumnManifest is one schema column.
+type ColumnManifest struct {
+	Name string `json:"name"`
+	Kind uint8  `json:"kind"`
+}
+
+// SegmentManifest is one sealed segment file.
+type SegmentManifest struct {
+	File string `json:"file"`
+	Rows int    `json:"rows"`
+}
+
+// TableNames lists the manifest's tables, sorted.
+func (m Manifest) TableNames() []string {
+	out := make([]string, 0, len(m.Tables))
+	for n := range m.Tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func readManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Manifest{Version: 1, Tables: make(map[string]TableManifest)}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("pager: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("pager: parsing manifest %s: %w", path, err)
+	}
+	if m.Tables == nil {
+		m.Tables = make(map[string]TableManifest)
+	}
+	return &m, nil
+}

@@ -1,0 +1,419 @@
+package pager
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"lantern/internal/datum"
+)
+
+func sampleImage() *SegmentImage {
+	nulls := make([]uint64, 1)
+	nulls[0] |= 1 << 2 // row 2 of column "f" is NULL
+	return &SegmentImage{
+		NumRows: 4,
+		Cols: []ColumnImage{
+			{
+				Kind:   datum.KInt,
+				Zone:   ZoneImage{Min: datum.NewInt(1), Max: datum.NewInt(9)},
+				Sketch: []string{"n1", "n3", "n9"},
+				Enc:    EncInt64,
+				Ints:   []int64{1, 3, 3, 9},
+			},
+			{
+				Kind:   datum.KFloat,
+				Zone:   ZoneImage{Min: datum.NewFloat(0.5), Max: datum.NewFloat(2.5), NullCount: 1},
+				Enc:    EncFloat,
+				Nulls:  nulls,
+				Floats: []float64{0.5, 1.5, 0, 2.5},
+			},
+			{
+				Kind:   datum.KString,
+				Zone:   ZoneImage{Min: datum.NewString("ada"), Max: datum.NewString("zed")},
+				Sketch: []string{"sada", "smid", "szed"},
+				Enc:    EncString,
+				Strs:   []string{"ada", "mid", "mid", "zed"},
+			},
+			{
+				Kind: datum.KBool,
+				Zone: ZoneImage{Min: datum.NewBool(false), Max: datum.NewBool(true)},
+				Enc:  EncTagged,
+				Datums: []datum.D{
+					datum.NewBool(true), datum.NewBool(false), datum.Null, datum.NewBool(true),
+				},
+			},
+		},
+	}
+}
+
+func TestSegmentRoundTrip(t *testing.T) {
+	img := sampleImage()
+	data, err := EncodeSegment(img)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSegment("test.lseg", data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.NumRows != img.NumRows || len(got.Cols) != len(img.Cols) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.NumRows, len(got.Cols), img.NumRows, len(img.Cols))
+	}
+	for ci := range img.Cols {
+		want, have := &img.Cols[ci], &got.Cols[ci]
+		if have.Kind != want.Kind || have.Enc != want.Enc {
+			t.Fatalf("col %d: kind/enc mismatch", ci)
+		}
+		if datum.Compare(have.Zone.Min, want.Zone.Min) != 0 || datum.Compare(have.Zone.Max, want.Zone.Max) != 0 {
+			t.Fatalf("col %d: zone mismatch %v..%v vs %v..%v", ci, have.Zone.Min, have.Zone.Max, want.Zone.Min, want.Zone.Max)
+		}
+		if have.Zone.NullCount != want.Zone.NullCount {
+			t.Fatalf("col %d: nullcount %d vs %d", ci, have.Zone.NullCount, want.Zone.NullCount)
+		}
+		if len(have.Sketch) != len(want.Sketch) {
+			t.Fatalf("col %d: sketch size %d vs %d", ci, len(have.Sketch), len(want.Sketch))
+		}
+		for i := range want.Sketch {
+			if have.Sketch[i] != want.Sketch[i] {
+				t.Fatalf("col %d: sketch[%d] %q vs %q", ci, i, have.Sketch[i], want.Sketch[i])
+			}
+		}
+		for i := 0; i < img.NumRows; i++ {
+			if have.Null(i) != want.Null(i) {
+				t.Fatalf("col %d row %d: null mismatch", ci, i)
+			}
+		}
+	}
+	if got.Cols[0].Ints[3] != 9 || got.Cols[1].Floats[3] != 2.5 || got.Cols[2].Strs[3] != "zed" {
+		t.Fatalf("payload mismatch: %v %v %v", got.Cols[0].Ints, got.Cols[1].Floats, got.Cols[2].Strs)
+	}
+	if !got.Cols[3].Datums[2].IsNull() || !got.Cols[3].Datums[0].Bool() {
+		t.Fatalf("tagged payload mismatch: %v", got.Cols[3].Datums)
+	}
+}
+
+func TestFooterOnlyRead(t *testing.T) {
+	dir := t.TempDir()
+	img := sampleImage()
+	data, err := EncodeSegment(img)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	path := filepath.Join(dir, "seg.lseg")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFooter(path)
+	if err != nil {
+		t.Fatalf("ReadFooter: %v", err)
+	}
+	if got.NumRows != 4 || len(got.Cols) != 4 {
+		t.Fatalf("footer shape: %d rows %d cols", got.NumRows, len(got.Cols))
+	}
+	if got.Cols[0].Ints != nil || got.Cols[1].Floats != nil || got.Cols[2].Strs != nil || got.Cols[3].Datums != nil {
+		t.Fatal("footer read materialized column payloads")
+	}
+	if datum.Compare(got.Cols[0].Zone.Max, datum.NewInt(9)) != 0 {
+		t.Fatalf("footer zone: %v", got.Cols[0].Zone.Max)
+	}
+	if len(got.Cols[2].Sketch) != 3 || got.Cols[2].Sketch[1] != "smid" {
+		t.Fatalf("footer sketch: %v", got.Cols[2].Sketch)
+	}
+}
+
+func TestCorruptionSurfacesErrChecksum(t *testing.T) {
+	img := sampleImage()
+	data, err := EncodeSegment(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the body (after the magic, well before the footer).
+	corrupt := append([]byte(nil), data...)
+	corrupt[16] ^= 0xff
+	if _, err := DecodeSegment("c.lseg", corrupt); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("body corruption: got %v, want ErrChecksum", err)
+	}
+	// Flip a byte in the footer region; both full reads and footer reads
+	// must notice.
+	corrupt = append([]byte(nil), data...)
+	corrupt[len(corrupt)-trailerLen-2] ^= 0xff
+	if _, err := DecodeSegment("c.lseg", corrupt); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("footer corruption: got %v, want ErrChecksum", err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.lseg")
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFooter(path); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("footer corruption via ReadFooter: got %v, want ErrChecksum", err)
+	}
+	// Truncation must error, not panic.
+	if _, err := DecodeSegment("t.lseg", data[:len(data)/2]); err == nil {
+		t.Fatal("truncated segment decoded without error")
+	}
+}
+
+func TestTailRoundTrip(t *testing.T) {
+	rows := [][]datum.D{
+		{datum.NewInt(1), datum.NewString("a"), datum.Null},
+		{datum.NewInt(2), datum.NewString("b"), datum.NewFloat(3.5)},
+	}
+	data := EncodeTail(rows, 3)
+	got, err := DecodeTail("t.ltail", data)
+	if err != nil {
+		t.Fatalf("decode tail: %v", err)
+	}
+	if len(got) != 2 || len(got[0]) != 3 {
+		t.Fatalf("tail shape: %d×%d", len(got), len(got[0]))
+	}
+	if got[1][2].Float() != 3.5 || !got[0][2].IsNull() || got[0][1].Str() != "a" {
+		t.Fatalf("tail payload: %v", got)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[10] ^= 0xff
+	if _, err := DecodeTail("t.ltail", corrupt); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("tail corruption: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestPoolPinEvictCounters(t *testing.T) {
+	p := NewPool(100)
+	loads := 0
+	load := func(size int64) func() (any, int64, error) {
+		return func() (any, int64, error) {
+			loads++
+			return size, size, nil
+		}
+	}
+	v, rel, err := p.Pin("a", load(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int64) != 60 {
+		t.Fatalf("value: %v", v)
+	}
+	rel()
+	if _, rel, err := p.Pin("a", load(60)); err != nil {
+		t.Fatal(err)
+	} else {
+		rel()
+	}
+	if loads != 1 {
+		t.Fatalf("expected 1 load, got %d", loads)
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 60 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+	// Loading b (60 bytes) overflows the 100-byte budget → a evicted.
+	if _, rel, err := p.Pin("b", load(60)); err != nil {
+		t.Fatal(err)
+	} else {
+		rel()
+	}
+	st = p.Stats()
+	if st.Evictions != 1 || st.Bytes != 60 || st.Frames != 1 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+	if p.Contains("a") {
+		t.Fatal("a still resident after eviction")
+	}
+	// A pinned frame survives even over budget.
+	_, relB, err := p.Pin("b", load(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, rel, err := p.Pin("c", load(60)); err != nil {
+		t.Fatal(err)
+	} else {
+		rel()
+	}
+	if !p.Contains("b") {
+		t.Fatal("pinned frame was evicted")
+	}
+	relB()
+}
+
+func TestPoolNegativeBudgetCachesNothing(t *testing.T) {
+	p := NewPool(-1)
+	loads := 0
+	load := func() (any, int64, error) { loads++; return 1, 10, nil }
+	for i := 0; i < 3; i++ {
+		_, rel, err := p.Pin("k", load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if loads != 3 {
+		t.Fatalf("negative budget should reload every time, got %d loads", loads)
+	}
+	if st := p.Stats(); st.Bytes != 0 {
+		t.Fatalf("bytes should be 0, got %+v", st)
+	}
+}
+
+func TestPoolSingleflight(t *testing.T) {
+	p := NewPool(0)
+	var mu sync.Mutex
+	loads := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, rel, err := p.Pin("k", func() (any, int64, error) {
+				mu.Lock()
+				loads++
+				mu.Unlock()
+				return "v", 1, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			rel()
+		}()
+	}
+	wg.Wait()
+	if loads != 1 {
+		t.Fatalf("expected a single load, got %d", loads)
+	}
+}
+
+func TestPoolLoadErrorNotCached(t *testing.T) {
+	p := NewPool(0)
+	boom := errors.New("boom")
+	if _, _, err := p.Pin("k", func() (any, int64, error) { return nil, 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("got %v", err)
+	}
+	// The failed load must not poison the key.
+	v, rel, err := p.Pin("k", func() (any, int64, error) { return 7, 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 7 {
+		t.Fatalf("got %v", v)
+	}
+	rel()
+}
+
+func TestStoreCommitAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sampleImage()
+	file, err := s.WriteSegment("orders", 0, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tailFile, err := s.WriteTail("orders", 1, [][]datum.D{{datum.NewInt(42)}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := TableManifest{
+		Columns:   []ColumnManifest{{Name: "id", Kind: uint8(datum.KInt)}},
+		SegCap:    4096,
+		NextSeg:   1,
+		Segments:  []SegmentManifest{{File: file, Rows: 4}},
+		Tail:      tailFile,
+		TailEpoch: 1,
+		TailRows:  1,
+	}
+	if err := s.CommitTable("orders", tm, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Write an orphan (simulating a crash before commit) and reopen.
+	orphan, err := s.WriteSegment("orders", 99, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := s2.Manifest()
+	got, ok := man.Tables["orders"]
+	if !ok || len(got.Segments) != 1 || got.Segments[0].File != file {
+		t.Fatalf("recovered manifest: %+v", got)
+	}
+	if _, err := os.Stat(s2.Path(orphan)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("orphan %s survived reopen: %v", orphan, err)
+	}
+	foot, err := s2.ReadSegmentFooter(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foot.NumRows != 4 {
+		t.Fatalf("footer rows: %d", foot.NumRows)
+	}
+	rows, err := s2.ReadTail(tailFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Int() != 42 {
+		t.Fatalf("tail rows: %v", rows)
+	}
+}
+
+func TestCommitFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitTable("t", TableManifest{SegCap: 8}, nil); err != nil {
+		t.Fatal(err)
+	}
+	failBeforeCommit = func() error { return fmt.Errorf("injected crash") }
+	defer func() { failBeforeCommit = nil }()
+	err = s.CommitTable("t", TableManifest{SegCap: 99}, nil)
+	if err == nil {
+		t.Fatal("commit should have failed")
+	}
+	failBeforeCommit = nil
+	if got := s.Manifest().Tables["t"].SegCap; got != 8 {
+		t.Fatalf("in-memory manifest not rolled back: SegCap=%d", got)
+	}
+	// On-disk state also still the old one.
+	s2, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Manifest().Tables["t"].SegCap; got != 8 {
+		t.Fatalf("on-disk manifest changed: SegCap=%d", got)
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := sampleImage()
+	file, err := s.WriteSegment("gone", 0, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := TableManifest{Segments: []SegmentManifest{{File: file, Rows: 4}}, NextSeg: 1}
+	if err := s.CommitTable("gone", tm, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DropTable("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "gone")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("table directory survived drop")
+	}
+	if _, ok := s.Manifest().Tables["gone"]; ok {
+		t.Fatal("manifest entry survived drop")
+	}
+}

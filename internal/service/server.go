@@ -14,6 +14,7 @@ import (
 	"lantern/internal/core"
 	"lantern/internal/engine"
 	"lantern/internal/obs"
+	"lantern/internal/pager"
 	"lantern/internal/plan"
 	"lantern/internal/pool"
 )
@@ -213,6 +214,11 @@ type Server struct {
 	// server was built without an engine (plan-document-only serving).
 	sessions *engine.SessionPool
 
+	// bufpool is the segment buffer pool of the engine's disk-backed
+	// catalog; nil on an engineless server or an in-memory catalog.
+	// Stats-only: the server never pins frames itself.
+	bufpool *pager.Pool
+
 	idxMu sync.RWMutex
 	idx   map[Fingerprint]Fingerprint // request key → plan fingerprint
 
@@ -280,6 +286,9 @@ func NewServer(eng *engine.Engine, store *pool.Store, cfg Config) *Server {
 		// The only NewSessionPool failure mode is an inconsistent catalog
 		// (a table vanishing mid-walk), impossible before serving starts.
 		s.sessions, _ = engine.NewSessionPool(eng, cfg.EngineSessions)
+		if st := eng.Cat.Pager(); st != nil {
+			s.bufpool = st.Pool()
+		}
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = NewCache(cfg.CacheShards, cfg.CacheBytes)
@@ -377,6 +386,27 @@ func (s *Server) registerMetrics() {
 		func() int64 { return s.slowlog.Written() })
 	r.CounterFunc("lantern_slow_log_dropped_total", "Slow-query log entries dropped (full queue or closed sink).",
 		func() int64 { return s.slowlog.Dropped() })
+
+	poolEvents := r.Counter("lantern_bufferpool_events_total",
+		"Segment buffer-pool activity by event kind (all zero without a disk-backed catalog).", "event")
+	poolEvents.Func(func() int64 { return s.poolStat(func(st pager.PoolStats) int64 { return int64(st.Hits) }) }, "hit")
+	poolEvents.Func(func() int64 { return s.poolStat(func(st pager.PoolStats) int64 { return int64(st.Misses) }) }, "miss")
+	poolEvents.Func(func() int64 { return s.poolStat(func(st pager.PoolStats) int64 { return int64(st.Evictions) }) }, "eviction")
+	r.GaugeFunc("lantern_bufferpool_bytes", "Segment payload bytes resident in the buffer pool.",
+		func() float64 { return float64(s.poolStat(func(st pager.PoolStats) int64 { return st.Bytes })) })
+	r.GaugeFunc("lantern_bufferpool_budget_bytes", "Configured buffer-pool byte budget (0 = unbounded).",
+		func() float64 { return float64(s.poolStat(func(st pager.PoolStats) int64 { return st.Budget })) })
+	r.GaugeFunc("lantern_bufferpool_frames", "Segment payloads resident in the buffer pool.",
+		func() float64 { return float64(s.poolStat(func(st pager.PoolStats) int64 { return int64(st.Frames) })) })
+}
+
+// poolStat reads one field of the buffer pool's stats, 0 when the engine
+// has no disk-backed catalog.
+func (s *Server) poolStat(pick func(pager.PoolStats) int64) int64 {
+	if s.bufpool == nil {
+		return 0
+	}
+	return pick(s.bufpool.Stats())
 }
 
 // cacheCounter reads one of the cache's counters, 0 when caching is off.
@@ -774,6 +804,10 @@ type Stats struct {
 
 	Cache CacheStats `json:"cache"`
 
+	// BufferPool reports the disk-backed catalog's segment buffer pool;
+	// omitted when the engine runs on an in-memory catalog.
+	BufferPool *BufferPoolStats `json:"buffer_pool,omitempty"`
+
 	LatencyCached      obs.LatencySummary `json:"latency_cached"`
 	LatencyCold        obs.LatencySummary `json:"latency_cold"`
 	LatencyQA          obs.LatencySummary `json:"latency_qa"`
@@ -814,5 +848,26 @@ func (s *Server) Stats() Stats {
 		st.EngineSessions = s.sessions.Size()
 		st.EngineSessionsIdle = s.sessions.Idle()
 	}
+	if s.bufpool != nil {
+		ps := s.bufpool.Stats()
+		st.BufferPool = &BufferPoolStats{
+			Hits:        ps.Hits,
+			Misses:      ps.Misses,
+			Evictions:   ps.Evictions,
+			Bytes:       ps.Bytes,
+			BudgetBytes: ps.Budget,
+			Frames:      ps.Frames,
+		}
+	}
 	return st
+}
+
+// BufferPoolStats is the /v1/stats view of pager.PoolStats.
+type BufferPoolStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Evictions   uint64 `json:"evictions"`
+	Bytes       int64  `json:"bytes"`
+	BudgetBytes int64  `json:"budget_bytes"`
+	Frames      int    `json:"frames"`
 }

@@ -52,22 +52,48 @@ func (v *ColVec) HasNulls() bool { return v.nulls != nil }
 // executors late-materialize surviving rows from. Segments are sealed
 // once and never mutated, which is what makes concurrent scans safe
 // against DML — writers only ever swap in new segments.
+//
+// A segment is either resident (rows/cols populated) or spilled (payload
+// in a segment file, src set; see spill.go). Zone maps, distinct
+// sketches and the row count are always resident — pruning and ANALYZE
+// never fault a spilled payload in. Payload access on a spilled segment
+// goes through Load; the legacy Rows/Col accessors fault transparently
+// and panic on I/O or checksum errors.
 type Segment struct {
+	nrows  int
 	rows   []Row
 	cols   []ColVec
 	zones  []ZoneMap
 	sketch [][]string // per column: sorted distinct non-NULL value keys
+	src    *segSource // non-nil once spilled; payload lives on disk
+	view   SegData    // static Load view for resident segments (no pin)
 }
 
 // NumRows returns the number of rows in the segment.
-func (s *Segment) NumRows() int { return len(s.rows) }
+func (s *Segment) NumRows() int { return s.nrows }
 
-// Rows returns the segment's row-major view. The slice and the rows it
-// holds are immutable; callers may retain them indefinitely.
-func (s *Segment) Rows() []Row { return s.rows }
+// Rows returns the segment's row-major view, faulting a spilled payload
+// in (and panicking on a read error — use Load to handle errors). The
+// returned rows are immutable; callers may retain them indefinitely.
+func (s *Segment) Rows() []Row {
+	if s.src == nil {
+		return s.rows
+	}
+	d := s.mustLoad()
+	defer d.Release()
+	return d.rows
+}
 
-// Col returns the typed vector of column i.
-func (s *Segment) Col(i int) *ColVec { return &s.cols[i] }
+// Col returns the typed vector of column i, faulting a spilled payload
+// in (and panicking on a read error — use Load to handle errors).
+func (s *Segment) Col(i int) *ColVec {
+	if s.src == nil {
+		return &s.cols[i]
+	}
+	d := s.mustLoad()
+	defer d.Release()
+	return &d.cols[i]
+}
 
 // Zone returns the zone map of column i.
 func (s *Segment) Zone(i int) ZoneMap { return s.zones[i] }
@@ -83,6 +109,7 @@ func (s *Segment) DistinctKeys(i int) []string { return s.sketch[i] }
 // afterwards.
 func sealSegment(rows []Row, cols []Column) *Segment {
 	s := &Segment{
+		nrows:  len(rows),
 		rows:   rows,
 		cols:   make([]ColVec, len(cols)),
 		zones:  make([]ZoneMap, len(cols)),
@@ -91,6 +118,7 @@ func sealSegment(rows []Row, cols []Column) *Segment {
 	for ci := range cols {
 		s.sealColumn(ci, cols[ci].Type)
 	}
+	s.view = SegData{rows: s.rows, cols: s.cols}
 	return s
 }
 

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"lantern/internal/datum"
+	"lantern/internal/pager"
 )
 
 // Column describes one column of a table.
@@ -50,6 +51,13 @@ type Table struct {
 
 	segCap int
 	colPos map[string]int
+
+	// Disk backing (spill.go); nil for a purely in-memory table. All
+	// fields below are guarded by mu.
+	store     *pager.Store
+	nextSeg   uint64 // next unused segment file id
+	tailEpoch uint64 // current tail file epoch
+	tailFile  string // manifest-relative tail file name, "" when empty
 
 	mu   sync.Mutex // serializes writers; readers go through data only
 	data atomic.Pointer[tableData]
@@ -104,8 +112,14 @@ func (t *Table) SetSegmentCapacity(n int) error {
 	if d.sealed > 0 || d.tail.n.Load() > 0 {
 		return fmt.Errorf("storage: table %s: cannot change segment capacity once populated", t.Name)
 	}
+	prev := t.segCap
 	t.segCap = n
-	t.data.Store(&tableData{tail: newTailBlock(n), indexes: d.indexes})
+	nd := &tableData{tail: newTailBlock(n), indexes: d.indexes}
+	if err := t.commitTableLocked(nd, 0, false, nil); err != nil {
+		t.segCap = prev
+		return err
+	}
+	t.data.Store(nd)
 	return nil
 }
 
@@ -150,13 +164,36 @@ func (s Snapshot) NumRows() int { return s.d.sealed + s.tailN }
 // SealedRows returns the number of rows held in sealed segments.
 func (s Snapshot) SealedRows() int { return s.d.sealed }
 
-// Row resolves a global row ordinal (index order: segments then tail).
+// Row resolves a global row ordinal (index order: segments then tail),
+// faulting a spilled segment in and panicking on a read error; FetchRow
+// is the error-returning form the engine's scan paths use.
 func (s Snapshot) Row(i int) Row {
-	if i < s.d.sealed {
-		seg := s.d.segs[i/segRowsOf(s.d)]
-		return seg.rows[i%segRowsOf(s.d)]
+	r, err := s.FetchRow(i)
+	if err != nil {
+		panic(fmt.Sprintf("storage: faulting row %d: %v", i, err))
 	}
-	return s.d.tail.rows[i-s.d.sealed]
+	return r
+}
+
+// FetchRow resolves a global row ordinal (index order: segments then
+// tail), faulting a spilled segment in through the buffer pool. The row
+// stays valid after the internal pin is released (the payload is GC-held
+// while referenced).
+func (s Snapshot) FetchRow(i int) (Row, error) {
+	if i < s.d.sealed {
+		per := segRowsOf(s.d)
+		seg := s.d.segs[i/per]
+		if seg.src == nil {
+			return seg.rows[i%per], nil
+		}
+		sd, err := seg.Load()
+		if err != nil {
+			return nil, err
+		}
+		defer sd.Release()
+		return sd.rows[i%per], nil
+	}
+	return s.d.tail.rows[i-s.d.sealed], nil
 }
 
 // segRowsOf recovers the per-segment capacity of a table version from its
@@ -172,12 +209,31 @@ func segRowsOf(d *tableData) int {
 func (s Snapshot) Index(col string) *Index { return s.d.indexes[col] }
 
 // AppendRows appends every row of the snapshot to dst in table order and
-// returns it.
+// returns it, faulting spilled segments in (panicking on read errors).
+// This materializes the whole table; larger-than-memory paths should
+// iterate segments via Segment.Load instead.
 func (s Snapshot) AppendRows(dst []Row) []Row {
 	for _, seg := range s.d.segs {
-		dst = append(dst, seg.rows...)
+		dst = append(dst, seg.Rows()...)
 	}
 	return append(dst, s.Tail()...)
+}
+
+// FetchAll is the error-returning form of AppendRows: the whole snapshot
+// materialized in table order, with segment read failures surfaced as
+// errors rather than panics. Same caveat — this is the materialize-
+// everything path, not the streaming one.
+func (s Snapshot) FetchAll() ([]Row, error) {
+	dst := make([]Row, 0, s.NumRows())
+	for _, seg := range s.d.segs {
+		sd, err := seg.Load()
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, sd.Rows()...)
+		sd.Release()
+	}
+	return append(dst, s.Tail()...), nil
 }
 
 // RowCount returns the table's current row count.
@@ -230,8 +286,7 @@ func (t *Table) Insert(r Row) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.appendLocked(row)
-	return nil
+	return t.appendLocked(row)
 }
 
 // InsertBatch bulk-loads validated rows in one pass: no per-row Clone (the
@@ -274,7 +329,24 @@ func (t *Table) InsertBatch(rows []Row) error {
 	}
 	nd := &tableData{segs: segs, sealed: sealed, tail: tail, indexes: d.indexes}
 	if len(d.indexes) > 0 {
-		nd.indexes = buildIndexes(nd, tailN, t.colPos, indexColumns(d.indexes))
+		// Freshly sealed segments are still resident here, so the index
+		// build touches no disk; spilling happens after.
+		ix, err := buildIndexes(nd, tailN, t.colPos, indexColumns(d.indexes))
+		if err != nil {
+			return err
+		}
+		nd.indexes = ix
+	}
+	// Persist before publishing: spill the new segments, write the tail
+	// file, commit the manifest. On error nothing is published — the rows
+	// copied into unpublished tail slots stay invisible.
+	if sealedAny {
+		if err := t.spillNewSegmentsLocked(nd.segs); err != nil {
+			return err
+		}
+	}
+	if err := t.commitTableLocked(nd, tailN, tail != d.tail, nil); err != nil {
+		return err
 	}
 	// Publish lengths after the slot writes, then the new table version.
 	tail.n.Store(int64(tailN))
@@ -286,8 +358,9 @@ func (t *Table) InsertBatch(rows []Row) error {
 }
 
 // appendLocked inserts one validated row, sealing the tail into a segment
-// when it fills. Callers hold t.mu.
-func (t *Table) appendLocked(row Row) {
+// when it fills and persisting the new state before publication when a
+// store is attached. Callers hold t.mu.
+func (t *Table) appendLocked(row Row) error {
 	d := t.data.Load()
 	n := int(d.tail.n.Load())
 	d.tail.rows[n] = row
@@ -302,15 +375,21 @@ func (t *Table) appendLocked(row Row) {
 	}
 
 	if n+1 < t.segCap {
-		if indexes == nil {
+		if indexes == nil && t.store == nil {
 			// Fast path: publishing the new length is the whole commit.
 			d.tail.n.Store(int64(n + 1))
-			return
+			return nil
 		}
-		nd := &tableData{segs: d.segs, sealed: d.sealed, tail: d.tail, indexes: indexes}
+		nd := &tableData{segs: d.segs, sealed: d.sealed, tail: d.tail, indexes: d.indexes}
+		if indexes != nil {
+			nd.indexes = indexes
+		}
+		if err := t.commitTableLocked(nd, n+1, false, nil); err != nil {
+			return err // slot n stays unpublished; a retry overwrites it
+		}
 		d.tail.n.Store(int64(n + 1))
 		t.data.Store(nd)
-		return
+		return nil
 	}
 
 	// Tail is full: seal it (adopting its row slice) and start a new one.
@@ -324,79 +403,208 @@ func (t *Table) appendLocked(row Row) {
 	if indexes != nil {
 		nd.indexes = indexes
 	}
+	if t.store != nil {
+		if err := t.spillNewSegmentsLocked(nd.segs); err != nil {
+			return err
+		}
+		if err := t.commitTableLocked(nd, 0, true, nil); err != nil {
+			return err
+		}
+	}
 	d.tail.n.Store(int64(t.segCap))
 	t.data.Store(nd)
+	return nil
 }
 
-// rebuildLocked replaces the table contents with rows, re-segmenting and
-// rebuilding every index, and atomically swaps the new version in.
-// Callers hold t.mu.
-func (t *Table) rebuildLocked(rows []Row, indexCols []string) {
-	nd := &tableData{}
-	for len(rows) >= t.segCap {
-		run := make([]Row, t.segCap)
-		copy(run, rows[:t.segCap])
-		nd.segs = append(nd.segs, sealSegment(run, t.Columns))
-		nd.sealed += t.segCap
-		rows = rows[t.segCap:]
+// runBuilder re-segments a stream of rows into sealed (and, with a store
+// attached, spilled) segments plus a final partial run, holding at most
+// one segment's rows resident at a time. It is the streaming replacement
+// for the old materialize-everything rebuild: Update and Delete feed it
+// segment-at-a-time, so a rebuild of a larger-than-memory table never
+// needs the whole table in RAM. Callers hold t.mu.
+type runBuilder struct {
+	t    *Table
+	segs []*Segment
+	run  []Row
+}
+
+func (t *Table) newRunBuilder() *runBuilder {
+	return &runBuilder{t: t, run: make([]Row, 0, t.segCap)}
+}
+
+func (b *runBuilder) add(r Row) error {
+	b.run = append(b.run, r)
+	if len(b.run) < b.t.segCap {
+		return nil
 	}
-	nd.tail = newTailBlock(t.segCap)
-	copy(nd.tail.rows, rows)
-	nd.tail.n.Store(int64(len(rows)))
+	seg := sealSegment(b.run, b.t.Columns)
+	if b.t.store != nil {
+		sp, err := b.t.spillSegmentLocked(seg)
+		if err != nil {
+			return err
+		}
+		seg = sp
+	}
+	b.segs = append(b.segs, seg)
+	b.run = make([]Row, 0, b.t.segCap)
+	return nil
+}
+
+// aligned reports whether an untouched full segment can be reused as-is:
+// only when no partial run precedes it, so row ordinals keep resolving
+// through the fixed per-segment capacity.
+func (b *runBuilder) aligned() bool { return len(b.run) == 0 }
+
+// reuse adopts an existing sealed segment without rewriting it.
+func (b *runBuilder) reuse(seg *Segment) { b.segs = append(b.segs, seg) }
+
+// finish assembles the rebuilt table version: the remainder becomes the
+// new tail, indexes rebuild by streaming the new segments.
+func (b *runBuilder) finish(indexCols []string) (*tableData, int, error) {
+	nd := &tableData{segs: b.segs, sealed: len(b.segs) * b.t.segCap}
+	nd.tail = newTailBlock(b.t.segCap)
+	copy(nd.tail.rows, b.run)
+	tailN := len(b.run)
 	if len(indexCols) > 0 {
-		nd.indexes = buildIndexes(nd, len(rows), t.colPos, indexCols)
+		ix, err := buildIndexes(nd, tailN, b.t.colPos, indexCols)
+		if err != nil {
+			return nil, 0, err
+		}
+		nd.indexes = ix
 	}
-	t.data.Store(nd)
+	nd.tail.n.Store(int64(tailN))
+	return nd, tailN, nil
 }
 
 // Delete removes all rows for which remove returns true, rebuilding
-// segments and indexes. It returns the number of rows removed.
-func (t *Table) Delete(remove func(Row) bool) int {
+// segments and indexes segment-at-a-time (untouched aligned segments are
+// reused without a rewrite). It returns the number of rows removed.
+func (t *Table) Delete(remove func(Row) bool) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d := t.data.Load()
-	all := Snapshot{d: d, tailN: int(d.tail.n.Load())}.AppendRows(nil)
-	kept := all[:0]
+	tailN := int(d.tail.n.Load())
 	n := 0
-	for _, r := range all {
+	b := t.newRunBuilder()
+	for _, seg := range d.segs {
+		sd, err := seg.Load()
+		if err != nil {
+			return 0, err
+		}
+		kept := make([]Row, 0, seg.NumRows())
+		removedHere := false
+		for _, r := range sd.Rows() {
+			if remove(r) {
+				n++
+				removedHere = true
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		if !removedHere && b.aligned() {
+			b.reuse(seg)
+			sd.Release()
+			continue
+		}
+		for _, r := range kept {
+			if err := b.add(r); err != nil {
+				sd.Release()
+				return 0, err
+			}
+		}
+		sd.Release()
+	}
+	for _, r := range d.tail.rows[:tailN] {
 		if remove(r) {
 			n++
-		} else {
-			kept = append(kept, r)
+		} else if err := b.add(r); err != nil {
+			return 0, err
 		}
 	}
-	if n > 0 {
-		t.rebuildLocked(kept, indexColumns(d.indexes))
+	if n == 0 {
+		return 0, nil
 	}
-	return n
+	return n, t.publishRebuildLocked(b, d)
 }
 
 // Update applies fn to a copy of every row; fn returns true when it
 // modified the row. Modified copies replace the originals in a rebuilt
-// table version, so concurrent readers keep seeing the pre-update
-// snapshot. It returns the number of modified rows.
-func (t *Table) Update(fn func(Row) bool) int {
+// table version built segment-at-a-time (segments with no modified row
+// are reused without a rewrite), so concurrent readers keep seeing the
+// pre-update snapshot. It returns the number of modified rows.
+func (t *Table) Update(fn func(Row) bool) (int, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	d := t.data.Load()
-	all := Snapshot{d: d, tailN: int(d.tail.n.Load())}.AppendRows(nil)
+	tailN := int(d.tail.n.Load())
 	n := 0
-	for i, r := range all {
+	b := t.newRunBuilder()
+	for _, seg := range d.segs {
+		sd, err := seg.Load()
+		if err != nil {
+			return 0, err
+		}
+		out := make([]Row, 0, seg.NumRows())
+		dirty := false
+		for _, r := range sd.Rows() {
+			c := r.Clone()
+			if fn(c) {
+				n++
+				dirty = true
+				out = append(out, c)
+			} else {
+				out = append(out, r)
+			}
+		}
+		if !dirty && b.aligned() {
+			b.reuse(seg)
+			sd.Release()
+			continue
+		}
+		for _, r := range out {
+			if err := b.add(r); err != nil {
+				sd.Release()
+				return 0, err
+			}
+		}
+		sd.Release()
+	}
+	for _, r := range d.tail.rows[:tailN] {
 		c := r.Clone()
 		if fn(c) {
-			all[i] = c
 			n++
+			r = c
+		}
+		if err := b.add(r); err != nil {
+			return 0, err
 		}
 	}
-	if n > 0 {
-		t.rebuildLocked(all, indexColumns(d.indexes))
+	if n == 0 {
+		return 0, nil
 	}
-	return n
+	return n, t.publishRebuildLocked(b, d)
+}
+
+// publishRebuildLocked finishes a streamed rebuild: builds the new table
+// version, persists it (new tail epoch; replaced segment files are left
+// for the next Open's orphan collection, since concurrent snapshots may
+// still fault them), and swaps it in. Callers hold t.mu.
+func (t *Table) publishRebuildLocked(b *runBuilder, d *tableData) error {
+	nd, tailN, err := b.finish(indexColumns(d.indexes))
+	if err != nil {
+		return err
+	}
+	if err := t.commitTableLocked(nd, tailN, true, nil); err != nil {
+		return err
+	}
+	t.data.Store(nd)
+	return nil
 }
 
 // --- Indexes ----------------------------------------------------------------
 
-// CreateIndex builds an ordered index on the named column. Creating an
+// CreateIndex builds an ordered index on the named column, streaming
+// spilled segments through the buffer pool one at a time. Creating an
 // index that already exists is a no-op.
 func (t *Table) CreateIndex(col string) error {
 	if _, ok := t.colPos[col]; !ok {
@@ -408,9 +616,17 @@ func (t *Table) CreateIndex(col string) error {
 	if _, ok := d.indexes[col]; ok {
 		return nil
 	}
+	tailN := int(d.tail.n.Load())
 	cols := append(indexColumns(d.indexes), col)
 	nd := &tableData{segs: d.segs, sealed: d.sealed, tail: d.tail}
-	nd.indexes = buildIndexes(nd, int(d.tail.n.Load()), t.colPos, cols)
+	ix, err := buildIndexes(nd, tailN, t.colPos, cols)
+	if err != nil {
+		return err
+	}
+	nd.indexes = ix
+	if err := t.commitTableLocked(nd, tailN, false, nil); err != nil {
+		return err
+	}
 	t.data.Store(nd)
 	return nil
 }
@@ -424,31 +640,43 @@ func indexColumns(indexes map[string]*Index) []string {
 	return cols
 }
 
-// buildIndexes builds fresh indexes over a table version's rows; tailN is
-// the tail length to index (the tail's published length may lag it while a
-// write is in flight).
-func buildIndexes(d *tableData, tailN int, colPos map[string]int, cols []string) map[string]*Index {
-	out := make(map[string]*Index, len(cols))
-	for _, col := range cols {
-		pos := colPos[col]
-		idx := &Index{Column: col}
-		rowID := 0
-		add := func(rows []Row) {
-			for _, r := range rows {
-				idx.entries = append(idx.entries, indexEntry{key: r[pos], rowID: rowID})
-				rowID++
+// buildIndexes builds fresh indexes over a table version's rows in one
+// streaming pass — spilled segments are faulted in (and released) one at
+// a time, so index builds stay larger-than-memory safe. tailN is the tail
+// length to index (the tail's published length may lag it while a write
+// is in flight).
+func buildIndexes(d *tableData, tailN int, colPos map[string]int, cols []string) (map[string]*Index, error) {
+	idxs := make([]*Index, len(cols))
+	total := d.sealed + tailN
+	for k, col := range cols {
+		idxs[k] = &Index{Column: col, entries: make([]indexEntry, 0, total)}
+	}
+	rowID := 0
+	add := func(rows []Row) {
+		for _, r := range rows {
+			for k, col := range cols {
+				idxs[k].entries = append(idxs[k].entries, indexEntry{key: r[colPos[col]], rowID: rowID})
 			}
+			rowID++
 		}
-		for _, seg := range d.segs {
-			add(seg.rows)
+	}
+	for _, seg := range d.segs {
+		sd, err := seg.Load()
+		if err != nil {
+			return nil, err
 		}
-		add(d.tail.rows[:tailN])
+		add(sd.Rows())
+		sd.Release()
+	}
+	add(d.tail.rows[:tailN])
+	out := make(map[string]*Index, len(cols))
+	for k, idx := range idxs {
 		sort.SliceStable(idx.entries, func(a, b int) bool {
 			return datum.Compare(idx.entries[a].key, idx.entries[b].key) < 0
 		})
-		out[col] = idx
+		out[cols[k]] = idx
 	}
-	return out
+	return out, nil
 }
 
 // Index returns the current index on col, or nil. Scans should prefer

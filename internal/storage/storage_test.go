@@ -169,7 +169,7 @@ func TestDeleteRebuildsIndex(t *testing.T) {
 		_ = tbl.Insert(Row{datum.NewInt(i), datum.NewString("r")})
 	}
 	_ = tbl.CreateIndex("id")
-	n := tbl.Delete(func(r Row) bool { return r[0].Int()%2 == 0 })
+	n, _ := tbl.Delete(func(r Row) bool { return r[0].Int()%2 == 0 })
 	if n != 3 || tbl.RowCount() != 3 {
 		t.Fatalf("deleted %d, left %d", n, tbl.RowCount())
 	}
@@ -186,7 +186,7 @@ func TestUpdate(t *testing.T) {
 	tbl := twoColTable()
 	_ = tbl.Insert(Row{datum.NewInt(1), datum.NewString("a")})
 	_ = tbl.Insert(Row{datum.NewInt(2), datum.NewString("b")})
-	n := tbl.Update(func(r Row) bool {
+	n, _ := tbl.Update(func(r Row) bool {
 		if r[0].Int() == 2 {
 			r[1] = datum.NewString("z")
 			return true
@@ -421,7 +421,7 @@ func TestDeleteResegments(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("x")})
 	}
-	n := tbl.Delete(func(r Row) bool { return r[0].Int()%3 == 0 })
+	n, _ := tbl.Delete(func(r Row) bool { return r[0].Int()%3 == 0 })
 	if n != 3 {
 		t.Fatalf("deleted %d, want 3", n)
 	}
@@ -441,7 +441,7 @@ func TestUpdatePreservesSnapshots(t *testing.T) {
 		_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("old")})
 	}
 	before := tbl.Snapshot()
-	_ = tbl.Update(func(r Row) bool {
+	_, _ = tbl.Update(func(r Row) bool {
 		r[1] = datum.NewString("new")
 		return true
 	})
@@ -472,7 +472,7 @@ func TestScanInsertRace(t *testing.T) {
 			for i := 0; i < perWriter; i++ {
 				_ = tbl.Insert(Row{datum.NewInt(int64(i)), datum.NewString("w")})
 				if i%100 == 50 {
-					_ = tbl.Update(func(r Row) bool {
+					_, _ = tbl.Update(func(r Row) bool {
 						if r[0].Int() == int64(i) {
 							r[1] = datum.NewString("u")
 							return true
@@ -481,7 +481,7 @@ func TestScanInsertRace(t *testing.T) {
 					})
 				}
 				if i%200 == 150 {
-					_ = tbl.Delete(func(r Row) bool { return r[0].Int() == int64(i-1) })
+					_, _ = tbl.Delete(func(r Row) bool { return r[0].Int() == int64(i-1) })
 				}
 			}
 		}(w)
